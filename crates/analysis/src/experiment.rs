@@ -1,0 +1,64 @@
+//! Seeded, embarrassingly parallel Monte-Carlo trials.
+//!
+//! Every extended experiment is "run this closure for seeds
+//! `base..base+n` and aggregate": workloads are generated from the seed,
+//! heuristics run deterministically given the seed, so the whole experiment
+//! is reproducible and order-independent. Trials fan out over Rayon's
+//! global thread pool (justified in DESIGN.md §5).
+
+use rayon::prelude::*;
+
+/// Runs `trial(seed)` for `n_trials` consecutive seeds starting at
+/// `base_seed`, in parallel, returning the results in seed order.
+pub fn run_trials<T, F>(base_seed: u64, n_trials: usize, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    (0..n_trials as u64)
+        .into_par_iter()
+        .map(|i| trial(base_seed + i))
+        .collect()
+}
+
+/// Sequential twin of [`run_trials`], for tests and debugging.
+pub fn run_trials_seq<T, F>(base_seed: u64, n_trials: usize, mut trial: F) -> Vec<T>
+where
+    F: FnMut(u64) -> T,
+{
+    (0..n_trials as u64).map(|i| trial(base_seed + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = |seed: u64| ((seed * 2654435761) % 1000) as f64;
+        let par = run_trials(100, 500, f);
+        let seq = run_trials_seq(100, 500, f);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn results_in_seed_order() {
+        let out = run_trials(7, 5, |seed| seed);
+        assert_eq!(out, vec![7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn aggregates_compose_with_stats() {
+        let out = run_trials(0, 100, |seed| seed as f64);
+        let stats: OnlineStats = out.into_iter().collect();
+        assert_eq!(stats.count(), 100);
+        assert!((stats.mean() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<u64> = run_trials(0, 0, |s| s);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Evaluation toolkit: summary statistics, text tables, per-outcome
+//! metrics and a parallel Monte-Carlo experiment runner.
+//!
+//! The paper's evaluation is analytic (proofs + worked examples); the
+//! extended experiments of DESIGN.md (X1–X7) quantify the same questions
+//! over the Braun-et-al. workload classes. This crate holds the shared
+//! machinery: [`stats::OnlineStats`] (Welford accumulation with merging,
+//! so trials can run on Rayon workers), [`table::TextTable`] (the aligned
+//! plain-text tables the harness prints), [`metrics::OutcomeMetrics`] (the
+//! per-run numbers the experiments aggregate),
+//! [`experiment::run_trials`] (seeded, embarrassingly parallel trials) and
+//! [`significance`] (exact sign test and Wilcoxon signed-rank for paired
+//! comparisons).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod significance;
+pub mod stats;
+pub mod table;
+
+pub use experiment::run_trials;
+pub use metrics::OutcomeMetrics;
+pub use significance::{sign_test, wilcoxon_signed_rank};
+pub use stats::OnlineStats;
+pub use table::TextTable;

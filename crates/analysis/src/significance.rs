@@ -1,0 +1,207 @@
+//! Nonparametric significance tests for paired experiment outcomes.
+//!
+//! The Monte-Carlo studies compare paired quantities (e.g. a machine's
+//! finishing time before and after the iterative technique, or the same
+//! trial with and without the seeding guard). The distributions are far
+//! from normal, so the classical tools here are the exact **sign test**
+//! (direction only) and the **Wilcoxon signed-rank test** (direction and
+//! magnitude, normal approximation) — both standard for this literature's
+//! "is heuristic A better than B on these instances" questions.
+
+/// Two-sided exact sign test: given `wins` positive differences and
+/// `losses` negative differences (zeros discarded beforehand), returns the
+/// p-value of the null hypothesis "positive and negative differences are
+/// equally likely".
+///
+/// Computed exactly from the binomial distribution `B(n, 1/2)` in log
+/// space, so it stays accurate for large `n`.
+pub fn sign_test(wins: u64, losses: u64) -> f64 {
+    let n = wins + losses;
+    if n == 0 {
+        return 1.0;
+    }
+    let k = wins.min(losses);
+    // P(X <= k) for X ~ B(n, 0.5); two-sided = 2 * tail, capped at 1.
+    let mut tail = 0.0f64;
+    for i in 0..=k {
+        tail += (ln_choose(n, i) - n as f64 * std::f64::consts::LN_2).exp();
+    }
+    (2.0 * tail).min(1.0)
+}
+
+/// Wilcoxon signed-rank test (two-sided, normal approximation with
+/// continuity correction). `diffs` are the paired differences; zeros are
+/// discarded, ties share average ranks. Returns the p-value, or 1.0 when
+/// fewer than 6 non-zero differences remain (the approximation is
+/// meaningless below that).
+pub fn wilcoxon_signed_rank(diffs: &[f64]) -> f64 {
+    let mut nonzero: Vec<f64> = diffs.iter().copied().filter(|&d| d != 0.0).collect();
+    let n = nonzero.len();
+    if n < 6 {
+        return 1.0;
+    }
+    nonzero.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
+
+    // Average ranks over ties in |d|.
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && nonzero[j + 1].abs() == nonzero[i].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let w_plus: f64 = nonzero
+        .iter()
+        .zip(&ranks)
+        .filter(|&(&d, _)| d > 0.0)
+        .map(|(_, &r)| r)
+        .sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0;
+    let z = (w_plus - mean).abs() - 0.5;
+    let z = (z / var.sqrt()).max(0.0);
+    2.0 * (1.0 - standard_normal_cdf(z))
+}
+
+/// `ln(n choose k)` via `ln Γ` (Stirling-series implementation, good to
+/// ~1e-10 for the integer arguments used here).
+fn ln_choose(n: u64, k: u64) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Φ(z) via the complementary error function (Abramowitz–Stegun 7.1.26
+/// polynomial, |error| < 1.5e-7 — ample for p-values).
+fn standard_normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(x))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_test_matches_known_values() {
+        // 8 wins, 2 losses: two-sided p = 2 * P(X <= 2 | B(10, .5))
+        //   = 2 * (1 + 10 + 45) / 1024 = 0.109375.
+        assert!((sign_test(8, 2) - 0.109_375).abs() < 1e-9);
+        // Balanced outcomes are maximally insignificant.
+        assert_eq!(sign_test(5, 5), 1.0);
+        assert_eq!(sign_test(0, 0), 1.0);
+        // 15 / 0 is decisive.
+        assert!(sign_test(15, 0) < 1e-3);
+        // Symmetry.
+        assert_eq!(sign_test(3, 9), sign_test(9, 3));
+    }
+
+    #[test]
+    fn sign_test_is_stable_for_large_n() {
+        let p = sign_test(560, 440);
+        assert!(p > 0.0 && p < 0.001, "p = {p}");
+        let p = sign_test(505, 495);
+        assert!(p > 0.7, "p = {p}");
+    }
+
+    #[test]
+    fn wilcoxon_detects_a_clear_shift() {
+        let diffs: Vec<f64> = (1..=20).map(|i| i as f64).collect(); // all positive
+        let p = wilcoxon_signed_rank(&diffs);
+        assert!(p < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn wilcoxon_is_insensitive_to_symmetric_noise() {
+        let diffs: Vec<f64> = (1..=20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    i as f64
+                } else {
+                    -(i as f64 + 1.0)
+                }
+            })
+            .collect();
+        let p = wilcoxon_signed_rank(&diffs);
+        assert!(p > 0.2, "p = {p}");
+    }
+
+    #[test]
+    fn wilcoxon_handles_zeros_and_small_samples() {
+        assert_eq!(wilcoxon_signed_rank(&[0.0, 0.0, 1.0]), 1.0);
+        assert_eq!(wilcoxon_signed_rank(&[]), 1.0);
+        // Ties in magnitude get averaged ranks without panicking.
+        let p = wilcoxon_signed_rank(&[1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..=20 {
+            let exact: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_factorial(n) - exact).abs() < 1e-8,
+                "n = {n}: {} vs {exact}",
+                ln_factorial(n)
+            );
+        }
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+    }
+}

@@ -1,0 +1,185 @@
+//! Streaming summary statistics (Welford's algorithm) with parallel merge.
+
+use serde::{Deserialize, Serialize};
+
+/// Count / mean / variance accumulator. `merge` combines two accumulators
+/// exactly (Chan et al.), so per-worker accumulators can be reduced.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean (`1.96 · s / √n`; 0 with fewer than two observations).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_textbook() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: OnlineStats = all.iter().copied().collect();
+        let mut a: OnlineStats = all[..37].iter().copied().collect();
+        let b: OnlineStats = all[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let narrow: OnlineStats = (0..1000).map(|i| (i % 10) as f64).collect();
+        let wide: OnlineStats = (0..10).map(|i| (i % 10) as f64).collect();
+        assert!(narrow.ci95_half_width() < wide.ci95_half_width());
+    }
+}

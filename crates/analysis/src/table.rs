@@ -1,0 +1,184 @@
+//! Aligned plain-text tables, in the visual style of the paper's tables.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (the common shape for
+    /// label-then-numbers tables).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides all column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length differs from the header count.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "one alignment per column");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let n_cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..n_cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(widths[i] - cell.len()));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(widths[i] - cell.len()));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["task", "m0", "m1"]);
+        t.push_row(vec!["t0", "2", "10"]);
+        t.push_row(vec!["t10", "100", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("task"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric columns right-aligned: "2" under the right edge of "m0"
+        // column given "100" sets the width.
+        assert!(lines[2].contains("  2"), "{s}");
+        assert!(lines[3].contains("100"), "{s}");
+    }
+
+    #[test]
+    fn title_precedes_headers() {
+        let mut t = TextTable::new(vec!["a"]).with_title("Table 1. Demo");
+        t.push_row(vec!["x"]);
+        assert!(t.render().starts_with("Table 1. Demo\n"));
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = TextTable::new(vec!["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.push_row(vec!["1", "xy"]);
+        t.push_row(vec!["10", "z"]);
+        let s = t.render();
+        assert!(s.contains(" 1  xy"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new(vec!["h"]);
+        t.push_row(vec!["v"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

@@ -1,0 +1,35 @@
+//! X5d — workload generation cost: range-based versus CVB (the Gamma
+//! sampler dominates CVB), and the consistency post-processing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity, Method};
+use std::hint::black_box;
+
+fn bench_etcgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etcgen/512x16");
+    for consistency in [
+        Consistency::Inconsistent,
+        Consistency::SemiConsistent,
+        Consistency::Consistent,
+    ] {
+        let spec = EtcSpec::braun(512, 16, consistency, Heterogeneity::Hi, Heterogeneity::Hi);
+        group.bench_function(BenchmarkId::new("range", consistency.label()), |b| {
+            b.iter(|| black_box(spec.generate(7)))
+        });
+    }
+    let cvb = EtcSpec {
+        n_tasks: 512,
+        n_machines: 16,
+        method: Method::Cvb {
+            mean_task: 1000.0,
+            v_task: 0.9,
+            v_mach: 0.9,
+        },
+        consistency: Consistency::Inconsistent,
+    };
+    group.bench_function("cvb/i", |b| b.iter(|| black_box(cvb.generate(7))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_etcgen);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! X5c — Genitor cost: single mapping, iterative run, and the effect of
+//! population size (an ablation of the GA's main knob).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::study_scenario;
+use hcs_core::{iterative, Heuristic, TieBreaker};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_genitor::{Genitor, GenitorConfig};
+use std::hint::black_box;
+
+fn quick(pop: usize) -> GenitorConfig {
+    GenitorConfig {
+        pop_size: pop,
+        max_steps: 1_500,
+        stall_steps: 400,
+        ..Default::default()
+    }
+}
+
+fn bench_genitor(c: &mut Criterion) {
+    let spec = EtcSpec::braun(
+        48,
+        6,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+    let scenario = study_scenario(&spec, 42);
+    let owned = scenario.full_instance();
+
+    let mut group = c.benchmark_group("genitor/48x6");
+    for pop in [30usize, 60, 120] {
+        group.bench_function(BenchmarkId::new("map/pop", pop), |b| {
+            b.iter(|| {
+                let mut ga = Genitor::with_config(42, quick(pop));
+                let mut tb = TieBreaker::Deterministic;
+                let inst = owned.as_instance(&scenario);
+                black_box(ga.map(&inst, &mut tb))
+            });
+        });
+    }
+    group.bench_function("iterative/pop60", |b| {
+        b.iter(|| {
+            let mut ga = Genitor::with_config(42, quick(60));
+            let mut tb = TieBreaker::Deterministic;
+            black_box(iterative::run(&mut ga, &scenario, &mut tb))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_genitor);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! X5a — runtime of each mapping heuristic at two workload sizes.
+//!
+//! One Criterion group per size; one benchmark per heuristic. The expected
+//! shape: MET < OLB < MCT ≈ KPB ≈ SWA ≪ Min-Min ≈ Max-Min ≈ Sufferage
+//! (the batch heuristics are O(T²·M) versus O(T·M) for immediate mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::{make_heuristic, study_scenario};
+use hcs_core::TieBreaker;
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    for (label, n_tasks, n_machines) in [("128x8", 128, 8), ("512x16", 512, 16)] {
+        let spec = EtcSpec::braun(
+            n_tasks,
+            n_machines,
+            Consistency::Inconsistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Hi,
+        );
+        let scenario = study_scenario(&spec, 42);
+        let owned = scenario.full_instance();
+
+        let mut group = c.benchmark_group(format!("map/{label}"));
+        for name in hcs_bench::greedy_roster() {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    let mut h = make_heuristic(name, 42);
+                    let mut tb = TieBreaker::Deterministic;
+                    let inst = owned.as_instance(&scenario);
+                    black_box(h.map(&inst, &mut tb))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! X5b — cost of the full iterative technique versus a single mapping.
+//!
+//! The technique runs the heuristic once per machine, so the expected
+//! overhead is roughly `n_machines ×` the single-mapping cost (slightly
+//! less: later rounds shrink). The `seed_guard` variant measures the cost
+//! of the conclusion's safety net.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_bench::{make_heuristic, study_scenario};
+use hcs_core::{iterative, IterativeConfig, TieBreaker};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use std::hint::black_box;
+
+fn bench_iterative(c: &mut Criterion) {
+    let spec = EtcSpec::braun(
+        128,
+        8,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+    let scenario = study_scenario(&spec, 42);
+
+    let mut group = c.benchmark_group("iterative/128x8");
+    for name in hcs_bench::greedy_roster() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut h = make_heuristic(name, 42);
+                let mut tb = TieBreaker::Deterministic;
+                black_box(iterative::run(&mut *h, &scenario, &mut tb))
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("Sufferage+guard"), |b| {
+        b.iter(|| {
+            let mut h = make_heuristic("Sufferage", 42);
+            let mut tb = TieBreaker::Deterministic;
+            black_box(iterative::run_with(
+                &mut *h,
+                &scenario,
+                &mut tb,
+                IterativeConfig {
+                    seed_guard: true,
+                    ..IterativeConfig::default()
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterative);
+criterion_main!(benches);

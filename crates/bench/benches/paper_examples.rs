@@ -1,0 +1,19 @@
+//! E1–E17 micro-benchmarks: the full iterative run of every reconstructed
+//! paper example (tiny instances; this mostly tracks driver overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcs_paper::all_examples;
+use std::hint::black_box;
+
+fn bench_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_examples");
+    for example in all_examples() {
+        group.bench_function(BenchmarkId::from_parameter(example.id), |b| {
+            b.iter(|| black_box(example.run()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_examples);
+criterion_main!(benches);

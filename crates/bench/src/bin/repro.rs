@@ -1,0 +1,242 @@
+//! Regenerates every table and figure of the paper (experiments E1–E17 in
+//! DESIGN.md).
+//!
+//! ```text
+//! cargo run --release -p hcs-bench --bin repro [-- --only <id>]
+//! ```
+//!
+//! `<id>` ∈ {minmin, mct, met, swa, kpb, sufferage}. Without `--only`,
+//! all six examples are printed: the reconstructed ETC matrix, the
+//! step-by-step allocation tables of the original and first iterative
+//! mappings, the Gantt-chart figures, and the verification checklist
+//! against the paper's surviving numbers. With `--svg DIR`, the figures
+//! are additionally written as standalone SVG files into `DIR`.
+
+use hcs_paper::examples::{all_examples, example_by_id, ExampleHeuristic, PaperExample};
+use hcs_paper::{figures, tables, verify_example};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let svg_dir = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let only_all = only.is_none();
+    let examples: Vec<PaperExample> = match only {
+        Some(id) => match example_by_id(&id) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown example id {id:?}; expected one of: minmin, mct, met, swa, kpb, sufferage");
+                std::process::exit(2);
+            }
+        },
+        None => all_examples(),
+    };
+
+    for example in &examples {
+        print_example(example);
+        if let Some(dir) = &svg_dir {
+            export_svg(example, dir);
+        }
+    }
+
+    if only_all {
+        print_maxmin_extension();
+    }
+}
+
+/// Prints the extension counterexample (EXPERIMENTS.md X1 finding): a
+/// Max-Min instance whose makespan increases with deterministic ties.
+fn print_maxmin_extension() {
+    use hcs_paper::extensions::maxmin_counterexample;
+    let rule = "=".repeat(78);
+    println!("{rule}");
+    println!("Extension: Max-Min increasing makespan with deterministic ties");
+    println!("(not in the paper; discovered by this reproduction — see EXPERIMENTS.md X1)");
+    println!("{rule}\n");
+    let (etc, outcome) = maxmin_counterexample();
+    println!("ETC matrix (integer workload found by seeded search):");
+    for t in etc.tasks() {
+        let row: Vec<String> = etc.row(t).iter().map(ToString::to_string).collect();
+        println!("  {t}: [{}]", row.join(", "));
+    }
+    println!(
+        "\nmakespan: {} -> {} across {} rounds (deterministic ties)\n",
+        outcome.original_makespan(),
+        outcome.final_makespan(),
+        outcome.rounds.len()
+    );
+}
+
+/// Writes the example's original and first-iterative Gantt charts as SVG.
+fn export_svg(example: &PaperExample, dir: &str) {
+    use hcs_sim::Gantt;
+    std::fs::create_dir_all(dir).expect("create SVG output directory");
+    let scenario = example.scenario();
+    let outcome = example.run();
+    let (_, _, _, f_orig, f_iter) = numbering(example);
+    for (round, figure_no) in outcome.rounds.iter().take(2).zip([f_orig, f_iter]) {
+        let gantt = Gantt::from_mapping(
+            &round.mapping,
+            &scenario.etc,
+            &scenario.initial_ready,
+            &round.machines,
+        );
+        let title = format!("{figure_no} ({})", example.id);
+        let file = format!(
+            "{dir}/{}_{}.svg",
+            example.id,
+            figure_no.to_lowercase().replace(' ', "_")
+        );
+        std::fs::write(&file, gantt.to_svg(&title)).expect("write SVG figure");
+        println!("wrote {file}");
+    }
+}
+
+/// The paper's table/figure numbers for each example, in print order:
+/// (ETC table, original table, iterative table, original figure, iterative
+/// figure).
+fn numbering(
+    e: &PaperExample,
+) -> (
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+) {
+    match e.id {
+        "minmin" => ("Table 1", "Table 2", "Table 3", "Figure 3", "Figure 4"),
+        "mct" => ("Table 4", "Table 5", "Table 6", "Figure 6", "Figure 7"),
+        "met" => (
+            "Table 4 (shared)",
+            "Table 7",
+            "Table 8",
+            "Figure 9",
+            "Figure 10",
+        ),
+        "swa" => ("Table 9", "Table 10", "Table 11", "Figure 11", "Figure 12"),
+        "kpb" => ("Table 12", "Table 13", "Table 14", "Figure 15", "Figure 16"),
+        "sufferage" => ("Table 15", "Table 16", "Table 17", "Figure 18", "Figure 19"),
+        _ => ("?", "?", "?", "?", "?"),
+    }
+}
+
+fn print_example(example: &PaperExample) {
+    let (t_etc, t_orig, t_iter, f_orig, f_iter) = numbering(example);
+    let rule = "=".repeat(78);
+    println!("{rule}");
+    println!("{}", example.title);
+    println!("{rule}\n");
+
+    println!(
+        "{}",
+        tables::etc_table(example, &format!("{t_etc}. Reconstructed ETC matrix"))
+    );
+
+    let outcome = example.run();
+    let original = &outcome.rounds[0];
+
+    match example.heuristic {
+        ExampleHeuristic::Swa => {
+            println!(
+                "{}",
+                tables::swa_table(
+                    example,
+                    original,
+                    &format!("{t_orig}. Original mapping (SWA)")
+                )
+            );
+        }
+        ExampleHeuristic::Kpb => {
+            println!(
+                "{}",
+                tables::kpb_table(
+                    example,
+                    original,
+                    &format!("{t_orig}. Original mapping (KPB)")
+                )
+            );
+        }
+        ExampleHeuristic::Sufferage => {
+            println!(
+                "{}",
+                tables::sufferage_table(
+                    example,
+                    original,
+                    &format!("{t_orig}. Original mapping (Sufferage passes)")
+                )
+            );
+        }
+        _ => {
+            println!(
+                "{}",
+                tables::allocation_table(example, original, &format!("{t_orig}. Original mapping"))
+            );
+        }
+    }
+
+    if outcome.rounds.len() > 1 {
+        let first_iter = &outcome.rounds[1];
+        match example.heuristic {
+            ExampleHeuristic::Swa => println!(
+                "{}",
+                tables::swa_table(
+                    example,
+                    first_iter,
+                    &format!("{t_iter}. First iterative mapping (SWA)")
+                )
+            ),
+            ExampleHeuristic::Kpb => println!(
+                "{}",
+                tables::kpb_table(
+                    example,
+                    first_iter,
+                    &format!("{t_iter}. First iterative mapping (KPB)")
+                )
+            ),
+            ExampleHeuristic::Sufferage => println!(
+                "{}",
+                tables::sufferage_table(
+                    example,
+                    first_iter,
+                    &format!("{t_iter}. First iterative mapping (Sufferage passes)")
+                )
+            ),
+            _ => println!(
+                "{}",
+                tables::allocation_table(
+                    example,
+                    first_iter,
+                    &format!("{t_iter}. First iterative mapping")
+                )
+            ),
+        }
+    }
+
+    let (fig_orig, fig_iter) = figures::figure_pair(example);
+    println!("{f_orig}. {fig_orig}");
+    println!("{f_iter}. {fig_iter}");
+
+    println!("Verification against the paper's surviving numbers:");
+    let report = verify_example(example);
+    for (desc, ok) in &report.checks {
+        println!("  [{}] {desc}", if *ok { "ok" } else { "FAIL" });
+    }
+    println!(
+        "  => {}\n",
+        if report.all_ok() {
+            "all constraints satisfied"
+        } else {
+            "RECONSTRUCTION MISMATCH"
+        }
+    );
+    println!("Reconstruction notes: {}\n", example.notes);
+}

@@ -1,0 +1,161 @@
+//! Experiment X6 — the dynamic (on-line) setting SWA and KPB came from.
+//!
+//! The paper adapts SWA and K-Percent Best from Maheswaran et al. \[14\],
+//! where tasks arrive over time and are mapped the moment they arrive. X6
+//! replays that context: Poisson arrivals over the Braun classes, mapped
+//! on-line by each [`OnlinePolicy`], comparing makespan and mean task
+//! completion time. The expected shape (from \[14\]): KPB and SWA track or
+//! beat plain MCT on inconsistent workloads (the execution-time subset
+//! steers tasks away from machines that are fast *now* but poor matches),
+//! while MET degenerates badly on consistent workloads (it floods the
+//! globally fastest machine) and OLB wastes heterogeneity.
+
+use serde::Serialize;
+
+use hcs_analysis::{run_trials, OnlineStats, TextTable};
+use hcs_core::{MachineId, TieBreaker, Time};
+use hcs_sim::{ArrivalProcess, DynamicMapper, OnlinePolicy};
+
+use crate::workloads::{study_classes, study_scenario, StudyDims};
+
+/// The on-line policies X6 compares.
+pub fn policy_roster() -> Vec<(&'static str, OnlinePolicy)> {
+    vec![
+        ("MCT", OnlinePolicy::Mct),
+        ("MET", OnlinePolicy::Met),
+        ("OLB", OnlinePolicy::Olb),
+        ("KPB-70", OnlinePolicy::Kpb { k_percent: 70.0 }),
+        (
+            "SWA",
+            OnlinePolicy::Swa {
+                lo: 1.0 / 3.0,
+                hi: 0.49,
+            },
+        ),
+    ]
+}
+
+/// Aggregated row for one policy.
+#[derive(Clone, Debug, Serialize)]
+pub struct DynamicRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Mean makespan over all classes and trials.
+    pub makespan: f64,
+    /// Mean of per-trial mean task completion times.
+    pub mean_completion: f64,
+    /// Makespan normalized to MCT's on the same trials (1.0 = parity).
+    pub vs_mct: f64,
+}
+
+/// Runs X6: Poisson arrivals sized so the system is moderately loaded
+/// (mean inter-arrival = mean ETC / machines · 2).
+pub fn run(dims: StudyDims, base_seed: u64) -> Vec<DynamicRow> {
+    let classes = study_classes(dims);
+    let machines: Vec<MachineId> = (0..dims.n_machines as u32).map(MachineId).collect();
+
+    // Collect per-trial results for every policy, then normalize to MCT.
+    let mut per_policy: Vec<(&'static str, OnlineStats, OnlineStats, Vec<f64>)> = policy_roster()
+        .into_iter()
+        .map(|(name, _)| (name, OnlineStats::new(), OnlineStats::new(), Vec::new()))
+        .collect();
+
+    for spec in &classes {
+        let results = run_trials(base_seed, dims.trials, |seed| {
+            let scenario = study_scenario(spec, seed);
+            // Moderate load: arrivals spread over about half the serial
+            // execution horizon.
+            let mean_etc = scenario.etc.mean().get();
+            let rate = 2.0 * dims.n_machines as f64 / mean_etc;
+            let arrivals = ArrivalProcess::Poisson { rate }.generate(dims.n_tasks, seed);
+            policy_roster()
+                .into_iter()
+                .map(|(_, policy)| {
+                    let mapper =
+                        DynamicMapper::new(machines.clone(), vec![Time::ZERO; machines.len()]);
+                    let mut tb = TieBreaker::Deterministic;
+                    let out = mapper.run_policy(&scenario.etc, &arrivals, policy, &mut tb);
+                    (out.makespan().get(), out.mean_completion().get())
+                })
+                .collect::<Vec<_>>()
+        });
+        for trial in results {
+            let mct_ms = trial[0].0; // MCT is first in the roster
+            for (slot, &(ms, mc)) in per_policy.iter_mut().zip(&trial) {
+                slot.1.push(ms);
+                slot.2.push(mc);
+                slot.3.push(if mct_ms > 0.0 { ms / mct_ms } else { 1.0 });
+            }
+        }
+    }
+
+    per_policy
+        .into_iter()
+        .map(|(policy, ms, mc, ratios)| DynamicRow {
+            policy,
+            makespan: ms.mean(),
+            mean_completion: mc.mean(),
+            vs_mct: ratios.iter().sum::<f64>() / ratios.len().max(1) as f64,
+        })
+        .collect()
+}
+
+/// Formats X6 as a text table.
+pub fn table(rows: &[DynamicRow], dims: StudyDims) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "policy",
+        "mean makespan",
+        "mean task CT",
+        "makespan vs MCT",
+    ])
+    .with_title(format!(
+        "X6. On-line mapping under Poisson arrivals — {} tasks x {} machines, {} trials per class",
+        dims.n_tasks, dims.n_machines, dims.trials
+    ));
+    for r in rows {
+        t.push_row(vec![
+            r.policy.to_string(),
+            format!("{:.0}", r.makespan),
+            format!("{:.0}", r.mean_completion),
+            format!("{:.3}", r.vs_mct),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_mct_is_its_own_baseline() {
+        let dims = StudyDims {
+            n_tasks: 16,
+            n_machines: 4,
+            trials: 2,
+        };
+        let rows = run(dims, 3);
+        assert_eq!(rows.len(), policy_roster().len());
+        let mct = rows.iter().find(|r| r.policy == "MCT").unwrap();
+        assert!((mct.vs_mct - 1.0).abs() < 1e-12);
+        for r in &rows {
+            assert!(r.makespan > 0.0);
+            assert!(r.mean_completion > 0.0);
+            assert!(r.makespan >= r.mean_completion * 0.5);
+        }
+    }
+
+    #[test]
+    fn met_is_much_worse_than_mct_online() {
+        // MET floods the fastest machine; under load its makespan must be
+        // well above MCT's.
+        let dims = StudyDims {
+            n_tasks: 32,
+            n_machines: 4,
+            trials: 2,
+        };
+        let rows = run(dims, 11);
+        let met = rows.iter().find(|r| r.policy == "MET").unwrap();
+        assert!(met.vs_mct > 1.2, "MET vs MCT ratio {}", met.vs_mct);
+    }
+}

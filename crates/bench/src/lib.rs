@@ -1,0 +1,24 @@
+//! Experiment harness: the extended Monte-Carlo studies (DESIGN.md X1–X7)
+//! and shared workload builders for the Criterion benches.
+//!
+//! The binaries:
+//!
+//! * `repro` — regenerates every table and figure of the paper (E1–E17)
+//!   plus the per-example verification checklists.
+//! * `experiments` — runs the Monte-Carlo studies X1–X4, X6 and X7 and prints
+//!   their tables (the data recorded in EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic_study;
+pub mod genitor_study;
+pub mod makespan_tie_study;
+pub mod production_study;
+pub mod roster;
+pub mod seedguard_study;
+pub mod tiebreak_study;
+pub mod workloads;
+
+pub use roster::{greedy_roster, make_heuristic};
+pub use workloads::{study_classes, study_scenario, StudyDims};

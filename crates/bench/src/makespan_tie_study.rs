@@ -1,0 +1,159 @@
+//! Experiment X7 — ablation of the frozen-machine tie rule.
+//!
+//! The paper never says which machine freezes when several tie for the
+//! makespan. DESIGN.md §4 documents our default (lowest index); this study
+//! measures whether the choice matters. It runs the iterative technique on
+//! deliberately tie-rich integer workloads
+//! ([`hcs_etcgen::Method::IntegerUniform`]) under the three
+//! [`MakespanTie`] rules and reports, per heuristic:
+//!
+//! * how often the three rules produce different final finishing-time
+//!   vectors (i.e. how often the unspecified detail is load-bearing);
+//! * each rule's makespan-increase frequency.
+
+use serde::Serialize;
+
+use hcs_analysis::{run_trials, OnlineStats, TextTable};
+use hcs_core::{iterative, IterativeConfig, MakespanTie, Scenario, TieBreaker};
+use hcs_etcgen::{Consistency, EtcSpec, Method};
+
+use crate::roster::{greedy_roster, make_heuristic};
+use crate::workloads::StudyDims;
+
+/// Aggregated row for one heuristic.
+#[derive(Clone, Debug, Serialize)]
+pub struct MakespanTieRow {
+    /// Heuristic name.
+    pub heuristic: &'static str,
+    /// Fraction of trials where at least two rules diverged in the final
+    /// finishing-time vector.
+    pub divergence: f64,
+    /// Makespan-increase fraction per rule
+    /// (lowest index, highest index, most tasks).
+    pub increase: [f64; 3],
+}
+
+const RULES: [MakespanTie; 3] = [
+    MakespanTie::LowestIndex,
+    MakespanTie::HighestIndex,
+    MakespanTie::MostTasks,
+];
+
+/// Runs X7 on tie-rich integer workloads.
+pub fn run(dims: StudyDims, base_seed: u64) -> Vec<MakespanTieRow> {
+    let spec = EtcSpec {
+        n_tasks: dims.n_tasks,
+        n_machines: dims.n_machines,
+        method: Method::IntegerUniform { lo: 1, hi: 5 },
+        consistency: Consistency::Inconsistent,
+    };
+    greedy_roster()
+        .into_iter()
+        .map(|name| {
+            let results = run_trials(base_seed, dims.trials * 12, |seed| {
+                let scenario = Scenario::with_zero_ready(spec.generate(seed));
+                let outcomes: Vec<_> = RULES
+                    .iter()
+                    .map(|&rule| {
+                        let mut h = make_heuristic(name, seed);
+                        let mut tb = TieBreaker::Deterministic;
+                        iterative::run_with(
+                            &mut *h,
+                            &scenario,
+                            &mut tb,
+                            IterativeConfig {
+                                makespan_tie: rule,
+                                ..IterativeConfig::default()
+                            },
+                        )
+                    })
+                    .collect();
+                let diverged = outcomes
+                    .iter()
+                    .any(|o| o.final_finish != outcomes[0].final_finish);
+                let increases: Vec<bool> =
+                    outcomes.iter().map(|o| o.makespan_increased()).collect();
+                (diverged, increases)
+            });
+            let mut div = OnlineStats::new();
+            let mut inc = [OnlineStats::new(), OnlineStats::new(), OnlineStats::new()];
+            for (diverged, increases) in results {
+                div.push(f64::from(u8::from(diverged)));
+                for (stat, &flag) in inc.iter_mut().zip(&increases) {
+                    stat.push(f64::from(u8::from(flag)));
+                }
+            }
+            MakespanTieRow {
+                heuristic: name,
+                divergence: div.mean(),
+                increase: [inc[0].mean(), inc[1].mean(), inc[2].mean()],
+            }
+        })
+        .collect()
+}
+
+/// Formats X7 as a text table.
+pub fn table(rows: &[MakespanTieRow], dims: StudyDims) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "heuristic",
+        "rules diverge%",
+        "increase% (low idx)",
+        "increase% (high idx)",
+        "increase% (most tasks)",
+    ])
+    .with_title(format!(
+        "X7. Frozen-machine tie-rule ablation — integer 1..=5 workloads, {} tasks x {} machines, {} trials",
+        dims.n_tasks,
+        dims.n_machines,
+        dims.trials * 12
+    ));
+    for r in rows {
+        t.push_row(vec![
+            r.heuristic.to_string(),
+            format!("{:.1}", r.divergence * 100.0),
+            format!("{:.1}", r.increase[0] * 100.0),
+            format!("{:.1}", r.increase[1] * 100.0),
+            format!("{:.1}", r.increase[2] * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_rules_are_bounded() {
+        let dims = StudyDims {
+            n_tasks: 10,
+            n_machines: 4,
+            trials: 1,
+        };
+        let rows = run(dims, 77);
+        assert_eq!(rows.len(), greedy_roster().len());
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.divergence), "{}", r.heuristic);
+            for v in r.increase {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_heuristics_still_never_increase() {
+        // The theorems hold regardless of the frozen-machine tie rule: the
+        // mapping of every round is identical, so every rule freezes a
+        // machine whose completion equals the (unchanged) makespan.
+        let dims = StudyDims {
+            n_tasks: 10,
+            n_machines: 4,
+            trials: 2,
+        };
+        for r in run(dims, 5) {
+            if ["Min-Min", "MCT", "MET"].contains(&r.heuristic) {
+                assert_eq!(r.increase, [0.0; 3], "{}", r.heuristic);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The heuristic roster used by the studies.
+
+use hcs_core::Heuristic;
+use hcs_genitor::{Genitor, GenitorConfig};
+
+/// Names of the greedy heuristics in study order (the paper's seven study
+/// subjects first — Genitor is handled separately because it needs a seed
+/// and is orders of magnitude slower).
+pub fn greedy_roster() -> Vec<&'static str> {
+    vec![
+        "Min-Min",
+        "MCT",
+        "MET",
+        "SWA",
+        "KPB",
+        "Sufferage",
+        "OLB",
+        "Max-Min",
+        "Duplex",
+        "Segmented-Min-Min",
+        "SA",
+    ]
+}
+
+/// Instantiates a heuristic by name; `"Genitor"` gets a study-sized GA and
+/// `"SA"` a default-configured annealer, both seeded from `seed`.
+///
+/// # Panics
+///
+/// Panics on an unknown name — the roster is fixed at compile time, so an
+/// unknown name is a harness bug.
+pub fn make_heuristic(name: &str, seed: u64) -> Box<dyn Heuristic> {
+    if name.eq_ignore_ascii_case("genitor") {
+        return Box::new(Genitor::with_config(seed, study_genitor_config()));
+    }
+    if name.eq_ignore_ascii_case("sa") {
+        return Box::new(hcs_heuristics::Sa::new(seed));
+    }
+    hcs_heuristics::by_name(name).unwrap_or_else(|| panic!("unknown heuristic in roster: {name}"))
+}
+
+/// The GA configuration the studies use: small enough to keep Monte-Carlo
+/// runs tractable, large enough to improve reliably over random mappings.
+pub fn study_genitor_config() -> GenitorConfig {
+    GenitorConfig {
+        pop_size: 60,
+        max_steps: 4_000,
+        stall_steps: 800,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_instantiates() {
+        for name in greedy_roster() {
+            let h = make_heuristic(name, 0);
+            assert_eq!(h.name(), name);
+        }
+        let ga = make_heuristic("Genitor", 1);
+        assert_eq!(ga.name(), "Genitor");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown heuristic")]
+    fn unknown_name_is_a_bug() {
+        let _ = make_heuristic("Simulated-Annealing", 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Experiment X1 — tie-break sensitivity of the iterative technique.
+//!
+//! For every Braun class × greedy heuristic × trial seed, run the full
+//! iterative technique twice: once with deterministic ties and once with
+//! random ties. Aggregate, per heuristic:
+//!
+//! * how often the overall makespan *increased* (the paper's pathology),
+//!   under each tie policy;
+//! * how often all iteration mappings were identical under deterministic
+//!   ties (the theorems predict 100% for Min-Min, MCT, MET);
+//! * the mean relative reduction of the average machine finishing time
+//!   (the benefit the technique is after).
+//!
+//! The paper's qualitative predictions, checked quantitatively here:
+//! Min-Min / MCT / MET never increase or change under deterministic ties;
+//! SWA / KPB / Sufferage can increase even deterministically; everything
+//! can increase under random ties (where ties actually occur — continuous
+//! workloads rarely tie, so the random columns mostly show order effects
+//! of the random policy, not tie flips; see EXPERIMENTS.md).
+
+use serde::Serialize;
+
+use hcs_analysis::{run_trials, OnlineStats, OutcomeMetrics, TextTable};
+use hcs_core::{iterative, TieBreaker};
+
+use crate::roster::{greedy_roster, make_heuristic};
+use crate::workloads::{study_classes, study_scenario, StudyDims};
+
+/// Aggregated row for one heuristic.
+#[derive(Clone, Debug, Serialize)]
+pub struct TieBreakRow {
+    /// Heuristic name.
+    pub heuristic: &'static str,
+    /// Fraction of trials with a makespan increase, deterministic ties.
+    pub increase_det: f64,
+    /// Fraction of trials with a makespan increase, random ties.
+    pub increase_rand: f64,
+    /// Fraction of deterministic trials where every iteration reproduced
+    /// the original mapping.
+    pub identical_det: f64,
+    /// Mean relative reduction of the average finishing time
+    /// (deterministic ties), in percent.
+    pub reduction_det_pct: f64,
+    /// Same under random ties, in percent.
+    pub reduction_rand_pct: f64,
+}
+
+/// Runs X1 and returns one row per greedy heuristic.
+pub fn run(dims: StudyDims, base_seed: u64) -> Vec<TieBreakRow> {
+    let classes = study_classes(dims);
+    greedy_roster()
+        .into_iter()
+        .map(|name| {
+            let mut inc_det = OnlineStats::new();
+            let mut inc_rand = OnlineStats::new();
+            let mut ident = OnlineStats::new();
+            let mut red_det = OnlineStats::new();
+            let mut red_rand = OnlineStats::new();
+            for spec in &classes {
+                let results = run_trials(base_seed, dims.trials, |seed| {
+                    let scenario = study_scenario(spec, seed);
+                    let mut h = make_heuristic(name, seed);
+                    let mut tb = TieBreaker::Deterministic;
+                    let det =
+                        OutcomeMetrics::from_outcome(&iterative::run(&mut *h, &scenario, &mut tb));
+                    let mut h = make_heuristic(name, seed);
+                    let mut tb = TieBreaker::random(seed ^ 0x9e37_79b9);
+                    let rand =
+                        OutcomeMetrics::from_outcome(&iterative::run(&mut *h, &scenario, &mut tb));
+                    (det, rand)
+                });
+                for (det, rand) in results {
+                    inc_det.push(f64::from(u8::from(det.makespan_increased)));
+                    inc_rand.push(f64::from(u8::from(rand.makespan_increased)));
+                    ident.push(f64::from(u8::from(det.mappings_identical)));
+                    red_det.push(det.mean_finish_reduction * 100.0);
+                    red_rand.push(rand.mean_finish_reduction * 100.0);
+                }
+            }
+            TieBreakRow {
+                heuristic: name,
+                increase_det: inc_det.mean(),
+                increase_rand: inc_rand.mean(),
+                identical_det: ident.mean(),
+                reduction_det_pct: red_det.mean(),
+                reduction_rand_pct: red_rand.mean(),
+            }
+        })
+        .collect()
+}
+
+/// Formats X1 as a text table.
+pub fn table(rows: &[TieBreakRow], dims: StudyDims) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "heuristic",
+        "increase% (det)",
+        "increase% (rand)",
+        "identical% (det)",
+        "finish reduction% (det)",
+        "finish reduction% (rand)",
+    ])
+    .with_title(format!(
+        "X1. Iterative technique vs tie policy — {} Braun classes, {} tasks x {} machines, {} trials each",
+        12, dims.n_tasks, dims.n_machines, dims.trials
+    ));
+    for r in rows {
+        t.push_row(vec![
+            r.heuristic.to_string(),
+            format!("{:.1}", r.increase_det * 100.0),
+            format!("{:.1}", r.increase_rand * 100.0),
+            format!("{:.1}", r.identical_det * 100.0),
+            format!("{:.2}", r.reduction_det_pct),
+            format!("{:.2}", r.reduction_rand_pct),
+        ]);
+    }
+    t
+}
+
+/// Per-class breakdown for one heuristic: where does the technique backfire?
+#[derive(Clone, Debug, Serialize)]
+pub struct ClassRow {
+    /// Class label.
+    pub class: String,
+    /// Makespan-increase fraction (deterministic ties).
+    pub increase: f64,
+    /// Mean relative finishing-time reduction (percent) with its 95% CI
+    /// half-width.
+    pub reduction_pct: (f64, f64),
+}
+
+/// Per-class behaviour of a single heuristic under deterministic ties.
+pub fn run_per_class(heuristic: &str, dims: StudyDims, base_seed: u64) -> Vec<ClassRow> {
+    study_classes(dims)
+        .iter()
+        .map(|spec| {
+            let results = run_trials(base_seed, dims.trials, |seed| {
+                let scenario = study_scenario(spec, seed);
+                let mut h = make_heuristic(heuristic, seed);
+                let mut tb = TieBreaker::Deterministic;
+                OutcomeMetrics::from_outcome(&iterative::run(&mut *h, &scenario, &mut tb))
+            });
+            let mut inc = OnlineStats::new();
+            let mut red = OnlineStats::new();
+            for m in results {
+                inc.push(f64::from(u8::from(m.makespan_increased)));
+                red.push(m.mean_finish_reduction * 100.0);
+            }
+            ClassRow {
+                class: spec.label(),
+                increase: inc.mean(),
+                reduction_pct: (red.mean(), red.ci95_half_width()),
+            }
+        })
+        .collect()
+}
+
+/// Formats the per-class breakdown as a text table.
+pub fn per_class_table(heuristic: &str, rows: &[ClassRow], dims: StudyDims) -> TextTable {
+    let mut t = TextTable::new(vec!["class", "increase%", "finish reduction% (95% CI)"])
+        .with_title(format!(
+            "X1b. {heuristic} per class (deterministic ties) — {} tasks x {} machines, {} trials",
+            dims.n_tasks, dims.n_machines, dims.trials
+        ));
+    for r in rows {
+        t.push_row(vec![
+            r.class.clone(),
+            format!("{:.1}", r.increase * 100.0),
+            format!("{:.2} ± {:.2}", r.reduction_pct.0, r.reduction_pct.1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StudyDims {
+        StudyDims {
+            n_tasks: 12,
+            n_machines: 4,
+            trials: 2,
+        }
+    }
+
+    #[test]
+    fn theorems_hold_quantitatively() {
+        let rows = run(tiny(), 500);
+        for r in &rows {
+            if ["Min-Min", "MCT", "MET"].contains(&r.heuristic) {
+                assert_eq!(
+                    r.increase_det, 0.0,
+                    "{}: no deterministic increase (theorem)",
+                    r.heuristic
+                );
+                assert_eq!(
+                    r.identical_det, 1.0,
+                    "{}: mappings identical (theorem)",
+                    r.heuristic
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_heuristic() {
+        let rows = run(tiny(), 7);
+        let t = table(&rows, tiny());
+        assert_eq!(t.n_rows(), greedy_roster().len());
+    }
+
+    #[test]
+    fn per_class_covers_all_twelve() {
+        let rows = run_per_class("Sufferage", tiny(), 5);
+        assert_eq!(rows.len(), 12);
+        let t = per_class_table("Sufferage", &rows, tiny());
+        assert_eq!(t.n_rows(), 12);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.increase), "{}", r.class);
+        }
+    }
+
+    #[test]
+    fn reductions_are_bounded() {
+        for r in run(tiny(), 11) {
+            assert!(r.reduction_det_pct <= 100.0);
+            assert!((0.0..=1.0).contains(&r.increase_det));
+            assert!((0.0..=1.0).contains(&r.increase_rand));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Workload builders shared by the experiment binaries and benches.
+
+use hcs_core::Scenario;
+use hcs_etcgen::{braun_classes, EtcSpec};
+
+/// Dimensions for a Monte-Carlo study.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StudyDims {
+    /// Tasks per scenario.
+    pub n_tasks: usize,
+    /// Machines per scenario.
+    pub n_machines: usize,
+    /// Trials (seeds) per (class, heuristic) cell.
+    pub trials: usize,
+}
+
+impl Default for StudyDims {
+    /// Laptop-friendly defaults: enough structure for the phenomena to
+    /// show, small enough for quick iteration. The Braun benchmark's
+    /// canonical 512×16 remains available via `--tasks 512 --machines 16`.
+    fn default() -> Self {
+        StudyDims {
+            n_tasks: 64,
+            n_machines: 8,
+            trials: 10,
+        }
+    }
+}
+
+/// The twelve Braun classes at the study dimensions.
+pub fn study_classes(dims: StudyDims) -> Vec<EtcSpec> {
+    braun_classes(dims.n_tasks, dims.n_machines)
+}
+
+/// One scenario of a class: the workload of trial `seed`. Initial ready
+/// times are zero, as in the paper's setting.
+pub fn study_scenario(spec: &EtcSpec, seed: u64) -> Scenario {
+    Scenario::with_zero_ready(spec.generate(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_modest() {
+        let d = StudyDims::default();
+        assert!(d.n_tasks * d.n_machines <= 1024);
+        assert_eq!(study_classes(d).len(), 12);
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let spec = study_classes(StudyDims::default())[0];
+        assert_eq!(study_scenario(&spec, 3), study_scenario(&spec, 3));
+        assert_ne!(study_scenario(&spec, 3), study_scenario(&spec, 4));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared across the workspace's core operations.
+
+use std::fmt;
+
+use crate::id::{MachineId, TaskId};
+
+/// Errors raised by the core model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An ETC matrix was constructed with a data length that does not match
+    /// `n_tasks * n_machines`.
+    EtcShape {
+        /// Declared number of tasks.
+        n_tasks: usize,
+        /// Declared number of machines.
+        n_machines: usize,
+        /// Actual number of values supplied.
+        len: usize,
+    },
+    /// An ETC matrix contained a non-finite or negative value.
+    EtcValue {
+        /// Offending row.
+        task: TaskId,
+        /// Offending column.
+        machine: MachineId,
+    },
+    /// An ETC matrix must have at least one task and one machine.
+    EtcEmpty,
+    /// A task was assigned twice within one mapping.
+    DoubleAssignment(TaskId),
+    /// A task identifier is out of range for the mapping / matrix.
+    TaskOutOfRange(TaskId),
+    /// A machine identifier is out of range for the matrix / ready times.
+    MachineOutOfRange(MachineId),
+    /// A heuristic returned a mapping that left a mappable task unassigned.
+    Unassigned(TaskId),
+    /// A heuristic assigned a task to a machine outside the active set.
+    InactiveMachine(TaskId, MachineId),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EtcShape {
+                n_tasks,
+                n_machines,
+                len,
+            } => write!(
+                f,
+                "ETC data length {len} does not match {n_tasks} tasks x {n_machines} machines"
+            ),
+            Error::EtcValue { task, machine } => {
+                write!(
+                    f,
+                    "ETC({task}, {machine}) is not a finite non-negative value"
+                )
+            }
+            Error::EtcEmpty => write!(f, "ETC matrix needs at least one task and one machine"),
+            Error::DoubleAssignment(t) => write!(f, "task {t} assigned twice"),
+            Error::TaskOutOfRange(t) => write!(f, "task {t} out of range"),
+            Error::MachineOutOfRange(m) => write!(f, "machine {m} out of range"),
+            Error::Unassigned(t) => write!(f, "heuristic left task {t} unassigned"),
+            Error::InactiveMachine(t, m) => {
+                write!(f, "task {t} assigned to inactive machine {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{m, t};
+
+    #[test]
+    fn messages_are_informative() {
+        let e = Error::EtcShape {
+            n_tasks: 2,
+            n_machines: 3,
+            len: 5,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("2 tasks x 3 machines"));
+        assert!(Error::DoubleAssignment(t(1)).to_string().contains("t1"));
+        assert!(Error::InactiveMachine(t(0), m(2))
+            .to_string()
+            .contains("m2"));
+    }
+}

@@ -1,0 +1,217 @@
+//! The *estimated time to compute* (ETC) matrix.
+//!
+//! `ETC(t, m)` is the execution time of task `t` when run on machine `m`,
+//! assumed known in advance (from profiling, analytical benchmarking or user
+//! estimates — see refs \[1, 6, 7, 10, 13, 20\] of the paper). The matrix is
+//! stored row-major by task; rows are tasks, columns are machines, matching
+//! the layout of the paper's Tables 1, 4, 9, 12 and 15.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::id::{MachineId, TaskId};
+use crate::time::Time;
+
+/// Dense, row-major ETC matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EtcMatrix {
+    n_tasks: usize,
+    n_machines: usize,
+    data: Vec<Time>,
+}
+
+impl EtcMatrix {
+    /// Builds a matrix from a flat row-major `f64` buffer.
+    ///
+    /// All values must be finite and non-negative; the buffer length must be
+    /// `n_tasks * n_machines`, and both dimensions must be non-zero.
+    pub fn new(n_tasks: usize, n_machines: usize, values: &[f64]) -> Result<Self, Error> {
+        if n_tasks == 0 || n_machines == 0 {
+            return Err(Error::EtcEmpty);
+        }
+        if values.len() != n_tasks * n_machines {
+            return Err(Error::EtcShape {
+                n_tasks,
+                n_machines,
+                len: values.len(),
+            });
+        }
+        let mut data = Vec::with_capacity(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(Error::EtcValue {
+                    task: TaskId((i / n_machines) as u32),
+                    machine: MachineId((i % n_machines) as u32),
+                });
+            }
+            data.push(Time::new(v));
+        }
+        Ok(EtcMatrix {
+            n_tasks,
+            n_machines,
+            data,
+        })
+    }
+
+    /// Builds a matrix from per-task rows. Every row must have the same
+    /// length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, Error> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(Error::EtcEmpty);
+        }
+        let n_machines = rows[0].len();
+        let mut flat = Vec::with_capacity(rows.len() * n_machines);
+        for row in rows {
+            if row.len() != n_machines {
+                return Err(Error::EtcShape {
+                    n_tasks: rows.len(),
+                    n_machines,
+                    len: rows.iter().map(Vec::len).sum(),
+                });
+            }
+            flat.extend_from_slice(row);
+        }
+        Self::new(rows.len(), n_machines, &flat)
+    }
+
+    /// Number of tasks (rows).
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of machines (columns).
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// `ETC(t, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` or `m` is out of range; ids are internal dense
+    /// indices, so an out-of-range id is a logic error, not input error.
+    #[inline]
+    pub fn get(&self, t: TaskId, m: MachineId) -> Time {
+        assert!(t.idx() < self.n_tasks, "task {t} out of range");
+        assert!(m.idx() < self.n_machines, "machine {m} out of range");
+        self.data[t.idx() * self.n_machines + m.idx()]
+    }
+
+    /// The full ETC row of task `t` (indexed by machine).
+    #[inline]
+    pub fn row(&self, t: TaskId) -> &[Time] {
+        assert!(t.idx() < self.n_tasks, "task {t} out of range");
+        &self.data[t.idx() * self.n_machines..(t.idx() + 1) * self.n_machines]
+    }
+
+    /// Iterator over all task ids `t0..t{n-1}`.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + Clone {
+        (0..self.n_tasks as u32).map(TaskId)
+    }
+
+    /// Iterator over all machine ids `m0..m{n-1}`.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + Clone {
+        (0..self.n_machines as u32).map(MachineId)
+    }
+
+    /// All task ids collected into a `Vec` (canonical "task list" order).
+    pub fn task_vec(&self) -> Vec<TaskId> {
+        self.tasks().collect()
+    }
+
+    /// All machine ids collected into a `Vec` (ascending index order).
+    pub fn machine_vec(&self) -> Vec<MachineId> {
+        self.machines().collect()
+    }
+
+    /// The machine(s) with the smallest ETC for `t`, in ascending machine
+    /// order, restricted to `machines`, together with that minimum.
+    ///
+    /// This is the *minimum execution time* (MET) machine set of the paper.
+    pub fn met_machines(&self, t: TaskId, machines: &[MachineId]) -> (Vec<MachineId>, Time) {
+        crate::select::min_candidates(machines.iter().map(|&m| (m, self.get(t, m))))
+    }
+
+    /// Arithmetic mean of all entries — used by generators and analyses.
+    pub fn mean(&self) -> Time {
+        let total: Time = self.data.iter().copied().sum();
+        total / (self.data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{m, t};
+
+    fn small() -> EtcMatrix {
+        EtcMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![6.0, 5.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let etc = small();
+        assert_eq!(etc.get(t(0), m(0)), Time::new(1.0));
+        assert_eq!(etc.get(t(0), m(2)), Time::new(3.0));
+        assert_eq!(etc.get(t(1), m(1)), Time::new(5.0));
+        assert_eq!(
+            etc.row(t(1)),
+            &[Time::new(6.0), Time::new(5.0), Time::new(4.0)]
+        );
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert_eq!(
+            EtcMatrix::new(2, 2, &[1.0, 2.0, 3.0]),
+            Err(Error::EtcShape {
+                n_tasks: 2,
+                n_machines: 2,
+                len: 3
+            })
+        );
+        assert_eq!(EtcMatrix::new(0, 2, &[]), Err(Error::EtcEmpty));
+        assert!(EtcMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn value_validation() {
+        let err = EtcMatrix::new(1, 2, &[1.0, -3.0]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::EtcValue {
+                task: t(0),
+                machine: m(1)
+            }
+        );
+        assert!(EtcMatrix::new(1, 1, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn met_machines_reports_ties_in_ascending_order() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 1.0, 1.0]]).unwrap();
+        let (cands, best) = etc.met_machines(t(0), &[m(0), m(1), m(2)]);
+        assert_eq!(cands, vec![m(1), m(2)]);
+        assert_eq!(best, Time::new(1.0));
+        // Restriction honours the active set.
+        let (cands, best) = etc.met_machines(t(0), &[m(0), m(2)]);
+        assert_eq!(cands, vec![m(2)]);
+        assert_eq!(best, Time::new(1.0));
+    }
+
+    #[test]
+    fn iterators_cover_space() {
+        let etc = small();
+        assert_eq!(etc.task_vec(), vec![t(0), t(1)]);
+        assert_eq!(etc.machine_vec(), vec![m(0), m(1), m(2)]);
+        assert_eq!(etc.mean(), Time::new(21.0 / 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_panics_out_of_range() {
+        small().get(t(5), m(0));
+    }
+}

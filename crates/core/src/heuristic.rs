@@ -1,0 +1,95 @@
+//! The mapping-heuristic abstraction.
+
+use crate::instance::Instance;
+use crate::mapping::Mapping;
+use crate::tiebreak::TieBreaker;
+
+/// A resource-allocation heuristic: given an instance (active tasks and
+/// machines, ETC, initial ready times) it produces a complete [`Mapping`]
+/// of the instance's tasks onto the instance's machines, attempting to
+/// minimize makespan.
+///
+/// # Contract
+///
+/// * Every task in `inst.tasks` must be assigned to a machine in
+///   `inst.machines` (the iterative driver validates this).
+/// * All choices between *equally good* alternatives must go through the
+///   supplied [`TieBreaker`], with candidates enumerated in canonical order
+///   (task-list order for tasks, ascending index for machines). This is
+///   what makes the deterministic/random tie-breaking study of the paper
+///   possible.
+/// * `&mut self` allows stateful heuristics (e.g. the Genitor GA owns its
+///   RNG); implementations must nevertheless treat each `map` call as an
+///   independent run — the iterative technique re-invokes the *same*
+///   heuristic each round.
+pub trait Heuristic {
+    /// Short display name, e.g. `"Min-Min"`.
+    fn name(&self) -> &'static str;
+
+    /// Produce a mapping of `inst.tasks` onto `inst.machines`.
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping;
+}
+
+impl<H: Heuristic + ?Sized> Heuristic for &mut H {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        (**self).map(inst, tb)
+    }
+}
+
+impl<H: Heuristic + ?Sized> Heuristic for Box<H> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        (**self).map(inst, tb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::EtcMatrix;
+    use crate::id::{m, t};
+    use crate::instance::Scenario;
+
+    /// Maps every task to the first machine — used to exercise the trait
+    /// plumbing (and deliberately terrible at makespan).
+    struct AllToFirst;
+    impl Heuristic for AllToFirst {
+        fn name(&self) -> &'static str {
+            "AllToFirst"
+        }
+        fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+            let mut map = Mapping::new(inst.etc.n_tasks());
+            for &task in inst.tasks {
+                map.assign(task, inst.machines[0]).unwrap();
+            }
+            map
+        }
+    }
+
+    #[test]
+    fn trait_objects_and_wrappers_work() {
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 2.0]]).unwrap(),
+        );
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut tb = TieBreaker::Deterministic;
+
+        let mut h: Box<dyn Heuristic> = Box::new(AllToFirst);
+        let mapping = h.map(&inst, &mut tb);
+        assert_eq!(h.name(), "AllToFirst");
+        assert_eq!(mapping.machine_of(t(0)), Some(m(0)));
+        assert_eq!(mapping.machine_of(t(1)), Some(m(0)));
+
+        let mut concrete = AllToFirst;
+        let by_ref: &mut AllToFirst = &mut concrete;
+        let mapping2 = by_ref.map(&inst, &mut tb);
+        assert_eq!(mapping2.len(), 2);
+        assert_eq!(by_ref.name(), "AllToFirst");
+    }
+}

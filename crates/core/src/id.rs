@@ -1,0 +1,100 @@
+//! Strongly-typed identifiers for tasks and machines.
+//!
+//! Both identifiers are dense indices into the full task / machine space of
+//! a [`Scenario`](crate::Scenario). When the iterative technique removes a
+//! machine from consideration, the identifier space does not shrink; the
+//! *active sets* carried by an [`Instance`](crate::Instance) do.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task (`t0`, `t1`, …), a dense index into the ETC rows.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a machine (`m0`, `m1`, …), a dense index into the ETC
+/// columns.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct MachineId(pub u32);
+
+impl TaskId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MachineId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+impl From<u32> for MachineId {
+    fn from(v: u32) -> Self {
+        MachineId(v)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples.
+#[inline]
+pub fn t(i: u32) -> TaskId {
+    TaskId(i)
+}
+
+/// Convenience constructor used pervasively in tests and examples.
+#[inline]
+pub fn m(i: u32) -> MachineId {
+    MachineId(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(t(3).to_string(), "t3");
+        assert_eq!(m(0).to_string(), "m0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(t(1) < t(2));
+        assert!(m(0) < m(7));
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        assert_eq!(t(9).idx(), 9);
+        assert_eq!(m(4).idx(), 4);
+        assert_eq!(TaskId::from(5), t(5));
+        assert_eq!(MachineId::from(6), m(6));
+    }
+}

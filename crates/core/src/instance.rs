@@ -1,0 +1,158 @@
+//! Problem scenarios and per-round instances.
+//!
+//! A [`Scenario`] is the full problem: an ETC matrix plus the *initial*
+//! ready time of every machine. An [`Instance`] is the view a heuristic
+//! sees for one mapping round: the scenario restricted to the currently
+//! *mappable tasks* and *considered machines*. The iterative technique
+//! shrinks the instance between rounds while the scenario stays fixed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::etc::EtcMatrix;
+use crate::id::{MachineId, TaskId};
+use crate::ready::ReadyTimes;
+use crate::time::Time;
+
+/// A complete problem: tasks, machines, ETC values and initial ready times.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Estimated time to compute each task on each machine.
+    pub etc: EtcMatrix,
+    /// The time each machine becomes available for its first task.
+    pub initial_ready: ReadyTimes,
+}
+
+impl Scenario {
+    /// A scenario whose machines are all ready at time zero (the setting of
+    /// every example in the paper).
+    pub fn with_zero_ready(etc: EtcMatrix) -> Self {
+        let n = etc.n_machines();
+        Scenario {
+            etc,
+            initial_ready: ReadyTimes::zero(n),
+        }
+    }
+
+    /// A scenario with explicit initial ready times.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ready` does not cover exactly the matrix's machines.
+    pub fn with_ready(etc: EtcMatrix, ready: ReadyTimes) -> Self {
+        assert_eq!(
+            ready.len(),
+            etc.n_machines(),
+            "ready times must cover every machine"
+        );
+        Scenario {
+            etc,
+            initial_ready: ready,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.etc.n_tasks()
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.etc.n_machines()
+    }
+
+    /// The full instance: all tasks mappable, all machines considered.
+    pub fn full_instance(&self) -> InstanceOwned {
+        InstanceOwned {
+            tasks: self.etc.task_vec(),
+            machines: self.etc.machine_vec(),
+        }
+    }
+}
+
+/// Borrowed view of a scenario restricted to active tasks and machines —
+/// what a [`Heuristic`](crate::Heuristic) maps in one invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct Instance<'a> {
+    /// The ETC matrix (full space; index with ids from the active sets).
+    pub etc: &'a EtcMatrix,
+    /// Mappable tasks, in canonical task-list order.
+    pub tasks: &'a [TaskId],
+    /// Considered machines, ascending index order.
+    pub machines: &'a [MachineId],
+    /// Initial ready times (full machine space).
+    pub ready: &'a ReadyTimes,
+}
+
+impl<'a> Instance<'a> {
+    /// Completion time of `t` on `m` given *current* ready times `rt`:
+    /// `CT(t, m) = ETC(t, m) + RT(m)` (Equation 1 of the paper).
+    #[inline]
+    pub fn ct(&self, t: TaskId, m: MachineId, rt: &ReadyTimes) -> Time {
+        self.etc.get(t, m) + rt.get(m)
+    }
+
+    /// A fresh copy of the initial ready times, the mutable working state a
+    /// heuristic advances as it assigns tasks.
+    pub fn working_ready(&self) -> ReadyTimes {
+        self.ready.clone()
+    }
+}
+
+/// Owned active sets; borrow with [`InstanceOwned::as_instance`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceOwned {
+    /// Mappable tasks, canonical order.
+    pub tasks: Vec<TaskId>,
+    /// Considered machines, ascending.
+    pub machines: Vec<MachineId>,
+}
+
+impl InstanceOwned {
+    /// Borrow as an [`Instance`] against a scenario.
+    pub fn as_instance<'a>(&'a self, scenario: &'a Scenario) -> Instance<'a> {
+        Instance {
+            etc: &scenario.etc,
+            tasks: &self.tasks,
+            machines: &self.machines,
+            ready: &scenario.initial_ready,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{m, t};
+
+    fn scen() -> Scenario {
+        Scenario::with_zero_ready(EtcMatrix::from_rows(&[vec![2.0, 4.0], vec![3.0, 1.0]]).unwrap())
+    }
+
+    #[test]
+    fn full_instance_covers_everything() {
+        let s = scen();
+        let inst = s.full_instance();
+        assert_eq!(inst.tasks, vec![t(0), t(1)]);
+        assert_eq!(inst.machines, vec![m(0), m(1)]);
+        assert_eq!(s.n_tasks(), 2);
+        assert_eq!(s.n_machines(), 2);
+    }
+
+    #[test]
+    fn ct_is_etc_plus_ready() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 4.0]]).unwrap();
+        let s = Scenario::with_ready(etc, ReadyTimes::from_values(&[1.0, 10.0]));
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let rt = inst.working_ready();
+        assert_eq!(inst.ct(t(0), m(0), &rt), Time::new(3.0));
+        assert_eq!(inst.ct(t(0), m(1), &rt), Time::new(14.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every machine")]
+    fn mismatched_ready_rejected() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 4.0]]).unwrap();
+        let _ = Scenario::with_ready(etc, ReadyTimes::zero(3));
+    }
+}

@@ -1,0 +1,586 @@
+//! The iterative technique for minimizing non-makespan machine completion
+//! times (Section 2 of the paper).
+//!
+//! Procedure:
+//!
+//! 1. Run the heuristic on all tasks and machines — the **original
+//!    mapping**.
+//! 2. Identify the makespan machine. Freeze it: its final finishing time is
+//!    its completion time in this round, and the tasks assigned to it are
+//!    removed from the mappable set.
+//! 3. Reset the ready times of all surviving machines to their *initial*
+//!    ready times, and re-run the same heuristic on the remaining tasks and
+//!    machines — an **iterative mapping**.
+//! 4. Repeat until only one machine remains; that machine's finishing time
+//!    is its completion time in the last round it participated in.
+//!
+//! The [`IterativeOutcome`] retains every round so analyses can ask the
+//! paper's questions: did any machine finish earlier than in the original
+//! mapping? did the makespan *increase* (which the paper proves possible
+//! for SWA, KPB and Sufferage even with deterministic ties, and for
+//! Min-Min/MCT/MET with random ties)?
+//!
+//! # Seeding guard
+//!
+//! The paper's conclusion observes that Genitor never loses ground because
+//! the previous round's mapping is *seeded* into its population, and
+//! suggests "implementing a form of seeding similar to Genitor's seeding to
+//! other heuristics would guarantee that a heuristic can never increase
+//! makespan from one iteration to the next". [`IterativeConfig::seed_guard`]
+//! implements exactly that: each round, the freshly produced mapping is
+//! compared with the previous round's mapping restricted to the surviving
+//! tasks, and the one with the smaller makespan (over the surviving
+//! machines) is kept; ties keep the previous mapping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::heuristic::Heuristic;
+use crate::id::{MachineId, TaskId};
+use crate::instance::{Instance, Scenario};
+use crate::mapping::{CompletionTimes, Mapping};
+use crate::tiebreak::TieBreaker;
+use crate::time::Time;
+
+/// How to choose the frozen machine when several tie for the largest
+/// completion time. The paper does not specify this; the default matches
+/// its "lowest reference number" convention for other ties. The choice is
+/// an ablation knob (DESIGN.md §4): with tie-rich workloads it decides
+/// *which* machine's tasks disappear, which can change every later round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MakespanTie {
+    /// Freeze the tied machine with the lowest index (default).
+    #[default]
+    LowestIndex,
+    /// Freeze the tied machine with the highest index.
+    HighestIndex,
+    /// Freeze the tied machine with the most assigned tasks (lowest index
+    /// on a further tie) — removes the most work per round.
+    MostTasks,
+}
+
+/// Options controlling the iterative driver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterativeConfig {
+    /// Apply the Genitor-style "keep the previous round's mapping unless
+    /// strictly better" guard (see module docs). Off by default — the
+    /// paper's main study runs without it.
+    pub seed_guard: bool,
+    /// Frozen-machine selection among makespan ties.
+    pub makespan_tie: MakespanTie,
+}
+
+/// One round of the iterative technique.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Round {
+    /// Machines considered this round (ascending index).
+    pub machines: Vec<MachineId>,
+    /// Tasks mapped this round (canonical order).
+    pub tasks: Vec<TaskId>,
+    /// The mapping produced (possibly the seeded previous mapping when the
+    /// guard is active and the fresh mapping was not strictly better).
+    pub mapping: Mapping,
+    /// Completion time of every considered machine.
+    pub completion: CompletionTimes,
+    /// The machine frozen at the end of this round (lowest index on ties).
+    pub makespan_machine: MachineId,
+    /// Its completion time — the round's makespan.
+    pub makespan: Time,
+    /// Whether the seed guard rejected the fresh mapping in favour of the
+    /// previous round's (always `false` in round 0 or when the guard is
+    /// off).
+    pub kept_seed: bool,
+}
+
+/// Full record of an iterative-technique run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IterativeOutcome {
+    /// Every round, in order; `rounds[0]` is the original mapping.
+    pub rounds: Vec<Round>,
+    /// Final finishing time of every machine of the scenario: the
+    /// completion time it had in the round it was frozen (or in the final
+    /// round, for the last surviving machine). Ascending machine order.
+    pub final_finish: Vec<(MachineId, Time)>,
+}
+
+impl IterativeOutcome {
+    /// The original (round-0) mapping record.
+    pub fn original(&self) -> &Round {
+        &self.rounds[0]
+    }
+
+    /// Final finishing time of machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` was not part of the scenario.
+    pub fn final_finish_of(&self, m: MachineId) -> Time {
+        self.final_finish
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .map(|&(_, t)| t)
+            .unwrap_or_else(|| panic!("machine {m} not in outcome"))
+    }
+
+    /// Makespan of the original mapping.
+    pub fn original_makespan(&self) -> Time {
+        self.rounds[0].makespan
+    }
+
+    /// Makespan after the whole procedure: the largest *final* finishing
+    /// time over all machines.
+    pub fn final_makespan(&self) -> Time {
+        self.final_finish
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .expect("outcome covers at least one machine")
+    }
+
+    /// `true` when the iterative technique made the overall makespan worse
+    /// than the original mapping's — the pathology the paper demonstrates
+    /// for SWA, KPB, Sufferage (deterministic ties) and for Min-Min, MCT,
+    /// MET (random ties).
+    pub fn makespan_increased(&self) -> bool {
+        self.final_makespan() > self.original_makespan()
+    }
+
+    /// Per-machine `(machine, original completion, final finish)` triples,
+    /// ascending machine order. `original - final > 0` means the machine
+    /// now finishes earlier — the improvement the technique is after.
+    pub fn deltas(&self) -> Vec<(MachineId, Time, Time)> {
+        self.final_finish
+            .iter()
+            .map(|&(m, fin)| (m, self.rounds[0].completion.get(m), fin))
+            .collect()
+    }
+
+    /// Number of machines that strictly improved / strictly worsened.
+    pub fn improvement_counts(&self) -> (usize, usize) {
+        let mut better = 0;
+        let mut worse = 0;
+        for (_, orig, fin) in self.deltas() {
+            if fin < orig {
+                better += 1;
+            } else if fin > orig {
+                worse += 1;
+            }
+        }
+        (better, worse)
+    }
+
+    /// Sum over machines of `max(original - final, 0)` — total finishing
+    /// time recovered on machines that improved.
+    pub fn total_improvement(&self) -> Time {
+        self.deltas()
+            .into_iter()
+            .filter(|&(_, orig, fin)| fin < orig)
+            .map(|(_, orig, fin)| orig - fin)
+            .sum()
+    }
+
+    /// `true` when every round reproduced the original mapping on the tasks
+    /// it considered — the conclusion of the paper's Theorems for Min-Min,
+    /// MCT and MET under deterministic ties.
+    pub fn mappings_identical(&self) -> bool {
+        let original = &self.rounds[0].mapping;
+        self.rounds.iter().skip(1).all(|round| {
+            round
+                .tasks
+                .iter()
+                .all(|&task| round.mapping.machine_of(task) == original.machine_of(task))
+        })
+    }
+}
+
+/// Runs the iterative technique. See the module docs for the procedure.
+///
+/// # Panics
+///
+/// Panics if the heuristic violates its contract (leaves a task unassigned
+/// or assigns to an inactive machine); use [`try_run`] to get the error
+/// instead.
+pub fn run<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+) -> IterativeOutcome {
+    try_run(heuristic, scenario, tb, IterativeConfig::default())
+        .expect("heuristic violated the mapping contract")
+}
+
+/// Runs the iterative technique with an explicit [`IterativeConfig`].
+///
+/// # Panics
+///
+/// Panics if the heuristic violates its contract; use [`try_run`] for the
+/// fallible version.
+pub fn run_with<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+) -> IterativeOutcome {
+    try_run(heuristic, scenario, tb, config).expect("heuristic violated the mapping contract")
+}
+
+/// Fallible driver: validates every mapping the heuristic produces.
+pub fn try_run<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+) -> Result<IterativeOutcome, Error> {
+    let mut tasks = scenario.etc.task_vec();
+    let mut machines = scenario.etc.machine_vec();
+    let mut rounds: Vec<Round> = Vec::new();
+    let mut final_finish: Vec<(MachineId, Time)> = Vec::new();
+
+    loop {
+        let inst = Instance {
+            etc: &scenario.etc,
+            tasks: &tasks,
+            machines: &machines,
+            ready: &scenario.initial_ready,
+        };
+        let fresh = heuristic.map(&inst, tb);
+        fresh.validate(&tasks, &machines)?;
+
+        // Seeding guard: compare against the previous round's mapping
+        // restricted to the surviving tasks (those tasks were all on
+        // surviving machines, by construction of the removal step).
+        let (mapping, kept_seed) = if config.seed_guard && !rounds.is_empty() {
+            let prev = rounds
+                .last()
+                .expect("guard only runs after round 0")
+                .mapping
+                .restricted_to(&tasks);
+            let fresh_ms = fresh.makespan(&scenario.etc, &scenario.initial_ready, &machines);
+            let prev_ms = prev.makespan(&scenario.etc, &scenario.initial_ready, &machines);
+            if fresh_ms < prev_ms {
+                (fresh, false)
+            } else {
+                (prev, true)
+            }
+        } else {
+            (fresh, false)
+        };
+
+        let completion =
+            mapping.completion_times(&scenario.etc, &scenario.initial_ready, &machines);
+        let (mk_machine, mk_time) =
+            pick_makespan_machine(&completion, &mapping, config.makespan_tie);
+        rounds.push(Round {
+            machines: machines.clone(),
+            tasks: tasks.clone(),
+            mapping,
+            completion,
+            makespan_machine: mk_machine,
+            makespan: mk_time,
+            kept_seed,
+        });
+
+        if machines.len() == 1 {
+            // The last surviving machine's finish is its completion in this
+            // final round.
+            final_finish.push((machines[0], mk_time));
+            break;
+        }
+
+        // Freeze the makespan machine and drop its tasks from the mappable
+        // set; all other machines reset to their initial ready times (which
+        // happens implicitly — each round maps against
+        // `scenario.initial_ready`).
+        final_finish.push((mk_machine, mk_time));
+        let frozen_mapping = &rounds.last().expect("just pushed").mapping;
+        tasks.retain(|&task| frozen_mapping.machine_of(task) != Some(mk_machine));
+        machines.retain(|&machine| machine != mk_machine);
+    }
+
+    final_finish.sort_by_key(|&(m, _)| m);
+    Ok(IterativeOutcome {
+        rounds,
+        final_finish,
+    })
+}
+
+/// Applies the configured tie rule among machines sharing the maximum
+/// completion time.
+fn pick_makespan_machine(
+    completion: &CompletionTimes,
+    mapping: &Mapping,
+    tie: MakespanTie,
+) -> (MachineId, Time) {
+    let (_, max_time) = completion.makespan_machine();
+    let tied: Vec<MachineId> = completion
+        .pairs()
+        .iter()
+        .filter(|&&(_, t)| t == max_time)
+        .map(|&(m, _)| m)
+        .collect();
+    let chosen = match tie {
+        MakespanTie::LowestIndex => tied[0],
+        MakespanTie::HighestIndex => *tied.last().expect("at least one tied machine"),
+        MakespanTie::MostTasks => {
+            let mut best = tied[0];
+            let mut best_count = mapping.tasks_on(best).len();
+            for &m in &tied[1..] {
+                let count = mapping.tasks_on(m).len();
+                if count > best_count {
+                    best = m;
+                    best_count = count;
+                }
+            }
+            best
+        }
+    };
+    (chosen, max_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::EtcMatrix;
+    use crate::id::{m, t};
+    use crate::mapping::Mapping;
+
+    /// Greedy MCT in miniature (task-list order, earliest completion,
+    /// canonical tie order) — enough to exercise the driver without
+    /// depending on `hcs-heuristics`.
+    struct MiniMct;
+    impl Heuristic for MiniMct {
+        fn name(&self) -> &'static str {
+            "mini-mct"
+        }
+        fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+            let mut rt = inst.working_ready();
+            let mut map = Mapping::new(inst.etc.n_tasks());
+            for &task in inst.tasks {
+                let (cands, _) = crate::select::min_candidates(
+                    inst.machines.iter().map(|&mm| (mm, inst.ct(task, mm, &rt))),
+                );
+                let chosen = cands[tb.pick(cands.len())];
+                rt.advance(chosen, inst.etc.get(task, chosen));
+                map.assign(task, chosen).unwrap();
+            }
+            map
+        }
+    }
+
+    /// A pathological heuristic: round 0 balances, later rounds pile
+    /// everything on the first machine — exercises the seed guard.
+    struct Degrading {
+        calls: usize,
+    }
+    impl Heuristic for Degrading {
+        fn name(&self) -> &'static str {
+            "degrading"
+        }
+        fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+            self.calls += 1;
+            if self.calls == 1 {
+                MiniMct.map(inst, tb)
+            } else {
+                let mut map = Mapping::new(inst.etc.n_tasks());
+                for &task in inst.tasks {
+                    map.assign(task, inst.machines[0]).unwrap();
+                }
+                map
+            }
+        }
+    }
+
+    fn scenario_3x3() -> Scenario {
+        Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![2.0, 5.0, 9.0],
+                vec![4.0, 1.0, 2.0],
+                vec![3.0, 4.0, 3.0],
+                vec![9.0, 2.0, 6.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn runs_until_one_machine_remains() {
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        // 3 machines -> 3 rounds (the last round has a single machine only
+        // if two removals happen first; with 3 machines rounds = 2 removals
+        // + final single-machine round when tasks remain... the driver
+        // breaks when |machines| == 1 *after* recording that round).
+        assert_eq!(outcome.rounds.last().unwrap().machines.len(), 1);
+        assert_eq!(outcome.final_finish.len(), 3);
+        // Every machine appears exactly once in final_finish.
+        let ms: Vec<MachineId> = outcome.final_finish.iter().map(|&(mm, _)| mm).collect();
+        assert_eq!(ms, vec![m(0), m(1), m(2)]);
+    }
+
+    #[test]
+    fn frozen_machine_keeps_its_round_completion() {
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        let r0 = &outcome.rounds[0];
+        assert_eq!(
+            outcome.final_finish_of(r0.makespan_machine),
+            r0.completion.get(r0.makespan_machine)
+        );
+    }
+
+    #[test]
+    fn single_machine_scenario_is_one_round() {
+        let s = Scenario::with_zero_ready(EtcMatrix::from_rows(&[vec![2.0], vec![3.0]]).unwrap());
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = run(&mut MiniMct, &s, &mut tb);
+        assert_eq!(outcome.rounds.len(), 1);
+        assert_eq!(outcome.final_finish, vec![(m(0), Time::new(5.0))]);
+        assert!(!outcome.makespan_increased());
+        assert!(outcome.mappings_identical());
+    }
+
+    #[test]
+    fn more_machines_than_tasks_freezes_idle_machines_gracefully() {
+        // After removals exhaust all tasks, remaining rounds map nothing and
+        // machines finish at their initial ready times.
+        let etc = EtcMatrix::from_rows(&[vec![5.0, 7.0, 9.0]]).unwrap();
+        let s = Scenario::with_ready(etc, crate::ReadyTimes::from_values(&[0.0, 1.0, 2.0]));
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = run(&mut MiniMct, &s, &mut tb);
+        // t0 -> m0 (CT 5). Round 0 makespan machine is m0 (5 > 1 > 2? No:
+        // completions are m0=5, m1=1, m2=2, so m0 freezes at 5).
+        assert_eq!(outcome.final_finish_of(m(0)), Time::new(5.0));
+        // Rounds 1, 2 have no tasks; machines finish at initial ready.
+        assert_eq!(outcome.final_finish_of(m(1)), Time::new(1.0));
+        assert_eq!(outcome.final_finish_of(m(2)), Time::new(2.0));
+        assert_eq!(outcome.rounds.len(), 3);
+        assert!(outcome.rounds[1].mapping.is_empty());
+    }
+
+    #[test]
+    fn deltas_and_counts_are_consistent() {
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        let deltas = outcome.deltas();
+        assert_eq!(deltas.len(), 3);
+        let (better, worse) = outcome.improvement_counts();
+        assert!(better + worse <= 3);
+        let improvement = outcome.total_improvement();
+        assert!(improvement >= Time::ZERO);
+        // The frozen makespan machine never changes, so it contributes no
+        // delta in either direction.
+        let mk = outcome.rounds[0].makespan_machine;
+        let (_, orig, fin) = deltas.into_iter().find(|&(mm, _, _)| mm == mk).unwrap();
+        assert_eq!(orig, fin);
+    }
+
+    #[test]
+    fn seed_guard_prevents_degradation() {
+        let s = scenario_3x3();
+        let mut tb = TieBreaker::Deterministic;
+        let unguarded = run(&mut Degrading { calls: 0 }, &s, &mut tb);
+        assert!(unguarded.makespan_increased());
+
+        let mut tb = TieBreaker::Deterministic;
+        let guarded = run_with(
+            &mut Degrading { calls: 0 },
+            &s,
+            &mut tb,
+            IterativeConfig {
+                seed_guard: true,
+                ..IterativeConfig::default()
+            },
+        );
+        assert!(!guarded.makespan_increased());
+        assert!(guarded.rounds.iter().skip(1).any(|r| r.kept_seed));
+    }
+
+    #[test]
+    fn makespan_tie_rules_pick_different_machines() {
+        // Two machines tie at 4; a third is idle except one small task.
+        let etc = EtcMatrix::from_rows(&[
+            vec![4.0, 9.0, 9.0],
+            vec![9.0, 2.0, 9.0],
+            vec![9.0, 2.0, 9.0],
+            vec![9.0, 9.0, 4.0],
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        // MiniMct: t0->m0 (4), t1->m1 (2), t2->m1 (4), t3->m2 (4): all tie at 4.
+        let run_tie = |tie: MakespanTie| {
+            let mut tb = TieBreaker::Deterministic;
+            let outcome = run_with(
+                &mut MiniMct,
+                &s,
+                &mut tb,
+                IterativeConfig {
+                    makespan_tie: tie,
+                    ..IterativeConfig::default()
+                },
+            );
+            outcome.rounds[0].makespan_machine
+        };
+        assert_eq!(run_tie(MakespanTie::LowestIndex), m(0));
+        assert_eq!(run_tie(MakespanTie::HighestIndex), m(2));
+        // m1 carries two tasks (t1, t2) — MostTasks picks it.
+        assert_eq!(run_tie(MakespanTie::MostTasks), m(1));
+    }
+
+    #[test]
+    fn makespan_tie_rules_agree_without_ties() {
+        let s = scenario_3x3();
+        let mut results = Vec::new();
+        for tie in [
+            MakespanTie::LowestIndex,
+            MakespanTie::HighestIndex,
+            MakespanTie::MostTasks,
+        ] {
+            let mut tb = TieBreaker::Deterministic;
+            let outcome = run_with(
+                &mut MiniMct,
+                &s,
+                &mut tb,
+                IterativeConfig {
+                    makespan_tie: tie,
+                    ..IterativeConfig::default()
+                },
+            );
+            results.push(outcome.final_finish);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn try_run_surfaces_contract_violations() {
+        struct Lazy;
+        impl Heuristic for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+                Mapping::new(inst.etc.n_tasks()) // assigns nothing
+            }
+        }
+        let mut tb = TieBreaker::Deterministic;
+        let err = try_run(
+            &mut Lazy,
+            &scenario_3x3(),
+            &mut tb,
+            IterativeConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::Unassigned(t(0)));
+    }
+
+    #[test]
+    fn mini_mct_deterministic_is_iteration_invariant() {
+        // A smoke-level check of the MCT theorem using the in-module mini
+        // implementation; the real theorem tests live in the workspace
+        // integration suite.
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        assert!(outcome.mappings_identical());
+        assert!(!outcome.makespan_increased());
+    }
+}

@@ -1,0 +1,95 @@
+//! Core model for resource allocation in heterogeneous computing (HC)
+//! systems, together with the *iterative technique* of Briceño, Oltikar,
+//! Siegel and Maciejewski, "Study of an Iterative Technique to Minimize
+//! Completion Times of Non-Makespan Machines" (IPDPS Workshops, 2007).
+//!
+//! # Model
+//!
+//! A set of independent tasks `T` must be executed on a suite of machines
+//! `M`. The *estimated time to compute* (ETC) of every task on every machine
+//! is known in advance and stored in an [`EtcMatrix`]. Each machine executes
+//! one task at a time, so a machine's *completion time* is its initial ready
+//! time plus the sum of the ETCs of the tasks assigned to it. The largest
+//! completion time over all machines is the **makespan**, and the machine
+//! attaining it is the **makespan machine**.
+//!
+//! A [`Heuristic`] produces a [`Mapping`] (an assignment of every mappable
+//! task to a machine) for an [`Instance`] — a view of the problem restricted
+//! to the currently-considered tasks and machines. Where a heuristic must
+//! choose between equally good alternatives, the choice is delegated to a
+//! [`TieBreaker`], which either resolves ties deterministically (the paper's
+//! "oldest task / lowest reference number" rule) or uniformly at random.
+//!
+//! # The iterative technique
+//!
+//! [`iterative::run`] implements the paper's contribution: run the heuristic
+//! to get the *original mapping*, freeze the makespan machine together with
+//! the tasks assigned to it, reset every other machine's ready time to its
+//! initial value, and re-run the same heuristic on the remaining tasks and
+//! machines. Repeat until a single machine remains. The goal is to reduce
+//! the finishing times of the *non-makespan* machines; the paper shows the
+//! technique is heuristic dependent and can even *increase* the makespan.
+//!
+//! # Quick example
+//!
+//! ```
+//! use hcs_core::{EtcMatrix, Scenario, TieBreaker, iterative};
+//!
+//! // Three tasks, two machines.
+//! let etc = EtcMatrix::from_rows(&[
+//!     vec![2.0, 4.0],
+//!     vec![3.0, 1.0],
+//!     vec![5.0, 5.0],
+//! ]).unwrap();
+//! let scenario = Scenario::with_zero_ready(etc);
+//!
+//! // A trivial heuristic: assign every task to the machine with the
+//! // smallest ETC (this is MET; real implementations live in
+//! // `hcs-heuristics`).
+//! struct Met;
+//! impl hcs_core::Heuristic for Met {
+//!     fn name(&self) -> &'static str { "MET" }
+//!     fn map(&mut self, inst: &hcs_core::Instance<'_>, tb: &mut TieBreaker)
+//!         -> hcs_core::Mapping
+//!     {
+//!         let mut mapping = hcs_core::Mapping::new(inst.etc.n_tasks());
+//!         for &t in inst.tasks {
+//!             let (cands, _) = hcs_core::select::min_candidates(
+//!                 inst.machines.iter().map(|&m| (m, inst.etc.get(t, m))));
+//!             let m = cands[tb.pick(cands.len())];
+//!             mapping.assign(t, m).unwrap();
+//!         }
+//!         mapping
+//!     }
+//! }
+//!
+//! let mut tb = TieBreaker::Deterministic;
+//! let outcome = iterative::run(&mut Met, &scenario, &mut tb);
+//! assert_eq!(outcome.rounds.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod etc;
+pub mod heuristic;
+pub mod id;
+pub mod instance;
+pub mod iterative;
+pub mod mapping;
+pub mod ready;
+pub mod select;
+pub mod tiebreak;
+pub mod time;
+
+pub use error::Error;
+pub use etc::EtcMatrix;
+pub use heuristic::Heuristic;
+pub use id::{MachineId, TaskId};
+pub use instance::{Instance, Scenario};
+pub use iterative::{IterativeConfig, IterativeOutcome, MakespanTie, Round};
+pub use mapping::{CompletionTimes, Mapping};
+pub use ready::ReadyTimes;
+pub use tiebreak::TieBreaker;
+pub use time::Time;

@@ -1,0 +1,366 @@
+//! Mappings (resource allocations) and the completion times they induce.
+//!
+//! A [`Mapping`] records, for each mappable task, the machine it was
+//! assigned to, *and* the order in which the heuristic made its assignments
+//! (the paper's tables list allocations step by step; several proofs reason
+//! about "the n-th task mapped"). Because tasks are independent and each
+//! machine executes one task at a time, a machine's completion time is its
+//! initial ready time plus the sum of the ETCs of its tasks — the order of
+//! tasks *on one machine* does not affect it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::etc::EtcMatrix;
+use crate::id::{MachineId, TaskId};
+use crate::ready::ReadyTimes;
+use crate::time::Time;
+
+/// A (partial or complete) assignment of tasks to machines, remembering the
+/// assignment order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// task idx -> machine, over the full task space.
+    assigned: Vec<Option<MachineId>>,
+    /// Assignment events in the order the heuristic made them.
+    order: Vec<(TaskId, MachineId)>,
+}
+
+impl Mapping {
+    /// An empty mapping over a task space of `n_tasks_total` tasks.
+    pub fn new(n_tasks_total: usize) -> Self {
+        Mapping {
+            assigned: vec![None; n_tasks_total],
+            order: Vec::new(),
+        }
+    }
+
+    /// Records the assignment of `t` to `m` as the next step.
+    pub fn assign(&mut self, t: TaskId, m: MachineId) -> Result<(), Error> {
+        let slot = self
+            .assigned
+            .get_mut(t.idx())
+            .ok_or(Error::TaskOutOfRange(t))?;
+        if slot.is_some() {
+            return Err(Error::DoubleAssignment(t));
+        }
+        *slot = Some(m);
+        self.order.push((t, m));
+        Ok(())
+    }
+
+    /// The machine `t` is assigned to, if any.
+    #[inline]
+    pub fn machine_of(&self, t: TaskId) -> Option<MachineId> {
+        self.assigned.get(t.idx()).copied().flatten()
+    }
+
+    /// The assignment steps in heuristic order.
+    #[inline]
+    pub fn order(&self) -> &[(TaskId, MachineId)] {
+        &self.order
+    }
+
+    /// Number of assigned tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when nothing has been assigned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Size of the underlying task space.
+    #[inline]
+    pub fn task_space(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Tasks assigned to `m`, in assignment order.
+    pub fn tasks_on(&self, m: MachineId) -> Vec<TaskId> {
+        self.order
+            .iter()
+            .filter(|&&(_, mm)| mm == m)
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// Validates that every task in `tasks` is assigned, and only to
+    /// machines in `machines`. Heuristic outputs are checked with this by
+    /// the iterative driver.
+    pub fn validate(&self, tasks: &[TaskId], machines: &[MachineId]) -> Result<(), Error> {
+        for &t in tasks {
+            match self.machine_of(t) {
+                None => return Err(Error::Unassigned(t)),
+                Some(m) => {
+                    if !machines.contains(&m) {
+                        return Err(Error::InactiveMachine(t, m));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completion time of every machine in `machines` under this mapping:
+    /// `RT(m) + Σ ETC(t, m)` over the tasks assigned to `m`.
+    pub fn completion_times(
+        &self,
+        etc: &EtcMatrix,
+        initial_ready: &ReadyTimes,
+        machines: &[MachineId],
+    ) -> CompletionTimes {
+        let mut pairs: Vec<(MachineId, Time)> = machines
+            .iter()
+            .map(|&m| (m, initial_ready.get(m)))
+            .collect();
+        for &(t, m) in &self.order {
+            if let Some(entry) = pairs.iter_mut().find(|(mm, _)| *mm == m) {
+                entry.1 += etc.get(t, m);
+            }
+        }
+        CompletionTimes { pairs }
+    }
+
+    /// Makespan over `machines` — the largest completion time.
+    pub fn makespan(
+        &self,
+        etc: &EtcMatrix,
+        initial_ready: &ReadyTimes,
+        machines: &[MachineId],
+    ) -> Time {
+        self.completion_times(etc, initial_ready, machines)
+            .makespan()
+    }
+
+    /// A copy of this mapping restricted to `tasks` (used by the seeding
+    /// guard: the previous round's mapping minus the frozen machine's
+    /// tasks). Assignment order is preserved.
+    pub fn restricted_to(&self, tasks: &[TaskId]) -> Mapping {
+        let keep: Vec<bool> = {
+            let mut k = vec![false; self.assigned.len()];
+            for &t in tasks {
+                if t.idx() < k.len() {
+                    k[t.idx()] = true;
+                }
+            }
+            k
+        };
+        let mut out = Mapping::new(self.assigned.len());
+        for &(t, m) in &self.order {
+            if keep[t.idx()] {
+                out.assign(t, m).expect("restriction preserves uniqueness");
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    /// Renders the assignment steps as `t0->m1, t2->m0, ...` (heuristic
+    /// order) — handy in test failure messages and debug logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (task, machine)) in self.order.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{task}->{machine}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Completion times of a set of machines under some mapping, in the machine
+/// order supplied at construction (ascending index, by convention).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionTimes {
+    pairs: Vec<(MachineId, Time)>,
+}
+
+impl CompletionTimes {
+    /// The `(machine, completion time)` pairs.
+    #[inline]
+    pub fn pairs(&self) -> &[(MachineId, Time)] {
+        &self.pairs
+    }
+
+    /// Completion time of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is not among the covered machines.
+    pub fn get(&self, m: MachineId) -> Time {
+        self.pairs
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .map(|&(_, t)| t)
+            .unwrap_or_else(|| panic!("machine {m} not in completion set"))
+    }
+
+    /// The makespan (largest completion time).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty machine set.
+    pub fn makespan(&self) -> Time {
+        self.makespan_machine().1
+    }
+
+    /// The makespan machine and its completion time. When several machines
+    /// tie for the largest completion time, the one with the **lowest
+    /// index** is reported (the paper does not specify this tie; see
+    /// DESIGN.md §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty machine set.
+    pub fn makespan_machine(&self) -> (MachineId, Time) {
+        let mut best: Option<(MachineId, Time)> = None;
+        for &(m, t) in &self.pairs {
+            match best {
+                None => best = Some((m, t)),
+                Some((bm, bt)) => {
+                    if t > bt || (t == bt && m < bm) {
+                        best = Some((m, t));
+                    }
+                }
+            }
+        }
+        best.expect("completion set is empty")
+    }
+
+    /// Mean completion time over the covered machines.
+    pub fn mean(&self) -> Time {
+        let total: Time = self.pairs.iter().map(|&(_, t)| t).sum();
+        total / (self.pairs.len() as f64)
+    }
+
+    /// Number of covered machines.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when no machines are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{m, t};
+
+    fn etc3x3() -> EtcMatrix {
+        EtcMatrix::from_rows(&[
+            vec![2.0, 5.0, 9.0],
+            vec![4.0, 1.0, 2.0],
+            vec![3.0, 3.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut map = Mapping::new(3);
+        map.assign(t(1), m(2)).unwrap();
+        map.assign(t(0), m(2)).unwrap();
+        assert_eq!(map.machine_of(t(1)), Some(m(2)));
+        assert_eq!(map.machine_of(t(2)), None);
+        assert_eq!(map.order(), &[(t(1), m(2)), (t(0), m(2))]);
+        assert_eq!(map.tasks_on(m(2)), vec![t(1), t(0)]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.task_space(), 3);
+    }
+
+    #[test]
+    fn display_lists_assignment_steps() {
+        let mut map = Mapping::new(3);
+        map.assign(t(1), m(2)).unwrap();
+        map.assign(t(0), m(0)).unwrap();
+        assert_eq!(map.to_string(), "t1->m2, t0->m0");
+        assert_eq!(Mapping::new(1).to_string(), "");
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let mut map = Mapping::new(2);
+        map.assign(t(0), m(0)).unwrap();
+        assert_eq!(map.assign(t(0), m(1)), Err(Error::DoubleAssignment(t(0))));
+        assert_eq!(map.assign(t(5), m(1)), Err(Error::TaskOutOfRange(t(5))));
+    }
+
+    #[test]
+    fn completion_times_sum_etcs_plus_ready() {
+        let etc = etc3x3();
+        let ready = ReadyTimes::from_values(&[1.0, 0.0, 0.0]);
+        let mut map = Mapping::new(3);
+        map.assign(t(0), m(0)).unwrap(); // 2 on m0
+        map.assign(t(2), m(0)).unwrap(); // 3 on m0
+        map.assign(t(1), m(1)).unwrap(); // 1 on m1
+        let ct = map.completion_times(&etc, &ready, &[m(0), m(1), m(2)]);
+        assert_eq!(ct.get(m(0)), Time::new(6.0)); // 1 + 2 + 3
+        assert_eq!(ct.get(m(1)), Time::new(1.0));
+        assert_eq!(ct.get(m(2)), Time::new(0.0));
+        assert_eq!(ct.makespan(), Time::new(6.0));
+        assert_eq!(ct.makespan_machine(), (m(0), Time::new(6.0)));
+        assert_eq!(ct.mean(), Time::new(7.0 / 3.0));
+    }
+
+    #[test]
+    fn makespan_tie_resolves_to_lowest_index() {
+        let etc = EtcMatrix::from_rows(&[vec![4.0, 4.0], vec![4.0, 4.0]]).unwrap();
+        let ready = ReadyTimes::zero(2);
+        let mut map = Mapping::new(2);
+        map.assign(t(0), m(1)).unwrap();
+        map.assign(t(1), m(0)).unwrap();
+        let ct = map.completion_times(&etc, &ready, &[m(0), m(1)]);
+        assert_eq!(ct.makespan_machine(), (m(0), Time::new(4.0)));
+    }
+
+    #[test]
+    fn validate_catches_gaps_and_strays() {
+        let mut map = Mapping::new(3);
+        map.assign(t(0), m(0)).unwrap();
+        assert_eq!(
+            map.validate(&[t(0), t(1)], &[m(0)]),
+            Err(Error::Unassigned(t(1)))
+        );
+        map.assign(t(1), m(2)).unwrap();
+        assert_eq!(
+            map.validate(&[t(0), t(1)], &[m(0), m(1)]),
+            Err(Error::InactiveMachine(t(1), m(2)))
+        );
+        assert_eq!(map.validate(&[t(0), t(1)], &[m(0), m(2)]), Ok(()));
+    }
+
+    #[test]
+    fn restriction_keeps_order_and_drops_tasks() {
+        let mut map = Mapping::new(4);
+        map.assign(t(3), m(0)).unwrap();
+        map.assign(t(1), m(1)).unwrap();
+        map.assign(t(0), m(0)).unwrap();
+        let r = map.restricted_to(&[t(3), t(0)]);
+        assert_eq!(r.order(), &[(t(3), m(0)), (t(0), m(0))]);
+        assert_eq!(r.machine_of(t(1)), None);
+    }
+
+    #[test]
+    fn completion_ignores_tasks_on_machines_outside_set() {
+        // Tasks frozen on a removed machine must not pollute the surviving
+        // machines' completion times.
+        let etc = etc3x3();
+        let ready = ReadyTimes::zero(3);
+        let mut map = Mapping::new(3);
+        map.assign(t(0), m(0)).unwrap();
+        map.assign(t(1), m(1)).unwrap();
+        let ct = map.completion_times(&etc, &ready, &[m(1), m(2)]);
+        assert_eq!(ct.len(), 2);
+        assert_eq!(ct.get(m(1)), Time::new(1.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Machine ready times.
+//!
+//! The *initial ready time* of a machine is the time at which it becomes
+//! available to begin processing its first task from the considered set
+//! (Section 2 of the paper). During mapping the *current* ready time of a
+//! machine is its initial ready time plus the ETCs of the tasks already
+//! assigned to it; between iterations of the iterative technique the ready
+//! times of the surviving machines are **reset to their initial values**.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::MachineId;
+use crate::time::Time;
+
+/// Per-machine ready times, indexed by [`MachineId`] over the *full*
+/// machine space of a scenario (inactive machines simply keep their entry).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadyTimes {
+    times: Vec<Time>,
+}
+
+impl ReadyTimes {
+    /// All machines ready at time zero.
+    pub fn zero(n_machines: usize) -> Self {
+        ReadyTimes {
+            times: vec![Time::ZERO; n_machines],
+        }
+    }
+
+    /// Ready times from explicit values.
+    pub fn from_values(values: &[f64]) -> Self {
+        ReadyTimes {
+            times: values.iter().map(|&v| Time::new(v)).collect(),
+        }
+    }
+
+    /// Number of machines covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no machines are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Ready time of machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is out of range.
+    #[inline]
+    pub fn get(&self, m: MachineId) -> Time {
+        self.times[m.idx()]
+    }
+
+    /// Sets the ready time of machine `m`.
+    #[inline]
+    pub fn set(&mut self, m: MachineId, t: Time) {
+        self.times[m.idx()] = t;
+    }
+
+    /// Adds `dt` to machine `m`'s ready time (a task was placed on it).
+    #[inline]
+    pub fn advance(&mut self, m: MachineId, dt: Time) {
+        self.times[m.idx()] += dt;
+    }
+
+    /// Raw slice view (indexed by machine id).
+    #[inline]
+    pub fn as_slice(&self) -> &[Time] {
+        &self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::m;
+
+    #[test]
+    fn zero_and_values() {
+        let z = ReadyTimes::zero(3);
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+        assert_eq!(z.get(m(2)), Time::ZERO);
+
+        let r = ReadyTimes::from_values(&[1.0, 2.5]);
+        assert_eq!(r.get(m(1)), Time::new(2.5));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut r = ReadyTimes::zero(2);
+        r.advance(m(0), Time::new(3.0));
+        r.advance(m(0), Time::new(1.5));
+        assert_eq!(r.get(m(0)), Time::new(4.5));
+        assert_eq!(r.get(m(1)), Time::ZERO);
+        r.set(m(1), Time::new(9.0));
+        assert_eq!(r.as_slice()[1], Time::new(9.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Candidate selection helpers shared by all heuristics.
+//!
+//! The contract with [`TieBreaker`](crate::TieBreaker) is that candidate
+//! lists are produced in *canonical order*: the iteration order of the input
+//! is preserved, so callers iterate tasks in task-list order and machines in
+//! ascending index order. Ties are *exact* [`Time`] equality (see
+//! [`crate::time`] for why that is faithful to the paper).
+
+use crate::time::Time;
+
+/// Collects every key achieving the minimum value, preserving input order.
+/// Returns the tied keys and the minimum itself.
+///
+/// # Panics
+///
+/// Panics on an empty iterator — heuristics never select from nothing.
+pub fn min_candidates<K, I>(iter: I) -> (Vec<K>, Time)
+where
+    I: IntoIterator<Item = (K, Time)>,
+{
+    extreme_candidates(iter, |challenger, best| challenger < best)
+}
+
+/// Collects every key achieving the maximum value, preserving input order.
+///
+/// # Panics
+///
+/// Panics on an empty iterator.
+pub fn max_candidates<K, I>(iter: I) -> (Vec<K>, Time)
+where
+    I: IntoIterator<Item = (K, Time)>,
+{
+    extreme_candidates(iter, |challenger, best| challenger > best)
+}
+
+fn extreme_candidates<K, I>(iter: I, better: impl Fn(Time, Time) -> bool) -> (Vec<K>, Time)
+where
+    I: IntoIterator<Item = (K, Time)>,
+{
+    let mut it = iter.into_iter();
+    let (first_k, first_v) = it
+        .next()
+        .expect("cannot select a candidate from an empty set");
+    let mut keys = vec![first_k];
+    let mut best = first_v;
+    for (k, v) in it {
+        if better(v, best) {
+            best = v;
+            keys.clear();
+            keys.push(k);
+        } else if v == best {
+            keys.push(k);
+        }
+    }
+    (keys, best)
+}
+
+/// The two smallest values of an iterator (used by Sufferage: the sufferage
+/// value is *second earliest completion time minus earliest completion
+/// time*). Returns `(min, second_min)`; when only one element exists the
+/// second component is `None`.
+pub fn two_smallest<I>(iter: I) -> (Time, Option<Time>)
+where
+    I: IntoIterator<Item = Time>,
+{
+    let mut it = iter.into_iter();
+    let mut min = it.next().expect("two_smallest needs at least one element");
+    let mut second: Option<Time> = None;
+    for v in it {
+        if v < min {
+            second = Some(min);
+            min = v;
+        } else if second.is_none_or(|s| v < s) {
+            second = Some(v);
+        }
+    }
+    (min, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn min_candidates_collects_all_ties_in_order() {
+        let (keys, best) = min_candidates(vec![("a", t(3.0)), ("b", t(1.0)), ("c", t(1.0))]);
+        assert_eq!(keys, vec!["b", "c"]);
+        assert_eq!(best, t(1.0));
+    }
+
+    #[test]
+    fn max_candidates_collects_all_ties_in_order() {
+        let (keys, best) = max_candidates(vec![("a", t(3.0)), ("b", t(3.0)), ("c", t(1.0))]);
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(best, t(3.0));
+    }
+
+    #[test]
+    fn single_element() {
+        let (keys, best) = min_candidates(vec![(7u32, t(5.0))]);
+        assert_eq!(keys, vec![7]);
+        assert_eq!(best, t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_input_panics() {
+        let _ = min_candidates(Vec::<(u32, Time)>::new());
+    }
+
+    #[test]
+    fn two_smallest_basic() {
+        assert_eq!(
+            two_smallest(vec![t(4.0), t(2.0), t(9.0), t(3.0)]),
+            (t(2.0), Some(t(3.0)))
+        );
+        assert_eq!(two_smallest(vec![t(4.0)]), (t(4.0), None));
+        // Duplicated minimum: the duplicate is the second smallest, so the
+        // sufferage value is zero, matching the intuition that the task
+        // would not suffer at all.
+        assert_eq!(
+            two_smallest(vec![t(2.0), t(2.0), t(5.0)]),
+            (t(2.0), Some(t(2.0)))
+        );
+    }
+
+    #[test]
+    fn two_smallest_descending_input() {
+        assert_eq!(
+            two_smallest(vec![t(9.0), t(7.0), t(5.0)]),
+            (t(5.0), Some(t(7.0)))
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Tie-breaking policies.
+//!
+//! A *tie* occurs when a heuristic must choose from two or more equally good
+//! alternatives — e.g. two machines give a task the same minimum completion
+//! time. The paper studies two policies (Section 2):
+//!
+//! * **deterministic** — a fixed rule such as "the oldest task" or "the
+//!   machine with the lowest reference number";
+//! * **random** — each tied alternative is chosen with equal probability.
+//!
+//! Heuristic implementations are required to present tied candidates in
+//! *canonical order* (task-list order for tasks, ascending machine index for
+//! machines). [`TieBreaker::Deterministic`] then picks the first candidate,
+//! which realizes exactly the paper's deterministic rules, and
+//! [`TieBreaker::Random`] picks uniformly.
+//!
+//! Whether the iterative technique changes a mapping "often depends on how
+//! ties are broken within a heuristic" — this type is how the distinction is
+//! threaded through every heuristic.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A tie-breaking policy, carried mutably through a heuristic run so that a
+/// random policy can draw from its own reproducible RNG stream.
+#[derive(Debug, Clone)]
+// StdRng makes the Random variant large; tie-breakers are created once per
+// run and passed by reference, so inline storage beats boxing here.
+#[allow(clippy::large_enum_variant)]
+pub enum TieBreaker {
+    /// Always pick the first candidate in canonical order.
+    Deterministic,
+    /// Pick uniformly at random among the candidates.
+    Random(StdRng),
+    /// Replay a fixed sequence of choices: each *genuine* tie (two or more
+    /// candidates) consumes the next scripted index; after the script is
+    /// exhausted, behave deterministically. Used to reproduce the exact
+    /// tie-break paths of the paper's worked examples.
+    Scripted(VecDeque<usize>),
+}
+
+impl TieBreaker {
+    /// A random tie-breaker seeded for reproducibility.
+    pub fn random(seed: u64) -> Self {
+        TieBreaker::Random(StdRng::seed_from_u64(seed))
+    }
+
+    /// A scripted tie-breaker that replays `choices` (see
+    /// [`TieBreaker::Scripted`]).
+    pub fn scripted<I: IntoIterator<Item = usize>>(choices: I) -> Self {
+        TieBreaker::Scripted(choices.into_iter().collect())
+    }
+
+    /// Chooses an index in `0..n` among `n` tied candidates presented in
+    /// canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`; a heuristic must never ask to break an empty
+    /// tie.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot break a tie among zero candidates");
+        match self {
+            TieBreaker::Deterministic => 0,
+            TieBreaker::Random(rng) => {
+                if n == 1 {
+                    // Do not consume randomness for trivial "ties": keeps
+                    // RNG streams comparable between instances that differ
+                    // only in how many singleton choices they make.
+                    0
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+            TieBreaker::Scripted(choices) => {
+                if n == 1 {
+                    0 // like Random: singletons consume nothing
+                } else {
+                    choices.pop_front().map_or(0, |c| c.min(n - 1))
+                }
+            }
+        }
+    }
+
+    /// `true` for the deterministic policy.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, TieBreaker::Deterministic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_always_first() {
+        let mut tb = TieBreaker::Deterministic;
+        for n in 1..10 {
+            assert_eq!(tb.pick(n), 0);
+        }
+        assert!(tb.is_deterministic());
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let mut a = TieBreaker::random(42);
+        let mut b = TieBreaker::random(42);
+        for n in [2usize, 3, 5, 7] {
+            let x = a.pick(n);
+            assert_eq!(x, b.pick(n));
+            assert!(x < n);
+        }
+        assert!(!a.is_deterministic());
+    }
+
+    #[test]
+    fn random_covers_all_candidates_eventually() {
+        let mut tb = TieBreaker::random(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[tb.pick(3)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn singleton_choice_consumes_no_randomness() {
+        let mut a = TieBreaker::random(5);
+        let mut b = TieBreaker::random(5);
+        let _ = a.pick(1); // must not advance the stream
+        assert_eq!(a.pick(4), b.pick(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero candidates")]
+    fn empty_tie_is_a_bug() {
+        TieBreaker::Deterministic.pick(0);
+    }
+
+    #[test]
+    fn scripted_replays_then_falls_back_to_first() {
+        let mut tb = TieBreaker::scripted([1, 0, 2]);
+        assert_eq!(tb.pick(3), 1);
+        assert_eq!(tb.pick(1), 0); // singleton consumes nothing
+        assert_eq!(tb.pick(2), 0);
+        assert_eq!(tb.pick(4), 2);
+        assert_eq!(tb.pick(4), 0); // exhausted -> deterministic
+        assert!(!tb.is_deterministic());
+    }
+
+    #[test]
+    fn scripted_clamps_out_of_range_choices() {
+        let mut tb = TieBreaker::scripted([9]);
+        assert_eq!(tb.pick(3), 2);
+    }
+}

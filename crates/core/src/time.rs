@@ -1,0 +1,219 @@
+//! A totally-ordered, finite wall-clock quantity.
+//!
+//! ETC values, ready times, completion times and makespans are all [`Time`]s.
+//! The type wraps an `f64` but maintains the invariant that the value is
+//! finite, which makes a total order (and therefore `Eq`/`Ord`) sound.
+//!
+//! # Ties
+//!
+//! The paper's tie semantics are *exact equality* of completion times
+//! ("the heuristic determines both mappings are the best possible
+//! mappings"). All quantities in the paper's examples are small dyadic
+//! rationals (e.g. `6.5`), for which `f64` addition is exact, so exact
+//! comparison is the faithful reproduction. Workload generators in
+//! `hcs-etcgen` produce continuous values where exact ties essentially never
+//! occur; [`Time::approx_eq`] is available for analyses that want a
+//! tolerance.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A finite, non-NaN time value (seconds, abstract units — the model does
+/// not care).
+#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(f64);
+
+impl Time {
+    /// The zero time.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a new `Time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite (NaN or infinite); the finiteness
+    /// invariant is what makes `Ord` sound.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite(), "Time must be finite, got {v}");
+        Time(v)
+    }
+
+    /// Fallible constructor: returns `None` when `v` is not finite.
+    #[inline]
+    pub fn try_new(v: f64) -> Option<Self> {
+        v.is_finite().then_some(Time(v))
+    }
+
+    /// The underlying `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// `true` when `|self - other| <= eps`.
+    #[inline]
+    pub fn approx_eq(self, other: Time, eps: f64) -> bool {
+        (self.0 - other.0).abs() <= eps
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Time {}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite invariant means total_cmp agrees with the usual order and
+        // never has to distinguish NaNs.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print integers without a trailing ".0" to match the paper's
+        // tables ("5", "6.5").
+        if self.0.fract() == 0.0 && self.0.abs() < 1e15 {
+            write!(f, "{}", self.0 as i64)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<Time> for f64 {
+    fn from(t: Time) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_exact_on_dyadic_rationals() {
+        let a = Time::new(2.5);
+        let b = Time::new(4.0);
+        assert_eq!(a + b, Time::new(6.5));
+        assert_eq!(b - a, Time::new(1.5));
+        assert_eq!((a + b).to_string(), "6.5");
+        assert_eq!(b.to_string(), "4");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Time::new(3.0), Time::new(1.0), Time::new(2.0)];
+        v.sort();
+        assert_eq!(v, vec![Time::new(1.0), Time::new(2.0), Time::new(3.0)]);
+        assert_eq!(Time::new(1.0).max(Time::new(2.0)), Time::new(2.0));
+        assert_eq!(Time::new(1.0).min(Time::new(2.0)), Time::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_filters_non_finite() {
+        assert!(Time::try_new(f64::INFINITY).is_none());
+        assert_eq!(Time::try_new(1.0), Some(Time::new(1.0)));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: Time = [1.0, 2.0, 3.5].iter().map(|&v| Time::new(v)).sum();
+        assert_eq!(s, Time::new(6.5));
+    }
+
+    #[test]
+    fn approx_eq_uses_tolerance() {
+        assert!(Time::new(1.0).approx_eq(Time::new(1.0 + 1e-12), 1e-9));
+        assert!(!Time::new(1.0).approx_eq(Time::new(1.1), 1e-9));
+    }
+
+    #[test]
+    fn scalar_mul_div() {
+        assert_eq!(Time::new(3.0) * 2.0, Time::new(6.0));
+        assert_eq!(Time::new(3.0) / 2.0, Time::new(1.5));
+    }
+}

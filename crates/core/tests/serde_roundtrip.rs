@@ -1,0 +1,91 @@
+//! JSON round-trips for the core model types — experiment outputs are
+//! archived as serialized structures, so every public data type must
+//! survive serialize → deserialize unchanged.
+
+use hcs_core::{
+    iterative, select, EtcMatrix, Heuristic, Instance, IterativeOutcome, MachineId, Mapping,
+    ReadyTimes, Scenario, TaskId, TieBreaker, Time,
+};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn time_serializes_transparently() {
+    let t = Time::new(6.5);
+    assert_eq!(serde_json::to_string(&t).unwrap(), "6.5");
+    assert_eq!(roundtrip(&t), t);
+}
+
+#[test]
+fn ids_round_trip() {
+    assert_eq!(roundtrip(&TaskId(7)), TaskId(7));
+    assert_eq!(roundtrip(&MachineId(3)), MachineId(3));
+}
+
+#[test]
+fn etc_matrix_round_trips() {
+    let etc = EtcMatrix::from_rows(&[vec![1.0, 2.5], vec![3.0, 4.0]]).unwrap();
+    assert_eq!(roundtrip(&etc), etc);
+}
+
+#[test]
+fn scenario_and_ready_times_round_trip() {
+    let etc = EtcMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+    let scenario = Scenario::with_ready(etc, ReadyTimes::from_values(&[0.5, 0.0]));
+    assert_eq!(roundtrip(&scenario), scenario);
+}
+
+#[test]
+fn mapping_round_trips_with_order() {
+    let mut mapping = Mapping::new(3);
+    mapping.assign(TaskId(2), MachineId(1)).unwrap();
+    mapping.assign(TaskId(0), MachineId(1)).unwrap();
+    let back = roundtrip(&mapping);
+    assert_eq!(back, mapping);
+    assert_eq!(back.order(), mapping.order());
+    assert_eq!(back.tasks_on(MachineId(1)), vec![TaskId(2), TaskId(0)]);
+}
+
+#[test]
+fn full_iterative_outcome_round_trips() {
+    struct MiniMct;
+    impl Heuristic for MiniMct {
+        fn name(&self) -> &'static str {
+            "mini"
+        }
+        fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+            let mut ready = inst.working_ready();
+            let mut map = Mapping::new(inst.etc.n_tasks());
+            for &task in inst.tasks {
+                let (cands, _) = select::min_candidates(
+                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                );
+                let machine = cands[tb.pick(cands.len())];
+                ready.advance(machine, inst.etc.get(task, machine));
+                map.assign(task, machine).unwrap();
+            }
+            map
+        }
+    }
+    let scenario = Scenario::with_zero_ready(
+        EtcMatrix::from_rows(&[
+            vec![2.0, 5.0, 9.0],
+            vec![4.0, 1.0, 2.0],
+            vec![3.0, 4.0, 3.0],
+        ])
+        .unwrap(),
+    );
+    let mut tb = TieBreaker::Deterministic;
+    let outcome = iterative::run(&mut MiniMct, &scenario, &mut tb);
+    let back: IterativeOutcome = roundtrip(&outcome);
+    assert_eq!(back, outcome);
+    // Derived quantities survive too.
+    assert_eq!(back.final_makespan(), outcome.final_makespan());
+    assert_eq!(back.mappings_identical(), outcome.mappings_identical());
+}

@@ -1,0 +1,141 @@
+//! A self-contained Gamma sampler (Marsaglia & Tsang, 2000).
+//!
+//! The CVB generation method of Ali et al. draws task means and ETC entries
+//! from Gamma distributions. Rather than pulling in `rand_distr` for a
+//! single distribution, we implement the standard squeeze-free
+//! Marsaglia–Tsang method: for shape `alpha >= 1`,
+//!
+//! ```text
+//! d = alpha - 1/3,  c = 1 / sqrt(9 d)
+//! repeat:
+//!   x ~ Normal(0, 1);  v = (1 + c x)^3       (reject while v <= 0)
+//!   u ~ U(0, 1)
+//!   accept when ln(u) < x^2 / 2 + d - d v + d ln(v)
+//! return d * v
+//! ```
+//!
+//! and for `alpha < 1` the standard boost: sample with shape `alpha + 1`
+//! and multiply by `U(0,1)^(1/alpha)`.
+
+use rand::Rng;
+
+/// Draws one sample from `Gamma(shape = alpha, scale = theta)`.
+///
+/// # Panics
+///
+/// Panics unless `alpha > 0` and `theta > 0`.
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, alpha: f64, theta: f64) -> f64 {
+    assert!(alpha > 0.0, "gamma shape must be positive, got {alpha}");
+    assert!(theta > 0.0, "gamma scale must be positive, got {theta}");
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_shape_ge1(rng, alpha + 1.0) * u.powf(1.0 / alpha) * theta;
+    }
+    sample_shape_ge1(rng, alpha) * theta
+}
+
+/// Marsaglia–Tsang for `alpha >= 1`, unit scale.
+fn sample_shape_ge1<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    debug_assert!(alpha >= 1.0);
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Box–Muller standard normal (one value per call; simplicity over caching
+/// the pair — this is workload generation, not an inner loop).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Empirical mean/variance of Gamma(alpha, theta) should approach
+    /// `alpha*theta` and `alpha*theta^2`.
+    fn check_moments(alpha: f64, theta: f64) {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample(&mut rng, alpha, theta)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let exp_mean = alpha * theta;
+        let exp_var = alpha * theta * theta;
+        assert!(
+            (mean - exp_mean).abs() / exp_mean < 0.05,
+            "mean {mean} vs expected {exp_mean} (alpha={alpha})"
+        );
+        assert!(
+            (var - exp_var).abs() / exp_var < 0.15,
+            "var {var} vs expected {exp_var} (alpha={alpha})"
+        );
+    }
+
+    #[test]
+    fn moments_shape_above_one() {
+        check_moments(2.5, 3.0);
+        check_moments(10.0, 0.5);
+    }
+
+    #[test]
+    fn moments_shape_below_one() {
+        check_moments(0.5, 2.0);
+    }
+
+    #[test]
+    fn moments_high_shape_low_cv() {
+        // CVB with v = 0.1 means alpha = 100.
+        check_moments(100.0, 1.0);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(sample(&mut rng, 1.2345, 10.0) > 0.0);
+            assert!(sample(&mut rng, 0.4, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn zero_shape_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample(&mut rng, 1.0, 0.0);
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal var {var}");
+    }
+}

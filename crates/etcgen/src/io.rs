@@ -1,0 +1,214 @@
+//! Plain-text (CSV) serialization of ETC matrices.
+//!
+//! The HC-scheduling literature exchanges ETC matrices as simple numeric
+//! grids (one row per task, one column per machine). This module reads and
+//! writes that format so externally published matrices can be fed to the
+//! harness and generated workloads can be archived.
+//!
+//! Format: comma-separated `f64` values, one task per line. Blank lines and
+//! lines starting with `#` are ignored. No header row — the matrix shape is
+//! inferred.
+
+use std::fmt;
+use std::path::Path;
+
+use hcs_core::{EtcMatrix, Time};
+
+/// Errors from parsing an ETC CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input contained no data rows.
+    Empty,
+    /// A row had a different number of columns than the first row.
+    RaggedRow {
+        /// 1-based data-row number.
+        row: usize,
+        /// Columns found.
+        found: usize,
+        /// Columns expected (from the first row).
+        expected: usize,
+    },
+    /// A cell failed to parse as a finite non-negative number.
+    BadCell {
+        /// 1-based data-row number.
+        row: usize,
+        /// 1-based column number.
+        col: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => {
+                write!(f, "row {row} has {found} columns, expected {expected}")
+            }
+            CsvError::BadCell { row, col, text } => {
+                write!(f, "row {row}, column {col}: cannot parse {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses an ETC matrix from CSV text.
+pub fn parse_csv(text: &str) -> Result<EtcMatrix, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row_no = rows.len() + 1;
+        let mut row = Vec::new();
+        for (c, cell) in line.split(',').enumerate() {
+            let cell = cell.trim();
+            let value: f64 = cell.parse().map_err(|_| CsvError::BadCell {
+                row: row_no,
+                col: c + 1,
+                text: cell.to_string(),
+            })?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(CsvError::BadCell {
+                    row: row_no,
+                    col: c + 1,
+                    text: cell.to_string(),
+                });
+            }
+            row.push(value);
+        }
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(CsvError::RaggedRow {
+                    row: row_no,
+                    found: row.len(),
+                    expected: first.len(),
+                });
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    EtcMatrix::from_rows(&rows).map_err(|_| CsvError::Empty)
+}
+
+/// Renders an ETC matrix as CSV text (with a provenance comment line).
+pub fn to_csv(etc: &EtcMatrix) -> String {
+    let mut out = format!(
+        "# ETC matrix: {} tasks x {} machines\n",
+        etc.n_tasks(),
+        etc.n_machines()
+    );
+    for t in etc.tasks() {
+        let row: Vec<String> = etc.row(t).iter().map(Time::to_string).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads an ETC matrix from a CSV file.
+pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Result<EtcMatrix, CsvError>> {
+    Ok(parse_csv(&std::fs::read_to_string(path)?))
+}
+
+/// Writes an ETC matrix to a CSV file.
+pub fn save<P: AsRef<Path>>(etc: &EtcMatrix, path: P) -> std::io::Result<()> {
+    std::fs::write(path, to_csv(etc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+
+    #[test]
+    fn round_trips_through_csv() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 2.5, 3.0], vec![4.0, 5.0, 6.5]]).unwrap();
+        let text = to_csv(&etc);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, etc);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_whitespace_tolerated() {
+        let text = "# header\n\n 1 , 2 \n# middle\n3,4\n";
+        let etc = parse_csv(text).unwrap();
+        assert_eq!(etc.n_tasks(), 2);
+        assert_eq!(etc.get(t(0), m(1)), Time::new(2.0));
+        assert_eq!(etc.get(t(1), m(0)), Time::new(3.0));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = parse_csv("1,2\n3\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                found: 1,
+                expected: 2
+            }
+        );
+        assert!(err.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn bad_cells_rejected() {
+        assert!(matches!(
+            parse_csv("1,zebra\n"),
+            Err(CsvError::BadCell { row: 1, col: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("1,-3\n"),
+            Err(CsvError::BadCell { row: 1, col: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("inf,1\n"),
+            Err(CsvError::BadCell { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_csv("# only comments\n"), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let etc = crate::EtcSpec::braun(
+            6,
+            3,
+            crate::Consistency::Inconsistent,
+            crate::Heterogeneity::Lo,
+            crate::Heterogeneity::Lo,
+        )
+        .generate(1);
+        let dir = std::env::temp_dir().join("hcs_etcgen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("etc.csv");
+        save(&etc, &path).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        // f64 -> Display -> parse is lossy for long decimals; compare with
+        // a tolerance.
+        assert_eq!(loaded.n_tasks(), etc.n_tasks());
+        for task in etc.tasks() {
+            for machine in etc.machines() {
+                assert!(loaded
+                    .get(task, machine)
+                    .approx_eq(etc.get(task, machine), 1e-9));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

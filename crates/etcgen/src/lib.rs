@@ -1,0 +1,291 @@
+//! ETC-matrix workload generation for heterogeneous-computing studies.
+//!
+//! The paper's evaluation universe (via its refs \[3\] Braun et al. and
+//! \[1\] Ali et al.) is a family of synthetic ETC matrices classified along
+//! three axes:
+//!
+//! * **task heterogeneity** — how much execution times vary *across tasks*;
+//! * **machine heterogeneity** — how much they vary *across machines* for
+//!   one task;
+//! * **consistency** — *consistent* matrices have a fixed machine speed
+//!   order (machine `a` faster than `b` for one task ⇒ faster for all),
+//!   *inconsistent* matrices have none, and *semi-consistent* matrices have
+//!   a consistent sub-matrix (even-indexed columns, following Braun et al.).
+//!
+//! Two generation methods are provided:
+//!
+//! * [`Method::RangeBased`] — Braun et al.'s method: draw a per-task
+//!   baseline `q ~ U[1, R_task)` and fill the row with `q * U[1, R_mach)`.
+//! * [`Method::Cvb`] — Ali et al.'s coefficient-of-variation-based method:
+//!   per-task mean drawn from a Gamma distribution with CV `v_task`, then
+//!   row values drawn from a Gamma with that mean and CV `v_mach`. The
+//!   Gamma sampler (Marsaglia–Tsang) is implemented in [`gamma`].
+//!
+//! All generation is deterministic given an [`EtcSpec`] and a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gamma;
+pub mod io;
+pub mod spec;
+
+pub use spec::{Consistency, EtcSpec, Heterogeneity, Method};
+
+use hcs_core::EtcMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an ETC matrix from a spec and seed. Convenience wrapper around
+/// [`EtcSpec::generate`].
+pub fn generate(spec: &EtcSpec, seed: u64) -> EtcMatrix {
+    spec.generate(seed)
+}
+
+impl EtcSpec {
+    /// Generates the ETC matrix described by this spec, deterministically
+    /// from `seed`.
+    pub fn generate(&self, seed: u64) -> EtcMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Vec<f64>> = match self.method {
+            Method::RangeBased { r_task, r_mach } => {
+                (0..self.n_tasks)
+                    .map(|_| {
+                        // Braun et al.: baseline q ~ U[1, r_task), entries
+                        // q * U[1, r_mach).
+                        let q = rng.gen_range(1.0..r_task);
+                        (0..self.n_machines)
+                            .map(|_| q * rng.gen_range(1.0..r_mach))
+                            .collect()
+                    })
+                    .collect()
+            }
+            Method::IntegerUniform { lo, hi } => {
+                assert!(lo <= hi, "integer range must be non-empty");
+                assert!(lo >= 1, "zero ETCs make degenerate workloads");
+                (0..self.n_tasks)
+                    .map(|_| {
+                        (0..self.n_machines)
+                            .map(|_| f64::from(rng.gen_range(lo..=hi)))
+                            .collect()
+                    })
+                    .collect()
+            }
+            Method::Cvb {
+                mean_task,
+                v_task,
+                v_mach,
+            } => {
+                // Ali et al.: alpha_task = 1/v_task^2; per-task mean drawn
+                // from Gamma(alpha_task, mean_task/alpha_task); row entries
+                // from Gamma(alpha_mach, task_mean/alpha_mach).
+                let alpha_task = 1.0 / (v_task * v_task);
+                let alpha_mach = 1.0 / (v_mach * v_mach);
+                (0..self.n_tasks)
+                    .map(|_| {
+                        let task_mean = gamma::sample(&mut rng, alpha_task, mean_task / alpha_task);
+                        (0..self.n_machines)
+                            .map(|_| gamma::sample(&mut rng, alpha_mach, task_mean / alpha_mach))
+                            .collect()
+                    })
+                    .collect()
+            }
+        };
+
+        match self.consistency {
+            Consistency::Inconsistent => {}
+            Consistency::Consistent => {
+                for row in &mut rows {
+                    row.sort_by(f64::total_cmp);
+                }
+            }
+            Consistency::SemiConsistent => {
+                // Braun et al.: sort the even-indexed columns of each row;
+                // odd columns stay where they fell.
+                for row in &mut rows {
+                    let mut evens: Vec<f64> = row.iter().copied().step_by(2).collect();
+                    evens.sort_by(f64::total_cmp);
+                    for (slot, v) in row.iter_mut().step_by(2).zip(evens) {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+
+        EtcMatrix::from_rows(&rows).expect("generator produces valid finite positive values")
+    }
+}
+
+/// The twelve Braun et al. benchmark classes: every combination of
+/// consistency × task heterogeneity × machine heterogeneity, at the given
+/// dimensions, using the range-based method with the customary ranges
+/// (`R = 3000` for high task heterogeneity, `100` for low; `1000` for high
+/// machine heterogeneity, `10` for low).
+pub fn braun_classes(n_tasks: usize, n_machines: usize) -> Vec<EtcSpec> {
+    let mut specs = Vec::with_capacity(12);
+    for consistency in [
+        Consistency::Consistent,
+        Consistency::SemiConsistent,
+        Consistency::Inconsistent,
+    ] {
+        for task_h in [Heterogeneity::Hi, Heterogeneity::Lo] {
+            for mach_h in [Heterogeneity::Hi, Heterogeneity::Lo] {
+                specs.push(EtcSpec::braun(
+                    n_tasks,
+                    n_machines,
+                    consistency,
+                    task_h,
+                    mach_h,
+                ));
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{MachineId, TaskId};
+
+    fn spec_range(consistency: Consistency) -> EtcSpec {
+        EtcSpec {
+            n_tasks: 24,
+            n_machines: 6,
+            method: Method::RangeBased {
+                r_task: 3000.0,
+                r_mach: 1000.0,
+            },
+            consistency,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = spec_range(Consistency::Inconsistent);
+        assert_eq!(spec.generate(7), spec.generate(7));
+        assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn consistent_rows_are_sorted() {
+        let etc = spec_range(Consistency::Consistent).generate(3);
+        for t in etc.tasks() {
+            let row = etc.row(t);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {t} unsorted");
+        }
+    }
+
+    #[test]
+    fn semi_consistent_even_columns_are_sorted() {
+        let etc = spec_range(Consistency::SemiConsistent).generate(3);
+        for t in etc.tasks() {
+            let row = etc.row(t);
+            let evens: Vec<_> = row.iter().step_by(2).collect();
+            assert!(evens.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn inconsistent_is_typically_unsorted() {
+        let etc = spec_range(Consistency::Inconsistent).generate(3);
+        let unsorted_rows = etc
+            .tasks()
+            .filter(|&t| {
+                let row = etc.row(t);
+                !row.windows(2).all(|w| w[0] <= w[1])
+            })
+            .count();
+        assert!(
+            unsorted_rows > 0,
+            "all rows sorted by chance is implausible"
+        );
+    }
+
+    #[test]
+    fn range_based_values_in_range() {
+        let etc = spec_range(Consistency::Inconsistent).generate(11);
+        for t in etc.tasks() {
+            for m in etc.machines() {
+                let v = etc.get(t, m).get();
+                assert!(v >= 1.0, "value below baseline: {v}");
+                assert!(v < 3000.0 * 1000.0, "value above range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cvb_mean_is_near_target() {
+        let spec = EtcSpec {
+            n_tasks: 200,
+            n_machines: 16,
+            method: Method::Cvb {
+                mean_task: 100.0,
+                v_task: 0.3,
+                v_mach: 0.3,
+            },
+            consistency: Consistency::Inconsistent,
+        };
+        let etc = spec.generate(5);
+        let mean = etc.mean().get();
+        assert!(
+            (mean - 100.0).abs() < 15.0,
+            "sample mean {mean} too far from 100"
+        );
+    }
+
+    #[test]
+    fn braun_classes_yields_twelve_distinct_specs() {
+        let specs = braun_classes(512, 16);
+        assert_eq!(specs.len(), 12);
+        for s in &specs {
+            assert_eq!(s.n_tasks, 512);
+            assert_eq!(s.n_machines, 16);
+        }
+        // All distinct.
+        for i in 0..specs.len() {
+            for j in (i + 1)..specs.len() {
+                assert_ne!(specs[i], specs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_uniform_is_tie_rich() {
+        let spec = EtcSpec {
+            n_tasks: 40,
+            n_machines: 6,
+            method: Method::IntegerUniform { lo: 1, hi: 4 },
+            consistency: Consistency::Inconsistent,
+        };
+        let etc = spec.generate(9);
+        // All values are integers in range.
+        for t in etc.tasks() {
+            for m in etc.machines() {
+                let v = etc.get(t, m).get();
+                assert_eq!(v.fract(), 0.0);
+                assert!((1.0..=4.0).contains(&v));
+            }
+        }
+        // With 240 draws from 4 values, row-minimum ties are essentially
+        // guaranteed somewhere.
+        let tied_rows = etc
+            .tasks()
+            .filter(|&t| {
+                let (cands, _) = etc.met_machines(t, &etc.machine_vec());
+                cands.len() > 1
+            })
+            .count();
+        assert!(tied_rows > 0, "expected at least one MET tie");
+        assert_eq!(spec.label(), "i-int1-4");
+    }
+
+    #[test]
+    fn dimensions_respected() {
+        let etc = spec_range(Consistency::Consistent).generate(0);
+        assert_eq!(etc.n_tasks(), 24);
+        assert_eq!(etc.n_machines(), 6);
+        // Ids round-trip.
+        let _ = etc.get(TaskId(23), MachineId(5));
+    }
+}

@@ -1,0 +1,222 @@
+//! Declarative description of an ETC workload class.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Consistency structure of the ETC matrix (Braun et al. terminology).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Consistency {
+    /// Rows sorted: one global machine speed order.
+    Consistent,
+    /// Even-indexed columns sorted: a consistent sub-matrix within an
+    /// otherwise inconsistent matrix.
+    SemiConsistent,
+    /// No structure at all.
+    Inconsistent,
+}
+
+impl Consistency {
+    /// Short label used in experiment tables (`c`, `s`, `i`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Consistency::Consistent => "c",
+            Consistency::SemiConsistent => "s",
+            Consistency::Inconsistent => "i",
+        }
+    }
+}
+
+/// Heterogeneity level along one axis.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Heterogeneity {
+    /// High variability.
+    Hi,
+    /// Low variability.
+    Lo,
+}
+
+impl Heterogeneity {
+    /// Short label (`hi` / `lo`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Heterogeneity::Hi => "hi",
+            Heterogeneity::Lo => "lo",
+        }
+    }
+}
+
+/// The generation algorithm and its parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Braun et al. range-based generation: per-task baseline
+    /// `q ~ U[1, r_task)`, entries `q * U[1, r_mach)`.
+    RangeBased {
+        /// Task-heterogeneity range (customarily 3000 hi / 100 lo).
+        r_task: f64,
+        /// Machine-heterogeneity range (customarily 1000 hi / 10 lo).
+        r_mach: f64,
+    },
+    /// Uniform integers in `lo..=hi` — a deliberately tie-rich workload
+    /// for studying tie-break sensitivity (exact completion-time ties are
+    /// common with small integer ETCs, matching the paper's examples).
+    IntegerUniform {
+        /// Smallest value (inclusive).
+        lo: u32,
+        /// Largest value (inclusive).
+        hi: u32,
+    },
+    /// Ali et al. coefficient-of-variation-based generation.
+    Cvb {
+        /// Mean task execution time.
+        mean_task: f64,
+        /// Coefficient of variation across tasks (hi ≈ 0.9, lo ≈ 0.1).
+        v_task: f64,
+        /// Coefficient of variation across machines.
+        v_mach: f64,
+    },
+}
+
+/// Full description of a workload class; `generate(seed)` is implemented in
+/// the crate root.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EtcSpec {
+    /// Number of tasks (matrix rows).
+    pub n_tasks: usize,
+    /// Number of machines (matrix columns).
+    pub n_machines: usize,
+    /// Generation method and heterogeneity parameters.
+    pub method: Method,
+    /// Consistency post-processing.
+    pub consistency: Consistency,
+}
+
+impl EtcSpec {
+    /// A Braun et al. class with the customary ranges: task range 3000
+    /// (hi) / 100 (lo), machine range 1000 (hi) / 10 (lo).
+    pub fn braun(
+        n_tasks: usize,
+        n_machines: usize,
+        consistency: Consistency,
+        task_h: Heterogeneity,
+        mach_h: Heterogeneity,
+    ) -> Self {
+        let r_task = match task_h {
+            Heterogeneity::Hi => 3000.0,
+            Heterogeneity::Lo => 100.0,
+        };
+        let r_mach = match mach_h {
+            Heterogeneity::Hi => 1000.0,
+            Heterogeneity::Lo => 10.0,
+        };
+        EtcSpec {
+            n_tasks,
+            n_machines,
+            method: Method::RangeBased { r_task, r_mach },
+            consistency,
+        }
+    }
+
+    /// A CVB class with the customary CVs: 0.9 for high heterogeneity, 0.1
+    /// for low, mean task time 1000.
+    pub fn cvb(
+        n_tasks: usize,
+        n_machines: usize,
+        consistency: Consistency,
+        task_h: Heterogeneity,
+        mach_h: Heterogeneity,
+    ) -> Self {
+        let v = |h| match h {
+            Heterogeneity::Hi => 0.9,
+            Heterogeneity::Lo => 0.1,
+        };
+        EtcSpec {
+            n_tasks,
+            n_machines,
+            method: Method::Cvb {
+                mean_task: 1000.0,
+                v_task: v(task_h),
+                v_mach: v(mach_h),
+            },
+            consistency,
+        }
+    }
+
+    /// The Braun-style class label, e.g. `c-hihi` for consistent, high task
+    /// heterogeneity, high machine heterogeneity.
+    pub fn label(&self) -> String {
+        let hetero = match self.method {
+            Method::RangeBased { r_task, r_mach } => {
+                let th = if r_task > 1000.0 { "hi" } else { "lo" };
+                let mh = if r_mach > 100.0 { "hi" } else { "lo" };
+                format!("{th}{mh}")
+            }
+            Method::Cvb { v_task, v_mach, .. } => {
+                let th = if v_task > 0.5 { "hi" } else { "lo" };
+                let mh = if v_mach > 0.5 { "hi" } else { "lo" };
+                format!("{th}{mh}")
+            }
+            Method::IntegerUniform { lo, hi } => format!("int{lo}-{hi}"),
+        };
+        format!("{}-{}", self.consistency.label(), hetero)
+    }
+}
+
+impl fmt::Display for EtcSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} tasks x {} machines)",
+            self.label(),
+            self.n_tasks,
+            self.n_machines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_braun_convention() {
+        let s = EtcSpec::braun(
+            512,
+            16,
+            Consistency::Consistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Lo,
+        );
+        assert_eq!(s.label(), "c-hilo");
+        assert_eq!(s.to_string(), "c-hilo (512 tasks x 16 machines)");
+
+        let s = EtcSpec::cvb(
+            10,
+            4,
+            Consistency::Inconsistent,
+            Heterogeneity::Lo,
+            Heterogeneity::Hi,
+        );
+        assert_eq!(s.label(), "i-lohi");
+    }
+
+    #[test]
+    fn braun_parameters() {
+        let s = EtcSpec::braun(
+            1,
+            1,
+            Consistency::SemiConsistent,
+            Heterogeneity::Lo,
+            Heterogeneity::Hi,
+        );
+        assert_eq!(
+            s.method,
+            Method::RangeBased {
+                r_task: 100.0,
+                r_mach: 1000.0
+            }
+        );
+        assert_eq!(s.consistency.label(), "s");
+        assert_eq!(Heterogeneity::Hi.label(), "hi");
+    }
+}

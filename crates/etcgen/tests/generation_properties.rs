@@ -1,0 +1,88 @@
+//! Property-based checks of the workload generators: every spec in the
+//! supported parameter space produces a valid, correctly-shaped,
+//! correctly-structured matrix, deterministically.
+
+use hcs_etcgen::{Consistency, EtcSpec, Method};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = EtcSpec> {
+    let dims = (1usize..=40, 1usize..=10);
+    let method = prop_oneof![
+        (10.0f64..3000.0, 5.0f64..1000.0)
+            .prop_map(|(r_task, r_mach)| Method::RangeBased { r_task, r_mach }),
+        (10.0f64..1000.0, 0.05f64..1.0, 0.05f64..1.0).prop_map(|(mean_task, v_task, v_mach)| {
+            Method::Cvb {
+                mean_task,
+                v_task,
+                v_mach,
+            }
+        }),
+        (1u32..=3, 3u32..=9).prop_map(|(lo, hi)| Method::IntegerUniform { lo, hi }),
+    ];
+    let consistency = prop_oneof![
+        Just(Consistency::Consistent),
+        Just(Consistency::SemiConsistent),
+        Just(Consistency::Inconsistent),
+    ];
+    (dims, method, consistency).prop_map(|((n_tasks, n_machines), method, consistency)| EtcSpec {
+        n_tasks,
+        n_machines,
+        method,
+        consistency,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_spec_generates_a_valid_matrix(spec in spec_strategy(), seed in 0u64..1000) {
+        let etc = spec.generate(seed);
+        prop_assert_eq!(etc.n_tasks(), spec.n_tasks);
+        prop_assert_eq!(etc.n_machines(), spec.n_machines);
+        for t in etc.tasks() {
+            for m in etc.machines() {
+                let v = etc.get(t, m).get();
+                prop_assert!(v.is_finite() && v > 0.0, "ETC({t},{m}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy(), seed in 0u64..1000) {
+        prop_assert_eq!(spec.generate(seed), spec.generate(seed));
+    }
+
+    #[test]
+    fn consistent_specs_sort_every_row(spec in spec_strategy(), seed in 0u64..1000) {
+        let spec = EtcSpec { consistency: Consistency::Consistent, ..spec };
+        let etc = spec.generate(seed);
+        for t in etc.tasks() {
+            let row = etc.row(t);
+            prop_assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {t} unsorted");
+        }
+    }
+
+    #[test]
+    fn semi_consistent_specs_sort_even_columns(spec in spec_strategy(), seed in 0u64..1000) {
+        let spec = EtcSpec { consistency: Consistency::SemiConsistent, ..spec };
+        let etc = spec.generate(seed);
+        for t in etc.tasks() {
+            let evens: Vec<_> = etc.row(t).iter().step_by(2).collect();
+            prop_assert!(evens.windows(2).all(|w| w[0] <= w[1]), "row {t}");
+        }
+    }
+
+    #[test]
+    fn csv_io_round_trips_generated_matrices(spec in spec_strategy(), seed in 0u64..100) {
+        let etc = spec.generate(seed);
+        let text = hcs_etcgen::io::to_csv(&etc);
+        let back = hcs_etcgen::io::parse_csv(&text).expect("round trip parses");
+        prop_assert_eq!(back.n_tasks(), etc.n_tasks());
+        for t in etc.tasks() {
+            for m in etc.machines() {
+                prop_assert!(back.get(t, m).approx_eq(etc.get(t, m), 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Genitor — a steady-state genetic algorithm for makespan minimization
+//! (paper §3.1, Figure 1; Whitley \[17\]).
+//!
+//! A chromosome assigns every mappable task a machine. The population is
+//! kept **sorted by makespan**; each step performs
+//!
+//! 1. **crossover** — two parents are selected, a random cut-off point is
+//!    generated, and the machine assignments below the cut are exchanged,
+//!    producing two offspring that are inserted into the sorted population
+//!    (the worst chromosomes are removed, keeping the size fixed);
+//! 2. **mutation** — a randomly selected chromosome gets one task's machine
+//!    assignment arbitrarily modified; the offspring is inserted and the
+//!    worst chromosome removed.
+//!
+//! The loop stops after [`GenitorConfig::max_steps`] steps or
+//! [`GenitorConfig::stall_steps`] steps without improving the best
+//! makespan, whichever comes first. Because insertion is elitist (worst
+//! out, sorted in), the best chromosome can never get worse.
+//!
+//! # Seeding and the iterative technique
+//!
+//! "For each iteration (of the iterative approach), the mapping found by
+//! Genitor in the previous iteration, excluding the makespan machine and
+//! the tasks assigned to it, is seeded into the population of the current
+//! iteration. The ranking in Genitor guarantees that the final mapping is
+//! either the seeded mapping or a mapping with a smaller makespan" — §3.1.
+//!
+//! [`Genitor`] is therefore *stateful*: it remembers the mapping it
+//! produced last and, when asked to map a sub-instance whose tasks are all
+//! covered by that remembered mapping on still-active machines, inserts the
+//! restriction as a seed chromosome. This makes the iterative technique
+//! monotone for Genitor (integration test `theorems.rs`).
+//!
+//! # Parent selection
+//!
+//! Figure 1 selects parents uniformly at random; Whitley's original Genitor
+//! uses linear-bias rank selection ("selective pressure"). Both are
+//! available: [`GenitorConfig::selection_bias`] of `1.0` is uniform (the
+//! paper's Figure 1), values up to `2.0` increasingly favour high-ranked
+//! (low-makespan) chromosomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters for [`Genitor`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenitorConfig {
+    /// Population size (chromosome count, kept fixed).
+    pub pop_size: usize,
+    /// Hard cap on steps (one step = one crossover + one mutation).
+    pub max_steps: usize,
+    /// Stop after this many consecutive steps without a new best makespan.
+    pub stall_steps: usize,
+    /// Linear-bias rank selection pressure in `[1.0, 2.0]`; `1.0` is the
+    /// uniform selection of the paper's Figure 1.
+    pub selection_bias: f64,
+    /// Also seed the initial population with a Min-Min mapping (a common
+    /// practice since Braun et al.; off by default for Figure-1 fidelity).
+    pub seed_minmin: bool,
+}
+
+impl Default for GenitorConfig {
+    fn default() -> Self {
+        GenitorConfig {
+            pop_size: 100,
+            max_steps: 10_000,
+            stall_steps: 1_500,
+            selection_bias: 1.0,
+            seed_minmin: false,
+        }
+    }
+}
+
+/// The Genitor heuristic. Construct once per experiment; it is stateful
+/// (see module docs on seeding) and owns its RNG, so results are
+/// reproducible from the construction seed and the sequence of `map`
+/// calls.
+#[derive(Clone, Debug)]
+pub struct Genitor {
+    config: GenitorConfig,
+    rng: StdRng,
+    last_mapping: Option<Mapping>,
+}
+
+impl Genitor {
+    /// A Genitor instance with default configuration.
+    pub fn new(seed: u64) -> Self {
+        Genitor::with_config(seed, GenitorConfig::default())
+    }
+
+    /// A Genitor instance with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pop_size < 2` or `selection_bias` is outside
+    /// `[1.0, 2.0]`.
+    pub fn with_config(seed: u64, config: GenitorConfig) -> Self {
+        assert!(config.pop_size >= 2, "population needs at least 2 members");
+        assert!(
+            (1.0..=2.0).contains(&config.selection_bias),
+            "selection bias must be in [1.0, 2.0]"
+        );
+        Genitor {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            last_mapping: None,
+        }
+    }
+
+    /// Clears the remembered mapping (fresh start for a new scenario).
+    pub fn reset(&mut self) {
+        self.last_mapping = None;
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GenitorConfig {
+        &self.config
+    }
+
+    /// Whether a previous mapping is remembered for seeding.
+    pub fn has_seed(&self) -> bool {
+        self.last_mapping.is_some()
+    }
+
+    /// Linear-bias rank selection: returns a population index in
+    /// `0..pop_size` favouring low indices (better makespans) with
+    /// pressure `selection_bias`.
+    fn select_index(&mut self, pop_size: usize) -> usize {
+        let b = self.config.selection_bias;
+        if b <= 1.0 + f64::EPSILON {
+            return self.rng.gen_range(0..pop_size);
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let idx = pop_size as f64 * (b - (b * b - 4.0 * (b - 1.0) * u).sqrt()) / (2.0 * (b - 1.0));
+        (idx as usize).min(pop_size - 1)
+    }
+}
+
+/// A chromosome: position `i` holds the index (into the instance's machine
+/// list) of the machine assigned to the instance's `i`-th task.
+type Chromosome = Vec<u16>;
+
+/// Makespan of a chromosome under the instance.
+fn fitness(inst: &Instance<'_>, chrom: &Chromosome) -> Time {
+    let mut finish: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    for (pos, &mi) in chrom.iter().enumerate() {
+        let task = inst.tasks[pos];
+        let machine = inst.machines[mi as usize];
+        finish[mi as usize] += inst.etc.get(task, machine);
+    }
+    finish.into_iter().max().expect("instance has machines")
+}
+
+/// Inserts `chrom` into the population, keeping it sorted ascending by
+/// fitness, then truncates to `cap` (dropping the worst).
+fn insert_sorted(pop: &mut Vec<(Time, Chromosome)>, fit: Time, chrom: Chromosome, cap: usize) {
+    let at = pop.partition_point(|(f, _)| *f <= fit);
+    pop.insert(at, (fit, chrom));
+    pop.truncate(cap);
+}
+
+impl Heuristic for Genitor {
+    fn name(&self) -> &'static str {
+        "Genitor"
+    }
+
+    /// Runs the GA. The [`TieBreaker`] is unused: Genitor's stochasticity
+    /// is its own (population initialization, parent selection, cut
+    /// points, mutation), not tie-breaking between equally good greedy
+    /// choices.
+    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let cap = self.config.pop_size;
+
+        if n_tasks == 0 {
+            let mapping = Mapping::new(inst.etc.n_tasks());
+            self.last_mapping = Some(mapping.clone());
+            return mapping;
+        }
+
+        // --- Initial population ------------------------------------------
+        let mut pop: Vec<(Time, Chromosome)> = Vec::with_capacity(cap + 2);
+
+        // Seed: the previous round's mapping restricted to this instance,
+        // when it covers it (the iterative driver removes exactly the
+        // frozen machine's tasks, so coverage holds across rounds).
+        let seed_chrom: Option<Chromosome> = self.last_mapping.as_ref().and_then(|prev| {
+            inst.tasks
+                .iter()
+                .map(|&task| {
+                    prev.machine_of(task).and_then(|m| {
+                        inst.machines
+                            .iter()
+                            .position(|&mm| mm == m)
+                            .map(|i| i as u16)
+                    })
+                })
+                .collect()
+        });
+        if let Some(chrom) = seed_chrom {
+            let fit = fitness(inst, &chrom);
+            insert_sorted(&mut pop, fit, chrom, cap);
+        }
+        if self.config.seed_minmin {
+            let chrom = minmin_chromosome(inst);
+            let fit = fitness(inst, &chrom);
+            insert_sorted(&mut pop, fit, chrom, cap);
+        }
+        while pop.len() < cap {
+            let chrom: Chromosome = (0..n_tasks)
+                .map(|_| self.rng.gen_range(0..n_machines) as u16)
+                .collect();
+            let fit = fitness(inst, &chrom);
+            insert_sorted(&mut pop, fit, chrom, cap);
+        }
+
+        // --- Steady-state loop -------------------------------------------
+        let mut best = pop[0].0;
+        let mut stall = 0usize;
+        for _ in 0..self.config.max_steps {
+            // (a) Crossover.
+            let pa = self.select_index(cap);
+            let pb = self.select_index(cap);
+            let cut = self.rng.gen_range(0..=n_tasks);
+            let (mut child_a, mut child_b) = (pop[pa].1.clone(), pop[pb].1.clone());
+            for pos in 0..cut {
+                std::mem::swap(&mut child_a[pos], &mut child_b[pos]);
+            }
+            let fa = fitness(inst, &child_a);
+            insert_sorted(&mut pop, fa, child_a, cap);
+            let fb = fitness(inst, &child_b);
+            insert_sorted(&mut pop, fb, child_b, cap);
+
+            // (b) Mutation.
+            let pm = self.rng.gen_range(0..cap);
+            let mut mutant = pop[pm].1.clone();
+            let pos = self.rng.gen_range(0..n_tasks);
+            mutant[pos] = self.rng.gen_range(0..n_machines) as u16;
+            let fm = fitness(inst, &mutant);
+            insert_sorted(&mut pop, fm, mutant, cap);
+
+            // Stopping criterion.
+            if pop[0].0 < best {
+                best = pop[0].0;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= self.config.stall_steps {
+                    break;
+                }
+            }
+        }
+
+        // --- Output the best solution ------------------------------------
+        let best_chrom = &pop[0].1;
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        for (pos, &mi) in best_chrom.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi as usize])
+                .expect("chromosome covers each task once");
+        }
+        self.last_mapping = Some(mapping.clone());
+        mapping
+    }
+}
+
+/// Min-Min as a chromosome (for the optional seed). Re-implemented locally
+/// (a dozen lines) rather than depending on `hcs-heuristics`, keeping the
+/// crate graph a clean DAG and the GA crate self-contained.
+fn minmin_chromosome(inst: &Instance<'_>) -> Chromosome {
+    let mut ready: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    let mut chrom: Chromosome = vec![0; inst.tasks.len()];
+    let mut unmapped: Vec<usize> = (0..inst.tasks.len()).collect();
+    while !unmapped.is_empty() {
+        let mut best: Option<(usize, usize, Time)> = None; // (pos, machine idx, ct)
+        for &pos in &unmapped {
+            let task = inst.tasks[pos];
+            for (mi, &machine) in inst.machines.iter().enumerate() {
+                let ct = ready[mi] + inst.etc.get(task, machine);
+                if best.is_none_or(|(_, _, b)| ct < b) {
+                    best = Some((pos, mi, ct));
+                }
+            }
+        }
+        let (pos, mi, _) = best.expect("unmapped set non-empty");
+        ready[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+        chrom[pos] = mi as u16;
+        unmapped.retain(|&p| p != pos);
+    }
+    chrom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, MachineId, Scenario, TaskId};
+
+    fn small_scenario() -> Scenario {
+        Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![4.0, 7.0, 2.0],
+                vec![3.0, 1.0, 9.0],
+                vec![5.0, 5.0, 5.0],
+                vec![2.0, 8.0, 6.0],
+                vec![7.0, 3.0, 4.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn quick_config() -> GenitorConfig {
+        GenitorConfig {
+            pop_size: 40,
+            max_steps: 2_000,
+            stall_steps: 400,
+            ..GenitorConfig::default()
+        }
+    }
+
+    /// Brute-force optimal makespan for small instances.
+    fn brute_force_optimum(s: &Scenario) -> Time {
+        let n_t = s.etc.n_tasks();
+        let n_m = s.etc.n_machines();
+        let mut best: Option<Time> = None;
+        let total = n_m.pow(n_t as u32);
+        for code in 0..total {
+            let mut finish: Vec<Time> = (0..n_m)
+                .map(|i| s.initial_ready.get(MachineId(i as u32)))
+                .collect();
+            let mut c = code;
+            for task in 0..n_t {
+                let mi = c % n_m;
+                c /= n_m;
+                finish[mi] += s.etc.get(TaskId(task as u32), MachineId(mi as u32));
+            }
+            let ms = finish.into_iter().max().unwrap();
+            if best.is_none_or(|b| ms < b) {
+                best = Some(ms);
+            }
+        }
+        best.unwrap()
+    }
+
+    #[test]
+    fn finds_the_optimum_on_a_small_instance() {
+        let s = small_scenario();
+        let optimum = brute_force_optimum(&s);
+        let mut ga = Genitor::with_config(42, quick_config());
+        let owned = s.full_instance();
+        let map = ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        let ms = map.makespan(&s.etc, &s.initial_ready, &owned.machines);
+        assert_eq!(ms, optimum, "GA should solve a 5x3 instance exactly");
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let s = small_scenario();
+        let owned = s.full_instance();
+        let run = |seed| {
+            let mut ga = Genitor::with_config(seed, quick_config());
+            ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic)
+        };
+        assert_eq!(run(7).order(), run(7).order());
+    }
+
+    #[test]
+    fn seeding_never_regresses() {
+        // Map once, then map a sub-instance (the makespan machine and its
+        // tasks removed). The result must be at least as good as the seed.
+        let s = small_scenario();
+        let owned = s.full_instance();
+        let mut ga = Genitor::with_config(3, quick_config());
+        let first = ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        let ct = first.completion_times(&s.etc, &s.initial_ready, &owned.machines);
+        let (mk, _) = ct.makespan_machine();
+
+        let rem_tasks: Vec<_> = owned
+            .tasks
+            .iter()
+            .copied()
+            .filter(|&task| first.machine_of(task) != Some(mk))
+            .collect();
+        let rem_machines: Vec<_> = owned
+            .machines
+            .iter()
+            .copied()
+            .filter(|&mm| mm != mk)
+            .collect();
+        let inst = Instance {
+            etc: &s.etc,
+            tasks: &rem_tasks,
+            machines: &rem_machines,
+            ready: &s.initial_ready,
+        };
+        let seed_ms =
+            first
+                .restricted_to(&rem_tasks)
+                .makespan(&s.etc, &s.initial_ready, &rem_machines);
+        let second = ga.map(&inst, &mut TieBreaker::Deterministic);
+        let second_ms = second.makespan(&s.etc, &s.initial_ready, &rem_machines);
+        assert!(
+            second_ms <= seed_ms,
+            "seeded GA regressed: {second_ms} > {seed_ms}"
+        );
+    }
+
+    #[test]
+    fn empty_task_set_yields_empty_mapping() {
+        let s = small_scenario();
+        let machines = s.etc.machine_vec();
+        let inst = Instance {
+            etc: &s.etc,
+            tasks: &[],
+            machines: &machines,
+            ready: &s.initial_ready,
+        };
+        let mut ga = Genitor::new(0);
+        let map = ga.map(&inst, &mut TieBreaker::Deterministic);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn minmin_seed_option_accepted() {
+        let s = small_scenario();
+        let owned = s.full_instance();
+        let mut ga = Genitor::with_config(
+            5,
+            GenitorConfig {
+                seed_minmin: true,
+                ..quick_config()
+            },
+        );
+        let map = ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        map.validate(&owned.tasks, &owned.machines).unwrap();
+    }
+
+    #[test]
+    fn selection_bias_favours_better_ranks() {
+        let mut ga = Genitor::with_config(
+            11,
+            GenitorConfig {
+                selection_bias: 1.8,
+                ..quick_config()
+            },
+        );
+        let n = 100;
+        let draws: Vec<usize> = (0..4000).map(|_| ga.select_index(n)).collect();
+        let top_half = draws.iter().filter(|&&i| i < n / 2).count();
+        assert!(
+            top_half > draws.len() * 6 / 10,
+            "bias 1.8 should pick the top half well over 60% of the time, got {top_half}/4000"
+        );
+        assert!(draws.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn uniform_selection_is_roughly_flat() {
+        let mut ga = Genitor::with_config(13, quick_config()); // bias 1.0
+        let n = 10;
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[ga.select_index(n)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "uniform draw count skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_seed_state() {
+        let s = small_scenario();
+        let owned = s.full_instance();
+        let mut ga = Genitor::with_config(9, quick_config());
+        let _ = ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        assert!(ga.has_seed());
+        ga.reset();
+        assert!(!ga.has_seed());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let _ = Genitor::with_config(
+            0,
+            GenitorConfig {
+                pop_size: 1,
+                ..GenitorConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn minmin_chromosome_matches_hand_computation() {
+        // Same instance as hcs-heuristics' classic_minmin_schedule test:
+        // t0 -> m0, t2 -> m1, t1 -> m0 (order differs; assignments match).
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0], vec![8.0, 3.0]]).unwrap(),
+        );
+        let owned = s.full_instance();
+        let chrom = minmin_chromosome(&owned.as_instance(&s));
+        assert_eq!(chrom, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Beam search — a bounded best-first tree search over partial mappings,
+//! the practical stand-in for Braun et al.'s A\* baseline (which grows an
+//! identical tree but prunes to a fixed node budget; a constant-width beam
+//! is the standard memory-bounded variant).
+//!
+//! Nodes at depth `d` have the first `d` tasks (in task-list order)
+//! assigned. Each level expands every beam node across all machines and
+//! keeps the best `width` children ranked by
+//!
+//! ```text
+//! f(node) = max(g(node), h(node))
+//! g = current partial makespan
+//! h = max over unassigned tasks of (min load + min ETC)  — an admissible
+//!     bound: some machine must run each remaining task, and it cannot
+//!     start before the currently least-loaded machine frees up... in fact
+//!     we use the weaker, safe bound  max_t min_m (load_m + ETC(t, m)),
+//!     the best completion time any remaining task could still achieve.
+//! ```
+//!
+//! With unbounded width this explores the full tree (exact); the default
+//! width trades optimality for polynomial cost, like Braun's pruned A\*.
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters for [`BeamSearch`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeamConfig {
+    /// Beam width: surviving nodes per level.
+    pub width: usize,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        BeamConfig { width: 64 }
+    }
+}
+
+/// The beam-search mapper (deterministic — no RNG, no tie-break calls:
+/// ranking ties are resolved by expansion order, which is canonical).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BeamSearch {
+    /// Search parameters.
+    pub config: BeamConfig,
+}
+
+impl BeamSearch {
+    /// A beam search with the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "beam width must be positive");
+        BeamSearch {
+            config: BeamConfig { width },
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Node {
+    assign: Vec<u16>,
+    loads: Vec<Time>,
+    g: Time,
+}
+
+impl Heuristic for BeamSearch {
+    fn name(&self) -> &'static str {
+        "Beam"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        if n_tasks == 0 {
+            return mapping;
+        }
+
+        let root = Node {
+            assign: Vec::new(),
+            loads: inst.machines.iter().map(|&m| inst.ready.get(m)).collect(),
+            g: inst
+                .machines
+                .iter()
+                .map(|&m| inst.ready.get(m))
+                .max()
+                .expect("non-empty machine set"),
+        };
+        let mut beam = vec![root];
+
+        for depth in 0..n_tasks {
+            let mut children: Vec<(Time, Node)> = Vec::with_capacity(beam.len() * n_machines);
+            for node in &beam {
+                let task = inst.tasks[depth];
+                for mi in 0..n_machines {
+                    let mut loads = node.loads.clone();
+                    loads[mi] += inst.etc.get(task, inst.machines[mi]);
+                    let g = node.g.max(loads[mi]);
+                    // Admissible completion bound over remaining tasks.
+                    let mut h = g;
+                    for &future in &inst.tasks[depth + 1..] {
+                        let best_ct = (0..n_machines)
+                            .map(|j| loads[j] + inst.etc.get(future, inst.machines[j]))
+                            .min()
+                            .expect("non-empty machine set");
+                        h = h.max(best_ct);
+                    }
+                    let mut assign = node.assign.clone();
+                    assign.push(mi as u16);
+                    children.push((h, Node { assign, loads, g }));
+                }
+            }
+            children.sort_by_key(|&(f, _)| f);
+            children.truncate(self.config.width);
+            beam = children.into_iter().map(|(_, n)| n).collect();
+        }
+
+        let bestv = beam
+            .into_iter()
+            .min_by_key(|n| n.g)
+            .expect("beam never empties");
+        for (pos, &mi) in bestv.assign.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi as usize])
+                .expect("each position assigned once");
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn scenario() -> Scenario {
+        Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![4.0, 7.0, 2.0],
+                vec![3.0, 1.0, 9.0],
+                vec![5.0, 5.0, 5.0],
+                vec![2.0, 8.0, 6.0],
+                vec![7.0, 3.0, 4.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn run(b: &mut BeamSearch, s: &Scenario) -> Mapping {
+        let owned = s.full_instance();
+        b.map(&owned.as_instance(s), &mut TieBreaker::Deterministic)
+    }
+
+    fn brute_force(s: &Scenario) -> Time {
+        let machines = s.etc.machine_vec();
+        let n_m = machines.len();
+        let mut best: Option<Time> = None;
+        for code in 0..n_m.pow(s.etc.n_tasks() as u32) {
+            let mut c = code;
+            let mut loads = vec![Time::ZERO; n_m];
+            for task in s.etc.tasks() {
+                let mi = c % n_m;
+                c /= n_m;
+                loads[mi] += s.etc.get(task, machines[mi]);
+            }
+            let ms = loads.into_iter().max().unwrap();
+            if best.is_none_or(|b| ms < b) {
+                best = Some(ms);
+            }
+        }
+        best.unwrap()
+    }
+
+    #[test]
+    fn wide_beam_is_exact_on_small_instances() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        // Width 3^5 covers the full tree.
+        let ms = run(&mut BeamSearch::new(243), &s).makespan(&s.etc, &s.initial_ready, &machines);
+        assert_eq!(ms, brute_force(&s));
+    }
+
+    #[test]
+    fn narrow_beam_is_still_valid_and_reasonable() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let map = run(&mut BeamSearch::new(2), &s);
+        map.validate(&s.etc.task_vec(), &machines).unwrap();
+        let ms = map.makespan(&s.etc, &s.initial_ready, &machines);
+        assert!(ms >= brute_force(&s));
+        // Never worse than serializing on one machine.
+        let serial: Time = s.etc.tasks().map(|t| s.etc.get(t, machines[0])).sum();
+        assert!(ms <= serial);
+    }
+
+    #[test]
+    fn wider_beams_never_do_worse() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let mut last = None;
+        for width in [1usize, 4, 16, 243] {
+            let ms =
+                run(&mut BeamSearch::new(width), &s).makespan(&s.etc, &s.initial_ready, &machines);
+            if let Some(prev) = last {
+                // Not a theorem in general for beam search, but holds on
+                // this instance and guards against gross regressions.
+                assert!(ms <= prev, "width {width}: {ms} > {prev}");
+            }
+            last = Some(ms);
+        }
+    }
+
+    #[test]
+    fn deterministic_without_rng() {
+        let s = scenario();
+        assert_eq!(
+            run(&mut BeamSearch::default(), &s).order(),
+            run(&mut BeamSearch::default(), &s).order()
+        );
+    }
+
+    #[test]
+    fn empty_task_set_is_fine() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let inst = Instance {
+            etc: &s.etc,
+            tasks: &[],
+            machines: &machines,
+            ready: &s.initial_ready,
+        };
+        assert!(BeamSearch::default()
+            .map(&inst, &mut TieBreaker::Deterministic)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width")]
+    fn zero_width_rejected() {
+        let _ = BeamSearch::new(0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Duplex — baseline from Braun et al. \[3\].
+//!
+//! Runs Min-Min and Max-Min on the same instance and keeps whichever
+//! mapping has the smaller makespan (Min-Min on a tie). Duplex exploits
+//! the fact that each of the two two-phase heuristics dominates in
+//! different workload regimes for roughly twice the cost.
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker};
+
+use crate::{MaxMin, MinMin};
+
+/// The Duplex heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Duplex;
+
+impl Heuristic for Duplex {
+    fn name(&self) -> &'static str {
+        "Duplex"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let minmin = MinMin.map(inst, tb);
+        let maxmin = MaxMin.map(inst, tb);
+        let ms_min = minmin.makespan(inst.etc, inst.ready, inst.machines);
+        let ms_max = maxmin.makespan(inst.etc, inst.ready, inst.machines);
+        if ms_max < ms_min {
+            maxmin
+        } else {
+            minmin
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario, Time};
+
+    fn makespan(s: &Scenario, h: &mut dyn Heuristic) -> Time {
+        let owned = s.full_instance();
+        let map = h.map(&owned.as_instance(s), &mut TieBreaker::Deterministic);
+        map.makespan(&s.etc, &s.initial_ready, &owned.machines)
+    }
+
+    #[test]
+    fn never_worse_than_either_parent() {
+        // A workload where Max-Min wins (one long, many short)...
+        let s1 = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![10.0, 10.0], vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap(),
+        );
+        // ...and one where Min-Min wins (uniformly small tasks).
+        let s2 = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![1.0, 4.0],
+                vec![4.0, 1.0],
+                vec![1.0, 4.0],
+                vec![4.0, 1.0],
+            ])
+            .unwrap(),
+        );
+        for s in [&s1, &s2] {
+            let d = makespan(s, &mut Duplex);
+            let mn = makespan(s, &mut MinMin);
+            let mx = makespan(s, &mut MaxMin);
+            assert!(d <= mn && d <= mx, "duplex {d} vs minmin {mn}, maxmin {mx}");
+        }
+        // And it actually picks the different winner in each case.
+        assert_eq!(makespan(&s1, &mut Duplex), makespan(&s1, &mut MaxMin));
+        assert!(makespan(&s1, &mut MinMin) > makespan(&s1, &mut MaxMin));
+    }
+
+    #[test]
+    fn tie_keeps_minmin_mapping() {
+        let s = Scenario::with_zero_ready(EtcMatrix::from_rows(&[vec![3.0, 3.0]]).unwrap());
+        let owned = s.full_instance();
+        let d = Duplex.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        let mn = MinMin.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        assert_eq!(d.order(), mn.order());
+    }
+}

@@ -1,0 +1,193 @@
+//! K-Percent Best (KPB) — paper §3.6, Figure 14.
+//!
+//! A hybrid of MET and MCT. For each task (in list order):
+//!
+//! 1. form the subset of the `⌊|M| · k/100⌋` machines with the **best
+//!    (smallest) execution times** for the task (at least one machine);
+//! 2. assign the task to the machine with the earliest **completion time**
+//!    *within that subset*;
+//! 3. advance that machine's ready time.
+//!
+//! With `k = 100/|M|` the subset is a single machine and KPB degenerates to
+//! MET; with `k = 100` it is all machines and KPB is exactly MCT.
+//!
+//! The iterative technique shrinks `|M|` each round, which shrinks the
+//! subset size — the paper's §3.6 example (k = 70%, three machines) has a
+//! two-machine subset originally but a one-machine subset in the first
+//! iterative mapping, forcing MET-like behaviour and an **increased
+//! makespan even with deterministic ties**.
+//!
+//! Subset selection at the boundary: machines are ordered by
+//! (execution time, machine index), so equal ETCs at the cut are resolved
+//! toward the lower index — deterministic by construction. Completion-time
+//! ties within the subset go through the [`TieBreaker`].
+
+use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TieBreaker};
+
+/// The K-Percent Best heuristic.
+#[derive(Clone, Copy, Debug)]
+pub struct Kpb {
+    /// The percentage `k` in `(0, 100]`.
+    pub k_percent: f64,
+}
+
+impl Default for Kpb {
+    /// The paper's example value, k = 70%.
+    fn default() -> Self {
+        Kpb { k_percent: 70.0 }
+    }
+}
+
+impl Kpb {
+    /// A KPB instance with the given percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k_percent <= 100`.
+    pub fn new(k_percent: f64) -> Self {
+        assert!(
+            k_percent > 0.0 && k_percent <= 100.0,
+            "k must be in (0, 100], got {k_percent}"
+        );
+        Kpb { k_percent }
+    }
+
+    /// Subset size for `n_machines` active machines: `⌊n · k/100⌋`,
+    /// clamped to at least 1.
+    pub fn subset_size(&self, n_machines: usize) -> usize {
+        ((n_machines as f64 * self.k_percent / 100.0).floor() as usize).max(1)
+    }
+
+    /// The k-percent-best machine subset for `task`: the `subset_size`
+    /// machines with smallest execution time, ordered by
+    /// (ETC, machine index).
+    pub fn subset(&self, inst: &Instance<'_>, task: hcs_core::TaskId) -> Vec<MachineId> {
+        let mut by_etc: Vec<MachineId> = inst.machines.to_vec();
+        by_etc.sort_by_key(|&m| (inst.etc.get(task, m), m));
+        by_etc.truncate(self.subset_size(inst.machines.len()));
+        by_etc.sort_unstable(); // canonical ascending order for tie-breaking
+        by_etc
+    }
+}
+
+impl Heuristic for Kpb {
+    fn name(&self) -> &'static str {
+        "KPB"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let mut ready = inst.working_ready();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        for &task in inst.tasks {
+            let subset = self.subset(inst, task);
+            let (cands, _) =
+                select::min_candidates(subset.iter().map(|&m| (m, inst.ct(task, m, &ready))));
+            let machine = cands[tb.pick(cands.len())];
+            ready.advance(machine, inst.etc.get(task, machine));
+            mapping
+                .assign(task, machine)
+                .expect("task list contains no duplicates");
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mct, Met};
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn scenario() -> Scenario {
+        Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![2.0, 5.0, 9.0],
+                vec![7.0, 1.0, 2.0],
+                vec![3.0, 4.0, 8.0],
+                vec![9.0, 2.0, 6.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn map_with(h: &mut dyn Heuristic, s: &Scenario) -> Mapping {
+        let owned = s.full_instance();
+        h.map(&owned.as_instance(s), &mut TieBreaker::Deterministic)
+    }
+
+    #[test]
+    fn subset_size_floors_and_clamps() {
+        let kpb = Kpb::new(70.0);
+        assert_eq!(kpb.subset_size(3), 2); // 2.1 -> 2 (paper example)
+        assert_eq!(kpb.subset_size(2), 1); // 1.4 -> 1 (first iterative mapping)
+        assert_eq!(kpb.subset_size(1), 1);
+        assert_eq!(Kpb::new(100.0).subset_size(5), 5);
+        assert_eq!(Kpb::new(10.0).subset_size(5), 1);
+    }
+
+    #[test]
+    fn k_100_is_mct() {
+        let s = scenario();
+        let kpb = map_with(&mut Kpb::new(100.0), &s);
+        let mct = map_with(&mut Mct, &s);
+        assert_eq!(kpb.order(), mct.order());
+    }
+
+    #[test]
+    fn k_one_over_m_is_met() {
+        let s = scenario();
+        let kpb = map_with(&mut Kpb::new(100.0 / 3.0), &s);
+        let met = map_with(&mut Met, &s);
+        assert_eq!(kpb.order(), met.order());
+    }
+
+    #[test]
+    fn subset_contains_best_execution_machines() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let kpb = Kpb::new(70.0);
+        // t0: ETC row (2, 5, 9) -> best two are m0, m1.
+        assert_eq!(kpb.subset(&inst, t(0)), vec![m(0), m(1)]);
+        // t1: ETC row (7, 1, 2) -> best two are m1, m2.
+        assert_eq!(kpb.subset(&inst, t(1)), vec![m(1), m(2)]);
+    }
+
+    #[test]
+    fn subset_boundary_tie_prefers_lower_index() {
+        let etc = EtcMatrix::from_rows(&[vec![5.0, 3.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        // Best 2 of (5, 3, 3): the tie between m1 and m2 is immaterial
+        // (both enter), but the cut between m0 and the tied pair keeps the
+        // two 3s.
+        assert_eq!(Kpb::new(70.0).subset(&inst, t(0)), vec![m(1), m(2)]);
+        // Best 1 of (3@m0 ... ) with tie at the cut: lowest index wins.
+        let etc = EtcMatrix::from_rows(&[vec![3.0, 3.0, 9.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        assert_eq!(Kpb::new(100.0 / 3.0).subset(&inst, t(0)), vec![m(0)]);
+    }
+
+    #[test]
+    fn assigns_min_completion_within_subset() {
+        // t0's two best-execution machines are m0 (ETC 4) and m1 (ETC 5);
+        // m2 (ETC 100) is excluded even though it is idle and would give
+        // the smallest completion time overall.
+        let etc = EtcMatrix::from_rows(&[vec![4.0, 5.0, 100.0]]).unwrap();
+        let mut ready = hcs_core::ReadyTimes::zero(3);
+        ready.set(m(0), hcs_core::Time::new(50.0));
+        let s = Scenario::with_ready(etc, ready);
+        let map = map_with(&mut Kpb::new(70.0), &s);
+        assert_eq!(map.machine_of(t(0)), Some(m(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in (0, 100]")]
+    fn invalid_k_rejected() {
+        let _ = Kpb::new(0.0);
+    }
+}

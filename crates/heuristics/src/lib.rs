@@ -1,0 +1,123 @@
+//! The resource-allocation heuristics studied by the paper, plus the
+//! Braun-et-al. baselines.
+//!
+//! | Heuristic | Mode | Paper section | Module |
+//! |---|---|---|---|
+//! | Minimum Execution Time (MET) | immediate | §3.4, Fig 8 | [`met`] |
+//! | Minimum Completion Time (MCT) | immediate | §3.3, Fig 5 | [`mct`] |
+//! | Opportunistic Load Balancing (OLB) | immediate | baseline (ref \[3\]) | [`olb`] |
+//! | K-Percent Best (KPB) | immediate | §3.6, Fig 14 | [`kpb`] |
+//! | Switching Algorithm (SWA) | immediate | §3.5, Fig 13 | [`swa`] |
+//! | Min-Min | batch | §3.2, Fig 2 | [`minmin`] |
+//! | Max-Min | batch | baseline (refs \[8, 3\]) | [`maxmin`] |
+//! | Duplex | batch | baseline (ref \[3\]) | [`duplex`] |
+//! | Sufferage | batch | §3.7, Fig 17 | [`sufferage`] |
+//!
+//! *Immediate mode* heuristics walk the task list in its given, arbitrary
+//! but fixed order and commit each task as they go; *batch mode* heuristics
+//! reconsider the whole unmapped set at every step. The Genitor genetic
+//! algorithm (§3.1) lives in its own crate, `hcs-genitor`.
+//!
+//! Extension baselines beyond the paper's study set (all from the
+//! surrounding literature):
+//!
+//! | Heuristic | Source | Module |
+//! |---|---|---|
+//! | Segmented Min-Min | Wu & Shu, ref \[18\] | [`smm`] |
+//! | Simulated Annealing | Braun et al. \[3\] | [`sa`] |
+//! | Tabu Search | Braun et al. \[3\] | [`tabu`] |
+//! | Beam search (bounded A*-style) | Braun et al. \[3\] | [`beam`] |
+//!
+//! Every heuristic routes *all* choices between equally good alternatives
+//! through the caller's [`TieBreaker`](hcs_core::TieBreaker), enumerating
+//! candidates in canonical order (task-list order, then ascending machine
+//! index) — see `hcs_core::tiebreak` for why that reproduces the paper's
+//! deterministic rules exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beam;
+pub mod duplex;
+pub mod kpb;
+pub mod maxmin;
+pub mod mct;
+pub mod met;
+pub mod minmin;
+pub mod olb;
+pub mod sa;
+pub mod smm;
+pub mod sufferage;
+pub mod swa;
+pub mod tabu;
+mod two_phase;
+
+pub use beam::{BeamConfig, BeamSearch};
+pub use duplex::Duplex;
+pub use kpb::Kpb;
+pub use maxmin::MaxMin;
+pub use mct::Mct;
+pub use met::Met;
+pub use minmin::MinMin;
+pub use olb::Olb;
+pub use sa::{Sa, SaConfig};
+pub use smm::{SegmentKey, SegmentedMinMin};
+pub use sufferage::{Sufferage, SufferageAction, SufferageEval, SufferagePass};
+pub use swa::{Swa, SwaConfig, SwaMode, SwaStep, SwaTrace};
+pub use tabu::{Tabu, TabuConfig};
+
+use hcs_core::Heuristic;
+
+/// Fresh boxed instances of all ten stateless greedy heuristics, in the
+/// paper's presentation order followed by the baselines. (Genitor and SA
+/// are excluded — they need a seed; see `hcs-genitor` and [`Sa`].)
+pub fn all_heuristics() -> Vec<Box<dyn Heuristic>> {
+    vec![
+        Box::new(MinMin),
+        Box::new(Mct),
+        Box::new(Met),
+        Box::new(Swa::default()),
+        Box::new(Kpb::default()),
+        Box::new(Sufferage),
+        Box::new(Olb),
+        Box::new(MaxMin),
+        Box::new(Duplex),
+        Box::new(SegmentedMinMin::default()),
+    ]
+}
+
+/// Looks a heuristic up by (case-insensitive, hyphen-insensitive) name, for
+/// CLI harnesses.
+pub fn by_name(name: &str) -> Option<Box<dyn Heuristic>> {
+    let wanted = name.to_ascii_lowercase().replace('-', "");
+    all_heuristics()
+        .into_iter()
+        .find(|h| h.name().to_ascii_lowercase().replace('-', "") == wanted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_ten_named_heuristics() {
+        let hs = all_heuristics();
+        assert_eq!(hs.len(), 10);
+        let names: Vec<&str> = hs.iter().map(|h| h.name()).collect();
+        assert!(names.contains(&"Min-Min"));
+        assert!(names.contains(&"Sufferage"));
+        // Names are unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn by_name_is_forgiving() {
+        assert!(by_name("min-min").is_some());
+        assert!(by_name("MINMIN").is_some());
+        assert!(by_name("sufferage").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

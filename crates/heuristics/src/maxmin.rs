@@ -1,0 +1,95 @@
+//! Max-Min — baseline from Ibarra & Kim \[8\] / Braun et al. \[3\].
+//!
+//! Identical to Min-Min except in phase 2: among the per-task minimum
+//! completion times, the task with the **maximum** is committed first. The
+//! intuition is to schedule long tasks early so they overlap the many short
+//! ones instead of straggling at the end. Included as a baseline for the
+//! extended Monte-Carlo studies (the paper's related work compares against
+//! it through ref \[3\]).
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker};
+
+use crate::two_phase;
+
+/// The Max-Min heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxMin;
+
+impl Heuristic for MaxMin {
+    fn name(&self) -> &'static str {
+        "Max-Min"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        two_phase::map(inst, tb, two_phase::Phase2::Max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, Scenario, Time};
+
+    fn run(s: &Scenario, tb: &mut TieBreaker) -> Mapping {
+        let owned = s.full_instance();
+        MaxMin.map(&owned.as_instance(s), tb)
+    }
+
+    #[test]
+    fn longest_best_time_goes_first() {
+        let etc = EtcMatrix::from_rows(&[
+            vec![5.0, 9.0], // best 5
+            vec![1.0, 4.0], // best 1
+            vec![3.0, 2.0], // best 2
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.order()[0], (t(0), m(0)));
+    }
+
+    #[test]
+    fn beats_minmin_on_one_long_many_short() {
+        // One long task and two short ones on two machines: Max-Min puts
+        // the long task alone and overlaps the short ones.
+        let etc =
+            EtcMatrix::from_rows(&[vec![10.0, 10.0], vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let machines = s.etc.machine_vec();
+
+        let maxmin = run(&s, &mut TieBreaker::Deterministic);
+        let maxmin_ms = maxmin.makespan(&s.etc, &s.initial_ready, &machines);
+        assert_eq!(maxmin_ms, Time::new(10.0)); // t0 alone, t1+t2 share m1
+
+        let owned = s.full_instance();
+        let minmin = crate::MinMin.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        let minmin_ms = minmin.makespan(&s.etc, &s.initial_ready, &machines);
+        assert_eq!(minmin_ms, Time::new(12.0)); // shorts first, long stacks
+        assert!(maxmin_ms < minmin_ms);
+    }
+
+    #[test]
+    fn deterministic_tie_prefers_oldest_task() {
+        let etc = EtcMatrix::from_rows(&[vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.order()[0], (t(0), m(0)));
+    }
+
+    #[test]
+    fn maps_every_task_exactly_once() {
+        let etc = EtcMatrix::from_rows(&[
+            vec![4.0, 2.0, 7.0],
+            vec![1.0, 8.0, 8.0],
+            vec![6.0, 3.0, 2.0],
+            vec![5.0, 5.0, 5.0],
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.len(), 4);
+        map.validate(&s.etc.task_vec(), &s.etc.machine_vec())
+            .unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimum Completion Time (MCT) — paper §3.3, Figure 5.
+//!
+//! Walk the task list in its given, arbitrary but fixed order; assign each
+//! task to the machine giving it the smallest **completion time**
+//! (machine ready time plus the task's ETC on that machine), then advance
+//! that machine's ready time.
+//!
+//! Theorem 3.3.1 of the paper: with deterministic tie-breaking, the MCT
+//! mapping is invariant under the iterative technique. The §3.3 example
+//! shows a random tie can increase the makespan.
+
+use hcs_core::{select, Heuristic, Instance, Mapping, TieBreaker};
+
+/// The MCT heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mct;
+
+impl Heuristic for Mct {
+    fn name(&self) -> &'static str {
+        "MCT"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let mut ready = inst.working_ready();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        for &task in inst.tasks {
+            let (cands, _) = select::min_candidates(
+                inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+            );
+            let machine = cands[tb.pick(cands.len())];
+            ready.advance(machine, inst.etc.get(task, machine));
+            mapping
+                .assign(task, machine)
+                .expect("task list contains no duplicates");
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, ReadyTimes, Scenario, Time};
+
+    fn run(s: &Scenario, tb: &mut TieBreaker) -> Mapping {
+        let owned = s.full_instance();
+        Mct.map(&owned.as_instance(s), tb)
+    }
+
+    #[test]
+    fn balances_load_unlike_met() {
+        // Both tasks are fastest on m0, but after t0 lands there m1 offers
+        // a better completion time for t1.
+        let etc = EtcMatrix::from_rows(&[vec![4.0, 5.0], vec![4.0, 5.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+        assert_eq!(map.machine_of(t(1)), Some(m(1))); // CT 5 beats 4+4=8
+        assert_eq!(
+            map.makespan(&s.etc, &s.initial_ready, &[m(0), m(1)]),
+            Time::new(5.0)
+        );
+    }
+
+    #[test]
+    fn accounts_for_initial_ready_times() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let s = Scenario::with_ready(etc, ReadyTimes::from_values(&[10.0, 0.0]));
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(1)));
+    }
+
+    #[test]
+    fn deterministic_tie_takes_lowest_machine_index() {
+        let etc = EtcMatrix::from_rows(&[vec![3.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+    }
+
+    #[test]
+    fn random_tie_covers_all_candidates() {
+        let etc = EtcMatrix::from_rows(&[vec![3.0, 3.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..48 {
+            let map = run(&s, &mut TieBreaker::random(seed));
+            seen.insert(map.machine_of(t(0)).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn task_list_order_matters() {
+        // MCT is order sensitive: with list (t0, t1) both fit perfectly;
+        // the mapping is a chain of greedy choices in list order.
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 3.0], vec![2.0, 3.0], vec![6.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        // t0 -> m0 (2), t1 -> m1 (3 < 2+2? no, 3 > 4? 3 < 4 so m1), wait:
+        // CT(t1, m0) = 2 + 2 = 4, CT(t1, m1) = 3 -> m1.
+        // CT(t2, m0) = 2 + 6 = 8, CT(t2, m1) = 3 + 3 = 6 -> m1.
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+        assert_eq!(map.machine_of(t(1)), Some(m(1)));
+        assert_eq!(map.machine_of(t(2)), Some(m(1)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimum Execution Time (MET) — paper §3.4, Figure 8.
+//!
+//! Walk the task list in its given order; assign each task to the machine
+//! with the smallest **ETC value** (execution time), ignoring machine loads
+//! entirely. MET is the fastest heuristic but can overload the globally
+//! fastest machine.
+//!
+//! The paper proves (§3.4) that with deterministic tie-breaking the MET
+//! mapping never changes across iterations of the iterative technique: the
+//! MET machine of a task depends only on its ETC row, which the technique
+//! never alters (it only removes machines, and a removed non-makespan
+//! machine was never the task's MET machine... for tasks that survive).
+//! With *random* tie-breaking the paper's §3.4 example shows the makespan
+//! can increase.
+
+use hcs_core::{select, Heuristic, Instance, Mapping, TieBreaker};
+
+/// The MET heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Met;
+
+impl Heuristic for Met {
+    fn name(&self) -> &'static str {
+        "MET"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        for &task in inst.tasks {
+            let (cands, _) =
+                select::min_candidates(inst.machines.iter().map(|&m| (m, inst.etc.get(task, m))));
+            let machine = cands[tb.pick(cands.len())];
+            mapping
+                .assign(task, machine)
+                .expect("task list contains no duplicates");
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn run(etc: EtcMatrix, tb: &mut TieBreaker) -> Mapping {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        Met.map(&owned.as_instance(&s), tb)
+    }
+
+    #[test]
+    fn picks_minimum_execution_machine_regardless_of_load() {
+        // Both tasks have their smallest ETC on m0; MET piles both on it.
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 9.0], vec![1.0, 9.0]]).unwrap();
+        let map = run(etc, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+        assert_eq!(map.machine_of(t(1)), Some(m(0)));
+    }
+
+    #[test]
+    fn ignores_initial_ready_times() {
+        // m0 is heavily pre-loaded but still the MET machine.
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let s = Scenario::with_ready(etc, hcs_core::ReadyTimes::from_values(&[100.0, 0.0]));
+        let owned = s.full_instance();
+        let map = Met.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+    }
+
+    #[test]
+    fn deterministic_tie_takes_lowest_machine_index() {
+        let etc = EtcMatrix::from_rows(&[vec![5.0, 3.0, 3.0]]).unwrap();
+        let map = run(etc, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(1)));
+    }
+
+    #[test]
+    fn random_tie_eventually_picks_both() {
+        let etc = EtcMatrix::from_rows(&[vec![5.0, 3.0, 3.0]]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let map = run(etc.clone(), &mut TieBreaker::random(seed));
+            seen.insert(map.machine_of(t(0)).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "both tied machines should occur");
+        assert!(!seen.contains(&m(0)));
+    }
+
+    #[test]
+    fn respects_active_machine_set() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let tasks = vec![t(0)];
+        let machines = vec![m(1), m(2)]; // m0 removed
+        let inst = Instance {
+            etc: &s.etc,
+            tasks: &tasks,
+            machines: &machines,
+            ready: &s.initial_ready,
+        };
+        let map = Met.map(&inst, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(1)));
+    }
+
+    #[test]
+    fn assignment_order_follows_task_list() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let map = run(etc, &mut TieBreaker::Deterministic);
+        let order: Vec<_> = map.order().iter().map(|&(task, _)| task).collect();
+        assert_eq!(order, vec![t(0), t(1), t(2)]);
+    }
+}

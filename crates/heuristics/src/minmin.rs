@@ -1,0 +1,135 @@
+//! Min-Min — paper §3.2, Figure 2; from Ibarra & Kim \[8\].
+//!
+//! A two-phase greedy batch heuristic. While unmapped tasks remain:
+//!
+//! 1. **first Min** — for each unmapped task, find the machine giving it
+//!    the minimum completion time (ignoring the other unmapped tasks);
+//! 2. **second Min** — among those task–machine pairs, pick the pair with
+//!    the overall minimum completion time; commit it and advance the
+//!    machine's ready time.
+//!
+//! Theorem 3.2.1 of the paper: with deterministic tie-breaking the Min-Min
+//! mapping is invariant under the iterative technique. The §3.2 example
+//! shows a randomly broken tie can increase the makespan.
+//!
+//! # Tie handling
+//!
+//! Ties can arise in both phases (several machines minimize a task's
+//! completion time; several tasks share the global minimum). Candidates
+//! are gathered as *pairs*: every `(task, machine)` combination achieving
+//! the global minimum completion time, enumerated in (task-list order,
+//! ascending machine) order, and a single [`TieBreaker`] choice picks among
+//! them — first pair for the deterministic policy (oldest task, lowest
+//! machine), uniform for the random policy.
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker};
+
+use crate::two_phase;
+
+/// The Min-Min heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinMin;
+
+impl Heuristic for MinMin {
+    fn name(&self) -> &'static str {
+        "Min-Min"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        two_phase::map(inst, tb, two_phase::Phase2::Min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, Scenario, Time};
+
+    fn run(s: &Scenario, tb: &mut TieBreaker) -> Mapping {
+        let owned = s.full_instance();
+        MinMin.map(&owned.as_instance(s), tb)
+    }
+
+    #[test]
+    fn shortest_pair_goes_first() {
+        let etc = EtcMatrix::from_rows(&[
+            vec![5.0, 9.0],
+            vec![1.0, 4.0], // global minimum pair: (t1, m0)
+            vec![3.0, 2.0],
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.order()[0], (t(1), m(0)));
+    }
+
+    #[test]
+    fn classic_minmin_schedule() {
+        // Worked by hand:
+        //   rows: t0 (2, 6), t1 (3, 4), t2 (8, 3)
+        //   step 1: minima per task: t0->m0 (2), t1->m0 (3), t2->m1 (3);
+        //           global min = 2 -> (t0, m0); ready (2, 0)
+        //   step 2: t1: min(2+3, 4) = 4 -> m1? CT(t1,m0)=5, CT(t1,m1)=4 -> m1 (4)
+        //           t2: CT(m0)=10, CT(m1)=3 -> m1 (3); global min 3 -> (t2, m1)
+        //           ready (2, 3)
+        //   step 3: t1: CT(m0)=5, CT(m1)=7 -> (t1, m0); ready (5, 3)
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0], vec![8.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.order(), &[(t(0), m(0)), (t(2), m(1)), (t(1), m(0))]);
+        assert_eq!(
+            map.makespan(&s.etc, &s.initial_ready, &[m(0), m(1)]),
+            Time::new(5.0)
+        );
+    }
+
+    #[test]
+    fn deterministic_tie_prefers_oldest_task_then_lowest_machine() {
+        // All four pairs tie at CT 3 in the first step.
+        let etc = EtcMatrix::from_rows(&[vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.order()[0], (t(0), m(0)));
+    }
+
+    #[test]
+    fn random_tie_covers_tied_pairs() {
+        let etc = EtcMatrix::from_rows(&[vec![3.0, 3.0], vec![9.0, 9.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let mut firsts = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let map = run(&s, &mut TieBreaker::random(seed));
+            firsts.insert(map.order()[0]);
+        }
+        assert_eq!(firsts, [(t(0), m(0)), (t(0), m(1))].into_iter().collect());
+    }
+
+    #[test]
+    fn accounts_for_ready_times_between_steps() {
+        // After t0 fills m0, t1's best completion moves to m1 even though
+        // its raw ETC is smaller on m0.
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 9.0], vec![2.0, 2.5]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+        assert_eq!(map.machine_of(t(1)), Some(m(1))); // 2.5 < 1 + 2
+    }
+
+    #[test]
+    fn maps_every_task_exactly_once() {
+        let etc = EtcMatrix::from_rows(&[
+            vec![4.0, 2.0, 7.0],
+            vec![1.0, 8.0, 8.0],
+            vec![6.0, 3.0, 2.0],
+            vec![5.0, 5.0, 5.0],
+            vec![2.0, 9.0, 4.0],
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let map = run(&s, &mut TieBreaker::Deterministic);
+        assert_eq!(map.len(), 5);
+        map.validate(&s.etc.task_vec(), &s.etc.machine_vec())
+            .unwrap();
+    }
+}

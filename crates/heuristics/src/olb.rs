@@ -1,0 +1,76 @@
+//! Opportunistic Load Balancing (OLB) — baseline from Braun et al. \[3\].
+//!
+//! Walk the task list in order; assign each task to the machine that
+//! becomes **ready** earliest, without looking at the task's ETC at all.
+//! OLB keeps machines busy but is oblivious to heterogeneity; it is the
+//! customary "do the simplest thing" baseline in this literature and is
+//! included for the extended Monte-Carlo studies (experiment X1).
+
+use hcs_core::{select, Heuristic, Instance, Mapping, TieBreaker};
+
+/// The OLB heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Olb;
+
+impl Heuristic for Olb {
+    fn name(&self) -> &'static str {
+        "OLB"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let mut ready = inst.working_ready();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        for &task in inst.tasks {
+            let (cands, _) =
+                select::min_candidates(inst.machines.iter().map(|&m| (m, ready.get(m))));
+            let machine = cands[tb.pick(cands.len())];
+            ready.advance(machine, inst.etc.get(task, machine));
+            mapping
+                .assign(task, machine)
+                .expect("task list contains no duplicates");
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, ReadyTimes, Scenario};
+
+    #[test]
+    fn picks_earliest_ready_machine_ignoring_etc() {
+        // m1 is ready earlier even though the task is much slower there.
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 100.0]]).unwrap();
+        let s = Scenario::with_ready(etc, ReadyTimes::from_values(&[5.0, 0.0]));
+        let owned = s.full_instance();
+        let map = Olb.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        assert_eq!(map.machine_of(t(0)), Some(m(1)));
+    }
+
+    #[test]
+    fn round_robins_on_equal_ready_times_via_advancing_load() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 2.0], vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let map = Olb.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        // t0 -> m0 (tie, lowest index), t1 -> m1 (m0 now busy), t2 -> m0.
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+        assert_eq!(map.machine_of(t(1)), Some(m(1)));
+        assert_eq!(map.machine_of(t(2)), Some(m(0)));
+    }
+
+    #[test]
+    fn random_ties_spread_choices() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 1.0, 1.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..48 {
+            let map = Olb.map(&owned.as_instance(&s), &mut TieBreaker::random(seed));
+            seen.insert(map.machine_of(t(0)).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,308 @@
+//! Simulated Annealing — the Braun et al. \[3\] baseline configuration.
+//!
+//! An iterative search over complete mappings: start from a random (or
+//! Min-Min-seeded) mapping, repeatedly mutate one task's machine, accept
+//! improvements always and regressions with probability
+//! `exp(-Δ/T)`, cooling `T` geometrically. Braun et al. initialize the
+//! temperature to the initial makespan and multiply by 0.9 each step.
+//!
+//! Like Genitor, SA owns its RNG (its randomness is search, not
+//! tie-breaking), is deterministic per seed, and is far slower than the
+//! greedy heuristics — it is an extension baseline for the Monte-Carlo
+//! studies, not part of the paper's study set.
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters for [`Sa`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Geometric cooling factor per step (Braun et al.: 0.9... per sweep;
+    /// we cool every `sweep` mutations).
+    pub cooling: f64,
+    /// Mutations between cooling steps.
+    pub sweep: usize,
+    /// Stop when the temperature falls below this fraction of the initial
+    /// temperature.
+    pub t_min_fraction: f64,
+    /// Hard cap on mutations.
+    pub max_steps: usize,
+    /// Start from a Min-Min mapping instead of a random one.
+    pub seed_minmin: bool,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            cooling: 0.9,
+            sweep: 64,
+            t_min_fraction: 1e-4,
+            max_steps: 50_000,
+            seed_minmin: false,
+        }
+    }
+}
+
+/// The Simulated Annealing mapper.
+#[derive(Clone, Debug)]
+pub struct Sa {
+    config: SaConfig,
+    rng: StdRng,
+}
+
+impl Sa {
+    /// An SA instance with default configuration.
+    pub fn new(seed: u64) -> Self {
+        Sa::with_config(seed, SaConfig::default())
+    }
+
+    /// An SA instance with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cooling < 1` and `sweep > 0`.
+    pub fn with_config(seed: u64, config: SaConfig) -> Self {
+        assert!(
+            config.cooling > 0.0 && config.cooling < 1.0,
+            "cooling factor must be in (0, 1)"
+        );
+        assert!(config.sweep > 0, "sweep must be positive");
+        Sa {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Heuristic for Sa {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        if n_tasks == 0 {
+            return mapping;
+        }
+
+        // State: assignment (machine index per task position) + per-machine
+        // finishing times, updated incrementally (O(M) per step for the
+        // makespan re-scan, O(1) for the loads).
+        let mut assign: Vec<usize> = if self.config.seed_minmin {
+            minmin_assignment(inst)
+        } else {
+            (0..n_tasks)
+                .map(|_| self.rng.gen_range(0..n_machines))
+                .collect()
+        };
+        let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+        for (pos, &mi) in assign.iter().enumerate() {
+            loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+        }
+        let makespan = |loads: &[Time]| -> Time {
+            loads.iter().copied().max().expect("non-empty machine set")
+        };
+
+        let mut current = makespan(&loads);
+        let mut best = current;
+        let mut best_assign = assign.clone();
+        let t0 = current.get().max(1e-9);
+        let mut temperature = t0;
+        let t_floor = t0 * self.config.t_min_fraction;
+
+        for step in 0..self.config.max_steps {
+            if temperature < t_floor {
+                break;
+            }
+            // Mutate: move one random task to a random machine.
+            let pos = self.rng.gen_range(0..n_tasks);
+            let old_mi = assign[pos];
+            let new_mi = self.rng.gen_range(0..n_machines);
+            if new_mi != old_mi {
+                let task = inst.tasks[pos];
+                let old_load = loads[old_mi];
+                let new_load = loads[new_mi];
+                loads[old_mi] = old_load - inst.etc.get(task, inst.machines[old_mi]);
+                loads[new_mi] = new_load + inst.etc.get(task, inst.machines[new_mi]);
+                let candidate = makespan(&loads);
+
+                let delta = candidate.get() - current.get();
+                let accept =
+                    delta <= 0.0 || self.rng.gen_range(0.0..1.0) < (-delta / temperature).exp();
+                if accept {
+                    assign[pos] = new_mi;
+                    current = candidate;
+                    if current < best {
+                        best = current;
+                        best_assign.clone_from(&assign);
+                    }
+                } else {
+                    loads[old_mi] = old_load;
+                    loads[new_mi] = new_load;
+                }
+            }
+            if (step + 1) % self.config.sweep == 0 {
+                temperature *= self.config.cooling;
+            }
+        }
+
+        for (pos, &mi) in best_assign.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi])
+                .expect("each position assigned once");
+        }
+        mapping
+    }
+}
+
+/// Min-Min as a machine-index assignment (seed option). Kept local for the
+/// same crate-graph reason as in `hcs-genitor`.
+fn minmin_assignment(inst: &Instance<'_>) -> Vec<usize> {
+    let mut ready: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    let mut assign = vec![0usize; inst.tasks.len()];
+    let mut unmapped: Vec<usize> = (0..inst.tasks.len()).collect();
+    while !unmapped.is_empty() {
+        let mut bestv: Option<(usize, usize, Time)> = None;
+        for &pos in &unmapped {
+            for (mi, &machine) in inst.machines.iter().enumerate() {
+                let ct = ready[mi] + inst.etc.get(inst.tasks[pos], machine);
+                if bestv.is_none_or(|(_, _, b)| ct < b) {
+                    bestv = Some((pos, mi, ct));
+                }
+            }
+        }
+        let (pos, mi, _) = bestv.expect("unmapped non-empty");
+        ready[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+        assign[pos] = mi;
+        unmapped.retain(|&p| p != pos);
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn scenario() -> Scenario {
+        Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![4.0, 7.0, 2.0],
+                vec![3.0, 1.0, 9.0],
+                vec![5.0, 5.0, 5.0],
+                vec![2.0, 8.0, 6.0],
+                vec![7.0, 3.0, 4.0],
+                vec![6.0, 2.0, 8.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn run(sa: &mut Sa, s: &Scenario) -> Mapping {
+        let owned = s.full_instance();
+        sa.map(&owned.as_instance(s), &mut TieBreaker::Deterministic)
+    }
+
+    #[test]
+    fn produces_a_complete_valid_mapping() {
+        let s = scenario();
+        let map = run(&mut Sa::new(1), &s);
+        map.validate(&s.etc.task_vec(), &s.etc.machine_vec())
+            .unwrap();
+        assert_eq!(map.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = scenario();
+        let a = run(&mut Sa::new(5), &s);
+        let b = run(&mut Sa::new(5), &s);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn improves_over_a_random_start() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let annealed = run(&mut Sa::new(3), &s).makespan(&s.etc, &s.initial_ready, &machines);
+        // A frozen SA (max_steps 0) just returns its random start.
+        let mut frozen = Sa::with_config(
+            3,
+            SaConfig {
+                max_steps: 0,
+                ..Default::default()
+            },
+        );
+        let start = run(&mut frozen, &s).makespan(&s.etc, &s.initial_ready, &machines);
+        assert!(annealed <= start, "annealed {annealed} vs start {start}");
+    }
+
+    #[test]
+    fn minmin_seed_start_is_respected() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let mut sa = Sa::with_config(
+            7,
+            SaConfig {
+                seed_minmin: true,
+                max_steps: 0,
+                ..Default::default()
+            },
+        );
+        let seeded = run(&mut sa, &s).makespan(&s.etc, &s.initial_ready, &machines);
+        // Min-Min's makespan on this instance (hand-checkable) is modest;
+        // at minimum, the frozen seeded run must beat the worst machine sum.
+        let all_on_one: Time = s.etc.tasks().map(|t| s.etc.get(t, machines[0])).sum();
+        assert!(seeded < all_on_one);
+    }
+
+    #[test]
+    fn near_optimal_on_the_small_instance() {
+        // Brute force 3^6 = 729 assignments.
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let mut best = Time::new(f64::MAX / 2.0);
+        for code in 0..3usize.pow(6) {
+            let mut c = code;
+            let mut loads = [Time::ZERO; 3];
+            for task in s.etc.tasks() {
+                let mi = c % 3;
+                c /= 3;
+                loads[mi] += s.etc.get(task, machines[mi]);
+            }
+            best = best.min(loads.into_iter().max().unwrap());
+        }
+        let sa = run(&mut Sa::new(11), &s).makespan(&s.etc, &s.initial_ready, &machines);
+        assert_eq!(sa, best, "SA should solve a 6x3 instance exactly");
+    }
+
+    #[test]
+    fn empty_task_set_is_fine() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let inst = Instance {
+            etc: &s.etc,
+            tasks: &[],
+            machines: &machines,
+            ready: &s.initial_ready,
+        };
+        let map = Sa::new(0).map(&inst, &mut TieBreaker::Deterministic);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn bad_cooling_rejected() {
+        let _ = Sa::with_config(
+            0,
+            SaConfig {
+                cooling: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Sufferage — paper §3.7, Figure 17; adapted from refs \[4, 14\].
+//!
+//! A batch heuristic built on the *sufferage value* of a task: how much the
+//! task would suffer (in completion time) if it did not get its favourite
+//! machine — the second-earliest completion time minus the earliest.
+//!
+//! While unmapped tasks remain, run a **pass**:
+//!
+//! 1. mark all machines unassigned;
+//! 2. for each task `t_k` still in the list `L` (in order):
+//!    * find the machine `m_j` with the earliest completion time
+//!      (machine ties go through the [`TieBreaker`]);
+//!    * compute the sufferage value;
+//!    * if `m_j` is unassigned, tentatively give it `t_k`;
+//!    * otherwise, if the incumbent task's sufferage is **less than**
+//!      `t_k`'s, displace the incumbent (it returns to `L`) and give `m_j`
+//!      to `t_k`; on an equal or greater sufferage the incumbent stays;
+//! 3. commit the tentative assignments, advance ready times, and start the
+//!    next pass.
+//!
+//! A task whose only machine option disappears mid-pass (all its candidate
+//! machines taken by stronger incumbents) simply waits for the next pass —
+//! this is what gives Sufferage its limited local search flavour. With a
+//! single machine the second-earliest completion time does not exist; the
+//! sufferage value is defined as zero (the task cannot suffer when there is
+//! no alternative).
+//!
+//! The paper's §3.7 example shows Sufferage increasing its makespan under
+//! the iterative technique even with deterministic ties.
+
+use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+/// What happened when a task was evaluated within a pass.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SufferageAction {
+    /// The task took a free machine.
+    Assigned,
+    /// The task displaced the named incumbent (higher sufferage wins).
+    Displaced(TaskId),
+    /// The machine's incumbent had greater-or-equal sufferage; the task
+    /// waits for the next pass.
+    Rejected,
+}
+
+/// One task evaluation within a pass — a row of the paper's Tables 16/17.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SufferageEval {
+    /// The evaluated task.
+    pub task: TaskId,
+    /// Its earliest-completion machine for this pass.
+    pub machine: MachineId,
+    /// The earliest completion time ("min CT" column).
+    pub min_ct: Time,
+    /// The sufferage value column.
+    pub sufferage: Time,
+    /// Outcome of the evaluation.
+    pub action: SufferageAction,
+}
+
+/// One pass: the evaluations in order plus the committed assignments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SufferagePass {
+    /// Task evaluations in list order.
+    pub evals: Vec<SufferageEval>,
+    /// `(task, machine)` pairs committed at the end of the pass.
+    pub commits: Vec<(TaskId, MachineId)>,
+}
+
+/// The Sufferage heuristic (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sufferage;
+
+impl Sufferage {
+    /// Maps the instance and returns the per-pass trace used to regenerate
+    /// the paper's Tables 16 and 17.
+    pub fn map_traced(
+        &self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+    ) -> (Mapping, Vec<SufferagePass>) {
+        let mut list: Vec<TaskId> = inst.tasks.to_vec();
+        let mut ready = inst.working_ready();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        let mut passes = Vec::new();
+
+        while !list.is_empty() {
+            // Tentative winner per machine: (task, its sufferage value).
+            let mut tentative: Vec<(MachineId, TaskId, Time)> = Vec::new();
+            let mut evals = Vec::new();
+            let snapshot = list.clone();
+
+            for &task in &snapshot {
+                let (machine_cands, min_ct) = select::min_candidates(
+                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                );
+                let machine = machine_cands[tb.pick(machine_cands.len())];
+                let (_, second) =
+                    select::two_smallest(inst.machines.iter().map(|&m| inst.ct(task, m, &ready)));
+                let sufferage = second.map_or(Time::ZERO, |s| s - min_ct);
+
+                let action = match tentative.iter_mut().find(|(m, _, _)| *m == machine) {
+                    None => {
+                        tentative.push((machine, task, sufferage));
+                        SufferageAction::Assigned
+                    }
+                    Some(entry) => {
+                        let (_, incumbent, incumbent_suff) = *entry;
+                        if incumbent_suff < sufferage {
+                            entry.1 = task;
+                            entry.2 = sufferage;
+                            SufferageAction::Displaced(incumbent)
+                        } else {
+                            SufferageAction::Rejected
+                        }
+                    }
+                };
+                evals.push(SufferageEval {
+                    task,
+                    machine,
+                    min_ct,
+                    sufferage,
+                    action,
+                });
+            }
+
+            // Commit the pass: update ready times, remove winners from L.
+            let mut commits = Vec::with_capacity(tentative.len());
+            for &(machine, task, _) in &tentative {
+                ready.advance(machine, inst.etc.get(task, machine));
+                mapping
+                    .assign(task, machine)
+                    .expect("a task wins at most one machine per pass");
+                list.retain(|&t| t != task);
+                commits.push((task, machine));
+            }
+            debug_assert!(!commits.is_empty(), "every pass commits at least one task");
+            passes.push(SufferagePass { evals, commits });
+        }
+        (mapping, passes)
+    }
+}
+
+impl Heuristic for Sufferage {
+    fn name(&self) -> &'static str {
+        "Sufferage"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_traced(inst, tb).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn traced(s: &Scenario) -> (Mapping, Vec<SufferagePass>) {
+        let owned = s.full_instance();
+        Sufferage.map_traced(&owned.as_instance(s), &mut TieBreaker::Deterministic)
+    }
+
+    #[test]
+    fn high_sufferage_task_displaces_low() {
+        // Both tasks prefer m0; t1 suffers much more if denied (9-1=8 vs
+        // 3-2=1), so t1 displaces t0 and t0 is committed next pass.
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 3.0], vec![1.0, 9.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (map, passes) = traced(&s);
+        assert_eq!(map.machine_of(t(1)), Some(m(0)));
+        assert_eq!(passes[0].evals[1].action, SufferageAction::Displaced(t(0)));
+        // t0 waits a pass; then CT(t0, m0) = 1+2 = 3 ties CT(t0, m1) = 3
+        // and the deterministic tie-break picks the lower index, m0.
+        assert_eq!(passes.len(), 2);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+    }
+
+    #[test]
+    fn equal_sufferage_keeps_incumbent() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 5.0], vec![1.0, 5.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (_, passes) = traced(&s);
+        assert_eq!(passes[0].evals[0].action, SufferageAction::Assigned);
+        assert_eq!(passes[0].evals[1].action, SufferageAction::Rejected);
+        assert_eq!(passes[0].commits, vec![(t(0), m(0))]);
+    }
+
+    #[test]
+    fn different_favourites_commit_in_one_pass() {
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 9.0], vec![9.0, 1.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (map, passes) = traced(&s);
+        assert_eq!(passes.len(), 1);
+        assert_eq!(map.machine_of(t(0)), Some(m(0)));
+        assert_eq!(map.machine_of(t(1)), Some(m(1)));
+    }
+
+    #[test]
+    fn sufferage_values_match_definition() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 7.0, 4.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (_, passes) = traced(&s);
+        let eval = &passes[0].evals[0];
+        assert_eq!(eval.min_ct, Time::new(2.0));
+        assert_eq!(eval.sufferage, Time::new(2.0)); // 4 - 2
+        assert_eq!(eval.machine, m(0));
+    }
+
+    #[test]
+    fn single_machine_sufferage_is_zero_and_terminates() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (map, passes) = traced(&s);
+        assert_eq!(map.len(), 3);
+        // One commit per pass (one machine), so three passes.
+        assert_eq!(passes.len(), 3);
+        for p in &passes {
+            assert_eq!(p.commits.len(), 1);
+            assert!(p.evals.iter().all(|e| e.sufferage == Time::ZERO));
+        }
+    }
+
+    #[test]
+    fn maps_every_task_exactly_once_on_larger_instance() {
+        let etc = EtcMatrix::from_rows(&[
+            vec![4.0, 2.0, 7.0],
+            vec![1.0, 8.0, 8.0],
+            vec![6.0, 3.0, 2.0],
+            vec![5.0, 5.0, 5.0],
+            vec![2.0, 9.0, 4.0],
+            vec![3.0, 1.0, 6.0],
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (map, _) = traced(&s);
+        assert_eq!(map.len(), 6);
+        map.validate(&s.etc.task_vec(), &s.etc.machine_vec())
+            .unwrap();
+    }
+}

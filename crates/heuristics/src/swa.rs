@@ -1,0 +1,278 @@
+//! Switching Algorithm (SWA) — paper §3.5, Figure 13; adapted from
+//! Maheswaran et al. \[14\].
+//!
+//! A hybrid of MCT and MET driven by the **load balance index**
+//! `BI = min ready time / max ready time` over the considered machines:
+//!
+//! 1. the first task in the list is mapped with MCT;
+//! 2. after each mapping, BI is recomputed;
+//! 3. if `BI > hi` the heuristic switches to MET (the system is balanced —
+//!    exploit the fast machines); if `BI < lo` it switches back to MCT
+//!    (rebalance); otherwise the current choice persists;
+//! 4. the next task is mapped with the currently selected heuristic.
+//!
+//! When every ready time is zero (before the first mapping, with zero
+//! initial ready times) BI is `0/0`; the paper's tables print `x` for this
+//! and the selected heuristic stays MCT. We reproduce that: an undefined BI
+//! leaves the selection unchanged.
+//!
+//! The paper's §3.5 example shows SWA increasing its makespan under the
+//! iterative technique **even with deterministic ties**: removing the
+//! makespan machine changes the BI trajectory, which flips the MET/MCT
+//! selection for later tasks.
+
+use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+/// Which of the two sub-heuristics SWA used for a task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwaMode {
+    /// Minimum Completion Time.
+    Mct,
+    /// Minimum Execution Time.
+    Met,
+}
+
+impl std::fmt::Display for SwaMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwaMode::Mct => write!(f, "MCT"),
+            SwaMode::Met => write!(f, "MET"),
+        }
+    }
+}
+
+/// SWA thresholds.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwaConfig {
+    /// Switch to MET when `BI > hi`.
+    pub hi: f64,
+    /// Switch to MCT when `BI < lo`.
+    pub lo: f64,
+}
+
+impl Default for SwaConfig {
+    /// The thresholds of the paper's §3.5 example: `hi = 0.49` (stated in
+    /// the text) and `lo = 1/3` (recovered from the example's BI
+    /// trajectory; see `hcs-paper`).
+    fn default() -> Self {
+        SwaConfig {
+            hi: 0.49,
+            lo: 1.0 / 3.0,
+        }
+    }
+}
+
+/// One step of an SWA trace — enough to regenerate the paper's Tables 10
+/// and 11 (BI column, assignment, heuristic column).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwaStep {
+    /// The task mapped in this step.
+    pub task: TaskId,
+    /// The machine it was assigned to.
+    pub machine: MachineId,
+    /// The balance index observed before mapping this task; `None` is the
+    /// table's `x` (undefined, all ready times zero).
+    pub bi_before: Option<f64>,
+    /// The sub-heuristic used for this task.
+    pub mode: SwaMode,
+    /// Ready times of the considered machines after this step (ascending
+    /// machine order) — the tables' `CT` columns.
+    pub ready_after: Vec<(MachineId, Time)>,
+}
+
+/// A full SWA trace.
+pub type SwaTrace = Vec<SwaStep>;
+
+/// The Switching Algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Swa {
+    /// Thresholds (see [`SwaConfig`]).
+    pub config: SwaConfig,
+}
+
+impl Swa {
+    /// SWA with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lo <= hi <= 1`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+            "SWA thresholds must satisfy 0 <= lo <= hi <= 1, got lo={lo}, hi={hi}"
+        );
+        Swa {
+            config: SwaConfig { hi, lo },
+        }
+    }
+
+    /// Maps the instance and returns the mapping together with the per-step
+    /// trace used by the paper's tables.
+    pub fn map_traced(&self, inst: &Instance<'_>, tb: &mut TieBreaker) -> (Mapping, SwaTrace) {
+        let mut ready = inst.working_ready();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        let mut trace = Vec::with_capacity(inst.tasks.len());
+        let mut mode = SwaMode::Mct; // step 2: first task uses MCT
+
+        for (i, &task) in inst.tasks.iter().enumerate() {
+            let bi_before = if i == 0 {
+                None
+            } else {
+                balance_index(inst.machines, &ready)
+            };
+            if let Some(bi) = bi_before {
+                if bi > self.config.hi {
+                    mode = SwaMode::Met;
+                } else if bi < self.config.lo {
+                    mode = SwaMode::Mct;
+                }
+                // Otherwise: the current heuristic remains selected.
+            }
+
+            let (cands, _) = match mode {
+                SwaMode::Mct => select::min_candidates(
+                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                ),
+                SwaMode::Met => select::min_candidates(
+                    inst.machines.iter().map(|&m| (m, inst.etc.get(task, m))),
+                ),
+            };
+            let machine = cands[tb.pick(cands.len())];
+            ready.advance(machine, inst.etc.get(task, machine));
+            mapping
+                .assign(task, machine)
+                .expect("task list contains no duplicates");
+            trace.push(SwaStep {
+                task,
+                machine,
+                bi_before,
+                mode,
+                ready_after: inst.machines.iter().map(|&m| (m, ready.get(m))).collect(),
+            });
+        }
+        (mapping, trace)
+    }
+}
+
+/// `min ready / max ready` over `machines`; `None` when the maximum is zero
+/// (the paper's undefined `x`).
+fn balance_index(machines: &[MachineId], ready: &hcs_core::ReadyTimes) -> Option<f64> {
+    let min = machines
+        .iter()
+        .map(|&m| ready.get(m))
+        .min()
+        .expect("SWA needs at least one machine");
+    let max = machines
+        .iter()
+        .map(|&m| ready.get(m))
+        .max()
+        .expect("SWA needs at least one machine");
+    (max > Time::ZERO).then(|| min.get() / max.get())
+}
+
+impl Heuristic for Swa {
+    fn name(&self) -> &'static str {
+        "SWA"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_traced(inst, tb).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn traced(s: &Scenario, swa: Swa) -> (Mapping, SwaTrace) {
+        let owned = s.full_instance();
+        swa.map_traced(&owned.as_instance(s), &mut TieBreaker::Deterministic)
+    }
+
+    #[test]
+    fn first_task_uses_mct_and_bi_undefined() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 1.0], vec![2.0, 1.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (_, trace) = traced(&s, Swa::default());
+        assert_eq!(trace[0].mode, SwaMode::Mct);
+        assert_eq!(trace[0].bi_before, None);
+        assert_eq!(trace[0].machine, m(1)); // MCT: ETC 1 < 2
+    }
+
+    #[test]
+    fn switches_to_met_when_balanced() {
+        // After t0 -> m1 (CT 1) and t1 -> m0 via MCT? Construct: two
+        // machines; t0 ETC (1, 1): MCT tie -> m0, ready (1, 0), BI = 0 ->
+        // MCT for t1; t1 ETC (5, 1) -> m1, ready (1, 1), BI = 1 > hi ->
+        // MET for t2; t2 ETC (10, 1): MET -> m1 even though m0's CT would
+        // tie MET's.
+        let etc = EtcMatrix::from_rows(&[vec![1.0, 1.0], vec![5.0, 1.0], vec![10.0, 1.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (map, trace) = traced(&s, Swa::default());
+        assert_eq!(trace[1].bi_before, Some(0.0));
+        assert_eq!(trace[1].mode, SwaMode::Mct);
+        assert_eq!(trace[2].bi_before, Some(1.0));
+        assert_eq!(trace[2].mode, SwaMode::Met);
+        assert_eq!(map.machine_of(t(2)), Some(m(1)));
+    }
+
+    #[test]
+    fn switches_back_to_mct_when_unbalanced() {
+        let swa = Swa::new(0.2, 0.49);
+        // Engineer BI to rise above hi then fall below lo.
+        // t0 ETC (1,1) -> m0 (MCT tie), ready (1,0), BI 0 < lo -> MCT.
+        // t1 ETC (9,1) -> m1 (MCT), ready (1,1), BI 1 > hi -> MET.
+        // t2 ETC (1,9): MET -> m0, ready (2,1), BI 0.5: between -> stays MET.
+        // t3 ETC (8,9): MET -> m0, ready (10,1), BI 0.1 < lo -> MCT for t4.
+        // t4 ETC (9,1): MCT -> m1.
+        let etc = EtcMatrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![9.0, 1.0],
+            vec![1.0, 9.0],
+            vec![8.0, 9.0],
+            vec![9.0, 1.0],
+        ])
+        .unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (map, trace) = traced(&s, swa);
+        assert_eq!(trace[2].mode, SwaMode::Met);
+        assert_eq!(trace[3].mode, SwaMode::Met);
+        assert_eq!(trace[4].mode, SwaMode::Mct);
+        assert_eq!(map.machine_of(t(4)), Some(m(1)));
+    }
+
+    #[test]
+    fn undefined_bi_keeps_current_mode() {
+        // Zero-ETC first task leaves all ready times at zero: BI stays
+        // undefined for the second task too, and the mode stays MCT.
+        let etc = EtcMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (_, trace) = traced(&s, Swa::default());
+        assert_eq!(trace[1].bi_before, None);
+        assert_eq!(trace[1].mode, SwaMode::Mct);
+    }
+
+    #[test]
+    fn trace_ready_columns_accumulate() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 9.0], vec![9.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc);
+        let (_, trace) = traced(&s, Swa::default());
+        assert_eq!(
+            trace[0].ready_after,
+            vec![(m(0), Time::new(2.0)), (m(1), Time::ZERO)]
+        );
+        assert_eq!(
+            trace[1].ready_after,
+            vec![(m(0), Time::new(2.0)), (m(1), Time::new(3.0))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn bad_thresholds_rejected() {
+        let _ = Swa::new(0.9, 0.2);
+    }
+}

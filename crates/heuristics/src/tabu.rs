@@ -1,0 +1,287 @@
+//! Tabu Search — the Braun et al. \[3\] baseline configuration.
+//!
+//! A solution is a complete mapping. The search alternates:
+//!
+//! * **short hops** — first-improvement hill climbing over the
+//!   single-task-reassignment neighbourhood, sweeping (task, machine)
+//!   pairs in canonical order until a full sweep yields no improvement;
+//! * **long hops** — when a local optimum is reached, its mapping is added
+//!   to the tabu list and the search restarts from a random mapping that
+//!   differs from every tabu entry, forcing unexplored regions.
+//!
+//! The best mapping over all hops wins. Stopping: a budget on total
+//! (short + long) hops. Deterministic per seed.
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Tuning parameters for [`Tabu`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TabuConfig {
+    /// Total hop budget (each accepted short hop and each long hop counts).
+    pub max_hops: usize,
+    /// Cap on stored tabu mappings (oldest-insertion eviction is skipped —
+    /// the set simply stops growing, matching Braun et al.'s fixed list).
+    pub tabu_capacity: usize,
+    /// Give up on finding a non-tabu random restart after this many draws.
+    pub restart_attempts: usize,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            max_hops: 2_000,
+            tabu_capacity: 64,
+            restart_attempts: 32,
+        }
+    }
+}
+
+/// The Tabu Search mapper.
+#[derive(Clone, Debug)]
+pub struct Tabu {
+    config: TabuConfig,
+    rng: StdRng,
+}
+
+impl Tabu {
+    /// A Tabu instance with default configuration.
+    pub fn new(seed: u64) -> Self {
+        Tabu::with_config(seed, TabuConfig::default())
+    }
+
+    /// A Tabu instance with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_hops == 0`.
+    pub fn with_config(seed: u64, config: TabuConfig) -> Self {
+        assert!(config.max_hops > 0, "hop budget must be positive");
+        Tabu {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Machine loads for an assignment vector.
+fn loads_of(inst: &Instance<'_>, assign: &[usize]) -> Vec<Time> {
+    let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    for (pos, &mi) in assign.iter().enumerate() {
+        loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+    }
+    loads
+}
+
+fn makespan(loads: &[Time]) -> Time {
+    loads.iter().copied().max().expect("non-empty machine set")
+}
+
+impl Heuristic for Tabu {
+    fn name(&self) -> &'static str {
+        "Tabu"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        if n_tasks == 0 {
+            return mapping;
+        }
+
+        let mut assign: Vec<usize> = (0..n_tasks)
+            .map(|_| self.rng.gen_range(0..n_machines))
+            .collect();
+        let mut loads = loads_of(inst, &assign);
+        let mut current = makespan(&loads);
+        let mut best = current;
+        let mut best_assign = assign.clone();
+        let mut tabu: HashSet<Vec<usize>> = HashSet::new();
+        let mut hops = 0usize;
+
+        'search: while hops < self.config.max_hops {
+            // --- Short hops: first-improvement sweeps ---------------------
+            loop {
+                let mut improved = false;
+                'sweep: for pos in 0..n_tasks {
+                    let old_mi = assign[pos];
+                    let task = inst.tasks[pos];
+                    for mi in 0..n_machines {
+                        if mi == old_mi {
+                            continue;
+                        }
+                        let old_src = loads[old_mi];
+                        let old_dst = loads[mi];
+                        loads[old_mi] = old_src - inst.etc.get(task, inst.machines[old_mi]);
+                        loads[mi] = old_dst + inst.etc.get(task, inst.machines[mi]);
+                        let candidate = makespan(&loads);
+                        if candidate < current {
+                            assign[pos] = mi;
+                            current = candidate;
+                            improved = true;
+                            hops += 1;
+                            if current < best {
+                                best = current;
+                                best_assign.clone_from(&assign);
+                            }
+                            if hops >= self.config.max_hops {
+                                break 'search;
+                            }
+                            break 'sweep;
+                        }
+                        loads[old_mi] = old_src;
+                        loads[mi] = old_dst;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+
+            // --- Local optimum: record and long-hop -----------------------
+            if tabu.len() < self.config.tabu_capacity {
+                tabu.insert(assign.clone());
+            }
+            let mut restarted = false;
+            for _ in 0..self.config.restart_attempts {
+                let candidate: Vec<usize> = (0..n_tasks)
+                    .map(|_| self.rng.gen_range(0..n_machines))
+                    .collect();
+                if !tabu.contains(&candidate) {
+                    assign = candidate;
+                    loads = loads_of(inst, &assign);
+                    current = makespan(&loads);
+                    hops += 1;
+                    restarted = true;
+                    if current < best {
+                        best = current;
+                        best_assign.clone_from(&assign);
+                    }
+                    break;
+                }
+            }
+            if !restarted {
+                break; // the space is saturated with tabu entries
+            }
+        }
+
+        for (pos, &mi) in best_assign.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi])
+                .expect("each position assigned once");
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn scenario() -> Scenario {
+        Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![4.0, 7.0, 2.0],
+                vec![3.0, 1.0, 9.0],
+                vec![5.0, 5.0, 5.0],
+                vec![2.0, 8.0, 6.0],
+                vec![7.0, 3.0, 4.0],
+                vec![6.0, 2.0, 8.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn run(t: &mut Tabu, s: &Scenario) -> Mapping {
+        let owned = s.full_instance();
+        t.map(&owned.as_instance(s), &mut TieBreaker::Deterministic)
+    }
+
+    #[test]
+    fn produces_valid_complete_mapping() {
+        let s = scenario();
+        let map = run(&mut Tabu::new(1), &s);
+        map.validate(&s.etc.task_vec(), &s.etc.machine_vec())
+            .unwrap();
+        assert_eq!(map.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = scenario();
+        assert_eq!(
+            run(&mut Tabu::new(9), &s).order(),
+            run(&mut Tabu::new(9), &s).order()
+        );
+    }
+
+    #[test]
+    fn finds_the_optimum_on_the_small_instance() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        // Brute force 3^6.
+        let mut optimum: Option<Time> = None;
+        for code in 0..3usize.pow(6) {
+            let mut c = code;
+            let mut loads = [Time::ZERO; 3];
+            for task in s.etc.tasks() {
+                let mi = c % 3;
+                c /= 3;
+                loads[mi] += s.etc.get(task, machines[mi]);
+            }
+            let ms = loads.into_iter().max().unwrap();
+            if optimum.is_none_or(|b| ms < b) {
+                optimum = Some(ms);
+            }
+        }
+        let tabu = run(&mut Tabu::new(4), &s).makespan(&s.etc, &s.initial_ready, &machines);
+        assert_eq!(Some(tabu), optimum);
+    }
+
+    #[test]
+    fn hop_budget_is_respected_cheaply() {
+        let s = scenario();
+        let mut tiny = Tabu::with_config(
+            0,
+            TabuConfig {
+                max_hops: 1,
+                ..Default::default()
+            },
+        );
+        // One hop still yields a full valid mapping.
+        let map = run(&mut tiny, &s);
+        assert_eq!(map.len(), 6);
+    }
+
+    #[test]
+    fn empty_task_set_is_fine() {
+        let s = scenario();
+        let machines = s.etc.machine_vec();
+        let inst = Instance {
+            etc: &s.etc,
+            tasks: &[],
+            machines: &machines,
+            ready: &s.initial_ready,
+        };
+        assert!(Tabu::new(0)
+            .map(&inst, &mut TieBreaker::Deterministic)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hop budget")]
+    fn zero_budget_rejected() {
+        let _ = Tabu::with_config(
+            0,
+            TabuConfig {
+                max_hops: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared engine for the two-phase batch heuristics (Min-Min and Max-Min).
+//!
+//! Both heuristics repeat: compute each unmapped task's best (minimum
+//! completion time) machine, then commit the task whose best completion
+//! time is extreme — the minimum for Min-Min, the maximum for Max-Min.
+//! Only the phase-2 objective differs, so both share this engine.
+
+use hcs_core::{select, Instance, MachineId, Mapping, TaskId, TieBreaker};
+
+/// Phase-2 objective.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Phase2 {
+    /// Commit the globally earliest-finishing pair (Min-Min).
+    Min,
+    /// Commit the pair of the task whose best finish is latest (Max-Min).
+    Max,
+}
+
+/// Runs the two-phase greedy loop. See module docs.
+pub(crate) fn map(inst: &Instance<'_>, tb: &mut TieBreaker, phase2: Phase2) -> Mapping {
+    let mut unmapped: Vec<TaskId> = inst.tasks.to_vec();
+    let mut ready = inst.working_ready();
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+
+    while !unmapped.is_empty() {
+        // Phase 1: each task's minimum completion time and the machines
+        // attaining it (ties preserved, ascending machine order).
+        let per_task: Vec<(TaskId, Vec<MachineId>, hcs_core::Time)> = unmapped
+            .iter()
+            .map(|&task| {
+                let (machines, best) = select::min_candidates(
+                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                );
+                (task, machines, best)
+            })
+            .collect();
+
+        // Phase 2: tasks whose best completion time is extreme.
+        let indexed = per_task
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, best))| (i, best));
+        let (task_indices, _) = match phase2 {
+            Phase2::Min => select::min_candidates(indexed),
+            Phase2::Max => select::max_candidates(indexed),
+        };
+
+        // Flatten the tied tasks' tied machines into (task, machine) pairs
+        // in canonical order; one tie-break picks the committed pair.
+        let pairs: Vec<(TaskId, MachineId)> = task_indices
+            .iter()
+            .flat_map(|&i| {
+                let (task, ref machines, _) = per_task[i];
+                machines.iter().map(move |&m| (task, m))
+            })
+            .collect();
+        let (task, machine) = pairs[tb.pick(pairs.len())];
+
+        ready.advance(machine, inst.etc.get(task, machine));
+        mapping
+            .assign(task, machine)
+            .expect("each task committed once");
+        unmapped.retain(|&t| t != task);
+    }
+    mapping
+}

@@ -1,0 +1,175 @@
+//! Property-based invariants of the mapping heuristics.
+
+use hcs_core::{EtcMatrix, Heuristic, Mapping, Scenario, TieBreaker, Time};
+use hcs_heuristics::{all_heuristics, Duplex, Kpb, MaxMin, Mct, Met, MinMin, Sa, Sufferage};
+use proptest::prelude::*;
+
+/// Random continuous matrices (tie-free in practice).
+fn continuous_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=6, 1usize..=14).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(0.5f64..100.0, t * m).prop_map(move |values| {
+            EtcMatrix::new(t, m, &values).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// Random small-integer matrices (tie-rich).
+fn integer_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=5, 1usize..=10).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=5, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            EtcMatrix::new(t, m, &flat).expect("strategy produces valid values")
+        })
+    })
+}
+
+fn map_full(h: &mut dyn Heuristic, s: &Scenario, tb: &mut TieBreaker) -> Mapping {
+    let owned = s.full_instance();
+    h.map(&owned.as_instance(s), tb)
+}
+
+/// `max_t min_m ETC(t, m)` — no mapping can beat the best placement of the
+/// hardest task.
+fn makespan_lower_bound(s: &Scenario) -> Time {
+    s.etc
+        .tasks()
+        .map(|t| {
+            s.etc
+                .machines()
+                .map(|m| s.etc.get(t, m))
+                .min()
+                .expect("at least one machine")
+        })
+        .max()
+        .expect("at least one task")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every heuristic maps every task exactly once onto an active machine,
+    /// under both tie policies.
+    #[test]
+    fn mappings_are_complete_and_valid(etc in integer_etc(), seed in 0u64..1000) {
+        let s = Scenario::with_zero_ready(etc);
+        let tasks = s.etc.task_vec();
+        let machines = s.etc.machine_vec();
+        for mut h in all_heuristics() {
+            for mut tb in [TieBreaker::Deterministic, TieBreaker::random(seed)] {
+                let map = map_full(&mut *h, &s, &mut tb);
+                prop_assert!(map.validate(&tasks, &machines).is_ok(), "{}", h.name());
+                prop_assert_eq!(map.len(), tasks.len(), "{}", h.name());
+            }
+        }
+    }
+
+    /// No heuristic beats the trivial lower bound, and none is worse than
+    /// serializing everything on one machine.
+    #[test]
+    fn makespans_are_sane(etc in continuous_etc()) {
+        let s = Scenario::with_zero_ready(etc);
+        let machines = s.etc.machine_vec();
+        let lb = makespan_lower_bound(&s);
+        let worst: Time = s
+            .etc
+            .tasks()
+            .map(|t| {
+                s.etc
+                    .machines()
+                    .map(|m| s.etc.get(t, m))
+                    .max()
+                    .expect("machines")
+            })
+            .sum();
+        for mut h in all_heuristics() {
+            let mut tb = TieBreaker::Deterministic;
+            let ms = map_full(&mut *h, &s, &mut tb).makespan(&s.etc, &s.initial_ready, &machines);
+            prop_assert!(ms >= lb, "{}: {ms} below lower bound {lb}", h.name());
+            prop_assert!(ms <= worst, "{}: {ms} above serial bound {worst}", h.name());
+        }
+    }
+
+    /// KPB with k = 100% is exactly MCT (the paper's §3.6 remark), on any
+    /// workload, under deterministic ties.
+    #[test]
+    fn kpb_100_equals_mct(etc in integer_etc()) {
+        let s = Scenario::with_zero_ready(etc);
+        let a = map_full(&mut Kpb::new(100.0), &s, &mut TieBreaker::Deterministic);
+        let b = map_full(&mut Mct, &s, &mut TieBreaker::Deterministic);
+        prop_assert_eq!(a.order(), b.order());
+    }
+
+    /// KPB with k = 100/|M| is exactly MET (the other §3.6 remark) on
+    /// tie-free workloads (with ties the two enumerate candidates
+    /// differently).
+    #[test]
+    fn kpb_min_equals_met_without_ties(etc in continuous_etc()) {
+        let s = Scenario::with_zero_ready(etc);
+        let k = 100.0 / s.etc.n_machines() as f64;
+        let a = map_full(&mut Kpb::new(k), &s, &mut TieBreaker::Deterministic);
+        let b = map_full(&mut Met, &s, &mut TieBreaker::Deterministic);
+        for t in s.etc.tasks() {
+            prop_assert_eq!(a.machine_of(t), b.machine_of(t));
+        }
+    }
+
+    /// Duplex is never worse than either parent.
+    #[test]
+    fn duplex_dominates_parents(etc in continuous_etc()) {
+        let s = Scenario::with_zero_ready(etc);
+        let machines = s.etc.machine_vec();
+        let mut tb = TieBreaker::Deterministic;
+        let d = map_full(&mut Duplex, &s, &mut tb).makespan(&s.etc, &s.initial_ready, &machines);
+        let mut tb = TieBreaker::Deterministic;
+        let mn = map_full(&mut MinMin, &s, &mut tb).makespan(&s.etc, &s.initial_ready, &machines);
+        let mut tb = TieBreaker::Deterministic;
+        let mx = map_full(&mut MaxMin, &s, &mut tb).makespan(&s.etc, &s.initial_ready, &machines);
+        prop_assert!(d <= mn && d <= mx);
+    }
+
+    /// Sufferage terminates and commits at least one task per pass.
+    #[test]
+    fn sufferage_pass_structure(etc in integer_etc()) {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let mut tb = TieBreaker::Deterministic;
+        let (map, passes) = Sufferage.map_traced(&owned.as_instance(&s), &mut tb);
+        prop_assert_eq!(map.len(), s.etc.n_tasks());
+        prop_assert!(passes.len() <= s.etc.n_tasks());
+        for pass in &passes {
+            prop_assert!(!pass.commits.is_empty());
+            // One commit per machine at most.
+            let mut machines: Vec<_> = pass.commits.iter().map(|&(_, m)| m).collect();
+            machines.sort_unstable();
+            machines.dedup();
+            prop_assert_eq!(machines.len(), pass.commits.len());
+        }
+    }
+
+    /// SA never returns a mapping worse than MCT by more than the search
+    /// could explain — concretely: it is always a valid complete mapping
+    /// and respects the serial upper bound.
+    #[test]
+    fn sa_is_valid_and_bounded(etc in continuous_etc(), seed in 0u64..100) {
+        let s = Scenario::with_zero_ready(etc);
+        let machines = s.etc.machine_vec();
+        let mut sa = Sa::new(seed);
+        let mut tb = TieBreaker::Deterministic;
+        let map = map_full(&mut sa, &s, &mut tb);
+        prop_assert!(map.validate(&s.etc.task_vec(), &machines).is_ok());
+        let ms = map.makespan(&s.etc, &s.initial_ready, &machines);
+        prop_assert!(ms >= makespan_lower_bound(&s));
+    }
+
+    /// Deterministic runs are pure: same inputs, same mapping, for every
+    /// stateless heuristic.
+    #[test]
+    fn deterministic_runs_are_reproducible(etc in integer_etc()) {
+        let s = Scenario::with_zero_ready(etc);
+        for (mut h1, mut h2) in all_heuristics().into_iter().zip(all_heuristics()) {
+            let a = map_full(&mut *h1, &s, &mut TieBreaker::Deterministic);
+            let b = map_full(&mut *h2, &s, &mut TieBreaker::Deterministic);
+            prop_assert_eq!(a.order(), b.order(), "{}", h1.name());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Extension findings beyond the paper, in the paper's own style.
+//!
+//! The Monte-Carlo studies (EXPERIMENTS.md, X1) revealed that **Max-Min**
+//! — a heuristic the paper does not study — increases its makespan under
+//! the iterative technique on ~95% of continuous workloads, *with
+//! deterministic ties*. Following the paper's methodology, this module
+//! produces a small worked counterexample: [`find_deterministic_increase`]
+//! searches seeded tie-rich integer workloads for the first instance where
+//! a given heuristic's deterministic iterative run increases the makespan,
+//! and [`maxmin_counterexample`] pins the canonical Max-Min instance.
+//!
+//! Why Max-Min misbehaves: freezing the makespan machine removes the
+//! *longest* tasks from the pool; Max-Min's phase 2 then prioritizes a
+//! completely different task ordering on the survivors, so the remapped
+//! machines can stack long tasks that the original mapping had spread out.
+
+use hcs_core::{iterative, EtcMatrix, Heuristic, IterativeOutcome, Scenario, TieBreaker};
+use hcs_etcgen::{Consistency, EtcSpec, Method};
+use hcs_heuristics::MaxMin;
+
+/// Searches seeds `0..max_seeds` of small integer workloads
+/// (`n_tasks × n_machines`, values 1..=5) for the first where `make()`'s
+/// heuristic **increases** the makespan under the iterative technique with
+/// deterministic ties. Returns the seed, the matrix and the run.
+pub fn find_deterministic_increase<F, H>(
+    make: F,
+    n_tasks: usize,
+    n_machines: usize,
+    max_seeds: u64,
+) -> Option<(u64, EtcMatrix, IterativeOutcome)>
+where
+    F: Fn() -> H,
+    H: Heuristic,
+{
+    let spec = EtcSpec {
+        n_tasks,
+        n_machines,
+        method: Method::IntegerUniform { lo: 1, hi: 5 },
+        consistency: Consistency::Inconsistent,
+    };
+    for seed in 0..max_seeds {
+        let etc = spec.generate(seed);
+        let scenario = Scenario::with_zero_ready(etc.clone());
+        let mut heuristic = make();
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut heuristic, &scenario, &mut tb);
+        if outcome.makespan_increased() {
+            return Some((seed, etc, outcome));
+        }
+    }
+    None
+}
+
+/// The canonical Max-Min counterexample: the first seeded 5×3 integer
+/// workload on which deterministic Max-Min increases its makespan.
+/// Deterministic — every call reproduces the same instance.
+pub fn maxmin_counterexample() -> (EtcMatrix, IterativeOutcome) {
+    let (_, etc, outcome) = find_deterministic_increase(|| MaxMin, 5, 3, 500)
+        .expect("a 5x3 integer counterexample exists within 500 seeds");
+    (etc, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_heuristics::{Mct, MinMin};
+
+    #[test]
+    fn maxmin_counterexample_is_found_and_increases() {
+        let (etc, outcome) = maxmin_counterexample();
+        assert_eq!(etc.n_tasks(), 5);
+        assert_eq!(etc.n_machines(), 3);
+        assert!(outcome.makespan_increased());
+        assert!(outcome.final_makespan() > outcome.original_makespan());
+    }
+
+    #[test]
+    fn counterexample_is_reproducible() {
+        let (a, _) = maxmin_counterexample();
+        let (b, _) = maxmin_counterexample();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_counterexample_exists_for_the_invariant_heuristics() {
+        // The theorems say the search must come up empty for Min-Min and
+        // MCT — a sharp end-to-end check over 300 tie-rich workloads.
+        assert!(find_deterministic_increase(|| MinMin, 5, 3, 300).is_none());
+        assert!(find_deterministic_increase(|| Mct, 5, 3, 300).is_none());
+    }
+
+    #[test]
+    fn search_gives_up_gracefully() {
+        assert!(find_deterministic_increase(|| MinMin, 4, 2, 5).is_none());
+    }
+}

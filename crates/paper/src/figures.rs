@@ -1,0 +1,97 @@
+//! ASCII Gantt charts regenerating the paper's Figures 3–19.
+//!
+//! Every figure in the paper is a bar chart of one mapping: machines on the
+//! vertical axis, time on the horizontal, one bar per task. The paper's
+//! figure numbers map onto example rounds as follows:
+//!
+//! | Figures | Example | Rounds |
+//! |---|---|---|
+//! | 3, 4 | Min-Min | original, first iterative |
+//! | 6, 7 | MCT | original, first iterative |
+//! | 9, 10 | MET | original, first iterative |
+//! | 11, 12 | SWA | original, first iterative |
+//! | 15, 16 | KPB | original, first iterative |
+//! | 18, 19 | Sufferage | original, first iterative |
+//!
+//! (Figures 1, 2, 5, 8, 13, 14, 17 are procedure listings, realized here as
+//! the heuristic implementations themselves.)
+
+use hcs_core::Round;
+use hcs_sim::Gantt;
+
+use crate::examples::PaperExample;
+
+/// Renders one round of an example as an ASCII Gantt chart with a caption.
+pub fn figure(example: &PaperExample, round: &Round, caption: &str) -> String {
+    let scenario = example.scenario();
+    let gantt = Gantt::from_mapping(
+        &round.mapping,
+        &scenario.etc,
+        &scenario.initial_ready,
+        &round.machines,
+    );
+    format!("{caption}\n{}", gantt.render())
+}
+
+/// Renders the example's original mapping and first iterative mapping —
+/// the figure pair the paper shows for each example.
+pub fn figure_pair(example: &PaperExample) -> (String, String) {
+    let outcome = example.run();
+    let original = figure(
+        example,
+        &outcome.rounds[0],
+        &format!("Original mapping ({})", example.id),
+    );
+    let first_iter = if outcome.rounds.len() > 1 {
+        figure(
+            example,
+            &outcome.rounds[1],
+            &format!("First iterative mapping ({})", example.id),
+        )
+    } else {
+        String::from("(no iterative round: single machine)")
+    };
+    (original, first_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::all_examples;
+
+    #[test]
+    fn every_example_renders_a_figure_pair() {
+        for example in all_examples() {
+            let (orig, first) = figure_pair(&example);
+            assert!(orig.contains("m0"), "{}: {orig}", example.id);
+            assert!(
+                first.contains("m1") || first.contains("m0"),
+                "{}: {first}",
+                example.id
+            );
+            // The frozen machine is absent from the iterative figure.
+            let outcome = example.run();
+            let frozen = outcome.rounds[0].makespan_machine;
+            let frozen_row = format!("\n{:>4} ", frozen);
+            assert!(
+                !first.contains(&frozen_row),
+                "{}: frozen machine {frozen} must not appear:\n{first}",
+                example.id
+            );
+        }
+    }
+
+    #[test]
+    fn figures_show_all_tasks_of_the_round() {
+        let example = crate::examples::sufferage_example();
+        let outcome = example.run();
+        let fig = figure(&example, &outcome.rounds[0], "Figure 18.");
+        for i in 0..9 {
+            assert!(
+                fig.contains(&format!("t{i}")) || fig.contains('|'),
+                "figure too narrow to label t{i}:\n{fig}"
+            );
+        }
+        assert!(fig.starts_with("Figure 18."));
+    }
+}

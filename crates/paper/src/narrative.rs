@@ -1,0 +1,145 @@
+//! Machine-checkable verification of the reconstructed examples.
+//!
+//! Each [`PaperExample`] claims to satisfy the numeric constraints that
+//! survived in the paper's text. [`verify_example`] re-runs the example and
+//! reports each constraint individually — the `repro` binary prints the
+//! resulting checklist, and EXPERIMENTS.md embeds it.
+
+use hcs_core::Time;
+
+use crate::examples::PaperExample;
+
+/// Result of checking one example against its narrative constraints.
+#[derive(Clone, Debug)]
+pub struct ExampleReport {
+    /// The example's identifier.
+    pub id: &'static str,
+    /// Each `(constraint description, satisfied)` pair.
+    pub checks: Vec<(String, bool)>,
+}
+
+impl ExampleReport {
+    /// `true` when every constraint holds.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|&(_, ok)| ok)
+    }
+}
+
+/// Re-runs `example` and checks every narrative constraint.
+pub fn verify_example(example: &PaperExample) -> ExampleReport {
+    let mut checks = Vec::new();
+    let outcome = example.run();
+
+    // 1. Original completion times.
+    let original: Vec<f64> = outcome
+        .original()
+        .completion
+        .pairs()
+        .iter()
+        .map(|&(_, t)| t.get())
+        .collect();
+    checks.push((
+        format!(
+            "original completion times are {:?} (paper: {:?})",
+            original, example.expected_original
+        ),
+        original == example.expected_original,
+    ));
+
+    // 2. Final finishing times after the full iterative procedure.
+    let finals: Vec<f64> = outcome.final_finish.iter().map(|&(_, t)| t.get()).collect();
+    checks.push((
+        format!(
+            "final finishing times are {:?} (paper: {:?})",
+            finals, example.expected_final
+        ),
+        finals == example.expected_final,
+    ));
+
+    // 3. The makespan increases along the paper's path.
+    checks.push((
+        format!(
+            "makespan increases: {} -> {}",
+            outcome.original_makespan(),
+            outcome.final_makespan()
+        ),
+        outcome.makespan_increased(),
+    ));
+
+    // 4. Tie-policy-specific behaviour.
+    if example.deterministic_increase {
+        let det = example.run_deterministic();
+        checks.push((
+            "increase occurs with deterministic ties".to_string(),
+            det.makespan_increased(),
+        ));
+    } else {
+        let det = example.run_deterministic();
+        checks.push((
+            "deterministic ties keep all iteration mappings identical (theorem)".to_string(),
+            det.mappings_identical(),
+        ));
+        checks.push((
+            "deterministic ties never increase the makespan (theorem)".to_string(),
+            !det.makespan_increased(),
+        ));
+    }
+
+    // 5. The frozen makespan machine keeps its original completion time.
+    let (mk, mk_time) = outcome.original().completion.makespan_machine();
+    checks.push((
+        format!("frozen makespan machine {mk} keeps completion time {mk_time}"),
+        outcome.final_finish_of(mk) == mk_time && mk_time > Time::ZERO,
+    ));
+
+    ExampleReport {
+        id: example.id,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::all_examples;
+
+    #[test]
+    fn every_canonical_example_passes_verification() {
+        for example in all_examples() {
+            let report = verify_example(&example);
+            for (desc, ok) in &report.checks {
+                assert!(*ok, "{}: failed constraint: {desc}", report.id);
+            }
+            assert!(report.all_ok());
+        }
+    }
+
+    #[test]
+    fn verifier_catches_a_wrong_reconstruction() {
+        // Perturb one ETC entry of the SWA example: the completion-time
+        // constraints must fail loudly, proving the checks have teeth.
+        let mut example = crate::examples::swa_example();
+        let mut rows: Vec<Vec<f64>> = example
+            .etc
+            .tasks()
+            .map(|t| example.etc.row(t).iter().map(|v| v.get()).collect())
+            .collect();
+        rows[1][1] += 1.0; // t1's ETC on m1: 2 -> 3
+        example.etc = hcs_core::EtcMatrix::from_rows(&rows).unwrap();
+        let report = verify_example(&example);
+        assert!(
+            !report.all_ok(),
+            "a perturbed matrix must not pass verification"
+        );
+        assert!(report.checks.iter().any(|(_, ok)| !ok));
+    }
+
+    #[test]
+    fn report_counts_constraints() {
+        let report = verify_example(&crate::examples::swa_example());
+        // Deterministic examples have 5 checks; random-tie ones have 6.
+        assert_eq!(report.checks.len(), 5);
+        let report = verify_example(&crate::examples::minmin_example());
+        assert_eq!(report.checks.len(), 6);
+    }
+}

@@ -1,0 +1,273 @@
+//! Renderers regenerating the paper's Tables 1–17 from live runs.
+//!
+//! Table numbering follows the paper:
+//!
+//! | Paper table | Renderer | Content |
+//! |---|---|---|
+//! | 1, 4, 9, 12, 15 | [`etc_table`] | example ETC matrices |
+//! | 2, 3 (Min-Min), 5, 6 (MCT), 7, 8 (MET) | [`allocation_table`] | step-by-step allocations |
+//! | 10, 11 | [`swa_table`] | SWA steps with balance index and heuristic columns |
+//! | 13, 14 | [`kpb_table`] | KPB steps with the k-percent subset column |
+//! | 16, 17 | [`sufferage_table`] | Sufferage passes with min-CT and sufferage columns |
+
+use hcs_analysis::TextTable;
+use hcs_core::{Instance, Round, Time};
+use hcs_heuristics::{Kpb, Sufferage, SufferageAction, Swa};
+
+use crate::examples::PaperExample;
+
+/// Renders an example's ETC matrix (paper Tables 1, 4, 9, 12, 15).
+pub fn etc_table(example: &PaperExample, title: &str) -> TextTable {
+    let etc = &example.etc;
+    let mut headers = vec!["task".to_string()];
+    headers.extend(etc.machines().map(|m| m.to_string()));
+    let mut table = TextTable::new(headers).with_title(title.to_string());
+    for t in etc.tasks() {
+        let mut row = vec![t.to_string()];
+        row.extend(etc.row(t).iter().map(Time::to_string));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Renders a round's step-by-step allocation (paper Tables 2, 3, 5–8): one
+/// row per assignment in heuristic order, with every active machine's
+/// completion time after the step.
+pub fn allocation_table(example: &PaperExample, round: &Round, title: &str) -> TextTable {
+    let etc = &example.etc;
+    let mut headers = vec!["step".to_string(), "assignment".to_string()];
+    headers.extend(round.machines.iter().map(|m| format!("{m} CT")));
+    let mut table = TextTable::new(headers).with_title(title.to_string());
+
+    let mut ready: Vec<Time> = round.machines.iter().map(|_| Time::ZERO).collect();
+    for (i, &(task, machine)) in round.mapping.order().iter().enumerate() {
+        let pos = round
+            .machines
+            .iter()
+            .position(|&m| m == machine)
+            .expect("assignments stay within the round's machines");
+        ready[pos] += etc.get(task, machine);
+        let mut row = vec![format!("{}", i + 1), format!("{task} -> {machine}")];
+        row.extend(ready.iter().map(Time::to_string));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Renders an SWA round (paper Tables 10, 11): balance index before each
+/// task, the assignment, per-machine completion times and the MCT/MET
+/// column.
+pub fn swa_table(example: &PaperExample, round: &Round, title: &str) -> TextTable {
+    let scenario = example.scenario();
+    let inst = Instance {
+        etc: &scenario.etc,
+        tasks: &round.tasks,
+        machines: &round.machines,
+        ready: &scenario.initial_ready,
+    };
+    let swa = Swa::new(1.0 / 3.0, 0.49);
+    let mut tb = example.tie_breaker();
+    let (_, trace) = swa.map_traced(&inst, &mut tb);
+
+    let mut headers = vec!["BI".to_string(), "assignment".to_string()];
+    headers.extend(round.machines.iter().map(|m| format!("{m} CT")));
+    headers.push("heuristic".to_string());
+    let mut table = TextTable::new(headers).with_title(title.to_string());
+    for step in &trace {
+        let bi = step.bi_before.map_or_else(|| "x".to_string(), format_ratio);
+        let mut row = vec![bi, format!("{} -> {}", step.task, step.machine)];
+        row.extend(step.ready_after.iter().map(|&(_, t)| t.to_string()));
+        row.push(step.mode.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+/// Renders a KPB round (paper Tables 13, 14): assignment, per-machine
+/// completion times and the k-percent-best machine subset.
+pub fn kpb_table(example: &PaperExample, round: &Round, title: &str) -> TextTable {
+    let scenario = example.scenario();
+    let inst = Instance {
+        etc: &scenario.etc,
+        tasks: &round.tasks,
+        machines: &round.machines,
+        ready: &scenario.initial_ready,
+    };
+    let kpb = Kpb::new(70.0);
+
+    let mut headers = vec!["assignment".to_string()];
+    headers.extend(round.machines.iter().map(|m| format!("{m} CT")));
+    headers.push("k-% subset".to_string());
+    let mut table = TextTable::new(headers).with_title(title.to_string());
+
+    let mut ready: Vec<Time> = round.machines.iter().map(|_| Time::ZERO).collect();
+    for &(task, machine) in round.mapping.order() {
+        let pos = round
+            .machines
+            .iter()
+            .position(|&m| m == machine)
+            .expect("assignments stay within the round's machines");
+        ready[pos] += scenario.etc.get(task, machine);
+        let subset = kpb
+            .subset(&inst, task)
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut row = vec![format!("{task} -> {machine}")];
+        row.extend(ready.iter().map(Time::to_string));
+        row.push(subset);
+        table.push_row(row);
+    }
+    table
+}
+
+/// Renders a Sufferage round (paper Tables 16, 17): one block per pass with
+/// each evaluated task's minimum completion time, sufferage value, machine
+/// and outcome.
+pub fn sufferage_table(example: &PaperExample, round: &Round, title: &str) -> TextTable {
+    let scenario = example.scenario();
+    let inst = Instance {
+        etc: &scenario.etc,
+        tasks: &round.tasks,
+        machines: &round.machines,
+        ready: &scenario.initial_ready,
+    };
+    let mut tb = example.tie_breaker();
+    let (_, passes) = Sufferage.map_traced(&inst, &mut tb);
+
+    let mut table = TextTable::new(vec![
+        "pass".to_string(),
+        "task".to_string(),
+        "min CT".to_string(),
+        "sufferage".to_string(),
+        "machine".to_string(),
+        "outcome".to_string(),
+    ])
+    .with_title(title.to_string());
+    for (p, pass) in passes.iter().enumerate() {
+        for eval in &pass.evals {
+            let outcome = match eval.action {
+                SufferageAction::Assigned => "assigned".to_string(),
+                SufferageAction::Displaced(t) => format!("displaces {t}"),
+                SufferageAction::Rejected => "waits".to_string(),
+            };
+            table.push_row(vec![
+                format!("{}", p + 1),
+                eval.task.to_string(),
+                eval.min_ct.to_string(),
+                eval.sufferage.to_string(),
+                eval.machine.to_string(),
+                outcome,
+            ]);
+        }
+    }
+    table
+}
+
+/// Formats a balance index as the paper does: simple fractions where they
+/// are exact (`1/3`, `2/3`, `1/2`, `4/13`), decimals otherwise.
+fn format_ratio(v: f64) -> String {
+    for den in 2..=16u32 {
+        for num in 0..=den {
+            if (v - num as f64 / den as f64).abs() < 1e-12 {
+                if num == 0 {
+                    return "0".to_string();
+                }
+                if num == den {
+                    return "1".to_string();
+                }
+                return format!("{num}/{den}");
+            }
+        }
+    }
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{
+        kpb_example, mct_example, minmin_example, sufferage_example, swa_example,
+    };
+
+    #[test]
+    fn etc_table_lists_all_tasks() {
+        let e = minmin_example();
+        let t = etc_table(&e, "Table 1. ETC matrix for Min-Min example");
+        let s = t.render();
+        assert!(s.contains("t0") && s.contains("t3"), "{s}");
+        assert!(s.starts_with("Table 1."));
+        assert_eq!(t.n_rows(), 4);
+    }
+
+    #[test]
+    fn allocation_table_tracks_completion_times() {
+        let e = minmin_example();
+        let outcome = e.run();
+        let t = allocation_table(&e, &outcome.rounds[0], "Table 2.");
+        let s = t.render();
+        // Final row must show the original CTs 5, 2, 4.
+        let last = s.lines().last().unwrap();
+        assert!(
+            last.contains('5') && last.contains('2') && last.contains('4'),
+            "{s}"
+        );
+        assert_eq!(t.n_rows(), 4);
+    }
+
+    #[test]
+    fn swa_table_reproduces_bi_trajectory() {
+        let e = swa_example();
+        let outcome = e.run();
+        let s = swa_table(&e, &outcome.rounds[0], "Table 10.").render();
+        assert!(s.contains('x'), "{s}");
+        assert!(s.contains("1/3"), "{s}");
+        assert!(s.contains("2/3"), "{s}");
+        assert!(s.contains("MET"), "{s}");
+        let s1 = swa_table(&e, &outcome.rounds[1], "Table 11.").render();
+        assert!(s1.contains("1/2"), "{s1}");
+        assert!(s1.contains("4/13"), "{s1}");
+    }
+
+    #[test]
+    fn kpb_table_shows_subsets_shrinking() {
+        let e = kpb_example();
+        let outcome = e.run();
+        let s0 = kpb_table(&e, &outcome.rounds[0], "Table 13.").render();
+        assert!(s0.contains("m0,m1") || s0.contains("m1,m2"), "{s0}");
+        let s1 = kpb_table(&e, &outcome.rounds[1], "Table 14.").render();
+        // Two machines left -> singleton subsets.
+        assert!(!s1.contains("m1,m2"), "{s1}");
+    }
+
+    #[test]
+    fn sufferage_table_has_passes_and_values() {
+        let e = sufferage_example();
+        let outcome = e.run();
+        let t = sufferage_table(&e, &outcome.rounds[0], "Table 16.");
+        let s = t.render();
+        assert!(s.contains("pass"), "{s}");
+        assert!(s.contains("assigned"), "{s}");
+        assert!(t.n_rows() >= 9, "at least one eval per task: {s}");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(format_ratio(0.0), "0");
+        assert_eq!(format_ratio(1.0), "1");
+        assert_eq!(format_ratio(1.0 / 3.0), "1/3");
+        assert_eq!(format_ratio(4.0 / 13.0), "4/13");
+        assert_eq!(format_ratio(0.123_456), "0.123");
+    }
+
+    #[test]
+    fn mct_allocation_table_renders_both_rounds() {
+        let e = mct_example();
+        let outcome = e.run();
+        let t0 = allocation_table(&e, &outcome.rounds[0], "Table 5.");
+        let t1 = allocation_table(&e, &outcome.rounds[1], "Table 6.");
+        assert_eq!(t0.n_rows(), 4);
+        assert_eq!(t1.n_rows(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Task arrival-stream generation for dynamic-mapping studies.
+//!
+//! The Switching Algorithm and K-Percent Best come from a *dynamic*
+//! setting (Maheswaran et al. \[14\]) where "the arrival times of the
+//! tasks are not known a priori". This module synthesizes such streams:
+//! Poisson processes (exponential inter-arrival times), uniform spacing,
+//! and single batches, all deterministic per seed.
+
+use hcs_core::{TaskId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How tasks arrive over time.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All tasks arrive at once, at the given instant.
+    Batch {
+        /// The common arrival time.
+        at: f64,
+    },
+    /// Evenly spaced arrivals starting at zero.
+    Uniform {
+        /// Gap between consecutive arrivals.
+        spacing: f64,
+    },
+    /// Poisson process: exponential inter-arrival times with the given
+    /// rate (arrivals per unit time).
+    Poisson {
+        /// Arrival rate λ.
+        rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates arrival times for tasks `t0..t{n-1}` in task order
+    /// (arrival times are non-decreasing by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite / non-positive parameters where they make no
+    /// sense (`spacing < 0`, `rate <= 0`, `at < 0`).
+    pub fn generate(&self, n_tasks: usize, seed: u64) -> Vec<(Time, TaskId)> {
+        match *self {
+            ArrivalProcess::Batch { at } => {
+                assert!(at >= 0.0 && at.is_finite(), "batch time must be >= 0");
+                (0..n_tasks as u32)
+                    .map(|i| (Time::new(at), TaskId(i)))
+                    .collect()
+            }
+            ArrivalProcess::Uniform { spacing } => {
+                assert!(
+                    spacing >= 0.0 && spacing.is_finite(),
+                    "spacing must be >= 0"
+                );
+                (0..n_tasks as u32)
+                    .map(|i| (Time::new(spacing * f64::from(i)), TaskId(i)))
+                    .collect()
+            }
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut clock = 0.0f64;
+                (0..n_tasks as u32)
+                    .map(|i| {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        clock += -u.ln() / rate;
+                        (Time::new(clock), TaskId(i))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_simultaneous() {
+        let a = ArrivalProcess::Batch { at: 3.0 }.generate(4, 0);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&(t, _)| t == Time::new(3.0)));
+        assert_eq!(a[2].1, TaskId(2));
+    }
+
+    #[test]
+    fn uniform_is_evenly_spaced() {
+        let a = ArrivalProcess::Uniform { spacing: 2.5 }.generate(3, 0);
+        assert_eq!(
+            a.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![Time::ZERO, Time::new(2.5), Time::new(5.0)]
+        );
+    }
+
+    #[test]
+    fn poisson_is_monotone_and_seeded() {
+        let a = ArrivalProcess::Poisson { rate: 0.5 }.generate(50, 9);
+        let b = ArrivalProcess::Poisson { rate: 0.5 }.generate(50, 9);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(a[0].0 > Time::ZERO);
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_approaches_one_over_rate() {
+        let rate = 2.0;
+        let n = 20_000;
+        let a = ArrivalProcess::Poisson { rate }.generate(n, 1234);
+        let total = a.last().unwrap().0.get();
+        let mean_gap = total / n as f64;
+        assert!(
+            (mean_gap - 1.0 / rate).abs() < 0.02,
+            "mean inter-arrival {mean_gap} vs expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        assert!(ArrivalProcess::Batch { at: 0.0 }.generate(0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn bad_rate_rejected() {
+        let _ = ArrivalProcess::Poisson { rate: 0.0 }.generate(1, 0);
+    }
+
+    #[test]
+    fn feeds_the_dynamic_mapper() {
+        use crate::dynamic::DynamicMapper;
+        use hcs_core::{EtcMatrix, MachineId, TieBreaker};
+
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 3.0], vec![2.0, 3.0], vec![2.0, 3.0]]).unwrap();
+        let arrivals = ArrivalProcess::Poisson { rate: 1.0 }.generate(3, 5);
+        let mapper = DynamicMapper::new(
+            vec![MachineId(0), MachineId(1)],
+            vec![Time::ZERO, Time::ZERO],
+        );
+        let out = mapper.run(&etc, &arrivals, &mut TieBreaker::Deterministic);
+        assert_eq!(out.placements.len(), 3);
+        // Tasks cannot start before they arrive.
+        for (&(_, task), &(task2, _, start, _)) in arrivals.iter().zip(&out.placements) {
+            assert_eq!(task, task2);
+            let arrival = arrivals.iter().find(|&&(_, t)| t == task).unwrap().0;
+            assert!(start >= arrival);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! On-line (arrival-driven) mapping via the discrete-event core.
+//!
+//! The Switching Algorithm and K-Percent Best were designed for *dynamic*
+//! environments (Maheswaran et al. \[14\]) where task arrival times are not
+//! known a priori. [`DynamicMapper`] replays such an environment: tasks
+//! arrive at given times and are mapped **immediately on arrival** to the
+//! machine minimizing `max(arrival, availability) + ETC` — on-line MCT.
+//! Machine availability starts from a supplied vector, which is how the
+//! production scenario hands the first wave's finishing times to the
+//! second wave.
+
+use hcs_core::{select, EtcMatrix, MachineId, TaskId, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::des::EventQueue;
+
+/// Result of dynamically executing a stream of arrivals.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalOutcome {
+    /// `(task, machine, start, completion)` in execution-start order.
+    pub placements: Vec<(TaskId, MachineId, Time, Time)>,
+    /// Final availability of each machine (ascending machine order).
+    pub availability: Vec<(MachineId, Time)>,
+}
+
+impl ArrivalOutcome {
+    /// Completion time of the last task (zero when no tasks ran).
+    pub fn makespan(&self) -> Time {
+        self.placements
+            .iter()
+            .map(|&(_, _, _, done)| done)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Mean completion time over tasks (zero when no tasks ran).
+    pub fn mean_completion(&self) -> Time {
+        if self.placements.is_empty() {
+            return Time::ZERO;
+        }
+        let total: Time = self.placements.iter().map(|&(_, _, _, done)| done).sum();
+        total / (self.placements.len() as f64)
+    }
+
+    /// Completion time of a specific task.
+    pub fn completion_of(&self, task: TaskId) -> Option<Time> {
+        self.placements
+            .iter()
+            .find(|&&(tt, _, _, _)| tt == task)
+            .map(|&(_, _, _, done)| done)
+    }
+}
+
+/// On-line mapping policies for arrival-driven execution — the dynamic
+/// counterparts of the immediate-mode heuristics (Maheswaran et al.
+/// \[14\]).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OnlinePolicy {
+    /// Earliest completion time over `max(arrival, availability) + ETC`.
+    Mct,
+    /// Smallest execution time, ignoring availability.
+    Met,
+    /// Earliest-available machine, ignoring the ETC.
+    Olb,
+    /// MCT within the k-percent-best execution subset.
+    Kpb {
+        /// The percentage `k` in `(0, 100]`.
+        k_percent: f64,
+    },
+    /// MCT/MET switching on the availability balance index.
+    Swa {
+        /// Switch to MCT when BI drops below this.
+        lo: f64,
+        /// Switch to MET when BI exceeds this.
+        hi: f64,
+    },
+}
+
+/// An on-line mapper over a fixed machine set.
+#[derive(Clone, Debug)]
+pub struct DynamicMapper {
+    machines: Vec<MachineId>,
+    availability: Vec<Time>,
+}
+
+impl DynamicMapper {
+    /// A mapper whose machines become available at the given times.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty machine set or mismatched lengths.
+    pub fn new(machines: Vec<MachineId>, availability: Vec<Time>) -> Self {
+        assert!(!machines.is_empty(), "dynamic mapper needs machines");
+        assert_eq!(
+            machines.len(),
+            availability.len(),
+            "one availability per machine"
+        );
+        DynamicMapper {
+            machines,
+            availability,
+        }
+    }
+
+    /// Index of the MCT machine for `task` at time `now`.
+    fn pick_mct(
+        &self,
+        etc: &EtcMatrix,
+        task: TaskId,
+        avail: &[Time],
+        now: Time,
+        tb: &mut TieBreaker,
+    ) -> usize {
+        let (cands, _) = select::min_candidates(
+            self.machines
+                .iter()
+                .enumerate()
+                .map(|(i, &machine)| (i, avail[i].max(now) + etc.get(task, machine))),
+        );
+        cands[tb.pick(cands.len())]
+    }
+
+    /// Index of the MET machine for `task`.
+    fn pick_met(&self, etc: &EtcMatrix, task: TaskId, tb: &mut TieBreaker) -> usize {
+        let (cands, _) = select::min_candidates(
+            self.machines
+                .iter()
+                .enumerate()
+                .map(|(i, &machine)| (i, etc.get(task, machine))),
+        );
+        cands[tb.pick(cands.len())]
+    }
+
+    /// Replays `arrivals` (`(arrival time, task)` pairs, any order) against
+    /// the ETC matrix: each task is mapped on arrival to the machine with
+    /// the earliest completion time, ties via `tb`. Simultaneous arrivals
+    /// are processed in the order given (FIFO through the event queue).
+    ///
+    /// Shorthand for [`DynamicMapper::run_policy`] with
+    /// [`OnlinePolicy::Mct`].
+    pub fn run(
+        &self,
+        etc: &EtcMatrix,
+        arrivals: &[(Time, TaskId)],
+        tb: &mut TieBreaker,
+    ) -> ArrivalOutcome {
+        self.run_policy(etc, arrivals, OnlinePolicy::Mct, tb)
+    }
+
+    /// Replays `arrivals` with an arbitrary on-line policy (see
+    /// [`OnlinePolicy`]). SWA's MCT/MET mode persists across arrivals, as
+    /// in Maheswaran et al.'s dynamic setting.
+    pub fn run_policy(
+        &self,
+        etc: &EtcMatrix,
+        arrivals: &[(Time, TaskId)],
+        policy: OnlinePolicy,
+        tb: &mut TieBreaker,
+    ) -> ArrivalOutcome {
+        let mut queue = EventQueue::new();
+        for &(at, task) in arrivals {
+            queue.schedule(at, task);
+        }
+        let mut avail = self.availability.clone();
+        let mut placements = Vec::with_capacity(arrivals.len());
+        // SWA mode state (starts as MCT, per Figure 13 step 2).
+        let mut swa_met_mode = false;
+        let mut first = true;
+
+        while let Some((now, task)) = queue.pop() {
+            let i = match policy {
+                OnlinePolicy::Mct => self.pick_mct(etc, task, &avail, now, tb),
+                OnlinePolicy::Met => self.pick_met(etc, task, tb),
+                OnlinePolicy::Olb => {
+                    let (cands, _) = select::min_candidates(
+                        avail.iter().enumerate().map(|(i, &a)| (i, a.max(now))),
+                    );
+                    cands[tb.pick(cands.len())]
+                }
+                OnlinePolicy::Kpb { k_percent } => {
+                    // Subset of the best-execution machines, MCT within.
+                    let q =
+                        ((self.machines.len() as f64 * k_percent / 100.0).floor() as usize).max(1);
+                    let mut by_etc: Vec<usize> = (0..self.machines.len()).collect();
+                    by_etc.sort_by_key(|&i| (etc.get(task, self.machines[i]), i));
+                    by_etc.truncate(q);
+                    by_etc.sort_unstable();
+                    let (cands, _) = select::min_candidates(
+                        by_etc
+                            .iter()
+                            .map(|&i| (i, avail[i].max(now) + etc.get(task, self.machines[i]))),
+                    );
+                    cands[tb.pick(cands.len())]
+                }
+                OnlinePolicy::Swa { lo, hi } => {
+                    if !first {
+                        // BI over the *effective* availabilities at `now`.
+                        let eff: Vec<Time> = avail.iter().map(|&a| a.max(now)).collect();
+                        let min = eff.iter().copied().min().expect("machines");
+                        let max = eff.iter().copied().max().expect("machines");
+                        if max > Time::ZERO {
+                            let bi = min.get() / max.get();
+                            if bi > hi {
+                                swa_met_mode = true;
+                            } else if bi < lo {
+                                swa_met_mode = false;
+                            }
+                        }
+                    }
+                    if swa_met_mode {
+                        self.pick_met(etc, task, tb)
+                    } else {
+                        self.pick_mct(etc, task, &avail, now, tb)
+                    }
+                }
+            };
+            first = false;
+            let machine = self.machines[i];
+            let start = avail[i].max(now);
+            let done = start + etc.get(task, machine);
+            avail[i] = done;
+            placements.push((task, machine, start, done));
+        }
+
+        ArrivalOutcome {
+            placements,
+            availability: self
+                .machines
+                .iter()
+                .copied()
+                .zip(avail.iter().copied())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+
+    fn etc() -> EtcMatrix {
+        EtcMatrix::from_rows(&[vec![2.0, 4.0], vec![3.0, 1.0], vec![5.0, 5.0]]).unwrap()
+    }
+
+    fn zero_mapper() -> DynamicMapper {
+        DynamicMapper::new(vec![m(0), m(1)], vec![Time::ZERO, Time::ZERO])
+    }
+
+    #[test]
+    fn maps_each_arrival_to_earliest_completion() {
+        let arrivals = vec![
+            (Time::ZERO, t(0)),
+            (Time::ZERO, t(1)),
+            (Time::new(1.0), t(2)),
+        ];
+        let out = zero_mapper().run(&etc(), &arrivals, &mut TieBreaker::Deterministic);
+        // t0 -> m0 (2 < 4); t1 -> m1 (1 < 2+3); t2 at 1.0: m0 busy till 2
+        // -> 2+5=7, m1 busy till 1 -> 1+5=6 -> m1.
+        assert_eq!(out.placements[0], (t(0), m(0), Time::ZERO, Time::new(2.0)));
+        assert_eq!(out.placements[1], (t(1), m(1), Time::ZERO, Time::new(1.0)));
+        assert_eq!(
+            out.placements[2],
+            (t(2), m(1), Time::new(1.0), Time::new(6.0))
+        );
+        assert_eq!(out.makespan(), Time::new(6.0));
+        assert_eq!(out.completion_of(t(2)), Some(Time::new(6.0)));
+    }
+
+    #[test]
+    fn arrival_after_availability_waits_for_neither() {
+        // Machine available at 0, task arrives at 10: starts at 10.
+        let arrivals = vec![(Time::new(10.0), t(0))];
+        let out = zero_mapper().run(&etc(), &arrivals, &mut TieBreaker::Deterministic);
+        assert_eq!(out.placements[0].2, Time::new(10.0));
+        assert_eq!(out.placements[0].3, Time::new(12.0));
+    }
+
+    #[test]
+    fn initial_availability_delays_start() {
+        let mapper = DynamicMapper::new(vec![m(0), m(1)], vec![Time::new(9.0), Time::new(8.0)]);
+        let out = mapper.run(
+            &etc(),
+            &[(Time::ZERO, t(0))],
+            &mut TieBreaker::Deterministic,
+        );
+        // CT on m0: 9+2=11; on m1: 8+4=12 -> m0, starting at 9.
+        assert_eq!(
+            out.placements[0],
+            (t(0), m(0), Time::new(9.0), Time::new(11.0))
+        );
+    }
+
+    #[test]
+    fn mean_completion_and_empty_stream() {
+        let out = zero_mapper().run(&etc(), &[], &mut TieBreaker::Deterministic);
+        assert_eq!(out.makespan(), Time::ZERO);
+        assert_eq!(out.mean_completion(), Time::ZERO);
+        assert_eq!(out.completion_of(t(0)), None);
+
+        let arrivals = vec![(Time::ZERO, t(0)), (Time::ZERO, t(1))];
+        let out = zero_mapper().run(&etc(), &arrivals, &mut TieBreaker::Deterministic);
+        assert_eq!(out.mean_completion(), Time::new(1.5)); // (2 + 1) / 2
+    }
+
+    #[test]
+    fn availability_vector_reflects_final_state() {
+        let arrivals = vec![(Time::ZERO, t(0)), (Time::ZERO, t(1))];
+        let out = zero_mapper().run(&etc(), &arrivals, &mut TieBreaker::Deterministic);
+        assert_eq!(
+            out.availability,
+            vec![(m(0), Time::new(2.0)), (m(1), Time::new(1.0))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs machines")]
+    fn empty_machine_set_rejected() {
+        let _ = DynamicMapper::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn met_policy_ignores_availability() {
+        // m0 is busy forever but has the smallest ETC: MET still picks it.
+        let mapper = DynamicMapper::new(vec![m(0), m(1)], vec![Time::new(100.0), Time::ZERO]);
+        let out = mapper.run_policy(
+            &etc(),
+            &[(Time::ZERO, t(0))],
+            OnlinePolicy::Met,
+            &mut TieBreaker::Deterministic,
+        );
+        assert_eq!(out.placements[0].1, m(0));
+        assert_eq!(out.placements[0].2, Time::new(100.0));
+    }
+
+    #[test]
+    fn olb_policy_ignores_etc() {
+        // t0 runs 2 on m0, 4 on m1; with m0 busy until 3, OLB still takes
+        // the earlier-available m1 despite the larger ETC.
+        let mapper = DynamicMapper::new(vec![m(0), m(1)], vec![Time::new(3.0), Time::ZERO]);
+        let out = mapper.run_policy(
+            &etc(),
+            &[(Time::ZERO, t(0))],
+            OnlinePolicy::Olb,
+            &mut TieBreaker::Deterministic,
+        );
+        assert_eq!(out.placements[0].1, m(1));
+    }
+
+    #[test]
+    fn kpb_policy_restricts_to_best_subset() {
+        // Three machines; t0's ETC row (2, 4, 100): the 2-of-3 subset is
+        // {m0, m1}; m2 is idle but excluded.
+        let wide = EtcMatrix::from_rows(&[vec![2.0, 4.0, 100.0]]).unwrap();
+        let mapper = DynamicMapper::new(
+            vec![m(0), m(1), m(2)],
+            vec![Time::new(50.0), Time::new(49.0), Time::ZERO],
+        );
+        let out = mapper.run_policy(
+            &wide,
+            &[(Time::ZERO, t(0))],
+            OnlinePolicy::Kpb { k_percent: 70.0 },
+            &mut TieBreaker::Deterministic,
+        );
+        assert_ne!(out.placements[0].1, m(2));
+        // MCT within the subset: 50+2=52 vs 49+4=53 -> m0.
+        assert_eq!(out.placements[0].1, m(0));
+    }
+
+    #[test]
+    fn swa_policy_switches_modes_on_balance() {
+        // Arrange availabilities so BI starts high (balanced) -> MET mode.
+        let rows = EtcMatrix::from_rows(&[
+            vec![5.0, 1.0], // t0: MET machine is m1
+            vec![5.0, 1.0], // t1: same
+        ])
+        .unwrap();
+        let mapper = DynamicMapper::new(vec![m(0), m(1)], vec![Time::new(10.0), Time::new(10.0)]);
+        let out = mapper.run_policy(
+            &rows,
+            &[(Time::ZERO, t(0)), (Time::ZERO, t(1))],
+            OnlinePolicy::Swa { lo: 0.3, hi: 0.49 },
+            &mut TieBreaker::Deterministic,
+        );
+        // First task: MCT mode (start state): CT m0 = 15, m1 = 11 -> m1.
+        assert_eq!(out.placements[0].1, m(1));
+        // Before t1: availabilities (10, 11), BI = 10/11 > 0.49 -> MET
+        // mode -> m1 again (ETC 1 < 5) even though m0 finishes earlier.
+        assert_eq!(out.placements[1].1, m(1));
+    }
+
+    #[test]
+    fn mct_shorthand_matches_run_policy() {
+        let arrivals = vec![(Time::ZERO, t(0)), (Time::new(0.5), t(1))];
+        let a = zero_mapper().run(&etc(), &arrivals, &mut TieBreaker::Deterministic);
+        let b = zero_mapper().run_policy(
+            &etc(),
+            &arrivals,
+            OnlinePolicy::Mct,
+            &mut TieBreaker::Deterministic,
+        );
+        assert_eq!(a, b);
+    }
+}

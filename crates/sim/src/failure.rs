@@ -1,0 +1,240 @@
+//! Machine-failure injection and recovery.
+//!
+//! The iterative technique's core move — drop a machine, remap the
+//! survivors — is also exactly what a scheduler does when a machine
+//! *fails*. This module simulates that: a schedule executes until machine
+//! `failed` dies at time `at`; its unfinished tasks (including one possibly
+//! cut off mid-execution, which must restart from scratch) are remapped
+//! on-line (MCT) onto the surviving machines, which first drain their own
+//! remaining work.
+//!
+//! Used by the failure-injection tests to check that completion-time
+//! accounting stays consistent under machine loss, and available as a
+//! library feature for availability studies.
+
+use hcs_core::{EtcMatrix, MachineId, Mapping, ReadyTimes, TaskId, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::dynamic::DynamicMapper;
+use crate::gantt::Gantt;
+
+/// Outcome of a failure-recovery simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Tasks unaffected by the failure — everything on the survivors
+    /// (which keep executing their schedules) plus the failed machine's
+    /// tasks that completed before the failure — with completion times.
+    pub unaffected: Vec<(TaskId, Time)>,
+    /// Tasks lost with the failed machine and remapped (in original
+    /// on-machine order), with their new completion times.
+    pub remapped: Vec<(TaskId, MachineId, Time)>,
+    /// Completion time of the last task overall.
+    pub recovery_makespan: Time,
+}
+
+/// Simulates a fail-stop of `failed` at time `at` during the execution of
+/// `mapping`, remapping its unfinished tasks with on-line MCT over the
+/// surviving machines.
+///
+/// # Panics
+///
+/// Panics when `machines` does not contain `failed` or has fewer than two
+/// machines (no survivors to recover onto).
+pub fn fail_and_recover(
+    mapping: &Mapping,
+    etc: &EtcMatrix,
+    ready: &ReadyTimes,
+    machines: &[MachineId],
+    failed: MachineId,
+    at: Time,
+    tb: &mut TieBreaker,
+) -> RecoveryOutcome {
+    assert!(
+        machines.contains(&failed),
+        "failed machine {failed} must be in the active set"
+    );
+    assert!(machines.len() >= 2, "recovery needs at least one survivor");
+
+    let gantt = Gantt::from_mapping(mapping, etc, ready, machines);
+
+    let mut unaffected = Vec::new();
+    let mut lost: Vec<TaskId> = Vec::new();
+    // Survivors keep executing their own schedules to completion; their
+    // availability for remapped work is max(own finish, failure time).
+    let mut survivor_avail: Vec<(MachineId, Time)> = Vec::new();
+
+    for (machine, segments) in gantt.rows() {
+        if *machine == failed {
+            for seg in segments {
+                if seg.end <= at {
+                    unaffected.push((seg.task, seg.end));
+                } else {
+                    // Cut off (possibly mid-run): restarts elsewhere.
+                    lost.push(seg.task);
+                }
+            }
+        } else {
+            for seg in segments {
+                unaffected.push((seg.task, seg.end));
+            }
+            let own_finish = segments
+                .last()
+                .map_or_else(|| ready.get(*machine), |s| s.end);
+            survivor_avail.push((*machine, own_finish.max(at)));
+        }
+    }
+
+    let survivors: Vec<MachineId> = survivor_avail.iter().map(|&(m, _)| m).collect();
+    let avail: Vec<Time> = survivor_avail.iter().map(|&(_, t)| t).collect();
+    let mapper = DynamicMapper::new(survivors, avail);
+    let arrivals: Vec<(Time, TaskId)> = lost.iter().map(|&t| (at, t)).collect();
+    let out = mapper.run(etc, &arrivals, tb);
+
+    let remapped: Vec<(TaskId, MachineId, Time)> = out
+        .placements
+        .iter()
+        .map(|&(task, machine, _, done)| (task, machine, done))
+        .collect();
+
+    let recovery_makespan = remapped
+        .iter()
+        .map(|&(_, _, t)| t)
+        .chain(unaffected.iter().map(|&(_, t)| t))
+        .max()
+        .unwrap_or(Time::ZERO);
+
+    RecoveryOutcome {
+        unaffected,
+        remapped,
+        recovery_makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+
+    /// m0 runs t0 (0-2) then t1 (2-6); m1 runs t2 (0-3).
+    fn fixture() -> (Mapping, EtcMatrix, ReadyTimes) {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 5.0], vec![4.0, 3.0], vec![9.0, 3.0]]).unwrap();
+        let mut mapping = Mapping::new(3);
+        mapping.assign(t(0), m(0)).unwrap();
+        mapping.assign(t(1), m(0)).unwrap();
+        mapping.assign(t(2), m(1)).unwrap();
+        (mapping, etc, ReadyTimes::zero(2))
+    }
+
+    #[test]
+    fn mid_run_task_restarts_on_a_survivor() {
+        let (mapping, etc, ready) = fixture();
+        // Failure at t=3: t0 finished (2 <= 3); t1 was running (2..6) and
+        // is lost; m1 finishes t2 at 3 and picks t1 up at max(3,3)=3,
+        // finishing at 3 + ETC(t1, m1) = 6.
+        let mut tb = TieBreaker::Deterministic;
+        let out = fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(0),
+            Time::new(3.0),
+            &mut tb,
+        );
+        assert!(out.unaffected.contains(&(t(0), Time::new(2.0))));
+        assert!(out.unaffected.contains(&(t(2), Time::new(3.0))));
+        assert_eq!(out.remapped, vec![(t(1), m(1), Time::new(6.0))]);
+        assert_eq!(out.recovery_makespan, Time::new(6.0));
+    }
+
+    #[test]
+    fn failure_before_start_loses_everything_on_the_machine() {
+        let (mapping, etc, ready) = fixture();
+        let mut tb = TieBreaker::Deterministic;
+        let out = fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(0),
+            Time::ZERO,
+            &mut tb,
+        );
+        // Both of m0's tasks restart on m1 after its own work (t2 at 3):
+        // t0: 3 + 5 = 8; t1: 8 + 3 = 11.
+        assert_eq!(out.remapped.len(), 2);
+        assert_eq!(out.recovery_makespan, Time::new(11.0));
+    }
+
+    #[test]
+    fn failure_after_completion_loses_nothing() {
+        let (mapping, etc, ready) = fixture();
+        let mut tb = TieBreaker::Deterministic;
+        let out = fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(0),
+            Time::new(100.0),
+            &mut tb,
+        );
+        assert!(out.remapped.is_empty());
+        assert_eq!(out.unaffected.len(), 3);
+        assert_eq!(out.recovery_makespan, Time::new(6.0));
+    }
+
+    #[test]
+    fn idle_failed_machine_is_harmless() {
+        // All work on m0; m1 fails — nothing to remap.
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 5.0]]).unwrap();
+        let mut mapping = Mapping::new(1);
+        mapping.assign(t(0), m(0)).unwrap();
+        let mut tb = TieBreaker::Deterministic;
+        let out = fail_and_recover(
+            &mapping,
+            &etc,
+            &ReadyTimes::zero(2),
+            &[m(0), m(1)],
+            m(1),
+            Time::new(1.0),
+            &mut tb,
+        );
+        assert!(out.remapped.is_empty());
+        assert_eq!(out.recovery_makespan, Time::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn single_machine_cannot_recover() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0]]).unwrap();
+        let mut mapping = Mapping::new(1);
+        mapping.assign(t(0), m(0)).unwrap();
+        let mut tb = TieBreaker::Deterministic;
+        let _ = fail_and_recover(
+            &mapping,
+            &etc,
+            &ReadyTimes::zero(1),
+            &[m(0)],
+            m(0),
+            Time::ZERO,
+            &mut tb,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in the active set")]
+    fn unknown_machine_rejected() {
+        let (mapping, etc, ready) = fixture();
+        let mut tb = TieBreaker::Deterministic;
+        let _ = fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(7),
+            Time::ZERO,
+            &mut tb,
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Gantt-chart model of a schedule, with ASCII rendering.
+//!
+//! The paper visualizes every worked example as a bar chart of machines
+//! against time (Figures 3–19). [`Gantt::from_mapping`] reconstructs the
+//! timeline implied by a mapping (tasks run back-to-back on each machine in
+//! assignment order, starting at the machine's initial ready time) and
+//! [`Gantt::render`] draws it as text:
+//!
+//! ```text
+//! m0 |--t0---|-t3-|
+//! m1 |t1|
+//! m2 |---t2----|
+//!     0    2    4    6
+//! ```
+
+use hcs_core::{EtcMatrix, MachineId, Mapping, ReadyTimes, TaskId, Time};
+use serde::{Deserialize, Serialize};
+
+/// One task's run on one machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GanttSegment {
+    /// The task.
+    pub task: TaskId,
+    /// Start time.
+    pub start: Time,
+    /// End time (start + ETC).
+    pub end: Time,
+}
+
+/// A per-machine timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Gantt {
+    rows: Vec<(MachineId, Vec<GanttSegment>)>,
+}
+
+impl Gantt {
+    /// Builds the timeline implied by `mapping` over `machines`: each
+    /// machine runs its tasks in assignment order, starting at its initial
+    /// ready time.
+    pub fn from_mapping(
+        mapping: &Mapping,
+        etc: &EtcMatrix,
+        ready: &ReadyTimes,
+        machines: &[MachineId],
+    ) -> Self {
+        let mut rows: Vec<(MachineId, Vec<GanttSegment>)> =
+            machines.iter().map(|&m| (m, Vec::new())).collect();
+        let mut clock: Vec<Time> = machines.iter().map(|&m| ready.get(m)).collect();
+        for &(task, machine) in mapping.order() {
+            if let Some(pos) = machines.iter().position(|&mm| mm == machine) {
+                let start = clock[pos];
+                let end = start + etc.get(task, machine);
+                rows[pos].1.push(GanttSegment { task, start, end });
+                clock[pos] = end;
+            }
+        }
+        Gantt { rows }
+    }
+
+    /// The rows, ascending machine order as supplied.
+    pub fn rows(&self) -> &[(MachineId, Vec<GanttSegment>)] {
+        &self.rows
+    }
+
+    /// Finishing time of machine `m` (its initial ready time when idle is
+    /// not representable here, so idle machines report `None`).
+    pub fn finish_of(&self, m: MachineId) -> Option<Time> {
+        self.rows
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .and_then(|(_, segs)| segs.last().map(|s| s.end))
+    }
+
+    /// Largest end time over all segments (zero for an empty chart).
+    pub fn horizon(&self) -> Time {
+        self.rows
+            .iter()
+            .flat_map(|(_, segs)| segs.iter().map(|s| s.end))
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Renders the chart as ASCII art, `width` characters per time unit
+    /// scaled so the horizon fits in roughly 60 columns (at least one
+    /// column per time unit of the horizon).
+    pub fn render(&self) -> String {
+        let horizon = self.horizon().get();
+        if horizon <= 0.0 {
+            return String::from("(empty schedule)\n");
+        }
+        let cols = 60.0;
+        let scale = cols / horizon;
+        let mut out = String::new();
+        for (machine, segs) in &self.rows {
+            let mut line = format!("{machine:>4} ");
+            let mut cursor = 0usize;
+            for seg in segs {
+                let start_col = (seg.start.get() * scale).round() as usize;
+                let end_col = ((seg.end.get() * scale).round() as usize).max(start_col + 2);
+                if start_col > cursor {
+                    line.push_str(&" ".repeat(start_col - cursor));
+                }
+                let label = seg.task.to_string();
+                let inner = end_col - start_col;
+                let body = if label.len() + 2 <= inner {
+                    let pad = inner - label.len() - 2;
+                    let left = pad / 2;
+                    format!("|{}{}{}|", "-".repeat(left), label, "-".repeat(pad - left))
+                } else {
+                    format!("|{}|", "-".repeat(inner.saturating_sub(2)))
+                };
+                line.push_str(&body);
+                cursor = start_col + body.len();
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        // Time axis.
+        let mut axis = String::from("     ");
+        let ticks = 6usize;
+        for i in 0..=ticks {
+            let v = horizon * i as f64 / ticks as f64;
+            let col = (v * scale).round() as usize;
+            while axis.len() < 5 + col {
+                axis.push(' ');
+            }
+            axis.push_str(&format!("{v:.1}"));
+        }
+        out.push_str(axis.trim_end());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::id::{m, t};
+
+    fn fixture() -> (Mapping, EtcMatrix, ReadyTimes) {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 9.0], vec![9.0, 3.0], vec![4.0, 9.0]]).unwrap();
+        let mut mapping = Mapping::new(3);
+        mapping.assign(t(0), m(0)).unwrap();
+        mapping.assign(t(1), m(1)).unwrap();
+        mapping.assign(t(2), m(0)).unwrap();
+        (mapping, etc, ReadyTimes::zero(2))
+    }
+
+    #[test]
+    fn segments_run_back_to_back() {
+        let (mapping, etc, ready) = fixture();
+        let g = Gantt::from_mapping(&mapping, &etc, &ready, &[m(0), m(1)]);
+        let (machine, segs) = &g.rows()[0];
+        assert_eq!(*machine, m(0));
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].start, Time::ZERO);
+        assert_eq!(segs[0].end, Time::new(2.0));
+        assert_eq!(segs[1].start, Time::new(2.0));
+        assert_eq!(segs[1].end, Time::new(6.0));
+        assert_eq!(g.finish_of(m(0)), Some(Time::new(6.0)));
+        assert_eq!(g.horizon(), Time::new(6.0));
+    }
+
+    #[test]
+    fn initial_ready_offsets_start() {
+        let (mapping, etc, _) = fixture();
+        let ready = ReadyTimes::from_values(&[1.5, 0.0]);
+        let g = Gantt::from_mapping(&mapping, &etc, &ready, &[m(0), m(1)]);
+        assert_eq!(g.rows()[0].1[0].start, Time::new(1.5));
+        assert_eq!(g.finish_of(m(0)), Some(Time::new(7.5)));
+    }
+
+    #[test]
+    fn idle_machine_has_no_finish() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 9.0]]).unwrap();
+        let mut mapping = Mapping::new(1);
+        mapping.assign(t(0), m(0)).unwrap();
+        let g = Gantt::from_mapping(&mapping, &etc, &ReadyTimes::zero(2), &[m(0), m(1)]);
+        assert_eq!(g.finish_of(m(1)), None);
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_axis() {
+        let (mapping, etc, ready) = fixture();
+        let g = Gantt::from_mapping(&mapping, &etc, &ready, &[m(0), m(1)]);
+        let text = g.render();
+        assert!(text.contains("m0"), "{text}");
+        assert!(text.contains("m1"), "{text}");
+        assert!(text.contains("t0"), "{text}");
+        assert!(text.contains("6.0"), "{text}");
+        assert_eq!(text.lines().count(), 3); // two machines + axis
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let g = Gantt {
+            rows: vec![(m(0), Vec::new())],
+        };
+        assert_eq!(g.render(), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn tasks_on_removed_machines_are_ignored() {
+        let (mapping, etc, ready) = fixture();
+        // Only m1 is active: t0/t2 (on m0) do not appear.
+        let g = Gantt::from_mapping(&mapping, &etc, &ready, &[m(1)]);
+        assert_eq!(g.rows().len(), 1);
+        assert_eq!(g.rows()[0].1.len(), 1);
+        assert_eq!(g.rows()[0].1[0].task, t(1));
+    }
+}

@@ -1,0 +1,42 @@
+//! Execution simulation for heterogeneous-computing schedules.
+//!
+//! The paper's motivating scenario (Section 1) is a production environment:
+//! a set of *known* tasks is mapped off-line before execution begins, and
+//! minimizing the finishing times of **all** machines — not just the
+//! makespan machine — "will provide the earliest available \[machines\] ready
+//! for these to execute tasks that were not initially considered."
+//!
+//! This crate makes that scenario concrete:
+//!
+//! * [`des`] — a small deterministic discrete-event simulation core;
+//! * [`gantt`] — schedule timelines (who ran what, when) with ASCII
+//!   rendering, used for the paper's figures;
+//! * [`dynamic`] — arrival-driven on-line mapping (the context SWA and KPB
+//!   were designed for in Maheswaran et al. \[14\]): each task is mapped
+//!   when it arrives, via minimum completion time over the machines'
+//!   *current* availability;
+//! * [`production`] — the two-wave experiment: wave 1 mapped off-line
+//!   (optionally with the iterative technique), wave 2 arriving later and
+//!   mapped dynamically on whatever machines the first wave left free;
+//! * [`failure`] — fail-stop injection: a machine dies mid-schedule and
+//!   its unfinished tasks are remapped onto the survivors (the iterative
+//!   technique's machine-removal move, triggered by hardware instead of
+//!   policy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod des;
+pub mod dynamic;
+pub mod failure;
+pub mod gantt;
+pub mod production;
+pub mod svg;
+
+pub use arrivals::ArrivalProcess;
+pub use des::EventQueue;
+pub use dynamic::{ArrivalOutcome, DynamicMapper, OnlinePolicy};
+pub use failure::{fail_and_recover, RecoveryOutcome};
+pub use gantt::{Gantt, GanttSegment};
+pub use production::{ProductionOutcome, ProductionScenario, Wave2Summary};

@@ -1,0 +1,81 @@
+//! The dynamic (on-line) setting SWA and K-Percent Best came from
+//! (Maheswaran et al., the paper's ref [14]): tasks arrive over time and
+//! are mapped the instant they arrive.
+//!
+//! ```text
+//! cargo run --release --example dynamic_mapping
+//! ```
+
+use nonmakespan::core::{MachineId, TieBreaker, Time};
+use nonmakespan::prelude::*;
+use nonmakespan::sim::{ArrivalProcess, DynamicMapper, OnlinePolicy};
+
+fn main() {
+    let spec = EtcSpec::braun(
+        48,
+        6,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+    let etc = spec.generate(21);
+    let machines: Vec<MachineId> = (0..6).map(MachineId).collect();
+
+    // Poisson arrivals at a rate that keeps the suite moderately loaded.
+    // With high machine heterogeneity the *best-machine* execution time is
+    // what determines service capacity, so the rate is based on the mean
+    // row minimum rather than the raw matrix mean.
+    let mean_best: f64 = etc
+        .tasks()
+        .map(|t| {
+            etc.machines()
+                .map(|m| etc.get(t, m).get())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum::<f64>()
+        / 48.0;
+    let rate = 1.5 * 6.0 / mean_best;
+    let arrivals = ArrivalProcess::Poisson { rate }.generate(48, 7);
+    println!(
+        "48 tasks arriving by Poisson process over ~{:.0} time units, 6 machines\n",
+        arrivals.last().unwrap().0.get()
+    );
+
+    let policies = [
+        ("MCT", OnlinePolicy::Mct),
+        ("MET", OnlinePolicy::Met),
+        ("OLB", OnlinePolicy::Olb),
+        ("KPB-70", OnlinePolicy::Kpb { k_percent: 70.0 }),
+        (
+            "SWA",
+            OnlinePolicy::Swa {
+                lo: 1.0 / 3.0,
+                hi: 0.49,
+            },
+        ),
+    ];
+
+    println!("{:<8} {:>12} {:>14}", "policy", "makespan", "mean task CT");
+    let mut mct_makespan = None;
+    for (name, policy) in policies {
+        let mapper = DynamicMapper::new(machines.clone(), vec![Time::ZERO; machines.len()]);
+        let mut tb = TieBreaker::Deterministic;
+        let out = mapper.run_policy(&etc, &arrivals, policy, &mut tb);
+        if name == "MCT" {
+            mct_makespan = Some(out.makespan());
+        }
+        println!(
+            "{:<8} {:>12.0} {:>14.0}",
+            name,
+            out.makespan().get(),
+            out.mean_completion().get()
+        );
+    }
+
+    println!(
+        "\nExpected shape (Maheswaran et al.): KPB tracks MCT closely, SWA sits\n\
+         between MCT and MET, MET floods the globally fastest machines, OLB\n\
+         ignores heterogeneity. MCT's makespan here: {:.0}.",
+        mct_makespan.expect("MCT ran").get()
+    );
+}

@@ -1,0 +1,84 @@
+//! Shows why Genitor is the paper's safe heuristic for the iterative
+//! technique: per-iteration seeding makes it monotone, and the same guard
+//! bolted onto a greedy heuristic (`IterativeConfig::seed_guard`) buys the
+//! same guarantee — the conclusion's suggestion, implemented.
+//!
+//! ```text
+//! cargo run --release --example genitor_seeding
+//! ```
+
+use nonmakespan::core::{iterative, IterativeConfig};
+use nonmakespan::prelude::*;
+
+fn main() {
+    // 64 tasks x 8 machines, inconsistent high/high — the class where
+    // Sufferage backfires most often (see EXPERIMENTS.md, X1b).
+    let spec = EtcSpec::braun(
+        64,
+        8,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+
+    println!("Sufferage under the iterative technique, 10 workloads:\n");
+    println!(
+        "{:<6} {:>12} {:>18} {:>18}",
+        "seed", "original", "final (no guard)", "final (guard)"
+    );
+    let mut backfired = 0;
+    for seed in 0..10u64 {
+        let scenario = Scenario::with_zero_ready(spec.generate(seed));
+
+        let mut tb = TieBreaker::Deterministic;
+        let plain = iterative::run(&mut Sufferage, &scenario, &mut tb);
+
+        let mut tb = TieBreaker::Deterministic;
+        let guarded = iterative::run_with(
+            &mut Sufferage,
+            &scenario,
+            &mut tb,
+            IterativeConfig {
+                seed_guard: true,
+                ..IterativeConfig::default()
+            },
+        );
+
+        if plain.makespan_increased() {
+            backfired += 1;
+        }
+        assert!(!guarded.makespan_increased(), "guard must be monotone");
+        println!(
+            "{:<6} {:>12.0} {:>18.0} {:>18.0}",
+            seed,
+            plain.original_makespan().get(),
+            plain.final_makespan().get(),
+            guarded.final_makespan().get()
+        );
+    }
+    println!("\nunguarded Sufferage backfired on {backfired}/10 workloads; the guard on 0/10.");
+
+    // Genitor needs no guard: its own population seeding is the guard.
+    println!("\nGenitor on the same workloads (seeding built in):");
+    for seed in 0..3u64 {
+        let scenario = Scenario::with_zero_ready(spec.generate(seed));
+        let mut ga = Genitor::with_config(
+            seed,
+            GenitorConfig {
+                pop_size: 50,
+                max_steps: 3_000,
+                stall_steps: 600,
+                ..Default::default()
+            },
+        );
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut ga, &scenario, &mut tb);
+        println!(
+            "  seed {seed}: original {:.0} -> final {:.0} (increase: {})",
+            outcome.original_makespan().get(),
+            outcome.final_makespan().get(),
+            outcome.makespan_increased()
+        );
+        assert!(!outcome.makespan_increased());
+    }
+}

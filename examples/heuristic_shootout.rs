@@ -1,0 +1,80 @@
+//! Compares all ten heuristics (nine greedy + Genitor) across the twelve
+//! Braun workload classes: single-mapping makespan and what the iterative
+//! technique does to the average machine finishing time.
+//!
+//! ```text
+//! cargo run --release --example heuristic_shootout
+//! ```
+
+use nonmakespan::analysis::OnlineStats;
+use nonmakespan::core::iterative;
+use nonmakespan::etcgen::braun_classes;
+use nonmakespan::genitor::{Genitor, GenitorConfig};
+use nonmakespan::prelude::*;
+
+const N_TASKS: usize = 48;
+const N_MACHINES: usize = 6;
+const TRIALS: u64 = 5;
+
+fn main() {
+    let classes = braun_classes(N_TASKS, N_MACHINES);
+    println!("{N_TASKS} tasks x {N_MACHINES} machines, {TRIALS} trials per class, 12 classes\n");
+    println!(
+        "{:<11} {:>16} {:>22} {:>14}",
+        "heuristic", "mean makespan", "mean finish reduction%", "increases%"
+    );
+
+    let mut names: Vec<&str> = all_heuristics().iter().map(|h| h.name()).collect();
+    names.push("Genitor");
+
+    for name in names {
+        let mut makespans = OnlineStats::new();
+        let mut reductions = OnlineStats::new();
+        let mut increases = OnlineStats::new();
+        for spec in &classes {
+            for seed in 0..TRIALS {
+                let scenario = Scenario::with_zero_ready(spec.generate(seed));
+                let mut h: Box<dyn Heuristic> = if name == "Genitor" {
+                    Box::new(Genitor::with_config(
+                        seed,
+                        GenitorConfig {
+                            pop_size: 40,
+                            max_steps: 2_000,
+                            stall_steps: 400,
+                            ..Default::default()
+                        },
+                    ))
+                } else {
+                    nonmakespan::heuristics::by_name(name).expect("known name")
+                };
+                let mut tb = TieBreaker::Deterministic;
+                let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+                makespans.push(outcome.original_makespan().get());
+                let deltas = outcome.deltas();
+                let orig: f64 =
+                    deltas.iter().map(|&(_, o, _)| o.get()).sum::<f64>() / deltas.len() as f64;
+                let fin: f64 =
+                    deltas.iter().map(|&(_, _, f)| f.get()).sum::<f64>() / deltas.len() as f64;
+                reductions.push(if orig > 0.0 {
+                    (orig - fin) / orig * 100.0
+                } else {
+                    0.0
+                });
+                increases.push(f64::from(u8::from(outcome.makespan_increased())));
+            }
+        }
+        println!(
+            "{:<11} {:>16.0} {:>22.2} {:>14.1}",
+            name,
+            makespans.mean(),
+            reductions.mean(),
+            increases.mean() * 100.0
+        );
+    }
+
+    println!(
+        "\nReading guide: lower makespan = better single mapping; higher finish\n\
+         reduction = the iterative technique recovered more machine time;\n\
+         increases% > 0 marks heuristics where the technique can backfire."
+    );
+}

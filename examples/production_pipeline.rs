@@ -1,0 +1,61 @@
+//! The paper's motivating scenario, end to end: an off-line-mapped first
+//! wave of known tasks, then a second wave of unplanned tasks that lands
+//! on whatever availability the first wave left.
+//!
+//! ```text
+//! cargo run --release --example production_pipeline
+//! ```
+
+use nonmakespan::core::{IterativeConfig, Time};
+use nonmakespan::prelude::*;
+use nonmakespan::sim::production::{self, ProductionScenario};
+
+fn main() {
+    // Wave 1: a 32-task inconsistent high/high Braun-class workload.
+    let wave1_spec = EtcSpec::braun(
+        32,
+        6,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+    // Wave 2: eight unplanned tasks from the same class.
+    let wave2_spec = EtcSpec {
+        n_tasks: 8,
+        ..wave1_spec
+    };
+
+    let scenario = ProductionScenario::new(
+        Scenario::with_zero_ready(wave1_spec.generate(11)),
+        wave2_spec.generate(99),
+        Time::ZERO,
+    );
+
+    println!(
+        "wave 1: {} tasks, wave 2: {} tasks, {} machines\n",
+        32, 8, 6
+    );
+    println!(
+        "{:<11} {:>14} {:>14} {:>12}",
+        "heuristic", "wave2 mean CT", "wave2 makespan", "gain"
+    );
+    for h in all_heuristics() {
+        let mut h = h;
+        let mut tb = TieBreaker::Deterministic;
+        let out = production::run(&scenario, &mut *h, &mut tb, IterativeConfig::default());
+        println!(
+            "{:<11} {:>6.1} -> {:<6.1} {:>6.1} -> {:<6.1} {:>+10.1}",
+            h.name(),
+            out.wave2_original.mean_completion.get(),
+            out.wave2_iterative.mean_completion.get(),
+            out.wave2_original.makespan.get(),
+            out.wave2_iterative.makespan.get(),
+            out.mean_completion_gain(),
+        );
+    }
+    println!(
+        "\nA positive gain means the iterative technique freed machines earlier\n\
+         for the second wave; Min-Min/MCT/MET show 0.0 because their mappings\n\
+         are invariant under deterministic ties (the paper's theorems)."
+    );
+}

@@ -1,0 +1,13 @@
+//! The `nonmakespan` command-line tool. All logic lives in
+//! `nonmakespan::cli` (library side, unit-tested); this is the thin shell.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nonmakespan::cli::parse(&args).and_then(nonmakespan::cli::execute) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Implementation of the `nonmakespan` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `generate` — emit a Braun-class ETC matrix as CSV;
+//! * `map` — run one heuristic on an ETC CSV and print the mapping;
+//! * `iterate` — run the full iterative technique and print each round,
+//!   the per-machine deltas and a Gantt chart of the original mapping;
+//! * `examples` — summarize (or print in full) the paper's worked
+//!   examples.
+//!
+//! The logic lives here (library side) so it is unit-testable; the binary
+//! in `src/bin/nonmakespan.rs` is a thin `main`.
+
+use std::fmt::Write as _;
+
+use hcs_analysis::TextTable;
+use hcs_core::{iterative, Heuristic, IterativeConfig, Scenario, TieBreaker};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_genitor::Genitor;
+use hcs_sim::Gantt;
+
+/// A parsed command, ready to execute.
+#[derive(Debug)]
+pub enum Command {
+    /// Emit an ETC matrix as CSV.
+    Generate {
+        /// Tasks (rows).
+        tasks: usize,
+        /// Machines (columns).
+        machines: usize,
+        /// Braun class label, e.g. `i-hihi`.
+        class: String,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// Map an ETC CSV once and print the result.
+    Map {
+        /// CSV text of the ETC matrix.
+        csv: String,
+        /// Heuristic name.
+        heuristic: String,
+        /// Tie policy: `None` = deterministic, `Some(seed)` = random.
+        random_ties: Option<u64>,
+    },
+    /// Run the iterative technique on an ETC CSV.
+    Iterate {
+        /// CSV text of the ETC matrix.
+        csv: String,
+        /// Heuristic name.
+        heuristic: String,
+        /// Tie policy.
+        random_ties: Option<u64>,
+        /// Apply the seeding guard.
+        guard: bool,
+    },
+    /// Summarize the paper's worked examples (all, or one by id).
+    Examples {
+        /// Optional example id.
+        only: Option<String>,
+    },
+}
+
+/// CLI-level errors (bad usage, bad input).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nonmakespan — iterative non-makespan completion-time minimization
+
+USAGE:
+  nonmakespan generate --tasks N --machines M [--class i-hihi] [--seed S]
+  nonmakespan map      --etc FILE.csv --heuristic NAME [--random-ties SEED]
+  nonmakespan iterate  --etc FILE.csv --heuristic NAME [--random-ties SEED] [--guard]
+  nonmakespan examples [ID]
+
+HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
+            segmented-min-min, genitor, sa, tabu, beam
+CLASSES:    {c,s,i}-{hi,lo}{hi,lo}, e.g. c-hihi, i-lolo
+EXAMPLES:   minmin, mct, met, swa, kpb, sufferage
+";
+
+/// Parses command-line arguments (without the program name) into a
+/// [`Command`], reading any `--etc` file from disk.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let sub = args.first().ok_or_else(|| CliError(USAGE.into()))?;
+    let rest = &args[1..];
+    let random_ties = flag(rest, "--random-ties")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError("--random-ties takes an integer seed".into()))
+        })
+        .transpose()?;
+    match sub.as_str() {
+        "generate" => {
+            let tasks = flag(rest, "--tasks")
+                .ok_or_else(|| CliError("generate requires --tasks".into()))?
+                .parse()
+                .map_err(|_| CliError("--tasks takes an integer".into()))?;
+            let machines = flag(rest, "--machines")
+                .ok_or_else(|| CliError("generate requires --machines".into()))?
+                .parse()
+                .map_err(|_| CliError("--machines takes an integer".into()))?;
+            let class = flag(rest, "--class").unwrap_or_else(|| "i-hihi".into());
+            let seed = flag(rest, "--seed")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError("--seed takes an integer".into()))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Command::Generate {
+                tasks,
+                machines,
+                class,
+                seed,
+            })
+        }
+        "map" | "iterate" => {
+            let path = flag(rest, "--etc")
+                .ok_or_else(|| CliError(format!("{sub} requires --etc FILE.csv")))?;
+            let csv = std::fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let heuristic = flag(rest, "--heuristic")
+                .ok_or_else(|| CliError(format!("{sub} requires --heuristic NAME")))?;
+            if sub == "map" {
+                Ok(Command::Map {
+                    csv,
+                    heuristic,
+                    random_ties,
+                })
+            } else {
+                Ok(Command::Iterate {
+                    csv,
+                    heuristic,
+                    random_ties,
+                    guard: rest.iter().any(|a| a == "--guard"),
+                })
+            }
+        }
+        "examples" => Ok(Command::Examples {
+            only: rest.first().cloned(),
+        }),
+        other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Parses a Braun class label like `i-hihi`.
+pub fn parse_class(label: &str) -> Result<(Consistency, Heterogeneity, Heterogeneity), CliError> {
+    let err = || {
+        CliError(format!(
+            "bad class {label:?}; expected e.g. c-hihi, s-lolo, i-hilo"
+        ))
+    };
+    let (c, h) = label.split_once('-').ok_or_else(err)?;
+    let consistency = match c {
+        "c" => Consistency::Consistent,
+        "s" => Consistency::SemiConsistent,
+        "i" => Consistency::Inconsistent,
+        _ => return Err(err()),
+    };
+    let hetero = |s: &str| match s {
+        "hi" => Ok(Heterogeneity::Hi),
+        "lo" => Ok(Heterogeneity::Lo),
+        _ => Err(err()),
+    };
+    if h.len() != 4 {
+        return Err(err());
+    }
+    Ok((consistency, hetero(&h[..2])?, hetero(&h[2..])?))
+}
+
+/// Instantiates a heuristic by CLI name (greedy by name, plus `genitor`
+/// and `sa`, which get seeded from the tie seed or 0).
+pub fn make_heuristic(name: &str, seed: u64) -> Result<Box<dyn Heuristic>, CliError> {
+    if name.eq_ignore_ascii_case("genitor") {
+        return Ok(Box::new(Genitor::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("sa") {
+        return Ok(Box::new(hcs_heuristics::Sa::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("tabu") {
+        return Ok(Box::new(hcs_heuristics::Tabu::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("beam") {
+        return Ok(Box::new(hcs_heuristics::BeamSearch::default()));
+    }
+    hcs_heuristics::by_name(name)
+        .ok_or_else(|| CliError(format!("unknown heuristic {name:?}\n\n{USAGE}")))
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Generate {
+            tasks,
+            machines,
+            class,
+            seed,
+        } => {
+            let (consistency, th, mh) = parse_class(&class)?;
+            let spec = EtcSpec::braun(tasks, machines, consistency, th, mh);
+            Ok(hcs_etcgen::io::to_csv(&spec.generate(seed)))
+        }
+        Command::Map {
+            csv,
+            heuristic,
+            random_ties,
+        } => {
+            let etc = hcs_etcgen::io::parse_csv(&csv)
+                .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
+            let scenario = Scenario::with_zero_ready(etc);
+            let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
+            let mut tb = tie_breaker(random_ties);
+            let owned = scenario.full_instance();
+            let mapping = h.map(&owned.as_instance(&scenario), &mut tb);
+            let ct =
+                mapping.completion_times(&scenario.etc, &scenario.initial_ready, &owned.machines);
+
+            let mut out = String::new();
+            let mut table = TextTable::new(vec!["step", "task", "machine"]);
+            for (i, &(task, machine)) in mapping.order().iter().enumerate() {
+                table.push_row(vec![
+                    format!("{}", i + 1),
+                    task.to_string(),
+                    machine.to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{table}");
+            let mut summary = TextTable::new(vec!["machine", "completion time"]);
+            for &(machine, time) in ct.pairs() {
+                summary.push_row(vec![machine.to_string(), time.to_string()]);
+            }
+            let _ = writeln!(out, "{summary}");
+            let (mk, ms) = ct.makespan_machine();
+            let _ = writeln!(out, "makespan: {ms} on {mk}");
+            Ok(out)
+        }
+        Command::Iterate {
+            csv,
+            heuristic,
+            random_ties,
+            guard,
+        } => {
+            let etc = hcs_etcgen::io::parse_csv(&csv)
+                .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
+            let scenario = Scenario::with_zero_ready(etc);
+            let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
+            let mut tb = tie_breaker(random_ties);
+            let outcome = iterative::run_with(
+                &mut *h,
+                &scenario,
+                &mut tb,
+                IterativeConfig {
+                    seed_guard: guard,
+                    ..IterativeConfig::default()
+                },
+            );
+
+            let mut out = String::new();
+            for (i, round) in outcome.rounds.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "round {i}: {} machines, {} tasks, makespan {} on {}{}",
+                    round.machines.len(),
+                    round.tasks.len(),
+                    round.makespan,
+                    round.makespan_machine,
+                    if round.kept_seed { " (kept seed)" } else { "" }
+                );
+            }
+            let mut deltas = TextTable::new(vec!["machine", "original", "final", "verdict"]);
+            for (machine, orig, fin) in outcome.deltas() {
+                let verdict = if fin < orig {
+                    "improved"
+                } else if fin > orig {
+                    "worsened"
+                } else {
+                    "unchanged"
+                };
+                deltas.push_row(vec![
+                    machine.to_string(),
+                    orig.to_string(),
+                    fin.to_string(),
+                    verdict.to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "\n{deltas}");
+            let _ = writeln!(
+                out,
+                "makespan: {} -> {} ({})",
+                outcome.original_makespan(),
+                outcome.final_makespan(),
+                if outcome.makespan_increased() {
+                    "INCREASED"
+                } else {
+                    "ok"
+                }
+            );
+            let round0 = &outcome.rounds[0];
+            let gantt = Gantt::from_mapping(
+                &round0.mapping,
+                &scenario.etc,
+                &scenario.initial_ready,
+                &round0.machines,
+            );
+            let _ = writeln!(out, "\noriginal mapping:\n{}", gantt.render());
+            Ok(out)
+        }
+        Command::Examples { only } => {
+            let examples = match only {
+                Some(id) => vec![hcs_paper::example_by_id(&id)
+                    .ok_or_else(|| CliError(format!("unknown example {id:?}\n\n{USAGE}")))?],
+                None => hcs_paper::all_examples(),
+            };
+            let mut out = String::new();
+            let mut table = TextTable::new(vec![
+                "example",
+                "original makespan",
+                "final makespan",
+                "verified",
+            ]);
+            for example in &examples {
+                let outcome = example.run();
+                let report = hcs_paper::verify_example(example);
+                table.push_row(vec![
+                    example.id.to_string(),
+                    outcome.original_makespan().to_string(),
+                    outcome.final_makespan().to_string(),
+                    if report.all_ok() { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+            let _ = writeln!(out, "{table}");
+            let _ = writeln!(
+                out,
+                "Run `cargo run -p hcs-bench --bin repro` for the full tables and figures."
+            );
+            Ok(out)
+        }
+    }
+}
+
+fn tie_breaker(random_ties: Option<u64>) -> TieBreaker {
+    match random_ties {
+        Some(seed) => TieBreaker::random(seed),
+        None => TieBreaker::Deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_produces_parseable_csv() {
+        let cmd = parse(&strs(&[
+            "generate",
+            "--tasks",
+            "5",
+            "--machines",
+            "3",
+            "--class",
+            "c-lolo",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        let etc = hcs_etcgen::io::parse_csv(&out).unwrap();
+        assert_eq!(etc.n_tasks(), 5);
+        assert_eq!(etc.n_machines(), 3);
+    }
+
+    #[test]
+    fn map_prints_assignments_and_makespan() {
+        let csv = "2,6\n3,4\n8,3\n".to_string();
+        let out = execute(Command::Map {
+            csv,
+            heuristic: "min-min".into(),
+            random_ties: None,
+        })
+        .unwrap();
+        assert!(out.contains("makespan: 5 on m0"), "{out}");
+        assert!(out.contains("t0"), "{out}");
+    }
+
+    #[test]
+    fn iterate_reports_rounds_and_deltas() {
+        let csv = "2,6\n3,4\n8,3\n".to_string();
+        let out = execute(Command::Iterate {
+            csv,
+            heuristic: "sufferage".into(),
+            random_ties: None,
+            guard: false,
+        })
+        .unwrap();
+        assert!(out.contains("round 0"), "{out}");
+        assert!(out.contains("round 1"), "{out}");
+        assert!(out.contains("original mapping:"), "{out}");
+        assert!(out.contains("unchanged") || out.contains("improved") || out.contains("worsened"));
+    }
+
+    #[test]
+    fn examples_summary_verifies() {
+        let out = execute(Command::Examples { only: None }).unwrap();
+        for id in ["minmin", "mct", "met", "swa", "kpb", "sufferage"] {
+            assert!(out.contains(id), "{out}");
+        }
+        assert!(!out.contains("NO"), "{out}");
+
+        let one = execute(Command::Examples {
+            only: Some("swa".into()),
+        })
+        .unwrap();
+        assert!(one.contains("6.5"), "{one}");
+    }
+
+    #[test]
+    fn class_labels_parse() {
+        assert!(parse_class("c-hihi").is_ok());
+        assert!(parse_class("s-lolo").is_ok());
+        assert!(parse_class("i-hilo").is_ok());
+        assert!(parse_class("x-hihi").is_err());
+        assert!(parse_class("c-hi").is_err());
+        assert!(parse_class("chihi").is_err());
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&strs(&["bogus"])).is_err());
+        assert!(parse(&strs(&["generate"])).is_err()); // missing --tasks
+        assert!(parse(&strs(&[
+            "map",
+            "--etc",
+            "/nonexistent.csv",
+            "--heuristic",
+            "mct"
+        ]))
+        .is_err());
+        assert!(make_heuristic("nope", 0).is_err());
+        assert!(make_heuristic("genitor", 0).is_ok());
+        assert!(make_heuristic("sa", 0).is_ok());
+        assert!(make_heuristic("tabu", 0).is_ok());
+        assert!(make_heuristic("beam", 0).is_ok());
+    }
+
+    #[test]
+    fn random_ties_flag_changes_policy() {
+        let csv = "3,3\n3,3\n".to_string();
+        // With random ties and enough seeds, at least two distinct first
+        // assignments appear.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16 {
+            let out = execute(Command::Map {
+                csv: csv.clone(),
+                heuristic: "mct".into(),
+                random_ties: Some(seed),
+            })
+            .unwrap();
+            let first_line = out
+                .lines()
+                .find(|l| l.starts_with('1'))
+                .unwrap()
+                .to_string();
+            seen.insert(first_line);
+        }
+        assert!(seen.len() > 1, "random ties should vary: {seen:?}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Umbrella crate for the *non-makespan iterative technique* reproduction
+//! (Briceño, Oltikar, Siegel, Maciejewski — IPDPS Workshops 2007).
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests and downstream users need a single dependency:
+//!
+//! * [`core`] — model types and the iterative technique driver.
+//! * [`etcgen`] — ETC workload generation (range-based and CVB).
+//! * [`heuristics`] — MET, MCT, OLB, KPB, SWA, Min-Min, Max-Min, Duplex,
+//!   Sufferage.
+//! * [`genitor`] — the Genitor steady-state genetic algorithm.
+//! * [`sim`] — discrete-event simulation, Gantt charts, the two-wave
+//!   production scenario.
+//! * [`analysis`] — metrics, statistics, text tables, Monte-Carlo runner.
+//! * [`paper`] — reconstructed paper examples, table and figure renderers.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the experiment
+//! index.
+
+pub mod cli;
+
+pub use hcs_analysis as analysis;
+pub use hcs_core as core;
+pub use hcs_etcgen as etcgen;
+pub use hcs_genitor as genitor;
+pub use hcs_paper as paper;
+pub use hcs_sim as sim;
+
+/// All greedy and search mapping heuristics plus construction helpers.
+pub use hcs_heuristics as heuristics;
+
+/// Flat prelude for examples and quick scripts.
+pub mod prelude {
+    pub use hcs_core::{
+        iterative, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome, MachineId,
+        Mapping, ReadyTimes, Round, Scenario, TaskId, TieBreaker, Time,
+    };
+    pub use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity, Method};
+    pub use hcs_genitor::{Genitor, GenitorConfig};
+    pub use hcs_heuristics::{
+        all_heuristics, Duplex, Kpb, MaxMin, Mct, Met, MinMin, Olb, Sufferage, Swa, SwaConfig,
+    };
+}

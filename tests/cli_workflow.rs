@@ -1,0 +1,111 @@
+//! End-to-end CLI workflow: generate → save → map → iterate → examples,
+//! exactly as a user would drive the `nonmakespan` binary.
+
+use nonmakespan::cli::{execute, parse, Command};
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nonmakespan_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_generate_map_iterate_workflow() {
+    let dir = tmp_dir();
+    let csv_path = dir.join("workload.csv");
+
+    // 1. Generate a workload.
+    let csv = execute(Command::Generate {
+        tasks: 16,
+        machines: 4,
+        class: "i-hihi".into(),
+        seed: 3,
+    })
+    .expect("generate");
+    std::fs::write(&csv_path, &csv).expect("write workload");
+
+    // 2. Parse the `map` command against the file (exercises file I/O).
+    let args: Vec<String> = [
+        "map",
+        "--etc",
+        csv_path.to_str().unwrap(),
+        "--heuristic",
+        "min-min",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let cmd = parse(&args).expect("parse map");
+    let out = execute(cmd).expect("map");
+    assert!(out.contains("makespan:"), "{out}");
+    assert!(out.contains("t15"), "all 16 tasks mapped: {out}");
+
+    // 3. Iterate with the guard.
+    let args: Vec<String> = [
+        "iterate",
+        "--etc",
+        csv_path.to_str().unwrap(),
+        "--heuristic",
+        "sufferage",
+        "--guard",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let cmd = parse(&args).expect("parse iterate");
+    let out = execute(cmd).expect("iterate");
+    assert!(out.contains("round 0"), "{out}");
+    assert!(out.contains("round 3"), "4 machines -> 4 rounds: {out}");
+    // Guarded runs never report an increase.
+    assert!(out.contains("(ok)"), "{out}");
+
+    // 4. The same workflow through a search heuristic.
+    let args: Vec<String> = [
+        "iterate",
+        "--etc",
+        csv_path.to_str().unwrap(),
+        "--heuristic",
+        "tabu",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let out = execute(parse(&args).expect("parse")).expect("tabu iterate");
+    assert!(out.contains("makespan:"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn examples_subcommand_round_trips_through_parse() {
+    let args = vec!["examples".to_string(), "sufferage".to_string()];
+    let out = execute(parse(&args).expect("parse")).expect("examples");
+    assert!(out.contains("sufferage"), "{out}");
+    assert!(out.contains("10.5"), "{out}");
+    assert!(out.contains("yes"), "verified: {out}");
+}
+
+#[test]
+fn deterministic_and_random_runs_both_complete() {
+    let dir = tmp_dir();
+    let csv_path = dir.join("tie_rich.csv");
+    // Hand-written tie-rich workload.
+    std::fs::write(&csv_path, "3,3\n3,3\n3,3\n2,2\n").expect("write");
+
+    for extra in [vec![], vec!["--random-ties".to_string(), "5".to_string()]] {
+        let mut args: Vec<String> = [
+            "iterate",
+            "--etc",
+            csv_path.to_str().unwrap(),
+            "--heuristic",
+            "mct",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        args.extend(extra);
+        let out = execute(parse(&args).expect("parse")).expect("iterate");
+        assert!(out.contains("original mapping:"), "{out}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: workload generation → heuristics → iterative
+//! technique → metrics → simulation, checked for internal consistency.
+
+use nonmakespan::analysis::OutcomeMetrics;
+use nonmakespan::core::{iterative, IterativeConfig, Scenario, TieBreaker, Time};
+use nonmakespan::etcgen::{Consistency, EtcSpec, Heterogeneity};
+use nonmakespan::heuristics::all_heuristics;
+use nonmakespan::sim::production::{self, ProductionScenario};
+use nonmakespan::sim::Gantt;
+
+fn workload(seed: u64) -> Scenario {
+    let spec = EtcSpec::braun(
+        24,
+        5,
+        Consistency::SemiConsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Lo,
+    );
+    Scenario::with_zero_ready(spec.generate(seed))
+}
+
+#[test]
+fn every_heuristic_survives_the_full_pipeline() {
+    let scenario = workload(1);
+    for mut h in all_heuristics() {
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+
+        // Every machine gets exactly one final finishing time.
+        assert_eq!(outcome.final_finish.len(), 5, "{}", h.name());
+
+        // The frozen makespan machine of each round keeps its completion.
+        for (i, round) in outcome.rounds.iter().enumerate() {
+            let frozen_time = round.completion.get(round.makespan_machine);
+            assert_eq!(round.makespan, frozen_time, "{} round {i}", h.name());
+            if i + 1 < outcome.rounds.len() {
+                assert_eq!(
+                    outcome.final_finish_of(round.makespan_machine),
+                    frozen_time,
+                    "{} round {i}",
+                    h.name()
+                );
+            }
+        }
+
+        // Metrics agree with the outcome's own accessors.
+        let metrics = OutcomeMetrics::from_outcome(&outcome);
+        assert_eq!(metrics.makespan_increased, outcome.makespan_increased());
+        assert_eq!(metrics.rounds, outcome.rounds.len());
+        let (better, worse) = outcome.improvement_counts();
+        assert_eq!(metrics.machines_improved, better);
+        assert_eq!(metrics.machines_worsened, worse);
+    }
+}
+
+#[test]
+fn completion_times_match_gantt_reconstruction() {
+    let scenario = workload(2);
+    for mut h in all_heuristics() {
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+        let round = &outcome.rounds[0];
+        let gantt = Gantt::from_mapping(
+            &round.mapping,
+            &scenario.etc,
+            &scenario.initial_ready,
+            &round.machines,
+        );
+        for &(machine, ct) in round.completion.pairs() {
+            let finish = gantt.finish_of(machine).unwrap_or(Time::ZERO);
+            assert_eq!(finish, ct, "{} machine {machine}", h.name());
+        }
+    }
+}
+
+#[test]
+fn random_and_deterministic_policies_agree_on_tie_free_workloads() {
+    // Continuous Braun workloads essentially never tie *on completion
+    // times*, so the random policy must coincide with the deterministic
+    // one — except for OLB, which compares bare ready times and therefore
+    // genuinely ties on the all-zero initial state at the start of every
+    // round.
+    let scenario = workload(3);
+    for mut h in all_heuristics() {
+        if h.name() == "OLB" {
+            continue;
+        }
+        let mut tb_det = TieBreaker::Deterministic;
+        let det = iterative::run(&mut *h, &scenario, &mut tb_det);
+        let mut h2 = nonmakespan::heuristics::by_name(h.name()).unwrap();
+        let mut tb_rand = TieBreaker::random(7);
+        let rand = iterative::run(&mut *h2, &scenario, &mut tb_rand);
+        assert_eq!(
+            det.final_finish,
+            rand.final_finish,
+            "{}: policies diverged without ties",
+            h.name()
+        );
+    }
+}
+
+#[test]
+fn seed_guard_never_hurts_the_final_makespan() {
+    for seed in 0..5u64 {
+        let scenario = workload(seed);
+        for mut h in all_heuristics() {
+            let mut tb = TieBreaker::Deterministic;
+            let plain = iterative::run(&mut *h, &scenario, &mut tb);
+            let mut h2 = nonmakespan::heuristics::by_name(h.name()).unwrap();
+            let mut tb = TieBreaker::Deterministic;
+            let guarded = iterative::run_with(
+                &mut *h2,
+                &scenario,
+                &mut tb,
+                IterativeConfig {
+                    seed_guard: true,
+                    ..IterativeConfig::default()
+                },
+            );
+            assert!(
+                guarded.final_makespan() <= plain.final_makespan().max(guarded.original_makespan()),
+                "{} seed {seed}",
+                h.name()
+            );
+            assert!(!guarded.makespan_increased(), "{} seed {seed}", h.name());
+        }
+    }
+}
+
+#[test]
+fn production_pipeline_is_consistent() {
+    let wave1 = workload(4);
+    let wave2 = EtcSpec::braun(
+        6,
+        5,
+        Consistency::SemiConsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Lo,
+    )
+    .generate(99);
+    let scenario = ProductionScenario::new(wave1, wave2, Time::ZERO);
+
+    for mut h in all_heuristics() {
+        let mut tb = TieBreaker::Deterministic;
+        let out = production::run(&scenario, &mut *h, &mut tb, IterativeConfig::default());
+        // Availability vectors cover every machine.
+        assert_eq!(out.original_availability.len(), 5, "{}", h.name());
+        assert_eq!(out.iterative_availability.len(), 5, "{}", h.name());
+        // Wave-2 summaries are meaningful: makespan >= mean completion > 0.
+        for summary in [out.wave2_original, out.wave2_iterative] {
+            assert!(summary.makespan >= summary.mean_completion, "{}", h.name());
+            assert!(summary.mean_completion > Time::ZERO, "{}", h.name());
+        }
+    }
+}
+
+#[test]
+fn twelve_braun_classes_have_expected_structure() {
+    for spec in nonmakespan::etcgen::braun_classes(30, 6) {
+        let etc = spec.generate(5);
+        assert_eq!(etc.n_tasks(), 30);
+        assert_eq!(etc.n_machines(), 6);
+        // Smoke: every heuristic maps every class.
+        let scenario = Scenario::with_zero_ready(etc);
+        let mut h = nonmakespan::heuristics::MinMin;
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut h, &scenario, &mut tb);
+        assert!(outcome.original_makespan() > Time::ZERO, "{}", spec.label());
+    }
+}

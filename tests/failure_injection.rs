@@ -1,0 +1,120 @@
+//! Failure injection: a machine dies mid-schedule; the recovery machinery
+//! must keep the accounting airtight no matter which heuristic produced
+//! the schedule, which machine dies, or when.
+
+use nonmakespan::core::{TaskId, TieBreaker, Time};
+use nonmakespan::heuristics::all_heuristics;
+use nonmakespan::prelude::*;
+use nonmakespan::sim::fail_and_recover;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_task_is_accounted_for_exactly_once(
+        seed in 0u64..500,
+        failed_idx in 0usize..4,
+        at_frac in 0.0f64..1.2,
+        heuristic_idx in 0usize..10,
+    ) {
+        let spec = EtcSpec::braun(
+            14,
+            4,
+            Consistency::Inconsistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Lo,
+        );
+        let scenario = Scenario::with_zero_ready(spec.generate(seed));
+        let machines = scenario.etc.machine_vec();
+        let mut heuristics = all_heuristics();
+        let n_heuristics = heuristics.len();
+        let h = &mut heuristics[heuristic_idx % n_heuristics];
+        let mut tb = TieBreaker::Deterministic;
+        let owned = scenario.full_instance();
+        let mapping = h.map(&owned.as_instance(&scenario), &mut tb);
+
+        let makespan = mapping.makespan(&scenario.etc, &scenario.initial_ready, &machines);
+        let at = Time::new(makespan.get() * at_frac);
+        let failed = machines[failed_idx % machines.len()];
+
+        let mut tb = TieBreaker::Deterministic;
+        let out = fail_and_recover(
+            &mapping,
+            &scenario.etc,
+            &scenario.initial_ready,
+            &machines,
+            failed,
+            at,
+            &mut tb,
+        );
+
+        // Exactly-once coverage of the task set.
+        let mut seen: Vec<TaskId> = out
+            .unaffected
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(out.remapped.iter().map(|&(t, _, _)| t))
+            .collect();
+        seen.sort_unstable();
+        let mut expected = scenario.etc.task_vec();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected, "{}", h.name());
+
+        // Remapped tasks land on survivors, never before the failure.
+        for &(task, machine, done) in &out.remapped {
+            prop_assert_ne!(machine, failed, "{} on failed machine", task);
+            prop_assert!(done >= at, "{} finished at {done} before failure {at}", task);
+        }
+
+        // Recovery makespan bounds: at least the unaffected work, and at
+        // least the original makespan when nothing was lost.
+        if out.remapped.is_empty() {
+            prop_assert_eq!(out.recovery_makespan, makespan);
+        } else {
+            prop_assert!(out.recovery_makespan >= at);
+        }
+    }
+
+    #[test]
+    fn earlier_failures_never_shorten_recovery(
+        seed in 0u64..200,
+    ) {
+        // Failing earlier loses at least as much work, so the recovery
+        // makespan is monotonically non-increasing in the failure time for
+        // a fixed schedule and failed machine... (not a theorem for
+        // arbitrary MCT remapping order, but holds for the two-point
+        // comparison "before anything ran" vs "after everything ran").
+        let spec = EtcSpec::braun(
+            10,
+            3,
+            Consistency::Inconsistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Hi,
+        );
+        let scenario = Scenario::with_zero_ready(spec.generate(seed));
+        let machines = scenario.etc.machine_vec();
+        let mut h = MinMin;
+        let mut tb = TieBreaker::Deterministic;
+        let owned = scenario.full_instance();
+        let mapping = h.map(&owned.as_instance(&scenario), &mut tb);
+        let makespan = mapping.makespan(&scenario.etc, &scenario.initial_ready, &machines);
+
+        let run_at = |at: Time| {
+            let mut tb = TieBreaker::Deterministic;
+            fail_and_recover(
+                &mapping,
+                &scenario.etc,
+                &scenario.initial_ready,
+                &machines,
+                machines[0],
+                at,
+                &mut tb,
+            )
+        };
+        let immediate = run_at(Time::ZERO);
+        let never = run_at(makespan + Time::new(1.0));
+        prop_assert!(immediate.recovery_makespan >= never.recovery_makespan);
+        prop_assert_eq!(never.recovery_makespan, makespan);
+    }
+}

@@ -1,0 +1,108 @@
+//! The experiment index E1–E17: every table and figure of the paper is
+//! regenerated and checked against the surviving numbers, through the
+//! umbrella crate's public API (what a downstream user would call).
+
+use nonmakespan::paper::{all_examples, example_by_id, verify_example};
+use nonmakespan::paper::{figures, tables};
+
+#[test]
+fn e1_to_e17_all_verified() {
+    let examples = all_examples();
+    assert_eq!(examples.len(), 6, "six worked examples");
+    for example in &examples {
+        let report = verify_example(example);
+        assert!(
+            report.all_ok(),
+            "{}: {:?}",
+            example.id,
+            report
+                .checks
+                .iter()
+                .filter(|(_, ok)| !ok)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_paper_table_renders() {
+    // ETC tables (1, 4, 9, 12, 15).
+    for (id, label) in [
+        ("minmin", "Table 1"),
+        ("mct", "Table 4"),
+        ("swa", "Table 9"),
+        ("kpb", "Table 12"),
+        ("sufferage", "Table 15"),
+    ] {
+        let e = example_by_id(id).unwrap();
+        let rendered = tables::etc_table(&e, label).render();
+        assert!(rendered.starts_with(label), "{rendered}");
+        assert!(rendered.lines().count() >= e.etc.n_tasks() + 2);
+    }
+
+    // Allocation tables (2, 3, 5, 6, 7, 8) for the random-tie examples.
+    for id in ["minmin", "mct", "met"] {
+        let e = example_by_id(id).unwrap();
+        let outcome = e.run();
+        let orig = tables::allocation_table(&e, &outcome.rounds[0], "orig");
+        let iter = tables::allocation_table(&e, &outcome.rounds[1], "iter");
+        assert_eq!(orig.n_rows(), outcome.rounds[0].tasks.len(), "{id}");
+        assert_eq!(iter.n_rows(), outcome.rounds[1].tasks.len(), "{id}");
+    }
+
+    // SWA tables (10, 11) carry the paper's exact BI column.
+    let e = example_by_id("swa").unwrap();
+    let outcome = e.run();
+    let t10 = tables::swa_table(&e, &outcome.rounds[0], "Table 10").render();
+    for needle in ["x", "0", "1/3", "2/3", "MCT", "MET"] {
+        assert!(t10.contains(needle), "Table 10 missing {needle}:\n{t10}");
+    }
+    let t11 = tables::swa_table(&e, &outcome.rounds[1], "Table 11").render();
+    for needle in ["1/2", "4/13", "6.5"] {
+        assert!(t11.contains(needle), "Table 11 missing {needle}:\n{t11}");
+    }
+
+    // KPB tables (13, 14).
+    let e = example_by_id("kpb").unwrap();
+    let outcome = e.run();
+    let t13 = tables::kpb_table(&e, &outcome.rounds[0], "Table 13").render();
+    assert!(t13.contains("5.5"), "{t13}");
+    let t14 = tables::kpb_table(&e, &outcome.rounds[1], "Table 14").render();
+    assert!(t14.contains('7'), "{t14}");
+
+    // Sufferage tables (16, 17).
+    let e = example_by_id("sufferage").unwrap();
+    let outcome = e.run();
+    let t16 = tables::sufferage_table(&e, &outcome.rounds[0], "Table 16").render();
+    assert!(t16.contains("10"), "{t16}");
+    let t17 = tables::sufferage_table(&e, &outcome.rounds[1], "Table 17").render();
+    assert!(t17.contains("10.5") || t17.contains("8.5"), "{t17}");
+}
+
+#[test]
+fn every_paper_figure_renders() {
+    // Figures 3/4, 6/7, 9/10, 11/12, 15/16, 18/19: one pair per example.
+    for example in all_examples() {
+        let (orig, iter) = figures::figure_pair(&example);
+        assert!(orig.len() > 40, "{}: figure too small:\n{orig}", example.id);
+        assert!(iter.len() > 20, "{}: figure too small:\n{iter}", example.id);
+    }
+}
+
+#[test]
+fn makespan_values_match_the_paper_exactly() {
+    // The headline numbers of each example, spelled out.
+    let cases = [
+        ("minmin", 5.0, 6.0),
+        ("mct", 4.0, 5.0),
+        ("met", 4.0, 5.0),
+        ("swa", 6.0, 6.5),
+        ("kpb", 6.0, 7.0),
+        ("sufferage", 10.0, 10.5),
+    ];
+    for (id, orig, fin) in cases {
+        let outcome = example_by_id(id).unwrap().run();
+        assert_eq!(outcome.original_makespan().get(), orig, "{id} original");
+        assert_eq!(outcome.final_makespan().get(), fin, "{id} final");
+    }
+}

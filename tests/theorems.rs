@@ -1,0 +1,195 @@
+//! Property-based verification of the paper's formal results.
+//!
+//! * Theorem 3.2.1 — Min-Min + deterministic ties: every iteration of the
+//!   iterative technique reproduces the original mapping.
+//! * Theorem 3.3.1 — the same for MCT.
+//! * §3.4 proof — the same for MET.
+//! * §3.1 — Genitor with per-iteration seeding never increases makespan.
+//! * Conclusion — the seeding guard makes *any* heuristic monotone.
+//!
+//! ETC values are drawn from a small integer set so that ties are common —
+//! the theorems' interesting regime (with continuous values the deterministic
+//! tie-breaker is never consulted and invariance is easy).
+
+use nonmakespan::core::{iterative, EtcMatrix, IterativeConfig, Scenario, TieBreaker};
+use nonmakespan::genitor::{Genitor, GenitorConfig};
+use nonmakespan::heuristics::{all_heuristics, Mct, Met, MinMin};
+use proptest::prelude::*;
+
+/// Strategy: an ETC matrix with `t` tasks × `m` machines and small integer
+/// values (ties abound).
+fn etc_strategy() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=5, 3usize..=12).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=4, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            EtcMatrix::new(t, m, &flat).expect("strategy produces valid values")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 3.2.1.
+    #[test]
+    fn minmin_deterministic_is_iteration_invariant(etc in etc_strategy()) {
+        let scenario = Scenario::with_zero_ready(etc);
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut MinMin, &scenario, &mut tb);
+        prop_assert!(outcome.mappings_identical());
+        prop_assert!(!outcome.makespan_increased());
+        // Invariance implies every machine keeps its completion time.
+        for (_, orig, fin) in outcome.deltas() {
+            prop_assert_eq!(orig, fin);
+        }
+    }
+
+    /// Theorem 3.3.1.
+    #[test]
+    fn mct_deterministic_is_iteration_invariant(etc in etc_strategy()) {
+        let scenario = Scenario::with_zero_ready(etc);
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut Mct, &scenario, &mut tb);
+        prop_assert!(outcome.mappings_identical());
+        prop_assert!(!outcome.makespan_increased());
+    }
+
+    /// §3.4 proof.
+    #[test]
+    fn met_deterministic_is_iteration_invariant(etc in etc_strategy()) {
+        let scenario = Scenario::with_zero_ready(etc);
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut Met, &scenario, &mut tb);
+        prop_assert!(outcome.mappings_identical());
+        prop_assert!(!outcome.makespan_increased());
+    }
+
+    /// The theorems hold with nonzero initial ready times too (the proofs
+    /// take them as zero "without loss of generality"; this is the check
+    /// that the generality really was not lost). Note the iterative
+    /// technique resets surviving machines to these *initial* ready times
+    /// each round.
+    #[test]
+    fn invariance_survives_initial_ready_times(
+        etc in etc_strategy(),
+        ready_seed in 0u32..=3,
+    ) {
+        let m = etc.n_machines();
+        let ready: Vec<f64> = (0..m).map(|i| ((i as u32 + ready_seed) % 4) as f64).collect();
+        let scenario = Scenario::with_ready(etc, nonmakespan::core::ReadyTimes::from_values(&ready));
+        for mut h in [
+            Box::new(MinMin) as Box<dyn nonmakespan::core::Heuristic>,
+            Box::new(Mct),
+            Box::new(Met),
+        ] {
+            let mut tb = TieBreaker::Deterministic;
+            let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+            prop_assert!(outcome.mappings_identical(), "{} changed", h.name());
+        }
+    }
+
+    /// Conclusion: the seeding guard makes every heuristic monotone, even
+    /// under adversarial random tie-breaking.
+    #[test]
+    fn seed_guard_is_monotone_for_all_heuristics(
+        etc in etc_strategy(),
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        let scenario = Scenario::with_zero_ready(etc);
+        for mut h in all_heuristics() {
+            let mut tb = TieBreaker::random(seed);
+            let outcome = iterative::run_with(
+                &mut *h,
+                &scenario,
+                &mut tb,
+                IterativeConfig {
+                seed_guard: true,
+                ..IterativeConfig::default()
+            },
+            );
+            prop_assert!(
+                !outcome.makespan_increased(),
+                "{} increased despite the guard",
+                h.name()
+            );
+        }
+    }
+
+    /// Without the guard, under random ties, outcomes are still *valid*
+    /// (every machine accounted for, frozen machines keep their round
+    /// completion) even when the makespan increases.
+    #[test]
+    fn unguarded_outcomes_are_well_formed(
+        etc in etc_strategy(),
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        let scenario = Scenario::with_zero_ready(etc.clone());
+        for mut h in all_heuristics() {
+            let mut tb = TieBreaker::random(seed);
+            let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+            prop_assert_eq!(outcome.final_finish.len(), etc.n_machines());
+            prop_assert_eq!(outcome.rounds.last().unwrap().machines.len(), 1);
+            // Rounds shrink by exactly one machine each time.
+            for (i, round) in outcome.rounds.iter().enumerate() {
+                prop_assert_eq!(round.machines.len(), etc.n_machines() - i);
+            }
+        }
+    }
+}
+
+/// §3.1: Genitor with per-iteration seeding never increases makespan.
+/// (Plain #[test] with a few seeds — the GA is too slow for 128 proptest
+/// cases.)
+#[test]
+fn genitor_with_seeding_is_monotone() {
+    for seed in 0..5u64 {
+        let spec = nonmakespan::etcgen::EtcSpec::braun(
+            16,
+            4,
+            nonmakespan::etcgen::Consistency::Inconsistent,
+            nonmakespan::etcgen::Heterogeneity::Hi,
+            nonmakespan::etcgen::Heterogeneity::Hi,
+        );
+        let scenario = Scenario::with_zero_ready(spec.generate(seed));
+        let mut ga = Genitor::with_config(
+            seed,
+            GenitorConfig {
+                pop_size: 30,
+                max_steps: 1_500,
+                stall_steps: 300,
+                ..Default::default()
+            },
+        );
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut ga, &scenario, &mut tb);
+        assert!(
+            !outcome.makespan_increased(),
+            "seed {seed}: Genitor increased makespan"
+        );
+        // Each round's makespan is bounded by the previous round's (the
+        // seeded mapping is always available).
+        for w in outcome.rounds.windows(2) {
+            assert!(
+                w[1].makespan <= w[0].makespan,
+                "seed {seed}: round makespan grew {} -> {}",
+                w[0].makespan,
+                w[1].makespan
+            );
+        }
+    }
+}
+
+/// The paper's counterexamples: SWA, KPB and Sufferage increase makespan
+/// with deterministic ties; Min-Min, MCT and MET do so under the scripted
+/// random ties.
+#[test]
+fn paper_counterexamples_hold() {
+    for example in nonmakespan::paper::all_examples() {
+        let outcome = example.run();
+        assert!(
+            outcome.makespan_increased(),
+            "{}: expected a makespan increase",
+            example.id
+        );
+    }
+}
