@@ -5,11 +5,15 @@
 //! heuristics run deterministically given the seed, so the whole experiment
 //! is reproducible and order-independent. Trials fan out over Rayon's
 //! global thread pool (justified in DESIGN.md §5).
+//!
+//! Seeds advance with wrapping arithmetic, so a `base_seed` near `u64::MAX`
+//! wraps around to small seeds instead of panicking in debug builds —
+//! identically in the parallel and sequential twins.
 
 use rayon::prelude::*;
 
-/// Runs `trial(seed)` for `n_trials` consecutive seeds starting at
-/// `base_seed`, in parallel, returning the results in seed order.
+/// Runs `trial(seed)` for `n_trials` consecutive (wrapping) seeds starting
+/// at `base_seed`, in parallel, returning the results in seed order.
 pub fn run_trials<T, F>(base_seed: u64, n_trials: usize, trial: F) -> Vec<T>
 where
     T: Send,
@@ -17,7 +21,29 @@ where
 {
     (0..n_trials as u64)
         .into_par_iter()
-        .map(|i| trial(base_seed + i))
+        .map(|i| trial(base_seed.wrapping_add(i)))
+        .collect()
+}
+
+/// Like [`run_trials`], but each worker thread gets its own scratch state
+/// from `init` (e.g. a `MapWorkspace`), passed to every trial it executes
+/// by `&mut` — the per-thread-workspace hook for the `hcs-bench` studies.
+///
+/// `init` may run more than once per thread (Rayon splits work
+/// adaptively); the scratch state must therefore not affect results, only
+/// speed.
+pub fn run_trials_with<S, T, F, I>(base_seed: u64, n_trials: usize, init: I, trial: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, u64) -> T + Sync,
+    I: Fn() -> S + Sync,
+{
+    (0..n_trials as u64)
+        .into_par_iter()
+        .map_init(&init, |scratch, i| {
+            trial(scratch, base_seed.wrapping_add(i))
+        })
         .collect()
 }
 
@@ -26,7 +52,9 @@ pub fn run_trials_seq<T, F>(base_seed: u64, n_trials: usize, mut trial: F) -> Ve
 where
     F: FnMut(u64) -> T,
 {
-    (0..n_trials as u64).map(|i| trial(base_seed + i)).collect()
+    (0..n_trials as u64)
+        .map(|i| trial(base_seed.wrapping_add(i)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -46,6 +74,27 @@ mod tests {
     fn results_in_seed_order() {
         let out = run_trials(7, 5, |seed| seed);
         assert_eq!(out, vec![7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn seeds_wrap_instead_of_overflowing() {
+        let base = u64::MAX - 1;
+        let par = run_trials(base, 4, |seed| seed);
+        assert_eq!(par, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        assert_eq!(par, run_trials_seq(base, 4, |seed| seed));
+        let with = run_trials_with(base, 4, || (), |(), seed| seed);
+        assert_eq!(par, with);
+    }
+
+    #[test]
+    fn scratch_state_is_threaded_through_trials() {
+        // The scratch buffer must arrive mutable and reusable; results must
+        // still come back in seed order regardless of how Rayon splits.
+        let out = run_trials_with(10, 64, Vec::<u64>::new, |buf, seed| {
+            buf.push(seed);
+            seed * 2
+        });
+        assert_eq!(out, (10..74u64).map(|s| s * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! so trials can run on Rayon workers), [`table::TextTable`] (the aligned
 //! plain-text tables the harness prints), [`metrics::OutcomeMetrics`] (the
 //! per-run numbers the experiments aggregate),
-//! [`experiment::run_trials`] (seeded, embarrassingly parallel trials) and
+//! [`experiment::run_trials`] (seeded, embarrassingly parallel trials, with
+//! a [`experiment::run_trials_with`] variant threading per-thread scratch
+//! state such as a `MapWorkspace`) and
 //! [`significance`] (exact sign test and Wilcoxon signed-rank for paired
 //! comparisons).
 
@@ -21,7 +23,7 @@ pub mod significance;
 pub mod stats;
 pub mod table;
 
-pub use experiment::run_trials;
+pub use experiment::{run_trials, run_trials_seq, run_trials_with};
 pub use metrics::OutcomeMetrics;
 pub use significance::{sign_test, wilcoxon_signed_rank};
 pub use stats::OnlineStats;

@@ -1,0 +1,84 @@
+//! Minimal `--flag VALUE` argument parsing shared by every binary in the
+//! workspace.
+//!
+//! Three binaries (`nonmakespan`, `experiments`, `repro`) used to carry
+//! their own copies of the same positional scan; this crate is the single
+//! home for it. The grammar is deliberately tiny — exactly what the
+//! harnesses need and nothing more:
+//!
+//! * `--flag VALUE` — the token *after* the flag is its value
+//!   ([`value`]); `--flag=VALUE` is intentionally not supported;
+//! * `--flag` — bare presence ([`present`]);
+//! * the first occurrence wins; anything unrecognized is ignored (the
+//!   binaries each document their own usage strings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns the value following the first occurrence of `name`, if any.
+///
+/// A flag sitting at the end of the argument list has no value and yields
+/// `None`, just like an absent flag — callers that must distinguish the
+/// two can combine this with [`present`].
+pub fn value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Returns whether `name` appears anywhere in the argument list.
+pub fn present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn value_returns_the_following_token() {
+        let args = strs(&["--tasks", "64", "--seed", "7"]);
+        assert_eq!(value(&args, "--tasks").as_deref(), Some("64"));
+        assert_eq!(value(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(value(&args, "--machines"), None);
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let args = strs(&["--seed", "1", "--seed", "2"]);
+        assert_eq!(value(&args, "--seed").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn trailing_flag_has_no_value() {
+        let args = strs(&["--guard", "--seed"]);
+        assert_eq!(value(&args, "--seed"), None);
+        assert!(present(&args, "--seed"));
+    }
+
+    #[test]
+    fn present_detects_bare_flags() {
+        let args = strs(&["iterate", "--guard"]);
+        assert!(present(&args, "--guard"));
+        assert!(!present(&args, "--json"));
+    }
+
+    #[test]
+    fn a_flags_value_can_look_like_a_flag() {
+        // The scan is positional, not lexical: the token after the flag is
+        // taken verbatim even when it starts with `--`.
+        let args = strs(&["--per-class", "--seed"]);
+        assert_eq!(value(&args, "--per-class").as_deref(), Some("--seed"));
+    }
+
+    #[test]
+    fn empty_args_yield_nothing() {
+        assert_eq!(value(&[], "--x"), None);
+        assert!(!present(&[], "--x"));
+    }
+}

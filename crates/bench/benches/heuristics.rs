@@ -1,25 +1,39 @@
-//! X5a — runtime of each mapping heuristic at two workload sizes.
+//! X5a — runtime of each mapping heuristic at two workload sizes — plus
+//! the workspace-kernel comparison: the naive reference implementations
+//! versus the `MapWorkspace`-backed ones, through the full iterative
+//! technique.
 //!
 //! One Criterion group per size; one benchmark per heuristic. The expected
 //! shape: MET < OLB < MCT ≈ KPB ≈ SWA ≪ Min-Min ≈ Max-Min ≈ Sufferage
 //! (the batch heuristics are O(T²·M) versus O(T·M) for immediate mode).
+//!
+//! Besides the Criterion groups, this bench writes a machine-readable
+//! timing summary of the kernel comparison to `BENCH_kernel.json` at the
+//! repository root (median wall time of iterative Min-Min, naive versus
+//! workspace, at 512×16).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use hcs_bench::{make_heuristic, study_scenario};
-use hcs_core::TieBreaker;
+use hcs_core::{iterative, MapWorkspace, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_heuristics::{reference, MinMin};
 use std::hint::black_box;
+use std::time::Instant;
+
+fn braun_inconsistent(n_tasks: usize, n_machines: usize) -> Scenario {
+    let spec = EtcSpec::braun(
+        n_tasks,
+        n_machines,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+    study_scenario(&spec, 42)
+}
 
 fn bench_heuristics(c: &mut Criterion) {
     for (label, n_tasks, n_machines) in [("128x8", 128, 8), ("512x16", 512, 16)] {
-        let spec = EtcSpec::braun(
-            n_tasks,
-            n_machines,
-            Consistency::Inconsistent,
-            Heterogeneity::Hi,
-            Heterogeneity::Hi,
-        );
-        let scenario = study_scenario(&spec, 42);
+        let scenario = braun_inconsistent(n_tasks, n_machines);
         let owned = scenario.full_instance();
 
         let mut group = c.benchmark_group(format!("map/{label}"));
@@ -37,5 +51,85 @@ fn bench_heuristics(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_heuristics);
-criterion_main!(benches);
+/// Naive reference vs workspace kernel, single `map` call and full
+/// iterative run, Min-Min at both sizes.
+fn bench_kernel(c: &mut Criterion) {
+    for (label, n_tasks, n_machines) in [("128x8", 128, 8), ("512x16", 512, 16)] {
+        let scenario = braun_inconsistent(n_tasks, n_machines);
+
+        let mut group = c.benchmark_group(format!("kernel/iterative-minmin/{label}"));
+        group.sample_size(10);
+        group.bench_function("naive", |b| {
+            b.iter(|| {
+                let mut h = reference::naive_by_name("Min-Min").expect("naive Min-Min exists");
+                let mut tb = TieBreaker::Deterministic;
+                black_box(iterative::run(&mut h, &scenario, &mut tb))
+            });
+        });
+        group.bench_function("workspace", |b| {
+            let mut ws = MapWorkspace::new();
+            b.iter(|| {
+                let mut tb = TieBreaker::Deterministic;
+                black_box(iterative::run_in(&mut MinMin, &scenario, &mut tb, &mut ws))
+            });
+        });
+        group.finish();
+    }
+}
+
+/// Median wall time of `f` over `runs` executions, in seconds.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Writes the standalone kernel summary (independent of Criterion's own
+/// statistics, so it lands in one stable, machine-readable place).
+fn write_kernel_summary() {
+    let (n_tasks, n_machines, runs) = (512, 16, 5);
+    let scenario = braun_inconsistent(n_tasks, n_machines);
+
+    let naive = median_secs(runs, || {
+        let mut h = reference::naive_by_name("Min-Min").expect("naive Min-Min exists");
+        let mut tb = TieBreaker::Deterministic;
+        black_box(iterative::run(&mut h, &scenario, &mut tb));
+    });
+    let mut ws = MapWorkspace::new();
+    let workspace = median_secs(runs, || {
+        let mut tb = TieBreaker::Deterministic;
+        black_box(iterative::run_in(&mut MinMin, &scenario, &mut tb, &mut ws));
+    });
+
+    let doc = serde_json::json!({
+        "benchmark": "iterative Min-Min, Braun i-hihi, seed 42",
+        "n_tasks": n_tasks,
+        "n_machines": n_machines,
+        "runs": runs,
+        "statistic": "median wall seconds per full iterative run",
+        "naive_secs": naive,
+        "workspace_secs": workspace,
+        "speedup": naive / workspace,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("serialize summary"),
+    )
+    .expect("write BENCH_kernel.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_heuristics(&mut criterion);
+    bench_kernel(&mut criterion);
+    criterion.final_summary();
+    write_kernel_summary();
+}

@@ -13,17 +13,11 @@
 //! (class, heuristic) cell, seed 2007. The canonical Braun dimensions are
 //! available with `--tasks 512 --machines 16` (slower).
 
+use argflags::value as parse_flag;
 use hcs_bench::{
     dynamic_study, genitor_study, makespan_tie_study, production_study, seedguard_study,
     tiebreak_study, StudyDims,
 };
-
-fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -12,21 +12,14 @@
 //! against the paper's surviving numbers. With `--svg DIR`, the figures
 //! are additionally written as standalone SVG files into `DIR`.
 
+use argflags::value as flag;
 use hcs_paper::examples::{all_examples, example_by_id, ExampleHeuristic, PaperExample};
 use hcs_paper::{figures, tables, verify_example};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let only = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let svg_dir = args
-        .iter()
-        .position(|a| a == "--svg")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let only = flag(&args, "--only");
+    let svg_dir = flag(&args, "--svg");
 
     let only_all = only.is_none();
     let examples: Vec<PaperExample> = match only {

@@ -10,8 +10,8 @@
 
 use serde::Serialize;
 
-use hcs_analysis::{run_trials, wilcoxon_signed_rank, OnlineStats, OutcomeMetrics, TextTable};
-use hcs_core::{iterative, TieBreaker};
+use hcs_analysis::{run_trials_with, wilcoxon_signed_rank, OnlineStats, OutcomeMetrics, TextTable};
+use hcs_core::{iterative, MapWorkspace, TieBreaker};
 use hcs_etcgen::EtcSpec;
 
 use crate::roster::make_heuristic;
@@ -34,11 +34,11 @@ pub struct GenitorRow {
 }
 
 fn run_class(spec: &EtcSpec, dims: StudyDims, base_seed: u64) -> GenitorRow {
-    let results = run_trials(base_seed, dims.trials, |seed| {
+    let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
         let scenario = study_scenario(spec, seed);
         let mut ga = make_heuristic("Genitor", seed);
         let mut tb = TieBreaker::Deterministic; // unused by the GA
-        OutcomeMetrics::from_outcome(&iterative::run(&mut *ga, &scenario, &mut tb))
+        OutcomeMetrics::from_outcome(&iterative::run_in(&mut *ga, &scenario, &mut tb, ws))
     });
     let mut inc = OnlineStats::new();
     let mut red = OnlineStats::new();

@@ -13,8 +13,8 @@
 
 use serde::Serialize;
 
-use hcs_analysis::{run_trials, OnlineStats, TextTable};
-use hcs_core::{iterative, IterativeConfig, MakespanTie, Scenario, TieBreaker};
+use hcs_analysis::{run_trials_with, OnlineStats, TextTable};
+use hcs_core::{iterative, IterativeConfig, MakespanTie, MapWorkspace, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Method};
 
 use crate::roster::{greedy_roster, make_heuristic};
@@ -50,31 +50,37 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<MakespanTieRow> {
     greedy_roster()
         .into_iter()
         .map(|name| {
-            let results = run_trials(base_seed, dims.trials * 12, |seed| {
-                let scenario = Scenario::with_zero_ready(spec.generate(seed));
-                let outcomes: Vec<_> = RULES
-                    .iter()
-                    .map(|&rule| {
-                        let mut h = make_heuristic(name, seed);
-                        let mut tb = TieBreaker::Deterministic;
-                        iterative::run_with(
-                            &mut *h,
-                            &scenario,
-                            &mut tb,
-                            IterativeConfig {
-                                makespan_tie: rule,
-                                ..IterativeConfig::default()
-                            },
-                        )
-                    })
-                    .collect();
-                let diverged = outcomes
-                    .iter()
-                    .any(|o| o.final_finish != outcomes[0].final_finish);
-                let increases: Vec<bool> =
-                    outcomes.iter().map(|o| o.makespan_increased()).collect();
-                (diverged, increases)
-            });
+            let results = run_trials_with(
+                base_seed,
+                dims.trials * 12,
+                MapWorkspace::new,
+                |ws, seed| {
+                    let scenario = Scenario::with_zero_ready(spec.generate(seed));
+                    let outcomes: Vec<_> = RULES
+                        .iter()
+                        .map(|&rule| {
+                            let mut h = make_heuristic(name, seed);
+                            let mut tb = TieBreaker::Deterministic;
+                            iterative::run_with_in(
+                                &mut *h,
+                                &scenario,
+                                &mut tb,
+                                IterativeConfig {
+                                    makespan_tie: rule,
+                                    ..IterativeConfig::default()
+                                },
+                                &mut *ws,
+                            )
+                        })
+                        .collect();
+                    let diverged = outcomes
+                        .iter()
+                        .any(|o| o.final_finish != outcomes[0].final_finish);
+                    let increases: Vec<bool> =
+                        outcomes.iter().map(|o| o.makespan_increased()).collect();
+                    (diverged, increases)
+                },
+            );
             let mut div = OnlineStats::new();
             let mut inc = [OnlineStats::new(), OnlineStats::new(), OnlineStats::new()];
             for (diverged, increases) in results {

@@ -11,8 +11,8 @@
 
 use serde::Serialize;
 
-use hcs_analysis::{run_trials, OnlineStats, TextTable};
-use hcs_core::{IterativeConfig, TieBreaker, Time};
+use hcs_analysis::{run_trials_with, OnlineStats, TextTable};
+use hcs_core::{IterativeConfig, MapWorkspace, TieBreaker, Time};
 use hcs_sim::production::{self, ProductionScenario};
 
 use crate::roster::{greedy_roster, make_heuristic};
@@ -47,16 +47,22 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<ProductionRow> {
                     n_tasks: wave2_tasks,
                     ..*spec
                 };
-                let results = run_trials(base_seed, dims.trials, |seed| {
-                    let wave1 = study_scenario(spec, seed);
-                    let wave2 = wave2_spec.generate(seed ^ 0x5151_5151);
-                    let scenario = ProductionScenario::new(wave1, wave2, Time::ZERO);
-                    let mut h = make_heuristic(name, seed);
-                    let mut tb = TieBreaker::Deterministic;
-                    let out =
-                        production::run(&scenario, &mut *h, &mut tb, IterativeConfig::default());
-                    (out.mean_completion_gain(), out.makespan_gain())
-                });
+                let results =
+                    run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
+                        let wave1 = study_scenario(spec, seed);
+                        let wave2 = wave2_spec.generate(seed ^ 0x5151_5151);
+                        let scenario = ProductionScenario::new(wave1, wave2, Time::ZERO);
+                        let mut h = make_heuristic(name, seed);
+                        let mut tb = TieBreaker::Deterministic;
+                        let out = production::run_in(
+                            &scenario,
+                            &mut *h,
+                            &mut tb,
+                            IterativeConfig::default(),
+                            ws,
+                        );
+                        (out.mean_completion_gain(), out.makespan_gain())
+                    });
                 for (mc, ms) in results {
                     gain_mc.push(mc);
                     gain_ms.push(ms);

@@ -18,8 +18,8 @@
 
 use serde::Serialize;
 
-use hcs_analysis::{run_trials, OnlineStats, OutcomeMetrics, TextTable};
-use hcs_core::{iterative, IterativeConfig, TieBreaker};
+use hcs_analysis::{run_trials_with, OnlineStats, OutcomeMetrics, TextTable};
+use hcs_core::{iterative, IterativeConfig, MapWorkspace, TieBreaker};
 
 use crate::roster::{greedy_roster, make_heuristic};
 use crate::workloads::{study_classes, study_scenario, StudyDims};
@@ -50,23 +50,25 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<SeedGuardRow> {
             let mut red_u = OnlineStats::new();
             let mut red_g = OnlineStats::new();
             for spec in &classes {
-                let results = run_trials(base_seed, dims.trials, |seed| {
-                    let scenario = study_scenario(spec, seed);
-                    let run_with = |guard: bool| {
-                        let mut h = make_heuristic(name, seed);
-                        let mut tb = TieBreaker::random(seed.wrapping_mul(0x9e37_79b9));
-                        OutcomeMetrics::from_outcome(&iterative::run_with(
-                            &mut *h,
-                            &scenario,
-                            &mut tb,
-                            IterativeConfig {
-                                seed_guard: guard,
-                                ..IterativeConfig::default()
-                            },
-                        ))
-                    };
-                    (run_with(false), run_with(true))
-                });
+                let results =
+                    run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
+                        let scenario = study_scenario(spec, seed);
+                        let run_with = |guard: bool, ws: &mut MapWorkspace| {
+                            let mut h = make_heuristic(name, seed);
+                            let mut tb = TieBreaker::random(seed.wrapping_mul(0x9e37_79b9));
+                            OutcomeMetrics::from_outcome(&iterative::run_with_in(
+                                &mut *h,
+                                &scenario,
+                                &mut tb,
+                                IterativeConfig {
+                                    seed_guard: guard,
+                                    ..IterativeConfig::default()
+                                },
+                                ws,
+                            ))
+                        };
+                        (run_with(false, &mut *ws), run_with(true, &mut *ws))
+                    });
                 for (unguarded, guarded) in results {
                     inc_u.push(f64::from(u8::from(unguarded.makespan_increased)));
                     inc_g.push(f64::from(u8::from(guarded.makespan_increased)));

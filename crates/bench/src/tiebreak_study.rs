@@ -20,8 +20,8 @@
 
 use serde::Serialize;
 
-use hcs_analysis::{run_trials, OnlineStats, OutcomeMetrics, TextTable};
-use hcs_core::{iterative, TieBreaker};
+use hcs_analysis::{run_trials_with, OnlineStats, OutcomeMetrics, TextTable};
+use hcs_core::{iterative, MapWorkspace, TieBreaker};
 
 use crate::roster::{greedy_roster, make_heuristic};
 use crate::workloads::{study_classes, study_scenario, StudyDims};
@@ -57,18 +57,21 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<TieBreakRow> {
             let mut red_det = OnlineStats::new();
             let mut red_rand = OnlineStats::new();
             for spec in &classes {
-                let results = run_trials(base_seed, dims.trials, |seed| {
-                    let scenario = study_scenario(spec, seed);
-                    let mut h = make_heuristic(name, seed);
-                    let mut tb = TieBreaker::Deterministic;
-                    let det =
-                        OutcomeMetrics::from_outcome(&iterative::run(&mut *h, &scenario, &mut tb));
-                    let mut h = make_heuristic(name, seed);
-                    let mut tb = TieBreaker::random(seed ^ 0x9e37_79b9);
-                    let rand =
-                        OutcomeMetrics::from_outcome(&iterative::run(&mut *h, &scenario, &mut tb));
-                    (det, rand)
-                });
+                let results =
+                    run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
+                        let scenario = study_scenario(spec, seed);
+                        let mut h = make_heuristic(name, seed);
+                        let mut tb = TieBreaker::Deterministic;
+                        let det = OutcomeMetrics::from_outcome(&iterative::run_in(
+                            &mut *h, &scenario, &mut tb, ws,
+                        ));
+                        let mut h = make_heuristic(name, seed);
+                        let mut tb = TieBreaker::random(seed ^ 0x9e37_79b9);
+                        let rand = OutcomeMetrics::from_outcome(&iterative::run_in(
+                            &mut *h, &scenario, &mut tb, ws,
+                        ));
+                        (det, rand)
+                    });
                 for (det, rand) in results {
                     inc_det.push(f64::from(u8::from(det.makespan_increased)));
                     inc_rand.push(f64::from(u8::from(rand.makespan_increased)));
@@ -133,11 +136,11 @@ pub fn run_per_class(heuristic: &str, dims: StudyDims, base_seed: u64) -> Vec<Cl
     study_classes(dims)
         .iter()
         .map(|spec| {
-            let results = run_trials(base_seed, dims.trials, |seed| {
+            let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
                 let scenario = study_scenario(spec, seed);
                 let mut h = make_heuristic(heuristic, seed);
                 let mut tb = TieBreaker::Deterministic;
-                OutcomeMetrics::from_outcome(&iterative::run(&mut *h, &scenario, &mut tb))
+                OutcomeMetrics::from_outcome(&iterative::run_in(&mut *h, &scenario, &mut tb, ws))
             });
             let mut inc = OnlineStats::new();
             let mut red = OnlineStats::new();

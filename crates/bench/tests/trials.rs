@@ -1,0 +1,55 @@
+//! The Monte-Carlo runner's parallel/sequential agreement, exercised with
+//! the real study payload: every heuristic in the roster driven through
+//! the workspace-threaded iterative technique. Rayon's work splitting, the
+//! per-thread `MapWorkspace` reuse, and the wrapping seed arithmetic must
+//! all be invisible in the results.
+
+use hcs_analysis::{run_trials, run_trials_seq, run_trials_with};
+use hcs_bench::{greedy_roster, make_heuristic, study_classes, study_scenario, StudyDims};
+use hcs_core::{iterative, MapWorkspace, TieBreaker};
+
+const DIMS: StudyDims = StudyDims {
+    n_tasks: 10,
+    n_machines: 3,
+    trials: 4,
+};
+
+/// One study trial: map + iterate one heuristic on a seeded Braun scenario,
+/// returning the full outcome (rounds, mappings, finishing times).
+fn trial(name: &str, ws: &mut MapWorkspace, seed: u64) -> hcs_core::iterative::IterativeOutcome {
+    let spec = study_classes(DIMS)[seed as usize % 12];
+    let scenario = study_scenario(&spec, seed);
+    let mut h = make_heuristic(name, seed);
+    let mut tb = TieBreaker::random(seed ^ 0xD1CE);
+    iterative::run_in(&mut *h, &scenario, &mut tb, ws)
+}
+
+#[test]
+fn parallel_and_sequential_twins_agree_for_every_roster_heuristic() {
+    for name in greedy_roster() {
+        let par = run_trials_with(2007, DIMS.trials, MapWorkspace::new, |ws, seed| {
+            trial(name, ws, seed)
+        });
+        let seq = {
+            let mut ws = MapWorkspace::new();
+            run_trials_seq(2007, DIMS.trials, |seed| trial(name, &mut ws, seed))
+        };
+        assert_eq!(par, seq, "{name}");
+    }
+}
+
+#[test]
+fn wrapping_seeds_near_u64_max_agree_too() {
+    // The seed arithmetic must wrap identically in all three runners, and
+    // the trial payload must work with the wrapped seeds.
+    let base = u64::MAX - 1;
+    let name = "Min-Min";
+    let with = run_trials_with(base, 4, MapWorkspace::new, |ws, seed| trial(name, ws, seed));
+    let plain = run_trials(base, 4, |seed| trial(name, &mut MapWorkspace::new(), seed));
+    let seq = {
+        let mut ws = MapWorkspace::new();
+        run_trials_seq(base, 4, |seed| trial(name, &mut ws, seed))
+    };
+    assert_eq!(with, plain);
+    assert_eq!(with, seq);
+}

@@ -3,6 +3,7 @@
 use crate::instance::Instance;
 use crate::mapping::Mapping;
 use crate::tiebreak::TieBreaker;
+use crate::workspace::MapWorkspace;
 
 /// A resource-allocation heuristic: given an instance (active tasks and
 /// machines, ETC, initial ready times) it produces a complete [`Mapping`]
@@ -28,6 +29,25 @@ pub trait Heuristic {
 
     /// Produce a mapping of `inst.tasks` onto `inst.machines`.
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping;
+
+    /// Like [`Heuristic::map`], but with a caller-owned [`MapWorkspace`]
+    /// whose buffers are reused across calls (the iterative driver and the
+    /// Monte-Carlo studies call this in their hot loops).
+    ///
+    /// The default implementation ignores the workspace and delegates to
+    /// `map`, so existing heuristics stay correct without changes; the
+    /// greedy heuristics in `hcs-heuristics` override it. Overrides must
+    /// produce a `Mapping` bit-identical (assignments *and* order, and tie
+    /// breaker consumption) to `map`'s.
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        let _ = ws;
+        self.map(inst, tb)
+    }
 }
 
 impl<H: Heuristic + ?Sized> Heuristic for &mut H {
@@ -37,6 +57,14 @@ impl<H: Heuristic + ?Sized> Heuristic for &mut H {
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
         (**self).map(inst, tb)
     }
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        (**self).map_with(inst, tb, ws)
+    }
 }
 
 impl<H: Heuristic + ?Sized> Heuristic for Box<H> {
@@ -45,6 +73,14 @@ impl<H: Heuristic + ?Sized> Heuristic for Box<H> {
     }
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
         (**self).map(inst, tb)
+    }
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        (**self).map_with(inst, tb, ws)
     }
 }
 
@@ -91,5 +127,26 @@ mod tests {
         let mapping2 = by_ref.map(&inst, &mut tb);
         assert_eq!(mapping2.len(), 2);
         assert_eq!(by_ref.name(), "AllToFirst");
+    }
+
+    #[test]
+    fn default_map_with_delegates_to_map() {
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 2.0]]).unwrap(),
+        );
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut tb = TieBreaker::Deterministic;
+        let mut ws = MapWorkspace::new();
+
+        // Through the plain value, a &mut, and a Box: all reach `map`.
+        let direct = AllToFirst.map_with(&inst, &mut tb, &mut ws);
+        let via_ref =
+            <&mut AllToFirst as Heuristic>::map_with(&mut &mut AllToFirst, &inst, &mut tb, &mut ws);
+        let via_box = Box::new(AllToFirst).map_with(&inst, &mut tb, &mut ws);
+        let plain = AllToFirst.map(&inst, &mut tb);
+        assert_eq!(direct, plain);
+        assert_eq!(via_ref, plain);
+        assert_eq!(via_box, plain);
     }
 }

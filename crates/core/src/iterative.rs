@@ -41,6 +41,7 @@ use crate::instance::{Instance, Scenario};
 use crate::mapping::{CompletionTimes, Mapping};
 use crate::tiebreak::TieBreaker;
 use crate::time::Time;
+use crate::workspace::MapWorkspace;
 
 /// How to choose the frozen machine when several tie for the largest
 /// completion time. The paper does not specify this; the default matches
@@ -224,12 +225,61 @@ pub fn run_with<H: Heuristic + ?Sized>(
     try_run(heuristic, scenario, tb, config).expect("heuristic violated the mapping contract")
 }
 
+/// Like [`run`], but with a caller-owned [`MapWorkspace`] reused by every
+/// round's `map_with` call — the zero-allocation hot path for the studies.
+///
+/// # Panics
+///
+/// Panics if the heuristic violates its contract.
+pub fn run_in<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    ws: &mut MapWorkspace,
+) -> IterativeOutcome {
+    try_run_in(heuristic, scenario, tb, IterativeConfig::default(), ws)
+        .expect("heuristic violated the mapping contract")
+}
+
+/// Like [`run_with`], but with a caller-owned [`MapWorkspace`].
+///
+/// # Panics
+///
+/// Panics if the heuristic violates its contract.
+pub fn run_with_in<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+    ws: &mut MapWorkspace,
+) -> IterativeOutcome {
+    try_run_in(heuristic, scenario, tb, config, ws)
+        .expect("heuristic violated the mapping contract")
+}
+
 /// Fallible driver: validates every mapping the heuristic produces.
+/// Allocates a throwaway [`MapWorkspace`]; hot loops should hold one and
+/// call [`try_run_in`].
 pub fn try_run<H: Heuristic + ?Sized>(
     heuristic: &mut H,
     scenario: &Scenario,
     tb: &mut TieBreaker,
     config: IterativeConfig,
+) -> Result<IterativeOutcome, Error> {
+    let mut ws = MapWorkspace::new();
+    try_run_in(heuristic, scenario, tb, config, &mut ws)
+}
+
+/// Fallible driver threading a caller-owned [`MapWorkspace`] through every
+/// round (the heuristic's [`Heuristic::map_with`] is called instead of
+/// `map`, so refactored heuristics reuse the workspace buffers across all
+/// `m − 1` re-runs).
+pub fn try_run_in<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+    ws: &mut MapWorkspace,
 ) -> Result<IterativeOutcome, Error> {
     let mut tasks = scenario.etc.task_vec();
     let mut machines = scenario.etc.machine_vec();
@@ -243,7 +293,7 @@ pub fn try_run<H: Heuristic + ?Sized>(
             machines: &machines,
             ready: &scenario.initial_ready,
         };
-        let fresh = heuristic.map(&inst, tb);
+        let fresh = heuristic.map_with(&inst, tb, ws);
         fresh.validate(&tasks, &machines)?;
 
         // Seeding guard: compare against the previous round's mapping
@@ -571,6 +621,20 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, Error::Unassigned(t(0)));
+    }
+
+    #[test]
+    fn run_in_reusing_one_workspace_matches_run() {
+        let s = scenario_3x3();
+        let mut tb = TieBreaker::Deterministic;
+        let baseline = run(&mut MiniMct, &s, &mut tb);
+
+        let mut ws = MapWorkspace::new();
+        for _ in 0..3 {
+            let mut tb = TieBreaker::Deterministic;
+            let reused = run_in(&mut MiniMct, &s, &mut tb, &mut ws);
+            assert_eq!(reused, baseline);
+        }
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod ready;
 pub mod select;
 pub mod tiebreak;
 pub mod time;
+pub mod workspace;
 
 pub use error::Error;
 pub use etc::EtcMatrix;
@@ -93,3 +94,4 @@ pub use mapping::{CompletionTimes, Mapping};
 pub use ready::ReadyTimes;
 pub use tiebreak::TieBreaker;
 pub use time::Time;
+pub use workspace::MapWorkspace;

@@ -18,7 +18,9 @@ pub fn min_candidates<K, I>(iter: I) -> (Vec<K>, Time)
 where
     I: IntoIterator<Item = (K, Time)>,
 {
-    extreme_candidates(iter, |challenger, best| challenger < best)
+    let mut keys = Vec::new();
+    let best = min_candidates_into(iter, &mut keys);
+    (keys, best)
 }
 
 /// Collects every key achieving the maximum value, preserving input order.
@@ -30,10 +32,43 @@ pub fn max_candidates<K, I>(iter: I) -> (Vec<K>, Time)
 where
     I: IntoIterator<Item = (K, Time)>,
 {
-    extreme_candidates(iter, |challenger, best| challenger > best)
+    let mut keys = Vec::new();
+    let best = max_candidates_into(iter, &mut keys);
+    (keys, best)
 }
 
-fn extreme_candidates<K, I>(iter: I, better: impl Fn(Time, Time) -> bool) -> (Vec<K>, Time)
+/// Buffer-backed twin of [`min_candidates`]: writes the tied keys into
+/// `keys` (cleared first, capacity reused) and returns the minimum. Hot
+/// paths call this through a [`MapWorkspace`](crate::MapWorkspace) so no
+/// allocation happens after warm-up.
+///
+/// # Panics
+///
+/// Panics on an empty iterator.
+pub fn min_candidates_into<K, I>(iter: I, keys: &mut Vec<K>) -> Time
+where
+    I: IntoIterator<Item = (K, Time)>,
+{
+    extreme_candidates_into(iter, keys, |challenger, best| challenger < best)
+}
+
+/// Buffer-backed twin of [`max_candidates`]; see [`min_candidates_into`].
+///
+/// # Panics
+///
+/// Panics on an empty iterator.
+pub fn max_candidates_into<K, I>(iter: I, keys: &mut Vec<K>) -> Time
+where
+    I: IntoIterator<Item = (K, Time)>,
+{
+    extreme_candidates_into(iter, keys, |challenger, best| challenger > best)
+}
+
+fn extreme_candidates_into<K, I>(
+    iter: I,
+    keys: &mut Vec<K>,
+    better: impl Fn(Time, Time) -> bool,
+) -> Time
 where
     I: IntoIterator<Item = (K, Time)>,
 {
@@ -41,7 +76,8 @@ where
     let (first_k, first_v) = it
         .next()
         .expect("cannot select a candidate from an empty set");
-    let mut keys = vec![first_k];
+    keys.clear();
+    keys.push(first_k);
     let mut best = first_v;
     for (k, v) in it {
         if better(v, best) {
@@ -52,7 +88,7 @@ where
             keys.push(k);
         }
     }
-    (keys, best)
+    best
 }
 
 /// The two smallest values of an iterator (used by Sufferage: the sufferage

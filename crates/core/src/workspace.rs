@@ -1,0 +1,557 @@
+//! Reusable zero-allocation working state for mapping heuristics.
+//!
+//! The iterative technique re-runs the same heuristic up to `m − 1` times
+//! per scenario, and the Monte-Carlo studies multiply that by classes ×
+//! heuristics × trials × tie policies. [`MapWorkspace`] is the shared
+//! scratch space that makes those inner `map()` calls cheap: every buffer a
+//! greedy heuristic needs — working ready times, the per-task best-machine
+//! cache, the unmapped-task set, candidate/pair scratch vectors — lives
+//! here and is reused across calls, so after warm-up a mapping run performs
+//! no heap allocation.
+//!
+//! # The invalidation invariant
+//!
+//! The workspace caches, for each unmapped task `t`, the set of machines
+//! tied for the minimum completion time `CT(t, m) = ETC(t, m) + RT(m)` (in
+//! ascending machine order) together with that minimum. Committing a task
+//! to machine `m*` advances only `RT(m*)` by `ETC(task, m*) ≥ 0`:
+//!
+//! * for a task whose cached tied set does **not** contain `m*`, every
+//!   `CT(t, m)` with `m ≠ m*` is unchanged and `CT(t, m*)` only grew — and
+//!   it was *strictly* above the cached minimum (else `m*` would be in the
+//!   tied set) — so both the minimum and the tied set are exactly what a
+//!   full rescan would produce;
+//! * a task whose tied set **does** contain `m*` is marked stale and
+//!   rescanned on the next [`MapWorkspace::refresh`].
+//!
+//! This is the classic Min-Min `O(n·m + n²)` trick, and the argument above
+//! is why the cache is *semantically invisible*: candidate sets, tie
+//! counts, and therefore the [`TieBreaker`](crate::TieBreaker) random
+//! stream are bit-identical to the naive `O(n²·m)` recomputation.
+//!
+//! # The canonical-order guarantee
+//!
+//! The unmapped-task set uses swap-remove storage (O(1) removal) but is
+//! never *enumerated* in storage order: every enumeration walks a
+//! caller-supplied canonical order slice (the instance task list, or a
+//! sorted segment for Segmented Min-Min) and filters by membership. Machine
+//! candidates are always produced in ascending machine order. Refactored
+//! heuristics therefore present identical candidate lists to the tie
+//! breaker as the retained naive references in `hcs-heuristics`.
+
+use crate::id::{MachineId, TaskId};
+use crate::instance::Instance;
+use crate::select;
+use crate::time::Time;
+
+/// Sentinel slot value for tasks not currently in the unmapped set.
+const NO_SLOT: usize = usize::MAX;
+
+/// Reusable scratch space for mapping heuristics; see the [module
+/// docs](self) for the invariants it maintains.
+///
+/// A workspace is bound to an instance with [`MapWorkspace::begin`], which
+/// resizes the internal tables and copies the initial ready times. It can
+/// then be reused for any number of subsequent instances of any shape —
+/// buffers only ever grow.
+#[derive(Debug, Default)]
+pub struct MapWorkspace {
+    /// Working ready times, full machine space (indexed by machine id).
+    ready: Vec<Time>,
+    /// Row stride of `best_machines` (= machine-space size of the instance).
+    stride: usize,
+    /// Per-task tied-best machines, ascending, `stride` slots per task.
+    best_machines: Vec<MachineId>,
+    /// Per-task count of valid entries in `best_machines`.
+    best_len: Vec<usize>,
+    /// Per-task minimum completion time over the instance machines.
+    best_time: Vec<Time>,
+    /// Per-task "cache needs rescanning" flag.
+    stale: Vec<bool>,
+    /// Unmapped tasks in swap-remove storage order (never enumerated).
+    unmapped: Vec<TaskId>,
+    /// task idx -> position in `unmapped`, or `NO_SLOT`.
+    slot: Vec<usize>,
+    /// Scratch: flattened (task, machine) tie pairs for phase 2.
+    pairs: Vec<(TaskId, MachineId)>,
+    /// Scratch: machine candidate buffer for immediate-mode selections.
+    cand: Vec<MachineId>,
+    /// Scratch: machine subset buffer (KPB).
+    subset: Vec<MachineId>,
+    /// Loanable task buffer (Segmented Min-Min ordering).
+    task_buf: Vec<TaskId>,
+    /// Loanable (machine, task, value) buffer (Sufferage tentative wins).
+    winner_buf: Vec<(MachineId, TaskId, Time)>,
+}
+
+impl MapWorkspace {
+    /// An empty workspace; allocates nothing until [`MapWorkspace::begin`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the workspace to `inst`: sizes every table for the instance's
+    /// full task/machine space, copies the initial ready times, and clears
+    /// the unmapped set. Call once per `map()` invocation.
+    pub fn begin(&mut self, inst: &Instance<'_>) {
+        let n_tasks = inst.etc.n_tasks();
+        let n_machines = inst.etc.n_machines();
+        self.stride = n_machines;
+        self.ready.clear();
+        self.ready.extend_from_slice(inst.ready.as_slice());
+        self.best_machines
+            .resize(n_tasks * n_machines, MachineId(0));
+        self.best_len.resize(n_tasks, 0);
+        self.best_time.resize(n_tasks, Time::ZERO);
+        self.stale.clear();
+        self.stale.resize(n_tasks, true);
+        self.slot.clear();
+        self.slot.resize(n_tasks, NO_SLOT);
+        self.unmapped.clear();
+    }
+
+    /// Loads `tasks` as the unmapped set (replacing any previous content)
+    /// and marks their caches stale. `tasks` is the canonical enumeration
+    /// order callers should later pass to [`MapWorkspace::extreme_pairs`].
+    pub fn activate(&mut self, tasks: &[TaskId]) {
+        for &t in &self.unmapped {
+            self.slot[t.idx()] = NO_SLOT;
+        }
+        self.unmapped.clear();
+        for &t in tasks {
+            self.slot[t.idx()] = self.unmapped.len();
+            self.unmapped.push(t);
+            self.stale[t.idx()] = true;
+        }
+    }
+
+    /// Number of tasks still unmapped.
+    #[inline]
+    pub fn n_unmapped(&self) -> usize {
+        self.unmapped.len()
+    }
+
+    /// `true` while any activated task remains unmapped.
+    #[inline]
+    pub fn has_unmapped(&self) -> bool {
+        !self.unmapped.is_empty()
+    }
+
+    /// `true` when `t` is in the unmapped set (O(1)).
+    #[inline]
+    pub fn is_unmapped(&self, t: TaskId) -> bool {
+        self.slot[t.idx()] != NO_SLOT
+    }
+
+    /// Current working ready time of machine `m`.
+    #[inline]
+    pub fn ready_of(&self, m: MachineId) -> Time {
+        self.ready[m.idx()]
+    }
+
+    /// Completion time of `t` on `m` under the current working ready times
+    /// (Equation 1: `CT = ETC + RT`).
+    #[inline]
+    pub fn ct(&self, inst: &Instance<'_>, t: TaskId, m: MachineId) -> Time {
+        inst.etc.get(t, m) + self.ready[m.idx()]
+    }
+
+    /// Advances machine `m`'s working ready time by `dt`.
+    #[inline]
+    pub fn advance(&mut self, m: MachineId, dt: Time) {
+        self.ready[m.idx()] += dt;
+    }
+
+    /// Removes `t` from the unmapped set in O(1) (swap-remove; storage
+    /// order changes, enumeration order never depends on storage).
+    pub fn remove(&mut self, t: TaskId) {
+        let s = self.slot[t.idx()];
+        debug_assert_ne!(s, NO_SLOT, "removing a task that is not unmapped");
+        self.unmapped.swap_remove(s);
+        if s < self.unmapped.len() {
+            let moved = self.unmapped[s];
+            self.slot[moved.idx()] = s;
+        }
+        self.slot[t.idx()] = NO_SLOT;
+    }
+
+    /// Recomputes the best-machine cache of every stale unmapped task.
+    /// After this, [`MapWorkspace::extreme_pairs`] sees a fully fresh cache.
+    pub fn refresh(&mut self, inst: &Instance<'_>) {
+        for i in 0..self.unmapped.len() {
+            let t = self.unmapped[i];
+            if self.stale[t.idx()] {
+                self.recompute(inst, t);
+            }
+        }
+    }
+
+    /// Full rescan of one task's minimum-CT machines, ascending order —
+    /// exactly `select::min_candidates` over the instance machines.
+    fn recompute(&mut self, inst: &Instance<'_>, t: TaskId) {
+        let base = t.idx() * self.stride;
+        let mut len = 0usize;
+        let mut best = Time::ZERO;
+        for (k, &machine) in inst.machines.iter().enumerate() {
+            let ct = inst.etc.get(t, machine) + self.ready[machine.idx()];
+            if k == 0 || ct < best {
+                best = ct;
+                self.best_machines[base] = machine;
+                len = 1;
+            } else if ct == best {
+                self.best_machines[base + len] = machine;
+                len += 1;
+            }
+        }
+        assert!(len > 0, "instance has no machines");
+        self.best_len[t.idx()] = len;
+        self.best_time[t.idx()] = best;
+        self.stale[t.idx()] = false;
+    }
+
+    /// The cached tied-best machines (ascending) and minimum CT of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `t`'s cache is fresh (call
+    /// [`MapWorkspace::refresh`] first).
+    #[inline]
+    pub fn best_of(&self, t: TaskId) -> (&[MachineId], Time) {
+        debug_assert!(!self.stale[t.idx()], "best_of on a stale cache entry");
+        let base = t.idx() * self.stride;
+        (
+            &self.best_machines[base..base + self.best_len[t.idx()]],
+            self.best_time[t.idx()],
+        )
+    }
+
+    /// Commits `task` onto `machine`: advances the machine's ready time by
+    /// the task's ETC, removes the task from the unmapped set, and marks
+    /// stale exactly those unmapped tasks whose cached tied set contains
+    /// `machine` (the invalidation invariant — see the module docs for why
+    /// all other cache entries remain exact).
+    pub fn commit(&mut self, inst: &Instance<'_>, task: TaskId, machine: MachineId) {
+        self.advance(machine, inst.etc.get(task, machine));
+        self.remove(task);
+        for i in 0..self.unmapped.len() {
+            let t = self.unmapped[i];
+            if self.stale[t.idx()] {
+                continue;
+            }
+            let base = t.idx() * self.stride;
+            let len = self.best_len[t.idx()];
+            if self.best_machines[base..base + len].contains(&machine) {
+                self.stale[t.idx()] = true;
+            }
+        }
+    }
+
+    /// Phase 2 of the two-phase engine: over the unmapped tasks *enumerated
+    /// in `order`* (tasks not in the unmapped set are skipped), finds the
+    /// extreme (minimum for Min-Min, maximum for Max-Min when `maximize`)
+    /// of the cached per-task minimum CTs and returns every `(task,
+    /// machine)` pair achieving it — task-major in `order`, machines
+    /// ascending — exactly the flattening the naive two-phase code builds.
+    ///
+    /// Requires a fresh cache ([`MapWorkspace::refresh`]). Returns an empty
+    /// slice when no task in `order` is unmapped.
+    pub fn extreme_pairs(&mut self, order: &[TaskId], maximize: bool) -> &[(TaskId, MachineId)] {
+        let mut found = false;
+        let mut extreme = Time::ZERO;
+        for &t in order {
+            if self.slot[t.idx()] == NO_SLOT {
+                continue;
+            }
+            debug_assert!(!self.stale[t.idx()], "extreme_pairs on a stale cache");
+            let b = self.best_time[t.idx()];
+            if !found || (maximize && b > extreme) || (!maximize && b < extreme) {
+                extreme = b;
+                found = true;
+            }
+        }
+        self.pairs.clear();
+        if found {
+            for &t in order {
+                if self.slot[t.idx()] == NO_SLOT || self.best_time[t.idx()] != extreme {
+                    continue;
+                }
+                let base = t.idx() * self.stride;
+                for k in 0..self.best_len[t.idx()] {
+                    self.pairs.push((t, self.best_machines[base + k]));
+                }
+            }
+        }
+        &self.pairs
+    }
+
+    /// Machines of `inst` tied for the minimum completion time of `t`
+    /// (ascending) plus that minimum — buffer-backed MCT selection.
+    pub fn min_ct_candidates(&mut self, inst: &Instance<'_>, t: TaskId) -> (&[MachineId], Time) {
+        let ready = &self.ready;
+        let best = select::min_candidates_into(
+            inst.machines
+                .iter()
+                .map(|&m| (m, inst.etc.get(t, m) + ready[m.idx()])),
+            &mut self.cand,
+        );
+        (&self.cand, best)
+    }
+
+    /// Machines tied for the minimum *ETC* of `t` (ready times ignored) —
+    /// buffer-backed MET selection.
+    pub fn min_etc_candidates(&mut self, inst: &Instance<'_>, t: TaskId) -> (&[MachineId], Time) {
+        let best = select::min_candidates_into(
+            inst.machines.iter().map(|&m| (m, inst.etc.get(t, m))),
+            &mut self.cand,
+        );
+        (&self.cand, best)
+    }
+
+    /// Machines tied for the minimum working ready time (task-oblivious) —
+    /// buffer-backed OLB selection.
+    pub fn min_ready_candidates(&mut self, inst: &Instance<'_>) -> (&[MachineId], Time) {
+        let ready = &self.ready;
+        let best = select::min_candidates_into(
+            inst.machines.iter().map(|&m| (m, ready[m.idx()])),
+            &mut self.cand,
+        );
+        (&self.cand, best)
+    }
+
+    /// KPB's selection: restrict to the `subset_size` machines with the
+    /// smallest ETC for `t` (ties broken by machine index, subset kept in
+    /// ascending order), then pick the minimum-CT candidates within it.
+    pub fn min_ct_among_best_etc(
+        &mut self,
+        inst: &Instance<'_>,
+        t: TaskId,
+        subset_size: usize,
+    ) -> (&[MachineId], Time) {
+        self.subset.clear();
+        self.subset.extend_from_slice(inst.machines);
+        self.subset
+            .sort_unstable_by_key(|&m| (inst.etc.get(t, m), m));
+        self.subset.truncate(subset_size.max(1));
+        self.subset.sort_unstable();
+        let ready = &self.ready;
+        let best = select::min_candidates_into(
+            self.subset
+                .iter()
+                .map(|&m| (m, inst.etc.get(t, m) + ready[m.idx()])),
+            &mut self.cand,
+        );
+        (&self.cand, best)
+    }
+
+    /// The two smallest completion times of `t` over the instance machines
+    /// — Sufferage's `(min, second_min)` under current ready times.
+    pub fn two_smallest_ct(&self, inst: &Instance<'_>, t: TaskId) -> (Time, Option<Time>) {
+        select::two_smallest(
+            inst.machines
+                .iter()
+                .map(|&m| inst.etc.get(t, m) + self.ready[m.idx()]),
+        )
+    }
+
+    /// Loans out the reusable task buffer (cleared). Return it with
+    /// [`MapWorkspace::give_task_buf`] so its capacity is kept.
+    pub fn take_task_buf(&mut self) -> Vec<TaskId> {
+        let mut buf = std::mem::take(&mut self.task_buf);
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer loaned by [`MapWorkspace::take_task_buf`].
+    pub fn give_task_buf(&mut self, buf: Vec<TaskId>) {
+        self.task_buf = buf;
+    }
+
+    /// Loans out the reusable `(machine, task, value)` buffer (cleared).
+    /// Return it with [`MapWorkspace::give_winner_buf`].
+    pub fn take_winner_buf(&mut self) -> Vec<(MachineId, TaskId, Time)> {
+        let mut buf = std::mem::take(&mut self.winner_buf);
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer loaned by [`MapWorkspace::take_winner_buf`].
+    pub fn give_winner_buf(&mut self, buf: Vec<(MachineId, TaskId, Time)>) {
+        self.winner_buf = buf;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::EtcMatrix;
+    use crate::id::{m, t};
+    use crate::instance::Scenario;
+    use crate::select::min_candidates;
+
+    fn scen(rows: &[Vec<f64>]) -> Scenario {
+        Scenario::with_zero_ready(EtcMatrix::from_rows(rows).unwrap())
+    }
+
+    /// The cache after any commit sequence must match a from-scratch
+    /// `min_candidates` scan for every unmapped task.
+    fn assert_cache_matches_naive(ws: &mut MapWorkspace, inst: &Instance<'_>) {
+        ws.refresh(inst);
+        for &task in inst.tasks {
+            if !ws.is_unmapped(task) {
+                continue;
+            }
+            let (naive, naive_best) = min_candidates(
+                inst.machines
+                    .iter()
+                    .map(|&mm| (mm, inst.etc.get(task, mm) + ws.ready_of(mm))),
+            );
+            let (cached, cached_best) = ws.best_of(task);
+            assert_eq!(cached, naive.as_slice(), "tied set diverged for {task}");
+            assert_eq!(cached_best, naive_best, "minimum diverged for {task}");
+        }
+    }
+
+    #[test]
+    fn cache_equals_full_rescan_after_commits() {
+        // Tie-rich integer matrix: commits repeatedly hit cached best
+        // machines of other tasks.
+        let s = scen(&[
+            vec![2.0, 2.0, 3.0],
+            vec![1.0, 4.0, 1.0],
+            vec![3.0, 3.0, 3.0],
+            vec![2.0, 1.0, 2.0],
+        ]);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+        ws.activate(inst.tasks);
+
+        assert_cache_matches_naive(&mut ws, &inst);
+        ws.commit(&inst, t(1), m(0));
+        assert_cache_matches_naive(&mut ws, &inst);
+        ws.commit(&inst, t(3), m(1));
+        assert_cache_matches_naive(&mut ws, &inst);
+        ws.commit(&inst, t(0), m(2));
+        assert_cache_matches_naive(&mut ws, &inst);
+        assert_eq!(ws.n_unmapped(), 1);
+    }
+
+    #[test]
+    fn swap_remove_never_perturbs_enumeration_order() {
+        let s = scen(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+        ws.activate(inst.tasks);
+        ws.refresh(&inst);
+
+        // Remove from the middle: storage swaps t3 into t1's slot, but
+        // pair enumeration still follows the canonical order slice.
+        ws.remove(t(1));
+        assert!(!ws.is_unmapped(t(1)));
+        assert!(ws.is_unmapped(t(3)));
+        ws.refresh(&inst);
+        let pairs: Vec<_> = ws.extreme_pairs(inst.tasks, false).to_vec();
+        assert_eq!(pairs, vec![(t(0), m(0)), (t(2), m(0)), (t(3), m(0))]);
+    }
+
+    #[test]
+    fn extreme_pairs_flattens_task_major_machines_ascending() {
+        // Tasks 0 and 2 tie for the global minimum (CT 1 on two machines
+        // each); task 1 is worse.
+        let s = scen(&[
+            vec![1.0, 1.0, 5.0],
+            vec![2.0, 9.0, 9.0],
+            vec![5.0, 1.0, 1.0],
+        ]);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+        ws.activate(inst.tasks);
+        ws.refresh(&inst);
+        assert_eq!(
+            ws.extreme_pairs(inst.tasks, false),
+            &[(t(0), m(0)), (t(0), m(1)), (t(2), m(1)), (t(2), m(2))]
+        );
+        // Max-Min flavour: task 1's best (2) is the largest minimum.
+        assert_eq!(ws.extreme_pairs(inst.tasks, true), &[(t(1), m(0))]);
+    }
+
+    #[test]
+    fn commit_invalidates_only_tasks_sharing_the_machine() {
+        let s = scen(&[vec![1.0, 9.0], vec![9.0, 1.0], vec![1.0, 9.0]]);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+        ws.activate(inst.tasks);
+        ws.refresh(&inst);
+        ws.commit(&inst, t(0), m(0));
+        // t2's best machine was m0 -> stale; t1's best is m1 -> untouched.
+        assert!(ws.stale[t(2).idx()]);
+        assert!(!ws.stale[t(1).idx()]);
+        assert_cache_matches_naive(&mut ws, &inst);
+    }
+
+    #[test]
+    fn immediate_mode_helpers_match_select() {
+        let etc = EtcMatrix::from_rows(&[vec![4.0, 2.0, 2.0]]).unwrap();
+        let s = Scenario::with_ready(etc, crate::ready::ReadyTimes::from_values(&[0.0, 0.0, 1.0]));
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+
+        let (cands, best) = ws.min_ct_candidates(&inst, t(0));
+        assert_eq!((cands, best), (&[m(1)][..], Time::new(2.0)));
+        let (cands, best) = ws.min_etc_candidates(&inst, t(0));
+        assert_eq!((cands, best), (&[m(1), m(2)][..], Time::new(2.0)));
+        let (cands, best) = ws.min_ready_candidates(&inst);
+        assert_eq!((cands, best), (&[m(0), m(1)][..], Time::ZERO));
+        assert_eq!(
+            ws.two_smallest_ct(&inst, t(0)),
+            (Time::new(2.0), Some(Time::new(3.0)))
+        );
+        // KPB subset of 2: machines m1, m2 by ETC; min CT within is m1.
+        let (cands, best) = ws.min_ct_among_best_etc(&inst, t(0), 2);
+        assert_eq!((cands, best), (&[m(1)][..], Time::new(2.0)));
+    }
+
+    #[test]
+    fn workspace_reuse_across_instances_of_different_shapes() {
+        let mut ws = MapWorkspace::new();
+        for rows in [
+            vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+            vec![vec![3.0], vec![1.0], vec![2.0]],
+        ] {
+            let s = scen(&rows);
+            let owned = s.full_instance();
+            let inst = owned.as_instance(&s);
+            ws.begin(&inst);
+            ws.activate(inst.tasks);
+            assert_cache_matches_naive(&mut ws, &inst);
+            while ws.has_unmapped() {
+                ws.refresh(&inst);
+                let &(task, machine) = &ws.extreme_pairs(inst.tasks, false)[0];
+                ws.commit(&inst, task, machine);
+                assert_cache_matches_naive(&mut ws, &inst);
+            }
+        }
+    }
+
+    #[test]
+    fn loaned_buffers_round_trip() {
+        let mut ws = MapWorkspace::new();
+        let mut buf = ws.take_task_buf();
+        buf.push(t(7));
+        ws.give_task_buf(buf);
+        assert!(ws.take_task_buf().is_empty(), "loaned buffers come cleared");
+        let mut wins = ws.take_winner_buf();
+        wins.push((m(0), t(0), Time::ZERO));
+        ws.give_winner_buf(wins);
+        assert!(ws.take_winner_buf().is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 //! the fact that each of the two two-phase heuristics dominates in
 //! different workload regimes for roughly twice the cost.
 
-use hcs_core::{Heuristic, Instance, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TieBreaker};
 
 use crate::{MaxMin, MinMin};
 
@@ -19,8 +19,20 @@ impl Heuristic for Duplex {
     }
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
-        let minmin = MinMin.map(inst, tb);
-        let maxmin = MaxMin.map(inst, tb);
+        self.map_with(inst, tb, &mut MapWorkspace::new())
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        // Both sub-runs share the workspace sequentially and, crucially,
+        // the same tie-breaker stream: Min-Min consumes its picks first,
+        // exactly as in the naive reference.
+        let minmin = MinMin.map_with(inst, tb, ws);
+        let maxmin = MaxMin.map_with(inst, tb, ws);
         let ms_min = minmin.makespan(inst.etc, inst.ready, inst.machines);
         let ms_max = maxmin.makespan(inst.etc, inst.ready, inst.machines);
         if ms_max < ms_min {

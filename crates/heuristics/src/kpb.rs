@@ -22,7 +22,7 @@
 //! toward the lower index — deterministic by construction. Completion-time
 //! ties within the subset go through the [`TieBreaker`].
 
-use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MachineId, MapWorkspace, Mapping, TieBreaker};
 
 /// The K-Percent Best heuristic.
 #[derive(Clone, Copy, Debug)]
@@ -76,14 +76,22 @@ impl Heuristic for Kpb {
     }
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
-        let mut ready = inst.working_ready();
+        self.map_with(inst, tb, &mut MapWorkspace::new())
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        let subset_size = self.subset_size(inst.machines.len());
+        ws.begin(inst);
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         for &task in inst.tasks {
-            let subset = self.subset(inst, task);
-            let (cands, _) =
-                select::min_candidates(subset.iter().map(|&m| (m, inst.ct(task, m, &ready))));
+            let (cands, _) = ws.min_ct_among_best_etc(inst, task, subset_size);
             let machine = cands[tb.pick(cands.len())];
-            ready.advance(machine, inst.etc.get(task, machine));
+            ws.advance(machine, inst.etc.get(task, machine));
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

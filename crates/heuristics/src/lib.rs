@@ -33,6 +33,13 @@
 //! candidates in canonical order (task-list order, then ascending machine
 //! index) — see `hcs_core::tiebreak` for why that reproduces the paper's
 //! deterministic rules exactly.
+//!
+//! The greedy heuristics run on a reusable
+//! [`MapWorkspace`](hcs_core::MapWorkspace) via `Heuristic::map_with`
+//! (plain `map` allocates a throwaway workspace); the pre-refactor naive
+//! implementations are retained in [`reference`] as the executable
+//! specification of the tie-break contract, enforced by the
+//! golden-equivalence property suite in `tests/properties.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +52,7 @@ pub mod mct;
 pub mod met;
 pub mod minmin;
 pub mod olb;
+pub mod reference;
 pub mod sa;
 pub mod smm;
 pub mod sufferage;

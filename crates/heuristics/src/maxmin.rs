@@ -7,7 +7,7 @@
 //! extended Monte-Carlo studies (the paper's related work compares against
 //! it through ref \[3\]).
 
-use hcs_core::{Heuristic, Instance, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TieBreaker};
 
 use crate::two_phase;
 
@@ -22,6 +22,15 @@ impl Heuristic for MaxMin {
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
         two_phase::map(inst, tb, two_phase::Phase2::Max)
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        two_phase::map_with(inst, tb, ws, two_phase::Phase2::Max)
     }
 }
 

@@ -9,7 +9,7 @@
 //! mapping is invariant under the iterative technique. The §3.3 example
 //! shows a random tie can increase the makespan.
 
-use hcs_core::{select, Heuristic, Instance, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TieBreaker};
 
 /// The MCT heuristic (stateless).
 #[derive(Clone, Copy, Debug, Default)]
@@ -21,14 +21,21 @@ impl Heuristic for Mct {
     }
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
-        let mut ready = inst.working_ready();
+        self.map_with(inst, tb, &mut MapWorkspace::new())
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        ws.begin(inst);
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         for &task in inst.tasks {
-            let (cands, _) = select::min_candidates(
-                inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
-            );
+            let (cands, _) = ws.min_ct_candidates(inst, task);
             let machine = cands[tb.pick(cands.len())];
-            ready.advance(machine, inst.etc.get(task, machine));
+            ws.advance(machine, inst.etc.get(task, machine));
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

@@ -13,7 +13,7 @@
 //! With *random* tie-breaking the paper's §3.4 example shows the makespan
 //! can increase.
 
-use hcs_core::{select, Heuristic, Instance, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TieBreaker};
 
 /// The MET heuristic (stateless).
 #[derive(Clone, Copy, Debug, Default)]
@@ -25,10 +25,22 @@ impl Heuristic for Met {
     }
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_with(inst, tb, &mut MapWorkspace::new())
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        // MET never reads ready times, but `begin` is what sizes the
+        // candidate buffer, and it keeps the workspace in a coherent state
+        // for whoever uses it next.
+        ws.begin(inst);
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         for &task in inst.tasks {
-            let (cands, _) =
-                select::min_candidates(inst.machines.iter().map(|&m| (m, inst.etc.get(task, m))));
+            let (cands, _) = ws.min_etc_candidates(inst, task);
             let machine = cands[tb.pick(cands.len())];
             mapping
                 .assign(task, machine)

@@ -22,7 +22,7 @@
 //! them — first pair for the deterministic policy (oldest task, lowest
 //! machine), uniform for the random policy.
 
-use hcs_core::{Heuristic, Instance, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TieBreaker};
 
 use crate::two_phase;
 
@@ -37,6 +37,15 @@ impl Heuristic for MinMin {
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
         two_phase::map(inst, tb, two_phase::Phase2::Min)
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        two_phase::map_with(inst, tb, ws, two_phase::Phase2::Min)
     }
 }
 

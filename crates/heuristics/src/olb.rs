@@ -6,7 +6,7 @@
 //! customary "do the simplest thing" baseline in this literature and is
 //! included for the extended Monte-Carlo studies (experiment X1).
 
-use hcs_core::{select, Heuristic, Instance, Mapping, TieBreaker};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TieBreaker};
 
 /// The OLB heuristic (stateless).
 #[derive(Clone, Copy, Debug, Default)]
@@ -18,13 +18,21 @@ impl Heuristic for Olb {
     }
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
-        let mut ready = inst.working_ready();
+        self.map_with(inst, tb, &mut MapWorkspace::new())
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        ws.begin(inst);
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         for &task in inst.tasks {
-            let (cands, _) =
-                select::min_candidates(inst.machines.iter().map(|&m| (m, ready.get(m))));
+            let (cands, _) = ws.min_ready_candidates(inst);
             let machine = cands[tb.pick(cands.len())];
-            ready.advance(machine, inst.etc.get(task, machine));
+            ws.advance(machine, inst.etc.get(task, machine));
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

@@ -1,0 +1,323 @@
+//! Naive reference implementations of every greedy heuristic.
+//!
+//! These are the straightforward allocate-per-step implementations the
+//! crate shipped before the [`MapWorkspace`](hcs_core::MapWorkspace)
+//! refactor, retained verbatim as the *executable specification* of the
+//! tie-break contract: the workspace-backed heuristics must produce
+//! bit-identical mappings (assignments, assignment order, and tie-breaker
+//! consumption) to these functions. The golden-equivalence property suite
+//! in `tests/properties.rs` enforces that on random scenarios; the
+//! naive-vs-workspace criterion benchmark quantifies what the workspace
+//! buys.
+//!
+//! None of this code is on a hot path — clarity over speed.
+
+use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+
+use crate::two_phase::Phase2;
+use crate::{Kpb, SegmentKey, SegmentedMinMin, Sufferage, Swa, SwaConfig};
+
+/// The pre-workspace two-phase loop (Min-Min/Max-Min), one allocation per
+/// step.
+fn two_phase(inst: &Instance<'_>, tb: &mut TieBreaker, phase2: Phase2) -> Mapping {
+    let mut unmapped: Vec<TaskId> = inst.tasks.to_vec();
+    let mut ready = inst.working_ready();
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+
+    while !unmapped.is_empty() {
+        let per_task: Vec<(TaskId, Vec<MachineId>, Time)> = unmapped
+            .iter()
+            .map(|&task| {
+                let (machines, best) = select::min_candidates(
+                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                );
+                (task, machines, best)
+            })
+            .collect();
+
+        let indexed = per_task
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, best))| (i, best));
+        let (task_indices, _) = match phase2 {
+            Phase2::Min => select::min_candidates(indexed),
+            Phase2::Max => select::max_candidates(indexed),
+        };
+
+        let pairs: Vec<(TaskId, MachineId)> = task_indices
+            .iter()
+            .flat_map(|&i| {
+                let (task, ref machines, _) = per_task[i];
+                machines.iter().map(move |&m| (task, m))
+            })
+            .collect();
+        let (task, machine) = pairs[tb.pick(pairs.len())];
+
+        ready.advance(machine, inst.etc.get(task, machine));
+        mapping
+            .assign(task, machine)
+            .expect("each task committed once");
+        unmapped.retain(|&t| t != task);
+    }
+    mapping
+}
+
+/// Naive Min-Min.
+pub fn min_min(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    two_phase(inst, tb, Phase2::Min)
+}
+
+/// Naive Max-Min.
+pub fn max_min(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    two_phase(inst, tb, Phase2::Max)
+}
+
+/// Naive MCT.
+pub fn mct(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    let mut ready = inst.working_ready();
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+    for &task in inst.tasks {
+        let (cands, _) =
+            select::min_candidates(inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))));
+        let machine = cands[tb.pick(cands.len())];
+        ready.advance(machine, inst.etc.get(task, machine));
+        mapping
+            .assign(task, machine)
+            .expect("task list contains no duplicates");
+    }
+    mapping
+}
+
+/// Naive MET.
+pub fn met(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+    for &task in inst.tasks {
+        let (cands, _) =
+            select::min_candidates(inst.machines.iter().map(|&m| (m, inst.etc.get(task, m))));
+        let machine = cands[tb.pick(cands.len())];
+        mapping
+            .assign(task, machine)
+            .expect("task list contains no duplicates");
+    }
+    mapping
+}
+
+/// Naive OLB.
+pub fn olb(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    let mut ready = inst.working_ready();
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+    for &task in inst.tasks {
+        let (cands, _) = select::min_candidates(inst.machines.iter().map(|&m| (m, ready.get(m))));
+        let machine = cands[tb.pick(cands.len())];
+        ready.advance(machine, inst.etc.get(task, machine));
+        mapping
+            .assign(task, machine)
+            .expect("task list contains no duplicates");
+    }
+    mapping
+}
+
+/// Naive KPB with an explicit `k`.
+pub fn kpb(inst: &Instance<'_>, tb: &mut TieBreaker, k_percent: f64) -> Mapping {
+    let config = Kpb::new(k_percent);
+    let mut ready = inst.working_ready();
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+    for &task in inst.tasks {
+        let subset = config.subset(inst, task);
+        let (cands, _) =
+            select::min_candidates(subset.iter().map(|&m| (m, inst.ct(task, m, &ready))));
+        let machine = cands[tb.pick(cands.len())];
+        ready.advance(machine, inst.etc.get(task, machine));
+        mapping
+            .assign(task, machine)
+            .expect("task list contains no duplicates");
+    }
+    mapping
+}
+
+/// Naive SWA with explicit thresholds — [`Swa::map_traced`] *is* the naive
+/// implementation (the traced path is kept allocation-honest for the
+/// paper-table generators), so the reference simply discards the trace.
+pub fn swa(inst: &Instance<'_>, tb: &mut TieBreaker, config: SwaConfig) -> Mapping {
+    Swa { config }.map_traced(inst, tb).0
+}
+
+/// Naive Sufferage — [`Sufferage::map_traced`] is the naive implementation.
+pub fn sufferage(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    Sufferage.map_traced(inst, tb).0
+}
+
+/// Naive Duplex: naive Min-Min then naive Max-Min on the same tie-breaker
+/// stream, keeping the strictly smaller makespan (Min-Min on ties).
+pub fn duplex(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    let minmin = min_min(inst, tb);
+    let maxmin = max_min(inst, tb);
+    let ms_min = minmin.makespan(inst.etc, inst.ready, inst.machines);
+    let ms_max = maxmin.makespan(inst.etc, inst.ready, inst.machines);
+    if ms_max < ms_min {
+        maxmin
+    } else {
+        minmin
+    }
+}
+
+/// Naive Segmented Min-Min with explicit parameters.
+pub fn segmented_min_min(
+    inst: &Instance<'_>,
+    tb: &mut TieBreaker,
+    segments: usize,
+    key: SegmentKey,
+) -> Mapping {
+    let config = SegmentedMinMin::new(segments, key);
+    let mut ordered: Vec<TaskId> = inst.tasks.to_vec();
+    ordered.sort_by(|&a, &b| {
+        config
+            .key_of(inst, b)
+            .cmp(&config.key_of(inst, a))
+            .then(a.cmp(&b))
+    });
+
+    let mut ready = inst.working_ready();
+    let mut mapping = Mapping::new(inst.etc.n_tasks());
+    let n = ordered.len();
+    if n == 0 {
+        return mapping;
+    }
+    let seg_len = n.div_ceil(config.segments);
+
+    for segment in ordered.chunks(seg_len) {
+        let mut unmapped: Vec<TaskId> = segment.to_vec();
+        while !unmapped.is_empty() {
+            let per_task: Vec<(TaskId, Vec<MachineId>, Time)> = unmapped
+                .iter()
+                .map(|&task| {
+                    let (machines, best) = select::min_candidates(
+                        inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                    );
+                    (task, machines, best)
+                })
+                .collect();
+            let (task_indices, _) =
+                select::min_candidates(per_task.iter().enumerate().map(|(i, &(_, _, b))| (i, b)));
+            let pairs: Vec<(TaskId, MachineId)> = task_indices
+                .iter()
+                .flat_map(|&i| {
+                    let (task, ref machines, _) = per_task[i];
+                    machines.iter().map(move |&m| (task, m))
+                })
+                .collect();
+            let (task, machine) = pairs[tb.pick(pairs.len())];
+            ready.advance(machine, inst.etc.get(task, machine));
+            mapping
+                .assign(task, machine)
+                .expect("each task mapped once");
+            unmapped.retain(|&t| t != task);
+        }
+    }
+    mapping
+}
+
+/// A naive reference packaged as a [`Heuristic`]. It deliberately does
+/// **not** override `map_with`, so even through the workspace-threaded
+/// iterative driver it stays on the naive path — that is what makes it
+/// usable as both golden reference and benchmark baseline.
+pub struct Naive {
+    name: &'static str,
+    f: fn(&Instance<'_>, &mut TieBreaker) -> Mapping,
+}
+
+impl Heuristic for Naive {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        (self.f)(inst, tb)
+    }
+}
+
+fn kpb_default(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    kpb(inst, tb, Kpb::default().k_percent)
+}
+
+fn swa_default(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    swa(inst, tb, SwaConfig::default())
+}
+
+fn smm_default(inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+    let d = SegmentedMinMin::default();
+    segmented_min_min(inst, tb, d.segments, d.key)
+}
+
+/// The naive twin of every heuristic in
+/// [`all_heuristics`](crate::all_heuristics) (default-parameter variants),
+/// same display names, same order.
+pub fn naive_roster() -> Vec<Naive> {
+    [
+        (
+            "Min-Min",
+            min_min as fn(&Instance<'_>, &mut TieBreaker) -> Mapping,
+        ),
+        ("MCT", mct),
+        ("MET", met),
+        ("SWA", swa_default),
+        ("KPB", kpb_default),
+        ("Sufferage", sufferage),
+        ("OLB", olb),
+        ("Max-Min", max_min),
+        ("Duplex", duplex),
+        ("Segmented-Min-Min", smm_default),
+    ]
+    .into_iter()
+    .map(|(name, f)| Naive { name, f })
+    .collect()
+}
+
+/// The naive twin of one heuristic by display name (same normalization as
+/// [`by_name`](crate::by_name)).
+pub fn naive_by_name(name: &str) -> Option<Naive> {
+    let wanted = name.to_ascii_lowercase().replace('-', "");
+    naive_roster()
+        .into_iter()
+        .find(|h| h.name.to_ascii_lowercase().replace('-', "") == wanted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario};
+
+    #[test]
+    fn roster_matches_all_heuristics_names_and_order() {
+        let naive: Vec<&str> = naive_roster().iter().map(|h| h.name()).collect();
+        let real: Vec<&str> = crate::all_heuristics().iter().map(|h| h.name()).collect();
+        assert_eq!(naive, real);
+    }
+
+    #[test]
+    fn naive_by_name_normalizes_like_by_name() {
+        assert_eq!(naive_by_name("min-min").unwrap().name(), "Min-Min");
+        assert_eq!(naive_by_name("MINMIN").unwrap().name(), "Min-Min");
+        assert_eq!(
+            naive_by_name("segmented-min-min").unwrap().name(),
+            "Segmented-Min-Min"
+        );
+        assert!(naive_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn naive_stays_naive_through_map_with() {
+        // `Naive` must not pick up a workspace override: the default
+        // `map_with` forwards to `map`, keeping the reference path intact
+        // for benchmarks that drive it through `iterative::run_in`.
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0], vec![8.0, 3.0]]).unwrap(),
+        );
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = hcs_core::MapWorkspace::new();
+        let mut h = naive_by_name("Min-Min").unwrap();
+        let a = h.map(&inst, &mut TieBreaker::Deterministic);
+        let b = h.map_with(&inst, &mut TieBreaker::Deterministic, &mut ws);
+        assert_eq!(a, b);
+    }
+}

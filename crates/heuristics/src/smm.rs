@@ -17,8 +17,10 @@
 //! baseline for the Monte-Carlo studies; the iterative technique treats it
 //! like any other heuristic.
 
-use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+use hcs_core::{Heuristic, Instance, MapWorkspace, Mapping, TaskId, TieBreaker, Time};
 use serde::{Deserialize, Serialize};
+
+use crate::two_phase;
 
 /// The per-task sort key of Wu & Shu's three variants.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,7 +63,7 @@ impl SegmentedMinMin {
         SegmentedMinMin { segments, key }
     }
 
-    fn key_of(&self, inst: &Instance<'_>, task: TaskId) -> Time {
+    pub(crate) fn key_of(&self, inst: &Instance<'_>, task: TaskId) -> Time {
         let values = inst.machines.iter().map(|&m| inst.etc.get(task, m));
         match self.key {
             SegmentKey::Avg => {
@@ -80,54 +82,40 @@ impl Heuristic for SegmentedMinMin {
     }
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_with(inst, tb, &mut MapWorkspace::new())
+    }
+
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        ws.begin(inst);
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        if inst.tasks.is_empty() {
+            return mapping;
+        }
+
         // Sort by key descending; equal keys keep task-list order so the
-        // segmentation itself is deterministic.
-        let mut ordered: Vec<TaskId> = inst.tasks.to_vec();
+        // segmentation itself is deterministic. The sorted segment is the
+        // canonical tie-candidate order within each Min-Min run.
+        let mut ordered = ws.take_task_buf();
+        ordered.extend_from_slice(inst.tasks);
         ordered.sort_by(|&a, &b| {
             self.key_of(inst, b)
                 .cmp(&self.key_of(inst, a))
                 .then(a.cmp(&b))
         });
-
-        let mut ready = inst.working_ready();
-        let mut mapping = Mapping::new(inst.etc.n_tasks());
-        let n = ordered.len();
-        if n == 0 {
-            return mapping;
-        }
-        let seg_len = n.div_ceil(self.segments);
+        let seg_len = ordered.len().div_ceil(self.segments);
 
         for segment in ordered.chunks(seg_len) {
-            // Min-Min within the segment, ready times carried over.
-            let mut unmapped: Vec<TaskId> = segment.to_vec();
-            while !unmapped.is_empty() {
-                let per_task: Vec<(TaskId, Vec<MachineId>, Time)> = unmapped
-                    .iter()
-                    .map(|&task| {
-                        let (machines, best) = select::min_candidates(
-                            inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
-                        );
-                        (task, machines, best)
-                    })
-                    .collect();
-                let (task_indices, _) = select::min_candidates(
-                    per_task.iter().enumerate().map(|(i, &(_, _, b))| (i, b)),
-                );
-                let pairs: Vec<(TaskId, MachineId)> = task_indices
-                    .iter()
-                    .flat_map(|&i| {
-                        let (task, ref machines, _) = per_task[i];
-                        machines.iter().map(move |&m| (task, m))
-                    })
-                    .collect();
-                let (task, machine) = pairs[tb.pick(pairs.len())];
-                ready.advance(machine, inst.etc.get(task, machine));
-                mapping
-                    .assign(task, machine)
-                    .expect("each task mapped once");
-                unmapped.retain(|&t| t != task);
-            }
+            // Min-Min within the segment, ready times carried over (only
+            // `activate` resets between segments, never `begin`).
+            ws.activate(segment);
+            two_phase::run_segment(inst, tb, ws, two_phase::Phase2::Min, segment, &mut mapping);
         }
+        ws.give_task_buf(ordered);
         mapping
     }
 }

@@ -28,7 +28,9 @@
 //! The paper's §3.7 example shows Sufferage increasing its makespan under
 //! the iterative technique even with deterministic ties.
 
-use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+use hcs_core::{
+    select, Heuristic, Instance, MachineId, MapWorkspace, Mapping, TaskId, TieBreaker, Time,
+};
 use serde::{Deserialize, Serialize};
 
 /// What happened when a task was evaluated within a pass.
@@ -148,6 +150,61 @@ impl Heuristic for Sufferage {
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
         self.map_traced(inst, tb).0
+    }
+
+    /// The untraced hot path. Each pass enumerates the instance task list
+    /// filtered by the workspace's O(1) unmapped membership — the same
+    /// sequence as the naive list snapshot in [`Sufferage::map_traced`]
+    /// (which stays the naive reference), because `retain` preserves
+    /// task-list order. Candidate sets, tie-break counts and the pass
+    /// commit order are identical; only the allocations are gone.
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        ws.begin(inst);
+        ws.activate(inst.tasks);
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        let mut tentative = ws.take_winner_buf();
+
+        while ws.has_unmapped() {
+            tentative.clear();
+            for &task in inst.tasks {
+                if !ws.is_unmapped(task) {
+                    continue;
+                }
+                let (machine_cands, min_ct) = ws.min_ct_candidates(inst, task);
+                let machine = machine_cands[tb.pick(machine_cands.len())];
+                let (_, second) = ws.two_smallest_ct(inst, task);
+                let sufferage = second.map_or(Time::ZERO, |s| s - min_ct);
+
+                match tentative.iter_mut().find(|(m, _, _)| *m == machine) {
+                    None => tentative.push((machine, task, sufferage)),
+                    Some(entry) => {
+                        if entry.2 < sufferage {
+                            entry.1 = task;
+                            entry.2 = sufferage;
+                        }
+                    }
+                }
+            }
+
+            for &(machine, task, _) in &tentative {
+                ws.advance(machine, inst.etc.get(task, machine));
+                mapping
+                    .assign(task, machine)
+                    .expect("a task wins at most one machine per pass");
+                ws.remove(task);
+            }
+            debug_assert!(
+                !tentative.is_empty(),
+                "every pass commits at least one task"
+            );
+        }
+        ws.give_winner_buf(tentative);
+        mapping
     }
 }
 

@@ -21,7 +21,9 @@
 //! makespan machine changes the BI trajectory, which flips the MET/MCT
 //! selection for later tasks.
 
-use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+use hcs_core::{
+    select, Heuristic, Instance, MachineId, MapWorkspace, Mapping, TaskId, TieBreaker, Time,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which of the two sub-heuristics SWA used for a task.
@@ -158,14 +160,20 @@ impl Swa {
 /// `min ready / max ready` over `machines`; `None` when the maximum is zero
 /// (the paper's undefined `x`).
 fn balance_index(machines: &[MachineId], ready: &hcs_core::ReadyTimes) -> Option<f64> {
+    balance_index_by(machines, |m| ready.get(m))
+}
+
+/// [`balance_index`] against any ready-time source (the workspace path
+/// reads a [`MapWorkspace`] instead of a `ReadyTimes`).
+fn balance_index_by(machines: &[MachineId], ready_of: impl Fn(MachineId) -> Time) -> Option<f64> {
     let min = machines
         .iter()
-        .map(|&m| ready.get(m))
+        .map(|&m| ready_of(m))
         .min()
         .expect("SWA needs at least one machine");
     let max = machines
         .iter()
-        .map(|&m| ready.get(m))
+        .map(|&m| ready_of(m))
         .max()
         .expect("SWA needs at least one machine");
     (max > Time::ZERO).then(|| min.get() / max.get())
@@ -178,6 +186,47 @@ impl Heuristic for Swa {
 
     fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
         self.map_traced(inst, tb).0
+    }
+
+    /// The untraced hot path: same mode trajectory and candidate
+    /// enumeration as [`Swa::map_traced`] (which stays the naive reference
+    /// for the paper-table generators), but selecting through the
+    /// workspace's reusable buffers and skipping trace bookkeeping.
+    fn map_with(
+        &mut self,
+        inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        ws: &mut MapWorkspace,
+    ) -> Mapping {
+        ws.begin(inst);
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        let mut mode = SwaMode::Mct; // step 2: first task uses MCT
+
+        for (i, &task) in inst.tasks.iter().enumerate() {
+            let bi_before = if i == 0 {
+                None
+            } else {
+                balance_index_by(inst.machines, |m| ws.ready_of(m))
+            };
+            if let Some(bi) = bi_before {
+                if bi > self.config.hi {
+                    mode = SwaMode::Met;
+                } else if bi < self.config.lo {
+                    mode = SwaMode::Mct;
+                }
+            }
+
+            let (cands, _) = match mode {
+                SwaMode::Mct => ws.min_ct_candidates(inst, task),
+                SwaMode::Met => ws.min_etc_candidates(inst, task),
+            };
+            let machine = cands[tb.pick(cands.len())];
+            ws.advance(machine, inst.etc.get(task, machine));
+            mapping
+                .assign(task, machine)
+                .expect("task list contains no duplicates");
+        }
+        mapping
     }
 }
 

@@ -4,8 +4,15 @@
 //! completion time) machine, then commit the task whose best completion
 //! time is extreme — the minimum for Min-Min, the maximum for Max-Min.
 //! Only the phase-2 objective differs, so both share this engine.
+//!
+//! The engine runs on a [`MapWorkspace`]: phase 1 is incremental (only
+//! tasks whose cached best machine was advanced by the previous commit are
+//! rescanned — `O(n·m + n²)` instead of `O(n²·m)`), and no allocation
+//! happens after workspace warm-up. Candidate pairs are flattened in
+//! exactly the canonical order of the naive loop retained in
+//! [`crate::reference`], so the [`TieBreaker`] stream is bit-identical.
 
-use hcs_core::{select, Instance, MachineId, Mapping, TaskId, TieBreaker};
+use hcs_core::{Instance, MapWorkspace, Mapping, TaskId, TieBreaker};
 
 /// Phase-2 objective.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -16,51 +23,49 @@ pub(crate) enum Phase2 {
     Max,
 }
 
-/// Runs the two-phase greedy loop. See module docs.
+/// Runs the two-phase greedy loop with a throwaway workspace.
 pub(crate) fn map(inst: &Instance<'_>, tb: &mut TieBreaker, phase2: Phase2) -> Mapping {
-    let mut unmapped: Vec<TaskId> = inst.tasks.to_vec();
-    let mut ready = inst.working_ready();
+    let mut ws = MapWorkspace::new();
+    map_with(inst, tb, &mut ws, phase2)
+}
+
+/// Runs the two-phase greedy loop in the caller's workspace.
+pub(crate) fn map_with(
+    inst: &Instance<'_>,
+    tb: &mut TieBreaker,
+    ws: &mut MapWorkspace,
+    phase2: Phase2,
+) -> Mapping {
+    ws.begin(inst);
+    ws.activate(inst.tasks);
     let mut mapping = Mapping::new(inst.etc.n_tasks());
+    run_segment(inst, tb, ws, phase2, inst.tasks, &mut mapping);
+    mapping
+}
 
-    while !unmapped.is_empty() {
-        // Phase 1: each task's minimum completion time and the machines
-        // attaining it (ties preserved, ascending machine order).
-        let per_task: Vec<(TaskId, Vec<MachineId>, hcs_core::Time)> = unmapped
-            .iter()
-            .map(|&task| {
-                let (machines, best) = select::min_candidates(
-                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
-                );
-                (task, machines, best)
-            })
-            .collect();
-
-        // Phase 2: tasks whose best completion time is extreme.
-        let indexed = per_task
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, _, best))| (i, best));
-        let (task_indices, _) = match phase2 {
-            Phase2::Min => select::min_candidates(indexed),
-            Phase2::Max => select::max_candidates(indexed),
-        };
-
-        // Flatten the tied tasks' tied machines into (task, machine) pairs
-        // in canonical order; one tie-break picks the committed pair.
-        let pairs: Vec<(TaskId, MachineId)> = task_indices
-            .iter()
-            .flat_map(|&i| {
-                let (task, ref machines, _) = per_task[i];
-                machines.iter().map(move |&m| (task, m))
-            })
-            .collect();
+/// The inner commit loop over the currently activated tasks, enumerating
+/// tie candidates in `order` (the canonical task order for this run — the
+/// instance task list here, a sorted segment for Segmented Min-Min, whose
+/// per-segment loop reuses this). Ready times and activation are the
+/// caller's responsibility; they carry over across segments.
+pub(crate) fn run_segment(
+    inst: &Instance<'_>,
+    tb: &mut TieBreaker,
+    ws: &mut MapWorkspace,
+    phase2: Phase2,
+    order: &[TaskId],
+    mapping: &mut Mapping,
+) {
+    while ws.has_unmapped() {
+        // Phase 1 (incremental): refresh stale best-machine caches.
+        ws.refresh(inst);
+        // Phase 2: flatten the extreme tasks' tied machines into
+        // (task, machine) pairs; one tie-break picks the committed pair.
+        let pairs = ws.extreme_pairs(order, phase2 == Phase2::Max);
         let (task, machine) = pairs[tb.pick(pairs.len())];
-
-        ready.advance(machine, inst.etc.get(task, machine));
+        ws.commit(inst, task, machine);
         mapping
             .assign(task, machine)
             .expect("each task committed once");
-        unmapped.retain(|&t| t != task);
     }
-    mapping
 }

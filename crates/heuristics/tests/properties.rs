@@ -1,7 +1,16 @@
-//! Property-based invariants of the mapping heuristics.
+//! Property-based invariants of the mapping heuristics, including the
+//! golden-equivalence suite: every workspace-backed heuristic must produce
+//! bit-identical mappings (assignments *and* assignment order) to its
+//! naive reference twin in [`hcs_heuristics::reference`], under both tie
+//! policies, while consuming the tie-breaker stream identically.
 
-use hcs_core::{EtcMatrix, Heuristic, Mapping, Scenario, TieBreaker, Time};
-use hcs_heuristics::{all_heuristics, Duplex, Kpb, MaxMin, Mct, Met, MinMin, Sa, Sufferage};
+use hcs_core::{
+    iterative, EtcMatrix, Heuristic, MapWorkspace, Mapping, Scenario, TieBreaker, Time,
+};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_heuristics::{
+    all_heuristics, reference, Duplex, Kpb, MaxMin, Mct, Met, MinMin, Sa, Sufferage,
+};
 use proptest::prelude::*;
 
 /// Random continuous matrices (tie-free in practice).
@@ -23,9 +32,64 @@ fn integer_etc() -> impl Strategy<Value = EtcMatrix> {
     })
 }
 
+/// Random Braun-class matrices: all 12 consistency × heterogeneity classes,
+/// study-sized dimensions, generated through `hcs-etcgen` like the
+/// Monte-Carlo studies.
+fn braun_etc() -> impl Strategy<Value = EtcMatrix> {
+    (1usize..=14, 2usize..=6, 0u8..12, 0u64..1_000_000).prop_map(|(t, m, class, seed)| {
+        let consistency = match class % 3 {
+            0 => Consistency::Consistent,
+            1 => Consistency::SemiConsistent,
+            _ => Consistency::Inconsistent,
+        };
+        let hetero = |hi| {
+            if hi {
+                Heterogeneity::Hi
+            } else {
+                Heterogeneity::Lo
+            }
+        };
+        let spec = EtcSpec::braun(
+            t,
+            m,
+            consistency,
+            hetero((class / 3) % 2 == 0),
+            hetero(class / 6 == 0),
+        );
+        spec.generate(seed)
+    })
+}
+
 fn map_full(h: &mut dyn Heuristic, s: &Scenario, tb: &mut TieBreaker) -> Mapping {
     let owned = s.full_instance();
     h.map(&owned.as_instance(s), tb)
+}
+
+/// The golden-equivalence check: for every roster heuristic, the
+/// workspace-backed `map_with` (sharing ONE reused workspace across all of
+/// them — reuse is part of the contract) must equal the naive twin's `map`,
+/// and both must leave the tie-breaker stream in the same state.
+fn assert_golden_equivalence(etc: EtcMatrix, seed: u64) -> Result<(), TestCaseError> {
+    let s = Scenario::with_zero_ready(etc);
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+    let mut ws = MapWorkspace::new();
+    for mut fast in all_heuristics() {
+        let mut naive = reference::naive_by_name(fast.name())
+            .expect("every roster heuristic has a naive reference twin");
+        for (mut tb_fast, mut tb_naive) in [
+            (TieBreaker::Deterministic, TieBreaker::Deterministic),
+            (TieBreaker::random(seed), TieBreaker::random(seed)),
+        ] {
+            let want = naive.map(&inst, &mut tb_naive);
+            let got = fast.map_with(&inst, &mut tb_fast, &mut ws);
+            prop_assert_eq!(want.order(), got.order(), "{}", fast.name());
+            // Both runs must have consumed the same amount of randomness,
+            // or the theorems' bit-for-bit reproducibility breaks silently.
+            prop_assert_eq!(tb_naive.pick(97), tb_fast.pick(97), "{}", fast.name());
+        }
+    }
+    Ok(())
 }
 
 /// `max_t min_m ETC(t, m)` — no mapping can beat the best placement of the
@@ -170,6 +234,46 @@ proptest! {
             let a = map_full(&mut *h1, &s, &mut TieBreaker::Deterministic);
             let b = map_full(&mut *h2, &s, &mut TieBreaker::Deterministic);
             prop_assert_eq!(a.order(), b.order(), "{}", h1.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Golden equivalence on Braun-class workloads (continuous,
+    /// mostly tie-free): workspace == naive, both tie policies.
+    #[test]
+    fn workspace_matches_naive_reference_on_braun_classes(
+        etc in braun_etc(),
+        seed in 0u64..1000,
+    ) {
+        assert_golden_equivalence(etc, seed)?;
+    }
+
+    /// Golden equivalence on tie-rich small-integer workloads, where the
+    /// canonical candidate order actually decides assignments.
+    #[test]
+    fn workspace_matches_naive_reference_on_tie_rich_workloads(
+        etc in integer_etc(),
+        seed in 0u64..1000,
+    ) {
+        assert_golden_equivalence(etc, seed)?;
+    }
+
+    /// End to end: the workspace-threaded iterative driver over the fast
+    /// heuristic equals the plain driver over the naive twin — every round,
+    /// every finishing time.
+    #[test]
+    fn iterative_driver_matches_naive_reference(etc in integer_etc(), seed in 0u64..500) {
+        let s = Scenario::with_zero_ready(etc);
+        let mut ws = MapWorkspace::new();
+        for mut fast in all_heuristics() {
+            let mut naive = reference::naive_by_name(fast.name())
+                .expect("every roster heuristic has a naive reference twin");
+            let a = iterative::run_in(&mut *fast, &s, &mut TieBreaker::random(seed), &mut ws);
+            let b = iterative::run(&mut naive, &s, &mut TieBreaker::random(seed));
+            prop_assert_eq!(a, b, "{}", fast.name());
         }
     }
 }

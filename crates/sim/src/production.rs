@@ -18,7 +18,8 @@
 //! pays for it.
 
 use hcs_core::{
-    iterative, EtcMatrix, Heuristic, IterativeConfig, MachineId, Scenario, TaskId, TieBreaker, Time,
+    iterative, EtcMatrix, Heuristic, IterativeConfig, MachineId, MapWorkspace, Scenario, TaskId,
+    TieBreaker, Time,
 };
 use serde::{Deserialize, Serialize};
 
@@ -99,7 +100,20 @@ pub fn run<H: Heuristic + ?Sized>(
     tb: &mut TieBreaker,
     config: IterativeConfig,
 ) -> ProductionOutcome {
-    let outcome = iterative::run_with(heuristic, &scenario.wave1, tb, config);
+    run_in(scenario, heuristic, tb, config, &mut MapWorkspace::new())
+}
+
+/// Like [`run`], but with a caller-owned [`MapWorkspace`] threaded through
+/// the wave-1 iterative driver, so Monte-Carlo harnesses reuse one
+/// workspace per thread across trials.
+pub fn run_in<H: Heuristic + ?Sized>(
+    scenario: &ProductionScenario,
+    heuristic: &mut H,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+    ws: &mut MapWorkspace,
+) -> ProductionOutcome {
+    let outcome = iterative::run_with_in(heuristic, &scenario.wave1, tb, config, ws);
 
     let original_availability: Vec<(MachineId, Time)> =
         outcome.original().completion.pairs().to_vec();
@@ -255,6 +269,27 @@ mod tests {
         let b = better.run(&s.wave2_etc, &arrivals, &mut tb);
         assert!(b.makespan() < w.makespan());
         assert!(b.mean_completion() < w.mean_completion());
+    }
+
+    #[test]
+    fn run_in_with_reused_workspace_matches_run() {
+        let s = scenario();
+        let mut ws = MapWorkspace::new();
+        for _ in 0..2 {
+            let mut tb = TieBreaker::Deterministic;
+            let mut h = TwoFaced {
+                calls: 0,
+                improve: true,
+            };
+            let plain = run(&s, &mut h, &mut tb, IterativeConfig::default());
+            let mut tb = TieBreaker::Deterministic;
+            let mut h = TwoFaced {
+                calls: 0,
+                improve: true,
+            };
+            let pooled = run_in(&s, &mut h, &mut tb, IterativeConfig::default(), &mut ws);
+            assert_eq!(plain, pooled);
+        }
     }
 
     #[test]

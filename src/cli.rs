@@ -14,6 +14,7 @@
 
 use std::fmt::Write as _;
 
+use argflags::{present, value as flag};
 use hcs_analysis::TextTable;
 use hcs_core::{iterative, Heuristic, IterativeConfig, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
@@ -72,13 +73,6 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -150,7 +144,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     csv,
                     heuristic,
                     random_ties,
-                    guard: rest.iter().any(|a| a == "--guard"),
+                    guard: present(rest, "--guard"),
                 })
             }
         }
