@@ -1,0 +1,291 @@
+//! Load generator for the `hcs-service` mapping daemon.
+//!
+//! ```text
+//! cargo run --release -p hcs-bench --bin loadgen
+//!     [-- --smoke] [--tasks N] [--machines M] [--instances K] [--clients C]
+//!     [--warm-repeats R] [--heuristic NAME] [--out BENCH_service.json]
+//! ```
+//!
+//! Starts an in-process daemon (ephemeral port), drives it with `C`
+//! concurrent TCP clients, and measures two regimes per worker count
+//! (1, 4, 8):
+//!
+//! * **cold** — `K` distinct instances, each seen for the first time, so
+//!   every request is computed by a worker;
+//! * **warm** — the same `K` instances re-sent `R` times, so every request
+//!   is answered from the digest cache.
+//!
+//! Results (client-side throughput and latency percentiles, plus the
+//! daemon's own `STATS` counters) are written to `BENCH_service.json`.
+//! `--smoke` runs one tiny round and exits non-zero on any invariant
+//! violation — used as the CI smoke test.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use argflags::{present, value as parse_flag};
+use hcs_core::Scenario;
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_service::json::{ObjectBuilder, Value};
+use hcs_service::{MapRequest, ServeConfig, Server};
+
+struct LoadSpec {
+    tasks: usize,
+    machines: usize,
+    instances: usize,
+    clients: usize,
+    warm_repeats: usize,
+    heuristic: String,
+}
+
+/// One measured regime (cold or warm).
+struct RegimeResult {
+    requests: usize,
+    seconds: f64,
+    latencies_us: Vec<u64>,
+}
+
+impl RegimeResult {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.seconds.max(1e-9)
+    }
+
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_us.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        self.latencies_us[rank.min(n) - 1]
+    }
+
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("requests", Value::Number(self.requests as f64))
+            .field("seconds", Value::Number(self.seconds))
+            .field("throughput_rps", Value::Number(self.throughput_rps()))
+            .field("p50_us", Value::Number(self.percentile_us(50.0) as f64))
+            .field("p95_us", Value::Number(self.percentile_us(95.0) as f64))
+            .field("p99_us", Value::Number(self.percentile_us(99.0) as f64))
+            .build()
+    }
+}
+
+/// Builds `K` distinct request lines (one Braun-class instance per seed).
+fn build_lines(spec: &LoadSpec) -> Vec<String> {
+    (0..spec.instances)
+        .map(|i| {
+            let etc = EtcSpec::braun(
+                spec.tasks,
+                spec.machines,
+                Consistency::Inconsistent,
+                Heterogeneity::Hi,
+                Heterogeneity::Hi,
+            )
+            .generate(1000 + i as u64);
+            MapRequest {
+                scenario: Scenario::with_zero_ready(etc),
+                heuristic: spec.heuristic.clone(),
+                random_ties: None,
+                iterative: true,
+                guard: false,
+                sleep_ms: 0,
+            }
+            .to_line()
+        })
+        .collect()
+}
+
+/// Sends every line in `work` once over one connection; returns per-request
+/// latencies in µs. Panics on any non-`ok` reply (loadgen sends only valid,
+/// distinct-instance requests, so rejections would corrupt the measurement).
+fn drive_client(addr: SocketAddr, work: &[String]) -> Vec<u64> {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut latencies = Vec::with_capacity(work.len());
+    let mut reply = String::new();
+    for line in work {
+        let start = Instant::now();
+        stream.write_all(line.as_bytes()).expect("send request");
+        stream.write_all(b"\n").expect("send newline");
+        reply.clear();
+        reader.read_line(&mut reply).expect("read reply");
+        latencies.push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        assert!(
+            reply.contains("\"ok\":true"),
+            "daemon refused a loadgen request: {reply}"
+        );
+    }
+    latencies
+}
+
+/// Fans `lines` out over `clients` connections (each client gets a
+/// contiguous slice, repeated `repeats` times) and measures the regime.
+fn run_regime(addr: SocketAddr, lines: &[String], clients: usize, repeats: usize) -> RegimeResult {
+    let start = Instant::now();
+    let chunk = lines.len().div_ceil(clients.max(1));
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lines
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut all = Vec::new();
+                    for _ in 0..repeats {
+                        all.extend(drive_client(addr, slice));
+                    }
+                    all
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    RegimeResult {
+        requests: latencies_us.len(),
+        seconds,
+        latencies_us,
+    }
+}
+
+/// Fetches `STATS` and checks the accounting invariant; returns the parsed
+/// stats object.
+fn fetch_and_check_stats(addr: SocketAddr) -> Value {
+    let mut stream = TcpStream::connect(addr).expect("connect for stats");
+    stream
+        .write_all(b"{\"op\":\"stats\"}\n")
+        .expect("send stats");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read stats");
+    let parsed = hcs_service::json::parse(reply.trim_end()).expect("parse stats reply");
+    let stats = parsed.get("stats").expect("stats object").clone();
+    let count = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or(0);
+    assert_eq!(
+        count("submitted"),
+        count("served") + count("cache_hits") + count("rejected"),
+        "stats invariant violated: {stats}"
+    );
+    stats
+}
+
+/// One full measurement at a given worker count. Returns the run's JSON
+/// record and the warm/cold throughput ratio.
+fn bench_workers(spec: &LoadSpec, workers: usize) -> (Value, f64) {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth: 1024,
+        // Cache must hold every distinct instance for the warm pass to be
+        // all hits.
+        cache_capacity: spec.instances.max(16) * 2,
+        cache_shards: 8,
+    })
+    .expect("start daemon");
+    let addr = server.local_addr();
+    let lines = build_lines(spec);
+
+    let cold = run_regime(addr, &lines, spec.clients, 1);
+    let warm = run_regime(addr, &lines, spec.clients, spec.warm_repeats);
+    let stats = fetch_and_check_stats(addr);
+
+    let hits = stats.get("cache_hits").and_then(Value::as_u64).unwrap_or(0);
+    assert_eq!(
+        hits as usize, warm.requests,
+        "warm pass should be answered entirely from cache"
+    );
+
+    server.stop();
+    server.join();
+
+    let ratio = warm.throughput_rps() / cold.throughput_rps().max(1e-9);
+    let record = ObjectBuilder::new()
+        .field("workers", Value::Number(workers as f64))
+        .field("cold", cold.to_json())
+        .field("warm", warm.to_json())
+        .field("warm_over_cold", Value::Number(ratio))
+        .field("stats", stats)
+        .build();
+    (record, ratio)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = present(&args, "--smoke");
+    let uint = |name: &str, default: usize| {
+        parse_flag(&args, name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} takes an integer"))
+            })
+            .unwrap_or(default)
+    };
+    let spec = LoadSpec {
+        // Default sizes keep the cold pass compute-bound (iterative
+        // mapping is O(t^2·m) per instance) while warm requests only pay
+        // parse + digest (O(t·m)) — that separation is what the cache is
+        // for, and what the >= 5x acceptance bound below measures.
+        tasks: uint("--tasks", if smoke { 16 } else { 320 }),
+        machines: uint("--machines", 8),
+        instances: uint("--instances", if smoke { 8 } else { 32 }),
+        clients: uint("--clients", if smoke { 2 } else { 8 }),
+        warm_repeats: uint("--warm-repeats", if smoke { 2 } else { 8 }),
+        heuristic: parse_flag(&args, "--heuristic").unwrap_or_else(|| "min-min".into()),
+    };
+    let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    if smoke {
+        let (record, ratio) = bench_workers(&spec, 2);
+        println!("smoke ok: {record}");
+        println!("warm/cold throughput ratio: {ratio:.1}x");
+        return;
+    }
+
+    let mut runs = Vec::new();
+    let mut worst_ratio = f64::INFINITY;
+    for workers in [1usize, 4, 8] {
+        let (record, ratio) = bench_workers(&spec, workers);
+        println!(
+            "workers={workers}: cold {:>8.1} rps, warm {:>10.1} rps ({ratio:.1}x)",
+            record
+                .get("cold")
+                .and_then(|c| c.get("throughput_rps"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            record
+                .get("warm")
+                .and_then(|w| w.get("throughput_rps"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        );
+        worst_ratio = worst_ratio.min(ratio);
+        runs.push(record);
+    }
+
+    let doc = ObjectBuilder::new()
+        .field(
+            "config",
+            ObjectBuilder::new()
+                .field("tasks", Value::Number(spec.tasks as f64))
+                .field("machines", Value::Number(spec.machines as f64))
+                .field("instances", Value::Number(spec.instances as f64))
+                .field("clients", Value::Number(spec.clients as f64))
+                .field("warm_repeats", Value::Number(spec.warm_repeats as f64))
+                .field("heuristic", Value::String(spec.heuristic.clone()))
+                .build(),
+        )
+        .field("runs", Value::Array(runs))
+        .field("min_warm_over_cold", Value::Number(worst_ratio))
+        .build();
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write results");
+    println!("wrote {out_path}");
+    assert!(
+        worst_ratio >= 5.0,
+        "cache should make warm throughput >= 5x cold (got {worst_ratio:.1}x)"
+    );
+}

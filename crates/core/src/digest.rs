@@ -1,0 +1,213 @@
+//! Content digests of mapping-problem instances.
+//!
+//! A serving layer that answers repeated mapping requests needs a cheap,
+//! stable identity for "the same problem asked again": the same ETC matrix,
+//! the same initial ready times, the same heuristic and tie policy, run
+//! through the same driver. [`InstanceDigest`] computes a 64-bit FNV-1a
+//! hash over exactly those inputs, in a fixed canonical field order, so the
+//! digest is reproducible across processes and platforms (f64 values are
+//! hashed by their IEEE-754 bit patterns, which [`Time`] keeps finite).
+//!
+//! The digest is *not* cryptographic — it keys an in-process cache, where
+//! an adversarial collision merely wastes a cache slot. Field order and the
+//! seed/prime constants are part of the stable contract: changing them
+//! invalidates every persisted digest.
+
+use crate::instance::Scenario;
+use crate::time::Time;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over the content of a mapping request.
+///
+/// Build one with [`InstanceDigest::new`], feed it the request's fields
+/// (order matters — callers must feed fields in one canonical order), and
+/// read the digest with [`InstanceDigest::finish`]. The convenience
+/// constructor [`InstanceDigest::of_request`] applies the canonical order
+/// used by the serving layer.
+#[derive(Clone, Debug)]
+pub struct InstanceDigest {
+    state: u64,
+}
+
+impl Default for InstanceDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstanceDigest {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        InstanceDigest { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a length/count.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Feeds a time value by its IEEE-754 bit pattern.
+    pub fn write_time(&mut self, t: Time) -> &mut Self {
+        self.write_u64(t.get().to_bits())
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and `("a", "bc")`
+    /// digest differently.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Feeds an optional `u64` (presence tag then value).
+    pub fn write_opt_u64(&mut self, v: Option<u64>) -> &mut Self {
+        match v {
+            Some(x) => self.write_bytes(&[1]).write_u64(x),
+            None => self.write_bytes(&[0]),
+        }
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_bytes(&[u8::from(v)])
+    }
+
+    /// The 64-bit digest of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Canonical digest of a mapping request: scenario shape, every ETC
+    /// value, every initial ready time, the heuristic name, the tie policy
+    /// (`None` = deterministic, `Some(seed)` = random with that seed), and
+    /// whether the iterative driver (and its seeding guard) is applied.
+    ///
+    /// Two requests share a digest exactly when this function was fed equal
+    /// field values — which, all inputs being deterministic given those
+    /// fields, means they produce identical mappings.
+    pub fn of_request(
+        scenario: &Scenario,
+        heuristic: &str,
+        random_ties: Option<u64>,
+        iterative: bool,
+        seed_guard: bool,
+    ) -> u64 {
+        let mut d = InstanceDigest::new();
+        d.write_usize(scenario.n_tasks())
+            .write_usize(scenario.n_machines());
+        for t in scenario.etc.tasks() {
+            for &v in scenario.etc.row(t) {
+                d.write_time(v);
+            }
+        }
+        for &r in scenario.initial_ready.as_slice() {
+            d.write_time(r);
+        }
+        d.write_str(heuristic)
+            .write_opt_u64(random_ties)
+            .write_bool(iterative)
+            .write_bool(seed_guard);
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::EtcMatrix;
+    use crate::ready::ReadyTimes;
+
+    fn scen(rows: &[Vec<f64>]) -> Scenario {
+        Scenario::with_zero_ready(EtcMatrix::from_rows(rows).unwrap())
+    }
+
+    #[test]
+    fn identical_requests_share_a_digest() {
+        let a = scen(&[vec![2.0, 4.0], vec![3.0, 1.0]]);
+        let b = scen(&[vec![2.0, 4.0], vec![3.0, 1.0]]);
+        assert_eq!(
+            InstanceDigest::of_request(&a, "Min-Min", None, true, false),
+            InstanceDigest::of_request(&b, "Min-Min", None, true, false),
+        );
+    }
+
+    #[test]
+    fn every_field_perturbs_the_digest() {
+        let base = scen(&[vec![2.0, 4.0], vec![3.0, 1.0]]);
+        let d0 = InstanceDigest::of_request(&base, "Min-Min", None, true, false);
+
+        let etc_changed = scen(&[vec![2.0, 4.0], vec![3.0, 1.5]]);
+        assert_ne!(
+            d0,
+            InstanceDigest::of_request(&etc_changed, "Min-Min", None, true, false)
+        );
+
+        let ready_changed =
+            Scenario::with_ready(base.etc.clone(), ReadyTimes::from_values(&[0.0, 1.0]));
+        assert_ne!(
+            d0,
+            InstanceDigest::of_request(&ready_changed, "Min-Min", None, true, false)
+        );
+
+        assert_ne!(
+            d0,
+            InstanceDigest::of_request(&base, "MCT", None, true, false)
+        );
+        assert_ne!(
+            d0,
+            InstanceDigest::of_request(&base, "Min-Min", Some(0), true, false)
+        );
+        assert_ne!(
+            d0,
+            InstanceDigest::of_request(&base, "Min-Min", None, false, false)
+        );
+        assert_ne!(
+            d0,
+            InstanceDigest::of_request(&base, "Min-Min", None, true, true)
+        );
+    }
+
+    #[test]
+    fn tie_seeds_digest_distinctly() {
+        let s = scen(&[vec![2.0, 4.0]]);
+        let d_a = InstanceDigest::of_request(&s, "MCT", Some(1), false, false);
+        let d_b = InstanceDigest::of_request(&s, "MCT", Some(2), false, false);
+        assert_ne!(d_a, d_b);
+    }
+
+    #[test]
+    fn shape_is_part_of_identity() {
+        // A 1x2 and a 2x1 matrix with the same flat values must differ.
+        let wide = scen(&[vec![2.0, 3.0]]);
+        let tall = scen(&[vec![2.0], vec![3.0]]);
+        assert_ne!(
+            InstanceDigest::of_request(&wide, "MCT", None, false, false),
+            InstanceDigest::of_request(&tall, "MCT", None, false, false),
+        );
+    }
+
+    #[test]
+    fn incremental_api_matches_manual_fnv() {
+        // FNV-1a of the empty input is the offset basis; of b"a" is a known
+        // constant.
+        assert_eq!(InstanceDigest::new().finish(), FNV_OFFSET);
+        let mut d = InstanceDigest::new();
+        d.write_bytes(b"a");
+        assert_eq!(d.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

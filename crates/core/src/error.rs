@@ -37,6 +37,9 @@ pub enum Error {
     Unassigned(TaskId),
     /// A heuristic assigned a task to a machine outside the active set.
     InactiveMachine(TaskId, MachineId),
+    /// An operation that reassigns work (failure recovery, machine drop)
+    /// was asked to run with no surviving machine to receive it.
+    NoSurvivors,
 }
 
 impl fmt::Display for Error {
@@ -63,6 +66,9 @@ impl fmt::Display for Error {
             Error::Unassigned(t) => write!(f, "heuristic left task {t} unassigned"),
             Error::InactiveMachine(t, m) => {
                 write!(f, "task {t} assigned to inactive machine {m}")
+            }
+            Error::NoSurvivors => {
+                write!(f, "no surviving machine is available to receive work")
             }
         }
     }

@@ -71,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod error;
 pub mod etc;
 pub mod heuristic;
@@ -84,6 +85,7 @@ pub mod tiebreak;
 pub mod time;
 pub mod workspace;
 
+pub use digest::InstanceDigest;
 pub use error::Error;
 pub use etc::EtcMatrix;
 pub use heuristic::Heuristic;

@@ -37,6 +37,8 @@ pub enum CsvError {
         /// The offending text.
         text: String,
     },
+    /// The parsed rows were rejected by the core matrix constructor.
+    Matrix(hcs_core::Error),
 }
 
 impl fmt::Display for CsvError {
@@ -53,6 +55,7 @@ impl fmt::Display for CsvError {
             CsvError::BadCell { row, col, text } => {
                 write!(f, "row {row}, column {col}: cannot parse {text:?}")
             }
+            CsvError::Matrix(e) => write!(f, "invalid matrix: {e}"),
         }
     }
 }
@@ -99,7 +102,7 @@ pub fn parse_csv(text: &str) -> Result<EtcMatrix, CsvError> {
     if rows.is_empty() {
         return Err(CsvError::Empty);
     }
-    EtcMatrix::from_rows(&rows).map_err(|_| CsvError::Empty)
+    EtcMatrix::from_rows(&rows).map_err(CsvError::Matrix)
 }
 
 /// Renders an ETC matrix as CSV text (with a provenance comment line).
@@ -117,9 +120,38 @@ pub fn to_csv(etc: &EtcMatrix) -> String {
     out
 }
 
+/// Errors from reading an ETC matrix off disk: either the file could not
+/// be read, or its contents failed to parse.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file's contents are not a valid ETC CSV.
+    Csv(CsvError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "cannot read file: {e}"),
+            LoadError::Csv(e) => write!(f, "bad ETC CSV: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Csv(e) => Some(e),
+        }
+    }
+}
+
 /// Reads an ETC matrix from a CSV file.
-pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Result<EtcMatrix, CsvError>> {
-    Ok(parse_csv(&std::fs::read_to_string(path)?))
+pub fn load<P: AsRef<Path>>(path: P) -> Result<EtcMatrix, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    parse_csv(&text).map_err(LoadError::Csv)
 }
 
 /// Writes an ETC matrix to a CSV file.
@@ -185,6 +217,31 @@ mod tests {
     }
 
     #[test]
+    fn matrix_errors_are_not_swallowed() {
+        // The Matrix variant forwards the core error's message instead of
+        // collapsing everything to "no data rows".
+        let e = CsvError::Matrix(hcs_core::Error::EtcEmpty);
+        assert!(e.to_string().contains("at least one task"), "{e}");
+    }
+
+    #[test]
+    fn load_distinguishes_io_from_parse_errors() {
+        let missing = load("/nonexistent/etc.csv").unwrap_err();
+        assert!(matches!(missing, LoadError::Io(_)), "{missing}");
+        let dir = std::env::temp_dir().join("hcs_etcgen_io_load_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1,zebra\n").unwrap();
+        let bad = load(&path).unwrap_err();
+        assert!(
+            matches!(bad, LoadError::Csv(CsvError::BadCell { .. })),
+            "{bad}"
+        );
+        assert!(bad.to_string().contains("zebra"), "{bad}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn file_round_trip() {
         let etc = crate::EtcSpec::braun(
             6,
@@ -198,7 +255,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("etc.csv");
         save(&etc, &path).unwrap();
-        let loaded = load(&path).unwrap().unwrap();
+        let loaded = load(&path).unwrap();
         // f64 -> Display -> parse is lossy for long decimals; compare with
         // a tolerance.
         assert_eq!(loaded.n_tasks(), etc.n_tasks());

@@ -45,7 +45,21 @@ pub fn generate(spec: &EtcSpec, seed: u64) -> EtcMatrix {
 impl EtcSpec {
     /// Generates the ETC matrix described by this spec, deterministically
     /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate spec (zero tasks or machines); use
+    /// [`EtcSpec::try_generate`] to get the error instead.
     pub fn generate(&self, seed: u64) -> EtcMatrix {
+        self.try_generate(seed)
+            .expect("generator produces valid finite positive values")
+    }
+
+    /// Fallible variant of [`EtcSpec::generate`]: a spec whose dimensions
+    /// cannot form a matrix (zero tasks or machines) is reported as an
+    /// [`hcs_core::Error`] instead of a panic, so request-driven callers
+    /// (the mapping daemon, CLI input paths) can reject it cleanly.
+    pub fn try_generate(&self, seed: u64) -> Result<EtcMatrix, hcs_core::Error> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rows: Vec<Vec<f64>> = match self.method {
             Method::RangeBased { r_task, r_mach } => {
@@ -112,7 +126,7 @@ impl EtcSpec {
             }
         }
 
-        EtcMatrix::from_rows(&rows).expect("generator produces valid finite positive values")
+        EtcMatrix::from_rows(&rows)
     }
 }
 
@@ -165,6 +179,13 @@ mod tests {
         let spec = spec_range(Consistency::Inconsistent);
         assert_eq!(spec.generate(7), spec.generate(7));
         assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn degenerate_spec_is_an_error_not_a_panic() {
+        let mut spec = spec_range(Consistency::Inconsistent);
+        spec.n_tasks = 0;
+        assert_eq!(spec.try_generate(1), Err(hcs_core::Error::EtcEmpty));
     }
 
     #[test]

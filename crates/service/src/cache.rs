@@ -1,0 +1,172 @@
+//! Sharded LRU cache keyed on instance digests.
+//!
+//! Repeated mapping requests are the daemon's motivating workload (the
+//! paper's production scenario re-maps as new work appears, and real ETC
+//! matrices recur), so identical instances should cost one computation.
+//! The cache maps a 64-bit [`hcs_core::InstanceDigest`] to the shared
+//! [`Arc`]'d result. It is sharded by the digest's low bits so concurrent
+//! connection threads and workers rarely contend on the same lock, and each
+//! shard evicts least-recently-used entries past its capacity.
+//!
+//! Eviction scans the shard for the oldest stamp (`O(shard size)`), which
+//! is deliberate: shards are small (capacity / shards entries), the scan is
+//! cache-friendly, and it avoids the intrusive-list bookkeeping a classic
+//! LRU needs — simplicity the std-only constraint rewards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Shard<V> {
+    entries: HashMap<u64, (u64, Arc<V>)>,
+}
+
+/// The cache; see the [module docs](self).
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+}
+
+impl<V> ShardedCache<V> {
+    /// A cache holding at most `capacity` entries across `shards` shards
+    /// (both clamped to ≥ 1; shards is rounded up to a power of two so the
+    /// digest's low bits select a shard without division).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard_capacity = capacity.max(1).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(digest as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks `digest` up, refreshing its recency on a hit.
+    pub fn get(&self, digest: u64) -> Option<Arc<V>> {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(digest).lock().expect("cache mutex poisoned");
+        let (when, value) = shard.entries.get_mut(&digest)?;
+        *when = stamp;
+        Some(Arc::clone(value))
+    }
+
+    /// Inserts (or refreshes) `digest`, evicting the shard's LRU entry if
+    /// the shard is at capacity.
+    pub fn insert(&self, digest: u64, value: Arc<V>) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(digest).lock().expect("cache mutex poisoned");
+        if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&digest) {
+            if let Some(&oldest) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (when, _))| *when)
+                .map(|(k, _)| k)
+            {
+                shard.entries.remove(&oldest);
+            }
+        }
+        shard.entries.insert(digest, (stamp, value));
+    }
+
+    /// Total number of cached entries (sums shard sizes; racy under load,
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache mutex poisoned").entries.len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_returns_same_arc() {
+        let cache = ShardedCache::new(8, 2);
+        assert!(cache.get(42).is_none());
+        let v = Arc::new("answer");
+        cache.insert(42, Arc::clone(&v));
+        let hit = cache.get(42).unwrap();
+        assert!(Arc::ptr_eq(&hit, &v));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used() {
+        // Single shard, capacity 2, keys chosen in the same shard trivially.
+        let cache = ShardedCache::new(2, 1);
+        cache.insert(1, Arc::new(1));
+        cache.insert(2, Arc::new(2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, Arc::new(3));
+        assert!(cache.get(1).is_some(), "recently used survives");
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ShardedCache::new(2, 1);
+        cache.insert(1, Arc::new(1));
+        cache.insert(2, Arc::new(2));
+        cache.insert(2, Arc::new(22)); // refresh, not a new entry
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*cache.get(2).unwrap(), 22);
+        assert!(cache.get(1).is_some());
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let cache = ShardedCache::new(64, 4);
+        for k in 0..64u64 {
+            cache.insert(k, Arc::new(k));
+        }
+        assert_eq!(cache.len(), 64);
+        for k in 0..64u64 {
+            assert_eq!(*cache.get(k).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(ShardedCache::new(32, 4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let k = (t * 7 + i) % 48;
+                    if let Some(v) = cache.get(k) {
+                        assert_eq!(*v, k);
+                    } else {
+                        cache.insert(k, Arc::new(k));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 32 + 3); // per-shard rounding slack
+    }
+}

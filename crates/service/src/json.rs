@@ -1,0 +1,503 @@
+//! Minimal JSON tree, parser and writer for the wire protocol.
+//!
+//! The daemon's protocol is line-delimited JSON, and the daemon must build
+//! with no external dependencies (DESIGN.md §7), so this module implements
+//! the small JSON subset the protocol needs: objects, arrays, strings with
+//! the standard escapes, finite numbers, booleans and null. Writing is
+//! deterministic — insertion-ordered objects, shortest-round-trip numbers —
+//! which is what makes "byte-identical reply for a cache hit" a meaningful
+//! guarantee.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (the parser rejects `NaN`/`Infinity` spellings).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.trunc() == *n && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Removes a key from an object (no-op otherwise); used by tests that
+    /// compare responses modulo a field.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        match self {
+            Value::Object(entries) => {
+                let i = entries.iter().position(|(k, _)| k == key)?;
+                Some(entries.remove(i).1)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Builder for insertion-ordered objects.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+impl ObjectBuilder {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: &str, value: Value) -> Self {
+        self.entries.push((key.to_string(), value));
+        self
+    }
+
+    /// Finishes into a [`Value::Object`].
+    pub fn build(self) -> Value {
+        Value::Object(self.entries)
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// Human-readable cause.
+    pub what: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &'static str) -> ParseError {
+        ParseError { at: self.pos, what }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid surrogate pair"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid codepoint"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| ParseError {
+            at: start,
+            what: "invalid number",
+        })?;
+        if !n.is_finite() {
+            return Err(ParseError {
+                at: start,
+                what: "non-finite number",
+            });
+        }
+        Ok(Value::Number(n))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact, deterministic rendering (no whitespace, insertion order).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.trunc() == *n && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Number(-150.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":true}],"c":null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(2.0));
+        assert_eq!(arr[2].get("b").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let cases = [
+            r#"{"op":"map","etc":[[2,4],[3,1]],"heuristic":"min-min"}"#,
+            r#"[1,2.5,"x\n\"y\"",true,null,{}]"#,
+            r#"{"empty":[],"nested":{"k":-0.125}}"#,
+        ];
+        for text in cases {
+            let v = parse(text).unwrap();
+            let rendered = v.to_string();
+            assert_eq!(parse(&rendered).unwrap(), v, "{text}");
+            // Rendering is a fixpoint: deterministic byte output.
+            assert_eq!(parse(&rendered).unwrap().to_string(), rendered);
+        }
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#""a\u0041\u00e9\ud83d\ude00\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("aAé😀\t"));
+        let back = parse(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "1 2",
+            "{\"a\":1,}",
+            "\"\\ud800\"",
+            "Infinity",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn accessors_are_type_checked() {
+        let v = parse(r#"{"n":3,"s":"x","neg":-1,"frac":1.5}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("frac").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("x"), None);
+    }
+
+    #[test]
+    fn object_builder_preserves_order() {
+        let v = ObjectBuilder::new()
+            .field("z", Value::Number(1.0))
+            .field("a", Value::Bool(false))
+            .build();
+        assert_eq!(v.to_string(), r#"{"z":1,"a":false}"#);
+    }
+
+    #[test]
+    fn remove_strips_a_field() {
+        let mut v = parse(r#"{"cached":true,"x":1}"#).unwrap();
+        assert_eq!(v.remove("cached"), Some(Value::Bool(true)));
+        assert_eq!(v.to_string(), r#"{"x":1}"#);
+    }
+}

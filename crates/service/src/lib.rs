@@ -1,0 +1,53 @@
+//! `hcs-service`: a multi-threaded mapping daemon for the HC suite.
+//!
+//! The daemon accepts mapping requests over TCP as line-delimited JSON and
+//! answers each line with one JSON reply line. It exists to serve the
+//! paper's operational setting — a resource-management system that re-maps
+//! a heterogeneous suite whenever new work arrives — without paying process
+//! startup, matrix parsing, or allocator churn per request:
+//!
+//! * a **worker pool** where each thread owns one reusable
+//!   [`hcs_core::MapWorkspace`] (the PR 1 zero-allocation kernel),
+//! * a **bounded queue** ([`queue::BoundedQueue`]) with explicit
+//!   backpressure — overload is shed with a `503`-style reply, never an
+//!   unbounded backlog,
+//! * a **sharded LRU digest cache** ([`cache::ShardedCache`]) keyed on
+//!   [`hcs_core::InstanceDigest`] so repeated instances cost one
+//!   computation, and
+//! * **built-in observability** ([`stats::ServiceStats`]): counters and
+//!   fixed-bucket latency percentiles over a `STATS` request.
+//!
+//! The crate is deliberately **std-only** (no async runtime, no serde): it
+//! must build in sealed/offline environments, and a line-per-request
+//! protocol at mapping-problem granularity gains nothing from an async
+//! reactor — a thread per connection plus a fixed worker pool is simpler to
+//! reason about and easy to drain correctly on `SHUTDOWN`.
+//!
+//! # Protocol
+//!
+//! One JSON object per line. `op` selects the action (default `"map"`):
+//!
+//! ```text
+//! {"etc":[[2,6],[3,4],[8,3]],"heuristic":"min-min"}
+//! {"op":"map","etc":[[1,2]],"ready":[0,0],"heuristic":"mct","iterative":true}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Replies are single JSON lines: `{"ok":true,...}` on success or
+//! `{"ok":false,"code":400|404|500|503,"error":"..."}` on failure. See
+//! [`protocol`] for the full field set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use protocol::{MapRequest, MapResult, ProtocolError, Request};
+pub use server::{ServeConfig, Server};
+pub use stats::{LatencyHistogram, ServiceStats};

@@ -1,0 +1,618 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Each request is one JSON object on one line. The `op` field selects the
+//! operation (`"map"` is the default when absent):
+//!
+//! ```json
+//! {"op":"map","etc":[[2,4],[3,1]],"heuristic":"min-min",
+//!  "ready":[0,0],"random_ties":7,"iterative":true,"guard":false}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Replies are one JSON object per line with a leading `"ok"` field.
+//! Errors carry an HTTP-flavoured numeric `code` (`400` malformed request,
+//! `404` unknown heuristic, `503` overloaded or shutting down) so clients
+//! can triage without string-matching.
+//!
+//! Everything in this module is pure (no sockets, no threads): `parse
+//! request → execute → render response` is a plain function pipeline, which
+//! is what the round-trip unit tests exercise and what the server loop
+//! composes with the queue and cache.
+
+use std::fmt;
+use std::sync::Arc;
+
+use hcs_core::{
+    iterative, EtcMatrix, Heuristic, InstanceDigest, IterativeConfig, ReadyTimes, Scenario,
+    TieBreaker,
+};
+
+use crate::json::{self, ObjectBuilder, Value};
+
+/// Upper bound on `sleep_ms`, the load-testing knob that pads a request's
+/// service time (used by the backpressure tests and `loadgen`).
+pub const MAX_SLEEP_MS: u64 = 5_000;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run a heuristic (optionally the iterative driver) on an instance.
+    Map(MapRequest),
+    /// Return the observability snapshot.
+    Stats,
+    /// Drain the queue, join the workers, stop the daemon.
+    Shutdown,
+}
+
+/// A validated mapping request: the scenario is already constructed, the
+/// heuristic name canonicalized, so execution cannot fail on bad input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapRequest {
+    /// The problem: ETC matrix plus initial ready times.
+    pub scenario: Scenario,
+    /// Canonical heuristic display name (e.g. `"Min-Min"`).
+    pub heuristic: String,
+    /// `None` = deterministic ties; `Some(seed)` = seeded random ties.
+    pub random_ties: Option<u64>,
+    /// Run the full iterative technique instead of a single mapping.
+    pub iterative: bool,
+    /// Apply the Genitor-style seeding guard (iterative runs only).
+    pub guard: bool,
+    /// Artificial service-time padding in milliseconds (testing/loadgen
+    /// aid; excluded from the digest because it does not affect results).
+    pub sleep_ms: u64,
+}
+
+impl MapRequest {
+    /// The request's content digest — the sharded cache key.
+    pub fn digest(&self) -> u64 {
+        InstanceDigest::of_request(
+            &self.scenario,
+            &self.heuristic,
+            self.random_ties,
+            self.iterative,
+            self.guard,
+        )
+    }
+
+    /// Renders the request back to its wire form (used by clients:
+    /// `loadgen` and the tests).
+    pub fn to_line(&self) -> String {
+        let rows: Vec<Value> = self
+            .scenario
+            .etc
+            .tasks()
+            .map(|t| {
+                Value::Array(
+                    self.scenario
+                        .etc
+                        .row(t)
+                        .iter()
+                        .map(|v| Value::Number(v.get()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let ready: Vec<Value> = self
+            .scenario
+            .initial_ready
+            .as_slice()
+            .iter()
+            .map(|t| Value::Number(t.get()))
+            .collect();
+        let mut b = ObjectBuilder::new()
+            .field("op", Value::String("map".into()))
+            .field("etc", Value::Array(rows))
+            .field("ready", Value::Array(ready))
+            .field("heuristic", Value::String(self.heuristic.clone()));
+        if let Some(seed) = self.random_ties {
+            b = b.field("random_ties", Value::Number(seed as f64));
+        }
+        if self.iterative {
+            b = b.field("iterative", Value::Bool(true));
+        }
+        if self.guard {
+            b = b.field("guard", Value::Bool(true));
+        }
+        if self.sleep_ms > 0 {
+            b = b.field("sleep_ms", Value::Number(self.sleep_ms as f64));
+        }
+        b.build().to_string()
+    }
+}
+
+/// A protocol-level rejection, rendered as an error reply line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// HTTP-flavoured status code.
+    pub code: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// A `400 bad request`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ProtocolError {
+            code: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error reply line.
+    pub fn to_line(&self) -> String {
+        ObjectBuilder::new()
+            .field("ok", Value::Bool(false))
+            .field("code", Value::Number(f64::from(self.code)))
+            .field("error", Value::String(self.message.clone()))
+            .build()
+            .to_string()
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parses and validates one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let v = json::parse(line).map_err(|e| ProtocolError::bad_request(format!("bad json: {e}")))?;
+    if !matches!(v, Value::Object(_)) {
+        return Err(ProtocolError::bad_request("request must be a json object"));
+    }
+    match v.get("op").and_then(Value::as_str).unwrap_or("map") {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "map" => parse_map(&v).map(Request::Map),
+        other => Err(ProtocolError::bad_request(format!("unknown op {other:?}"))),
+    }
+}
+
+fn parse_map(v: &Value) -> Result<MapRequest, ProtocolError> {
+    let etc_rows = v
+        .get("etc")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ProtocolError::bad_request("map requires an \"etc\" array of rows"))?;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(etc_rows.len());
+    for (i, row) in etc_rows.iter().enumerate() {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| ProtocolError::bad_request(format!("etc row {i} is not an array")))?;
+        let mut parsed = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            parsed.push(cell.as_f64().ok_or_else(|| {
+                ProtocolError::bad_request(format!("etc[{i}][{j}] is not a number"))
+            })?);
+        }
+        rows.push(parsed);
+    }
+    let etc = EtcMatrix::from_rows(&rows)
+        .map_err(|e| ProtocolError::bad_request(format!("bad etc matrix: {e}")))?;
+
+    let scenario = match v.get("ready") {
+        None | Some(Value::Null) => Scenario::with_zero_ready(etc),
+        Some(r) => {
+            let cells = r
+                .as_array()
+                .ok_or_else(|| ProtocolError::bad_request("\"ready\" must be an array"))?;
+            if cells.len() != etc.n_machines() {
+                return Err(ProtocolError::bad_request(format!(
+                    "ready has {} entries for {} machines",
+                    cells.len(),
+                    etc.n_machines()
+                )));
+            }
+            let mut values = Vec::with_capacity(cells.len());
+            for (i, cell) in cells.iter().enumerate() {
+                let x = cell.as_f64().ok_or_else(|| {
+                    ProtocolError::bad_request(format!("ready[{i}] is not a number"))
+                })?;
+                if x < 0.0 {
+                    return Err(ProtocolError::bad_request(format!(
+                        "ready[{i}] is negative"
+                    )));
+                }
+                values.push(x);
+            }
+            Scenario::with_ready(etc, ReadyTimes::from_values(&values))
+        }
+    };
+
+    let name = v
+        .get("heuristic")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::bad_request("map requires a \"heuristic\" name"))?;
+    let random_ties = match v.get("random_ties") {
+        None | Some(Value::Null) => None,
+        Some(x) => Some(x.as_u64().ok_or_else(|| {
+            ProtocolError::bad_request("\"random_ties\" must be a non-negative integer seed")
+        })?),
+    };
+    // Canonicalize the heuristic name now so "min-min" and "MinMin" share a
+    // digest, and so unknown names are rejected before they reach a worker.
+    let canonical = resolve_heuristic(name, random_ties.unwrap_or(0))
+        .map(|h| h.name().to_string())
+        .ok_or_else(|| ProtocolError {
+            code: 404,
+            message: format!("unknown heuristic {name:?}"),
+        })?;
+
+    let flag = |key: &str| -> Result<bool, ProtocolError> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(false),
+            Some(x) => x
+                .as_bool()
+                .ok_or_else(|| ProtocolError::bad_request(format!("\"{key}\" must be a bool"))),
+        }
+    };
+    let sleep_ms = match v.get("sleep_ms") {
+        None | Some(Value::Null) => 0,
+        Some(x) => x.as_u64().filter(|&ms| ms <= MAX_SLEEP_MS).ok_or_else(|| {
+            ProtocolError::bad_request(format!("\"sleep_ms\" must be an integer <= {MAX_SLEEP_MS}"))
+        })?,
+    };
+
+    Ok(MapRequest {
+        scenario,
+        heuristic: canonical,
+        random_ties,
+        iterative: flag("iterative")?,
+        guard: flag("guard")?,
+        sleep_ms,
+    })
+}
+
+/// Instantiates a heuristic by wire name: the greedy registry from
+/// `hcs-heuristics` plus the seeded searchers (Genitor, SA, Tabu) and beam
+/// search, seeded from the tie seed like the CLI does.
+pub fn resolve_heuristic(name: &str, seed: u64) -> Option<Box<dyn Heuristic>> {
+    if name.eq_ignore_ascii_case("genitor") {
+        return Some(Box::new(hcs_genitor::Genitor::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("sa") {
+        return Some(Box::new(hcs_heuristics::Sa::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("tabu") {
+        return Some(Box::new(hcs_heuristics::Tabu::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("beam") {
+        return Some(Box::new(hcs_heuristics::BeamSearch::default()));
+    }
+    hcs_heuristics::by_name(name)
+}
+
+/// The computed answer to a [`MapRequest`] — the cacheable payload. A
+/// cache hit re-renders the same `MapResult`, so everything except the
+/// `"cached"` flag is byte-identical between a miss and its hits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapResult {
+    /// Canonical heuristic name.
+    pub heuristic: String,
+    /// `(task, machine)` assignment steps in heuristic order (the round-0
+    /// mapping for iterative runs).
+    pub assignments: Vec<(u32, u32)>,
+    /// `(machine, completion time)` of the original mapping.
+    pub completion: Vec<(u32, f64)>,
+    /// Makespan of the original mapping.
+    pub makespan: f64,
+    /// Iterative-driver outcome, when requested.
+    pub iterative: Option<IterativeResult>,
+}
+
+/// The iterative-technique part of a [`MapResult`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterativeResult {
+    /// `(machine, final finishing time)` after the full procedure.
+    pub final_finish: Vec<(u32, f64)>,
+    /// Largest final finishing time.
+    pub final_makespan: f64,
+    /// Number of rounds the driver ran.
+    pub rounds: u32,
+    /// Whether the procedure made the overall makespan worse.
+    pub makespan_increased: bool,
+}
+
+impl MapResult {
+    /// Renders the reply line. `cached` reports whether this result came
+    /// from the digest cache.
+    pub fn to_line(&self, cached: bool) -> String {
+        let pairs = |items: &[(u32, f64)]| {
+            Value::Array(
+                items
+                    .iter()
+                    .map(|&(m, t)| {
+                        Value::Array(vec![Value::Number(f64::from(m)), Value::Number(t)])
+                    })
+                    .collect(),
+            )
+        };
+        let mut b = ObjectBuilder::new()
+            .field("ok", Value::Bool(true))
+            .field("cached", Value::Bool(cached))
+            .field("heuristic", Value::String(self.heuristic.clone()))
+            .field(
+                "assignments",
+                Value::Array(
+                    self.assignments
+                        .iter()
+                        .map(|&(t, m)| {
+                            Value::Array(vec![
+                                Value::Number(f64::from(t)),
+                                Value::Number(f64::from(m)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .field("completion", pairs(&self.completion))
+            .field("makespan", Value::Number(self.makespan));
+        if let Some(it) = &self.iterative {
+            b = b
+                .field("final_finish", pairs(&it.final_finish))
+                .field("final_makespan", Value::Number(it.final_makespan))
+                .field("rounds", Value::Number(f64::from(it.rounds)))
+                .field("makespan_increased", Value::Bool(it.makespan_increased));
+        }
+        b.build().to_string()
+    }
+}
+
+/// Executes a validated request against the library — the same call path a
+/// direct user of `hcs-core`/`hcs-heuristics` would take. Workers call this
+/// with their own long-lived [`hcs_core::MapWorkspace`].
+///
+/// Validation happened at parse time, so the only possible failure is a
+/// heuristic violating its mapping contract, which the in-tree heuristics
+/// never do; it is still surfaced as a `500` rather than a panic.
+pub fn execute(
+    req: &MapRequest,
+    ws: &mut hcs_core::MapWorkspace,
+) -> Result<Arc<MapResult>, ProtocolError> {
+    if req.sleep_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(req.sleep_ms));
+    }
+    let mut heuristic = resolve_heuristic(&req.heuristic, req.random_ties.unwrap_or(0))
+        .expect("heuristic name was canonicalized at parse time");
+    let mut tb = match req.random_ties {
+        Some(seed) => TieBreaker::random(seed),
+        None => TieBreaker::Deterministic,
+    };
+    let scenario = &req.scenario;
+    let internal = |e: hcs_core::Error| ProtocolError {
+        code: 500,
+        message: format!("heuristic contract violation: {e}"),
+    };
+
+    if req.iterative {
+        let outcome = iterative::try_run_in(
+            &mut *heuristic,
+            scenario,
+            &mut tb,
+            IterativeConfig {
+                seed_guard: req.guard,
+                ..IterativeConfig::default()
+            },
+            ws,
+        )
+        .map_err(internal)?;
+        let round0 = &outcome.rounds[0];
+        Ok(Arc::new(MapResult {
+            heuristic: req.heuristic.clone(),
+            assignments: order_pairs(round0.mapping.order()),
+            completion: time_pairs(round0.completion.pairs()),
+            makespan: round0.makespan.get(),
+            iterative: Some(IterativeResult {
+                final_finish: outcome
+                    .final_finish
+                    .iter()
+                    .map(|&(m, t)| (m.0, t.get()))
+                    .collect(),
+                final_makespan: outcome.final_makespan().get(),
+                rounds: outcome.rounds.len() as u32,
+                makespan_increased: outcome.makespan_increased(),
+            }),
+        }))
+    } else {
+        let owned = scenario.full_instance();
+        let inst = owned.as_instance(scenario);
+        let mapping = heuristic.map_with(&inst, &mut tb, ws);
+        mapping
+            .validate(&owned.tasks, &owned.machines)
+            .map_err(internal)?;
+        let ct = mapping.completion_times(&scenario.etc, &scenario.initial_ready, &owned.machines);
+        Ok(Arc::new(MapResult {
+            heuristic: req.heuristic.clone(),
+            assignments: order_pairs(mapping.order()),
+            completion: time_pairs(ct.pairs()),
+            makespan: ct.makespan().get(),
+            iterative: None,
+        }))
+    }
+}
+
+fn order_pairs(order: &[(hcs_core::TaskId, hcs_core::MachineId)]) -> Vec<(u32, u32)> {
+    order.iter().map(|&(t, m)| (t.0, m.0)).collect()
+}
+
+fn time_pairs(pairs: &[(hcs_core::MachineId, hcs_core::Time)]) -> Vec<(u32, f64)> {
+    pairs.iter().map(|&(m, t)| (m.0, t.get())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::MapWorkspace;
+
+    fn map_line() -> &'static str {
+        r#"{"op":"map","etc":[[2,6],[3,4],[8,3]],"heuristic":"min-min"}"#
+    }
+
+    #[test]
+    fn parses_ops() {
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert!(matches!(
+            parse_request(map_line()).unwrap(),
+            Request::Map(_)
+        ));
+        // op defaults to map.
+        assert!(matches!(
+            parse_request(r#"{"etc":[[1]],"heuristic":"mct"}"#).unwrap(),
+            Request::Map(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let code = |line: &str| parse_request(line).unwrap_err().code;
+        assert_eq!(code("not json"), 400);
+        assert_eq!(code("[1,2]"), 400);
+        assert_eq!(code(r#"{"op":"frobnicate"}"#), 400);
+        assert_eq!(code(r#"{"op":"map","heuristic":"mct"}"#), 400); // no etc
+        assert_eq!(code(r#"{"etc":[[1],[1,2]],"heuristic":"mct"}"#), 400); // ragged
+        assert_eq!(code(r#"{"etc":[[-1]],"heuristic":"mct"}"#), 400); // negative
+        assert_eq!(code(r#"{"etc":[[1]]}"#), 400); // no heuristic
+        assert_eq!(code(r#"{"etc":[[1]],"heuristic":"nope"}"#), 404);
+        assert_eq!(
+            code(r#"{"etc":[[1,2]],"ready":[0],"heuristic":"mct"}"#),
+            400 // ready length mismatch
+        );
+        assert_eq!(
+            code(r#"{"etc":[[1]],"heuristic":"mct","sleep_ms":999999}"#),
+            400
+        );
+        assert_eq!(
+            code(r#"{"etc":[[1]],"heuristic":"mct","random_ties":-3}"#),
+            400
+        );
+    }
+
+    #[test]
+    fn heuristic_names_are_canonicalized_for_digesting() {
+        let req = |name: &str| {
+            let line = format!(r#"{{"etc":[[2,6],[3,4]],"heuristic":"{name}"}}"#);
+            match parse_request(&line).unwrap() {
+                Request::Map(m) => m,
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(req("min-min").digest(), req("MinMin").digest());
+        assert_eq!(req("min-min").heuristic, "Min-Min");
+        assert_ne!(req("min-min").digest(), req("mct").digest());
+    }
+
+    #[test]
+    fn request_round_trips_through_to_line() {
+        let Request::Map(req) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let Request::Map(back) = parse_request(&req.to_line()).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(back, req);
+        assert_eq!(back.digest(), req.digest());
+
+        // With every optional field set.
+        let line = r#"{"etc":[[2,6],[3,4]],"ready":[1,0.5],"heuristic":"kpb","random_ties":9,"iterative":true,"guard":true,"sleep_ms":10}"#;
+        let Request::Map(full) = parse_request(line).unwrap() else {
+            unreachable!()
+        };
+        let Request::Map(full_back) = parse_request(&full.to_line()).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(full_back, full);
+    }
+
+    #[test]
+    fn execute_matches_direct_library_call() {
+        let Request::Map(req) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let result = execute(&req, &mut ws).unwrap();
+
+        // Direct call through hcs-heuristics, bypassing the service.
+        let mut h = hcs_heuristics::by_name("min-min").unwrap();
+        let mut tb = TieBreaker::Deterministic;
+        let owned = req.scenario.full_instance();
+        let mapping = h.map(&owned.as_instance(&req.scenario), &mut tb);
+        let expect: Vec<(u32, u32)> = mapping.order().iter().map(|&(t, m)| (t.0, m.0)).collect();
+        assert_eq!(result.assignments, expect);
+        assert_eq!(result.makespan, 5.0);
+        assert!(result.iterative.is_none());
+    }
+
+    #[test]
+    fn execute_iterative_reports_final_finish() {
+        let line = r#"{"etc":[[2,6],[3,4],[8,3]],"heuristic":"sufferage","iterative":true}"#;
+        let Request::Map(req) = parse_request(line).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let result = execute(&req, &mut ws).unwrap();
+        let it = result.iterative.as_ref().unwrap();
+        assert_eq!(it.final_finish.len(), 2);
+        assert_eq!(it.rounds, 2);
+
+        // Same run through the library directly.
+        let mut h = hcs_heuristics::by_name("sufferage").unwrap();
+        let mut tb = TieBreaker::Deterministic;
+        let outcome = iterative::run(&mut *h, &req.scenario, &mut tb);
+        assert_eq!(it.final_makespan, outcome.final_makespan().get());
+        assert_eq!(it.makespan_increased, outcome.makespan_increased());
+    }
+
+    #[test]
+    fn rendered_response_parses_and_is_deterministic() {
+        let Request::Map(req) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let result = execute(&req, &mut ws).unwrap();
+        let line_miss = result.to_line(false);
+        let line_hit = result.to_line(true);
+        let v = crate::json::parse(&line_miss).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("makespan").unwrap().as_f64(), Some(5.0));
+
+        // Miss and hit differ only in the cached flag.
+        let mut a = crate::json::parse(&line_miss).unwrap();
+        let mut b = crate::json::parse(&line_hit).unwrap();
+        a.remove("cached");
+        b.remove("cached");
+        assert_eq!(a, b);
+        // Re-rendering is byte-stable.
+        assert_eq!(result.to_line(false), line_miss);
+    }
+
+    #[test]
+    fn random_tie_requests_are_reproducible() {
+        let line = r#"{"etc":[[3,3],[3,3]],"heuristic":"mct","random_ties":5}"#;
+        let Request::Map(req) = parse_request(line).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let a = execute(&req, &mut ws).unwrap();
+        let b = execute(&req, &mut ws).unwrap();
+        assert_eq!(a.to_line(false), b.to_line(false));
+    }
+
+    #[test]
+    fn error_lines_render_code_and_message() {
+        let err = parse_request(r#"{"etc":[[1]],"heuristic":"nope"}"#).unwrap_err();
+        let line = err.to_line();
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_u64(), Some(404));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("nope"));
+    }
+}

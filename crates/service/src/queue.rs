@@ -1,0 +1,194 @@
+//! A bounded MPMC queue with explicit backpressure and drain-on-close.
+//!
+//! Producers (connection threads) use [`BoundedQueue::try_push`], which
+//! *never blocks*: a full queue is an immediate [`PushError::Full`], which
+//! the server turns into a `503`-style rejection — load the daemon cannot
+//! absorb is shed at the door instead of growing an unbounded backlog.
+//! Consumers (workers) use [`BoundedQueue::pop`], which blocks while the
+//! queue is open and empty. Closing the queue rejects further pushes but
+//! lets consumers drain everything already accepted — exactly the graceful
+//! `SHUTDOWN` semantics.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed load.
+    Full,
+    /// The queue is closed (daemon shutting down).
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue; see the [module docs](self).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue accepting at most `capacity` (≥ 1) pending items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking, or reports why it cannot.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns `None`
+    /// once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain what remains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of pending items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// `true` when no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(3);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        // Popping one frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // stays None
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        // Give the consumer time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::<usize>::new(8));
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                let mut accepted = 0usize;
+                for i in 0..100 {
+                    loop {
+                        match q.try_push(p * 100 + i) {
+                            Ok(()) => {
+                                accepted += 1;
+                                break;
+                            }
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => unreachable!(),
+                        }
+                    }
+                }
+                accepted
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = 0usize;
+                while q.pop().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let pushed: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        q.close();
+        let popped: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(pushed, 400);
+        assert_eq!(popped, 400);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+}

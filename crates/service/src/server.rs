@@ -1,0 +1,455 @@
+//! The daemon: TCP acceptor, connection threads, and the worker pool.
+//!
+//! ```text
+//!            ┌──────────────┐   try_push    ┌──────────────┐
+//!  client ──▶│ conn thread  │──────────────▶│ BoundedQueue │
+//!            │ parse, digest│  full → 503   └──────┬───────┘
+//!            │ cache lookup │                      │ pop
+//!            │ await reply  │◀── mpsc reply ── ┌───▼────────┐
+//!            └──────────────┘                  │ worker × N │
+//!                                              │ MapWorkspace│
+//!                                              │ execute()  │
+//!                                              │ cache.insert│
+//!                                              └────────────┘
+//! ```
+//!
+//! Each worker owns one [`MapWorkspace`] for its whole lifetime, so the
+//! zero-allocation kernel from PR 1 is amortized across every request the
+//! worker ever serves. Connection threads do the cheap work (parse,
+//! digest, cache lookup) and block on a per-request reply channel; workers
+//! do the expensive mapping. `STATS` and `SHUTDOWN` are handled inline on
+//! the connection thread — they must keep working when the queue is full,
+//! which is precisely when an operator needs them.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hcs_core::MapWorkspace;
+
+use crate::cache::ShardedCache;
+use crate::protocol::{self, MapRequest, MapResult, ProtocolError, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{bump, ServiceStats};
+
+/// How long a connection thread waits on a silent socket before it checks
+/// the shutdown flag again (bounds shutdown latency for idle connections).
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns a `MapWorkspace`); ≥ 1.
+    pub workers: usize,
+    /// Bounded queue depth — pending requests beyond this are rejected.
+    pub queue_depth: usize,
+    /// Total digest-cache entries.
+    pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7077".into(),
+            workers: 4,
+            queue_depth: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: MapRequest,
+    digest: u64,
+    reply: mpsc::Sender<Result<Arc<MapResult>, ProtocolError>>,
+}
+
+/// State shared by every thread of one daemon.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: ShardedCache<MapResult>,
+    stats: ServiceStats,
+    shutdown: AtomicBool,
+    workers: usize,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and closes the queue (idempotent); wakes the
+    /// acceptor with a loopback connection so it notices immediately.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; send a
+/// `{"op":"shutdown"}` request or call [`Server::stop`], then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon: listener, acceptor thread, worker pool.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            stats: ServiceStats::new(),
+            shutdown: AtomicBool::new(false),
+            workers,
+            local_addr,
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hcs-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hcs-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        Ok(Server {
+            shared,
+            acceptor,
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Triggers shutdown programmatically (equivalent to a `SHUTDOWN`
+    /// request): stop accepting, drain the queue, let workers exit.
+    pub fn stop(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for shutdown to complete — joins the acceptor (which joins
+    /// all connection threads) and every worker — and returns the final
+    /// stats line.
+    pub fn join(self) -> String {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared
+            .stats
+            .to_line(self.shared.queue.len(), self.shared.workers)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("hcs-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared);
+            })
+        {
+            connections.push(handle);
+        }
+        // Opportunistically reap finished connection threads so a
+        // long-lived daemon does not accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for h in connections {
+        let _ = h.join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // One workspace for the worker's lifetime: every request it serves
+    // reuses the same buffers.
+    let mut ws = MapWorkspace::new();
+    while let Some(job) = shared.queue.pop() {
+        let result = protocol::execute(&job.request, &mut ws);
+        if let Ok(result) = &result {
+            shared.cache.insert(job.digest, Arc::clone(result));
+        }
+        bump(&shared.stats.served);
+        // A dropped receiver just means the client went away mid-flight.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Reads `\n`-terminated lines from a stream whose read timeout is
+/// [`IDLE_POLL`], preserving partial lines across timeouts (unlike
+/// `BufRead::read_line`, which cannot be resumed after an error).
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+enum ReadOutcome {
+    Line(String),
+    TimedOut,
+    Eof,
+}
+
+impl LineReader {
+    fn read(&mut self) -> io::Result<ReadOutcome> {
+        loop {
+            if let Some(pos) = self.buf[..self.filled].iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf[..pos].to_vec();
+                self.buf.copy_within(pos + 1..self.filled, 0);
+                self.filled -= pos + 1;
+                return Ok(ReadOutcome::Line(
+                    String::from_utf8_lossy(&line).into_owned(),
+                ));
+            }
+            if self.filled == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            match self.stream.read(&mut self.buf[self.filled..]) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => self.filled += n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(ReadOutcome::TimedOut)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader {
+        stream,
+        buf: vec![0; 4096],
+        filled: 0,
+    };
+
+    loop {
+        let line = match reader.read()? {
+            ReadOutcome::Eof => return Ok(()),
+            ReadOutcome::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            ReadOutcome::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(&line, shared);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if matches!(parse_op_fast(&line), Some(Request::Shutdown)) {
+            return Ok(());
+        }
+    }
+}
+
+/// Re-derives whether a line was a shutdown request without re-parsing the
+/// whole payload (shutdown lines are tiny; anything unparseable is not a
+/// shutdown).
+fn parse_op_fast(line: &str) -> Option<Request> {
+    if line.len() <= 64 {
+        protocol::parse_request(line).ok()
+    } else {
+        None
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            bump(&shared.stats.bad_requests);
+            return e.to_line();
+        }
+    };
+    match request {
+        Request::Stats => shared.stats.to_line(shared.queue.len(), shared.workers),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            crate::json::ObjectBuilder::new()
+                .field("ok", crate::json::Value::Bool(true))
+                .field("draining", crate::json::Value::Bool(true))
+                .build()
+                .to_string()
+        }
+        Request::Map(request) => handle_map(request, shared),
+    }
+}
+
+fn handle_map(request: MapRequest, shared: &Shared) -> String {
+    bump(&shared.stats.submitted);
+    let start = Instant::now();
+    let digest = request.digest();
+
+    if let Some(hit) = shared.cache.get(digest) {
+        bump(&shared.stats.cache_hits);
+        shared.stats.latency.record(start.elapsed());
+        return hit.to_line(true);
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        digest,
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            bump(&shared.stats.rejected);
+            return ProtocolError {
+                code: 503,
+                message: "queue full".into(),
+            }
+            .to_line();
+        }
+        Err(PushError::Closed) => {
+            bump(&shared.stats.rejected);
+            return ProtocolError {
+                code: 503,
+                message: "shutting down".into(),
+            }
+            .to_line();
+        }
+    }
+    match rx.recv() {
+        Ok(Ok(result)) => {
+            shared.stats.latency.record(start.elapsed());
+            result.to_line(false)
+        }
+        Ok(Err(e)) => e.to_line(),
+        // Worker pool gone before computing the job (only possible when a
+        // shutdown races the push) — report as shedding.
+        Err(_) => ProtocolError {
+            code: 503,
+            message: "shutting down".into(),
+        }
+        .to_line(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn send_line(addr: SocketAddr, line: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    #[test]
+    fn start_serve_shutdown_lifecycle() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        let reply = send_line(addr, r#"{"etc":[[2,6],[3,4],[8,3]],"heuristic":"min-min"}"#);
+        let v = crate::json::parse(&reply).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("makespan").unwrap().as_f64(), Some(5.0));
+
+        let stats = send_line(addr, r#"{"op":"stats"}"#);
+        let v = crate::json::parse(&stats).unwrap();
+        assert_eq!(
+            v.get("stats").unwrap().get("submitted").unwrap().as_u64(),
+            Some(1)
+        );
+
+        let bye = send_line(addr, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("draining"));
+        let final_stats = server.join();
+        assert!(final_stats.contains("\"served\":1"), "{final_stats}");
+    }
+
+    #[test]
+    fn malformed_lines_get_400_and_do_not_kill_the_connection() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"garbage\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"code\":400"), "{reply}");
+
+        // Same connection still works.
+        stream
+            .write_all(b"{\"etc\":[[1,2]],\"heuristic\":\"mct\"}\n")
+            .unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn stop_unblocks_join_without_clients() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        server.stop();
+        let stats = server.join();
+        assert!(stats.contains("\"submitted\":0"), "{stats}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Built-in observability: request counters and latency histograms.
+//!
+//! All counters are relaxed atomics — they are monotone event counts whose
+//! exact interleaving does not matter, only their totals. The accounting
+//! invariant the integration tests assert is
+//!
+//! ```text
+//! submitted == served + cache_hits + rejected
+//! ```
+//!
+//! every *valid* map request ends in exactly one of those three bins
+//! (malformed lines are counted separately as `bad_requests` and never
+//! enter the pipeline).
+//!
+//! Latencies are recorded in microseconds into fixed power-of-two buckets
+//! (1 µs … ~67 s), so recording is one `fetch_add` with no locks and no
+//! allocation; percentiles are read out as the upper bound of the bucket
+//! where the cumulative count crosses the rank. That quantizes p50/p95/p99
+//! to 2× resolution — plenty for a load shedder's dashboard, and immune to
+//! the reservoir-sampling bias a sampled exact-percentile sketch has under
+//! bursty load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::{ObjectBuilder, Value};
+
+/// Number of histogram buckets: bucket `i` holds samples `<= 2^i` µs.
+pub const BUCKETS: usize = 27;
+
+/// Lock-free fixed-bucket latency histogram (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// (`p` in `(0, 100]`), or 0 with no samples.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("count", Value::Number(self.count() as f64))
+            .field("p50_us", Value::Number(self.percentile_us(50.0) as f64))
+            .field("p95_us", Value::Number(self.percentile_us(95.0) as f64))
+            .field("p99_us", Value::Number(self.percentile_us(99.0) as f64))
+            .field("max_us", Value::Number(self.max_us() as f64))
+            .build()
+    }
+}
+
+/// The daemon's counters; one instance shared by every thread.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Valid map requests received (before queueing / cache lookup).
+    pub submitted: AtomicU64,
+    /// Requests computed by a worker.
+    pub served: AtomicU64,
+    /// Requests answered from the digest cache.
+    pub cache_hits: AtomicU64,
+    /// Requests shed because the queue was full or closing.
+    pub rejected: AtomicU64,
+    /// Lines that failed protocol validation (never submitted).
+    pub bad_requests: AtomicU64,
+    /// End-to-end latency of answered map requests (queue wait + compute
+    /// for misses; lookup only for hits).
+    pub latency: LatencyHistogram,
+}
+
+/// One relaxed increment.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+impl ServiceStats {
+    /// A zeroed stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the `STATS` reply line. `queue_depth` and `workers` come
+    /// from the server (the stats block does not know the queue).
+    pub fn to_line(&self, queue_depth: usize, workers: usize) -> String {
+        let load = |c: &AtomicU64| Value::Number(c.load(Ordering::Relaxed) as f64);
+        ObjectBuilder::new()
+            .field("ok", Value::Bool(true))
+            .field(
+                "stats",
+                ObjectBuilder::new()
+                    .field("submitted", load(&self.submitted))
+                    .field("served", load(&self.served))
+                    .field("cache_hits", load(&self.cache_hits))
+                    .field("rejected", load(&self.rejected))
+                    .field("bad_requests", load(&self.bad_requests))
+                    .field("queue_depth", Value::Number(queue_depth as f64))
+                    .field("workers", Value::Number(workers as f64))
+                    .field("latency", self.latency.to_json())
+                    .build(),
+            )
+            .build()
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket <= 4
+        }
+        h.record(Duration::from_millis(100)); // ~1e5 µs
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_us(50.0), 4);
+        assert_eq!(h.percentile_us(99.0), 4);
+        assert!(h.percentile_us(100.0) >= 100_000 / 2);
+        assert!(h.max_us() >= 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_us(50.0), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn sub_microsecond_lands_in_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.percentile_us(50.0), 2); // 0 µs -> clamped to bucket 1
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stats_line_renders_all_counters() {
+        let s = ServiceStats::new();
+        bump(&s.submitted);
+        bump(&s.submitted);
+        bump(&s.served);
+        bump(&s.cache_hits);
+        s.latency.record(Duration::from_micros(100));
+        let line = s.to_line(3, 4);
+        let v = crate::json::parse(&line).unwrap();
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("submitted").unwrap().as_u64(), Some(2));
+        assert_eq!(stats.get("served").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("rejected").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("workers").unwrap().as_u64(), Some(4));
+        let lat = stats.get("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("p50_us").unwrap().as_u64(), Some(128));
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end loopback tests: a real daemon on an ephemeral port, real TCP
+//! clients, replies checked against direct library calls.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use hcs_core::{EtcMatrix, MapWorkspace, Scenario};
+use hcs_service::json::{parse, Value};
+use hcs_service::protocol::{self, MapRequest};
+use hcs_service::{ServeConfig, Server};
+
+fn start(workers: usize, queue_depth: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth,
+        cache_capacity: 256,
+        cache_shards: 4,
+    })
+    .expect("bind ephemeral port")
+}
+
+/// One request/reply over a fresh connection.
+fn roundtrip(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    reply.trim_end().to_string()
+}
+
+fn request(seed: u64, tasks: usize, iterative: bool) -> MapRequest {
+    // A deterministic pseudo-random ETC without any RNG dependency: FNV-ish
+    // integer mixing, values in [1, 100].
+    let rows: Vec<Vec<f64>> = (0..tasks)
+        .map(|t| {
+            (0..3)
+                .map(|m| {
+                    let mut x = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((t * 3 + m) as u64);
+                    x ^= x >> 31;
+                    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((x >> 33) % 100 + 1) as f64
+                })
+                .collect()
+        })
+        .collect();
+    MapRequest {
+        scenario: Scenario::with_zero_ready(EtcMatrix::from_rows(&rows).unwrap()),
+        heuristic: "Min-Min".into(),
+        random_ties: None,
+        iterative,
+        guard: false,
+        sleep_ms: 0,
+    }
+}
+
+/// Strips the `cached` flag so hit and miss replies can be compared
+/// byte-for-byte.
+fn without_cached(reply: &str) -> String {
+    let mut v = parse(reply).expect("parseable reply");
+    v.remove("cached");
+    v.to_string()
+}
+
+#[test]
+fn concurrent_replies_match_direct_library_calls() {
+    let server = start(4, 64);
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..8u64)
+        .map(|client| {
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    let req = request(client * 16 + i, 6 + i as usize, i % 2 == 0);
+                    let reply = roundtrip(addr, &req.to_line());
+                    // The reference result from the plain library path, on a
+                    // private workspace.
+                    let mut ws = MapWorkspace::new();
+                    let expected = protocol::execute(&req, &mut ws)
+                        .expect("library call succeeds")
+                        .to_line(false);
+                    assert_eq!(
+                        without_cached(&reply),
+                        without_cached(&expected),
+                        "client {client} request {i} diverged from library"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Accounting invariant after the storm: every submitted request was
+    // served, answered from cache, or rejected.
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let v = parse(&stats_reply).unwrap();
+    let stats = v.get("stats").unwrap();
+    let n = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap();
+    assert_eq!(
+        n("submitted"),
+        n("served") + n("cache_hits") + n("rejected")
+    );
+    assert_eq!(n("submitted"), 40);
+    assert_eq!(n("rejected"), 0, "queue of 64 never fills with 8 clients");
+    assert_eq!(n("bad_requests"), 0);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn cache_hit_is_byte_identical_and_flagged() {
+    let server = start(2, 16);
+    let addr = server.local_addr();
+    let line = request(99, 8, true).to_line();
+
+    let first = roundtrip(addr, &line);
+    let second = roundtrip(addr, &line);
+
+    let v1 = parse(&first).unwrap();
+    let v2 = parse(&second).unwrap();
+    assert_eq!(v1.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(v2.get("cached").and_then(Value::as_bool), Some(true));
+    // Everything but the cached flag is byte-identical — the cache returns
+    // the same Arc'd result, rendered by the same deterministic writer.
+    assert_eq!(without_cached(&first), without_cached(&second));
+
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let stats = parse(&stats_reply).unwrap();
+    assert_eq!(
+        stats
+            .get("stats")
+            .unwrap()
+            .get("cache_hits")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn overload_is_rejected_with_503() {
+    // One worker, queue depth 1, and slow (sleep-padded) distinct requests:
+    // at most 2 can be in the system (1 executing + 1 queued), so 6
+    // concurrent clients must see at least one rejection.
+    let server = start(1, 1);
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..6u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut req = request(1000 + i, 4, false);
+                req.sleep_ms = 300;
+                roundtrip(addr, &req.to_line())
+            })
+        })
+        .collect();
+    let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let rejected = replies
+        .iter()
+        .filter(|r| r.contains("\"code\":503"))
+        .count();
+    let ok = replies.iter().filter(|r| r.contains("\"ok\":true")).count();
+    assert!(rejected >= 1, "expected load shedding, got: {replies:?}");
+    assert!(ok >= 2, "in-flight + queued requests still succeed");
+    assert_eq!(ok + rejected, 6);
+
+    // The daemon's own accounting agrees with the client-observed outcome.
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let v = parse(&stats_reply).unwrap();
+    let stats = v.get("stats").unwrap();
+    let n = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap();
+    assert_eq!(n("rejected") as usize, rejected);
+    assert_eq!(
+        n("submitted"),
+        n("served") + n("cache_hits") + n("rejected")
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_accepted_work() {
+    let server = start(1, 8);
+    let addr = server.local_addr();
+
+    // Put slow work in flight, then shut down while it is queued.
+    let workers: Vec<_> = (0..3u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut req = request(2000 + i, 4, false);
+                req.sleep_ms = 200;
+                roundtrip(addr, &req.to_line())
+            })
+        })
+        .collect();
+    // Give the requests time to enter the queue before shutting down.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let bye = roundtrip(addr, r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("draining"), "{bye}");
+
+    // Every request accepted before the shutdown still gets a real answer
+    // (drain semantics), not a dropped connection.
+    for h in workers {
+        let reply = h.join().unwrap();
+        assert!(
+            reply.contains("\"ok\":true") || reply.contains("\"code\":503"),
+            "unexpected reply during drain: {reply}"
+        );
+    }
+    let final_stats = server.join();
+    assert!(final_stats.contains("\"submitted\":3"), "{final_stats}");
+}
+
+#[test]
+fn post_shutdown_requests_are_refused() {
+    let server = start(1, 4);
+    let addr = server.local_addr();
+    roundtrip(addr, r#"{"op":"shutdown"}"#);
+    server.join();
+    // The listener is gone: connecting now must fail (or be refused
+    // immediately); either way no zombie daemon remains.
+    let connect = TcpStream::connect(addr);
+    if let Ok(mut stream) = connect {
+        // A connect may be absorbed by TIME_WAIT races; a write+read must
+        // then fail or return nothing.
+        let _ = stream.write_all(b"{\"op\":\"stats\"}\n");
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        let n = reader.read_line(&mut reply).unwrap_or(0);
+        assert_eq!(n, 0, "daemon answered after shutdown: {reply}");
+    }
+}

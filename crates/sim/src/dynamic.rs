@@ -88,18 +88,35 @@ impl DynamicMapper {
     ///
     /// # Panics
     ///
-    /// Panics on an empty machine set or mismatched lengths.
+    /// Panics on an empty machine set or mismatched lengths. Use
+    /// [`DynamicMapper::try_new`] for the non-panicking variant.
     pub fn new(machines: Vec<MachineId>, availability: Vec<Time>) -> Self {
-        assert!(!machines.is_empty(), "dynamic mapper needs machines");
         assert_eq!(
             machines.len(),
             availability.len(),
             "one availability per machine"
         );
-        DynamicMapper {
+        Self::try_new(machines, availability).expect("dynamic mapper needs machines")
+    }
+
+    /// Fallible constructor: an empty machine set is reported as
+    /// [`hcs_core::Error::NoSurvivors`] instead of panicking (mismatched
+    /// lengths are truncated to the shorter of the two — a contract
+    /// violation the panicking constructor still rejects loudly).
+    pub fn try_new(
+        mut machines: Vec<MachineId>,
+        mut availability: Vec<Time>,
+    ) -> Result<Self, hcs_core::Error> {
+        if machines.is_empty() || availability.is_empty() {
+            return Err(hcs_core::Error::NoSurvivors);
+        }
+        let n = machines.len().min(availability.len());
+        machines.truncate(n);
+        availability.truncate(n);
+        Ok(DynamicMapper {
             machines,
             availability,
-        }
+        })
     }
 
     /// Index of the MCT machine for `task` at time `now`.
@@ -195,9 +212,12 @@ impl DynamicMapper {
                 OnlinePolicy::Swa { lo, hi } => {
                     if !first {
                         // BI over the *effective* availabilities at `now`.
+                        // The constructor guarantees at least one machine;
+                        // an empty set still degrades to BI = 0 (MCT mode)
+                        // rather than panicking.
                         let eff: Vec<Time> = avail.iter().map(|&a| a.max(now)).collect();
-                        let min = eff.iter().copied().min().expect("machines");
-                        let max = eff.iter().copied().max().expect("machines");
+                        let min = eff.iter().copied().min().unwrap_or(Time::ZERO);
+                        let max = eff.iter().copied().max().unwrap_or(Time::ZERO);
                         if max > Time::ZERO {
                             let bi = min.get() / max.get();
                             if bi > hi {

@@ -39,7 +39,8 @@ pub struct RecoveryOutcome {
 /// # Panics
 ///
 /// Panics when `machines` does not contain `failed` or has fewer than two
-/// machines (no survivors to recover onto).
+/// machines (no survivors to recover onto). Use [`try_fail_and_recover`]
+/// for the non-panicking variant.
 pub fn fail_and_recover(
     mapping: &Mapping,
     etc: &EtcMatrix,
@@ -49,11 +50,36 @@ pub fn fail_and_recover(
     at: Time,
     tb: &mut TieBreaker,
 ) -> RecoveryOutcome {
-    assert!(
-        machines.contains(&failed),
-        "failed machine {failed} must be in the active set"
-    );
-    assert!(machines.len() >= 2, "recovery needs at least one survivor");
+    match try_fail_and_recover(mapping, etc, ready, machines, failed, at, tb) {
+        Ok(outcome) => outcome,
+        Err(hcs_core::Error::MachineOutOfRange(m)) => {
+            panic!("failed machine {m} must be in the active set")
+        }
+        Err(_) => panic!("recovery needs at least one survivor"),
+    }
+}
+
+/// Fallible variant of [`fail_and_recover`]: invalid inputs become
+/// [`hcs_core::Error`] values instead of panics, so long-running callers
+/// (the daemon, availability studies over generated fault schedules) can
+/// report them. A failure at `t = 0` is a well-defined degenerate case —
+/// every task on the failed machine restarts on the survivors — and a
+/// failure that leaves a single survivor serializes all lost work onto it.
+pub fn try_fail_and_recover(
+    mapping: &Mapping,
+    etc: &EtcMatrix,
+    ready: &ReadyTimes,
+    machines: &[MachineId],
+    failed: MachineId,
+    at: Time,
+    tb: &mut TieBreaker,
+) -> Result<RecoveryOutcome, hcs_core::Error> {
+    if !machines.contains(&failed) {
+        return Err(hcs_core::Error::MachineOutOfRange(failed));
+    }
+    if machines.len() < 2 {
+        return Err(hcs_core::Error::NoSurvivors);
+    }
 
     let gantt = Gantt::from_mapping(mapping, etc, ready, machines);
 
@@ -86,7 +112,7 @@ pub fn fail_and_recover(
 
     let survivors: Vec<MachineId> = survivor_avail.iter().map(|&(m, _)| m).collect();
     let avail: Vec<Time> = survivor_avail.iter().map(|&(_, t)| t).collect();
-    let mapper = DynamicMapper::new(survivors, avail);
+    let mapper = DynamicMapper::try_new(survivors, avail)?;
     let arrivals: Vec<(Time, TaskId)> = lost.iter().map(|&t| (at, t)).collect();
     let out = mapper.run(etc, &arrivals, tb);
 
@@ -103,11 +129,11 @@ pub fn fail_and_recover(
         .max()
         .unwrap_or(Time::ZERO);
 
-    RecoveryOutcome {
+    Ok(RecoveryOutcome {
         unaffected,
         remapped,
         recovery_makespan,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -202,6 +228,84 @@ mod tests {
         );
         assert!(out.remapped.is_empty());
         assert_eq!(out.recovery_makespan, Time::new(2.0));
+    }
+
+    #[test]
+    fn failure_at_time_zero_is_a_full_restart_not_a_panic() {
+        let (mapping, etc, ready) = fixture();
+        let mut tb = TieBreaker::Deterministic;
+        let out = try_fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(0),
+            Time::ZERO,
+            &mut tb,
+        )
+        .expect("t=0 failure is a valid degenerate case");
+        // Nothing on m0 had finished by t=0, so both its tasks restart.
+        assert_eq!(out.remapped.len(), 2);
+        assert!(out.unaffected.iter().all(|&(task, _)| task == t(2)));
+        assert_eq!(out.recovery_makespan, Time::new(11.0));
+    }
+
+    #[test]
+    fn single_survivor_serializes_all_lost_work() {
+        // Three machines, two fail-free tasks on m1/m2... here: m0 and m1
+        // active, m0 fails at t=0 leaving exactly one survivor, which must
+        // absorb everything without panicking.
+        let (mapping, etc, ready) = fixture();
+        let mut tb = TieBreaker::Deterministic;
+        let out = try_fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(0),
+            Time::ZERO,
+            &mut tb,
+        )
+        .unwrap();
+        // The lone survivor m1 runs its own t2 (0-3), then t0 (3-8), then
+        // t1 (8-11) — all serialized on one machine.
+        assert_eq!(
+            out.remapped,
+            vec![(t(0), m(1), Time::new(8.0)), (t(1), m(1), Time::new(11.0)),]
+        );
+    }
+
+    #[test]
+    fn try_variant_reports_errors_instead_of_panicking() {
+        let (mapping, etc, ready) = fixture();
+        let mut tb = TieBreaker::Deterministic;
+        // Unknown failed machine.
+        let err = try_fail_and_recover(
+            &mapping,
+            &etc,
+            &ready,
+            &[m(0), m(1)],
+            m(7),
+            Time::ZERO,
+            &mut tb,
+        )
+        .unwrap_err();
+        assert_eq!(err, hcs_core::Error::MachineOutOfRange(m(7)));
+        // No survivor to recover onto.
+        let single = EtcMatrix::from_rows(&[vec![2.0]]).unwrap();
+        let mut one = Mapping::new(1);
+        one.assign(t(0), m(0)).unwrap();
+        let err = try_fail_and_recover(
+            &one,
+            &single,
+            &ReadyTimes::zero(1),
+            &[m(0)],
+            m(0),
+            Time::ZERO,
+            &mut tb,
+        )
+        .unwrap_err();
+        assert_eq!(err, hcs_core::Error::NoSurvivors);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * `iterate` — run the full iterative technique and print each round,
 //!   the per-machine deltas and a Gantt chart of the original mapping;
 //! * `examples` — summarize (or print in full) the paper's worked
-//!   examples.
+//!   examples;
+//! * `serve` — run the `hcs-service` mapping daemon until it receives a
+//!   `SHUTDOWN` request.
 //!
 //! The logic lives here (library side) so it is unit-testable; the binary
 //! in `src/bin/nonmakespan.rs` is a thin `main`.
@@ -60,6 +62,11 @@ pub enum Command {
         /// Optional example id.
         only: Option<String>,
     },
+    /// Run the mapping daemon until it is told to shut down.
+    Serve {
+        /// Daemon configuration (bind address, workers, queue, cache).
+        config: hcs_service::ServeConfig,
+    },
 }
 
 /// CLI-level errors (bad usage, bad input).
@@ -83,6 +90,8 @@ USAGE:
   nonmakespan map      --etc FILE.csv --heuristic NAME [--random-ties SEED]
   nonmakespan iterate  --etc FILE.csv --heuristic NAME [--random-ties SEED] [--guard]
   nonmakespan examples [ID]
+  nonmakespan serve    [--addr 127.0.0.1:7077] [--workers 4] [--queue-depth 256]
+                       [--cache-capacity 1024]
 
 HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
             segmented-min-min, genitor, sa, tabu, beam
@@ -151,6 +160,27 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "examples" => Ok(Command::Examples {
             only: rest.first().cloned(),
         }),
+        "serve" => {
+            let defaults = hcs_service::ServeConfig::default();
+            let uint = |name: &str, default: usize| {
+                flag(rest, name)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| CliError(format!("{name} takes an integer")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Serve {
+                config: hcs_service::ServeConfig {
+                    addr: flag(rest, "--addr").unwrap_or(defaults.addr),
+                    workers: uint("--workers", defaults.workers)?,
+                    queue_depth: uint("--queue-depth", defaults.queue_depth)?,
+                    cache_capacity: uint("--cache-capacity", defaults.cache_capacity)?,
+                    cache_shards: uint("--cache-shards", defaults.cache_shards)?,
+                },
+            })
+        }
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
@@ -347,6 +377,20 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             );
             Ok(out)
         }
+        Command::Serve { config } => {
+            let workers = config.workers;
+            let server = hcs_service::Server::start(config)
+                .map_err(|e| CliError(format!("cannot start daemon: {e}")))?;
+            // Announce readiness immediately (scripts wait for this line);
+            // the returned text is the post-shutdown summary.
+            println!(
+                "listening on {} ({} workers); send {{\"op\":\"shutdown\"}} to stop",
+                server.local_addr(),
+                workers
+            );
+            let final_stats = server.join();
+            Ok(format!("daemon stopped; final stats: {final_stats}\n"))
+        }
     }
 }
 
@@ -457,6 +501,33 @@ mod tests {
         assert!(make_heuristic("sa", 0).is_ok());
         assert!(make_heuristic("tabu", 0).is_ok());
         assert!(make_heuristic("beam", 0).is_ok());
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults() {
+        let cmd = parse(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { config } => {
+                assert_eq!(config.addr, "127.0.0.1:0");
+                assert_eq!(config.workers, 2);
+                assert_eq!(config.queue_depth, 8);
+                // Unspecified flags fall back to the service defaults.
+                let defaults = hcs_service::ServeConfig::default();
+                assert_eq!(config.cache_capacity, defaults.cache_capacity);
+                assert_eq!(config.cache_shards, defaults.cache_shards);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(parse(&strs(&["serve", "--workers", "many"])).is_err());
     }
 
     #[test]
