@@ -16,9 +16,11 @@
 //!   is answered from the digest cache.
 //!
 //! Results (client-side throughput and latency percentiles, plus the
-//! daemon's own `STATS` counters) are written to `BENCH_service.json`.
-//! `--smoke` runs one tiny round and exits non-zero on any invariant
-//! violation — used as the CI smoke test.
+//! daemon's own `STATS` counters and registry-side latency percentiles)
+//! are written to `BENCH_service.json`. `--smoke` runs one tiny round —
+//! including fetching `METRICS` and validating the Prometheus exposition —
+//! and exits non-zero on any invariant violation; used as the CI smoke
+//! test.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -153,17 +155,22 @@ fn run_regime(addr: SocketAddr, lines: &[String], clients: usize, repeats: usize
     }
 }
 
+/// One request/reply against a verb op (`stats`, `metrics`, …).
+fn fetch_verb(addr: SocketAddr, op: &str) -> Value {
+    let mut stream = TcpStream::connect(addr).expect("connect for verb");
+    stream
+        .write_all(format!("{{\"op\":\"{op}\"}}\n").as_bytes())
+        .expect("send verb");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read verb reply");
+    hcs_service::json::parse(reply.trim_end()).expect("parse verb reply")
+}
+
 /// Fetches `STATS` and checks the accounting invariant; returns the parsed
 /// stats object.
 fn fetch_and_check_stats(addr: SocketAddr) -> Value {
-    let mut stream = TcpStream::connect(addr).expect("connect for stats");
-    stream
-        .write_all(b"{\"op\":\"stats\"}\n")
-        .expect("send stats");
-    let mut reader = BufReader::new(stream);
-    let mut reply = String::new();
-    reader.read_line(&mut reply).expect("read stats");
-    let parsed = hcs_service::json::parse(reply.trim_end()).expect("parse stats reply");
+    let parsed = fetch_verb(addr, "stats");
     let stats = parsed.get("stats").expect("stats object").clone();
     let count = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or(0);
     assert_eq!(
@@ -172,6 +179,23 @@ fn fetch_and_check_stats(addr: SocketAddr) -> Value {
         "stats invariant violated: {stats}"
     );
     stats
+}
+
+/// Fetches `METRICS` and runs the strict Prometheus-text validator over
+/// the exposition, panicking on any malformed line or missing `# TYPE`.
+fn fetch_and_validate_metrics(addr: SocketAddr) {
+    let parsed = fetch_verb(addr, "metrics");
+    let text = parsed
+        .get("metrics")
+        .and_then(Value::as_str)
+        .expect("metrics payload")
+        .to_string();
+    hcs_core::obs::validate_prometheus(&text)
+        .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}"));
+    assert!(
+        text.contains("# TYPE hcs_request_latency_us histogram"),
+        "metrics must expose the latency histogram"
+    );
 }
 
 /// One full measurement at a given worker count. Returns the run's JSON
@@ -185,6 +209,8 @@ fn bench_workers(spec: &LoadSpec, workers: usize) -> (Value, f64) {
         // all hits.
         cache_capacity: spec.instances.max(16) * 2,
         cache_shards: 8,
+        // Tracing off: per-request ring writes would perturb the numbers.
+        trace_capacity: 0,
     })
     .expect("start daemon");
     let addr = server.local_addr();
@@ -193,6 +219,7 @@ fn bench_workers(spec: &LoadSpec, workers: usize) -> (Value, f64) {
     let cold = run_regime(addr, &lines, spec.clients, 1);
     let warm = run_regime(addr, &lines, spec.clients, spec.warm_repeats);
     let stats = fetch_and_check_stats(addr);
+    fetch_and_validate_metrics(addr);
 
     let hits = stats.get("cache_hits").and_then(Value::as_u64).unwrap_or(0);
     assert_eq!(
@@ -204,11 +231,24 @@ fn bench_workers(spec: &LoadSpec, workers: usize) -> (Value, f64) {
     server.join();
 
     let ratio = warm.throughput_rps() / cold.throughput_rps().max(1e-9);
+    // The daemon's own registry-side latency percentiles (server view:
+    // excludes client/network time), surfaced per worker count so the
+    // bench record captures both ends of the wire.
+    let daemon_latency = |p: &str| {
+        stats
+            .get("latency")
+            .and_then(|l| l.get(p))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
     let record = ObjectBuilder::new()
         .field("workers", Value::Number(workers as f64))
         .field("cold", cold.to_json())
         .field("warm", warm.to_json())
         .field("warm_over_cold", Value::Number(ratio))
+        .field("latency_p50_us", Value::Number(daemon_latency("p50_us")))
+        .field("latency_p95_us", Value::Number(daemon_latency("p95_us")))
+        .field("latency_p99_us", Value::Number(daemon_latency("p99_us")))
         .field("stats", stats)
         .build();
     (record, ratio)

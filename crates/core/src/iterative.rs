@@ -32,6 +32,9 @@
 //! tasks, and the one with the smaller makespan (over the surviving
 //! machines) is kept; ties keep the previous mapping.
 
+use std::sync::{Arc, OnceLock};
+
+use hcs_obs::{NullSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
@@ -281,12 +284,93 @@ pub fn try_run_in<H: Heuristic + ?Sized>(
     config: IterativeConfig,
     ws: &mut MapWorkspace,
 ) -> Result<IterativeOutcome, Error> {
+    try_run_in_traced(heuristic, scenario, tb, config, ws, null_sink())
+}
+
+/// The shared always-disabled sink the untraced entry points delegate
+/// through (one `enabled()` branch per run, no per-call allocation).
+fn null_sink() -> &'static Arc<dyn TraceSink> {
+    static NULL: OnceLock<Arc<dyn TraceSink>> = OnceLock::new();
+    NULL.get_or_init(|| Arc::new(NullSink))
+}
+
+/// min/max over a round's machine completion times — the paper's balance
+/// index applied to one round. 1.0 for a zero (or empty) makespan: an
+/// all-idle round is perfectly balanced.
+fn round_balance_index(completion: &crate::mapping::CompletionTimes) -> f64 {
+    let pairs = completion.pairs();
+    let max = pairs.iter().map(|&(_, t)| t).max().unwrap_or(Time::ZERO);
+    if max <= Time::ZERO {
+        return 1.0;
+    }
+    let min = pairs.iter().map(|&(_, t)| t).min().unwrap_or(Time::ZERO);
+    min.get() / max.get()
+}
+
+/// Like [`try_run_in`], but emitting the round-by-round trajectory to
+/// `sink`: [`TraceEvent::RoundStart`] before each mapping,
+/// [`TraceEvent::RoundEnd`] (makespan machine, makespan, balance index)
+/// and [`TraceEvent::MachineFrozen`] after it, one
+/// [`TraceEvent::KernelPhases`] per round (kernel timing is switched on
+/// for the duration of the run), the heuristic's per-decision
+/// [`TraceEvent::TaskCommitted`] stream via the workspace, and one
+/// [`TraceEvent::FinishDelta`] per machine at the end.
+///
+/// A disabled sink short-circuits to the exact untraced hot path: no
+/// clocks, no events, one branch.
+pub fn try_run_in_traced<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+    ws: &mut MapWorkspace,
+    sink: &Arc<dyn TraceSink>,
+) -> Result<IterativeOutcome, Error> {
+    let traced = sink.enabled();
+    if traced {
+        ws.set_trace_sink(Arc::clone(sink));
+        ws.enable_kernel_timing();
+    }
+    let result = run_rounds(heuristic, scenario, tb, config, ws, sink, traced);
+    if traced {
+        ws.clear_trace_sink();
+        ws.disable_kernel_timing();
+        if let Ok(outcome) = &result {
+            for &(machine, fin) in &outcome.final_finish {
+                sink.emit(TraceEvent::FinishDelta {
+                    machine: machine.0,
+                    original: outcome.rounds[0].completion.get(machine).get(),
+                    final_finish: fin.get(),
+                });
+            }
+        }
+    }
+    result
+}
+
+/// The driver loop shared by the traced and untraced entry points.
+fn run_rounds<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+    ws: &mut MapWorkspace,
+    sink: &Arc<dyn TraceSink>,
+    traced: bool,
+) -> Result<IterativeOutcome, Error> {
     let mut tasks = scenario.etc.task_vec();
     let mut machines = scenario.etc.machine_vec();
     let mut rounds: Vec<Round> = Vec::new();
     let mut final_finish: Vec<(MachineId, Time)> = Vec::new();
 
     loop {
+        if traced {
+            sink.emit(TraceEvent::RoundStart {
+                round: rounds.len() as u32,
+                machines: machines.len() as u32,
+                tasks: tasks.len() as u32,
+            });
+        }
         let inst = Instance {
             etc: &scenario.etc,
             tasks: &tasks,
@@ -330,10 +414,35 @@ pub fn try_run_in<H: Heuristic + ?Sized>(
             kept_seed,
         });
 
+        let round_idx = (rounds.len() - 1) as u32;
+        if traced {
+            if let Some(timers) = ws.take_kernel_timers() {
+                sink.emit(TraceEvent::KernelPhases {
+                    round: round_idx,
+                    scan_us: timers.scan_us,
+                    commit_us: timers.commit_us,
+                    invalidate_us: timers.invalidate_us,
+                });
+            }
+            sink.emit(TraceEvent::RoundEnd {
+                round: round_idx,
+                makespan_machine: mk_machine.0,
+                makespan: mk_time.get(),
+                balance_index: round_balance_index(&rounds.last().expect("just pushed").completion),
+            });
+        }
+
         if machines.len() == 1 {
             // The last surviving machine's finish is its completion in this
             // final round.
             final_finish.push((machines[0], mk_time));
+            if traced {
+                sink.emit(TraceEvent::MachineFrozen {
+                    round: round_idx,
+                    machine: machines[0].0,
+                    finish: mk_time.get(),
+                });
+            }
             break;
         }
 
@@ -342,6 +451,13 @@ pub fn try_run_in<H: Heuristic + ?Sized>(
         // happens implicitly — each round maps against
         // `scenario.initial_ready`).
         final_finish.push((mk_machine, mk_time));
+        if traced {
+            sink.emit(TraceEvent::MachineFrozen {
+                round: round_idx,
+                machine: mk_machine.0,
+                finish: mk_time.get(),
+            });
+        }
         let frozen_mapping = &rounds.last().expect("just pushed").mapping;
         tasks.retain(|&task| frozen_mapping.machine_of(task) != Some(mk_machine));
         machines.retain(|&machine| machine != mk_machine);
@@ -621,6 +737,123 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, Error::Unassigned(t(0)));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_events_mirror_the_outcome() {
+        use hcs_obs::VecSink;
+
+        let s = scenario_3x3();
+        let mut tb = TieBreaker::Deterministic;
+        let baseline = run(&mut MiniMct, &s, &mut tb);
+
+        let vec = Arc::new(VecSink::new());
+        let sink: Arc<dyn TraceSink> = Arc::clone(&vec) as Arc<dyn TraceSink>;
+        let mut tb = TieBreaker::Deterministic;
+        let mut ws = MapWorkspace::new();
+        let outcome = try_run_in_traced(
+            &mut MiniMct,
+            &s,
+            &mut tb,
+            IterativeConfig::default(),
+            &mut ws,
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(outcome, baseline, "tracing must not perturb the run");
+
+        let events = vec.take();
+        let round_starts: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RoundStart { .. }))
+            .collect();
+        assert_eq!(round_starts.len(), outcome.rounds.len());
+
+        let round_ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundEnd {
+                    round,
+                    makespan_machine,
+                    makespan,
+                    balance_index,
+                } => Some((*round, *makespan_machine, *makespan, *balance_index)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(round_ends.len(), outcome.rounds.len());
+        for (i, round) in outcome.rounds.iter().enumerate() {
+            let (r, mk, ms, bal) = round_ends[i];
+            assert_eq!(r as usize, i);
+            assert_eq!(mk, round.makespan_machine.0);
+            assert_eq!(ms, round.makespan.get());
+            let min = round
+                .completion
+                .pairs()
+                .iter()
+                .map(|&(_, t)| t)
+                .min()
+                .unwrap();
+            assert_eq!(bal, min.get() / round.makespan.get());
+            assert!((0.0..=1.0).contains(&bal));
+        }
+
+        let frozen: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MachineFrozen { machine, .. } => Some(*machine),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frozen.len(), outcome.final_finish.len());
+
+        let deltas: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FinishDelta {
+                    machine,
+                    original,
+                    final_finish,
+                } => Some((*machine, *original, *final_finish)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deltas.len(), outcome.final_finish.len());
+        for ((machine, original, fin), (m_out, orig_out, fin_out)) in
+            deltas.iter().zip(outcome.deltas())
+        {
+            assert_eq!(*machine, m_out.0);
+            assert_eq!(*original, orig_out.get());
+            assert_eq!(*fin, fin_out.get());
+        }
+
+        // One kernel-phase record per round (timing was force-enabled).
+        let phases = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::KernelPhases { .. }))
+            .count();
+        assert_eq!(phases, outcome.rounds.len());
+    }
+
+    #[test]
+    fn traced_run_with_disabled_sink_is_silent_and_restores_workspace() {
+        let s = scenario_3x3();
+        let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+        let mut tb = TieBreaker::Deterministic;
+        let mut ws = MapWorkspace::new();
+        let outcome = try_run_in_traced(
+            &mut MiniMct,
+            &s,
+            &mut tb,
+            IterativeConfig::default(),
+            &mut ws,
+            &sink,
+        )
+        .unwrap();
+        let mut tb = TieBreaker::Deterministic;
+        assert_eq!(outcome, run(&mut MiniMct, &s, &mut tb));
+        // The disabled path must leave kernel timing off.
+        assert_eq!(ws.take_kernel_timers(), None);
     }
 
     #[test]

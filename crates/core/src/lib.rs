@@ -85,6 +85,10 @@ pub mod tiebreak;
 pub mod time;
 pub mod workspace;
 
+/// The shared observability substrate (re-exported so downstream crates
+/// reach trace sinks and the metrics registry without a direct dependency).
+pub use hcs_obs as obs;
+
 pub use digest::InstanceDigest;
 pub use error::Error;
 pub use etc::EtcMatrix;
@@ -96,4 +100,4 @@ pub use mapping::{CompletionTimes, Mapping};
 pub use ready::ReadyTimes;
 pub use tiebreak::TieBreaker;
 pub use time::Time;
-pub use workspace::MapWorkspace;
+pub use workspace::{KernelTimers, MapWorkspace};

@@ -39,6 +39,11 @@
 //! heuristics therefore present identical candidate lists to the tie
 //! breaker as the retained naive references in `hcs-heuristics`.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use hcs_obs::{TraceEvent, TraceSink};
+
 use crate::id::{MachineId, TaskId};
 use crate::instance::Instance;
 use crate::select;
@@ -46,6 +51,35 @@ use crate::time::Time;
 
 /// Sentinel slot value for tasks not currently in the unmapped set.
 const NO_SLOT: usize = usize::MAX;
+
+/// Accumulated kernel phase timings, in microseconds (see
+/// [`MapWorkspace::enable_kernel_timing`]).
+///
+/// *Scan* is the candidate-cache rebuild in [`MapWorkspace::refresh`];
+/// *commit* is the ready-time advance + unmapped-set removal in
+/// [`MapWorkspace::commit`]; *invalidate* is commit's stale-marking sweep
+/// over the surviving cache rows.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTimers {
+    /// Time spent rescanning stale candidate caches.
+    pub scan_us: u64,
+    /// Time spent advancing ready times and removing committed tasks.
+    pub commit_us: u64,
+    /// Time spent marking dependent cache rows stale.
+    pub invalidate_us: u64,
+}
+
+/// An optional trace sink held by the workspace; newtype so the workspace
+/// can keep deriving `Debug` over a `dyn` sink.
+struct TraceHandle(Arc<dyn TraceSink>);
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.0.enabled())
+            .finish()
+    }
+}
 
 /// Reusable scratch space for mapping heuristics; see the [module
 /// docs](self) for the invariants it maintains.
@@ -82,6 +116,11 @@ pub struct MapWorkspace {
     task_buf: Vec<TaskId>,
     /// Loanable (machine, task, value) buffer (Sufferage tentative wins).
     winner_buf: Vec<(MachineId, TaskId, Time)>,
+    /// Opt-in decision trace sink (`None` = one branch per commit, nothing
+    /// else — the zero-cost-when-disabled contract).
+    trace: Option<TraceHandle>,
+    /// Opt-in kernel phase timing accumulators (`None` = no clock reads).
+    timers: Option<Box<KernelTimers>>,
 }
 
 impl MapWorkspace {
@@ -178,11 +217,15 @@ impl MapWorkspace {
     /// Recomputes the best-machine cache of every stale unmapped task.
     /// After this, [`MapWorkspace::extreme_pairs`] sees a fully fresh cache.
     pub fn refresh(&mut self, inst: &Instance<'_>) {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
         for i in 0..self.unmapped.len() {
             let t = self.unmapped[i];
             if self.stale[t.idx()] {
                 self.recompute(inst, t);
             }
+        }
+        if let Some(t0) = t0 {
+            self.timers.as_mut().expect("timers checked above").scan_us += elapsed_us(t0);
         }
     }
 
@@ -231,8 +274,16 @@ impl MapWorkspace {
     /// `machine` (the invalidation invariant — see the module docs for why
     /// all other cache entries remain exact).
     pub fn commit(&mut self, inst: &Instance<'_>, task: TaskId, machine: MachineId) {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
         self.advance(machine, inst.etc.get(task, machine));
         self.remove(task);
+        let t1 = t0.map(|start| {
+            self.timers
+                .as_mut()
+                .expect("timers checked above")
+                .commit_us += elapsed_us(start);
+            Instant::now()
+        });
         for i in 0..self.unmapped.len() {
             let t = self.unmapped[i];
             if self.stale[t.idx()] {
@@ -244,6 +295,13 @@ impl MapWorkspace {
                 self.stale[t.idx()] = true;
             }
         }
+        if let Some(t1) = t1 {
+            self.timers
+                .as_mut()
+                .expect("timers checked above")
+                .invalidate_us += elapsed_us(t1);
+        }
+        self.trace_commit(task, machine);
     }
 
     /// Phase 2 of the two-phase engine: over the unmapped tasks *enumerated
@@ -378,6 +436,63 @@ impl MapWorkspace {
     pub fn give_winner_buf(&mut self, buf: Vec<(MachineId, TaskId, Time)>) {
         self.winner_buf = buf;
     }
+
+    /// Attaches a trace sink: every committed `(task, machine)` decision —
+    /// via [`MapWorkspace::commit`] or an immediate-mode heuristic's
+    /// [`MapWorkspace::trace_commit`] — is emitted as
+    /// [`TraceEvent::TaskCommitted`]. Detach with
+    /// [`MapWorkspace::clear_trace_sink`]; with no sink attached the cost
+    /// is one `Option` branch per commit.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(TraceHandle(sink));
+    }
+
+    /// Detaches the trace sink (see [`MapWorkspace::set_trace_sink`]).
+    pub fn clear_trace_sink(&mut self) {
+        self.trace = None;
+    }
+
+    /// Emits [`TraceEvent::TaskCommitted`] for one mapping decision when a
+    /// sink is attached and enabled. Immediate-mode heuristics (which
+    /// advance ready times directly instead of going through
+    /// [`MapWorkspace::commit`]) call this at their assignment site.
+    #[inline]
+    pub fn trace_commit(&self, task: TaskId, machine: MachineId) {
+        if let Some(TraceHandle(sink)) = &self.trace {
+            if sink.enabled() {
+                sink.emit(TraceEvent::TaskCommitted {
+                    task: task.0,
+                    machine: machine.0,
+                });
+            }
+        }
+    }
+
+    /// Starts accumulating kernel phase timings ([`KernelTimers`]) across
+    /// subsequent [`MapWorkspace::refresh`]/[`MapWorkspace::commit`] calls.
+    /// Without this, no clocks are read anywhere in the kernel.
+    pub fn enable_kernel_timing(&mut self) {
+        if self.timers.is_none() {
+            self.timers = Some(Box::default());
+        }
+    }
+
+    /// Stops kernel phase timing and drops any accumulated values.
+    pub fn disable_kernel_timing(&mut self) {
+        self.timers = None;
+    }
+
+    /// Returns the timings accumulated since the last take (resetting them
+    /// to zero, timing stays enabled), or `None` when timing is off.
+    pub fn take_kernel_timers(&mut self) -> Option<KernelTimers> {
+        self.timers.as_mut().map(|t| std::mem::take(&mut **t))
+    }
+}
+
+/// Microseconds elapsed since `start`, saturating into `u64`.
+#[inline]
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 #[cfg(test)]
@@ -540,6 +655,67 @@ mod tests {
                 assert_cache_matches_naive(&mut ws, &inst);
             }
         }
+    }
+
+    #[test]
+    fn commit_emits_task_committed_only_while_sink_attached() {
+        use hcs_obs::{TraceEvent, VecSink};
+        use std::sync::Arc;
+
+        let s = scen(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 1.0]]);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+        ws.activate(inst.tasks);
+        ws.refresh(&inst);
+
+        let sink = Arc::new(VecSink::new());
+        ws.set_trace_sink(sink.clone());
+        ws.commit(&inst, t(0), m(0));
+        ws.trace_commit(t(1), m(1)); // the immediate-mode emission path
+        ws.clear_trace_sink();
+        ws.refresh(&inst);
+        ws.commit(&inst, t(1), m(1)); // after detach: silent
+
+        assert_eq!(
+            sink.take(),
+            vec![
+                TraceEvent::TaskCommitted {
+                    task: 0,
+                    machine: 0
+                },
+                TraceEvent::TaskCommitted {
+                    task: 1,
+                    machine: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn kernel_timers_accumulate_and_reset_on_take() {
+        let s = scen(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 1.0]]);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        assert_eq!(ws.take_kernel_timers(), None, "timing is off by default");
+
+        ws.enable_kernel_timing();
+        ws.begin(&inst);
+        ws.activate(inst.tasks);
+        while ws.has_unmapped() {
+            ws.refresh(&inst);
+            let &(task, machine) = &ws.extreme_pairs(inst.tasks, false)[0];
+            ws.commit(&inst, task, machine);
+        }
+        let timers = ws.take_kernel_timers().expect("timing enabled");
+        // Wall-clock values are environment-dependent; the contract is
+        // that take() resets while staying enabled.
+        let _ = timers;
+        assert_eq!(ws.take_kernel_timers(), Some(KernelTimers::default()));
+        ws.disable_kernel_timing();
+        assert_eq!(ws.take_kernel_timers(), None);
     }
 
     #[test]

@@ -92,6 +92,7 @@ impl Heuristic for Kpb {
             let (cands, _) = ws.min_ct_among_best_etc(inst, task, subset_size);
             let machine = cands[tb.pick(cands.len())];
             ws.advance(machine, inst.etc.get(task, machine));
+            ws.trace_commit(task, machine);
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

@@ -36,6 +36,7 @@ impl Heuristic for Mct {
             let (cands, _) = ws.min_ct_candidates(inst, task);
             let machine = cands[tb.pick(cands.len())];
             ws.advance(machine, inst.etc.get(task, machine));
+            ws.trace_commit(task, machine);
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

@@ -42,6 +42,7 @@ impl Heuristic for Met {
         for &task in inst.tasks {
             let (cands, _) = ws.min_etc_candidates(inst, task);
             let machine = cands[tb.pick(cands.len())];
+            ws.trace_commit(task, machine);
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

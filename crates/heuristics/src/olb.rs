@@ -33,6 +33,7 @@ impl Heuristic for Olb {
             let (cands, _) = ws.min_ready_candidates(inst);
             let machine = cands[tb.pick(cands.len())];
             ws.advance(machine, inst.etc.get(task, machine));
+            ws.trace_commit(task, machine);
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

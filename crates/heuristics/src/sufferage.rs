@@ -193,6 +193,7 @@ impl Heuristic for Sufferage {
 
             for &(machine, task, _) in &tentative {
                 ws.advance(machine, inst.etc.get(task, machine));
+                ws.trace_commit(task, machine);
                 mapping
                     .assign(task, machine)
                     .expect("a task wins at most one machine per pass");

@@ -222,6 +222,7 @@ impl Heuristic for Swa {
             };
             let machine = cands[tb.pick(cands.len())];
             ws.advance(machine, inst.etc.get(task, machine));
+            ws.trace_commit(task, machine);
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

@@ -1,0 +1,113 @@
+//! Opt-in decision tracing: every heuristic that maps through a
+//! [`MapWorkspace`] must emit exactly one `TaskCommitted` event per task —
+//! matching its mapping — when a sink is attached, and must behave
+//! identically (same mapping, same tie stream) when it is not.
+
+use std::sync::Arc;
+
+use hcs_core::obs::{TraceEvent, TraceSink, VecSink};
+use hcs_core::{EtcMatrix, Heuristic, MapWorkspace, Scenario, TieBreaker};
+use hcs_heuristics::{Duplex, Kpb, MaxMin, Mct, Met, MinMin, Olb, SegmentedMinMin, Sufferage, Swa};
+
+fn scenario() -> Scenario {
+    Scenario::with_zero_ready(
+        EtcMatrix::from_rows(&[
+            vec![2.0, 5.0, 9.0],
+            vec![4.0, 1.0, 2.0],
+            vec![3.0, 4.0, 3.0],
+            vec![9.0, 2.0, 6.0],
+            vec![1.0, 1.0, 1.0],
+            vec![6.0, 3.0, 2.0],
+        ])
+        .unwrap(),
+    )
+}
+
+fn assert_trace_matches_mapping<H: Heuristic>(mut h: H) {
+    let s = scenario();
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+
+    let mut ws = MapWorkspace::new();
+    let mut tb = TieBreaker::Deterministic;
+    let untraced = h.map_with(&inst, &mut tb, &mut ws);
+
+    let sink = Arc::new(VecSink::new());
+    ws.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    let mut tb = TieBreaker::Deterministic;
+    let traced = h.map_with(&inst, &mut tb, &mut ws);
+    ws.clear_trace_sink();
+
+    assert_eq!(
+        traced,
+        untraced,
+        "{}: tracing perturbed the mapping",
+        h.name()
+    );
+
+    let commits: Vec<(u32, u32)> = sink
+        .take()
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::TaskCommitted { task, machine } => Some((task, machine)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        commits.len(),
+        inst.tasks.len(),
+        "{}: one commit event per task",
+        h.name()
+    );
+    let mut seen = vec![false; inst.tasks.len()];
+    for (task, machine) in commits {
+        let t = hcs_core::id::t(task);
+        assert_eq!(
+            traced.machine_of(t).map(|m| m.0),
+            Some(machine),
+            "{}: commit event disagrees with the mapping",
+            h.name()
+        );
+        assert!(
+            !seen[task as usize],
+            "{}: task {task} committed twice",
+            h.name()
+        );
+        seen[task as usize] = true;
+    }
+}
+
+#[test]
+fn every_workspace_heuristic_emits_one_commit_per_task() {
+    assert_trace_matches_mapping(MinMin);
+    assert_trace_matches_mapping(MaxMin);
+    assert_trace_matches_mapping(SegmentedMinMin::default());
+    assert_trace_matches_mapping(Mct);
+    assert_trace_matches_mapping(Met);
+    assert_trace_matches_mapping(Olb);
+    assert_trace_matches_mapping(Kpb::default());
+    assert_trace_matches_mapping(Swa::default());
+    assert_trace_matches_mapping(Sufferage);
+}
+
+#[test]
+fn duplex_emits_both_candidate_runs() {
+    // Duplex maps with Min-Min *and* Max-Min and keeps the better result,
+    // so its decision trace honestly shows both runs: two commit events
+    // per task, not one.
+    let s = scenario();
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+    let mut ws = MapWorkspace::new();
+    let sink = Arc::new(VecSink::new());
+    ws.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    let mut tb = TieBreaker::Deterministic;
+    let _ = Duplex.map_with(&inst, &mut tb, &mut ws);
+    ws.clear_trace_sink();
+    let commits = sink
+        .take()
+        .into_iter()
+        .filter(|e| matches!(e, TraceEvent::TaskCommitted { .. }))
+        .count();
+    assert_eq!(commits, 2 * inst.tasks.len());
+}

@@ -1,0 +1,224 @@
+//! Lock-free fixed-bucket histograms with power-of-two bounds.
+//!
+//! Bucket `i` holds samples `<= 2^i` (in whatever unit the caller records —
+//! the service records microseconds), so recording is one `fetch_add` with
+//! no locks and no allocation; percentiles are read out as the upper bound
+//! of the bucket where the cumulative count crosses the rank. That
+//! quantizes p50/p95/p99 to 2× resolution — plenty for a load shedder's
+//! dashboard, and immune to the reservoir-sampling bias a sampled
+//! exact-percentile sketch has under bursty load.
+//!
+//! This is the `hcs-service` latency histogram generalized and promoted to
+//! the shared observability crate: it now records arbitrary `u64` values
+//! (not just `Duration`s), tracks the sample sum (required by the
+//! Prometheus histogram exposition contract: `_bucket`/`_sum`/`_count`),
+//! and rejects out-of-domain percentile ranks (`debug_assert` in debug
+//! builds, clamp in release).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` holds samples `<= 2^i`.
+pub const BUCKETS: usize = 27;
+
+/// Lock-free fixed-bucket histogram; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one raw sample value.
+    pub fn record_value(&self, value: u64) {
+        let bucket = (64 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one latency sample, in microseconds.
+    pub fn record(&self, latency: Duration) {
+        self.record_value(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, or 0 with no samples.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile, or 0
+    /// with no samples.
+    ///
+    /// `p` must lie in `(0, 100]`: a single recorded sample makes `p = 50`
+    /// (or any valid `p`) return that sample's bucket bound. Out-of-domain
+    /// ranks are a caller bug — `debug_assert`ed in debug builds and
+    /// clamped into the domain in release builds (`p <= 0` behaves as the
+    /// smallest positive rank, `p > 100` as 100).
+    pub fn percentile(&self, p: f64) -> u64 {
+        debug_assert!(
+            p > 0.0 && p <= 100.0,
+            "percentile rank {p} outside (0, 100]"
+        );
+        let p = if p > 100.0 { 100.0 } else { p };
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // max(1.0) also absorbs clamped p <= 0: the rank floor is the first
+        // sample.
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        self.max()
+    }
+
+    /// The inclusive upper bound of bucket `i` (`2^i`).
+    pub fn bucket_bound(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Per-bucket sample counts (not cumulative), for exposition.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            out[i] = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket <= 4
+        }
+        h.record(Duration::from_millis(100)); // ~1e5 µs
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), 4);
+        assert_eq!(h.percentile(99.0), 4);
+        assert!(h.percentile(100.0) >= 100_000 / 2);
+        assert!(h.max() >= 100_000);
+        assert_eq!(h.sum(), 99 * 3 + 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_percentile_returns_its_bucket_bound() {
+        // The edge case the percentile contract pins down: with exactly one
+        // sample, every valid rank — p50 included — must resolve to that
+        // sample's bucket bound, not 0 or the histogram max.
+        let h = Histogram::new();
+        h.record_value(3); // bucket 2, bound 4
+        assert_eq!(h.percentile(50.0), 4);
+        assert_eq!(h.percentile(0.1), 4);
+        assert_eq!(h.percentile(100.0), 4);
+    }
+
+    #[test]
+    fn sub_unit_sample_lands_in_first_buckets() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(10)); // 0 µs -> clamped to bucket 1
+        assert_eq!(h.percentile(50.0), 2);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside (0, 100]")]
+    fn out_of_domain_percentile_is_rejected_in_debug() {
+        let h = Histogram::new();
+        h.record_value(1);
+        let _ = h.percentile(150.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside (0, 100]")]
+    fn zero_percentile_is_rejected_in_debug() {
+        let h = Histogram::new();
+        h.record_value(1);
+        let _ = h.percentile(0.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_domain_percentile_is_clamped_in_release() {
+        let h = Histogram::new();
+        h.record_value(3); // bucket bound 4
+        h.record_value(1_000_000); // bucket bound 2^20
+        assert_eq!(h.percentile(150.0), h.percentile(100.0));
+        assert_eq!(h.percentile(0.0), h.percentile(1.0));
+        assert_eq!(h.percentile(-5.0), 4);
+    }
+
+    #[test]
+    fn bucket_counts_cover_all_samples() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 1024, u64::MAX] {
+            h.record_value(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        // u64::MAX clamps into the last bucket.
+        assert_eq!(counts[BUCKETS - 1], 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 1..=1000u64 {
+                        h.record_value(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 4 * 1000 * 1001 / 2);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,45 @@
+//! `hcs-obs`: the observability substrate shared by the whole HC suite.
+//!
+//! The paper's entire argument is about *per-round, per-machine* behavior —
+//! which machine is the makespan machine each iteration, how the balance
+//! index and the non-makespan completion times evolve — and a production
+//! mapping service needs the matching operational view: request counters,
+//! latency distributions, and per-phase timing breakdowns. This crate
+//! provides both halves as one substrate:
+//!
+//! * **Metrics** ([`registry`]): named [`Counter`]s, [`Gauge`]s and
+//!   power-of-two [`Histogram`]s with label support, registered in a
+//!   [`Registry`] and exposed in two formats — Prometheus text exposition
+//!   ([`Registry::prometheus_text`]) and a JSON snapshot
+//!   ([`Registry::json_snapshot`]). A process-global default registry is
+//!   available via [`Registry::global`]; components that need isolation
+//!   (one daemon per test, say) own their own.
+//!
+//! * **Tracing** ([`trace`]): a typed [`TraceEvent`] stream behind the
+//!   [`TraceSink`] trait. Emitters check [`TraceSink::enabled`] (or hold an
+//!   `Option<sink>`) so the disabled path costs one branch — no
+//!   timestamping, no formatting, no allocation. Sinks include the
+//!   lock-free bounded [`TraceBuffer`] ring (what a daemon keeps), the
+//!   collecting [`VecSink`] (tests and the CLI), and the no-op
+//!   [`NullSink`]. Events render to JSONL via
+//!   [`TraceEvent::to_json_line`].
+//!
+//! * **Validation** ([`promcheck`]): a minimal Prometheus text-format
+//!   validator used by CI smoke tests to keep the `METRICS` exposition
+//!   well-formed.
+//!
+//! The crate is std-only and sits *below* `hcs-core`, so the scheduling
+//! kernel itself can emit events without a dependency cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod promcheck;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, BUCKETS};
+pub use promcheck::validate_prometheus;
+pub use registry::{Counter, Gauge, Registry};
+pub use trace::{NullSink, SpanTimer, TraceBuffer, TraceEvent, TraceSink, VecSink};

@@ -1,0 +1,353 @@
+//! A minimal Prometheus text-format validator for CI smoke tests.
+//!
+//! This is not a full parser for the exposition spec — it checks exactly
+//! the properties our `METRICS` contract promises and that a scrape would
+//! choke on:
+//!
+//! * every line is a `# HELP`/`# TYPE` comment or a well-formed sample
+//!   (`name{labels} value`) — no trailing garbage, balanced label quoting;
+//! * every sample's family has a preceding `# TYPE` header (histogram
+//!   suffixes `_bucket`/`_sum`/`_count` resolve to their base family);
+//! * each histogram family has cumulative non-decreasing `_bucket` counts
+//!   ending in `le="+Inf"`, and that `+Inf` count equals `_count`.
+//!
+//! [`validate_prometheus`] returns the first violation with its line
+//! number, so a failing smoke test names the malformed line directly.
+
+use std::collections::HashMap;
+
+/// Validates Prometheus text exposition; `Err` names the first bad line.
+///
+/// See the [module docs](self) for exactly what is checked.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    // Family name -> declared type.
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Histogram family -> (bucket `le` label, cumulative count) in order.
+    let mut hist_buckets: HashMap<String, Vec<(String, u64)>> = HashMap::new();
+    let mut hist_counts: HashMap<String, u64> = HashMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                if !valid_name(name) {
+                    return Err(format!(
+                        "line {lineno}: invalid metric name in TYPE: {line}"
+                    ));
+                }
+                const KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+                if !KINDS.contains(&kind) {
+                    return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+            } else if comment.strip_prefix("HELP ").is_some() {
+                // HELP text is free-form; nothing further to check.
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        let (name, labels, value) =
+            parse_sample(line).map_err(|e| format!("line {lineno}: {e}: {line}"))?;
+        let family = base_family(&name, &types);
+        let Some(kind) = types.get(&family) else {
+            return Err(format!(
+                "line {lineno}: sample {name} has no preceding # TYPE header"
+            ));
+        };
+        if kind == "histogram" {
+            if name == format!("{family}_bucket") {
+                let Some(le) = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v) else {
+                    return Err(format!("line {lineno}: histogram bucket without le label"));
+                };
+                let count = value.parse::<u64>().map_err(|_| {
+                    format!("line {lineno}: bucket count {value:?} is not an integer")
+                })?;
+                hist_buckets
+                    .entry(family.clone())
+                    .or_default()
+                    .push((le.clone(), count));
+            } else if name == format!("{family}_count") {
+                let count = value.parse::<u64>().map_err(|_| {
+                    format!("line {lineno}: histogram count {value:?} is not an integer")
+                })?;
+                hist_counts.insert(family.clone(), count);
+            }
+        }
+    }
+
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let Some(buckets) = hist_buckets.get(family) else {
+            return Err(format!("histogram {family} has no _bucket samples"));
+        };
+        match buckets.last() {
+            Some((le, inf_count)) if le == "+Inf" => {
+                if let Some(total) = hist_counts.get(family) {
+                    if inf_count != total {
+                        return Err(format!(
+                            "histogram {family}: +Inf bucket {inf_count} != _count {total}"
+                        ));
+                    }
+                } else {
+                    return Err(format!("histogram {family} has no _count sample"));
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "histogram {family}: bucket series must end with le=\"+Inf\""
+                ));
+            }
+        }
+        let mut last = 0u64;
+        for (le, count) in buckets {
+            if *count < last {
+                return Err(format!(
+                    "histogram {family}: bucket le={le:?} count {count} decreases from {last}"
+                ));
+            }
+            last = *count;
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a sample name to its family: histogram suffixes map to the
+/// declared histogram family; everything else is its own family.
+fn base_family(name: &str, types: &HashMap<String, String>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base.to_string();
+            }
+        }
+    }
+    name.to_string()
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Parses `name{labels} value` into its parts.
+fn parse_sample(line: &str) -> Result<(String, Labels, String), String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && !matches!(bytes[i], b'{' | b' ') {
+        i += 1;
+    }
+    let name = &line[..i];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            if i >= bytes.len() {
+                return Err("unterminated label set".to_string());
+            }
+            if bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            let key_start = i;
+            while i < bytes.len() && bytes[i] != b'=' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err("label without '='".to_string());
+            }
+            let key = &line[key_start..i];
+            if !valid_label(key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            i += 1; // '='
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return Err("label value must be double-quoted".to_string());
+            }
+            i += 1; // opening quote
+            let mut value = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err("unterminated label value".to_string());
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        if i >= bytes.len() {
+                            return Err("dangling escape in label value".to_string());
+                        }
+                        match bytes[i] {
+                            b'"' => value.push('"'),
+                            b'\\' => value.push('\\'),
+                            b'n' => value.push('\n'),
+                            other => {
+                                return Err(format!(
+                                    "bad escape \\{} in label value",
+                                    other as char
+                                ))
+                            }
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        // Advance one whole UTF-8 scalar, not one byte.
+                        let ch = line[i..].chars().next().expect("in-bounds char");
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            labels.push((key.to_string(), value));
+            if i < bytes.len() && bytes[i] == b',' {
+                i += 1;
+            }
+        }
+    }
+    if i >= bytes.len() || bytes[i] != b' ' {
+        return Err("missing space before sample value".to_string());
+    }
+    let rest = line[i + 1..].trim();
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| "missing sample value".to_string())?;
+    // An optional integer timestamp may follow the value; anything further
+    // is garbage.
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("trailing garbage {ts:?} after sample value"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after timestamp".to_string());
+    }
+    if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+        return Err(format!("sample value {value:?} is not a number"));
+    }
+    Ok((name.to_string(), labels, value.to_string()))
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn registry_output_validates() {
+        let r = Registry::new();
+        r.counter("served_total", "Requests served.").add(3);
+        r.counter_with("replies_total", "By status.", &[("status", "ok")])
+            .inc();
+        r.gauge("queue_depth", "Jobs waiting.").set(2);
+        let h = r.histogram("latency_us", "Latency.");
+        h.record_value(3);
+        h.record_value(5000);
+        h.record_value(u64::MAX);
+        validate_prometheus(&r.prometheus_text()).expect("registry output must validate");
+    }
+
+    #[test]
+    fn empty_input_validates() {
+        validate_prometheus("").unwrap();
+    }
+
+    #[test]
+    fn sample_without_type_header_fails() {
+        let err = validate_prometheus("orphan_total 3\n").unwrap_err();
+        assert!(err.contains("no preceding # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_line_numbers() {
+        let cases = [
+            ("# TYPE ok counter\nok 1\nbad name 2\n", "line 3"),
+            ("# TYPE ok counter\nok notanumber\n", "not a number"),
+            ("# TYPE ok counter\nok{unclosed=\"v 1\n", "unterminated"),
+            ("# TYPE ok counter\nok{k=\"v\"}1\n", "missing space"),
+            ("# TYPE ok wat\n", "unknown metric type"),
+            ("# TYPE ok counter\n# TYPE ok counter\n", "duplicate TYPE"),
+            ("# TYPE ok counter\nok 1 12345 extra\n", "trailing garbage"),
+        ];
+        for (text, needle) in cases {
+            let err = validate_prometheus(text).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in {err:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_without_inf_bucket_fails() {
+        let text = "# TYPE lat histogram\n\
+                    lat_bucket{le=\"1\"} 1\n\
+                    lat_sum 1\n\
+                    lat_count 1\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn histogram_with_decreasing_buckets_fails() {
+        let text = "# TYPE lat histogram\n\
+                    lat_bucket{le=\"1\"} 5\n\
+                    lat_bucket{le=\"2\"} 3\n\
+                    lat_bucket{le=\"+Inf\"} 5\n\
+                    lat_sum 9\n\
+                    lat_count 5\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn histogram_inf_count_mismatch_fails() {
+        let text = "# TYPE lat histogram\n\
+                    lat_bucket{le=\"+Inf\"} 4\n\
+                    lat_sum 9\n\
+                    lat_count 5\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn escaped_label_values_parse() {
+        let text = "# TYPE c counter\nc{path=\"a\\\"b\\\\c\\nd\"} 1\n";
+        validate_prometheus(text).unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_accepted() {
+        let text = "# TYPE c counter\nc 1 1712345678\n";
+        validate_prometheus(text).unwrap();
+    }
+}

@@ -1,0 +1,521 @@
+//! Named metric families with label support and dual exposition.
+//!
+//! A [`Registry`] owns *families* (one per metric name), each holding one or
+//! more *series* (one per label set). Handles ([`Counter`], [`Gauge`],
+//! [`Arc<Histogram>`](crate::Histogram)) are cheap atomically-updated clones:
+//! registration takes the registry lock once, after which the hot path is a
+//! single relaxed atomic op with no locking. Registering the same
+//! `(name, labels)` pair again returns a handle to the *existing* series, so
+//! independent components can share a metric without coordinating;
+//! registering a name with a different metric kind is a programmer error and
+//! panics.
+//!
+//! Two exposition formats cover the two consumers in this repo:
+//! [`Registry::prometheus_text`] renders the standard text format (counters,
+//! gauges, and cumulative `_bucket`/`_sum`/`_count` histogram lines ending
+//! in `le="+Inf"`), and [`Registry::json_snapshot`] renders a deterministic
+//! JSON object for line-protocol replies and bench records.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, BUCKETS};
+
+/// A monotonically increasing counter handle.
+///
+/// Clones share the same underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways (queue depth, workers).
+///
+/// Clones share the same underlying cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current gauge value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn prom_name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Value(Arc<AtomicU64>),
+    Hist(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A collection of metric families; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global default registry.
+    ///
+    /// Components that need isolation (one daemon per test) should own a
+    /// `Registry` instead; the global exists for one-shot tools like the
+    /// CLI where plumbing a registry through every layer buys nothing.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    ///
+    /// # Panics
+    /// If `name` is not a valid metric name, or is already registered as a
+    /// different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter with the given label set.
+    ///
+    /// # Panics
+    /// If `name` or a label name is invalid, or `name` is already
+    /// registered as a different kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, Kind::Counter, labels) {
+            Cell::Value(cell) => Counter { cell },
+            Cell::Hist(_) => unreachable!("counter family holds value cells"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    ///
+    /// # Panics
+    /// If `name` is not a valid metric name, or is already registered as a
+    /// different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge with the given label set.
+    ///
+    /// # Panics
+    /// If `name` or a label name is invalid, or `name` is already
+    /// registered as a different kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, Kind::Gauge, labels) {
+            Cell::Value(cell) => Gauge { cell },
+            Cell::Hist(_) => unreachable!("gauge family holds value cells"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    ///
+    /// # Panics
+    /// If `name` is not a valid metric name, or is already registered as a
+    /// different kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a histogram with the given label set.
+    ///
+    /// # Panics
+    /// If `name` or a label name is invalid, or `name` is already
+    /// registered as a different kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, Kind::Histogram, labels) {
+            Cell::Hist(h) => h,
+            Cell::Value(_) => unreachable!("histogram family holds histogram cells"),
+        }
+    }
+
+    fn register(&self, name: &str, help: &str, kind: Kind, labels: &[(&str, &str)]) -> Cell {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?} on {name}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric {name} already registered as {} (requested {})",
+                    f.kind.prom_name(),
+                    kind.prom_name()
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            return series.cell.clone();
+        }
+        let cell = match kind {
+            Kind::Counter | Kind::Gauge => Cell::Value(Arc::new(AtomicU64::new(0))),
+            Kind::Histogram => Cell::Hist(Arc::new(Histogram::new())),
+        };
+        family.series.push(Series {
+            labels,
+            cell: cell.clone(),
+        });
+        cell
+    }
+
+    fn snapshot(&self) -> Vec<Family> {
+        let mut families = self.families.lock().expect("registry poisoned").clone();
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        families
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    ///
+    /// Each family gets `# HELP` and `# TYPE` headers followed by one
+    /// sample line per series. Histograms render the standard cumulative
+    /// `name_bucket{le="..."}` lines (bounds `2^0 .. 2^(BUCKETS-2)`; the
+    /// final clamp bucket folds into `le="+Inf"` so cumulative counts stay
+    /// exact) plus `name_sum` and `name_count`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for family in self.snapshot() {
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                family.name,
+                escape_help(&family.help)
+            ));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                family.name,
+                family.kind.prom_name()
+            ));
+            for series in &family.series {
+                match &series.cell {
+                    Cell::Value(v) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            v.load(Ordering::Relaxed)
+                        ));
+                    }
+                    Cell::Hist(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        for (i, c) in counts.iter().enumerate().take(BUCKETS - 1) {
+                            cumulative += c;
+                            let le = Histogram::bucket_bound(i).to_string();
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                family.name,
+                                render_labels(&series.labels, Some(&le)),
+                                cumulative
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, Some("+Inf")),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            h.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every family as one deterministic JSON object.
+    ///
+    /// Counters and gauges become `"name{labels}": value` number members;
+    /// each histogram series becomes an object member with `count`, `sum`,
+    /// `max`, `p50`, `p95`, and `p99`. Families are sorted by name, so the
+    /// output is byte-stable for a given registry state.
+    pub fn json_snapshot(&self) -> String {
+        let mut members: Vec<String> = Vec::new();
+        for family in self.snapshot() {
+            for series in &family.series {
+                let key = format!("{}{}", family.name, render_labels(&series.labels, None));
+                match &series.cell {
+                    Cell::Value(v) => {
+                        members.push(format!(
+                            "{}:{}",
+                            json_string(&key),
+                            v.load(Ordering::Relaxed)
+                        ));
+                    }
+                    Cell::Hist(h) => {
+                        members.push(format!(
+                            "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                            json_string(&key),
+                            h.count(),
+                            h.sum(),
+                            h.max(),
+                            h.percentile(50.0),
+                            h.percentile(95.0),
+                            h.percentile(99.0),
+                        ));
+                    }
+                }
+            }
+        }
+        format!("{{{}}}", members.join(","))
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders `{k="v",...}` (empty string for no labels), optionally with a
+/// trailing `le` label appended for histogram bucket lines.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_series_across_registrations() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "Requests seen.");
+        let b = r.counter("requests_total", "ignored on re-registration");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        let ok = r.counter_with("replies_total", "Replies by status.", &[("status", "ok")]);
+        let err = r.counter_with("replies_total", "Replies by status.", &[("status", "err")]);
+        ok.add(5);
+        err.inc();
+        assert_eq!(ok.get(), 5);
+        assert_eq!(err.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("mixed", "first as counter");
+        let _ = r.gauge("mixed", "then as gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        let r = Registry::new();
+        let _ = r.counter("bad name", "spaces are not allowed");
+    }
+
+    #[test]
+    fn prometheus_text_renders_headers_and_samples() {
+        let r = Registry::new();
+        r.counter("served_total", "Requests served.").add(7);
+        r.gauge("queue_depth", "Jobs waiting.").set(3);
+        let text = r.prometheus_text();
+        assert!(text.contains("# HELP served_total Requests served.\n"));
+        assert!(text.contains("# TYPE served_total counter\n"));
+        assert!(text.contains("served_total 7\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\n"));
+        assert!(text.contains("queue_depth 3\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_end_in_inf() {
+        let r = Registry::new();
+        let h = r.histogram("latency_us", "Request latency in microseconds.");
+        h.record_value(3); // bucket le="4"
+        h.record_value(3);
+        h.record_value(u64::MAX); // clamp bucket -> only visible at +Inf
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE latency_us histogram\n"));
+        assert!(text.contains("latency_us_bucket{le=\"2\"} 0\n"));
+        assert!(text.contains("latency_us_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("latency_us_count 3\n"));
+        assert!(text.lines().any(|l| l.starts_with("latency_us_sum ")));
+        // Cumulative counts never decrease across bucket lines.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("latency_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("b_total", "b").inc();
+        r.counter("a_total", "a").add(2);
+        let h = r.histogram_with("lat", "lat", &[("phase", "map")]);
+        h.record_value(3);
+        let snap = r.json_snapshot();
+        assert_eq!(
+            snap,
+            "{\"a_total\":2,\"b_total\":1,\"lat{phase=\\\"map\\\"}\":{\"count\":1,\"sum\":3,\"max\":3,\"p50\":4,\"p95\":4,\"p99\":4}}"
+        );
+        assert_eq!(snap, r.json_snapshot());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("c_total", "c", &[("path", "a\"b\\c")]).inc();
+        let text = r.prometheus_text();
+        assert!(text.contains("c_total{path=\"a\\\"b\\\\c\"} 1\n"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = Registry::global().counter("obs_global_probe_total", "probe");
+        let b = Registry::global().counter("obs_global_probe_total", "probe");
+        a.inc();
+        assert_eq!(b.get(), a.get());
+    }
+}

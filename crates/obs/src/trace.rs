@@ -1,0 +1,574 @@
+//! Structured tracing: typed events, sinks, a bounded ring, span timers.
+//!
+//! Emitters talk to a [`TraceSink`]; the contract that keeps the scheduling
+//! kernel honest is [`TraceSink::enabled`]: every instrumentation site must
+//! check it (or hold an `Option<sink>`) *before* doing any work — no
+//! `Instant::now()`, no formatting, no allocation on the disabled path. The
+//! driver's inner loop runs millions of times in a Monte-Carlo study;
+//! tracing that costs anything when off would show up immediately in
+//! `BENCH_kernel.json`.
+//!
+//! Three sinks cover the stack: [`NullSink`] (always disabled — the default
+//! wired through `try_run_in`), [`VecSink`] (collects everything; tests and
+//! the one-shot `nonmakespan trace` CLI), and [`TraceBuffer`] (a bounded
+//! ring a long-running daemon keeps — old events are overwritten, a
+//! `TRACE` request snapshots the survivors in order).
+//!
+//! Events are plain-old-data over raw `u32`/`u64`/`f64` so this crate stays
+//! below `hcs-core` in the dependency graph; the driver converts its typed
+//! ids at the emission site. [`TraceEvent::to_json_line`] renders one JSONL
+//! record per event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One structured trace event; see each variant for the emission site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The iterative driver is about to run the inner heuristic on the
+    /// surviving scenario (emitted once per round, before mapping).
+    RoundStart {
+        /// Zero-based round index.
+        round: u32,
+        /// Machines still alive (unfrozen) this round.
+        machines: u32,
+        /// Tasks still unassigned this round.
+        tasks: u32,
+    },
+    /// The round's mapping finished and its makespan machine was picked.
+    RoundEnd {
+        /// Zero-based round index.
+        round: u32,
+        /// Machine (original id) with the largest completion time.
+        makespan_machine: u32,
+        /// That machine's completion time.
+        makespan: f64,
+        /// min/max over the round's machine completion times (1.0 when the
+        /// makespan is 0): the paper's balance index applied to one round.
+        balance_index: f64,
+    },
+    /// A machine was frozen at the end of a round.
+    MachineFrozen {
+        /// Zero-based round index.
+        round: u32,
+        /// Frozen machine's original id.
+        machine: u32,
+        /// Its final (frozen) completion time.
+        finish: f64,
+    },
+    /// Per-machine comparison of the first round's finish time against the
+    /// frozen final finish time (emitted once per machine after the loop).
+    FinishDelta {
+        /// Machine's original id.
+        machine: u32,
+        /// Finish time in the original (round 0) mapping.
+        original: f64,
+        /// Frozen finish time after the iterative technique.
+        final_finish: f64,
+    },
+    /// Kernel phase timing for one round (only when kernel timing is on).
+    KernelPhases {
+        /// Zero-based round index.
+        round: u32,
+        /// Time spent scanning candidates (`refresh`), in microseconds.
+        scan_us: u64,
+        /// Time spent committing assignments, in microseconds.
+        commit_us: u64,
+        /// Time spent invalidating stale cache rows, in microseconds.
+        invalidate_us: u64,
+    },
+    /// A heuristic committed one task to one machine.
+    TaskCommitted {
+        /// Task id.
+        task: u32,
+        /// Machine id (within the current scenario).
+        machine: u32,
+    },
+    /// The service answered a MAP request from the result cache.
+    CacheHit {
+        /// The request's instance digest.
+        digest: u64,
+    },
+    /// A service worker finished one request (timing breakdown).
+    WorkerServe {
+        /// Time the job waited in the queue, in microseconds.
+        queue_wait_us: u64,
+        /// Time spent mapping (including serialization), in microseconds.
+        map_us: u64,
+    },
+    /// A scoped span closed (see [`SpanTimer`]).
+    Span {
+        /// Static phase name given to the timer.
+        phase: &'static str,
+        /// Wall time between open and close, in microseconds.
+        elapsed_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable name of the variant (the JSONL `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundStart { .. } => "round_start",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::MachineFrozen { .. } => "machine_frozen",
+            TraceEvent::FinishDelta { .. } => "finish_delta",
+            TraceEvent::KernelPhases { .. } => "kernel_phases",
+            TraceEvent::TaskCommitted { .. } => "task_committed",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::WorkerServe { .. } => "worker_serve",
+            TraceEvent::Span { .. } => "span",
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline):
+    /// `{"seq":N,"event":"...",...fields}`.
+    ///
+    /// The cache digest is rendered as a hex *string* because a u64
+    /// exceeds f64 integer precision and would be silently mangled by
+    /// JSON consumers that parse numbers as doubles.
+    pub fn to_json_line(&self, seq: u64) -> String {
+        let mut out = format!("{{\"seq\":{seq},\"event\":\"{}\"", self.kind());
+        match self {
+            TraceEvent::RoundStart {
+                round,
+                machines,
+                tasks,
+            } => {
+                out.push_str(&format!(
+                    ",\"round\":{round},\"machines\":{machines},\"tasks\":{tasks}"
+                ));
+            }
+            TraceEvent::RoundEnd {
+                round,
+                makespan_machine,
+                makespan,
+                balance_index,
+            } => {
+                out.push_str(&format!(
+                    ",\"round\":{round},\"makespan_machine\":{makespan_machine},\"makespan\":{},\"balance_index\":{}",
+                    fmt_f64(*makespan),
+                    fmt_f64(*balance_index)
+                ));
+            }
+            TraceEvent::MachineFrozen {
+                round,
+                machine,
+                finish,
+            } => {
+                out.push_str(&format!(
+                    ",\"round\":{round},\"machine\":{machine},\"finish\":{}",
+                    fmt_f64(*finish)
+                ));
+            }
+            TraceEvent::FinishDelta {
+                machine,
+                original,
+                final_finish,
+            } => {
+                out.push_str(&format!(
+                    ",\"machine\":{machine},\"original\":{},\"final\":{}",
+                    fmt_f64(*original),
+                    fmt_f64(*final_finish)
+                ));
+            }
+            TraceEvent::KernelPhases {
+                round,
+                scan_us,
+                commit_us,
+                invalidate_us,
+            } => {
+                out.push_str(&format!(
+                    ",\"round\":{round},\"scan_us\":{scan_us},\"commit_us\":{commit_us},\"invalidate_us\":{invalidate_us}"
+                ));
+            }
+            TraceEvent::TaskCommitted { task, machine } => {
+                out.push_str(&format!(",\"task\":{task},\"machine\":{machine}"));
+            }
+            TraceEvent::CacheHit { digest } => {
+                out.push_str(&format!(",\"digest\":\"{digest:016x}\""));
+            }
+            TraceEvent::WorkerServe {
+                queue_wait_us,
+                map_us,
+            } => {
+                out.push_str(&format!(
+                    ",\"queue_wait_us\":{queue_wait_us},\"map_us\":{map_us}"
+                ));
+            }
+            TraceEvent::Span { phase, elapsed_us } => {
+                out.push_str(&format!(
+                    ",\"phase\":\"{phase}\",\"elapsed_us\":{elapsed_us}"
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a finite f64 so it round-trips through JSON number parsers;
+/// non-finite values (never produced by a valid schedule, but a trace must
+/// not panic) fall back to null.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Destination for [`TraceEvent`]s.
+///
+/// Implementations must be thread-safe: the service's worker pool shares
+/// one sink. Emitters are required to check [`TraceSink::enabled`] before
+/// doing any per-event work (clock reads, formatting), which is what makes
+/// disabled tracing cost a single branch.
+pub trait TraceSink: Send + Sync {
+    /// Whether events will be kept. Emitters skip all work when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. May drop (ring overflow) but must not block
+    /// beyond a short critical section.
+    fn emit(&self, event: TraceEvent);
+}
+
+/// The always-disabled sink; the default for every untraced entry point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: TraceEvent) {}
+}
+
+/// A sink that keeps every event, in order. For tests and one-shot CLI
+/// runs where the event count is bounded by the instance size.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+
+    /// Clones everything recorded so far, leaving the sink intact.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&self, event: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+}
+
+/// A bounded ring of recent events for long-running daemons.
+///
+/// Writers claim a slot with one atomic `fetch_add` on the head counter —
+/// so writers never contend on a shared lock — then copy the event into
+/// that slot under the slot's own mutex (uncontended unless the ring wraps
+/// onto a concurrent reader or a writer lapped a full revolution). Old
+/// events are overwritten once the ring is full; [`TraceBuffer::snapshot`]
+/// returns the survivors in emission order. Capacity 0 disables the sink
+/// entirely ([`TraceSink::enabled`] returns `false`).
+#[derive(Debug)]
+pub struct TraceBuffer {
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<(u64, TraceEvent)>>>,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events (0 disables tracing).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Total number of events ever emitted (including overwritten ones).
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The surviving events with their sequence numbers, oldest first.
+    pub fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
+        let mut out: Vec<(u64, TraceEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("trace slot poisoned").clone())
+            .collect();
+        out.sort_by_key(|(seq, _)| *seq);
+        out
+    }
+
+    /// Drops all recorded events (the sequence counter keeps advancing).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().expect("trace slot poisoned") = None;
+        }
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("trace slot poisoned") = Some((seq, event));
+    }
+}
+
+/// A scoped timer that emits [`TraceEvent::Span`] when dropped.
+///
+/// Construction checks the sink once: with a disabled sink no clock is
+/// read and the drop is a no-op, preserving the zero-cost contract.
+pub struct SpanTimer<'a> {
+    sink: &'a dyn TraceSink,
+    phase: &'static str,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Opens a span named `phase` against `sink`.
+    pub fn start(sink: &'a dyn TraceSink, phase: &'static str) -> Self {
+        let start = sink.enabled().then(Instant::now);
+        Self { sink, phase, start }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.sink.emit(TraceEvent::Span {
+                phase: self.phase,
+                elapsed_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanTimer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanTimer")
+            .field("phase", &self.phase)
+            .field("active", &self.start.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.emit(TraceEvent::TaskCommitted {
+            task: 0,
+            machine: 0,
+        });
+    }
+
+    #[test]
+    fn vec_sink_preserves_order() {
+        let sink = VecSink::new();
+        for task in 0..5 {
+            sink.emit(TraceEvent::TaskCommitted { task, machine: 0 });
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(
+                *e,
+                TraceEvent::TaskCommitted {
+                    task: i as u32,
+                    machine: 0
+                }
+            );
+        }
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_order() {
+        let ring = TraceBuffer::new(4);
+        for task in 0..10u32 {
+            ring.emit(TraceEvent::TaskCommitted { task, machine: 0 });
+        }
+        assert_eq!(ring.emitted(), 10);
+        let survivors = ring.snapshot();
+        assert_eq!(survivors.len(), 4);
+        let tasks: Vec<u32> = survivors
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::TaskCommitted { task, .. } => *task,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(tasks, vec![6, 7, 8, 9]);
+        assert_eq!(survivors[0].0, 6);
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_disabled() {
+        let ring = TraceBuffer::new(0);
+        assert!(!ring.enabled());
+        ring.emit(TraceEvent::CacheHit { digest: 1 });
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.emitted(), 0);
+    }
+
+    #[test]
+    fn concurrent_ring_writes_keep_every_sequence_unique() {
+        let ring = Arc::new(TraceBuffer::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        ring.emit(TraceEvent::TaskCommitted {
+                            task: t * 100 + i,
+                            machine: t,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.emitted(), 400);
+        let survivors = ring.snapshot();
+        assert_eq!(survivors.len(), 64);
+        let mut seqs: Vec<u64> = survivors.iter().map(|(s, _)| *s).collect();
+        let unique_before = seqs.len();
+        seqs.dedup();
+        assert_eq!(seqs.len(), unique_before, "sequence numbers must be unique");
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "snapshot sorted by seq"
+        );
+    }
+
+    #[test]
+    fn span_timer_emits_on_drop_only_when_enabled() {
+        let sink = VecSink::new();
+        {
+            let _span = SpanTimer::start(&sink, "map");
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TraceEvent::Span { phase: "map", .. }));
+
+        let null = NullSink;
+        {
+            let span = SpanTimer::start(&null, "map");
+            assert!(
+                span.start.is_none(),
+                "no clock read against a disabled sink"
+            );
+        }
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let events = [
+            TraceEvent::RoundStart {
+                round: 0,
+                machines: 8,
+                tasks: 16,
+            },
+            TraceEvent::RoundEnd {
+                round: 0,
+                makespan_machine: 3,
+                makespan: 45.5,
+                balance_index: 0.75,
+            },
+            TraceEvent::MachineFrozen {
+                round: 0,
+                machine: 3,
+                finish: 45.5,
+            },
+            TraceEvent::FinishDelta {
+                machine: 1,
+                original: 30.0,
+                final_finish: 28.0,
+            },
+            TraceEvent::KernelPhases {
+                round: 1,
+                scan_us: 10,
+                commit_us: 5,
+                invalidate_us: 2,
+            },
+            TraceEvent::TaskCommitted {
+                task: 7,
+                machine: 2,
+            },
+            TraceEvent::CacheHit {
+                digest: 0xdead_beef_0123_4567,
+            },
+            TraceEvent::WorkerServe {
+                queue_wait_us: 12,
+                map_us: 340,
+            },
+            TraceEvent::Span {
+                phase: "serialize",
+                elapsed_us: 9,
+            },
+        ];
+        for (seq, event) in events.iter().enumerate() {
+            let line = event.to_json_line(seq as u64);
+            assert!(line.starts_with(&format!("{{\"seq\":{seq},\"event\":\"")));
+            assert!(line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(!line.contains('\n'));
+            assert!(line.contains(event.kind()));
+        }
+        assert!(events[6]
+            .to_json_line(0)
+            .contains("\"digest\":\"deadbeef01234567\""));
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let line = TraceEvent::RoundEnd {
+            round: 0,
+            makespan_machine: 0,
+            makespan: f64::NAN,
+            balance_index: f64::INFINITY,
+        }
+        .to_json_line(0);
+        assert!(line.contains("\"makespan\":null"));
+        assert!(line.contains("\"balance_index\":null"));
+    }
+}

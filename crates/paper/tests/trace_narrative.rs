@@ -1,0 +1,186 @@
+//! The trace stream must retell the paper's story: for every reconstructed
+//! worked example, the per-round `RoundEnd` events (makespan machine,
+//! makespan, balance index) and the final `FinishDelta` events must agree
+//! with the narrative tables the example encodes (`expected_original`,
+//! `expected_final`).
+
+use std::sync::Arc;
+
+use hcs_core::obs::{TraceEvent, TraceSink, VecSink};
+use hcs_core::{iterative, IterativeConfig, MapWorkspace};
+use hcs_paper::all_examples;
+
+/// Runs an example along the paper's tie path with a sink attached.
+fn traced_events(example: &hcs_paper::PaperExample) -> Vec<TraceEvent> {
+    let mut heuristic = example.make_heuristic();
+    let mut tb = example.tie_breaker();
+    let mut ws = MapWorkspace::new();
+    let sink = Arc::new(VecSink::new());
+    let dyn_sink: Arc<dyn TraceSink> = Arc::clone(&sink) as _;
+    iterative::try_run_in_traced(
+        &mut *heuristic,
+        &example.scenario(),
+        &mut tb,
+        IterativeConfig::default(),
+        &mut ws,
+        &dyn_sink,
+    )
+    .expect("paper example runs cleanly");
+    sink.take()
+}
+
+#[test]
+fn round_zero_trace_matches_the_narrative_tables() {
+    for example in all_examples() {
+        let events = traced_events(&example);
+
+        // Round 0's RoundEnd must report exactly the original mapping the
+        // paper tabulates: its makespan, the machine attaining it, and the
+        // balance index min/max of the tabulated completion times.
+        let expected_makespan = example
+            .expected_original
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let expected_machine = example
+            .expected_original
+            .iter()
+            .position(|&t| t == expected_makespan)
+            .expect("makespan machine in table") as u32;
+        let expected_balance = example
+            .expected_original
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            / expected_makespan;
+
+        let round0 = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::RoundEnd {
+                    round: 0,
+                    makespan_machine,
+                    makespan,
+                    balance_index,
+                } => Some((*makespan_machine, *makespan, *balance_index)),
+                _ => None,
+            })
+            .expect("round 0 must emit a RoundEnd");
+        assert_eq!(
+            round0.0, expected_machine,
+            "{}: wrong makespan machine in trace",
+            example.id
+        );
+        assert_eq!(
+            round0.1, expected_makespan,
+            "{}: wrong round-0 makespan in trace",
+            example.id
+        );
+        assert!(
+            (round0.2 - expected_balance).abs() < 1e-12,
+            "{}: balance index {} != narrative {}",
+            example.id,
+            round0.2,
+            expected_balance
+        );
+    }
+}
+
+#[test]
+fn balance_index_sequence_is_well_formed_per_round() {
+    for example in all_examples() {
+        let events = traced_events(&example);
+        let rounds: Vec<(u32, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundEnd {
+                    round,
+                    balance_index,
+                    ..
+                } => Some((*round, *balance_index)),
+                _ => None,
+            })
+            .collect();
+        assert!(!rounds.is_empty(), "{}: no rounds traced", example.id);
+        for (i, &(round, bi)) in rounds.iter().enumerate() {
+            assert_eq!(round as usize, i, "{}: rounds out of order", example.id);
+            assert!(
+                (0.0..=1.0).contains(&bi),
+                "{}: balance index {bi} outside [0, 1]",
+                example.id
+            );
+        }
+    }
+}
+
+#[test]
+fn finish_deltas_match_the_expected_final_table() {
+    for example in all_examples() {
+        let events = traced_events(&example);
+        let deltas: Vec<(u32, f64, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FinishDelta {
+                    machine,
+                    original,
+                    final_finish,
+                } => Some((*machine, *original, *final_finish)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            deltas.len(),
+            example.expected_final.len(),
+            "{}: one FinishDelta per machine",
+            example.id
+        );
+        for (i, &(machine, original, final_finish)) in deltas.iter().enumerate() {
+            assert_eq!(
+                machine as usize, i,
+                "{}: deltas in machine order",
+                example.id
+            );
+            assert_eq!(
+                original, example.expected_original[i],
+                "{}: m{i} original finish diverges from the narrative",
+                example.id
+            );
+            assert_eq!(
+                final_finish, example.expected_final[i],
+                "{}: m{i} final finish diverges from the narrative",
+                example.id
+            );
+        }
+    }
+}
+
+#[test]
+fn every_round_freezes_exactly_one_machine() {
+    for example in all_examples() {
+        let events = traced_events(&example);
+        let frozen: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MachineFrozen { machine, .. } => Some(*machine),
+                _ => None,
+            })
+            .collect();
+        // The driver freezes one machine per round plus the last survivor,
+        // so every machine is frozen exactly once overall.
+        let mut sorted = frozen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            frozen.len(),
+            "{}: a machine was frozen twice",
+            example.id
+        );
+        assert_eq!(
+            frozen.len(),
+            example.expected_final.len(),
+            "{}: every machine ends frozen",
+            example.id
+        );
+    }
+}

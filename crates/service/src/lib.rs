@@ -15,7 +15,9 @@
 //!   [`hcs_core::InstanceDigest`] so repeated instances cost one
 //!   computation, and
 //! * **built-in observability** ([`stats::ServiceStats`]): counters and
-//!   fixed-bucket latency percentiles over a `STATS` request.
+//!   fixed-bucket latency percentiles, backed by the shared `hcs-obs`
+//!   metrics registry, exposed as JSON over `STATS`, as Prometheus text
+//!   over `METRICS`, and as recent trace events over `TRACE`.
 //!
 //! The crate is deliberately **std-only** (no async runtime, no serde): it
 //! must build in sealed/offline environments, and a line-per-request
@@ -31,6 +33,8 @@
 //! {"etc":[[2,6],[3,4],[8,3]],"heuristic":"min-min"}
 //! {"op":"map","etc":[[1,2]],"ready":[0,0],"heuristic":"mct","iterative":true}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"trace"}
 //! {"op":"shutdown"}
 //! ```
 //!

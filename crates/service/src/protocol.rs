@@ -7,6 +7,8 @@
 //! {"op":"map","etc":[[2,4],[3,1]],"heuristic":"min-min",
 //!  "ready":[0,0],"random_ties":7,"iterative":true,"guard":false}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"trace"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -41,6 +43,10 @@ pub enum Request {
     Map(MapRequest),
     /// Return the observability snapshot.
     Stats,
+    /// Return the metrics registry in Prometheus text exposition format.
+    Metrics,
+    /// Return the daemon's recent trace events as a JSON array.
+    Trace,
     /// Drain the queue, join the workers, stop the daemon.
     Shutdown,
 }
@@ -167,6 +173,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     }
     match v.get("op").and_then(Value::as_str).unwrap_or("map") {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         "map" => parse_map(&v).map(Request::Map),
         other => Err(ProtocolError::bad_request(format!("unknown op {other:?}"))),
@@ -455,6 +463,11 @@ mod tests {
     #[test]
     fn parses_ops() {
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(parse_request(r#"{"op":"trace"}"#).unwrap(), Request::Trace);
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown

@@ -17,9 +17,16 @@
 //! zero-allocation kernel from PR 1 is amortized across every request the
 //! worker ever serves. Connection threads do the cheap work (parse,
 //! digest, cache lookup) and block on a per-request reply channel; workers
-//! do the expensive mapping. `STATS` and `SHUTDOWN` are handled inline on
-//! the connection thread — they must keep working when the queue is full,
-//! which is precisely when an operator needs them.
+//! do the expensive mapping. `STATS`, `METRICS`, `TRACE`, and `SHUTDOWN`
+//! are handled inline on the connection thread — they must keep working
+//! when the queue is full, which is precisely when an operator needs them.
+//!
+//! Observability rides on `hcs-obs`: every counter and histogram lives in
+//! the daemon's metrics registry (so `STATS` JSON and `METRICS` Prometheus
+//! text read the same cells), and workers emit `WorkerServe`/`CacheHit`
+//! events into a bounded [`TraceBuffer`] served by `TRACE`. Per-decision
+//! kernel tracing stays off the daemon's hot path — attach a sink to a
+//! `MapWorkspace` in library use or via `nonmakespan trace` instead.
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,12 +35,13 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use hcs_core::obs::{TraceBuffer, TraceEvent, TraceSink};
 use hcs_core::MapWorkspace;
 
 use crate::cache::ShardedCache;
 use crate::protocol::{self, MapRequest, MapResult, ProtocolError, Request};
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{bump, ServiceStats};
+use crate::stats::ServiceStats;
 
 /// How long a connection thread waits on a silent socket before it checks
 /// the shutdown flag again (bounds shutdown latency for idle connections).
@@ -52,6 +60,9 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cache shards (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Slots in the trace ring served by the `TRACE` verb (0 disables
+    /// tracing entirely — event emission becomes a no-op branch).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +73,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             cache_capacity: 1024,
             cache_shards: 8,
+            trace_capacity: 1024,
         }
     }
 }
@@ -70,6 +82,8 @@ impl Default for ServeConfig {
 struct Job {
     request: MapRequest,
     digest: u64,
+    /// When the connection thread enqueued the job (queue-wait metric).
+    enqueued: Instant,
     reply: mpsc::Sender<Result<Arc<MapResult>, ProtocolError>>,
 }
 
@@ -78,6 +92,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     cache: ShardedCache<MapResult>,
     stats: ServiceStats,
+    trace: Arc<TraceBuffer>,
     shutdown: AtomicBool,
     workers: usize,
     local_addr: SocketAddr,
@@ -113,6 +128,7 @@ impl Server {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             stats: ServiceStats::new(),
+            trace: Arc::new(TraceBuffer::new(config.trace_capacity)),
             shutdown: AtomicBool::new(false),
             workers,
             local_addr,
@@ -197,11 +213,22 @@ fn worker_loop(shared: &Shared) {
     // reuses the same buffers.
     let mut ws = MapWorkspace::new();
     while let Some(job) = shared.queue.pop() {
+        let queue_wait = job.enqueued.elapsed();
+        shared.stats.queue_wait.record(queue_wait);
+        let map_start = Instant::now();
         let result = protocol::execute(&job.request, &mut ws);
+        let map_time = map_start.elapsed();
+        shared.stats.map_time.record(map_time);
+        if shared.trace.enabled() {
+            shared.trace.emit(TraceEvent::WorkerServe {
+                queue_wait_us: queue_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                map_us: map_time.as_micros().min(u128::from(u64::MAX)) as u64,
+            });
+        }
         if let Ok(result) = &result {
             shared.cache.insert(job.digest, Arc::clone(result));
         }
-        bump(&shared.stats.served);
+        shared.stats.served.inc();
         // A dropped receiver just means the client went away mid-flight.
         let _ = job.reply.send(result);
     }
@@ -298,12 +325,31 @@ fn handle_line(line: &str, shared: &Shared) -> String {
     let request = match protocol::parse_request(line) {
         Ok(r) => r,
         Err(e) => {
-            bump(&shared.stats.bad_requests);
+            shared.stats.bad_requests.inc();
             return e.to_line();
         }
     };
     match request {
         Request::Stats => shared.stats.to_line(shared.queue.len(), shared.workers),
+        Request::Metrics => {
+            let text = shared
+                .stats
+                .prometheus_text(shared.queue.len(), shared.workers);
+            crate::json::ObjectBuilder::new()
+                .field("ok", crate::json::Value::Bool(true))
+                .field("metrics", crate::json::Value::String(text))
+                .build()
+                .to_string()
+        }
+        Request::Trace => {
+            let events: Vec<String> = shared
+                .trace
+                .snapshot()
+                .into_iter()
+                .map(|(seq, event)| event.to_json_line(seq))
+                .collect();
+            format!("{{\"ok\":true,\"events\":[{}]}}", events.join(","))
+        }
         Request::Shutdown => {
             shared.begin_shutdown();
             crate::json::ObjectBuilder::new()
@@ -316,27 +362,40 @@ fn handle_line(line: &str, shared: &Shared) -> String {
     }
 }
 
+/// Renders a reply line while recording serialization time.
+fn render_reply(shared: &Shared, result: &MapResult, cached: bool) -> String {
+    let start = Instant::now();
+    let line = result.to_line(cached);
+    shared.stats.serialize.record(start.elapsed());
+    line
+}
+
 fn handle_map(request: MapRequest, shared: &Shared) -> String {
-    bump(&shared.stats.submitted);
+    shared.stats.submitted.inc();
     let start = Instant::now();
     let digest = request.digest();
 
     if let Some(hit) = shared.cache.get(digest) {
-        bump(&shared.stats.cache_hits);
+        shared.stats.cache_hits.inc();
+        if shared.trace.enabled() {
+            shared.trace.emit(TraceEvent::CacheHit { digest });
+        }
+        let line = render_reply(shared, &hit, true);
         shared.stats.latency.record(start.elapsed());
-        return hit.to_line(true);
+        return line;
     }
 
     let (tx, rx) = mpsc::channel();
     let job = Job {
         request,
         digest,
+        enqueued: Instant::now(),
         reply: tx,
     };
     match shared.queue.try_push(job) {
         Ok(()) => {}
         Err(PushError::Full) => {
-            bump(&shared.stats.rejected);
+            shared.stats.rejected.inc();
             return ProtocolError {
                 code: 503,
                 message: "queue full".into(),
@@ -344,7 +403,7 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
             .to_line();
         }
         Err(PushError::Closed) => {
-            bump(&shared.stats.rejected);
+            shared.stats.rejected.inc();
             return ProtocolError {
                 code: 503,
                 message: "shutting down".into(),
@@ -354,8 +413,9 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
     }
     match rx.recv() {
         Ok(Ok(result)) => {
+            let line = render_reply(shared, &result, false);
             shared.stats.latency.record(start.elapsed());
-            result.to_line(false)
+            line
         }
         Ok(Err(e)) => e.to_line(),
         // Worker pool gone before computing the job (only possible when a

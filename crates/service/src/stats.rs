@@ -1,4 +1,5 @@
-//! Built-in observability: request counters and latency histograms.
+//! Built-in observability: request counters and latency histograms, backed
+//! by the shared [`hcs_obs`] metrics [`Registry`].
 //!
 //! All counters are relaxed atomics — they are monotone event counts whose
 //! exact interleaving does not matter, only their totals. The accounting
@@ -12,139 +13,206 @@
 //! (malformed lines are counted separately as `bad_requests` and never
 //! enter the pipeline).
 //!
+//! # Binning during `SHUTDOWN`
+//!
+//! The invariant holds *through* shutdown, not just at steady state.
+//! `SHUTDOWN` closes the queue, which splits in-flight work into exactly
+//! two populations:
+//!
+//! * requests **accepted before the close** stay in the queue; workers
+//!   drain and answer them, so they are binned `served` (or `cache_hits`
+//!   if the lookup happened before enqueueing). A drained-then-served
+//!   request is indistinguishable in the stats from one served before
+//!   shutdown was requested — draining does not create a fourth bin.
+//! * requests **arriving after the close** fail the push and are binned
+//!   `rejected` (the client sees a 503).
+//!
+//! Since every submitted request either made it into the queue or did not,
+//! the three bins still partition `submitted` exactly; the loopback test
+//! `shutdown_drains_accepted_work` asserts this.
+//!
 //! Latencies are recorded in microseconds into fixed power-of-two buckets
-//! (1 µs … ~67 s), so recording is one `fetch_add` with no locks and no
-//! allocation; percentiles are read out as the upper bound of the bucket
-//! where the cumulative count crosses the rank. That quantizes p50/p95/p99
-//! to 2× resolution — plenty for a load shedder's dashboard, and immune to
-//! the reservoir-sampling bias a sampled exact-percentile sketch has under
-//! bursty load.
+//! (1 µs … ~67 s) — see [`Histogram`] in `hcs-obs`, where the service's
+//! original histogram now lives — so recording is one `fetch_add` with no
+//! locks and no allocation; percentiles are read out as the upper bound of
+//! the bucket where the cumulative count crosses the rank. That quantizes
+//! p50/p95/p99 to 2× resolution — plenty for a load shedder's dashboard,
+//! and immune to the reservoir-sampling bias a sampled exact-percentile
+//! sketch has under bursty load.
+//!
+//! Every metric is registered in a per-daemon [`Registry`], so the same
+//! numbers back both the `STATS` JSON reply ([`ServiceStats::to_line`])
+//! and the `METRICS` Prometheus text reply
+//! ([`ServiceStats::prometheus_text`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+
+use hcs_obs::{Counter, Gauge, Registry};
 
 use crate::json::{ObjectBuilder, Value};
 
 /// Number of histogram buckets: bucket `i` holds samples `<= 2^i` µs.
-pub const BUCKETS: usize = 27;
+pub use hcs_obs::BUCKETS;
 
 /// Lock-free fixed-bucket latency histogram (microsecond resolution).
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// A fresh, empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one sample.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Upper bound (µs) of the bucket containing the `p`-th percentile
-    /// (`p` in `(0, 100]`), or 0 with no samples.
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << i;
-            }
-        }
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Largest recorded sample in µs.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    fn to_json(&self) -> Value {
-        ObjectBuilder::new()
-            .field("count", Value::Number(self.count() as f64))
-            .field("p50_us", Value::Number(self.percentile_us(50.0) as f64))
-            .field("p95_us", Value::Number(self.percentile_us(95.0) as f64))
-            .field("p99_us", Value::Number(self.percentile_us(99.0) as f64))
-            .field("max_us", Value::Number(self.max_us() as f64))
-            .build()
-    }
-}
+///
+/// This is now the shared [`hcs_obs::Histogram`]; the old service-local
+/// name is kept as an alias so existing imports keep compiling.
+pub use hcs_obs::Histogram as LatencyHistogram;
 
 /// The daemon's counters; one instance shared by every thread.
-#[derive(Debug, Default)]
+///
+/// All handles are registered in an owned [`Registry`] (one per daemon, so
+/// concurrent daemons in tests never share counters). The handles are
+/// cheap atomic cells — the registry lock is only taken at construction
+/// and exposition time, never on the request path.
+#[derive(Debug)]
 pub struct ServiceStats {
+    registry: Registry,
     /// Valid map requests received (before queueing / cache lookup).
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Requests computed by a worker.
-    pub served: AtomicU64,
+    pub served: Counter,
     /// Requests answered from the digest cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Requests shed because the queue was full or closing.
-    pub rejected: AtomicU64,
+    pub rejected: Counter,
     /// Lines that failed protocol validation (never submitted).
-    pub bad_requests: AtomicU64,
+    pub bad_requests: Counter,
+    /// Jobs waiting in the queue (sampled at exposition time).
+    queue_depth: Gauge,
+    /// Configured worker-thread count.
+    workers: Gauge,
     /// End-to-end latency of answered map requests (queue wait + compute
     /// for misses; lookup only for hits).
-    pub latency: LatencyHistogram,
+    pub latency: Arc<LatencyHistogram>,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue_wait: Arc<LatencyHistogram>,
+    /// Time workers spent inside the mapping kernel.
+    pub map_time: Arc<LatencyHistogram>,
+    /// Time workers spent serializing the reply line.
+    pub serialize: Arc<LatencyHistogram>,
 }
 
-/// One relaxed increment.
-pub fn bump(counter: &AtomicU64) {
-    counter.fetch_add(1, Ordering::Relaxed);
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServiceStats {
-    /// A zeroed stats block.
+    /// A zeroed stats block with every metric registered.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let submitted = registry.counter(
+            "hcs_requests_submitted_total",
+            "Valid map requests received.",
+        );
+        let served = registry.counter(
+            "hcs_requests_served_total",
+            "Map requests computed by a worker.",
+        );
+        let cache_hits = registry.counter(
+            "hcs_cache_hits_total",
+            "Map requests answered from the digest cache.",
+        );
+        let rejected = registry.counter(
+            "hcs_requests_rejected_total",
+            "Map requests shed because the queue was full or closing.",
+        );
+        let bad_requests = registry.counter(
+            "hcs_bad_requests_total",
+            "Lines that failed protocol validation.",
+        );
+        let queue_depth = registry.gauge("hcs_queue_depth", "Jobs waiting in the queue.");
+        let workers = registry.gauge("hcs_workers", "Configured worker-thread count.");
+        let latency = registry.histogram(
+            "hcs_request_latency_us",
+            "End-to-end latency of answered map requests in microseconds.",
+        );
+        let queue_wait = registry.histogram(
+            "hcs_queue_wait_us",
+            "Time jobs waited in the queue before a worker picked them up.",
+        );
+        let map_time = registry.histogram(
+            "hcs_map_time_us",
+            "Time workers spent inside the mapping kernel.",
+        );
+        let serialize = registry.histogram(
+            "hcs_serialize_us",
+            "Time workers spent serializing reply lines.",
+        );
+        Self {
+            registry,
+            submitted,
+            served,
+            cache_hits,
+            rejected,
+            bad_requests,
+            queue_depth,
+            workers,
+            latency,
+            queue_wait,
+            map_time,
+            serialize,
+        }
     }
 
     /// Renders the `STATS` reply line. `queue_depth` and `workers` come
     /// from the server (the stats block does not know the queue).
     pub fn to_line(&self, queue_depth: usize, workers: usize) -> String {
-        let load = |c: &AtomicU64| Value::Number(c.load(Ordering::Relaxed) as f64);
+        self.queue_depth.set(queue_depth as u64);
+        self.workers.set(workers as u64);
+        let count = |c: &Counter| Value::Number(c.get() as f64);
+        let latency = ObjectBuilder::new()
+            .field("count", Value::Number(self.latency.count() as f64))
+            .field(
+                "p50_us",
+                Value::Number(self.latency.percentile(50.0) as f64),
+            )
+            .field(
+                "p95_us",
+                Value::Number(self.latency.percentile(95.0) as f64),
+            )
+            .field(
+                "p99_us",
+                Value::Number(self.latency.percentile(99.0) as f64),
+            )
+            .field("max_us", Value::Number(self.latency.max() as f64))
+            .build();
         ObjectBuilder::new()
             .field("ok", Value::Bool(true))
             .field(
                 "stats",
                 ObjectBuilder::new()
-                    .field("submitted", load(&self.submitted))
-                    .field("served", load(&self.served))
-                    .field("cache_hits", load(&self.cache_hits))
-                    .field("rejected", load(&self.rejected))
-                    .field("bad_requests", load(&self.bad_requests))
+                    .field("submitted", count(&self.submitted))
+                    .field("served", count(&self.served))
+                    .field("cache_hits", count(&self.cache_hits))
+                    .field("rejected", count(&self.rejected))
+                    .field("bad_requests", count(&self.bad_requests))
                     .field("queue_depth", Value::Number(queue_depth as f64))
                     .field("workers", Value::Number(workers as f64))
-                    .field("latency", self.latency.to_json())
+                    .field("latency", latency)
                     .build(),
             )
             .build()
             .to_string()
     }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (the `METRICS` reply body). `queue_depth` and `workers` are
+    /// sampled into their gauges first so the text is self-consistent.
+    pub fn prometheus_text(&self, queue_depth: usize, workers: usize) -> String {
+        self.queue_depth.set(queue_depth as u64);
+        self.workers.set(workers as u64);
+        self.registry.prometheus_text()
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
 
     #[test]
@@ -155,35 +223,35 @@ mod tests {
         }
         h.record(Duration::from_millis(100)); // ~1e5 µs
         assert_eq!(h.count(), 100);
-        assert_eq!(h.percentile_us(50.0), 4);
-        assert_eq!(h.percentile_us(99.0), 4);
-        assert!(h.percentile_us(100.0) >= 100_000 / 2);
-        assert!(h.max_us() >= 100_000);
+        assert_eq!(h.percentile(50.0), 4);
+        assert_eq!(h.percentile(99.0), 4);
+        assert!(h.percentile(100.0) >= 100_000 / 2);
+        assert!(h.max() >= 100_000);
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.percentile_us(50.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
         assert_eq!(h.count(), 0);
-        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.max(), 0);
     }
 
     #[test]
     fn sub_microsecond_lands_in_first_bucket() {
         let h = LatencyHistogram::new();
         h.record(Duration::from_nanos(10));
-        assert_eq!(h.percentile_us(50.0), 2); // 0 µs -> clamped to bucket 1
+        assert_eq!(h.percentile(50.0), 2); // 0 µs -> clamped to bucket 1
         assert_eq!(h.count(), 1);
     }
 
     #[test]
     fn stats_line_renders_all_counters() {
         let s = ServiceStats::new();
-        bump(&s.submitted);
-        bump(&s.submitted);
-        bump(&s.served);
-        bump(&s.cache_hits);
+        s.submitted.inc();
+        s.submitted.inc();
+        s.served.inc();
+        s.cache_hits.inc();
         s.latency.record(Duration::from_micros(100));
         let line = s.to_line(3, 4);
         let v = crate::json::parse(&line).unwrap();
@@ -197,5 +265,47 @@ mod tests {
         let lat = stats.get("latency").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(lat.get("p50_us").unwrap().as_u64(), Some(128));
+    }
+
+    #[test]
+    fn prometheus_text_covers_every_stats_counter_and_validates() {
+        let s = ServiceStats::new();
+        s.submitted.inc();
+        s.served.inc();
+        s.latency.record(Duration::from_micros(42));
+        let text = s.prometheus_text(5, 2);
+        hcs_obs::validate_prometheus(&text).expect("exposition must be valid");
+        for name in [
+            "hcs_requests_submitted_total",
+            "hcs_requests_served_total",
+            "hcs_cache_hits_total",
+            "hcs_requests_rejected_total",
+            "hcs_bad_requests_total",
+            "hcs_queue_depth",
+            "hcs_workers",
+            "hcs_request_latency_us",
+            "hcs_queue_wait_us",
+            "hcs_map_time_us",
+            "hcs_serialize_us",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing # TYPE for {name}"
+            );
+        }
+        assert!(text.contains("hcs_queue_depth 5\n"));
+        assert!(text.contains("hcs_workers 2\n"));
+        assert!(text.contains("hcs_request_latency_us_count 1\n"));
+    }
+
+    #[test]
+    fn stats_and_metrics_read_the_same_cells() {
+        let s = ServiceStats::new();
+        s.rejected.inc();
+        s.rejected.inc();
+        assert!(s.to_line(0, 1).contains("\"rejected\":2"));
+        assert!(s
+            .prometheus_text(0, 1)
+            .contains("hcs_requests_rejected_total 2\n"));
     }
 }

@@ -8,6 +8,8 @@
 //!   the per-machine deltas and a Gantt chart of the original mapping;
 //! * `examples` — summarize (or print in full) the paper's worked
 //!   examples;
+//! * `trace` — run the iterative technique with structured tracing
+//!   attached and emit the event stream as JSONL (one event per line);
 //! * `serve` — run the `hcs-service` mapping daemon until it receives a
 //!   `SHUTDOWN` request.
 //!
@@ -18,6 +20,7 @@ use std::fmt::Write as _;
 
 use argflags::{present, value as flag};
 use hcs_analysis::TextTable;
+use hcs_core::obs::{TraceSink, VecSink};
 use hcs_core::{iterative, Heuristic, IterativeConfig, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
 use hcs_genitor::Genitor;
@@ -62,6 +65,20 @@ pub enum Command {
         /// Optional example id.
         only: Option<String>,
     },
+    /// Run the iterative technique with tracing and emit JSONL events.
+    Trace {
+        /// Paper example id (`minmin`, `mct`, …) — mutually exclusive
+        /// with `csv`.
+        example: Option<String>,
+        /// CSV text of the ETC matrix (requires `heuristic`).
+        csv: Option<String>,
+        /// Heuristic name (CSV mode).
+        heuristic: Option<String>,
+        /// Tie policy (CSV mode; examples replay their scripted ties).
+        random_ties: Option<u64>,
+        /// Apply the seeding guard (CSV mode).
+        guard: bool,
+    },
     /// Run the mapping daemon until it is told to shut down.
     Serve {
         /// Daemon configuration (bind address, workers, queue, cache).
@@ -90,8 +107,10 @@ USAGE:
   nonmakespan map      --etc FILE.csv --heuristic NAME [--random-ties SEED]
   nonmakespan iterate  --etc FILE.csv --heuristic NAME [--random-ties SEED] [--guard]
   nonmakespan examples [ID]
+  nonmakespan trace    --example ID | --etc FILE.csv --heuristic NAME
+                       [--random-ties SEED] [--guard]
   nonmakespan serve    [--addr 127.0.0.1:7077] [--workers 4] [--queue-depth 256]
-                       [--cache-capacity 1024]
+                       [--cache-capacity 1024] [--trace-capacity 1024]
 
 HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
             segmented-min-min, genitor, sa, tabu, beam
@@ -160,6 +179,36 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "examples" => Ok(Command::Examples {
             only: rest.first().cloned(),
         }),
+        "trace" => {
+            let example = flag(rest, "--example");
+            let heuristic = flag(rest, "--heuristic");
+            let csv = flag(rest, "--etc")
+                .map(|path| {
+                    std::fs::read_to_string(&path)
+                        .map_err(|e| CliError(format!("cannot read {path}: {e}")))
+                })
+                .transpose()?;
+            // `--heuristic minmin` alone is shorthand for the paper example
+            // of that name, when one exists.
+            let example = match (&example, &csv, &heuristic) {
+                (None, None, Some(name)) if hcs_paper::example_by_id(name).is_some() => {
+                    Some(name.clone())
+                }
+                _ => example,
+            };
+            if example.is_none() && (csv.is_none() || heuristic.is_none()) {
+                return Err(CliError(format!(
+                    "trace requires --example ID or --etc FILE.csv --heuristic NAME\n\n{USAGE}"
+                )));
+            }
+            Ok(Command::Trace {
+                example,
+                csv,
+                heuristic,
+                random_ties,
+                guard: present(rest, "--guard"),
+            })
+        }
         "serve" => {
             let defaults = hcs_service::ServeConfig::default();
             let uint = |name: &str, default: usize| {
@@ -178,6 +227,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     queue_depth: uint("--queue-depth", defaults.queue_depth)?,
                     cache_capacity: uint("--cache-capacity", defaults.cache_capacity)?,
                     cache_shards: uint("--cache-shards", defaults.cache_shards)?,
+                    trace_capacity: uint("--trace-capacity", defaults.trace_capacity)?,
                 },
             })
         }
@@ -377,6 +427,53 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             );
             Ok(out)
         }
+        Command::Trace {
+            example,
+            csv,
+            heuristic,
+            random_ties,
+            guard,
+        } => {
+            // Resolve the run: a paper example replays its scripted ties;
+            // CSV mode mirrors `iterate`.
+            let (scenario, mut h, mut tb, config) = match example {
+                Some(id) => {
+                    let ex = hcs_paper::example_by_id(&id)
+                        .ok_or_else(|| CliError(format!("unknown example {id:?}\n\n{USAGE}")))?;
+                    (
+                        ex.scenario(),
+                        ex.make_heuristic(),
+                        ex.tie_breaker(),
+                        IterativeConfig::default(),
+                    )
+                }
+                None => {
+                    let csv = csv.expect("parse guaranteed csv in non-example mode");
+                    let name = heuristic.expect("parse guaranteed heuristic");
+                    let etc = hcs_etcgen::io::parse_csv(&csv)
+                        .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
+                    (
+                        Scenario::with_zero_ready(etc),
+                        make_heuristic(&name, random_ties.unwrap_or(0))?,
+                        tie_breaker(random_ties),
+                        IterativeConfig {
+                            seed_guard: guard,
+                            ..IterativeConfig::default()
+                        },
+                    )
+                }
+            };
+            let sink = std::sync::Arc::new(VecSink::new());
+            let dyn_sink: std::sync::Arc<dyn TraceSink> = std::sync::Arc::clone(&sink) as _;
+            let mut ws = hcs_core::MapWorkspace::new();
+            iterative::try_run_in_traced(&mut *h, &scenario, &mut tb, config, &mut ws, &dyn_sink)
+                .map_err(|e| CliError(format!("heuristic contract violation: {e}")))?;
+            let mut out = String::new();
+            for (seq, event) in sink.take().into_iter().enumerate() {
+                let _ = writeln!(out, "{}", event.to_json_line(seq as u64));
+            }
+            Ok(out)
+        }
         Command::Serve { config } => {
             let workers = config.workers;
             let server = hcs_service::Server::start(config)
@@ -501,6 +598,92 @@ mod tests {
         assert!(make_heuristic("sa", 0).is_ok());
         assert!(make_heuristic("tabu", 0).is_ok());
         assert!(make_heuristic("beam", 0).is_ok());
+    }
+
+    #[test]
+    fn trace_jsonl_matches_the_example_outcome() {
+        use hcs_service::json::{parse as jparse, Value};
+        let out = execute(parse(&strs(&["trace", "--example", "minmin"])).unwrap()).unwrap();
+        let ex = hcs_paper::example_by_id("minmin").unwrap();
+        let outcome = ex.run();
+
+        let events: Vec<Value> = out
+            .lines()
+            .map(|l| jparse(l).expect("JSONL line"))
+            .collect();
+        assert!(!events.is_empty());
+        // Sequence numbers count up from zero, one per line.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.get("seq").and_then(Value::as_u64), Some(i as u64));
+        }
+        let of_kind = |kind: &str| -> Vec<&Value> {
+            events
+                .iter()
+                .filter(|e| e.get("event").and_then(Value::as_str) == Some(kind))
+                .collect()
+        };
+
+        // One round_end per driver round, agreeing on machine and makespan.
+        let round_ends = of_kind("round_end");
+        assert_eq!(round_ends.len(), outcome.rounds.len());
+        for (i, e) in round_ends.iter().enumerate() {
+            let round = &outcome.rounds[i];
+            assert_eq!(e.get("round").and_then(Value::as_u64), Some(i as u64));
+            assert_eq!(
+                e.get("makespan").and_then(Value::as_f64),
+                Some(round.makespan.get())
+            );
+            assert_eq!(
+                e.get("makespan_machine").and_then(Value::as_u64),
+                Some(u64::from(round.makespan_machine.0))
+            );
+        }
+        assert_eq!(of_kind("round_start").len(), outcome.rounds.len());
+        assert_eq!(of_kind("kernel_phases").len(), outcome.rounds.len());
+
+        // One finish_delta per machine, matching the outcome's deltas.
+        let deltas = of_kind("finish_delta");
+        let expected: Vec<(u64, f64, f64)> = outcome
+            .deltas()
+            .into_iter()
+            .map(|(m, orig, fin)| (u64::from(m.0), orig.get(), fin.get()))
+            .collect();
+        assert_eq!(deltas.len(), expected.len());
+        for (e, (m, orig, fin)) in deltas.iter().zip(&expected) {
+            assert_eq!(e.get("machine").and_then(Value::as_u64), Some(*m));
+            assert_eq!(e.get("original").and_then(Value::as_f64), Some(*orig));
+            assert_eq!(e.get("final").and_then(Value::as_f64), Some(*fin));
+        }
+    }
+
+    #[test]
+    fn trace_heuristic_shorthand_and_csv_mode() {
+        // `--heuristic minmin` alone resolves to the paper example.
+        let cmd = parse(&strs(&["trace", "--heuristic", "minmin"])).unwrap();
+        match &cmd {
+            Command::Trace { example, .. } => assert_eq!(example.as_deref(), Some("minmin")),
+            other => panic!("expected trace, got {other:?}"),
+        }
+        let shorthand = execute(cmd).unwrap();
+        let explicit = execute(parse(&strs(&["trace", "--example", "minmin"])).unwrap()).unwrap();
+        assert_eq!(shorthand.lines().count(), explicit.lines().count());
+
+        // CSV mode works through Command construction (no temp files).
+        let out = execute(Command::Trace {
+            example: None,
+            csv: Some("2,6\n3,4\n8,3\n".into()),
+            heuristic: Some("sufferage".into()),
+            random_ties: None,
+            guard: false,
+        })
+        .unwrap();
+        assert!(out.contains("\"event\":\"round_end\""), "{out}");
+        assert!(out.contains("\"event\":\"task_committed\""), "{out}");
+
+        // Missing both sources is a usage error (`olb` is a heuristic but
+        // not a paper example, so the shorthand cannot resolve it).
+        assert!(parse(&strs(&["trace"])).is_err());
+        assert!(parse(&strs(&["trace", "--heuristic", "olb"])).is_err());
     }
 
     #[test]
