@@ -105,8 +105,9 @@ mod tests {
             ])
             .unwrap(),
         );
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut MiniMct, &s, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut MiniMct, &s)
+            .execute()
+            .unwrap();
         let m = OutcomeMetrics::from_outcome(&outcome);
         assert_eq!(m.machines_total, 3);
         assert_eq!(m.rounds, outcome.rounds.len());
@@ -126,8 +127,10 @@ mod tests {
         let s = Scenario::with_zero_ready(
             EtcMatrix::from_rows(&[vec![3.0, 3.0], vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap(),
         );
-        let mut tb = TieBreaker::random(1);
-        let outcome = iterative::run(&mut MiniMct, &s, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut MiniMct, &s)
+            .tie_breaker(TieBreaker::random(1))
+            .execute()
+            .unwrap();
         let m = OutcomeMetrics::from_outcome(&outcome);
         assert!(m.mean_finish_reduction <= 1.0);
         assert_eq!(m.machines_total, 2);

@@ -42,8 +42,11 @@ fn bench_genitor(c: &mut Criterion) {
     group.bench_function("iterative/pop60", |b| {
         b.iter(|| {
             let mut ga = Genitor::with_config(42, quick(60));
-            let mut tb = TieBreaker::Deterministic;
-            black_box(iterative::run(&mut ga, &scenario, &mut tb))
+            black_box(
+                iterative::IterativeRun::new(&mut ga, &scenario)
+                    .execute()
+                    .unwrap(),
+            )
         });
     });
     group.finish();

@@ -62,15 +62,22 @@ fn bench_kernel(c: &mut Criterion) {
         group.bench_function("naive", |b| {
             b.iter(|| {
                 let mut h = reference::naive_by_name("Min-Min").expect("naive Min-Min exists");
-                let mut tb = TieBreaker::Deterministic;
-                black_box(iterative::run(&mut h, &scenario, &mut tb))
+                black_box(
+                    iterative::IterativeRun::new(&mut h, &scenario)
+                        .execute()
+                        .unwrap(),
+                )
             });
         });
         group.bench_function("workspace", |b| {
             let mut ws = MapWorkspace::new();
             b.iter(|| {
-                let mut tb = TieBreaker::Deterministic;
-                black_box(iterative::run_in(&mut MinMin, &scenario, &mut tb, &mut ws))
+                black_box(
+                    iterative::IterativeRun::new(&mut MinMin, &scenario)
+                        .workspace(&mut ws)
+                        .execute()
+                        .unwrap(),
+                )
             });
         });
         group.finish();
@@ -98,13 +105,20 @@ fn write_kernel_summary() {
 
     let naive = median_secs(runs, || {
         let mut h = reference::naive_by_name("Min-Min").expect("naive Min-Min exists");
-        let mut tb = TieBreaker::Deterministic;
-        black_box(iterative::run(&mut h, &scenario, &mut tb));
+        black_box(
+            iterative::IterativeRun::new(&mut h, &scenario)
+                .execute()
+                .unwrap(),
+        );
     });
     let mut ws = MapWorkspace::new();
     let workspace = median_secs(runs, || {
-        let mut tb = TieBreaker::Deterministic;
-        black_box(iterative::run_in(&mut MinMin, &scenario, &mut tb, &mut ws));
+        black_box(
+            iterative::IterativeRun::new(&mut MinMin, &scenario)
+                .workspace(&mut ws)
+                .execute()
+                .unwrap(),
+        );
     });
 
     let doc = serde_json::json!({

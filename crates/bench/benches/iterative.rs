@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcs_bench::{make_heuristic, study_scenario};
-use hcs_core::{iterative, IterativeConfig, TieBreaker};
+use hcs_core::{iterative, IterativeConfig};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
 use std::hint::black_box;
 
@@ -26,24 +26,26 @@ fn bench_iterative(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let mut h = make_heuristic(name, 42);
-                let mut tb = TieBreaker::Deterministic;
-                black_box(iterative::run(&mut *h, &scenario, &mut tb))
+                black_box(
+                    iterative::IterativeRun::new(&mut *h, &scenario)
+                        .execute()
+                        .unwrap(),
+                )
             });
         });
     }
     group.bench_function(BenchmarkId::from_parameter("Sufferage+guard"), |b| {
         b.iter(|| {
             let mut h = make_heuristic("Sufferage", 42);
-            let mut tb = TieBreaker::Deterministic;
-            black_box(iterative::run_with(
-                &mut *h,
-                &scenario,
-                &mut tb,
-                IterativeConfig {
-                    seed_guard: true,
-                    ..IterativeConfig::default()
-                },
-            ))
+            black_box(
+                iterative::IterativeRun::new(&mut *h, &scenario)
+                    .config(IterativeConfig {
+                        seed_guard: true,
+                        ..IterativeConfig::default()
+                    })
+                    .execute()
+                    .unwrap(),
+            )
         });
     });
     group.finish();

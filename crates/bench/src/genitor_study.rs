@@ -11,7 +11,7 @@
 use serde::Serialize;
 
 use hcs_analysis::{run_trials_with, wilcoxon_signed_rank, OnlineStats, OutcomeMetrics, TextTable};
-use hcs_core::{iterative, MapWorkspace, TieBreaker};
+use hcs_core::{iterative, MapWorkspace};
 use hcs_etcgen::EtcSpec;
 
 use crate::roster::make_heuristic;
@@ -37,8 +37,11 @@ fn run_class(spec: &EtcSpec, dims: StudyDims, base_seed: u64) -> GenitorRow {
     let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
         let scenario = study_scenario(spec, seed);
         let mut ga = make_heuristic("Genitor", seed);
-        let mut tb = TieBreaker::Deterministic; // unused by the GA
-        OutcomeMetrics::from_outcome(&iterative::run_in(&mut *ga, &scenario, &mut tb, ws))
+        let outcome = iterative::IterativeRun::new(&mut *ga, &scenario)
+            .workspace(ws)
+            .execute()
+            .unwrap();
+        OutcomeMetrics::from_outcome(&outcome)
     });
     let mut inc = OnlineStats::new();
     let mut red = OnlineStats::new();

@@ -14,7 +14,7 @@
 use serde::Serialize;
 
 use hcs_analysis::{run_trials_with, OnlineStats, TextTable};
-use hcs_core::{iterative, IterativeConfig, MakespanTie, MapWorkspace, Scenario, TieBreaker};
+use hcs_core::{iterative, IterativeConfig, MakespanTie, MapWorkspace, Scenario};
 use hcs_etcgen::{Consistency, EtcSpec, Method};
 
 use crate::roster::{greedy_roster, make_heuristic};
@@ -60,17 +60,14 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<MakespanTieRow> {
                         .iter()
                         .map(|&rule| {
                             let mut h = make_heuristic(name, seed);
-                            let mut tb = TieBreaker::Deterministic;
-                            iterative::run_with_in(
-                                &mut *h,
-                                &scenario,
-                                &mut tb,
-                                IterativeConfig {
+                            iterative::IterativeRun::new(&mut *h, &scenario)
+                                .config(IterativeConfig {
                                     makespan_tie: rule,
                                     ..IterativeConfig::default()
-                                },
-                                &mut *ws,
-                            )
+                                })
+                                .workspace(&mut *ws)
+                                .execute()
+                                .unwrap()
                         })
                         .collect();
                     let diverged = outcomes

@@ -55,17 +55,16 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<SeedGuardRow> {
                         let scenario = study_scenario(spec, seed);
                         let run_with = |guard: bool, ws: &mut MapWorkspace| {
                             let mut h = make_heuristic(name, seed);
-                            let mut tb = TieBreaker::random(seed.wrapping_mul(0x9e37_79b9));
-                            OutcomeMetrics::from_outcome(&iterative::run_with_in(
-                                &mut *h,
-                                &scenario,
-                                &mut tb,
-                                IterativeConfig {
+                            let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                                .tie_breaker(TieBreaker::random(seed.wrapping_mul(0x9e37_79b9)))
+                                .config(IterativeConfig {
                                     seed_guard: guard,
                                     ..IterativeConfig::default()
-                                },
-                                ws,
-                            ))
+                                })
+                                .workspace(ws)
+                                .execute()
+                                .unwrap();
+                            OutcomeMetrics::from_outcome(&outcome)
                         };
                         (run_with(false, &mut *ws), run_with(true, &mut *ws))
                     });

@@ -61,15 +61,18 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<TieBreakRow> {
                     run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
                         let scenario = study_scenario(spec, seed);
                         let mut h = make_heuristic(name, seed);
-                        let mut tb = TieBreaker::Deterministic;
-                        let det = OutcomeMetrics::from_outcome(&iterative::run_in(
-                            &mut *h, &scenario, &mut tb, ws,
-                        ));
+                        let det_outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                            .workspace(&mut *ws)
+                            .execute()
+                            .unwrap();
+                        let det = OutcomeMetrics::from_outcome(&det_outcome);
                         let mut h = make_heuristic(name, seed);
-                        let mut tb = TieBreaker::random(seed ^ 0x9e37_79b9);
-                        let rand = OutcomeMetrics::from_outcome(&iterative::run_in(
-                            &mut *h, &scenario, &mut tb, ws,
-                        ));
+                        let rand_outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                            .tie_breaker(TieBreaker::random(seed ^ 0x9e37_79b9))
+                            .workspace(&mut *ws)
+                            .execute()
+                            .unwrap();
+                        let rand = OutcomeMetrics::from_outcome(&rand_outcome);
                         (det, rand)
                     });
                 for (det, rand) in results {
@@ -139,8 +142,11 @@ pub fn run_per_class(heuristic: &str, dims: StudyDims, base_seed: u64) -> Vec<Cl
             let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
                 let scenario = study_scenario(spec, seed);
                 let mut h = make_heuristic(heuristic, seed);
-                let mut tb = TieBreaker::Deterministic;
-                OutcomeMetrics::from_outcome(&iterative::run_in(&mut *h, &scenario, &mut tb, ws))
+                let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                    .workspace(ws)
+                    .execute()
+                    .unwrap();
+                OutcomeMetrics::from_outcome(&outcome)
             });
             let mut inc = OnlineStats::new();
             let mut red = OnlineStats::new();

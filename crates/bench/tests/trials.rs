@@ -20,8 +20,11 @@ fn trial(name: &str, ws: &mut MapWorkspace, seed: u64) -> hcs_core::iterative::I
     let spec = study_classes(DIMS)[seed as usize % 12];
     let scenario = study_scenario(&spec, seed);
     let mut h = make_heuristic(name, seed);
-    let mut tb = TieBreaker::random(seed ^ 0xD1CE);
-    iterative::run_in(&mut *h, &scenario, &mut tb, ws)
+    iterative::IterativeRun::new(&mut *h, &scenario)
+        .tie_breaker(TieBreaker::random(seed ^ 0xD1CE))
+        .workspace(ws)
+        .execute()
+        .unwrap()
 }
 
 #[test]

@@ -1,0 +1,724 @@
+//! `hcs-client`: a resilient TCP client for the `hcs-service` mapping
+//! daemon.
+//!
+//! The daemon speaks newline-delimited JSON over TCP ([`hcs_service`
+//! protocol docs](hcs_service::protocol)); this crate wraps that wire
+//! format in a typed client that a resource-management system can lean on
+//! without writing its own retry machinery:
+//!
+//! * **deadlines** — a connect timeout and a per-request read deadline, so
+//!   a wedged daemon can never hang the caller,
+//! * **bounded retries with jittered exponential backoff** — transient
+//!   failures (connection refused or reset, `503` load shedding, injected
+//!   faults, deadline expiry) are retried up to a configured cap; the
+//!   jitter sequence is deterministic in [`ClientConfig::jitter_seed`] so
+//!   test runs are reproducible,
+//! * **typed errors** — [`ClientError`] carries an [`ErrorKind`] that
+//!   splits retryable transport/overload failures from terminal protocol
+//!   or server faults, plus the number of attempts actually made, and
+//! * **batching** — [`Client::map_batch`] sends one `map_batch` line for
+//!   many instances and returns per-item results; across retries only the
+//!   items that failed retryably are re-sent.
+//!
+//! The crate is std-only, like the daemon it talks to: one blocking
+//! `TcpStream` per client, reused across requests, reconnected (with
+//! backoff) whenever it breaks.
+//!
+//! ```no_run
+//! use hcs_client::Client;
+//! use hcs_core::{EtcMatrix, Scenario};
+//! use hcs_service::MapRequest;
+//!
+//! let mut client = Client::new("127.0.0.1:7077");
+//! let request = MapRequest {
+//!     scenario: Scenario::with_zero_ready(
+//!         EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0]]).unwrap(),
+//!     ),
+//!     heuristic: "min-min".into(),
+//!     random_ties: None,
+//!     iterative: true,
+//!     guard: false,
+//!     sleep_ms: 0,
+//! };
+//! let reply = client.map(&request).expect("mapped");
+//! println!("makespan {} in {:?} rounds", reply.makespan, reply.rounds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hcs_service::json::{parse, Value};
+use hcs_service::protocol::{batch_line, MapRequest, PROTOCOL_VERSION};
+
+/// Client tuning knobs. The defaults suit a daemon on the same host or
+/// rack; loosen the deadlines for anything slower.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for one request/reply exchange once connected. When it
+    /// expires the connection is dropped (a late reply would desynchronize
+    /// the line framing) and the attempt counts as retryable.
+    pub read_timeout: Duration,
+    /// Retries *after* the first attempt — `retries: 3` means at most 4
+    /// attempts. Only failures whose [`ErrorKind`] is
+    /// [retryable](ErrorKind::retryable) consume retries.
+    pub retries: u32,
+    /// Backoff before retry `k` is `backoff_base * 2^(k-1)`, capped at
+    /// [`backoff_max`](ClientConfig::backoff_max), then jittered to
+    /// 50–100% of that value.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep (pre-jitter).
+    pub backoff_max: Duration,
+    /// Seed for the deterministic jitter sequence. Two clients configured
+    /// identically sleep identically — handy in tests, harmless in
+    /// production (vary the seed per client to decorrelate).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// What went wrong, coarsely — the split that matters is
+/// [`retryable`](ErrorKind::retryable) versus terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Could not establish a connection (refused, unreachable, connect
+    /// deadline). Retryable: the daemon may just be restarting.
+    Connect,
+    /// The connection broke mid-exchange (reset, EOF, write failure).
+    /// Retryable on a fresh connection.
+    ConnectionLost,
+    /// The read deadline expired before a reply line arrived. Retryable.
+    Deadline,
+    /// The daemon shed the request under load (`error_code: "shed"`).
+    /// Retryable after backoff — that is the entire point of shedding.
+    Shed,
+    /// The daemon's injected-fault hook dropped the request
+    /// (`error_code: "fault"`). Retryable; exists to exercise this client.
+    Fault,
+    /// The exchange violated the protocol: unparseable reply, unknown
+    /// protocol version, malformed request (`error_code:
+    /// "parse"`/`"version"`). Terminal — retrying the same bytes cannot
+    /// help.
+    Protocol,
+    /// The daemon failed internally (`error_code: "internal"`). Terminal:
+    /// the same request would deterministically fail again.
+    Server,
+}
+
+impl ErrorKind {
+    /// Whether a failure of this kind is worth retrying.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Connect
+                | ErrorKind::ConnectionLost
+                | ErrorKind::Deadline
+                | ErrorKind::Shed
+                | ErrorKind::Fault
+        )
+    }
+}
+
+/// A failed request, after the retry budget (for retryable kinds) was
+/// spent or a terminal failure cut the loop short.
+#[derive(Clone, Debug)]
+pub struct ClientError {
+    /// Classification of the last failure observed.
+    pub kind: ErrorKind,
+    /// Human-readable detail from the transport or the daemon's reply.
+    pub message: String,
+    /// Attempts actually made (1 = failed without any retry).
+    pub attempts: u32,
+}
+
+impl ClientError {
+    /// Whether the underlying failure kind is retryable (the client has
+    /// already exhausted its own budget by the time you see this).
+    pub fn retryable(&self) -> bool {
+        self.kind.retryable()
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} after {} attempt{}: {}",
+            self.kind,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful mapping reply, with the fields callers routinely need
+/// lifted out and the full reply object retained in [`raw`](MapReply::raw).
+#[derive(Clone, Debug)]
+pub struct MapReply {
+    /// Whether the daemon answered from its digest cache.
+    pub cached: bool,
+    /// Canonical heuristic name the daemon resolved.
+    pub heuristic: String,
+    /// Initial-mapping makespan.
+    pub makespan: f64,
+    /// Post-iteration makespan, when the request asked for the iterative
+    /// procedure.
+    pub final_makespan: Option<f64>,
+    /// Rounds the iterative driver ran, when requested.
+    pub rounds: Option<u32>,
+    /// The complete reply object (assignments, completion vector, …).
+    pub raw: Value,
+}
+
+/// A failure local to one attempt: the kind plus detail. Attempt counting
+/// happens in the retry loops.
+type Failure = (ErrorKind, String);
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A client for one daemon address. Holds at most one connection, reused
+/// across requests and re-established (with backoff) when it breaks. Not
+/// `Sync` — use one `Client` per thread, like one `TcpStream` per thread.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    jitter_counter: u64,
+}
+
+impl Client {
+    /// A client with default [`ClientConfig`].
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit configuration.
+    pub fn with_config(addr: impl Into<String>, config: ClientConfig) -> Client {
+        Client {
+            addr: addr.into(),
+            config,
+            conn: None,
+            jitter_counter: 0,
+        }
+    }
+
+    /// Maps one instance, retrying transient failures. On success the
+    /// reply is parsed into a [`MapReply`]; on failure the error reports
+    /// the kind and how many attempts were made.
+    pub fn map(&mut self, request: &MapRequest) -> Result<MapReply, ClientError> {
+        let line = request.to_line();
+        let value = self.request_value(&line)?;
+        reply_from_value(value).map_err(|(kind, message)| ClientError {
+            kind,
+            message,
+            attempts: 1,
+        })
+    }
+
+    /// Maps many instances in one `map_batch` line per attempt. Returns
+    /// one result per input, in input order; the call as a whole only
+    /// fails when the exchange itself does terminally (protocol breakage,
+    /// batch-level rejection) — per-item failures land in the item's
+    /// slot. Across retries, only items that failed retryably are
+    /// re-sent.
+    #[allow(clippy::type_complexity)]
+    pub fn map_batch(
+        &mut self,
+        requests: &[MapRequest],
+    ) -> Result<Vec<Result<MapReply, ClientError>>, ClientError> {
+        let mut results: Vec<Option<Result<MapReply, ClientError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..requests.len()).collect();
+        let mut last_failure: Option<Failure> = None;
+
+        let mut attempt = 0;
+        while attempt <= self.config.retries && !pending.is_empty() {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            attempt += 1;
+
+            let subset: Vec<MapRequest> = pending.iter().map(|&i| requests[i].clone()).collect();
+            let value = match self.exchange(&batch_line(&subset)) {
+                Ok(v) => v,
+                Err((kind, message)) if kind.retryable() => {
+                    last_failure = Some((kind, message));
+                    continue;
+                }
+                Err((kind, message)) => {
+                    return Err(ClientError {
+                        kind,
+                        message,
+                        attempts: attempt,
+                    })
+                }
+            };
+            if let Err((kind, message)) = reply_status(&value) {
+                if kind.retryable() {
+                    last_failure = Some((kind, message));
+                    continue;
+                }
+                return Err(ClientError {
+                    kind,
+                    message,
+                    attempts: attempt,
+                });
+            }
+            let items = match value.get("items").and_then(Value::as_array) {
+                Some(items) if items.len() == pending.len() => items,
+                _ => {
+                    return Err(ClientError {
+                        kind: ErrorKind::Protocol,
+                        message: format!(
+                            "batch reply items do not line up with the request: {value}"
+                        ),
+                        attempts: attempt,
+                    })
+                }
+            };
+
+            let mut still_pending = Vec::new();
+            for (&slot, item) in pending.iter().zip(items) {
+                match reply_status(item) {
+                    Ok(()) => {
+                        results[slot] =
+                            Some(reply_from_value(item.clone()).map_err(|(kind, message)| {
+                                ClientError {
+                                    kind,
+                                    message,
+                                    attempts: attempt,
+                                }
+                            }));
+                    }
+                    Err((kind, message)) if kind.retryable() => {
+                        last_failure = Some((kind, message));
+                        still_pending.push(slot);
+                    }
+                    Err((kind, message)) => {
+                        results[slot] = Some(Err(ClientError {
+                            kind,
+                            message,
+                            attempts: attempt,
+                        }));
+                    }
+                }
+            }
+            pending = still_pending;
+        }
+
+        // Whatever is still pending exhausted the retry budget.
+        let (kind, message) =
+            last_failure.unwrap_or((ErrorKind::Shed, "retry budget exhausted".into()));
+        for slot in pending {
+            results[slot] = Some(Err(ClientError {
+                kind,
+                message: message.clone(),
+                attempts: attempt,
+            }));
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect())
+    }
+
+    /// Fetches the daemon's `STATS` object (the `"stats"` payload).
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        let v = self.request_value(&op_line("stats"))?;
+        v.get("stats").cloned().ok_or_else(|| ClientError {
+            kind: ErrorKind::Protocol,
+            message: format!("stats reply missing payload: {v}"),
+            attempts: 1,
+        })
+    }
+
+    /// Fetches the daemon's Prometheus exposition text.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let v = self.request_value(&op_line("metrics"))?;
+        v.get("metrics")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError {
+                kind: ErrorKind::Protocol,
+                message: format!("metrics reply missing payload: {v}"),
+                attempts: 1,
+            })
+    }
+
+    /// Asks the daemon to shut down (drain, then exit). The connection is
+    /// dropped afterwards — the daemon is going away.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let result = self.request_value(&op_line("shutdown")).map(|_| ());
+        self.conn = None;
+        result
+    }
+
+    /// The retry loop shared by every single-line exchange: send `line`,
+    /// classify the reply, back off and retry while the failure is
+    /// retryable and budget remains.
+    fn request_value(&mut self, line: &str) -> Result<Value, ClientError> {
+        let mut last: Failure = (ErrorKind::Connect, "no attempt made".into());
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            let failure = match self.exchange(line) {
+                Ok(value) => match reply_status(&value) {
+                    Ok(()) => return Ok(value),
+                    Err(f) => f,
+                },
+                Err(f) => f,
+            };
+            if !failure.0.retryable() {
+                return Err(ClientError {
+                    kind: failure.0,
+                    message: failure.1,
+                    attempts: attempt + 1,
+                });
+            }
+            last = failure;
+        }
+        Err(ClientError {
+            kind: last.0,
+            message: last.1,
+            attempts: self.config.retries + 1,
+        })
+    }
+
+    /// One attempt: connect if needed, write one line, read one line,
+    /// parse it, check the protocol version. Any transport failure drops
+    /// the connection so the next attempt starts clean — in particular a
+    /// deadline expiry must not leave a late reply in the buffer to be
+    /// mistaken for the answer to the *next* request.
+    fn exchange(&mut self, line: &str) -> Result<Value, Failure> {
+        if self.conn.is_none() {
+            self.conn = Some(self.connect()?);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+
+        let wrote = conn
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| conn.writer.write_all(b"\n"))
+            .and_then(|()| conn.writer.flush());
+        if let Err(e) = wrote {
+            self.conn = None;
+            return Err((ErrorKind::ConnectionLost, format!("write failed: {e}")));
+        }
+
+        let mut reply = String::new();
+        match conn.reader.read_line(&mut reply) {
+            Ok(0) => {
+                self.conn = None;
+                return Err((
+                    ErrorKind::ConnectionLost,
+                    "connection closed before reply".into(),
+                ));
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.conn = None;
+                return Err((
+                    ErrorKind::Deadline,
+                    format!("no reply within {:?}", self.config.read_timeout),
+                ));
+            }
+            Err(e) => {
+                self.conn = None;
+                return Err((ErrorKind::ConnectionLost, format!("read failed: {e}")));
+            }
+        }
+
+        let value = parse(reply.trim_end()).map_err(|e| {
+            (
+                ErrorKind::Protocol,
+                format!("unparseable reply line: {e:?}"),
+            )
+        })?;
+        match value.get("v") {
+            None | Some(Value::Null) => Ok(value),
+            Some(v) if v.as_u64() == Some(PROTOCOL_VERSION) => Ok(value),
+            Some(v) => Err((
+                ErrorKind::Protocol,
+                format!(
+                    "daemon speaks protocol version {v}, this client speaks {PROTOCOL_VERSION}"
+                ),
+            )),
+        }
+    }
+
+    fn connect(&self) -> Result<Conn, Failure> {
+        let addrs: Vec<SocketAddr> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                (
+                    ErrorKind::Connect,
+                    format!("cannot resolve {}: {e}", self.addr),
+                )
+            })?
+            .collect();
+        let mut last = (
+            ErrorKind::Connect,
+            format!("{} resolved to no addresses", self.addr),
+        );
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(self.config.read_timeout))
+                        .map_err(|e| (ErrorKind::Connect, format!("set deadline: {e}")))?;
+                    stream.set_nodelay(true).ok();
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| (ErrorKind::Connect, format!("clone stream: {e}")))?;
+                    return Ok(Conn {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last = (ErrorKind::Connect, format!("connect {addr}: {e}")),
+            }
+        }
+        Err(last)
+    }
+
+    /// Sleeps before retry `attempt` (1-based): exponential growth from
+    /// `backoff_base` capped at `backoff_max`, jittered deterministically
+    /// to 50–100% of the capped value.
+    fn backoff(&mut self, attempt: u32) {
+        let exp = attempt.saturating_sub(1).min(16);
+        let uncapped = self.config.backoff_base.saturating_mul(1 << exp);
+        let capped = uncapped.min(self.config.backoff_max);
+        let draw = splitmix64(self.config.jitter_seed.wrapping_add(self.jitter_counter));
+        self.jitter_counter = self.jitter_counter.wrapping_add(1);
+        let frac = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        std::thread::sleep(capped.mul_f64(0.5 + 0.5 * frac));
+    }
+}
+
+fn op_line(op: &str) -> String {
+    format!("{{\"op\":\"{op}\",\"v\":{PROTOCOL_VERSION}}}")
+}
+
+/// Classifies a reply object: `Ok(())` for `"ok":true`, otherwise the
+/// [`ErrorKind`] the daemon's typed `error_code` maps to (with a numeric
+/// `code` fallback for replies predating the closed enum).
+fn reply_status(value: &Value) -> Result<(), Failure> {
+    if value.get("ok").and_then(Value::as_bool) == Some(true) {
+        return Ok(());
+    }
+    let message = value
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap_or("daemon reported failure without detail")
+        .to_string();
+    let kind = match value.get("error_code").and_then(Value::as_str) {
+        Some("shed") => ErrorKind::Shed,
+        Some("fault") => ErrorKind::Fault,
+        Some("parse") | Some("version") => ErrorKind::Protocol,
+        Some("internal") => ErrorKind::Server,
+        Some(_) | None => match value.get("code").and_then(Value::as_u64) {
+            Some(503) => ErrorKind::Shed,
+            Some(500) => ErrorKind::Server,
+            _ => ErrorKind::Protocol,
+        },
+    };
+    Err((kind, message))
+}
+
+fn reply_from_value(value: Value) -> Result<MapReply, Failure> {
+    let heuristic = match value.get("heuristic").and_then(Value::as_str) {
+        Some(h) => h.to_string(),
+        None => {
+            return Err((
+                ErrorKind::Protocol,
+                format!("reply missing field `heuristic`: {value}"),
+            ))
+        }
+    };
+    let makespan = match value.get("makespan").and_then(Value::as_f64) {
+        Some(m) => m,
+        None => {
+            return Err((
+                ErrorKind::Protocol,
+                format!("reply missing field `makespan`: {value}"),
+            ))
+        }
+    };
+    Ok(MapReply {
+        cached: value
+            .get("cached")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        heuristic,
+        makespan,
+        final_makespan: value.get("final_makespan").and_then(Value::as_f64),
+        rounds: value
+            .get("rounds")
+            .and_then(Value::as_u64)
+            .map(|r| r.min(u64::from(u32::MAX)) as u32),
+        raw: value,
+    })
+}
+
+/// The splitmix64 finalizer — drives the deterministic jitter stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_kinds_split_retryable_from_terminal() {
+        for kind in [
+            ErrorKind::Connect,
+            ErrorKind::ConnectionLost,
+            ErrorKind::Deadline,
+            ErrorKind::Shed,
+            ErrorKind::Fault,
+        ] {
+            assert!(kind.retryable(), "{kind:?}");
+        }
+        for kind in [ErrorKind::Protocol, ErrorKind::Server] {
+            assert!(!kind.retryable(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reply_status_maps_error_codes_onto_kinds() {
+        let classify = |line: &str| reply_status(&parse(line).unwrap()).unwrap_err().0;
+        assert_eq!(
+            classify(r#"{"ok":false,"code":503,"error_code":"shed","error":"x"}"#),
+            ErrorKind::Shed
+        );
+        assert_eq!(
+            classify(r#"{"ok":false,"code":503,"error_code":"fault","error":"x"}"#),
+            ErrorKind::Fault
+        );
+        assert_eq!(
+            classify(r#"{"ok":false,"code":400,"error_code":"parse","error":"x"}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            classify(r#"{"ok":false,"code":400,"error_code":"version","error":"x"}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            classify(r#"{"ok":false,"code":500,"error_code":"internal","error":"x"}"#),
+            ErrorKind::Server
+        );
+        // Fallback on the numeric code when the string is absent.
+        assert_eq!(
+            classify(r#"{"ok":false,"code":503,"error":"x"}"#),
+            ErrorKind::Shed
+        );
+        assert_eq!(
+            classify(r#"{"ok":false,"code":500,"error":"x"}"#),
+            ErrorKind::Server
+        );
+        assert_eq!(
+            classify(r#"{"ok":false,"code":400,"error":"x"}"#),
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_and_deterministic() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(8),
+            backoff_max: Duration::from_millis(40),
+            ..ClientConfig::default()
+        };
+        let delays = |seed: u64| -> Vec<Duration> {
+            // Reproduce the backoff arithmetic without the sleep.
+            let mut counter = 0u64;
+            (1u32..=6)
+                .map(|attempt| {
+                    let exp = attempt.saturating_sub(1).min(16);
+                    let capped = config
+                        .backoff_base
+                        .saturating_mul(1 << exp)
+                        .min(config.backoff_max);
+                    let draw = splitmix64(seed.wrapping_add(counter));
+                    counter += 1;
+                    let frac = (draw >> 11) as f64 / (1u64 << 53) as f64;
+                    capped.mul_f64(0.5 + 0.5 * frac)
+                })
+                .collect()
+        };
+        let a = delays(7);
+        let b = delays(7);
+        assert_eq!(a, b, "same seed, same sleeps");
+        for (attempt, d) in a.iter().enumerate() {
+            let capped = config
+                .backoff_base
+                .saturating_mul(1 << (attempt as u32).min(16))
+                .min(config.backoff_max);
+            assert!(
+                *d >= capped.mul_f64(0.5) && *d <= capped,
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        // The cap binds from attempt 4 on (8ms * 2^3 = 64ms > 40ms).
+        assert!(a[5] <= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn map_reply_lifts_the_common_fields() {
+        let value = parse(
+            r#"{"ok":true,"cached":true,"heuristic":"Min-Min","assignments":[[0,1]],
+                "completion":[[1,3.5]],"makespan":3.5,"final_makespan":3.0,"rounds":2,
+                "makespan_increased":false}"#,
+        )
+        .unwrap();
+        let reply = reply_from_value(value).unwrap();
+        assert!(reply.cached);
+        assert_eq!(reply.heuristic, "Min-Min");
+        assert_eq!(reply.makespan, 3.5);
+        assert_eq!(reply.final_makespan, Some(3.0));
+        assert_eq!(reply.rounds, Some(2));
+        assert!(reply.raw.get("assignments").is_some());
+    }
+
+    #[test]
+    fn malformed_success_replies_are_protocol_errors() {
+        let value = parse(r#"{"ok":true,"heuristic":"MCT"}"#).unwrap();
+        let (kind, message) = reply_from_value(value).unwrap_err();
+        assert_eq!(kind, ErrorKind::Protocol);
+        assert!(message.contains("makespan"), "{message}");
+    }
+}

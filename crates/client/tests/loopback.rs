@@ -1,0 +1,213 @@
+//! Client-against-daemon loopback tests: a real `hcs-service` daemon on an
+//! ephemeral port, driven through the `hcs-client` retry machinery —
+//! including the injected-fault acceptance test (100% completion against a
+//! daemon dropping 20% of requests).
+
+use std::time::Duration;
+
+use hcs_client::{Client, ClientConfig, ErrorKind};
+use hcs_core::{EtcMatrix, Scenario};
+use hcs_service::json::Value;
+use hcs_service::{MapRequest, ServeConfig, Server};
+
+fn serve(workers: usize, fault_rate: f64) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth: 64,
+        cache_capacity: 256,
+        cache_shards: 4,
+        trace_capacity: 0,
+        fault_rate,
+        fault_seed: 2024,
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Fast-retry client config for tests: the budget is what matters, not
+/// the wall-clock spent sleeping.
+fn fast(retries: u32) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(5),
+        retries,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(10),
+        jitter_seed: 1,
+    }
+}
+
+fn request(seed: u64, tasks: usize, iterative: bool) -> MapRequest {
+    let rows: Vec<Vec<f64>> = (0..tasks)
+        .map(|t| {
+            (0..3)
+                .map(|m| {
+                    let mut x = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((t * 3 + m) as u64);
+                    x ^= x >> 31;
+                    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((x >> 33) % 100 + 1) as f64
+                })
+                .collect()
+        })
+        .collect();
+    MapRequest {
+        scenario: Scenario::with_zero_ready(EtcMatrix::from_rows(&rows).unwrap()),
+        heuristic: "Min-Min".into(),
+        random_ties: None,
+        iterative,
+        guard: false,
+        sleep_ms: 0,
+    }
+}
+
+/// The acceptance test: against a daemon injecting faults into 20% of
+/// requests, a client with a sane retry budget completes **every**
+/// request — 50 singles and a 16-item batch — and the daemon's own
+/// counters confirm faults actually fired.
+#[test]
+fn client_completes_all_requests_against_a_faulty_daemon() {
+    let server = serve(2, 0.2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::with_config(&addr, fast(16));
+
+    for i in 0..50u64 {
+        let req = request(9000 + i, 5 + (i % 4) as usize, i % 2 == 0);
+        let reply = client.map(&req).unwrap_or_else(|e| {
+            panic!("request {i} failed despite the retry budget: {e}");
+        });
+        assert!(reply.makespan > 0.0);
+    }
+
+    let batch: Vec<MapRequest> = (0..16u64).map(|i| request(9500 + i, 6, true)).collect();
+    let results = client.map_batch(&batch).expect("batch exchange succeeds");
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.iter().enumerate() {
+        let reply = r.as_ref().unwrap_or_else(|e| {
+            panic!("batch item {i} failed despite the retry budget: {e}");
+        });
+        assert!(reply.final_makespan.is_some(), "item {i} ran iteratively");
+    }
+
+    let stats = client.stats().expect("stats");
+    let n = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap();
+    assert!(n("faults") > 0, "20% fault rate never fired: {stats}");
+    assert!(n("batched") >= 1);
+    assert!(n("batch_items") >= 16);
+    assert_eq!(
+        n("submitted"),
+        n("served") + n("cache_hits") + n("rejected"),
+        "accounting invariant broken: {stats}"
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn terminal_failures_do_not_consume_retries() {
+    let server = serve(1, 0.0);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::with_config(&addr, fast(8));
+
+    let mut req = request(1, 4, false);
+    req.heuristic = "nope".into();
+    let err = client.map(&req).expect_err("unknown heuristic is terminal");
+    assert_eq!(err.kind, ErrorKind::Protocol);
+    assert!(!err.retryable());
+    assert_eq!(err.attempts, 1, "terminal errors must not retry");
+
+    // The connection survives a terminal error reply: the next request on
+    // the same client works without reconnecting.
+    let reply = client.map(&request(2, 4, false)).expect("healthy request");
+    assert_eq!(reply.heuristic, "Min-Min");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn connection_refused_is_retried_then_reported_as_connect() {
+    // Grab an ephemeral port and free it again: connecting there is
+    // refused (nothing is listening).
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let mut client = Client::with_config(&addr, fast(2));
+    let err = client
+        .map(&request(3, 4, false))
+        .expect_err("nothing listens there");
+    assert_eq!(err.kind, ErrorKind::Connect);
+    assert!(err.retryable(), "connect failures are worth retrying");
+    assert_eq!(err.attempts, 3, "retries: 2 means 3 attempts");
+}
+
+#[test]
+fn read_deadline_expiry_is_typed_and_counted() {
+    let server = serve(1, 0.0);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::with_config(
+        &addr,
+        ClientConfig {
+            read_timeout: Duration::from_millis(50),
+            ..fast(1)
+        },
+    );
+
+    let mut req = request(4, 4, false);
+    req.sleep_ms = 400; // server-side artificial latency >> read deadline
+    let err = client.map(&req).expect_err("deadline must expire");
+    assert_eq!(err.kind, ErrorKind::Deadline);
+    assert_eq!(err.attempts, 2, "retries: 1 means 2 attempts");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn batch_reports_poisoned_items_in_place() {
+    let server = serve(2, 0.0);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::with_config(&addr, fast(3));
+
+    let mut batch: Vec<MapRequest> = (0..5u64).map(|i| request(8000 + i, 5, false)).collect();
+    batch[2].heuristic = "nope".into();
+    let results = client.map_batch(&batch).expect("batch line succeeds");
+    assert_eq!(results.len(), 5);
+    for (i, r) in results.iter().enumerate() {
+        if i == 2 {
+            let err = r.as_ref().expect_err("poisoned item fails in place");
+            assert_eq!(err.kind, ErrorKind::Protocol);
+            assert_eq!(err.attempts, 1, "terminal item failures must not retry");
+        } else {
+            assert!(r.is_ok(), "item {i}: {r:?}");
+        }
+    }
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn repeat_requests_come_back_cached_and_metrics_expose_them() {
+    let server = serve(1, 0.0);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::with_config(&addr, fast(2));
+
+    let req = request(7000, 6, true);
+    let first = client.map(&req).expect("miss");
+    let second = client.map(&req).expect("hit");
+    assert!(!first.cached);
+    assert!(second.cached);
+    assert_eq!(first.makespan, second.makespan);
+    assert_eq!(first.final_makespan, second.final_makespan);
+
+    let text = client.metrics().expect("prometheus text");
+    assert!(text.contains("hcs_cache_hits_total 1\n"), "{text}");
+
+    // Shutdown through the client: the daemon drains and exits.
+    client.shutdown().expect("daemon acknowledges shutdown");
+    server.join();
+}

@@ -197,6 +197,144 @@ impl IterativeOutcome {
     }
 }
 
+/// Builder for one run of the iterative technique — the single entry point
+/// the former `run`/`run_with`/`run_in`/`run_with_in`/`try_run_in_traced`
+/// family collapsed into.
+///
+/// Only the heuristic and the scenario are mandatory; everything else has
+/// the defaults those wrappers used to hard-code:
+///
+/// * ties: [`TieBreaker::Deterministic`] (override with [`ties`] to thread
+///   a caller-owned breaker, or [`tie_breaker`] to hand one over);
+/// * config: [`IterativeConfig::default`] ([`config`]);
+/// * workspace: a throwaway [`MapWorkspace`] ([`workspace`] reuses a
+///   caller-owned one — the zero-allocation hot path for the studies);
+/// * tracing: off ([`trace`] attaches a sink; a disabled sink costs one
+///   branch).
+///
+/// ```
+/// # use hcs_core::{iterative::IterativeRun, EtcMatrix, Scenario, TieBreaker};
+/// # use hcs_core::{Heuristic, Instance, Mapping};
+/// # struct First;
+/// # impl Heuristic for First {
+/// #     fn name(&self) -> &'static str { "first" }
+/// #     fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+/// #         let mut map = Mapping::new(inst.etc.n_tasks());
+/// #         for &t in inst.tasks { map.assign(t, inst.machines[0]).unwrap(); }
+/// #         map
+/// #     }
+/// # }
+/// let scenario = Scenario::with_zero_ready(
+///     EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0]]).unwrap(),
+/// );
+/// let mut h = First;
+/// let outcome = IterativeRun::new(&mut h, &scenario).execute().unwrap();
+/// assert_eq!(outcome.final_finish.len(), 2);
+/// ```
+///
+/// [`ties`]: IterativeRun::ties
+/// [`tie_breaker`]: IterativeRun::tie_breaker
+/// [`config`]: IterativeRun::config
+/// [`workspace`]: IterativeRun::workspace
+/// [`trace`]: IterativeRun::trace
+pub struct IterativeRun<'a, H: Heuristic + ?Sized> {
+    heuristic: &'a mut H,
+    scenario: &'a Scenario,
+    config: IterativeConfig,
+    ties: Ties<'a>,
+    workspace: Option<&'a mut MapWorkspace>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+/// Tie-breaker storage: the builder owns its default, but callers that need
+/// to observe the breaker's state afterwards (seeded random ties across
+/// several runs) lend theirs instead.
+enum Ties<'a> {
+    Owned(TieBreaker),
+    Borrowed(&'a mut TieBreaker),
+}
+
+impl<'a, H: Heuristic + ?Sized> IterativeRun<'a, H> {
+    /// Starts a run of `heuristic` on `scenario` with every knob at its
+    /// default (deterministic ties, default config, throwaway workspace,
+    /// no tracing).
+    pub fn new(heuristic: &'a mut H, scenario: &'a Scenario) -> Self {
+        IterativeRun {
+            heuristic,
+            scenario,
+            config: IterativeConfig::default(),
+            ties: Ties::Owned(TieBreaker::Deterministic),
+            workspace: None,
+            sink: None,
+        }
+    }
+
+    /// Sets the [`IterativeConfig`] (seeding guard, makespan tie rule).
+    pub fn config(mut self, config: IterativeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Threads a caller-owned [`TieBreaker`] through every round, so its
+    /// state (e.g. a seeded random stream) is shared with the caller.
+    pub fn ties(mut self, tb: &'a mut TieBreaker) -> Self {
+        self.ties = Ties::Borrowed(tb);
+        self
+    }
+
+    /// Hands the run an owned [`TieBreaker`] (convenience for callers that
+    /// do not need the breaker back).
+    pub fn tie_breaker(mut self, tb: TieBreaker) -> Self {
+        self.ties = Ties::Owned(tb);
+        self
+    }
+
+    /// Reuses a caller-owned [`MapWorkspace`] for every round's
+    /// [`Heuristic::map_with`] call instead of allocating a throwaway one.
+    pub fn workspace(mut self, ws: &'a mut MapWorkspace) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
+
+    /// Attaches a trace sink; see [`TraceEvent`] for the emitted stream
+    /// (round trajectory, frozen machines, kernel phases, finish deltas).
+    /// A disabled sink short-circuits to the untraced hot path.
+    pub fn trace(mut self, sink: &Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(Arc::clone(sink));
+        self
+    }
+
+    /// Runs the procedure, validating every mapping the heuristic produces.
+    pub fn execute(self) -> Result<IterativeOutcome, Error> {
+        let IterativeRun {
+            heuristic,
+            scenario,
+            config,
+            ties,
+            workspace,
+            sink,
+        } = self;
+        let mut owned_tb;
+        let tb = match ties {
+            Ties::Owned(t) => {
+                owned_tb = t;
+                &mut owned_tb
+            }
+            Ties::Borrowed(r) => r,
+        };
+        let mut scratch;
+        let ws = match workspace {
+            Some(w) => w,
+            None => {
+                scratch = MapWorkspace::new();
+                &mut scratch
+            }
+        };
+        let sink = sink.unwrap_or_else(|| Arc::clone(null_sink()));
+        execute_traced(heuristic, scenario, tb, config, ws, &sink)
+    }
+}
+
 /// Runs the iterative technique. See the module docs for the procedure.
 ///
 /// # Panics
@@ -204,12 +342,15 @@ impl IterativeOutcome {
 /// Panics if the heuristic violates its contract (leaves a task unassigned
 /// or assigns to an inactive machine); use [`try_run`] to get the error
 /// instead.
+#[deprecated(since = "0.1.0", note = "use IterativeRun::new(h, scenario).execute()")]
 pub fn run<H: Heuristic + ?Sized>(
     heuristic: &mut H,
     scenario: &Scenario,
     tb: &mut TieBreaker,
 ) -> IterativeOutcome {
-    try_run(heuristic, scenario, tb, IterativeConfig::default())
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .execute()
         .expect("heuristic violated the mapping contract")
 }
 
@@ -219,13 +360,21 @@ pub fn run<H: Heuristic + ?Sized>(
 ///
 /// Panics if the heuristic violates its contract; use [`try_run`] for the
 /// fallible version.
+#[deprecated(
+    since = "0.1.0",
+    note = "use IterativeRun::new(h, scenario).config(cfg).execute()"
+)]
 pub fn run_with<H: Heuristic + ?Sized>(
     heuristic: &mut H,
     scenario: &Scenario,
     tb: &mut TieBreaker,
     config: IterativeConfig,
 ) -> IterativeOutcome {
-    try_run(heuristic, scenario, tb, config).expect("heuristic violated the mapping contract")
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .config(config)
+        .execute()
+        .expect("heuristic violated the mapping contract")
 }
 
 /// Like [`run`], but with a caller-owned [`MapWorkspace`] reused by every
@@ -234,13 +383,20 @@ pub fn run_with<H: Heuristic + ?Sized>(
 /// # Panics
 ///
 /// Panics if the heuristic violates its contract.
+#[deprecated(
+    since = "0.1.0",
+    note = "use IterativeRun::new(h, scenario).workspace(ws).execute()"
+)]
 pub fn run_in<H: Heuristic + ?Sized>(
     heuristic: &mut H,
     scenario: &Scenario,
     tb: &mut TieBreaker,
     ws: &mut MapWorkspace,
 ) -> IterativeOutcome {
-    try_run_in(heuristic, scenario, tb, IterativeConfig::default(), ws)
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .workspace(ws)
+        .execute()
         .expect("heuristic violated the mapping contract")
 }
 
@@ -249,6 +405,10 @@ pub fn run_in<H: Heuristic + ?Sized>(
 /// # Panics
 ///
 /// Panics if the heuristic violates its contract.
+#[deprecated(
+    since = "0.1.0",
+    note = "use IterativeRun::new(h, scenario).config(cfg).workspace(ws).execute()"
+)]
 pub fn run_with_in<H: Heuristic + ?Sized>(
     heuristic: &mut H,
     scenario: &Scenario,
@@ -256,7 +416,11 @@ pub fn run_with_in<H: Heuristic + ?Sized>(
     config: IterativeConfig,
     ws: &mut MapWorkspace,
 ) -> IterativeOutcome {
-    try_run_in(heuristic, scenario, tb, config, ws)
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .config(config)
+        .workspace(ws)
+        .execute()
         .expect("heuristic violated the mapping contract")
 }
 
@@ -269,8 +433,10 @@ pub fn try_run<H: Heuristic + ?Sized>(
     tb: &mut TieBreaker,
     config: IterativeConfig,
 ) -> Result<IterativeOutcome, Error> {
-    let mut ws = MapWorkspace::new();
-    try_run_in(heuristic, scenario, tb, config, &mut ws)
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .config(config)
+        .execute()
 }
 
 /// Fallible driver threading a caller-owned [`MapWorkspace`] through every
@@ -284,7 +450,11 @@ pub fn try_run_in<H: Heuristic + ?Sized>(
     config: IterativeConfig,
     ws: &mut MapWorkspace,
 ) -> Result<IterativeOutcome, Error> {
-    try_run_in_traced(heuristic, scenario, tb, config, ws, null_sink())
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .config(config)
+        .workspace(ws)
+        .execute()
 }
 
 /// The shared always-disabled sink the untraced entry points delegate
@@ -308,17 +478,39 @@ fn round_balance_index(completion: &crate::mapping::CompletionTimes) -> f64 {
 }
 
 /// Like [`try_run_in`], but emitting the round-by-round trajectory to
-/// `sink`: [`TraceEvent::RoundStart`] before each mapping,
-/// [`TraceEvent::RoundEnd`] (makespan machine, makespan, balance index)
-/// and [`TraceEvent::MachineFrozen`] after it, one
-/// [`TraceEvent::KernelPhases`] per round (kernel timing is switched on
-/// for the duration of the run), the heuristic's per-decision
-/// [`TraceEvent::TaskCommitted`] stream via the workspace, and one
-/// [`TraceEvent::FinishDelta`] per machine at the end.
+/// `sink`; see [`IterativeRun::trace`], which this wrapper delegates to.
+#[deprecated(
+    since = "0.1.0",
+    note = "use IterativeRun::new(h, scenario).workspace(ws).trace(sink).execute()"
+)]
+pub fn try_run_in_traced<H: Heuristic + ?Sized>(
+    heuristic: &mut H,
+    scenario: &Scenario,
+    tb: &mut TieBreaker,
+    config: IterativeConfig,
+    ws: &mut MapWorkspace,
+    sink: &Arc<dyn TraceSink>,
+) -> Result<IterativeOutcome, Error> {
+    IterativeRun::new(heuristic, scenario)
+        .ties(tb)
+        .config(config)
+        .workspace(ws)
+        .trace(sink)
+        .execute()
+}
+
+/// The traced driver behind [`IterativeRun::execute`]: emits
+/// [`TraceEvent::RoundStart`] before each mapping, [`TraceEvent::RoundEnd`]
+/// (makespan machine, makespan, balance index) and
+/// [`TraceEvent::MachineFrozen`] after it, one [`TraceEvent::KernelPhases`]
+/// per round (kernel timing is switched on for the duration of the run),
+/// the heuristic's per-decision [`TraceEvent::TaskCommitted`] stream via
+/// the workspace, and one [`TraceEvent::FinishDelta`] per machine at the
+/// end.
 ///
 /// A disabled sink short-circuits to the exact untraced hot path: no
 /// clocks, no events, one branch.
-pub fn try_run_in_traced<H: Heuristic + ?Sized>(
+fn execute_traced<H: Heuristic + ?Sized>(
     heuristic: &mut H,
     scenario: &Scenario,
     tb: &mut TieBreaker,
@@ -568,10 +760,23 @@ mod tests {
         )
     }
 
+    /// Default-knob builder run (deterministic ties, scratch workspace).
+    fn exec<H: Heuristic + ?Sized>(h: &mut H, s: &Scenario) -> IterativeOutcome {
+        IterativeRun::new(h, s).execute().unwrap()
+    }
+
+    fn exec_cfg<H: Heuristic + ?Sized>(
+        h: &mut H,
+        s: &Scenario,
+        config: IterativeConfig,
+    ) -> IterativeOutcome {
+        IterativeRun::new(h, s).config(config).execute().unwrap()
+    }
+
     #[test]
     fn runs_until_one_machine_remains() {
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        let s = scenario_3x3();
+        let outcome = exec(&mut MiniMct, &s);
         // 3 machines -> 3 rounds (the last round has a single machine only
         // if two removals happen first; with 3 machines rounds = 2 removals
         // + final single-machine round when tasks remain... the driver
@@ -585,8 +790,8 @@ mod tests {
 
     #[test]
     fn frozen_machine_keeps_its_round_completion() {
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        let s = scenario_3x3();
+        let outcome = exec(&mut MiniMct, &s);
         let r0 = &outcome.rounds[0];
         assert_eq!(
             outcome.final_finish_of(r0.makespan_machine),
@@ -597,8 +802,7 @@ mod tests {
     #[test]
     fn single_machine_scenario_is_one_round() {
         let s = Scenario::with_zero_ready(EtcMatrix::from_rows(&[vec![2.0], vec![3.0]]).unwrap());
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = run(&mut MiniMct, &s, &mut tb);
+        let outcome = exec(&mut MiniMct, &s);
         assert_eq!(outcome.rounds.len(), 1);
         assert_eq!(outcome.final_finish, vec![(m(0), Time::new(5.0))]);
         assert!(!outcome.makespan_increased());
@@ -611,8 +815,7 @@ mod tests {
         // machines finish at their initial ready times.
         let etc = EtcMatrix::from_rows(&[vec![5.0, 7.0, 9.0]]).unwrap();
         let s = Scenario::with_ready(etc, crate::ReadyTimes::from_values(&[0.0, 1.0, 2.0]));
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = run(&mut MiniMct, &s, &mut tb);
+        let outcome = exec(&mut MiniMct, &s);
         // t0 -> m0 (CT 5). Round 0 makespan machine is m0 (5 > 1 > 2? No:
         // completions are m0=5, m1=1, m2=2, so m0 freezes at 5).
         assert_eq!(outcome.final_finish_of(m(0)), Time::new(5.0));
@@ -625,8 +828,8 @@ mod tests {
 
     #[test]
     fn deltas_and_counts_are_consistent() {
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        let s = scenario_3x3();
+        let outcome = exec(&mut MiniMct, &s);
         let deltas = outcome.deltas();
         assert_eq!(deltas.len(), 3);
         let (better, worse) = outcome.improvement_counts();
@@ -643,15 +846,12 @@ mod tests {
     #[test]
     fn seed_guard_prevents_degradation() {
         let s = scenario_3x3();
-        let mut tb = TieBreaker::Deterministic;
-        let unguarded = run(&mut Degrading { calls: 0 }, &s, &mut tb);
+        let unguarded = exec(&mut Degrading { calls: 0 }, &s);
         assert!(unguarded.makespan_increased());
 
-        let mut tb = TieBreaker::Deterministic;
-        let guarded = run_with(
+        let guarded = exec_cfg(
             &mut Degrading { calls: 0 },
             &s,
-            &mut tb,
             IterativeConfig {
                 seed_guard: true,
                 ..IterativeConfig::default()
@@ -674,11 +874,9 @@ mod tests {
         let s = Scenario::with_zero_ready(etc);
         // MiniMct: t0->m0 (4), t1->m1 (2), t2->m1 (4), t3->m2 (4): all tie at 4.
         let run_tie = |tie: MakespanTie| {
-            let mut tb = TieBreaker::Deterministic;
-            let outcome = run_with(
+            let outcome = exec_cfg(
                 &mut MiniMct,
                 &s,
-                &mut tb,
                 IterativeConfig {
                     makespan_tie: tie,
                     ..IterativeConfig::default()
@@ -701,11 +899,9 @@ mod tests {
             MakespanTie::HighestIndex,
             MakespanTie::MostTasks,
         ] {
-            let mut tb = TieBreaker::Deterministic;
-            let outcome = run_with(
+            let outcome = exec_cfg(
                 &mut MiniMct,
                 &s,
-                &mut tb,
                 IterativeConfig {
                     makespan_tie: tie,
                     ..IterativeConfig::default()
@@ -744,22 +940,16 @@ mod tests {
         use hcs_obs::VecSink;
 
         let s = scenario_3x3();
-        let mut tb = TieBreaker::Deterministic;
-        let baseline = run(&mut MiniMct, &s, &mut tb);
+        let baseline = exec(&mut MiniMct, &s);
 
         let vec = Arc::new(VecSink::new());
         let sink: Arc<dyn TraceSink> = Arc::clone(&vec) as Arc<dyn TraceSink>;
-        let mut tb = TieBreaker::Deterministic;
         let mut ws = MapWorkspace::new();
-        let outcome = try_run_in_traced(
-            &mut MiniMct,
-            &s,
-            &mut tb,
-            IterativeConfig::default(),
-            &mut ws,
-            &sink,
-        )
-        .unwrap();
+        let outcome = IterativeRun::new(&mut MiniMct, &s)
+            .workspace(&mut ws)
+            .trace(&sink)
+            .execute()
+            .unwrap();
         assert_eq!(outcome, baseline, "tracing must not perturb the run");
 
         let events = vec.take();
@@ -839,35 +1029,61 @@ mod tests {
     fn traced_run_with_disabled_sink_is_silent_and_restores_workspace() {
         let s = scenario_3x3();
         let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
-        let mut tb = TieBreaker::Deterministic;
         let mut ws = MapWorkspace::new();
-        let outcome = try_run_in_traced(
-            &mut MiniMct,
-            &s,
-            &mut tb,
-            IterativeConfig::default(),
-            &mut ws,
-            &sink,
-        )
-        .unwrap();
-        let mut tb = TieBreaker::Deterministic;
-        assert_eq!(outcome, run(&mut MiniMct, &s, &mut tb));
+        let outcome = IterativeRun::new(&mut MiniMct, &s)
+            .workspace(&mut ws)
+            .trace(&sink)
+            .execute()
+            .unwrap();
+        assert_eq!(outcome, exec(&mut MiniMct, &s));
         // The disabled path must leave kernel timing off.
         assert_eq!(ws.take_kernel_timers(), None);
     }
 
     #[test]
-    fn run_in_reusing_one_workspace_matches_run() {
+    fn reusing_one_workspace_matches_the_scratch_path() {
         let s = scenario_3x3();
-        let mut tb = TieBreaker::Deterministic;
-        let baseline = run(&mut MiniMct, &s, &mut tb);
+        let baseline = exec(&mut MiniMct, &s);
 
         let mut ws = MapWorkspace::new();
         for _ in 0..3 {
-            let mut tb = TieBreaker::Deterministic;
-            let reused = run_in(&mut MiniMct, &s, &mut tb, &mut ws);
+            let reused = IterativeRun::new(&mut MiniMct, &s)
+                .workspace(&mut ws)
+                .execute()
+                .unwrap();
             assert_eq!(reused, baseline);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_builder() {
+        let s = scenario_3x3();
+        let baseline = exec(&mut MiniMct, &s);
+        let cfg = IterativeConfig {
+            seed_guard: true,
+            ..IterativeConfig::default()
+        };
+        let cfg_baseline = exec_cfg(&mut MiniMct, &s, cfg);
+
+        let mut tb = TieBreaker::Deterministic;
+        assert_eq!(run(&mut MiniMct, &s, &mut tb), baseline);
+        let mut tb = TieBreaker::Deterministic;
+        assert_eq!(run_with(&mut MiniMct, &s, &mut tb, cfg), cfg_baseline);
+        let mut ws = MapWorkspace::new();
+        let mut tb = TieBreaker::Deterministic;
+        assert_eq!(run_in(&mut MiniMct, &s, &mut tb, &mut ws), baseline);
+        let mut tb = TieBreaker::Deterministic;
+        assert_eq!(
+            run_with_in(&mut MiniMct, &s, &mut tb, cfg, &mut ws),
+            cfg_baseline
+        );
+        let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+        let mut tb = TieBreaker::Deterministic;
+        assert_eq!(
+            try_run_in_traced(&mut MiniMct, &s, &mut tb, cfg, &mut ws, &sink).unwrap(),
+            cfg_baseline
+        );
     }
 
     #[test]
@@ -875,8 +1091,8 @@ mod tests {
         // A smoke-level check of the MCT theorem using the in-module mini
         // implementation; the real theorem tests live in the workspace
         // integration suite.
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = run(&mut MiniMct, &scenario_3x3(), &mut tb);
+        let s = scenario_3x3();
+        let outcome = exec(&mut MiniMct, &s);
         assert!(outcome.mappings_identical());
         assert!(!outcome.makespan_increased());
     }

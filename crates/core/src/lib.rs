@@ -22,7 +22,7 @@
 //!
 //! # The iterative technique
 //!
-//! [`iterative::run`] implements the paper's contribution: run the heuristic
+//! [`iterative::IterativeRun`] implements the paper's contribution: run the heuristic
 //! to get the *original mapping*, freeze the makespan machine together with
 //! the tasks assigned to it, reset every other machine's ready time to its
 //! initial value, and re-run the same heuristic on the remaining tasks and
@@ -63,8 +63,9 @@
 //!     }
 //! }
 //!
-//! let mut tb = TieBreaker::Deterministic;
-//! let outcome = iterative::run(&mut Met, &scenario, &mut tb);
+//! let outcome = iterative::IterativeRun::new(&mut Met, &scenario)
+//!     .execute()
+//!     .unwrap();
 //! assert_eq!(outcome.rounds.len(), 2);
 //! ```
 
@@ -95,7 +96,7 @@ pub use etc::EtcMatrix;
 pub use heuristic::Heuristic;
 pub use id::{MachineId, TaskId};
 pub use instance::{Instance, Scenario};
-pub use iterative::{IterativeConfig, IterativeOutcome, MakespanTie, Round};
+pub use iterative::{IterativeConfig, IterativeOutcome, IterativeRun, MakespanTie, Round};
 pub use mapping::{CompletionTimes, Mapping};
 pub use ready::ReadyTimes;
 pub use tiebreak::TieBreaker;

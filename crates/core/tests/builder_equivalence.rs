@@ -1,0 +1,160 @@
+//! Property-based equivalence of the [`IterativeRun`] builder and the
+//! deprecated free-function wrappers it replaced.
+//!
+//! The wrappers delegate to the builder, so equivalence is cheap to state
+//! but worth pinning down by property: for random tie-rich instances,
+//! random configs and **both** tie policies, every legacy entry point must
+//! produce an outcome bit-identical (rounds, mappings, final finishing
+//! times) to the equivalent builder chain. This is the compatibility
+//! contract that lets callers migrate one site at a time.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use hcs_core::obs::{NullSink, TraceSink};
+use hcs_core::{
+    iterative, select, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome,
+    IterativeRun, MakespanTie, MapWorkspace, Mapping, Scenario, TieBreaker,
+};
+use proptest::prelude::*;
+
+/// A tiny MCT-style heuristic: assigns tasks in order to the machine with
+/// the minimal completion time, consuming one tie-breaker pick per task —
+/// enough to make the two tie policies genuinely diverge on tie-rich
+/// integer matrices.
+struct MiniMct;
+
+impl Heuristic for MiniMct {
+    fn name(&self) -> &'static str {
+        "mini-mct"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let mut rt = inst.working_ready();
+        let mut map = Mapping::new(inst.etc.n_tasks());
+        for &task in inst.tasks {
+            let (cands, _) =
+                select::min_candidates(inst.machines.iter().map(|&m| (m, inst.ct(task, m, &rt))));
+            let chosen = cands[tb.pick(cands.len())];
+            rt.advance(chosen, inst.etc.get(task, chosen));
+            map.assign(task, chosen).unwrap();
+        }
+        map
+    }
+}
+
+/// Tie-rich random instances: small integer costs collide constantly, so
+/// the tie-breaker stream (and therefore any divergence in how an entry
+/// point threads it) shows up in the outcome.
+fn scenarios() -> impl Strategy<Value = Scenario> {
+    (2usize..=5, 1usize..=10).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=4, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            Scenario::with_zero_ready(
+                EtcMatrix::new(t, m, &flat).expect("strategy produces valid values"),
+            )
+        })
+    })
+}
+
+fn configs() -> impl Strategy<Value = IterativeConfig> {
+    (0u8..2, 0u8..3).prop_map(|(guard, tie)| IterativeConfig {
+        seed_guard: guard == 1,
+        makespan_tie: match tie {
+            0 => MakespanTie::LowestIndex,
+            1 => MakespanTie::HighestIndex,
+            _ => MakespanTie::MostTasks,
+        },
+    })
+}
+
+/// Both tie policies, reconstructed identically for every entry point so
+/// each run consumes a fresh but equal stream.
+fn tie_policies(seed: u64) -> [TieBreaker; 2] {
+    [TieBreaker::Deterministic, TieBreaker::random(seed)]
+}
+
+fn builder_outcome(
+    scenario: &Scenario,
+    config: IterativeConfig,
+    mut tb: TieBreaker,
+) -> IterativeOutcome {
+    IterativeRun::new(&mut MiniMct, scenario)
+        .ties(&mut tb)
+        .config(config)
+        .execute()
+        .expect("MiniMct honors the mapping contract")
+}
+
+proptest! {
+    #[test]
+    fn wrappers_match_the_builder(
+        scenario in scenarios(),
+        config in configs(),
+        seed in 0u64..1_000_000,
+    ) {
+        for tb in tie_policies(seed) {
+            // `run` / `run_in` fix the default config; compare against a
+            // default-config builder chain.
+            let default_cfg = builder_outcome(&scenario, IterativeConfig::default(), tb.clone());
+            let configured = builder_outcome(&scenario, config, tb.clone());
+
+            let mut t = tb.clone();
+            prop_assert_eq!(
+                &iterative::run(&mut MiniMct, &scenario, &mut t),
+                &default_cfg
+            );
+
+            let mut t = tb.clone();
+            prop_assert_eq!(
+                &iterative::run_with(&mut MiniMct, &scenario, &mut t, config),
+                &configured
+            );
+
+            let mut t = tb.clone();
+            let mut ws = MapWorkspace::new();
+            prop_assert_eq!(
+                &iterative::run_in(&mut MiniMct, &scenario, &mut t, &mut ws),
+                &default_cfg
+            );
+
+            let mut t = tb.clone();
+            let mut ws = MapWorkspace::new();
+            prop_assert_eq!(
+                &iterative::run_with_in(&mut MiniMct, &scenario, &mut t, config, &mut ws),
+                &configured
+            );
+
+            let mut t = tb.clone();
+            let mut ws = MapWorkspace::new();
+            let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+            let traced =
+                iterative::try_run_in_traced(&mut MiniMct, &scenario, &mut t, config, &mut ws, &sink)
+                    .expect("MiniMct honors the mapping contract");
+            prop_assert_eq!(&traced, &configured);
+        }
+    }
+
+    /// The borrowed tie-breaker is threaded, not copied: after equivalent
+    /// runs, the builder and the wrapper leave the caller's breaker in the
+    /// same state (observable through its next picks).
+    #[test]
+    fn tie_breaker_state_advances_identically(
+        scenario in scenarios(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut via_builder = TieBreaker::random(seed);
+        IterativeRun::new(&mut MiniMct, &scenario)
+            .ties(&mut via_builder)
+            .execute()
+            .expect("MiniMct honors the mapping contract");
+
+        let mut via_wrapper = TieBreaker::random(seed);
+        iterative::run(&mut MiniMct, &scenario, &mut via_wrapper);
+
+        for width in 2usize..=7 {
+            prop_assert_eq!(via_builder.pick(width), via_wrapper.pick(width));
+        }
+    }
+}

@@ -81,8 +81,9 @@ fn full_iterative_outcome_round_trips() {
         ])
         .unwrap(),
     );
-    let mut tb = TieBreaker::Deterministic;
-    let outcome = iterative::run(&mut MiniMct, &scenario, &mut tb);
+    let outcome = iterative::IterativeRun::new(&mut MiniMct, &scenario)
+        .execute()
+        .unwrap();
     let back: IterativeOutcome = roundtrip(&outcome);
     assert_eq!(back, outcome);
     // Derived quantities survive too.

@@ -308,7 +308,7 @@ mod tests {
     fn naive_stays_naive_through_map_with() {
         // `Naive` must not pick up a workspace override: the default
         // `map_with` forwards to `map`, keeping the reference path intact
-        // for benchmarks that drive it through `iterative::run_in`.
+        // for benchmarks that drive it through `iterative::IterativeRun`.
         let s = Scenario::with_zero_ready(
             EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0], vec![8.0, 3.0]]).unwrap(),
         );

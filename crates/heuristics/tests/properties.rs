@@ -271,8 +271,15 @@ proptest! {
         for mut fast in all_heuristics() {
             let mut naive = reference::naive_by_name(fast.name())
                 .expect("every roster heuristic has a naive reference twin");
-            let a = iterative::run_in(&mut *fast, &s, &mut TieBreaker::random(seed), &mut ws);
-            let b = iterative::run(&mut naive, &s, &mut TieBreaker::random(seed));
+            let a = iterative::IterativeRun::new(&mut *fast, &s)
+                .tie_breaker(TieBreaker::random(seed))
+                .workspace(&mut ws)
+                .execute()
+                .unwrap();
+            let b = iterative::IterativeRun::new(&mut naive, &s)
+                .tie_breaker(TieBreaker::random(seed))
+                .execute()
+                .unwrap();
             prop_assert_eq!(a, b, "{}", fast.name());
         }
     }

@@ -90,15 +90,19 @@ impl PaperExample {
     pub fn run(&self) -> IterativeOutcome {
         let mut heuristic = self.make_heuristic();
         let mut tb = self.tie_breaker();
-        hcs_core::iterative::run(&mut *heuristic, &self.scenario(), &mut tb)
+        hcs_core::iterative::IterativeRun::new(&mut *heuristic, &self.scenario())
+            .ties(&mut tb)
+            .execute()
+            .expect("paper examples uphold the mapping contract")
     }
 
     /// Runs the procedure with purely deterministic ties (the theorems'
     /// setting for Min-Min / MCT / MET).
     pub fn run_deterministic(&self) -> IterativeOutcome {
         let mut heuristic = self.make_heuristic();
-        let mut tb = TieBreaker::Deterministic;
-        hcs_core::iterative::run(&mut *heuristic, &self.scenario(), &mut tb)
+        hcs_core::iterative::IterativeRun::new(&mut *heuristic, &self.scenario())
+            .execute()
+            .expect("paper examples uphold the mapping contract")
     }
 }
 
@@ -406,8 +410,9 @@ mod tests {
     fn genitor_improves_or_keeps_on_example_scenarios() {
         for e in all_examples() {
             let mut ga = example_genitor(7);
-            let mut tb = hcs_core::TieBreaker::Deterministic;
-            let outcome = hcs_core::iterative::run(&mut ga, &e.scenario(), &mut tb);
+            let outcome = hcs_core::iterative::IterativeRun::new(&mut ga, &e.scenario())
+                .execute()
+                .unwrap();
             assert!(
                 outcome.final_makespan() <= outcome.original_makespan() + Time::ZERO,
                 "{}: Genitor must never increase makespan across iterations",

@@ -14,7 +14,7 @@
 //! completely different task ordering on the survivors, so the remapped
 //! machines can stack long tasks that the original mapping had spread out.
 
-use hcs_core::{iterative, EtcMatrix, Heuristic, IterativeOutcome, Scenario, TieBreaker};
+use hcs_core::{iterative, EtcMatrix, Heuristic, IterativeOutcome, Scenario};
 use hcs_etcgen::{Consistency, EtcSpec, Method};
 use hcs_heuristics::MaxMin;
 
@@ -42,8 +42,9 @@ where
         let etc = spec.generate(seed);
         let scenario = Scenario::with_zero_ready(etc.clone());
         let mut heuristic = make();
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut heuristic, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut heuristic, &scenario)
+            .execute()
+            .expect("roster heuristics uphold the mapping contract");
         if outcome.makespan_increased() {
             return Some((seed, etc, outcome));
         }

@@ -22,7 +22,7 @@
 //! procedures (the Sufferage one at integer scale ×2, halved for the
 //! paper's `.5` values).
 
-use hcs_core::{iterative, EtcMatrix, Scenario, TieBreaker, Time};
+use hcs_core::{iterative, EtcMatrix, Scenario, Time};
 use hcs_heuristics::Sufferage;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -198,8 +198,9 @@ impl SufferageTargets {
 /// a unique maximum.
 pub fn sufferage_objective(etc: &EtcMatrix, targets: &SufferageTargets) -> f64 {
     let scenario = Scenario::with_zero_ready(etc.clone());
-    let mut tb = TieBreaker::Deterministic;
-    let outcome = iterative::run(&mut Sufferage, &scenario, &mut tb);
+    let outcome = iterative::IterativeRun::new(&mut Sufferage, &scenario)
+        .execute()
+        .expect("Sufferage upholds the mapping contract");
 
     let mut orig: Vec<f64> = outcome.rounds[0]
         .completion

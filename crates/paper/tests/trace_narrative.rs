@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use hcs_core::obs::{TraceEvent, TraceSink, VecSink};
-use hcs_core::{iterative, IterativeConfig, MapWorkspace};
+use hcs_core::{iterative, MapWorkspace};
 use hcs_paper::all_examples;
 
 /// Runs an example along the paper's tie path with a sink attached.
@@ -17,15 +17,12 @@ fn traced_events(example: &hcs_paper::PaperExample) -> Vec<TraceEvent> {
     let mut ws = MapWorkspace::new();
     let sink = Arc::new(VecSink::new());
     let dyn_sink: Arc<dyn TraceSink> = Arc::clone(&sink) as _;
-    iterative::try_run_in_traced(
-        &mut *heuristic,
-        &example.scenario(),
-        &mut tb,
-        IterativeConfig::default(),
-        &mut ws,
-        &dyn_sink,
-    )
-    .expect("paper example runs cleanly");
+    iterative::IterativeRun::new(&mut *heuristic, &example.scenario())
+        .ties(&mut tb)
+        .workspace(&mut ws)
+        .trace(&dyn_sink)
+        .execute()
+        .expect("paper example runs cleanly");
     sink.take()
 }
 

@@ -27,20 +27,28 @@
 //!
 //! # Protocol
 //!
-//! One JSON object per line. `op` selects the action (default `"map"`):
+//! One JSON object per line. `op` selects the action (default `"map"`);
+//! an optional `"v"` field carries the protocol version (missing = v1,
+//! unknown versions get a typed rejection):
 //!
 //! ```text
 //! {"etc":[[2,6],[3,4],[8,3]],"heuristic":"min-min"}
-//! {"op":"map","etc":[[1,2]],"ready":[0,0],"heuristic":"mct","iterative":true}
+//! {"op":"map","v":1,"etc":[[1,2]],"ready":[0,0],"heuristic":"mct","iterative":true}
+//! {"op":"map_batch","items":[{"etc":[[1,2]],"heuristic":"mct"},{"etc":[[3]],"heuristic":"olb"}]}
 //! {"op":"stats"}
 //! {"op":"metrics"}
 //! {"op":"trace"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Replies are single JSON lines: `{"ok":true,...}` on success or
-//! `{"ok":false,"code":400|404|500|503,"error":"..."}` on failure. See
-//! [`protocol`] for the full field set.
+//! Replies are single JSON lines: `{"ok":true,"v":1,...}` on success or
+//! `{"ok":false,"v":1,"code":400|404|500|503,"error_code":"shed|parse|version|fault|internal",
+//! "error":"..."}` on failure. `map_batch` fans its items across the
+//! worker pool and answers with one order-preserving `items` array whose
+//! entries are complete single-map reply objects — failures are reported
+//! per item, so a poisoned item never fails the batch. See [`protocol`]
+//! for the full field set, and [`ServeConfig::fault_rate`] for the
+//! deterministic fault-injection hook used to test client retry paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +60,9 @@ pub mod queue;
 pub mod server;
 pub mod stats;
 
-pub use protocol::{MapRequest, MapResult, ProtocolError, Request};
+pub use protocol::{
+    batch_line, BatchRequest, ErrorCode, MapRequest, MapResult, ProtocolError, Request,
+    MAX_BATCH_ITEMS, PROTOCOL_VERSION,
+};
 pub use server::{ServeConfig, Server};
 pub use stats::{LatencyHistogram, ServiceStats};

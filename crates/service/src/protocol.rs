@@ -4,18 +4,39 @@
 //! operation (`"map"` is the default when absent):
 //!
 //! ```json
-//! {"op":"map","etc":[[2,4],[3,1]],"heuristic":"min-min",
+//! {"op":"map","v":1,"etc":[[2,4],[3,1]],"heuristic":"min-min",
 //!  "ready":[0,0],"random_ties":7,"iterative":true,"guard":false}
+//! {"op":"map_batch","v":1,"items":[{"etc":[[2,4]],"heuristic":"mct"}]}
 //! {"op":"stats"}
 //! {"op":"metrics"}
 //! {"op":"trace"}
 //! {"op":"shutdown"}
 //! ```
 //!
+//! # Versioning
+//!
+//! Every line — request and response — carries a `"v"` protocol version
+//! field. A missing (or `null`) version means v1, so pre-versioning
+//! clients keep working; any *other* value is rejected with a typed
+//! [`ErrorCode::Version`] error rather than a parse failure, giving future
+//! protocol revisions a well-defined negotiation point.
+//!
+//! # Errors
+//!
 //! Replies are one JSON object per line with a leading `"ok"` field.
-//! Errors carry an HTTP-flavoured numeric `code` (`400` malformed request,
-//! `404` unknown heuristic, `503` overloaded or shutting down) so clients
-//! can triage without string-matching.
+//! Errors carry both an HTTP-flavoured numeric `code` (`400` malformed
+//! request, `404` unknown heuristic, `500` server fault, `503` overloaded
+//! or shutting down) and a closed machine-readable `error_code` string —
+//! the serialized [`ErrorCode`] — so clients can triage retryable from
+//! terminal failures without string-matching the human-readable message.
+//!
+//! # Batching
+//!
+//! `map_batch` carries up to [`MAX_BATCH_ITEMS`] map requests in one line;
+//! the server fans the items across its worker pool and replies with a
+//! single line whose `items` array preserves request order. Failures are
+//! reported *per item* (each entry is a complete single-map reply object),
+//! so one poisoned item never fails the batch around it.
 //!
 //! Everything in this module is pure (no sockets, no threads): `parse
 //! request → execute → render response` is a plain function pipeline, which
@@ -36,11 +57,21 @@ use crate::json::{self, ObjectBuilder, Value};
 /// service time (used by the backpressure tests and `loadgen`).
 pub const MAX_SLEEP_MS: u64 = 5_000;
 
+/// The protocol version this build speaks (see the module docs).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on the number of items in one `map_batch` line. Keeps a
+/// single connection from monopolizing the queue and bounds the memory a
+/// batch reply can pin.
+pub const MAX_BATCH_ITEMS: usize = 1024;
+
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Run a heuristic (optionally the iterative driver) on an instance.
     Map(MapRequest),
+    /// Run many map requests in one line, fanned across the worker pool.
+    MapBatch(BatchRequest),
     /// Return the observability snapshot.
     Stats,
     /// Return the metrics registry in Prometheus text exposition format.
@@ -49,6 +80,15 @@ pub enum Request {
     Trace,
     /// Drain the queue, join the workers, stop the daemon.
     Shutdown,
+}
+
+/// A parsed `map_batch` line. Item-level parse failures are kept in place
+/// (as `Err`) so the reply can report them per item, in order, without
+/// failing the neighbouring items.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRequest {
+    /// The items, in wire order.
+    pub items: Vec<Result<MapRequest, ProtocolError>>,
 }
 
 /// A validated mapping request: the scenario is already constructed, the
@@ -83,8 +123,19 @@ impl MapRequest {
     }
 
     /// Renders the request back to its wire form (used by clients:
-    /// `loadgen` and the tests).
+    /// `hcs-client`, `loadgen` and the tests).
     pub fn to_line(&self) -> String {
+        let Value::Object(mut entries) = self.to_value() else {
+            unreachable!("to_value builds an object")
+        };
+        entries.insert(0, ("op".to_string(), Value::String("map".into())));
+        entries.insert(1, ("v".to_string(), Value::Number(PROTOCOL_VERSION as f64)));
+        Value::Object(entries).to_string()
+    }
+
+    /// The request as a bare JSON object without the `op`/`v` line fields —
+    /// the shape `map_batch` items embed.
+    pub fn to_value(&self) -> Value {
         let rows: Vec<Value> = self
             .scenario
             .etc
@@ -108,7 +159,6 @@ impl MapRequest {
             .map(|t| Value::Number(t.get()))
             .collect();
         let mut b = ObjectBuilder::new()
-            .field("op", Value::String("map".into()))
             .field("etc", Value::Array(rows))
             .field("ready", Value::Array(ready))
             .field("heuristic", Value::String(self.heuristic.clone()));
@@ -124,7 +174,80 @@ impl MapRequest {
         if self.sleep_ms > 0 {
             b = b.field("sleep_ms", Value::Number(self.sleep_ms as f64));
         }
-        b.build().to_string()
+        b.build()
+    }
+}
+
+/// Renders a `map_batch` request line carrying `items` in order.
+pub fn batch_line(items: &[MapRequest]) -> String {
+    ObjectBuilder::new()
+        .field("op", Value::String("map_batch".into()))
+        .field("v", Value::Number(PROTOCOL_VERSION as f64))
+        .field(
+            "items",
+            Value::Array(items.iter().map(MapRequest::to_value).collect()),
+        )
+        .build()
+        .to_string()
+}
+
+/// The closed set of machine-readable failure categories a reply can
+/// carry. Serialized as a stable string in the `error_code` field; clients
+/// (notably `hcs-client`) split it into retryable vs terminal outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The daemon shed the request (queue full or shutting down). The
+    /// request was never executed — retrying is safe and expected.
+    Shed,
+    /// The request line (or an item inside it) did not validate: bad
+    /// JSON, bad matrix, unknown heuristic, unknown op. Terminal.
+    Parse,
+    /// The request declared a protocol version this build does not speak.
+    /// Terminal for this request shape.
+    Version,
+    /// An injected fault (testing aid, see `ServeConfig::fault_rate`). The
+    /// request was dropped mid-flight; retrying is safe.
+    Fault,
+    /// The server failed internally (heuristic contract violation).
+    /// Terminal: the same request will fail the same way.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Shed => "shed",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Version => "version",
+            ErrorCode::Fault => "fault",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire string back (`None` for anything outside the
+    /// closed set).
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Some(match s {
+            "shed" => ErrorCode::Shed,
+            "parse" => ErrorCode::Parse,
+            "version" => ErrorCode::Version,
+            "fault" => ErrorCode::Fault,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client may retry the identical request and reasonably
+    /// expect a different outcome.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Shed | ErrorCode::Fault)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -133,27 +256,89 @@ impl MapRequest {
 pub struct ProtocolError {
     /// HTTP-flavoured status code.
     pub code: u16,
+    /// Machine-readable failure category.
+    pub kind: ErrorCode,
     /// Human-readable cause.
     pub message: String,
 }
 
 impl ProtocolError {
-    /// A `400 bad request`.
+    /// A `400 bad request` (parse/validation failure).
     pub fn bad_request(message: impl Into<String>) -> Self {
         ProtocolError {
             code: 400,
+            kind: ErrorCode::Parse,
             message: message.into(),
         }
     }
 
-    /// Renders the error reply line.
-    pub fn to_line(&self) -> String {
+    /// A `503` load-shed rejection.
+    pub fn shed(message: impl Into<String>) -> Self {
+        ProtocolError {
+            code: 503,
+            kind: ErrorCode::Shed,
+            message: message.into(),
+        }
+    }
+
+    /// A `400` protocol-version rejection.
+    pub fn version(message: impl Into<String>) -> Self {
+        ProtocolError {
+            code: 400,
+            kind: ErrorCode::Version,
+            message: message.into(),
+        }
+    }
+
+    /// A `503` injected-fault rejection (testing aid).
+    pub fn fault(message: impl Into<String>) -> Self {
+        ProtocolError {
+            code: 503,
+            kind: ErrorCode::Fault,
+            message: message.into(),
+        }
+    }
+
+    /// A `500` internal server failure.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ProtocolError {
+            code: 500,
+            kind: ErrorCode::Internal,
+            message: message.into(),
+        }
+    }
+
+    /// The reply object, without the line-level version stamp (this is
+    /// what batch replies embed per item).
+    pub fn to_value(&self) -> Value {
         ObjectBuilder::new()
             .field("ok", Value::Bool(false))
             .field("code", Value::Number(f64::from(self.code)))
+            .field("error_code", Value::String(self.kind.as_str().into()))
             .field("error", Value::String(self.message.clone()))
             .build()
-            .to_string()
+    }
+
+    /// Renders the error reply line.
+    pub fn to_line(&self) -> String {
+        stamp_version(self.to_value()).to_string()
+    }
+}
+
+/// Inserts the `"v"` protocol-version field right after the leading `"ok"`
+/// field of a reply object (all reply *lines* carry it; embedded batch
+/// items do not).
+pub(crate) fn stamp_version(reply: Value) -> Value {
+    match reply {
+        Value::Object(mut entries) => {
+            let at = entries.len().min(1);
+            entries.insert(
+                at,
+                ("v".to_string(), Value::Number(PROTOCOL_VERSION as f64)),
+            );
+            Value::Object(entries)
+        }
+        other => other,
     }
 }
 
@@ -171,14 +356,61 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     if !matches!(v, Value::Object(_)) {
         return Err(ProtocolError::bad_request("request must be a json object"));
     }
+    check_version(&v)?;
     match v.get("op").and_then(Value::as_str).unwrap_or("map") {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         "map" => parse_map(&v).map(Request::Map),
+        "map_batch" => parse_batch(&v).map(Request::MapBatch),
         other => Err(ProtocolError::bad_request(format!("unknown op {other:?}"))),
     }
+}
+
+/// Missing (or `null`) `"v"` means v1; any other value than the spoken
+/// version is a typed rejection, not a parse failure.
+fn check_version(v: &Value) -> Result<(), ProtocolError> {
+    match v.get("v") {
+        None | Some(Value::Null) => Ok(()),
+        Some(x) => match x.as_u64() {
+            Some(PROTOCOL_VERSION) => Ok(()),
+            _ => Err(ProtocolError::version(format!(
+                "unsupported protocol version {x} (this daemon speaks v{PROTOCOL_VERSION})"
+            ))),
+        },
+    }
+}
+
+/// Parses the `items` of a `map_batch` line. The batch itself only fails
+/// on structural problems (missing/oversized/non-object items array);
+/// per-item validation failures are captured in place.
+fn parse_batch(v: &Value) -> Result<BatchRequest, ProtocolError> {
+    let items = v
+        .get("items")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ProtocolError::bad_request("map_batch requires an \"items\" array"))?;
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(ProtocolError::bad_request(format!(
+            "batch has {} items; the limit is {MAX_BATCH_ITEMS}",
+            items.len()
+        )));
+    }
+    Ok(BatchRequest {
+        items: items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if matches!(item, Value::Object(_)) {
+                    parse_map(item)
+                } else {
+                    Err(ProtocolError::bad_request(format!(
+                        "items[{i}] is not a json object"
+                    )))
+                }
+            })
+            .collect(),
+    })
 }
 
 fn parse_map(v: &Value) -> Result<MapRequest, ProtocolError> {
@@ -247,6 +479,7 @@ fn parse_map(v: &Value) -> Result<MapRequest, ProtocolError> {
         .map(|h| h.name().to_string())
         .ok_or_else(|| ProtocolError {
             code: 404,
+            kind: ErrorCode::Parse,
             message: format!("unknown heuristic {name:?}"),
         })?;
 
@@ -329,6 +562,12 @@ impl MapResult {
     /// Renders the reply line. `cached` reports whether this result came
     /// from the digest cache.
     pub fn to_line(&self, cached: bool) -> String {
+        stamp_version(self.to_value(cached)).to_string()
+    }
+
+    /// The reply object, without the line-level version stamp (this is
+    /// what batch replies embed per item).
+    pub fn to_value(&self, cached: bool) -> Value {
         let pairs = |items: &[(u32, f64)]| {
             Value::Array(
                 items
@@ -366,7 +605,7 @@ impl MapResult {
                 .field("rounds", Value::Number(f64::from(it.rounds)))
                 .field("makespan_increased", Value::Bool(it.makespan_increased));
         }
-        b.build().to_string()
+        b.build()
     }
 }
 
@@ -391,10 +630,8 @@ pub fn execute(
         None => TieBreaker::Deterministic,
     };
     let scenario = &req.scenario;
-    let internal = |e: hcs_core::Error| ProtocolError {
-        code: 500,
-        message: format!("heuristic contract violation: {e}"),
-    };
+    let internal =
+        |e: hcs_core::Error| ProtocolError::internal(format!("heuristic contract violation: {e}"));
 
     if req.iterative {
         let outcome = iterative::try_run_in(
@@ -577,8 +814,9 @@ mod tests {
 
         // Same run through the library directly.
         let mut h = hcs_heuristics::by_name("sufferage").unwrap();
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut *h, &req.scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut *h, &req.scenario)
+            .execute()
+            .unwrap();
         assert_eq!(it.final_makespan, outcome.final_makespan().get());
         assert_eq!(it.makespan_increased, outcome.makespan_increased());
     }
@@ -622,10 +860,123 @@ mod tests {
     #[test]
     fn error_lines_render_code_and_message() {
         let err = parse_request(r#"{"etc":[[1]],"heuristic":"nope"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorCode::Parse);
         let line = err.to_line();
         let v = crate::json::parse(&line).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("code").unwrap().as_u64(), Some(404));
+        assert_eq!(v.get("error_code").unwrap().as_str(), Some("parse"));
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(PROTOCOL_VERSION));
         assert!(v.get("error").unwrap().as_str().unwrap().contains("nope"));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_classify() {
+        for kind in [
+            ErrorCode::Shed,
+            ErrorCode::Parse,
+            ErrorCode::Version,
+            ErrorCode::Fault,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorCode::from_wire("banana"), None);
+        assert!(ErrorCode::Shed.retryable());
+        assert!(ErrorCode::Fault.retryable());
+        assert!(!ErrorCode::Parse.retryable());
+        assert!(!ErrorCode::Version.retryable());
+        assert!(!ErrorCode::Internal.retryable());
+    }
+
+    #[test]
+    fn missing_version_means_v1_and_unknown_versions_are_typed_rejections() {
+        // Missing and explicit v1 both parse.
+        assert!(parse_request(r#"{"op":"stats"}"#).is_ok());
+        assert!(parse_request(r#"{"op":"stats","v":1}"#).is_ok());
+        assert!(parse_request(r#"{"op":"stats","v":null}"#).is_ok());
+        // Anything else is an ErrorCode::Version, not a parse failure.
+        for line in [
+            r#"{"op":"stats","v":2}"#,
+            r#"{"op":"stats","v":0}"#,
+            r#"{"op":"stats","v":"1"}"#,
+            r#"{"op":"map","v":99,"etc":[[1]],"heuristic":"mct"}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorCode::Version, "{line}");
+            assert_eq!(err.code, 400, "{line}");
+        }
+    }
+
+    #[test]
+    fn reply_lines_carry_the_version_stamp() {
+        let Request::Map(req) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let result = execute(&req, &mut ws).unwrap();
+        let v = crate::json::parse(&result.to_line(false)).unwrap();
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(PROTOCOL_VERSION));
+        // Embedded batch-item values do not repeat the line-level stamp.
+        assert!(result.to_value(false).get("v").is_none());
+        // Request lines carry it too, and still round-trip.
+        let rendered = req.to_line();
+        let rv = crate::json::parse(&rendered).unwrap();
+        assert_eq!(rv.get("v").unwrap().as_u64(), Some(PROTOCOL_VERSION));
+    }
+
+    #[test]
+    fn batch_lines_parse_with_per_item_failures_in_place() {
+        let line = r#"{"op":"map_batch","items":[
+            {"etc":[[2,6],[3,4]],"heuristic":"min-min"},
+            {"etc":[[1]],"heuristic":"nope"},
+            {"etc":[[5,1]],"heuristic":"mct"}
+        ]}"#
+        .replace('\n', "");
+        let Request::MapBatch(batch) = parse_request(&line).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(batch.items.len(), 3);
+        assert!(batch.items[0].is_ok());
+        assert_eq!(batch.items[1].as_ref().unwrap_err().code, 404);
+        assert!(batch.items[2].is_ok());
+        // A non-object item is a per-item failure too, not a batch failure.
+        let Request::MapBatch(batch) = parse_request(r#"{"op":"map_batch","items":[42]}"#).unwrap()
+        else {
+            unreachable!()
+        };
+        assert_eq!(batch.items[0].as_ref().unwrap_err().kind, ErrorCode::Parse);
+        // An empty batch is structurally fine.
+        let Request::MapBatch(batch) = parse_request(r#"{"op":"map_batch","items":[]}"#).unwrap()
+        else {
+            unreachable!()
+        };
+        assert!(batch.items.is_empty());
+    }
+
+    #[test]
+    fn structural_batch_failures_reject_the_whole_line() {
+        let err = parse_request(r#"{"op":"map_batch"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorCode::Parse);
+        let items: Vec<String> = (0..=MAX_BATCH_ITEMS).map(|_| "{}".to_string()).collect();
+        let line = format!(r#"{{"op":"map_batch","items":[{}]}}"#, items.join(","));
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.message.contains("limit"));
+    }
+
+    #[test]
+    fn batch_line_round_trips() {
+        let Request::Map(a) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let line = r#"{"etc":[[2,6],[3,4]],"heuristic":"kpb","random_ties":9,"iterative":true}"#;
+        let Request::Map(b) = parse_request(line).unwrap() else {
+            unreachable!()
+        };
+        let rendered = batch_line(&[a.clone(), b.clone()]);
+        let Request::MapBatch(batch) = parse_request(&rendered).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(batch.items, vec![Ok(a), Ok(b)]);
     }
 }

@@ -30,7 +30,7 @@
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,7 +39,8 @@ use hcs_core::obs::{TraceBuffer, TraceEvent, TraceSink};
 use hcs_core::MapWorkspace;
 
 use crate::cache::ShardedCache;
-use crate::protocol::{self, MapRequest, MapResult, ProtocolError, Request};
+use crate::json::{ObjectBuilder, Value};
+use crate::protocol::{self, BatchRequest, MapRequest, MapResult, ProtocolError, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServiceStats;
 
@@ -63,6 +64,15 @@ pub struct ServeConfig {
     /// Slots in the trace ring served by the `TRACE` verb (0 disables
     /// tracing entirely — event emission becomes a no-op branch).
     pub trace_capacity: usize,
+    /// Probability in `[0, 1]` that a worker drops a request with an
+    /// [`ErrorCode::Fault`](crate::ErrorCode::Fault) reply instead of
+    /// executing it. Deterministic given `fault_seed` and the request
+    /// arrival order; `0.0` (the default) disables the hook entirely.
+    /// A testing aid for exercising client retry paths — never enable it
+    /// on a real deployment.
+    pub fault_rate: f64,
+    /// Seed for the fault-injection sequence.
+    pub fault_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -74,8 +84,52 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             trace_capacity: 1024,
+            fault_rate: 0.0,
+            fault_seed: 0,
         }
     }
+}
+
+/// Deterministic per-request fault decisions: request `n` faults iff
+/// `splitmix64(seed + n)` falls below `fault_rate * 2^64`. The atomic
+/// counter makes the *sequence* deterministic even though which worker
+/// observes which request is not.
+struct FaultInjector {
+    threshold: u64,
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl FaultInjector {
+    fn new(rate: f64, seed: u64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        FaultInjector {
+            threshold,
+            seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    fn should_fault(&self) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.seed.wrapping_add(n)) < self.threshold
+    }
+}
+
+/// The splitmix64 finalizer — a cheap, well-mixed hash of the counter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// One queued unit of work.
@@ -93,6 +147,7 @@ struct Shared {
     cache: ShardedCache<MapResult>,
     stats: ServiceStats,
     trace: Arc<TraceBuffer>,
+    fault: FaultInjector,
     shutdown: AtomicBool,
     workers: usize,
     local_addr: SocketAddr,
@@ -129,6 +184,7 @@ impl Server {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             stats: ServiceStats::new(),
             trace: Arc::new(TraceBuffer::new(config.trace_capacity)),
+            fault: FaultInjector::new(config.fault_rate, config.fault_seed),
             shutdown: AtomicBool::new(false),
             workers,
             local_addr,
@@ -215,6 +271,17 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let queue_wait = job.enqueued.elapsed();
         shared.stats.queue_wait.record(queue_wait);
+        // Injected-fault hook: drop the request before execution. The job
+        // is still binned `served` (a worker consumed it), its result is
+        // never cached, and the client sees a retryable `fault` error.
+        if shared.fault.should_fault() {
+            shared.stats.faults.inc();
+            shared.stats.served.inc();
+            let _ = job
+                .reply
+                .send(Err(ProtocolError::fault("injected fault (testing aid)")));
+            continue;
+        }
         let map_start = Instant::now();
         let result = protocol::execute(&job.request, &mut ws);
         let map_time = map_start.elapsed();
@@ -335,11 +402,13 @@ fn handle_line(line: &str, shared: &Shared) -> String {
             let text = shared
                 .stats
                 .prometheus_text(shared.queue.len(), shared.workers);
-            crate::json::ObjectBuilder::new()
-                .field("ok", crate::json::Value::Bool(true))
-                .field("metrics", crate::json::Value::String(text))
-                .build()
-                .to_string()
+            protocol::stamp_version(
+                ObjectBuilder::new()
+                    .field("ok", Value::Bool(true))
+                    .field("metrics", Value::String(text))
+                    .build(),
+            )
+            .to_string()
         }
         Request::Trace => {
             let events: Vec<String> = shared
@@ -348,17 +417,24 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 .into_iter()
                 .map(|(seq, event)| event.to_json_line(seq))
                 .collect();
-            format!("{{\"ok\":true,\"events\":[{}]}}", events.join(","))
+            format!(
+                "{{\"ok\":true,\"v\":{},\"events\":[{}]}}",
+                protocol::PROTOCOL_VERSION,
+                events.join(",")
+            )
         }
         Request::Shutdown => {
             shared.begin_shutdown();
-            crate::json::ObjectBuilder::new()
-                .field("ok", crate::json::Value::Bool(true))
-                .field("draining", crate::json::Value::Bool(true))
-                .build()
-                .to_string()
+            protocol::stamp_version(
+                ObjectBuilder::new()
+                    .field("ok", Value::Bool(true))
+                    .field("draining", Value::Bool(true))
+                    .build(),
+            )
+            .to_string()
         }
         Request::Map(request) => handle_map(request, shared),
+        Request::MapBatch(batch) => handle_batch(batch, shared),
     }
 }
 
@@ -396,19 +472,11 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
         Ok(()) => {}
         Err(PushError::Full) => {
             shared.stats.rejected.inc();
-            return ProtocolError {
-                code: 503,
-                message: "queue full".into(),
-            }
-            .to_line();
+            return ProtocolError::shed("queue full").to_line();
         }
         Err(PushError::Closed) => {
             shared.stats.rejected.inc();
-            return ProtocolError {
-                code: 503,
-                message: "shutting down".into(),
-            }
-            .to_line();
+            return ProtocolError::shed("shutting down").to_line();
         }
     }
     match rx.recv() {
@@ -420,12 +488,97 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
         Ok(Err(e)) => e.to_line(),
         // Worker pool gone before computing the job (only possible when a
         // shutdown races the push) — report as shedding.
-        Err(_) => ProtocolError {
-            code: 503,
-            message: "shutting down".into(),
-        }
-        .to_line(),
+        Err(_) => ProtocolError::shed("shutting down").to_line(),
     }
+}
+
+/// One batch slot: either already answerable (parse failure, cache hit,
+/// shed) or waiting on a worker's reply channel.
+enum Pending {
+    Ready(Value),
+    Wait(mpsc::Receiver<Result<Arc<MapResult>, ProtocolError>>),
+}
+
+/// The batch pipeline. Valid items are pushed onto the *same* bounded
+/// queue as single requests — all workers can pull from one batch
+/// concurrently — and gathered in wire order afterwards, so the reply's
+/// `items` array lines up index-for-index with the request. Every item is
+/// binned exactly like a single request would be (`submitted` +
+/// `served`/`cache_hits`/`rejected`, or `bad_requests` for item-level
+/// parse failures), keeping the accounting invariant intact under
+/// batching.
+fn handle_batch(batch: BatchRequest, shared: &Shared) -> String {
+    shared.stats.batched.inc();
+    shared.stats.batch_items.add(batch.items.len() as u64);
+    let start = Instant::now();
+
+    // Phase 1: fan out. Cheap answers are resolved inline; the rest are
+    // enqueued so the worker pool computes them concurrently.
+    let slots: Vec<Pending> = batch
+        .items
+        .into_iter()
+        .map(|item| {
+            let request = match item {
+                Ok(r) => r,
+                Err(e) => {
+                    shared.stats.bad_requests.inc();
+                    return Pending::Ready(e.to_value());
+                }
+            };
+            shared.stats.submitted.inc();
+            let digest = request.digest();
+            if let Some(hit) = shared.cache.get(digest) {
+                shared.stats.cache_hits.inc();
+                if shared.trace.enabled() {
+                    shared.trace.emit(TraceEvent::CacheHit { digest });
+                }
+                return Pending::Ready(hit.to_value(true));
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                request,
+                digest,
+                enqueued: Instant::now(),
+                reply: tx,
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => Pending::Wait(rx),
+                Err(PushError::Full) => {
+                    shared.stats.rejected.inc();
+                    Pending::Ready(ProtocolError::shed("queue full").to_value())
+                }
+                Err(PushError::Closed) => {
+                    shared.stats.rejected.inc();
+                    Pending::Ready(ProtocolError::shed("shutting down").to_value())
+                }
+            }
+        })
+        .collect();
+
+    // Phase 2: gather in order. Waiting on item i never delays the
+    // *computation* of item j > i — only the reply assembly is ordered.
+    let items: Vec<Value> = slots
+        .into_iter()
+        .map(|slot| match slot {
+            Pending::Ready(v) => v,
+            Pending::Wait(rx) => match rx.recv() {
+                Ok(Ok(result)) => result.to_value(false),
+                Ok(Err(e)) => e.to_value(),
+                Err(_) => ProtocolError::shed("shutting down").to_value(),
+            },
+        })
+        .collect();
+
+    // One end-to-end latency sample per batch line (not per item): the
+    // histogram tracks answered lines.
+    shared.stats.latency.record(start.elapsed());
+    protocol::stamp_version(
+        ObjectBuilder::new()
+            .field("ok", Value::Bool(true))
+            .field("items", Value::Array(items))
+            .build(),
+    )
+    .to_string()
 }
 
 #[cfg(test)]

@@ -79,6 +79,15 @@ pub struct ServiceStats {
     pub rejected: Counter,
     /// Lines that failed protocol validation (never submitted).
     pub bad_requests: Counter,
+    /// `map_batch` lines received.
+    pub batched: Counter,
+    /// Items carried by `map_batch` lines (each also counts toward
+    /// `submitted` unless it failed item-level validation).
+    pub batch_items: Counter,
+    /// Requests dropped by the injected-fault hook (testing aid). Faulted
+    /// requests are binned `served` — a worker consumed them — so the
+    /// accounting invariant is unaffected.
+    pub faults: Counter,
     /// Jobs waiting in the queue (sampled at exposition time).
     queue_depth: Gauge,
     /// Configured worker-thread count.
@@ -124,6 +133,13 @@ impl ServiceStats {
             "hcs_bad_requests_total",
             "Lines that failed protocol validation.",
         );
+        let batched = registry.counter("hcs_batch_requests_total", "map_batch lines received.");
+        let batch_items =
+            registry.counter("hcs_batch_items_total", "Items carried by map_batch lines.");
+        let faults = registry.counter(
+            "hcs_faults_injected_total",
+            "Requests dropped by the injected-fault hook.",
+        );
         let queue_depth = registry.gauge("hcs_queue_depth", "Jobs waiting in the queue.");
         let workers = registry.gauge("hcs_workers", "Configured worker-thread count.");
         let latency = registry.histogram(
@@ -149,6 +165,9 @@ impl ServiceStats {
             cache_hits,
             rejected,
             bad_requests,
+            batched,
+            batch_items,
+            faults,
             queue_depth,
             workers,
             latency,
@@ -182,6 +201,7 @@ impl ServiceStats {
             .build();
         ObjectBuilder::new()
             .field("ok", Value::Bool(true))
+            .field("v", Value::Number(crate::protocol::PROTOCOL_VERSION as f64))
             .field(
                 "stats",
                 ObjectBuilder::new()
@@ -190,6 +210,9 @@ impl ServiceStats {
                     .field("cache_hits", count(&self.cache_hits))
                     .field("rejected", count(&self.rejected))
                     .field("bad_requests", count(&self.bad_requests))
+                    .field("batched", count(&self.batched))
+                    .field("batch_items", count(&self.batch_items))
+                    .field("faults", count(&self.faults))
                     .field("queue_depth", Value::Number(queue_depth as f64))
                     .field("workers", Value::Number(workers as f64))
                     .field("latency", latency)
@@ -260,6 +283,9 @@ mod tests {
         assert_eq!(stats.get("served").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("rejected").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("batched").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("batch_items").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("faults").unwrap().as_u64(), Some(0));
         assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(3));
         assert_eq!(stats.get("workers").unwrap().as_u64(), Some(4));
         let lat = stats.get("latency").unwrap();
@@ -281,6 +307,9 @@ mod tests {
             "hcs_cache_hits_total",
             "hcs_requests_rejected_total",
             "hcs_bad_requests_total",
+            "hcs_batch_requests_total",
+            "hcs_batch_items_total",
+            "hcs_faults_injected_total",
             "hcs_queue_depth",
             "hcs_workers",
             "hcs_request_latency_us",

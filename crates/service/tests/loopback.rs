@@ -17,6 +17,8 @@ fn start(workers: usize, queue_depth: usize) -> Server {
         cache_capacity: 256,
         cache_shards: 4,
         trace_capacity: 256,
+        fault_rate: 0.0,
+        fault_seed: 0,
     })
     .expect("bind ephemeral port")
 }
@@ -358,6 +360,8 @@ fn zero_trace_capacity_disables_tracing() {
         cache_capacity: 16,
         cache_shards: 2,
         trace_capacity: 0,
+        fault_rate: 0.0,
+        fault_seed: 0,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -374,6 +378,170 @@ fn zero_trace_capacity_disables_tracing() {
     );
     server.stop();
     server.join();
+}
+
+#[test]
+fn map_batch_answers_in_order_with_per_item_failures() {
+    let server = start(4, 64);
+    let addr = server.local_addr();
+
+    // Five items, one poisoned (unknown heuristic). The batch must still
+    // succeed as a line, with the failure reported in place.
+    let mut items: Vec<MapRequest> = (0..5u64)
+        .map(|i| request(3000 + i, 5 + i as usize, i % 2 == 0))
+        .collect();
+    items[2].heuristic = "nope".into();
+    let reply = roundtrip(addr, &protocol::batch_line(&items));
+
+    let v = parse(&reply).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{reply}");
+    assert_eq!(v.get("v").and_then(Value::as_u64), Some(1));
+    let replies = v
+        .get("items")
+        .and_then(Value::as_array)
+        .expect("items array")
+        .to_vec();
+    assert_eq!(replies.len(), items.len());
+
+    for (i, item) in replies.iter().enumerate() {
+        if i == 2 {
+            assert_eq!(item.get("ok").and_then(Value::as_bool), Some(false));
+            assert_eq!(item.get("code").and_then(Value::as_u64), Some(404));
+            assert_eq!(
+                item.get("error_code").and_then(Value::as_str),
+                Some("parse")
+            );
+        } else {
+            // Each healthy item matches the direct library call, in its
+            // original position.
+            let mut ws = MapWorkspace::new();
+            let expected = protocol::execute(&items[i], &mut ws)
+                .expect("library call succeeds")
+                .to_value(false);
+            assert_eq!(
+                without_cached(&item.to_string()),
+                without_cached(&expected.to_string()),
+                "batch item {i} diverged from library"
+            );
+        }
+    }
+
+    // Accounting: one batch line, five items, of which one was malformed
+    // and four entered the submitted/served pipeline.
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let v = parse(&stats_reply).unwrap();
+    let stats = v.get("stats").unwrap();
+    let n = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap();
+    assert_eq!(n("batched"), 1);
+    assert_eq!(n("batch_items"), 5);
+    assert_eq!(n("bad_requests"), 1);
+    assert_eq!(n("submitted"), 4);
+    assert_eq!(
+        n("submitted"),
+        n("served") + n("cache_hits") + n("rejected")
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn batch_items_share_the_digest_cache_with_single_requests() {
+    let server = start(2, 16);
+    let addr = server.local_addr();
+
+    // Warm the cache through the single-request path...
+    let req = request(4000, 6, true);
+    roundtrip(addr, &req.to_line());
+    // ...then hit the same instance inside a batch.
+    let reply = roundtrip(addr, &protocol::batch_line(std::slice::from_ref(&req)));
+    let v = parse(&reply).unwrap();
+    let item = &v.get("items").and_then(Value::as_array).unwrap()[0];
+    assert_eq!(item.get("cached").and_then(Value::as_bool), Some(true));
+
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let stats = parse(&stats_reply).unwrap();
+    let n = |k: &str| {
+        stats
+            .get("stats")
+            .unwrap()
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap()
+    };
+    assert_eq!(n("cache_hits"), 1);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn injected_faults_are_typed_counted_and_deterministic() {
+    let fault_server = |rate: f64| {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 32,
+            cache_capacity: 16,
+            cache_shards: 1,
+            trace_capacity: 0,
+            fault_rate: rate,
+            fault_seed: 42,
+        })
+        .expect("bind ephemeral port")
+    };
+
+    // rate = 1.0: every request faults with the typed 503.
+    let server = fault_server(1.0);
+    let addr = server.local_addr();
+    let reply = roundtrip(addr, &request(50, 4, false).to_line());
+    let v = parse(&reply).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(v.get("code").and_then(Value::as_u64), Some(503));
+    assert_eq!(v.get("error_code").and_then(Value::as_str), Some("fault"));
+    server.stop();
+    server.join();
+
+    // Partial rate: the fault pattern over a fixed request sequence is a
+    // pure function of (seed, rate) — two identically configured daemons
+    // agree on exactly which requests fault, and the accounting invariant
+    // holds with faulted requests binned as served.
+    let observe = || {
+        let server = fault_server(0.4);
+        let addr = server.local_addr();
+        let outcomes: Vec<bool> = (0..20u64)
+            .map(|i| {
+                let reply = roundtrip(addr, &request(5000 + i, 4, false).to_line());
+                reply.contains("\"error_code\":\"fault\"")
+            })
+            .collect();
+        let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+        let stats = parse(&stats_reply).unwrap();
+        let stats = stats.get("stats").unwrap().clone();
+        let n = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap();
+        assert_eq!(
+            n("faults") as usize,
+            outcomes.iter().filter(|&&f| f).count()
+        );
+        assert_eq!(
+            n("submitted"),
+            n("served") + n("cache_hits") + n("rejected")
+        );
+        server.stop();
+        server.join();
+        outcomes
+    };
+    let a = observe();
+    let b = observe();
+    assert_eq!(a, b, "fault pattern must be deterministic in (seed, rate)");
+    assert!(
+        a.iter().any(|&f| f),
+        "rate 0.4 over 20 requests faults some"
+    );
+    assert!(
+        !a.iter().all(|&f| f),
+        "rate 0.4 over 20 requests spares some"
+    );
 }
 
 #[test]

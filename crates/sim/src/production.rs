@@ -5,7 +5,7 @@
 //!   begins. We run the mapping heuristic twice, conceptually: once to get
 //!   the *original* mapping, and once through the full *iterative
 //!   technique* (both come out of a single
-//!   [`hcs_core::iterative::run`] call).
+//!   [`hcs_core::iterative::IterativeRun`] execution).
 //! * **Wave 2** — tasks "that were not initially considered": they show up
 //!   at some arrival time and are mapped on-line (MCT on arrival) onto
 //!   whatever availability wave 1 left behind.
@@ -113,7 +113,12 @@ pub fn run_in<H: Heuristic + ?Sized>(
     config: IterativeConfig,
     ws: &mut MapWorkspace,
 ) -> ProductionOutcome {
-    let outcome = iterative::run_with_in(heuristic, &scenario.wave1, tb, config, ws);
+    let outcome = iterative::IterativeRun::new(heuristic, &scenario.wave1)
+        .ties(tb)
+        .config(config)
+        .workspace(ws)
+        .execute()
+        .expect("heuristic violated the mapping contract");
 
     let original_availability: Vec<(MachineId, Time)> =
         outcome.original().completion.pairs().to_vec();

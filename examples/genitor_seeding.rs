@@ -30,19 +30,17 @@ fn main() {
     for seed in 0..10u64 {
         let scenario = Scenario::with_zero_ready(spec.generate(seed));
 
-        let mut tb = TieBreaker::Deterministic;
-        let plain = iterative::run(&mut Sufferage, &scenario, &mut tb);
+        let plain = iterative::IterativeRun::new(&mut Sufferage, &scenario)
+            .execute()
+            .unwrap();
 
-        let mut tb = TieBreaker::Deterministic;
-        let guarded = iterative::run_with(
-            &mut Sufferage,
-            &scenario,
-            &mut tb,
-            IterativeConfig {
+        let guarded = iterative::IterativeRun::new(&mut Sufferage, &scenario)
+            .config(IterativeConfig {
                 seed_guard: true,
                 ..IterativeConfig::default()
-            },
-        );
+            })
+            .execute()
+            .unwrap();
 
         if plain.makespan_increased() {
             backfired += 1;
@@ -71,8 +69,9 @@ fn main() {
                 ..Default::default()
             },
         );
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut ga, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut ga, &scenario)
+            .execute()
+            .unwrap();
         println!(
             "  seed {seed}: original {:.0} -> final {:.0} (increase: {})",
             outcome.original_makespan().get(),

@@ -47,8 +47,9 @@ fn main() {
                 } else {
                     nonmakespan::heuristics::by_name(name).expect("known name")
                 };
-                let mut tb = TieBreaker::Deterministic;
-                let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+                let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                    .execute()
+                    .unwrap();
                 makespans.push(outcome.original_makespan().get());
                 let deltas = outcome.deltas();
                 let orig: f64 =

@@ -23,8 +23,9 @@ fn main() {
 
     // Map it with Min-Min (the paper's flagship greedy heuristic).
     let mut heuristic = MinMin;
-    let mut tb = TieBreaker::Deterministic;
-    let outcome = iterative::run(&mut heuristic, &scenario, &mut tb);
+    let outcome = iterative::IterativeRun::new(&mut heuristic, &scenario)
+        .execute()
+        .expect("Min-Min upholds the mapping contract");
 
     println!("rounds executed: {}", outcome.rounds.len());
     println!(
@@ -52,8 +53,9 @@ fn main() {
     // Now the same scenario through the Sufferage heuristic — the paper
     // shows Sufferage *can* change (for better or worse) across
     // iterations even with deterministic ties.
-    let mut tb = TieBreaker::Deterministic;
-    let outcome = iterative::run(&mut Sufferage, &scenario, &mut tb);
+    let outcome = iterative::IterativeRun::new(&mut Sufferage, &scenario)
+        .execute()
+        .expect("Sufferage upholds the mapping contract");
     println!(
         "\nSufferage: original {} -> final {}",
         outcome.original_makespan(),

@@ -53,8 +53,10 @@ fn main() {
     let mut increases = 0u32;
     let trials = 200u64;
     for seed in 0..trials {
-        let mut tb = TieBreaker::random(seed);
-        let outcome = iterative::run(&mut MinMin, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut MinMin, &scenario)
+            .tie_breaker(TieBreaker::random(seed))
+            .execute()
+            .unwrap();
         if outcome.makespan_increased() {
             increases += 1;
         }

@@ -11,7 +11,9 @@
 //! * `trace` — run the iterative technique with structured tracing
 //!   attached and emit the event stream as JSONL (one event per line);
 //! * `serve` — run the `hcs-service` mapping daemon until it receives a
-//!   `SHUTDOWN` request.
+//!   `SHUTDOWN` request;
+//! * `mapc` — map an ETC CSV against a *running* daemon through the
+//!   `hcs-client` retry machinery (optionally as a `map_batch` line).
 //!
 //! The logic lives here (library side) so it is unit-testable; the binary
 //! in `src/bin/nonmakespan.rs` is a thin `main`.
@@ -84,6 +86,28 @@ pub enum Command {
         /// Daemon configuration (bind address, workers, queue, cache).
         config: hcs_service::ServeConfig,
     },
+    /// Map an ETC CSV against a running daemon over TCP.
+    Mapc {
+        /// Daemon address, `HOST:PORT`.
+        addr: String,
+        /// CSV text of the ETC matrix.
+        csv: String,
+        /// Heuristic name.
+        heuristic: String,
+        /// Tie policy.
+        random_ties: Option<u64>,
+        /// Request the iterative procedure.
+        iterative: bool,
+        /// Apply the seeding guard.
+        guard: bool,
+        /// Retry budget after the first attempt.
+        retries: u32,
+        /// Per-request read deadline, milliseconds.
+        timeout_ms: u64,
+        /// Send the instance as one `map_batch` line with this many
+        /// items instead of a single `map` request.
+        batch: Option<usize>,
+    },
 }
 
 /// CLI-level errors (bad usage, bad input).
@@ -111,6 +135,10 @@ USAGE:
                        [--random-ties SEED] [--guard]
   nonmakespan serve    [--addr 127.0.0.1:7077] [--workers 4] [--queue-depth 256]
                        [--cache-capacity 1024] [--trace-capacity 1024]
+                       [--fault-rate 0.0] [--fault-seed 0]
+  nonmakespan mapc     --etc FILE.csv --heuristic NAME [--addr 127.0.0.1:7077]
+                       [--iterative] [--guard] [--random-ties SEED]
+                       [--retries 3] [--timeout-ms 5000] [--batch K]
 
 HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
             segmented-min-min, genitor, sa, tabu, beam
@@ -220,6 +248,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .transpose()
                     .map(|v| v.unwrap_or(default))
             };
+            let fault_rate = flag(rest, "--fault-rate")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| CliError("--fault-rate takes a number in [0, 1]".into()))
+                })
+                .transpose()?
+                .unwrap_or(defaults.fault_rate);
+            if !(0.0..=1.0).contains(&fault_rate) {
+                return Err(CliError("--fault-rate takes a number in [0, 1]".into()));
+            }
+            let fault_seed = flag(rest, "--fault-seed")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| CliError("--fault-seed takes an integer".into()))
+                })
+                .transpose()?
+                .unwrap_or(defaults.fault_seed);
             Ok(Command::Serve {
                 config: hcs_service::ServeConfig {
                     addr: flag(rest, "--addr").unwrap_or(defaults.addr),
@@ -228,7 +273,49 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     cache_capacity: uint("--cache-capacity", defaults.cache_capacity)?,
                     cache_shards: uint("--cache-shards", defaults.cache_shards)?,
                     trace_capacity: uint("--trace-capacity", defaults.trace_capacity)?,
+                    fault_rate,
+                    fault_seed,
                 },
+            })
+        }
+        "mapc" => {
+            let path = flag(rest, "--etc")
+                .ok_or_else(|| CliError("mapc requires --etc FILE.csv".into()))?;
+            let csv = std::fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let heuristic = flag(rest, "--heuristic")
+                .ok_or_else(|| CliError("mapc requires --heuristic NAME".into()))?;
+            let retries = flag(rest, "--retries")
+                .map(|v| {
+                    v.parse::<u32>()
+                        .map_err(|_| CliError("--retries takes an integer".into()))
+                })
+                .transpose()?
+                .unwrap_or(3);
+            let timeout_ms = flag(rest, "--timeout-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| CliError("--timeout-ms takes an integer".into()))
+                })
+                .transpose()?
+                .unwrap_or(5000);
+            let batch = flag(rest, "--batch")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError("--batch takes an integer".into()))
+                })
+                .transpose()?;
+            Ok(Command::Mapc {
+                addr: flag(rest, "--addr")
+                    .unwrap_or_else(|| hcs_service::ServeConfig::default().addr),
+                csv,
+                heuristic,
+                random_ties,
+                iterative: present(rest, "--iterative"),
+                guard: present(rest, "--guard"),
+                retries,
+                timeout_ms,
+                batch,
             })
         }
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
@@ -336,16 +423,14 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
             let scenario = Scenario::with_zero_ready(etc);
             let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
-            let mut tb = tie_breaker(random_ties);
-            let outcome = iterative::run_with(
-                &mut *h,
-                &scenario,
-                &mut tb,
-                IterativeConfig {
+            let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                .tie_breaker(tie_breaker(random_ties))
+                .config(IterativeConfig {
                     seed_guard: guard,
                     ..IterativeConfig::default()
-                },
-            );
+                })
+                .execute()
+                .map_err(|e| CliError(format!("heuristic contract violation: {e}")))?;
 
             let mut out = String::new();
             for (i, round) in outcome.rounds.iter().enumerate() {
@@ -466,7 +551,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let sink = std::sync::Arc::new(VecSink::new());
             let dyn_sink: std::sync::Arc<dyn TraceSink> = std::sync::Arc::clone(&sink) as _;
             let mut ws = hcs_core::MapWorkspace::new();
-            iterative::try_run_in_traced(&mut *h, &scenario, &mut tb, config, &mut ws, &dyn_sink)
+            iterative::IterativeRun::new(&mut *h, &scenario)
+                .ties(&mut tb)
+                .config(config)
+                .workspace(&mut ws)
+                .trace(&dyn_sink)
+                .execute()
                 .map_err(|e| CliError(format!("heuristic contract violation: {e}")))?;
             let mut out = String::new();
             for (seq, event) in sink.take().into_iter().enumerate() {
@@ -487,6 +577,82 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             );
             let final_stats = server.join();
             Ok(format!("daemon stopped; final stats: {final_stats}\n"))
+        }
+        Command::Mapc {
+            addr,
+            csv,
+            heuristic,
+            random_ties,
+            iterative,
+            guard,
+            retries,
+            timeout_ms,
+            batch,
+        } => {
+            let etc = hcs_etcgen::io::parse_csv(&csv)
+                .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
+            let request = hcs_service::MapRequest {
+                scenario: Scenario::with_zero_ready(etc),
+                heuristic,
+                random_ties,
+                iterative,
+                guard,
+                sleep_ms: 0,
+            };
+            let mut client = hcs_client::Client::with_config(
+                &addr,
+                hcs_client::ClientConfig {
+                    read_timeout: std::time::Duration::from_millis(timeout_ms),
+                    retries,
+                    ..hcs_client::ClientConfig::default()
+                },
+            );
+            let mut out = String::new();
+            let fmt_opt = |v: Option<String>| v.unwrap_or_else(|| "-".into());
+            match batch {
+                None => {
+                    let reply = client
+                        .map(&request)
+                        .map_err(|e| CliError(format!("daemon request failed: {e}")))?;
+                    let _ = writeln!(
+                        out,
+                        "heuristic: {} (cached: {})",
+                        reply.heuristic, reply.cached
+                    );
+                    let _ = writeln!(out, "makespan: {}", reply.makespan);
+                    if let (Some(fin), Some(rounds)) = (reply.final_makespan, reply.rounds) {
+                        let _ = writeln!(out, "final makespan: {fin} after {rounds} rounds");
+                    }
+                }
+                Some(k) => {
+                    let items = vec![request; k];
+                    let results = client
+                        .map_batch(&items)
+                        .map_err(|e| CliError(format!("daemon batch failed: {e}")))?;
+                    let mut table =
+                        TextTable::new(vec!["item", "cached", "makespan", "final", "rounds"]);
+                    for (i, result) in results.iter().enumerate() {
+                        match result {
+                            Ok(reply) => table.push_row(vec![
+                                i.to_string(),
+                                reply.cached.to_string(),
+                                reply.makespan.to_string(),
+                                fmt_opt(reply.final_makespan.map(|v| v.to_string())),
+                                fmt_opt(reply.rounds.map(|v| v.to_string())),
+                            ]),
+                            Err(e) => table.push_row(vec![
+                                i.to_string(),
+                                "-".into(),
+                                format!("error: {e}"),
+                                "-".into(),
+                                "-".into(),
+                            ]),
+                        }
+                    }
+                    let _ = writeln!(out, "{table}");
+                }
+            }
+            Ok(out)
         }
     }
 }
@@ -711,6 +877,124 @@ mod tests {
             other => panic!("expected serve, got {other:?}"),
         }
         assert!(parse(&strs(&["serve", "--workers", "many"])).is_err());
+    }
+
+    #[test]
+    fn serve_fault_flags_parse_and_validate() {
+        let cmd = parse(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--fault-rate",
+            "0.25",
+            "--fault-seed",
+            "99",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { config } => {
+                assert_eq!(config.fault_rate, 0.25);
+                assert_eq!(config.fault_seed, 99);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(parse(&strs(&["serve", "--fault-rate", "1.5"])).is_err());
+        assert!(parse(&strs(&["serve", "--fault-rate", "lots"])).is_err());
+    }
+
+    #[test]
+    fn mapc_flags_parse() {
+        let dir = std::env::temp_dir().join("nonmakespan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapc.csv");
+        std::fs::write(&path, "2,6\n3,4\n8,3\n").unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        let cmd = parse(&strs(&[
+            "mapc",
+            "--etc",
+            &path,
+            "--heuristic",
+            "min-min",
+            "--iterative",
+            "--retries",
+            "7",
+            "--timeout-ms",
+            "250",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Mapc {
+                heuristic,
+                iterative,
+                retries,
+                timeout_ms,
+                batch,
+                ..
+            } => {
+                assert_eq!(heuristic, "min-min");
+                assert!(iterative);
+                assert_eq!(retries, 7);
+                assert_eq!(timeout_ms, 250);
+                assert_eq!(batch, Some(4));
+            }
+            other => panic!("expected mapc, got {other:?}"),
+        }
+        assert!(parse(&strs(&["mapc", "--etc", &path])).is_err()); // no heuristic
+        assert!(parse(&strs(&["mapc", "--heuristic", "mct"])).is_err()); // no etc
+    }
+
+    #[test]
+    fn mapc_end_to_end_against_a_faulty_daemon() {
+        // A daemon with a 20% injected-fault rate: the client-mode retry
+        // budget must absorb the faults for both shapes of request.
+        let server = hcs_service::Server::start(hcs_service::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 64,
+            cache_shards: 2,
+            trace_capacity: 0,
+            fault_rate: 0.2,
+            fault_seed: 11,
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let mapc = |batch: Option<usize>| Command::Mapc {
+            addr: addr.clone(),
+            csv: "2,6\n3,4\n8,3\n".into(),
+            heuristic: "min-min".into(),
+            random_ties: None,
+            iterative: true,
+            guard: false,
+            retries: 16,
+            timeout_ms: 5000,
+            batch,
+        };
+
+        let single = execute(mapc(None)).unwrap();
+        assert!(single.contains("heuristic: Min-Min"), "{single}");
+        assert!(single.contains("makespan: 5"), "{single}");
+        assert!(single.contains("final makespan:"), "{single}");
+
+        let batched = execute(mapc(Some(3))).unwrap();
+        // Identical items: the batch answers every row, none as an error
+        // (the first may or may not be the cache miss depending on the
+        // single request above — only failure-freeness is asserted).
+        assert_eq!(
+            batched
+                .lines()
+                .filter(|l| l.starts_with(char::is_numeric))
+                .count(),
+            3,
+            "{batched}"
+        );
+        assert!(!batched.contains("error:"), "{batched}");
+
+        server.stop();
+        server.join();
     }
 
     #[test]

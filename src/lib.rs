@@ -32,8 +32,8 @@ pub use hcs_heuristics as heuristics;
 /// Flat prelude for examples and quick scripts.
 pub mod prelude {
     pub use hcs_core::{
-        iterative, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome, MachineId,
-        Mapping, ReadyTimes, Round, Scenario, TaskId, TieBreaker, Time,
+        iterative, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome, IterativeRun,
+        MachineId, Mapping, ReadyTimes, Round, Scenario, TaskId, TieBreaker, Time,
     };
     pub use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity, Method};
     pub use hcs_genitor::{Genitor, GenitorConfig};

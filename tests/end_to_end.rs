@@ -23,8 +23,9 @@ fn workload(seed: u64) -> Scenario {
 fn every_heuristic_survives_the_full_pipeline() {
     let scenario = workload(1);
     for mut h in all_heuristics() {
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+            .execute()
+            .unwrap();
 
         // Every machine gets exactly one final finishing time.
         assert_eq!(outcome.final_finish.len(), 5, "{}", h.name());
@@ -57,8 +58,9 @@ fn every_heuristic_survives_the_full_pipeline() {
 fn completion_times_match_gantt_reconstruction() {
     let scenario = workload(2);
     for mut h in all_heuristics() {
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+            .execute()
+            .unwrap();
         let round = &outcome.rounds[0];
         let gantt = Gantt::from_mapping(
             &round.mapping,
@@ -85,11 +87,14 @@ fn random_and_deterministic_policies_agree_on_tie_free_workloads() {
         if h.name() == "OLB" {
             continue;
         }
-        let mut tb_det = TieBreaker::Deterministic;
-        let det = iterative::run(&mut *h, &scenario, &mut tb_det);
+        let det = iterative::IterativeRun::new(&mut *h, &scenario)
+            .execute()
+            .unwrap();
         let mut h2 = nonmakespan::heuristics::by_name(h.name()).unwrap();
-        let mut tb_rand = TieBreaker::random(7);
-        let rand = iterative::run(&mut *h2, &scenario, &mut tb_rand);
+        let rand = iterative::IterativeRun::new(&mut *h2, &scenario)
+            .tie_breaker(TieBreaker::random(7))
+            .execute()
+            .unwrap();
         assert_eq!(
             det.final_finish,
             rand.final_finish,
@@ -104,19 +109,17 @@ fn seed_guard_never_hurts_the_final_makespan() {
     for seed in 0..5u64 {
         let scenario = workload(seed);
         for mut h in all_heuristics() {
-            let mut tb = TieBreaker::Deterministic;
-            let plain = iterative::run(&mut *h, &scenario, &mut tb);
+            let plain = iterative::IterativeRun::new(&mut *h, &scenario)
+                .execute()
+                .unwrap();
             let mut h2 = nonmakespan::heuristics::by_name(h.name()).unwrap();
-            let mut tb = TieBreaker::Deterministic;
-            let guarded = iterative::run_with(
-                &mut *h2,
-                &scenario,
-                &mut tb,
-                IterativeConfig {
+            let guarded = iterative::IterativeRun::new(&mut *h2, &scenario)
+                .config(IterativeConfig {
                     seed_guard: true,
                     ..IterativeConfig::default()
-                },
-            );
+                })
+                .execute()
+                .unwrap();
             assert!(
                 guarded.final_makespan() <= plain.final_makespan().max(guarded.original_makespan()),
                 "{} seed {seed}",
@@ -163,8 +166,9 @@ fn twelve_braun_classes_have_expected_structure() {
         // Smoke: every heuristic maps every class.
         let scenario = Scenario::with_zero_ready(etc);
         let mut h = nonmakespan::heuristics::MinMin;
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut h, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut h, &scenario)
+            .execute()
+            .unwrap();
         assert!(outcome.original_makespan() > Time::ZERO, "{}", spec.label());
     }
 }

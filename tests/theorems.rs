@@ -34,8 +34,9 @@ proptest! {
     #[test]
     fn minmin_deterministic_is_iteration_invariant(etc in etc_strategy()) {
         let scenario = Scenario::with_zero_ready(etc);
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut MinMin, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut MinMin, &scenario)
+            .execute()
+            .unwrap();
         prop_assert!(outcome.mappings_identical());
         prop_assert!(!outcome.makespan_increased());
         // Invariance implies every machine keeps its completion time.
@@ -48,8 +49,9 @@ proptest! {
     #[test]
     fn mct_deterministic_is_iteration_invariant(etc in etc_strategy()) {
         let scenario = Scenario::with_zero_ready(etc);
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut Mct, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut Mct, &scenario)
+            .execute()
+            .unwrap();
         prop_assert!(outcome.mappings_identical());
         prop_assert!(!outcome.makespan_increased());
     }
@@ -58,8 +60,9 @@ proptest! {
     #[test]
     fn met_deterministic_is_iteration_invariant(etc in etc_strategy()) {
         let scenario = Scenario::with_zero_ready(etc);
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut Met, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut Met, &scenario)
+            .execute()
+            .unwrap();
         prop_assert!(outcome.mappings_identical());
         prop_assert!(!outcome.makespan_increased());
     }
@@ -82,8 +85,9 @@ proptest! {
             Box::new(Mct),
             Box::new(Met),
         ] {
-            let mut tb = TieBreaker::Deterministic;
-            let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+            let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                .execute()
+                .unwrap();
             prop_assert!(outcome.mappings_identical(), "{} changed", h.name());
         }
     }
@@ -97,16 +101,14 @@ proptest! {
     ) {
         let scenario = Scenario::with_zero_ready(etc);
         for mut h in all_heuristics() {
-            let mut tb = TieBreaker::random(seed);
-            let outcome = iterative::run_with(
-                &mut *h,
-                &scenario,
-                &mut tb,
-                IterativeConfig {
-                seed_guard: true,
-                ..IterativeConfig::default()
-            },
-            );
+            let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                .tie_breaker(TieBreaker::random(seed))
+                .config(IterativeConfig {
+                    seed_guard: true,
+                    ..IterativeConfig::default()
+                })
+                .execute()
+                .unwrap();
             prop_assert!(
                 !outcome.makespan_increased(),
                 "{} increased despite the guard",
@@ -125,8 +127,10 @@ proptest! {
     ) {
         let scenario = Scenario::with_zero_ready(etc.clone());
         for mut h in all_heuristics() {
-            let mut tb = TieBreaker::random(seed);
-            let outcome = iterative::run(&mut *h, &scenario, &mut tb);
+            let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
+                .tie_breaker(TieBreaker::random(seed))
+                .execute()
+                .unwrap();
             prop_assert_eq!(outcome.final_finish.len(), etc.n_machines());
             prop_assert_eq!(outcome.rounds.last().unwrap().machines.len(), 1);
             // Rounds shrink by exactly one machine each time.
@@ -160,8 +164,9 @@ fn genitor_with_seeding_is_monotone() {
                 ..Default::default()
             },
         );
-        let mut tb = TieBreaker::Deterministic;
-        let outcome = iterative::run(&mut ga, &scenario, &mut tb);
+        let outcome = iterative::IterativeRun::new(&mut ga, &scenario)
+            .execute()
+            .unwrap();
         assert!(
             !outcome.makespan_increased(),
             "seed {seed}: Genitor increased makespan"
