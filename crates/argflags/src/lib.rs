@@ -13,6 +13,7 @@
 //!   binaries each document their own usage strings).
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 /// Returns the value following the first occurrence of `name`, if any.

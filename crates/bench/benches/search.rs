@@ -1,0 +1,538 @@
+//! Naive versus delta-evaluation search kernel: Genitor, SA, and Tabu
+//! timed against their pre-kernel reference twins at three workload sizes.
+//!
+//! Both sides of every pair are bit-identical searches (enforced by the
+//! golden-equivalence suites, and spot-checked here before timing), so the
+//! comparison is pure move-costing: full-rescan / from-scratch fitness
+//! versus `LoadTracker` probes and gate-then-recompute offspring costing.
+//!
+//! Besides the Criterion groups, the bench writes a machine-readable
+//! summary to `BENCH_search.json` at the repository root. `--smoke` skips
+//! Criterion and the summary rewrite entirely: it runs a fast small-size
+//! comparison asserting the delta kernel is never slower than naive, and
+//! validates that the checked-in `BENCH_search.json` still parses — the
+//! CI guardrail.
+
+use criterion::{BenchmarkId, Criterion};
+use hcs_bench::study_scenario;
+use hcs_core::{Heuristic, Scenario, TieBreaker};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_genitor::{Genitor, GenitorConfig};
+use hcs_heuristics::{reference, Sa, SaConfig, Tabu, TabuConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn braun_inconsistent(n_tasks: usize, n_machines: usize) -> Scenario {
+    let spec = EtcSpec::braun(
+        n_tasks,
+        n_machines,
+        Consistency::Inconsistent,
+        Heterogeneity::Hi,
+        Heterogeneity::Hi,
+    );
+    study_scenario(&spec, SEED)
+}
+
+/// Search budgets for the timed comparison. The Genitor budget is
+/// stall-proof (`stall_steps == max_steps`) so both sides run the same
+/// fixed number of steps, and the selection bias is high enough that the
+/// population converges — the regime the steady-state GA spends most of
+/// its life in, where almost every offspring is rejected and the naive
+/// from-scratch fitness is pure waste.
+fn bench_genitor_config(max_steps: usize) -> GenitorConfig {
+    GenitorConfig {
+        pop_size: 24,
+        max_steps,
+        stall_steps: max_steps,
+        selection_bias: 1.9,
+        seed_minmin: false,
+        eval_threads: 1,
+    }
+}
+
+fn bench_sa_config(max_steps: usize) -> SaConfig {
+    SaConfig {
+        max_steps,
+        ..SaConfig::default()
+    }
+}
+
+fn bench_tabu_config(max_hops: usize) -> TabuConfig {
+    TabuConfig {
+        max_hops,
+        ..TabuConfig::default()
+    }
+}
+
+/// One naive/delta pair, erased to `map` closures over fresh heuristic
+/// state per call (Genitor is stateful; a fresh instance per run keeps
+/// every measurement identical).
+struct Pair {
+    name: &'static str,
+    naive: Box<dyn FnMut(&Scenario) -> hcs_core::Mapping>,
+    delta: Box<dyn FnMut(&Scenario) -> hcs_core::Mapping>,
+}
+
+fn pairs(genitor_steps: usize, sa_steps: usize, tabu_hops: usize) -> Vec<Pair> {
+    vec![
+        Pair {
+            name: "genitor",
+            naive: Box::new(move |s| {
+                map_fresh(
+                    &mut hcs_genitor::reference::NaiveGenitor::with_config(
+                        SEED,
+                        bench_genitor_config(genitor_steps),
+                    ),
+                    s,
+                )
+            }),
+            delta: Box::new(move |s| {
+                map_fresh(
+                    &mut Genitor::with_config(SEED, bench_genitor_config(genitor_steps)),
+                    s,
+                )
+            }),
+        },
+        Pair {
+            name: "sa",
+            naive: Box::new(move |s| {
+                map_fresh(
+                    &mut reference::NaiveSa::with_config(SEED, bench_sa_config(sa_steps)),
+                    s,
+                )
+            }),
+            delta: Box::new(move |s| {
+                map_fresh(&mut Sa::with_config(SEED, bench_sa_config(sa_steps)), s)
+            }),
+        },
+        Pair {
+            name: "tabu",
+            naive: Box::new(move |s| {
+                map_fresh(
+                    &mut reference::NaiveTabu::with_config(SEED, bench_tabu_config(tabu_hops)),
+                    s,
+                )
+            }),
+            delta: Box::new(move |s| {
+                map_fresh(
+                    &mut Tabu::with_config(SEED, bench_tabu_config(tabu_hops)),
+                    s,
+                )
+            }),
+        },
+    ]
+}
+
+fn map_fresh(h: &mut dyn Heuristic, scenario: &Scenario) -> hcs_core::Mapping {
+    let owned = scenario.full_instance();
+    let mut tb = TieBreaker::Deterministic;
+    h.map(&owned.as_instance(scenario), &mut tb)
+}
+
+/// Median wall time of `f` over `runs` executions, in seconds.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Times every pair at one size, first asserting both sides still agree on
+/// the final mapping (the timed comparison is only meaningful if the two
+/// searches are the same search).
+fn measure_size(
+    scenario: &Scenario,
+    runs: usize,
+    genitor_steps: usize,
+    sa_steps: usize,
+    tabu_hops: usize,
+) -> Vec<(&'static str, f64, f64)> {
+    pairs(genitor_steps, sa_steps, tabu_hops)
+        .into_iter()
+        .map(|mut pair| {
+            let a = (pair.naive)(scenario);
+            let b = (pair.delta)(scenario);
+            assert_eq!(
+                a.order(),
+                b.order(),
+                "{}: naive and delta diverged — timing comparison void",
+                pair.name
+            );
+            let naive = median_secs(runs, || {
+                black_box((pair.naive)(scenario));
+            });
+            let delta = median_secs(runs, || {
+                black_box((pair.delta)(scenario));
+            });
+            (pair.name, naive, delta)
+        })
+        .collect()
+}
+
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+
+/// Minimal JSON reader for the smoke-mode validation of the checked-in
+/// summary. Self-contained so the guardrail has no parser dependency:
+/// objects keep insertion order, numbers are f64, escapes are decoded
+/// enough to round-trip what the writer above emits.
+mod tinyjson {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum J {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<J>),
+        Obj(Vec<(String, J)>),
+    }
+
+    impl J {
+        /// Member lookup on objects; `J::Null` for anything else.
+        pub fn get(&self, key: &str) -> &J {
+            match self {
+                J::Obj(members) => members
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or(&J::Null),
+                _ => &J::Null,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                J::Num(v) => Some(*v),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<J, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<J, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut members = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(J::Obj(members));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    members.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(J::Obj(members));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(J::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(J::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(J::Str(parse_string(bytes, pos)?)),
+            Some(b't') if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(J::Bool(true))
+            }
+            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(J::Bool(false))
+            }
+            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(J::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < bytes.len()
+                    && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&bytes[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(J::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = Vec::new();
+        while let Some(&b) = bytes.get(*pos) {
+            *pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8".to_string());
+                }
+                b'\\' => {
+                    let esc = bytes.get(*pos).copied().ok_or("truncated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            *pos += 4;
+                            let c = char::from_u32(hex).ok_or("bad \\u codepoint")?;
+                            out.extend_from_slice(c.to_string().as_bytes());
+                        }
+                        _ => return Err(format!("unknown escape \\{}", esc as char)),
+                    }
+                }
+                _ => out.push(b),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+}
+
+/// Full-size budgets per heuristic (kept identical across sizes so the
+/// scaling in the JSON is the instance size, not the budget).
+const GENITOR_STEPS: usize = 32_000;
+const SA_STEPS: usize = 30_000;
+const TABU_HOPS: usize = 100;
+
+/// Builds a flat JSON object from key/value pairs (the stub-safe subset of
+/// `serde_json`: `Map` + `Value::from` + `Value::Object`).
+fn obj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (k, v) in pairs {
+        map.insert(k.to_string(), v);
+    }
+    serde_json::Value::Object(map)
+}
+
+fn write_search_summary() {
+    let mut sizes = serde_json::Map::new();
+    let mut genitor_512_speedup = None;
+    for (label, n_tasks, n_machines, runs) in [
+        ("128x8", 128, 8, 5),
+        ("512x16", 512, 16, 5),
+        ("1024x32", 1024, 32, 3),
+    ] {
+        let scenario = braun_inconsistent(n_tasks, n_machines);
+        let mut entry = serde_json::Map::new();
+        for (name, naive, delta) in
+            measure_size(&scenario, runs, GENITOR_STEPS, SA_STEPS, TABU_HOPS)
+        {
+            let speedup = naive / delta;
+            if name == "genitor" && label == "512x16" {
+                genitor_512_speedup = Some(speedup);
+            }
+            entry.insert(
+                name.to_string(),
+                obj(vec![
+                    ("naive_secs", serde_json::Value::from(naive)),
+                    ("delta_secs", serde_json::Value::from(delta)),
+                    ("speedup", serde_json::Value::from(speedup)),
+                ]),
+            );
+            println!("{label}/{name}: naive {naive:.4}s, delta {delta:.4}s, {speedup:.1}x");
+        }
+        sizes.insert(label.to_string(), serde_json::Value::Object(entry));
+    }
+
+    let doc = obj(vec![
+        (
+            "benchmark",
+            serde_json::Value::from(
+                "naive vs delta-evaluation search kernel, Braun i-hihi, seed 42",
+            ),
+        ),
+        (
+            "statistic",
+            serde_json::Value::from("median wall seconds per map call, identical searches"),
+        ),
+        (
+            "budgets",
+            obj(vec![
+                (
+                    "genitor",
+                    obj(vec![
+                        (
+                            "pop_size",
+                            serde_json::Value::from(
+                                bench_genitor_config(GENITOR_STEPS).pop_size as u64,
+                            ),
+                        ),
+                        ("max_steps", serde_json::Value::from(GENITOR_STEPS as u64)),
+                        (
+                            "selection_bias",
+                            serde_json::Value::from(
+                                bench_genitor_config(GENITOR_STEPS).selection_bias,
+                            ),
+                        ),
+                    ]),
+                ),
+                (
+                    "sa",
+                    obj(vec![(
+                        "max_steps",
+                        serde_json::Value::from(SA_STEPS as u64),
+                    )]),
+                ),
+                (
+                    "tabu",
+                    obj(vec![(
+                        "max_hops",
+                        serde_json::Value::from(TABU_HOPS as u64),
+                    )]),
+                ),
+            ]),
+        ),
+        ("sizes", serde_json::Value::Object(sizes)),
+    ]);
+    std::fs::write(
+        BENCH_PATH,
+        serde_json::to_string_pretty(&doc).expect("serialize summary"),
+    )
+    .expect("write BENCH_search.json");
+    println!("wrote {BENCH_PATH}");
+
+    let speedup = genitor_512_speedup.expect("512x16 genitor entry measured");
+    assert!(
+        speedup >= 5.0,
+        "Genitor delta kernel must be >= 5x naive at 512x16, measured {speedup:.2}x"
+    );
+}
+
+/// `--smoke`: the CI guardrail. Small size, tiny budgets, hard asserts.
+fn smoke() {
+    let scenario = braun_inconsistent(256, 256);
+    for (name, naive, delta) in measure_size(&scenario, 3, 300, 8_000, 30) {
+        println!("smoke/{name}: naive {naive:.5}s, delta {delta:.5}s");
+        assert!(
+            delta <= naive,
+            "{name}: delta kernel slower than naive at smoke size ({delta:.5}s > {naive:.5}s)"
+        );
+    }
+
+    // The checked-in summary must still be well-formed — the smoke run
+    // never rewrites it, only validates it.
+    let text = std::fs::read_to_string(BENCH_PATH)
+        .unwrap_or_else(|e| panic!("BENCH_search.json unreadable at {BENCH_PATH}: {e}"));
+    let doc = tinyjson::parse(&text)
+        .unwrap_or_else(|e| panic!("BENCH_search.json is not valid JSON: {e}"));
+    for label in ["128x8", "512x16", "1024x32"] {
+        for name in ["genitor", "sa", "tabu"] {
+            let entry = doc.get("sizes").get(label).get(name);
+            for key in ["naive_secs", "delta_secs", "speedup"] {
+                assert!(
+                    entry.get(key).as_f64().is_some_and(|v| v > 0.0),
+                    "BENCH_search.json missing positive sizes.{label}.{name}.{key}"
+                );
+            }
+        }
+    }
+    let speedup = doc
+        .get("sizes")
+        .get("512x16")
+        .get("genitor")
+        .get("speedup")
+        .as_f64()
+        .expect("recorded genitor speedup");
+    assert!(
+        speedup >= 5.0,
+        "checked-in BENCH_search.json records only {speedup:.2}x for Genitor at 512x16"
+    );
+    println!("smoke ok: delta <= naive at 256x256; BENCH_search.json well-formed");
+}
+
+fn bench_search(c: &mut Criterion) {
+    for (label, n_tasks, n_machines) in [("128x8", 128, 8), ("512x16", 512, 16)] {
+        let scenario = braun_inconsistent(n_tasks, n_machines);
+        let mut group = c.benchmark_group(format!("search/{label}"));
+        group.sample_size(10);
+        for mut pair in pairs(GENITOR_STEPS, SA_STEPS, TABU_HOPS) {
+            group.bench_function(BenchmarkId::new(pair.name, "naive"), |b| {
+                b.iter(|| black_box((pair.naive)(&scenario)));
+            });
+            group.bench_function(BenchmarkId::new(pair.name, "delta"), |b| {
+                b.iter(|| black_box((pair.delta)(&scenario)));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    // `--smoke` is ours, not Criterion's: intercept before its arg parser.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_search(&mut criterion);
+    criterion.final_summary();
+    write_search_summary();
+}

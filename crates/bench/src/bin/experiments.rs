@@ -3,10 +3,13 @@
 //! ```text
 //! cargo run --release -p hcs-bench --bin experiments \
 //!     [-- --exp x1|x2|x3|x4|x6|all] [--tasks N] [--machines M] [--trials T] [--seed S]
-//!     [--per-class HEURISTIC] [--json FILE]
+//!     [--per-class HEURISTIC] [--large] [--json FILE]
 //!
 //! With `--json FILE`, every study's raw rows are additionally written as
-//! one JSON document (for archiving or downstream plotting).
+//! one JSON document (for archiving or downstream plotting). `--large`
+//! runs X2 under the canonical Braun-sized GA budget (200 chromosomes,
+//! 25 000 steps) instead of the study default — affordable since offspring
+//! costing became delta-based.
 //! ```
 //!
 //! Defaults: all experiments, 64 tasks × 8 machines, 10 trials per
@@ -16,7 +19,8 @@
 use argflags::value as parse_flag;
 use hcs_bench::{
     dynamic_study, genitor_study, makespan_tie_study, production_study, seedguard_study,
-    tiebreak_study, StudyDims,
+    study_genitor_config, study_genitor_config_large, tiebreak_study, try_make_heuristic,
+    StudyDims,
 };
 
 fn main() {
@@ -36,6 +40,19 @@ fn main() {
         .map(|v| v.parse().expect("--seed takes an integer"))
         .unwrap_or(2007);
     let json_path = parse_flag(&args, "--json");
+    let per_class = parse_flag(&args, "--per-class");
+    if let Some(h) = &per_class {
+        // Reject a misspelled name before any study burns CPU on X1.
+        if let Err(e) = try_make_heuristic(h, seed) {
+            eprintln!("--per-class: {e}");
+            std::process::exit(2);
+        }
+    }
+    let ga_config = if args.iter().any(|a| a == "--large") {
+        study_genitor_config_large()
+    } else {
+        study_genitor_config()
+    };
     let mut json = serde_json::Map::new();
     json.insert("tasks".into(), dims.n_tasks.into());
     json.insert("machines".into(), dims.n_machines.into());
@@ -60,9 +77,9 @@ fn main() {
             "x1".into(),
             serde_json::to_value(&rows).expect("serialize x1"),
         );
-        if let Some(h) = parse_flag(&args, "--per-class") {
-            let rows = tiebreak_study::run_per_class(&h, dims, seed);
-            println!("{}", tiebreak_study::per_class_table(&h, &rows, dims));
+        if let Some(h) = &per_class {
+            let rows = tiebreak_study::run_per_class(h, dims, seed);
+            println!("{}", tiebreak_study::per_class_table(h, &rows, dims));
             json.insert(
                 "x1b".into(),
                 serde_json::to_value(&rows).expect("serialize x1b"),
@@ -75,7 +92,7 @@ fn main() {
         );
     }
     if run_x2 {
-        let rows = genitor_study::run(dims, seed);
+        let rows = genitor_study::run_with_config(dims, seed, ga_config);
         println!("{}", genitor_study::table(&rows, dims));
         json.insert(
             "x2".into(),

@@ -13,8 +13,9 @@ use serde::Serialize;
 use hcs_analysis::{run_trials_with, wilcoxon_signed_rank, OnlineStats, OutcomeMetrics, TextTable};
 use hcs_core::{iterative, MapWorkspace};
 use hcs_etcgen::EtcSpec;
+use hcs_genitor::{Genitor, GenitorConfig};
 
-use crate::roster::make_heuristic;
+use crate::roster::study_genitor_config;
 use crate::workloads::{study_classes, study_scenario, StudyDims};
 
 /// Aggregated row for one workload class.
@@ -33,11 +34,11 @@ pub struct GenitorRow {
     pub p_value: f64,
 }
 
-fn run_class(spec: &EtcSpec, dims: StudyDims, base_seed: u64) -> GenitorRow {
+fn run_class(spec: &EtcSpec, dims: StudyDims, base_seed: u64, config: GenitorConfig) -> GenitorRow {
     let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
         let scenario = study_scenario(spec, seed);
-        let mut ga = make_heuristic("Genitor", seed);
-        let outcome = iterative::IterativeRun::new(&mut *ga, &scenario)
+        let mut ga = Genitor::with_config(seed, config);
+        let outcome = iterative::IterativeRun::new(&mut ga, &scenario)
             .workspace(ws)
             .execute()
             .unwrap();
@@ -62,11 +63,16 @@ fn run_class(spec: &EtcSpec, dims: StudyDims, base_seed: u64) -> GenitorRow {
     }
 }
 
-/// Runs X2: one row per Braun class.
+/// Runs X2 with the default study GA budget: one row per Braun class.
 pub fn run(dims: StudyDims, base_seed: u64) -> Vec<GenitorRow> {
+    run_with_config(dims, base_seed, study_genitor_config())
+}
+
+/// Runs X2 under an explicit GA budget (the CLI's `--large` path).
+pub fn run_with_config(dims: StudyDims, base_seed: u64, config: GenitorConfig) -> Vec<GenitorRow> {
     study_classes(dims)
         .iter()
-        .map(|spec| run_class(spec, dims, base_seed))
+        .map(|spec| run_class(spec, dims, base_seed, config))
         .collect()
 }
 
@@ -107,7 +113,7 @@ mod tests {
             trials: 2,
         };
         let spec = study_classes(dims)[0];
-        let row = run_class(&spec, dims, 1234);
+        let row = run_class(&spec, dims, 1234, study_genitor_config());
         assert_eq!(row.increase, 0.0, "seeded Genitor is monotone");
         assert!(row.reduction_pct >= -1e-9);
         assert!((0.0..=1.0).contains(&row.p_value));

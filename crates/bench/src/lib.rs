@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod dynamic_study;
 pub mod genitor_study;
@@ -20,5 +21,8 @@ pub mod seedguard_study;
 pub mod tiebreak_study;
 pub mod workloads;
 
-pub use roster::{greedy_roster, make_heuristic};
+pub use roster::{
+    greedy_roster, make_heuristic, study_genitor_config, study_genitor_config_large,
+    try_make_heuristic, UnknownHeuristic,
+};
 pub use workloads::{study_classes, study_scenario, StudyDims};

@@ -22,30 +22,77 @@ pub fn greedy_roster() -> Vec<&'static str> {
     ]
 }
 
-/// Instantiates a heuristic by name; `"Genitor"` gets a study-sized GA and
-/// `"SA"` a default-configured annealer, both seeded from `seed`.
+/// A heuristic name that matched nothing in the roster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownHeuristic {
+    /// The name as the caller spelled it.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownHeuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown heuristic {:?}; known names: {}, Genitor, Tabu",
+            self.name,
+            greedy_roster().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownHeuristic {}
+
+/// Instantiates a heuristic by name; `"Genitor"` gets a study-sized GA,
+/// `"SA"` a default-configured annealer, and `"Tabu"` a default tabu
+/// search, all seeded from `seed`. This is the fallible entry point for
+/// user-supplied names (CLI flags); fixed compile-time rosters go through
+/// the panicking [`make_heuristic`] wrapper.
+pub fn try_make_heuristic(name: &str, seed: u64) -> Result<Box<dyn Heuristic>, UnknownHeuristic> {
+    if name.eq_ignore_ascii_case("genitor") {
+        return Ok(Box::new(Genitor::with_config(seed, study_genitor_config())));
+    }
+    if name.eq_ignore_ascii_case("sa") {
+        return Ok(Box::new(hcs_heuristics::Sa::new(seed)));
+    }
+    if name.eq_ignore_ascii_case("tabu") {
+        return Ok(Box::new(hcs_heuristics::Tabu::new(seed)));
+    }
+    hcs_heuristics::by_name(name).ok_or_else(|| UnknownHeuristic {
+        name: name.to_string(),
+    })
+}
+
+/// Instantiates a heuristic by name, like [`try_make_heuristic`].
 ///
 /// # Panics
 ///
-/// Panics on an unknown name — the roster is fixed at compile time, so an
-/// unknown name is a harness bug.
+/// Panics on an unknown name — the study rosters are fixed at compile
+/// time, so an unknown name there is a harness bug, not user input.
 pub fn make_heuristic(name: &str, seed: u64) -> Box<dyn Heuristic> {
-    if name.eq_ignore_ascii_case("genitor") {
-        return Box::new(Genitor::with_config(seed, study_genitor_config()));
-    }
-    if name.eq_ignore_ascii_case("sa") {
-        return Box::new(hcs_heuristics::Sa::new(seed));
-    }
-    hcs_heuristics::by_name(name).unwrap_or_else(|| panic!("unknown heuristic in roster: {name}"))
+    try_make_heuristic(name, seed).unwrap_or_else(|_| panic!("unknown heuristic in roster: {name}"))
 }
 
 /// The GA configuration the studies use: small enough to keep Monte-Carlo
 /// runs tractable, large enough to improve reliably over random mappings.
+/// The delta-evaluation kernel made Genitor steps ~5x cheaper at study
+/// sizes (see `BENCH_search.json`), so the budget is larger than the
+/// pre-kernel one (was 4 000 steps / 800 stall).
 pub fn study_genitor_config() -> GenitorConfig {
     GenitorConfig {
-        pop_size: 60,
-        max_steps: 4_000,
-        stall_steps: 800,
+        pop_size: 96,
+        max_steps: 6_000,
+        stall_steps: 1_200,
+        ..Default::default()
+    }
+}
+
+/// The `--large` GA configuration: the canonical Braun-sized study budget,
+/// affordable only because offspring costing is delta-based.
+pub fn study_genitor_config_large() -> GenitorConfig {
+    GenitorConfig {
+        pop_size: 200,
+        max_steps: 25_000,
+        stall_steps: 4_000,
         ..Default::default()
     }
 }
@@ -68,5 +115,28 @@ mod tests {
     #[should_panic(expected = "unknown heuristic")]
     fn unknown_name_is_a_bug() {
         let _ = make_heuristic("Simulated-Annealing", 0);
+    }
+
+    #[test]
+    fn try_make_heuristic_accepts_the_search_names_case_insensitively() {
+        for (name, expect) in [("tabu", "Tabu"), ("GENITOR", "Genitor"), ("sa", "SA")] {
+            let h = try_make_heuristic(name, 7).expect(name);
+            assert_eq!(h.name(), expect);
+        }
+    }
+
+    #[test]
+    fn try_make_heuristic_reports_unknown_names() {
+        let err = match try_make_heuristic("Simulated-Annealing", 0) {
+            Ok(_) => panic!("the name must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "Simulated-Annealing");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown heuristic \"Simulated-Annealing\""),
+            "{msg}"
+        );
+        assert!(msg.contains("Genitor"), "{msg}");
     }
 }

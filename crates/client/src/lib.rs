@@ -46,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};

@@ -71,6 +71,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod digest;
 pub mod error;
@@ -79,6 +80,7 @@ pub mod heuristic;
 pub mod id;
 pub mod instance;
 pub mod iterative;
+pub mod loads;
 pub mod mapping;
 pub mod ready;
 pub mod select;
@@ -97,6 +99,7 @@ pub use heuristic::Heuristic;
 pub use id::{MachineId, TaskId};
 pub use instance::{Instance, Scenario};
 pub use iterative::{IterativeConfig, IterativeOutcome, IterativeRun, MakespanTie, Round};
+pub use loads::{LoadTracker, MoveUndo};
 pub use mapping::{CompletionTimes, Mapping};
 pub use ready::ReadyTimes;
 pub use tiebreak::TieBreaker;

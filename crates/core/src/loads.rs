@@ -1,0 +1,388 @@
+//! The delta-evaluation search kernel: per-machine loads with O(1)
+//! reassign-move bookkeeping and an O(log m) makespan read.
+//!
+//! The search heuristics (SA, Tabu, Genitor) explore the space of complete
+//! assignments by *reassign moves*: take one task off machine `a`, put it
+//! on machine `b`. The loads of `a` and `b` change by one subtraction and
+//! one addition — but the naive inner loops still rescanned all `m`
+//! machines per candidate move to find the new makespan. [`LoadTracker`]
+//! removes that rescan: it mirrors the load vector into a max tournament
+//! tree (an implicit perfect binary tree whose internal nodes hold the max
+//! of their children), so
+//!
+//! * the current makespan is the root — **O(1)**;
+//! * applying or undoing a move updates two leaves and their ancestor
+//!   paths — **O(log m)**;
+//! * *probing* a move — "what would the makespan be?" — combines the two
+//!   shifted loads with the tree-max over every *other* machine
+//!   (sibling-subtree maxima along the two root-to-leaf paths) —
+//!   **O(log m)**, read-only, nothing to undo on rejection.
+//!
+//! # Equivalence argument
+//!
+//! The tracker is semantically invisible to a search that previously kept
+//! a plain load vector (DESIGN.md §11):
+//!
+//! * loads are updated with the *same* [`Time`] operations in the same
+//!   order (`old − etc`, `old + etc`; undo restores the saved bits), so
+//!   every leaf equals the naive vector bit-for-bit;
+//! * `max` over a total order is associative and commutative, so the
+//!   tree-shaped reduction returns the same bits as the naive linear scan
+//!   (`Time`'s order is `f64::total_cmp`, and equal elements are
+//!   bit-identical under it);
+//! * a probe computes `max(everything else, shifted a, shifted b)` — the
+//!   same multiset the naive code scanned after temporarily writing the
+//!   two entries.
+//!
+//! Internal nodes store raw `f64`s (padding leaves are `-∞`, the identity
+//! of `max`, which a [`Time`] is not allowed to hold); the public surface
+//! speaks [`Time`] only.
+
+use crate::id::MachineId;
+use crate::instance::Instance;
+use crate::time::Time;
+
+/// `max` under `total_cmp` — the exact order [`Time`] sorts by, usable on
+/// the internal `-∞` padding. Equal elements are bit-identical under
+/// `total_cmp`, so either operand may be returned on a tie.
+#[inline]
+fn fmax(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+/// Saved state of one applied reassign move, for [`LoadTracker::undo`].
+/// Holds the *exact* pre-move loads, so undoing restores them bit-for-bit
+/// instead of re-deriving them arithmetically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MoveUndo {
+    /// Machine the task was taken from.
+    pub from: usize,
+    /// Machine the task was moved to.
+    pub to: usize,
+    /// `from`'s load before the move.
+    pub old_from: Time,
+    /// `to`'s load before the move.
+    pub old_to: Time,
+}
+
+/// Per-machine loads plus a max tournament tree over them; see the
+/// [module docs](self) for the operations and the equivalence argument.
+///
+/// Machines are addressed by *position* in the instance's active machine
+/// list (the same `usize` indices the search heuristics keep in their
+/// assignment vectors), not by [`MachineId`].
+#[derive(Clone, Debug, Default)]
+pub struct LoadTracker {
+    /// Leaf values as [`Time`] (the public view).
+    loads: Vec<Time>,
+    /// Implicit binary tree, 1-based: `tree[1]` is the root, leaf `i`
+    /// lives at `cap + i`, padding leaves hold `-∞`.
+    tree: Vec<f64>,
+    /// Leaf capacity: `loads.len().next_power_of_two()`.
+    cap: usize,
+}
+
+impl LoadTracker {
+    /// An empty tracker; call [`reset`](Self::reset) or
+    /// [`rebuild`](Self::rebuild) before use. Buffers grow on demand and
+    /// are reused across resets, so one tracker serves many instances
+    /// without reallocating.
+    pub fn new() -> Self {
+        LoadTracker::default()
+    }
+
+    /// Number of tracked machines.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` when no machines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// The tracked load vector (machine-position order).
+    pub fn loads(&self) -> &[Time] {
+        &self.loads
+    }
+
+    /// Load of the machine at position `i`.
+    pub fn load(&self, i: usize) -> Time {
+        self.loads[i]
+    }
+
+    /// Re-initializes the tracker from explicit loads (O(m)).
+    pub fn reset(&mut self, loads: impl IntoIterator<Item = Time>) {
+        self.loads.clear();
+        self.loads.extend(loads);
+        let n = self.loads.len();
+        self.cap = n.next_power_of_two().max(1);
+        self.tree.clear();
+        self.tree.resize(2 * self.cap, f64::NEG_INFINITY);
+        for (i, &v) in self.loads.iter().enumerate() {
+            self.tree[self.cap + i] = v.get();
+        }
+        for node in (1..self.cap).rev() {
+            self.tree[node] = fmax(self.tree[2 * node], self.tree[2 * node + 1]);
+        }
+    }
+
+    /// Re-initializes from an instance and a machine-position assignment
+    /// vector (`assign[pos]` = machine position of the `pos`-th instance
+    /// task): load of machine `j` is its initial ready time plus its
+    /// tasks' ETCs, accumulated in task-position order — the exact
+    /// operation order of the naive `loads_of` it replaces.
+    pub fn rebuild(&mut self, inst: &Instance<'_>, assign: &[usize]) {
+        self.reset(inst.machines.iter().map(|&m| inst.ready.get(m)));
+        for (pos, &mi) in assign.iter().enumerate() {
+            let t = self.loads[mi] + inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+            self.set(mi, t);
+        }
+    }
+
+    /// Current makespan: the largest tracked load, read from the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tracker is empty.
+    #[inline]
+    pub fn makespan(&self) -> Time {
+        assert!(!self.loads.is_empty(), "makespan of an empty tracker");
+        Time::new(self.tree[1])
+    }
+
+    /// Sets machine `i`'s load and lifts the change to the root
+    /// (O(log m)).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: Time) {
+        self.loads[i] = v;
+        let mut node = self.cap + i;
+        self.tree[node] = v.get();
+        node >>= 1;
+        while node >= 1 {
+            let up = fmax(self.tree[2 * node], self.tree[2 * node + 1]);
+            self.tree[node] = up;
+            node >>= 1;
+        }
+    }
+
+    /// Applies a reassign move — `from` loses `sub`, `to` gains `add` —
+    /// with the same two [`Time`] operations the naive load vector
+    /// performed, and returns the saved state for [`undo`](Self::undo).
+    pub fn apply(&mut self, from: usize, sub: Time, to: usize, add: Time) -> MoveUndo {
+        let undo = MoveUndo {
+            from,
+            to,
+            old_from: self.loads[from],
+            old_to: self.loads[to],
+        };
+        self.set(from, undo.old_from - sub);
+        self.set(to, undo.old_to + add);
+        undo
+    }
+
+    /// Reverts an applied move, restoring the saved loads bit-for-bit.
+    pub fn undo(&mut self, undo: MoveUndo) {
+        self.set(undo.from, undo.old_from);
+        self.set(undo.to, undo.old_to);
+    }
+
+    /// Post-move makespan without mutating anything: the max of the two
+    /// shifted loads and every other machine's current load (read from
+    /// sibling subtrees along the two leaf-to-root paths). `from` and `to`
+    /// must differ.
+    ///
+    /// The sibling walk stays even at small `m`: measured against a flat
+    /// scan of the load vector it was never slower at any bench size
+    /// (m = 8..256), so there is no small-`m` special case.
+    #[inline]
+    pub fn probe(&self, from: usize, sub: Time, to: usize, add: Time) -> Time {
+        debug_assert_ne!(from, to, "probe needs two distinct machines");
+        let new_from = self.loads[from] - sub;
+        let new_to = self.loads[to] + add;
+        let rest = self.max_excluding2(from, to);
+        Time::new(fmax(fmax(rest, new_from.get()), new_to.get()))
+    }
+
+    /// Max over every leaf except `a` and `b` (`-∞` when none remain).
+    /// Walks both root-to-leaf paths bottom-up in lockstep, taking each
+    /// sibling subtree exactly once and skipping the subtrees that contain
+    /// the excluded leaves.
+    fn max_excluding2(&self, a: usize, b: usize) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut ia = self.cap + a;
+        let mut ib = self.cap + b;
+        while ia != ib {
+            let sa = ia ^ 1;
+            if sa != ib {
+                best = fmax(best, self.tree[sa]);
+            }
+            let sb = ib ^ 1;
+            if sb != ia {
+                best = fmax(best, self.tree[sb]);
+            }
+            ia >>= 1;
+            ib >>= 1;
+        }
+        while ia > 1 {
+            best = fmax(best, self.tree[ia ^ 1]);
+            ia >>= 1;
+        }
+        best
+    }
+
+    /// The machine position holding the current makespan (lowest position
+    /// on ties, like a forward linear scan): walks the tree from the root
+    /// preferring the left child when both subtrees attain the max.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.loads.is_empty(), "argmax of an empty tracker");
+        let mut node = 1;
+        while node < self.cap {
+            node = if self.tree[2 * node].total_cmp(&self.tree[node]).is_eq() {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        node - self.cap
+    }
+
+    /// The corresponding [`MachineId`] under `inst` for [`argmax`](Self::argmax).
+    pub fn argmax_machine(&self, inst: &Instance<'_>) -> MachineId {
+        inst.machines[self.argmax()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::EtcMatrix;
+    use crate::instance::Scenario;
+
+    fn t(v: f64) -> Time {
+        Time::new(v)
+    }
+
+    fn naive_max(loads: &[Time]) -> Time {
+        loads.iter().copied().max().expect("non-empty")
+    }
+
+    #[test]
+    fn reset_and_makespan_match_linear_scan() {
+        let mut lt = LoadTracker::new();
+        for n in 1..=9usize {
+            let loads: Vec<Time> = (0..n).map(|i| t(((i * 7 + 3) % 5) as f64)).collect();
+            lt.reset(loads.iter().copied());
+            assert_eq!(lt.makespan(), naive_max(&loads), "n={n}");
+            assert_eq!(lt.loads(), &loads[..]);
+        }
+    }
+
+    #[test]
+    fn apply_undo_roundtrips_bitwise() {
+        let mut lt = LoadTracker::new();
+        let loads = [t(3.5), t(1.25), t(9.0), t(2.0), t(4.75)];
+        lt.reset(loads.iter().copied());
+        let undo = lt.apply(2, t(6.5), 0, t(1.5));
+        assert_eq!(lt.load(2), t(2.5));
+        assert_eq!(lt.load(0), t(5.0));
+        assert_eq!(lt.makespan(), t(5.0));
+        lt.undo(undo);
+        assert_eq!(lt.loads(), &loads[..]);
+        assert_eq!(lt.makespan(), t(9.0));
+    }
+
+    #[test]
+    fn probe_equals_apply_then_read() {
+        let mut lt = LoadTracker::new();
+        lt.reset([t(3.0), t(8.0), t(5.0), t(1.0), t(6.0), t(2.0)]);
+        for from in 0..6 {
+            for to in 0..6 {
+                if from == to {
+                    continue;
+                }
+                let probed = lt.probe(from, t(0.75), to, t(4.5));
+                let undo = lt.apply(from, t(0.75), to, t(4.5));
+                assert_eq!(probed, lt.makespan(), "{from}->{to}");
+                assert_eq!(probed, naive_max(lt.loads()), "{from}->{to}");
+                lt.undo(undo);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_matches_apply_on_a_wide_tracker() {
+        // Deep enough that the sibling walk crosses several tree levels
+        // and meets non-trivial `-∞` padding (81 leaves in a 128-leaf
+        // tree).
+        let m = 81;
+        let mut lt = LoadTracker::new();
+        lt.reset((0..m).map(|i| t(((i * 13 + 5) % 23) as f64 + 0.25)));
+        for (from, to) in [(0, m - 1), (m - 1, 0), (3, 4), (40, 70), (70, 40)] {
+            let probed = lt.probe(from, t(0.5), to, t(3.75));
+            let undo = lt.apply(from, t(0.5), to, t(3.75));
+            assert_eq!(probed, lt.makespan(), "{from}->{to}");
+            assert_eq!(probed, naive_max(lt.loads()), "{from}->{to}");
+            lt.undo(undo);
+        }
+    }
+
+    #[test]
+    fn probe_handles_the_two_makespan_machines() {
+        // Moving off the makespan machine must surface the runner-up.
+        let mut lt = LoadTracker::new();
+        lt.reset([t(10.0), t(7.0), t(4.0)]);
+        assert_eq!(lt.probe(0, t(8.0), 2, t(1.0)), t(7.0));
+        // Moving onto it must grow it.
+        assert_eq!(lt.probe(1, t(1.0), 0, t(2.5)), t(12.5));
+    }
+
+    #[test]
+    fn single_machine_tracker_works() {
+        let mut lt = LoadTracker::new();
+        lt.reset([t(4.0)]);
+        assert_eq!(lt.makespan(), t(4.0));
+        lt.set(0, t(6.0));
+        assert_eq!(lt.makespan(), t(6.0));
+        assert_eq!(lt.argmax(), 0);
+    }
+
+    #[test]
+    fn argmax_prefers_lowest_position_on_ties() {
+        let mut lt = LoadTracker::new();
+        lt.reset([t(2.0), t(7.0), t(7.0), t(1.0)]);
+        assert_eq!(lt.argmax(), 1);
+        lt.set(0, t(7.0));
+        assert_eq!(lt.argmax(), 0);
+    }
+
+    #[test]
+    fn rebuild_matches_naive_accumulation() {
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0], vec![8.0, 3.0]]).unwrap(),
+        );
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let assign = [1usize, 0, 1];
+        let mut lt = LoadTracker::new();
+        lt.rebuild(&inst, &assign);
+        // Naive twin: ready + etc in position order.
+        let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+        for (pos, &mi) in assign.iter().enumerate() {
+            loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+        }
+        assert_eq!(lt.loads(), &loads[..]);
+        assert_eq!(lt.makespan(), naive_max(&loads));
+        assert_eq!(lt.argmax_machine(&inst), inst.machines[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tracker")]
+    fn empty_makespan_panics() {
+        LoadTracker::new().makespan();
+    }
+}

@@ -1,0 +1,145 @@
+//! Property suite for the delta-evaluation kernel: a [`LoadTracker`]
+//! driven through a random walk of probes, applies, and undos must agree
+//! with a shadow `Vec<Time>` mutated by the identical `Time` operations —
+//! loads bitwise, makespan bitwise equal to a linear max scan (max over
+//! `total_cmp` is associative, so the tournament tree cannot diverge).
+
+use hcs_core::{LoadTracker, Time};
+use proptest::prelude::*;
+
+/// One scripted step of the walk. `from`/`to`/`at` are raw draws, reduced
+/// modulo the machine count by the walk (moves with `from == to` are
+/// skipped — the kernel's callers never produce them and `probe`/`apply`
+/// require distinct machines).
+#[derive(Clone, Debug)]
+enum Op {
+    /// Probe a move and check it against a simulated apply, rejecting it.
+    Probe {
+        from: usize,
+        to: usize,
+        sub: f64,
+        add: f64,
+    },
+    /// Apply a move and keep it.
+    Apply {
+        from: usize,
+        to: usize,
+        sub: f64,
+        add: f64,
+    },
+    /// Apply a move, check, then undo it.
+    ApplyUndo {
+        from: usize,
+        to: usize,
+        sub: f64,
+        add: f64,
+    },
+    /// Overwrite one machine's load.
+    Set { at: usize, value: f64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let amount = 0.0f64..50.0;
+    prop_oneof![
+        (0usize..96, 0usize..96, amount.clone(), amount.clone())
+            .prop_map(|(from, to, sub, add)| Op::Probe { from, to, sub, add }),
+        (0usize..96, 0usize..96, amount.clone(), amount.clone())
+            .prop_map(|(from, to, sub, add)| Op::Apply { from, to, sub, add }),
+        (0usize..96, 0usize..96, amount.clone(), amount.clone())
+            .prop_map(|(from, to, sub, add)| Op::ApplyUndo { from, to, sub, add }),
+        (0usize..96, 0.0f64..200.0).prop_map(|(at, value)| Op::Set { at, value }),
+    ]
+}
+
+fn linear_max(loads: &[Time]) -> Time {
+    loads.iter().copied().max().expect("non-empty")
+}
+
+/// The exact operations `LoadTracker::apply` performs, on the shadow —
+/// binary `-`/`+` rather than the compound operators, matching `apply`
+/// token for token.
+#[allow(clippy::assign_op_pattern)]
+fn shadow_apply(shadow: &mut [Time], from: usize, sub: Time, to: usize, add: Time) {
+    shadow[from] = shadow[from] - sub;
+    shadow[to] = shadow[to] + add;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_walk_matches_shadow_vector(
+        // Up to 96 machines so the walk also meets trees with several
+        // levels of `-∞` padding (96 leaves in a 128-leaf tree).
+        initial in proptest::collection::vec(0.0f64..100.0, 1..=96),
+        ops in proptest::collection::vec(op(), 0..80),
+    ) {
+        let m = initial.len();
+        let start: Vec<Time> = initial.iter().map(|&v| Time::new(v)).collect();
+        let mut shadow = start.clone();
+        let mut tracker = LoadTracker::new();
+        tracker.reset(start);
+        prop_assert_eq!(tracker.len(), m);
+
+        for op in ops {
+            match op {
+                Op::Probe { from, to, sub, add } => {
+                    let (from, to) = (from % m, to % m);
+                    if from == to {
+                        continue;
+                    }
+                    let (sub, add) = (Time::new(sub), Time::new(add));
+                    let mut sim = shadow.clone();
+                    shadow_apply(&mut sim, from, sub, to, add);
+                    let probed = tracker.probe(from, sub, to, add);
+                    prop_assert_eq!(probed, linear_max(&sim), "probe is read-only and exact");
+                }
+                Op::Apply { from, to, sub, add } => {
+                    let (from, to) = (from % m, to % m);
+                    if from == to {
+                        continue;
+                    }
+                    let (sub, add) = (Time::new(sub), Time::new(add));
+                    shadow_apply(&mut shadow, from, sub, to, add);
+                    tracker.apply(from, sub, to, add);
+                }
+                Op::ApplyUndo { from, to, sub, add } => {
+                    let (from, to) = (from % m, to % m);
+                    if from == to {
+                        continue;
+                    }
+                    let (sub, add) = (Time::new(sub), Time::new(add));
+                    let mut sim = shadow.clone();
+                    shadow_apply(&mut sim, from, sub, to, add);
+                    let undo = tracker.apply(from, sub, to, add);
+                    prop_assert_eq!(tracker.makespan(), linear_max(&sim));
+                    tracker.undo(undo);
+                }
+                Op::Set { at, value } => {
+                    let at = at % m;
+                    shadow[at] = Time::new(value);
+                    tracker.set(at, shadow[at]);
+                }
+            }
+            // After every step: loads bitwise, makespan == linear scan.
+            prop_assert_eq!(tracker.loads(), &shadow[..]);
+            prop_assert_eq!(tracker.makespan(), linear_max(&shadow));
+            prop_assert_eq!(tracker.load(tracker.argmax()), tracker.makespan());
+        }
+    }
+
+    /// `reset` fully erases prior state, whatever sizes came before.
+    #[test]
+    fn reset_is_size_polymorphic(
+        first in proptest::collection::vec(0.0f64..100.0, 1..=64),
+        second in proptest::collection::vec(0.0f64..100.0, 1..=64),
+    ) {
+        let mut tracker = LoadTracker::new();
+        tracker.reset(first.iter().map(|&v| Time::new(v)));
+        tracker.reset(second.iter().map(|&v| Time::new(v)));
+        let shadow: Vec<Time> = second.iter().map(|&v| Time::new(v)).collect();
+        prop_assert_eq!(tracker.len(), shadow.len());
+        prop_assert_eq!(tracker.loads(), &shadow[..]);
+        prop_assert_eq!(tracker.makespan(), linear_max(&shadow));
+    }
+}

@@ -17,6 +17,28 @@
 //! makespan, whichever comes first. Because insertion is elitist (worst
 //! out, sorted in), the best chromosome can never get worse.
 //!
+//! # Delta evaluation
+//!
+//! An offspring differs from one of its parents in few genes: a crossover
+//! child differs from one parent only inside the swapped prefix (or,
+//! equivalently, from the other parent only in the suffix), a mutant in at
+//! most one. The population therefore caches each chromosome's per-machine
+//! load vector, and offspring are *gated* by a delta fitness — copy the
+//! nearer parent's loads, shift the few differing genes' ETCs, take the
+//! max — in O(m + Δ) instead of the O(n + m) from-scratch walk. Offspring
+//! that cannot enter the population (fitness at or above the current
+//! worst, the common case once the search converges) are rejected without
+//! ever materializing a chromosome; retained offspring are re-evaluated
+//! from scratch so every stored fitness is bit-identical to what the
+//! pre-delta implementation stored. That implementation is preserved in
+//! [`reference::NaiveGenitor`] as the executable specification, and the
+//! golden-equivalence suite in `tests/delta_equivalence.rs` pins final
+//! mappings and makespan trajectories to it; DESIGN.md §11 gives the
+//! argument for why the gate agrees with the spec. Initial-population
+//! evaluation fans out over `std::thread::scope` (the `run_trials_with`
+//! pattern) — evaluation is pure, so the thread count cannot change any
+//! result.
+//!
 //! # Seeding and the iterative technique
 //!
 //! "For each iteration (of the iterative approach), the mapping found by
@@ -41,6 +63,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
+
+pub mod reference;
 
 use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
 use rand::rngs::StdRng;
@@ -62,6 +87,11 @@ pub struct GenitorConfig {
     /// Also seed the initial population with a Min-Min mapping (a common
     /// practice since Braun et al.; off by default for Figure-1 fidelity).
     pub seed_minmin: bool,
+    /// Worker threads for initial-population evaluation; `0` (the default)
+    /// picks the machine's available parallelism, capped at 8. Evaluation
+    /// is pure and results are merged in generation order, so this setting
+    /// cannot change any mapping — only how fast the population fills.
+    pub eval_threads: usize,
 }
 
 impl Default for GenitorConfig {
@@ -72,6 +102,7 @@ impl Default for GenitorConfig {
             stall_steps: 1_500,
             selection_bias: 1.0,
             seed_minmin: false,
+            eval_threads: 0,
         }
     }
 }
@@ -145,35 +176,132 @@ impl Genitor {
 /// list) of the machine assigned to the instance's `i`-th task.
 type Chromosome = Vec<u16>;
 
-/// Makespan of a chromosome under the instance.
-fn fitness(inst: &Instance<'_>, chrom: &Chromosome) -> Time {
-    let mut finish: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+/// A population member: chromosome plus its cached fitness and per-machine
+/// load vector. The loads are what make delta gating possible — an
+/// offspring's candidate fitness is derived from its parent's loads
+/// without touching the other `n − Δ` genes.
+#[derive(Clone, Debug)]
+struct Entry {
+    fit: Time,
+    chrom: Chromosome,
+    loads: Vec<Time>,
+}
+
+/// From-scratch fitness: ready times plus ETCs accumulated in task-position
+/// order, exactly as [`reference::NaiveGenitor`] computes it (bit-for-bit —
+/// the golden-equivalence suite depends on this). Leaves the load vector in
+/// `loads` for the entry cache.
+fn eval_into(inst: &Instance<'_>, chrom: &[u16], loads: &mut Vec<Time>) -> Time {
+    loads.clear();
+    loads.extend(inst.machines.iter().map(|&m| inst.ready.get(m)));
     for (pos, &mi) in chrom.iter().enumerate() {
         let task = inst.tasks[pos];
         let machine = inst.machines[mi as usize];
-        finish[mi as usize] += inst.etc.get(task, machine);
+        loads[mi as usize] += inst.etc.get(task, machine);
     }
-    finish.into_iter().max().expect("instance has machines")
+    loads.iter().copied().max().expect("instance has machines")
 }
 
-/// Inserts `chrom` into the population, keeping it sorted ascending by
-/// fitness, then truncates to `cap` (dropping the worst).
-fn insert_sorted(pop: &mut Vec<(Time, Chromosome)>, fit: Time, chrom: Chromosome, cap: usize) {
-    let at = pop.partition_point(|(f, _)| *f <= fit);
-    pop.insert(at, (fit, chrom));
-    pop.truncate(cap);
+/// Candidate fitness by delta: copy the base parent's cached loads, apply
+/// each differing gene's ETC shift, take the max — O(m + Δ) instead of the
+/// O(n + m) from-scratch walk. Used only as an acceptance *gate*; retained
+/// offspring are re-evaluated from scratch (see module docs / DESIGN.md
+/// §11), so rounding drift here can at worst flip a measure-zero
+/// borderline accept, never corrupt a stored fitness.
+fn gate_fitness(
+    inst: &Instance<'_>,
+    base_loads: &[Time],
+    moves: impl Iterator<Item = (usize, u16, u16)>,
+    scratch: &mut Vec<f64>,
+) -> Time {
+    scratch.clear();
+    scratch.extend(base_loads.iter().map(|t| t.get()));
+    for (pos, from, to) in moves {
+        let task = inst.tasks[pos];
+        scratch[from as usize] -= inst.etc.get(task, inst.machines[from as usize]).get();
+        scratch[to as usize] += inst.etc.get(task, inst.machines[to as usize]).get();
+    }
+    let mut mx = f64::NEG_INFINITY;
+    for &v in scratch.iter() {
+        if mx.total_cmp(&v).is_lt() {
+            mx = v;
+        }
+    }
+    Time::new(mx)
 }
 
-impl Heuristic for Genitor {
-    fn name(&self) -> &'static str {
-        "Genitor"
+/// Inserts `entry` into the fitness-sorted population (after equals, like
+/// the reference `insert_sorted`), evicting the worst member into `pool`
+/// for buffer reuse when the population exceeds `cap`. Returns whether the
+/// entry itself survived — `false` exactly when the reference would have
+/// inserted at the end and truncated.
+fn insert_entry(pop: &mut Vec<Entry>, entry: Entry, cap: usize, pool: &mut Vec<Entry>) -> bool {
+    let at = pop.partition_point(|e| e.fit <= entry.fit);
+    pop.insert(at, entry);
+    if pop.len() > cap {
+        if let Some(evicted) = pop.pop() {
+            pool.push(evicted);
+        }
+        at < cap
+    } else {
+        true
     }
+}
 
-    /// Runs the GA. The [`TieBreaker`] is unused: Genitor's stochasticity
-    /// is its own (population initialization, parent selection, cut
-    /// points, mutation), not tie-breaking between equally good greedy
-    /// choices.
-    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+/// Work threshold (chromosomes × tasks) below which initial-population
+/// evaluation stays on the calling thread — thread spawn costs more than
+/// the evaluation itself for small instances.
+const PAR_EVAL_THRESHOLD: usize = 1 << 14;
+
+/// From-scratch evaluation of a batch of chromosomes, fanned out over
+/// `std::thread::scope` when `threads > 1`. Results return in input order
+/// and evaluation is pure, so the fan-out is invisible to the search.
+fn eval_batch(
+    inst: &Instance<'_>,
+    chroms: &[Chromosome],
+    threads: usize,
+) -> Vec<(Time, Vec<Time>)> {
+    let eval_all = |slice: &[Chromosome]| -> Vec<(Time, Vec<Time>)> {
+        slice
+            .iter()
+            .map(|chrom| {
+                let mut loads = Vec::new();
+                let fit = eval_into(inst, chrom, &mut loads);
+                (fit, loads)
+            })
+            .collect()
+    };
+    let threads = threads.clamp(1, chroms.len().max(1));
+    if threads <= 1 {
+        return eval_all(chroms);
+    }
+    let chunk = chroms.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(chroms.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chroms
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || eval_all(slice)))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("evaluator thread panicked"));
+        }
+    });
+    out
+}
+
+impl Genitor {
+    /// [`map`](Heuristic::map) with an observer called with
+    /// `(inserted fitness, best fitness)` after every insertion that
+    /// actually entered the population — initial members and retained
+    /// offspring alike. Testing seam for the golden-equivalence suite
+    /// ([`reference::NaiveGenitor::map_observed`] fires at the same
+    /// points); the observer is outside the RNG stream.
+    pub fn map_observed(
+        &mut self,
+        inst: &Instance<'_>,
+        _tb: &mut TieBreaker,
+        mut observe: impl FnMut(Time, Time),
+    ) -> Mapping {
         let n_tasks = inst.tasks.len();
         let n_machines = inst.machines.len();
         let cap = self.config.pop_size;
@@ -185,7 +313,8 @@ impl Heuristic for Genitor {
         }
 
         // --- Initial population ------------------------------------------
-        let mut pop: Vec<(Time, Chromosome)> = Vec::with_capacity(cap + 2);
+        let mut pop: Vec<Entry> = Vec::with_capacity(cap + 1);
+        let mut pool: Vec<Entry> = Vec::new();
 
         // Seed: the previous round's mapping restricted to this instance,
         // when it covers it (the iterative driver removes exactly the
@@ -204,50 +333,217 @@ impl Heuristic for Genitor {
                 .collect()
         });
         if let Some(chrom) = seed_chrom {
-            let fit = fitness(inst, &chrom);
-            insert_sorted(&mut pop, fit, chrom, cap);
+            let mut loads = Vec::new();
+            let fit = eval_into(inst, &chrom, &mut loads);
+            if insert_entry(&mut pop, Entry { fit, chrom, loads }, cap, &mut pool) {
+                observe(fit, pop[0].fit);
+            }
         }
         if self.config.seed_minmin {
             let chrom = minmin_chromosome(inst);
-            let fit = fitness(inst, &chrom);
-            insert_sorted(&mut pop, fit, chrom, cap);
+            let mut loads = Vec::new();
+            let fit = eval_into(inst, &chrom, &mut loads);
+            if insert_entry(&mut pop, Entry { fit, chrom, loads }, cap, &mut pool) {
+                observe(fit, pop[0].fit);
+            }
         }
-        while pop.len() < cap {
-            let chrom: Chromosome = (0..n_tasks)
-                .map(|_| self.rng.gen_range(0..n_machines) as u16)
-                .collect();
-            let fit = fitness(inst, &chrom);
-            insert_sorted(&mut pop, fit, chrom, cap);
+
+        // Random fill: the chromosomes are drawn sequentially (preserving
+        // the exact RNG stream of the reference, which interleaved
+        // generation and evaluation), evaluated as a batch — in parallel
+        // when the workload warrants it — and inserted in generation order.
+        let fill = cap - pop.len();
+        let mut pending: Vec<Chromosome> = Vec::with_capacity(fill);
+        for _ in 0..fill {
+            pending.push(
+                (0..n_tasks)
+                    .map(|_| self.rng.gen_range(0..n_machines) as u16)
+                    .collect(),
+            );
+        }
+        let threads = if fill * n_tasks >= PAR_EVAL_THRESHOLD {
+            match self.config.eval_threads {
+                0 => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8),
+                t => t,
+            }
+        } else {
+            1
+        };
+        let evaluated = eval_batch(inst, &pending, threads);
+        for (chrom, (fit, loads)) in pending.into_iter().zip(evaluated) {
+            if insert_entry(&mut pop, Entry { fit, chrom, loads }, cap, &mut pool) {
+                observe(fit, pop[0].fit);
+            }
         }
 
         // --- Steady-state loop -------------------------------------------
-        let mut best = pop[0].0;
+        // Offspring are delta-gated against the current worst member; only
+        // offspring that will enter the population are materialized and
+        // re-evaluated from scratch (see module docs). Chromosome and load
+        // buffers cycle through `pool`, so the converged regime — most
+        // offspring rejected — runs allocation-free.
+        let mut best = pop[0].fit;
         let mut stall = 0usize;
+        let mut diffs: Vec<u32> = Vec::new();
+        let mut scratch: Vec<f64> = Vec::new();
+
         for _ in 0..self.config.max_steps {
-            // (a) Crossover.
+            // (a) Crossover: child_a = pb-prefix + pa-suffix, child_b the
+            // converse. Scanning the shorter side for differing genes finds
+            // every position where a child departs from its nearer parent.
             let pa = self.select_index(cap);
             let pb = self.select_index(cap);
             let cut = self.rng.gen_range(0..=n_tasks);
-            let (mut child_a, mut child_b) = (pop[pa].1.clone(), pop[pb].1.clone());
-            for pos in 0..cut {
-                std::mem::swap(&mut child_a[pos], &mut child_b[pos]);
+            let scan_prefix = cut <= n_tasks - cut;
+            let (range, base_a, base_b) = if scan_prefix {
+                // Children differ from their suffix parent inside the prefix.
+                (0..cut, pa, pb)
+            } else {
+                // ... and from their prefix parent inside the suffix.
+                (cut..n_tasks, pb, pa)
+            };
+            diffs.clear();
+            {
+                let ca = &pop[pa].chrom[range.clone()];
+                let cb = &pop[pb].chrom[range.clone()];
+                for (off, (&ga, &gb)) in ca.iter().zip(cb).enumerate() {
+                    if ga != gb {
+                        diffs.push((range.start + off) as u32);
+                    }
+                }
             }
-            let fa = fitness(inst, &child_a);
-            insert_sorted(&mut pop, fa, child_a, cap);
-            let fb = fitness(inst, &child_b);
-            insert_sorted(&mut pop, fb, child_b, cap);
 
-            // (b) Mutation.
+            let worst = pop[cap - 1].fit;
+            let other = |base: usize| if base == pa { pb } else { pa };
+
+            // Child A: gate, then materialize only on acceptance.
+            let gate_a = if diffs.is_empty() {
+                pop[base_a].fit
+            } else {
+                let (bc, oc) = (&pop[base_a].chrom, &pop[other(base_a)].chrom);
+                gate_fitness(
+                    inst,
+                    &pop[base_a].loads,
+                    diffs.iter().map(|&p| {
+                        let pos = p as usize;
+                        (pos, bc[pos], oc[pos])
+                    }),
+                    &mut scratch,
+                )
+            };
+            let entry_a = if gate_a < worst {
+                let mut e = pool.pop().unwrap_or_else(|| Entry {
+                    fit: Time::ZERO,
+                    chrom: Vec::new(),
+                    loads: Vec::new(),
+                });
+                e.chrom.clear();
+                e.chrom.extend_from_slice(&pop[pb].chrom[..cut]);
+                e.chrom.extend_from_slice(&pop[pa].chrom[cut..]);
+                e.fit = eval_into(inst, &e.chrom, &mut e.loads);
+                Some(e)
+            } else {
+                None
+            };
+
+            // The worst member child B must beat is the one *after* child
+            // A's insert-and-truncate: the old runner-up or child A itself,
+            // whichever is larger (the old worst is evicted).
+            let worst_b = match &entry_a {
+                Some(e) if e.fit < worst => {
+                    let second = pop[cap - 2].fit;
+                    if second < e.fit {
+                        e.fit
+                    } else {
+                        second
+                    }
+                }
+                _ => worst,
+            };
+
+            // Child B: same gate against the post-A worst.
+            let gate_b = if diffs.is_empty() {
+                pop[base_b].fit
+            } else {
+                let (bc, oc) = (&pop[base_b].chrom, &pop[other(base_b)].chrom);
+                gate_fitness(
+                    inst,
+                    &pop[base_b].loads,
+                    diffs.iter().map(|&p| {
+                        let pos = p as usize;
+                        (pos, bc[pos], oc[pos])
+                    }),
+                    &mut scratch,
+                )
+            };
+            let entry_b = if gate_b < worst_b {
+                let mut e = pool.pop().unwrap_or_else(|| Entry {
+                    fit: Time::ZERO,
+                    chrom: Vec::new(),
+                    loads: Vec::new(),
+                });
+                e.chrom.clear();
+                e.chrom.extend_from_slice(&pop[pa].chrom[..cut]);
+                e.chrom.extend_from_slice(&pop[pb].chrom[cut..]);
+                e.fit = eval_into(inst, &e.chrom, &mut e.loads);
+                Some(e)
+            } else {
+                None
+            };
+
+            if let Some(e) = entry_a {
+                let fit = e.fit;
+                if insert_entry(&mut pop, e, cap, &mut pool) {
+                    observe(fit, pop[0].fit);
+                }
+            }
+            if let Some(e) = entry_b {
+                let fit = e.fit;
+                if insert_entry(&mut pop, e, cap, &mut pool) {
+                    observe(fit, pop[0].fit);
+                }
+            }
+
+            // (b) Mutation: a one-gene delta (or the parent's exact fitness
+            // when the drawn gene is unchanged — the reference inserts a
+            // duplicate in that case, and so do we).
             let pm = self.rng.gen_range(0..cap);
-            let mut mutant = pop[pm].1.clone();
             let pos = self.rng.gen_range(0..n_tasks);
-            mutant[pos] = self.rng.gen_range(0..n_machines) as u16;
-            let fm = fitness(inst, &mutant);
-            insert_sorted(&mut pop, fm, mutant, cap);
+            let gene = self.rng.gen_range(0..n_machines) as u16;
+            let old_gene = pop[pm].chrom[pos];
+            let worst_m = pop[cap - 1].fit;
+            let gate_m = if gene == old_gene {
+                pop[pm].fit
+            } else {
+                gate_fitness(
+                    inst,
+                    &pop[pm].loads,
+                    std::iter::once((pos, old_gene, gene)),
+                    &mut scratch,
+                )
+            };
+            if gate_m < worst_m {
+                let mut e = pool.pop().unwrap_or_else(|| Entry {
+                    fit: Time::ZERO,
+                    chrom: Vec::new(),
+                    loads: Vec::new(),
+                });
+                e.chrom.clear();
+                e.chrom.extend_from_slice(&pop[pm].chrom);
+                e.chrom[pos] = gene;
+                e.fit = eval_into(inst, &e.chrom, &mut e.loads);
+                let fit = e.fit;
+                if insert_entry(&mut pop, e, cap, &mut pool) {
+                    observe(fit, pop[0].fit);
+                }
+            }
 
             // Stopping criterion.
-            if pop[0].0 < best {
-                best = pop[0].0;
+            if pop[0].fit < best {
+                best = pop[0].fit;
                 stall = 0;
             } else {
                 stall += 1;
@@ -258,7 +554,7 @@ impl Heuristic for Genitor {
         }
 
         // --- Output the best solution ------------------------------------
-        let best_chrom = &pop[0].1;
+        let best_chrom = &pop[0].chrom;
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         for (pos, &mi) in best_chrom.iter().enumerate() {
             mapping
@@ -270,10 +566,25 @@ impl Heuristic for Genitor {
     }
 }
 
+impl Heuristic for Genitor {
+    fn name(&self) -> &'static str {
+        "Genitor"
+    }
+
+    /// Runs the GA. The [`TieBreaker`] is unused: Genitor's stochasticity
+    /// is its own (population initialization, parent selection, cut
+    /// points, mutation), not tie-breaking between equally good greedy
+    /// choices.
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_observed(inst, tb, |_, _| {})
+    }
+}
+
 /// Min-Min as a chromosome (for the optional seed). Re-implemented locally
 /// (a dozen lines) rather than depending on `hcs-heuristics`, keeping the
-/// crate graph a clean DAG and the GA crate self-contained.
-fn minmin_chromosome(inst: &Instance<'_>) -> Chromosome {
+/// crate graph a clean DAG and the GA crate self-contained. Shared with
+/// [`reference::NaiveGenitor`] so both paths seed identically.
+pub(crate) fn minmin_chromosome(inst: &Instance<'_>) -> Chromosome {
     let mut ready: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
     let mut chrom: Chromosome = vec![0; inst.tasks.len()];
     let mut unmapped: Vec<usize> = (0..inst.tasks.len()).collect();
@@ -367,6 +678,77 @@ mod tests {
             ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic)
         };
         assert_eq!(run(7).order(), run(7).order());
+    }
+
+    #[test]
+    fn parallel_initial_population_matches_sequential() {
+        // 512 tasks x 3 machines puts fill × tasks over PAR_EVAL_THRESHOLD,
+        // so eval_threads > 1 takes the scoped-thread path end to end.
+        let rows: Vec<Vec<f64>> = (0..512)
+            .map(|t| {
+                (0..3)
+                    .map(|m| (((t * 7 + m * 13) % 29) + 1) as f64)
+                    .collect()
+            })
+            .collect();
+        let s = Scenario::with_zero_ready(EtcMatrix::from_rows(&rows).unwrap());
+        let owned = s.full_instance();
+        let run = |threads| {
+            let mut ga = Genitor::with_config(
+                7,
+                GenitorConfig {
+                    pop_size: 40,
+                    max_steps: 50,
+                    stall_steps: 20,
+                    eval_threads: threads,
+                    ..GenitorConfig::default()
+                },
+            );
+            ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic)
+        };
+        assert_eq!(run(1).order(), run(3).order());
+    }
+
+    #[test]
+    fn batch_evaluation_is_thread_count_invariant() {
+        let s = small_scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let chroms: Vec<Chromosome> = (0..13)
+            .map(|i| (0..5).map(|p| ((i + p) % 3) as u16).collect())
+            .collect();
+        let seq = eval_batch(&inst, &chroms, 1);
+        let par = eval_batch(&inst, &chroms, 4);
+        assert_eq!(seq.len(), par.len());
+        for ((fs, ls), (fp, lp)) in seq.iter().zip(par.iter()) {
+            assert_eq!(fs, fp);
+            assert_eq!(ls, lp);
+        }
+    }
+
+    #[test]
+    fn gate_fitness_is_exact_on_integer_workloads() {
+        // Integer ETCs make f64 arithmetic exact, so the delta gate must
+        // equal the from-scratch fitness bit-for-bit.
+        let s = small_scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let parent: Chromosome = vec![0, 1, 2, 0, 1];
+        let mut loads = Vec::new();
+        let _ = eval_into(&inst, &parent, &mut loads);
+        let mut scratch = Vec::new();
+        // Mutate position 2 from machine 2 to machine 0.
+        let gated = gate_fitness(
+            &inst,
+            &loads,
+            std::iter::once((2usize, 2u16, 0u16)),
+            &mut scratch,
+        );
+        let mut child = parent.clone();
+        child[2] = 0;
+        let mut child_loads = Vec::new();
+        let scratch_fit = eval_into(&inst, &child, &mut child_loads);
+        assert_eq!(gated, scratch_fit);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The pre-delta-kernel Genitor, retained verbatim as the executable
+//! specification.
+//!
+//! [`NaiveGenitor`] is the implementation the crate shipped before the
+//! delta-evaluation rewrite: every offspring's chromosome is materialized,
+//! its fitness recomputed from scratch with an O(n + m) walk, and the
+//! sorted insert-then-truncate decides survival. [`Genitor`](crate::Genitor)
+//! must produce bit-identical final mappings and makespan trajectories for
+//! identical seeds; the golden-equivalence property suite in
+//! `tests/delta_equivalence.rs` enforces that on random scenarios,
+//! including when both are driven through the full
+//! `IterativeRun` loop (where the stateful seeding carries across rounds).
+//!
+//! None of this code is on a hot path — clarity over speed.
+
+use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{minmin_chromosome, GenitorConfig};
+
+type Chromosome = Vec<u16>;
+
+/// Makespan of a chromosome under the instance — the reference fitness
+/// every stored population fitness must agree with bit-for-bit.
+fn fitness(inst: &Instance<'_>, chrom: &Chromosome) -> Time {
+    let mut finish: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    for (pos, &mi) in chrom.iter().enumerate() {
+        let task = inst.tasks[pos];
+        let machine = inst.machines[mi as usize];
+        finish[mi as usize] += inst.etc.get(task, machine);
+    }
+    finish.into_iter().max().expect("instance has machines")
+}
+
+/// Inserts `chrom` into the population, keeping it sorted ascending by
+/// fitness, then truncates to `cap` (dropping the worst).
+fn insert_sorted(pop: &mut Vec<(Time, Chromosome)>, fit: Time, chrom: Chromosome, cap: usize) {
+    let at = pop.partition_point(|(f, _)| *f <= fit);
+    pop.insert(at, (fit, chrom));
+    pop.truncate(cap);
+}
+
+/// The pre-delta Genitor. Same configuration, same RNG stream, same
+/// stateful seeding as [`Genitor`](crate::Genitor) — only the evaluation
+/// strategy differs.
+#[derive(Clone, Debug)]
+pub struct NaiveGenitor {
+    config: GenitorConfig,
+    rng: StdRng,
+    last_mapping: Option<Mapping>,
+}
+
+impl NaiveGenitor {
+    /// A naive Genitor with default configuration.
+    pub fn new(seed: u64) -> Self {
+        NaiveGenitor::with_config(seed, GenitorConfig::default())
+    }
+
+    /// A naive Genitor with explicit configuration (same validation as
+    /// [`Genitor::with_config`](crate::Genitor::with_config)).
+    pub fn with_config(seed: u64, config: GenitorConfig) -> Self {
+        assert!(config.pop_size >= 2, "population needs at least 2 members");
+        assert!(
+            (1.0..=2.0).contains(&config.selection_bias),
+            "selection bias must be in [1.0, 2.0]"
+        );
+        NaiveGenitor {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            last_mapping: None,
+        }
+    }
+
+    /// Clears the remembered mapping (fresh start for a new scenario).
+    pub fn reset(&mut self) {
+        self.last_mapping = None;
+    }
+
+    fn select_index(&mut self, pop_size: usize) -> usize {
+        let b = self.config.selection_bias;
+        if b <= 1.0 + f64::EPSILON {
+            return self.rng.gen_range(0..pop_size);
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let idx = pop_size as f64 * (b - (b * b - 4.0 * (b - 1.0) * u).sqrt()) / (2.0 * (b - 1.0));
+        (idx as usize).min(pop_size - 1)
+    }
+
+    /// Naive twin of [`Genitor::map_observed`](crate::Genitor::map_observed):
+    /// the observer fires with `(inserted fitness, best fitness)` after
+    /// every insertion that survives the truncation, at the same points.
+    pub fn map_observed(
+        &mut self,
+        inst: &Instance<'_>,
+        _tb: &mut TieBreaker,
+        mut observe: impl FnMut(Time, Time),
+    ) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let cap = self.config.pop_size;
+
+        if n_tasks == 0 {
+            let mapping = Mapping::new(inst.etc.n_tasks());
+            self.last_mapping = Some(mapping.clone());
+            return mapping;
+        }
+
+        // An insert-then-truncate discards the newcomer exactly when its
+        // fitness is at or above the current worst of a full population.
+        let survives =
+            |pop: &Vec<(Time, Chromosome)>, fit: Time| pop.len() < cap || fit < pop[cap - 1].0;
+
+        // --- Initial population ------------------------------------------
+        let mut pop: Vec<(Time, Chromosome)> = Vec::with_capacity(cap + 2);
+
+        let seed_chrom: Option<Chromosome> = self.last_mapping.as_ref().and_then(|prev| {
+            inst.tasks
+                .iter()
+                .map(|&task| {
+                    prev.machine_of(task).and_then(|m| {
+                        inst.machines
+                            .iter()
+                            .position(|&mm| mm == m)
+                            .map(|i| i as u16)
+                    })
+                })
+                .collect()
+        });
+        if let Some(chrom) = seed_chrom {
+            let fit = fitness(inst, &chrom);
+            let kept = survives(&pop, fit);
+            insert_sorted(&mut pop, fit, chrom, cap);
+            if kept {
+                observe(fit, pop[0].0);
+            }
+        }
+        if self.config.seed_minmin {
+            let chrom = minmin_chromosome(inst);
+            let fit = fitness(inst, &chrom);
+            let kept = survives(&pop, fit);
+            insert_sorted(&mut pop, fit, chrom, cap);
+            if kept {
+                observe(fit, pop[0].0);
+            }
+        }
+        while pop.len() < cap {
+            let chrom: Chromosome = (0..n_tasks)
+                .map(|_| self.rng.gen_range(0..n_machines) as u16)
+                .collect();
+            let fit = fitness(inst, &chrom);
+            let kept = survives(&pop, fit);
+            insert_sorted(&mut pop, fit, chrom, cap);
+            if kept {
+                observe(fit, pop[0].0);
+            }
+        }
+
+        // --- Steady-state loop -------------------------------------------
+        let mut best = pop[0].0;
+        let mut stall = 0usize;
+        for _ in 0..self.config.max_steps {
+            // (a) Crossover.
+            let pa = self.select_index(cap);
+            let pb = self.select_index(cap);
+            let cut = self.rng.gen_range(0..=n_tasks);
+            let (mut child_a, mut child_b) = (pop[pa].1.clone(), pop[pb].1.clone());
+            for pos in 0..cut {
+                std::mem::swap(&mut child_a[pos], &mut child_b[pos]);
+            }
+            let fa = fitness(inst, &child_a);
+            let kept = survives(&pop, fa);
+            insert_sorted(&mut pop, fa, child_a, cap);
+            if kept {
+                observe(fa, pop[0].0);
+            }
+            let fb = fitness(inst, &child_b);
+            let kept = survives(&pop, fb);
+            insert_sorted(&mut pop, fb, child_b, cap);
+            if kept {
+                observe(fb, pop[0].0);
+            }
+
+            // (b) Mutation.
+            let pm = self.rng.gen_range(0..cap);
+            let mut mutant = pop[pm].1.clone();
+            let pos = self.rng.gen_range(0..n_tasks);
+            mutant[pos] = self.rng.gen_range(0..n_machines) as u16;
+            let fm = fitness(inst, &mutant);
+            let kept = survives(&pop, fm);
+            insert_sorted(&mut pop, fm, mutant, cap);
+            if kept {
+                observe(fm, pop[0].0);
+            }
+
+            // Stopping criterion.
+            if pop[0].0 < best {
+                best = pop[0].0;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= self.config.stall_steps {
+                    break;
+                }
+            }
+        }
+
+        // --- Output the best solution ------------------------------------
+        let best_chrom = &pop[0].1;
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        for (pos, &mi) in best_chrom.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi as usize])
+                .expect("chromosome covers each task once");
+        }
+        self.last_mapping = Some(mapping.clone());
+        mapping
+    }
+}
+
+impl Heuristic for NaiveGenitor {
+    fn name(&self) -> &'static str {
+        "Genitor"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_observed(inst, tb, |_, _| {})
+    }
+}

@@ -1,0 +1,142 @@
+//! Golden-equivalence suite for Genitor's delta-evaluation rewrite: the
+//! gate-then-recompute [`Genitor`] must reproduce the pre-rewrite
+//! [`reference::NaiveGenitor`] bit-for-bit — every retained insertion's
+//! `(fitness, best)` pair, the final mapping, and whole `IterativeRun`
+//! outcomes (where the stateful seeding carries mappings across rounds) —
+//! for identical seeds under both tie policies.
+
+use hcs_core::{iterative, EtcMatrix, Scenario, TieBreaker, Time};
+use hcs_genitor::{reference, Genitor, GenitorConfig};
+use proptest::prelude::*;
+
+/// Random continuous matrices (tie-free in practice, inexact arithmetic).
+fn continuous_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=6, 1usize..=14).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(0.5f64..100.0, t * m).prop_map(move |values| {
+            EtcMatrix::new(t, m, &values).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// Random small-integer matrices (tie-rich, exact f64 arithmetic — the
+/// regime where the acceptance gate must agree with the scratch fitness
+/// exactly, so any gate bug shows up as a divergent trajectory).
+fn integer_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=5, 1usize..=10).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=5, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            EtcMatrix::new(t, m, &flat).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// A tiny-but-live GA budget: small population so evictions happen
+/// constantly (stressing the `worst` bookkeeping), enough steps for
+/// crossover, mutation, and stall exit to all fire.
+fn quick_config(seed_minmin: bool) -> GenitorConfig {
+    GenitorConfig {
+        pop_size: 10,
+        max_steps: 120,
+        stall_steps: 40,
+        selection_bias: 1.6,
+        seed_minmin,
+        eval_threads: 1,
+    }
+}
+
+/// Every retained insertion, as the observer reports it.
+type Trajectory = Vec<(Time, Time)>;
+
+fn assert_genitor_equivalence(
+    etc: EtcMatrix,
+    seed: u64,
+    seed_minmin: bool,
+) -> Result<(), TestCaseError> {
+    let s = Scenario::with_zero_ready(etc);
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+    for tb_seed in [None, Some(seed)] {
+        let tb = |s: Option<u64>| match s {
+            None => TieBreaker::Deterministic,
+            Some(x) => TieBreaker::random(x),
+        };
+        let (mut fast_traj, mut naive_traj) = (Trajectory::new(), Trajectory::new());
+        let fast = Genitor::with_config(seed, quick_config(seed_minmin)).map_observed(
+            &inst,
+            &mut tb(tb_seed),
+            |fit, best| fast_traj.push((fit, best)),
+        );
+        let naive = reference::NaiveGenitor::with_config(seed, quick_config(seed_minmin))
+            .map_observed(&inst, &mut tb(tb_seed), |fit, best| {
+                naive_traj.push((fit, best))
+            });
+        prop_assert_eq!(fast.order(), naive.order(), "final mapping");
+        prop_assert_eq!(&fast_traj, &naive_traj, "insertion trajectory");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delta Genitor equals the naive twin on continuous workloads.
+    #[test]
+    fn genitor_matches_reference_continuous(etc in continuous_etc(), seed in 0u64..1000) {
+        assert_genitor_equivalence(etc, seed, false)?;
+    }
+
+    /// ... and on tie-rich integer workloads, with the Min-Min seed on.
+    #[test]
+    fn genitor_matches_reference_integer(etc in integer_etc(), seed in 0u64..1000) {
+        assert_genitor_equivalence(etc, seed, true)?;
+    }
+
+    /// End to end through the iterative loop: stateful seeding feeds each
+    /// round's best mapping into the next, so one divergent step anywhere
+    /// cascades into a different outcome — the whole outcome must match.
+    #[test]
+    fn iterative_driver_matches_naive_genitor(etc in integer_etc(), seed in 0u64..500) {
+        let s = Scenario::with_zero_ready(etc);
+        for tb_seed in [None, Some(seed)] {
+            let tb = |s: Option<u64>| match s {
+                None => TieBreaker::Deterministic,
+                Some(x) => TieBreaker::random(x),
+            };
+            let mut fast = Genitor::with_config(seed, quick_config(false));
+            let mut naive = reference::NaiveGenitor::with_config(seed, quick_config(false));
+            let a = iterative::IterativeRun::new(&mut fast, &s)
+                .tie_breaker(tb(tb_seed))
+                .execute()
+                .unwrap();
+            let b = iterative::IterativeRun::new(&mut naive, &s)
+                .tie_breaker(tb(tb_seed))
+                .execute()
+                .unwrap();
+            prop_assert_eq!(a, b, "Genitor iterative");
+        }
+    }
+
+    /// The parallel seeding path is an implementation detail: any thread
+    /// count yields the identical trajectory and mapping.
+    #[test]
+    fn thread_count_cannot_change_the_search(etc in continuous_etc(), seed in 0u64..500) {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut runs = Vec::new();
+        for threads in [1usize, 3] {
+            let config = GenitorConfig { eval_threads: threads, ..quick_config(false) };
+            let mut traj = Trajectory::new();
+            let mapping = Genitor::with_config(seed, config).map_observed(
+                &inst,
+                &mut TieBreaker::Deterministic,
+                |fit, best| traj.push((fit, best)),
+            );
+            runs.push((mapping, traj));
+        }
+        let (m1, t1) = &runs[0];
+        let (m3, t3) = &runs[1];
+        prop_assert_eq!(m1.order(), m3.order());
+        prop_assert_eq!(t1, t3);
+    }
+}

@@ -39,10 +39,15 @@
 //! (plain `map` allocates a throwaway workspace); the pre-refactor naive
 //! implementations are retained in [`reference`] as the executable
 //! specification of the tie-break contract, enforced by the
-//! golden-equivalence property suite in `tests/properties.rs`.
+//! golden-equivalence property suite in `tests/properties.rs`. The search
+//! baselines (SA, Tabu) cost their candidate moves through the
+//! delta-evaluation kernel ([`hcs_core::LoadTracker`]); their pre-kernel
+//! twins ([`reference::NaiveSa`], [`reference::NaiveTabu`]) pin the
+//! trajectories bit-for-bit in `tests/search_equivalence.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod beam;
 pub mod duplex;

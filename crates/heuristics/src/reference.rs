@@ -1,4 +1,5 @@
-//! Naive reference implementations of every greedy heuristic.
+//! Naive reference implementations of every greedy heuristic, plus the
+//! pre-delta-kernel SA and Tabu ([`NaiveSa`], [`NaiveTabu`]).
 //!
 //! These are the straightforward allocate-per-step implementations the
 //! crate shipped before the [`MapWorkspace`](hcs_core::MapWorkspace)
@@ -13,9 +14,12 @@
 //! None of this code is on a hot path — clarity over speed.
 
 use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 use crate::two_phase::Phase2;
-use crate::{Kpb, SegmentKey, SegmentedMinMin, Sufferage, Swa, SwaConfig};
+use crate::{Kpb, SaConfig, SegmentKey, SegmentedMinMin, Sufferage, Swa, SwaConfig, TabuConfig};
 
 /// The pre-workspace two-phase loop (Min-Min/Max-Min), one allocation per
 /// step.
@@ -279,6 +283,278 @@ pub fn naive_by_name(name: &str) -> Option<Naive> {
     naive_roster()
         .into_iter()
         .find(|h| h.name.to_ascii_lowercase().replace('-', "") == wanted)
+}
+
+/// Machine loads for a machine-index assignment vector — the naive twin of
+/// [`LoadTracker::rebuild`](hcs_core::LoadTracker::rebuild).
+fn naive_loads_of(inst: &Instance<'_>, assign: &[usize]) -> Vec<Time> {
+    let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    for (pos, &mi) in assign.iter().enumerate() {
+        loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+    }
+    loads
+}
+
+fn naive_makespan(loads: &[Time]) -> Time {
+    loads.iter().copied().max().expect("non-empty machine set")
+}
+
+/// The pre-[`LoadTracker`](hcs_core::LoadTracker) Simulated Annealing:
+/// plain load vector, every candidate move applied, re-scanned over all
+/// `m` machines, and restored on rejection. Retained verbatim as the
+/// executable specification for [`Sa`](crate::Sa) — identical seeds must
+/// yield bit-identical makespan trajectories and final mappings.
+#[derive(Clone, Debug)]
+pub struct NaiveSa {
+    config: SaConfig,
+    rng: StdRng,
+}
+
+impl NaiveSa {
+    /// A naive SA with default configuration.
+    pub fn new(seed: u64) -> Self {
+        NaiveSa::with_config(seed, SaConfig::default())
+    }
+
+    /// A naive SA with explicit configuration (same validation as
+    /// [`Sa::with_config`](crate::Sa::with_config)).
+    pub fn with_config(seed: u64, config: SaConfig) -> Self {
+        assert!(
+            config.cooling > 0.0 && config.cooling < 1.0,
+            "cooling factor must be in (0, 1)"
+        );
+        assert!(config.sweep > 0, "sweep must be positive");
+        NaiveSa {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Naive twin of [`Sa::map_observed`](crate::Sa::map_observed): the
+    /// observer fires at the same points (start state, every accepted
+    /// move) with the same arguments.
+    pub fn map_observed(
+        &mut self,
+        inst: &Instance<'_>,
+        _tb: &mut TieBreaker,
+        mut observe: impl FnMut(&[usize], &[Time], Time),
+    ) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        if n_tasks == 0 {
+            return mapping;
+        }
+
+        let mut assign: Vec<usize> = if self.config.seed_minmin {
+            crate::sa::minmin_assignment(inst)
+        } else {
+            (0..n_tasks)
+                .map(|_| self.rng.gen_range(0..n_machines))
+                .collect()
+        };
+        let mut loads = naive_loads_of(inst, &assign);
+
+        let mut current = naive_makespan(&loads);
+        let mut best = current;
+        let mut best_assign = assign.clone();
+        let t0 = current.get().max(1e-9);
+        let mut temperature = t0;
+        let t_floor = t0 * self.config.t_min_fraction;
+        observe(&assign, &loads, current);
+
+        for step in 0..self.config.max_steps {
+            if temperature < t_floor {
+                break;
+            }
+            let pos = self.rng.gen_range(0..n_tasks);
+            let old_mi = assign[pos];
+            let new_mi = self.rng.gen_range(0..n_machines);
+            if new_mi != old_mi {
+                let task = inst.tasks[pos];
+                let old_load = loads[old_mi];
+                let new_load = loads[new_mi];
+                loads[old_mi] = old_load - inst.etc.get(task, inst.machines[old_mi]);
+                loads[new_mi] = new_load + inst.etc.get(task, inst.machines[new_mi]);
+                let candidate = naive_makespan(&loads);
+
+                let delta = candidate.get() - current.get();
+                let accept =
+                    delta <= 0.0 || self.rng.gen_range(0.0..1.0) < (-delta / temperature).exp();
+                if accept {
+                    assign[pos] = new_mi;
+                    current = candidate;
+                    if current < best {
+                        best = current;
+                        best_assign.clone_from(&assign);
+                    }
+                    observe(&assign, &loads, current);
+                } else {
+                    loads[old_mi] = old_load;
+                    loads[new_mi] = new_load;
+                }
+            }
+            if (step + 1) % self.config.sweep == 0 {
+                temperature *= self.config.cooling;
+            }
+        }
+
+        for (pos, &mi) in best_assign.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi])
+                .expect("each position assigned once");
+        }
+        mapping
+    }
+}
+
+impl Heuristic for NaiveSa {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_observed(inst, tb, |_, _, _| {})
+    }
+}
+
+/// The pre-[`LoadTracker`](hcs_core::LoadTracker) Tabu Search: each sweep
+/// candidate is applied to the load vector, the makespan re-scanned over
+/// all `m` machines, and the loads restored when the move does not
+/// improve. Retained verbatim as the executable specification for
+/// [`Tabu`](crate::Tabu).
+#[derive(Clone, Debug)]
+pub struct NaiveTabu {
+    config: TabuConfig,
+    rng: StdRng,
+}
+
+impl NaiveTabu {
+    /// A naive Tabu with default configuration.
+    pub fn new(seed: u64) -> Self {
+        NaiveTabu::with_config(seed, TabuConfig::default())
+    }
+
+    /// A naive Tabu with explicit configuration (same validation as
+    /// [`Tabu::with_config`](crate::Tabu::with_config)).
+    pub fn with_config(seed: u64, config: TabuConfig) -> Self {
+        assert!(config.max_hops > 0, "hop budget must be positive");
+        NaiveTabu {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Naive twin of [`Tabu::map_observed`](crate::Tabu::map_observed):
+    /// the observer fires at the same points (start state, accepted short
+    /// hops, restarts) with the same arguments.
+    pub fn map_observed(
+        &mut self,
+        inst: &Instance<'_>,
+        _tb: &mut TieBreaker,
+        mut observe: impl FnMut(&[usize], &[Time], Time),
+    ) -> Mapping {
+        let n_tasks = inst.tasks.len();
+        let n_machines = inst.machines.len();
+        let mut mapping = Mapping::new(inst.etc.n_tasks());
+        if n_tasks == 0 {
+            return mapping;
+        }
+
+        let mut assign: Vec<usize> = (0..n_tasks)
+            .map(|_| self.rng.gen_range(0..n_machines))
+            .collect();
+        let mut loads = naive_loads_of(inst, &assign);
+        let mut current = naive_makespan(&loads);
+        let mut best = current;
+        let mut best_assign = assign.clone();
+        let mut tabu: HashSet<Vec<usize>> = HashSet::new();
+        let mut hops = 0usize;
+        observe(&assign, &loads, current);
+
+        'search: while hops < self.config.max_hops {
+            loop {
+                let mut improved = false;
+                'sweep: for pos in 0..n_tasks {
+                    let old_mi = assign[pos];
+                    let task = inst.tasks[pos];
+                    for mi in 0..n_machines {
+                        if mi == old_mi {
+                            continue;
+                        }
+                        let old_src = loads[old_mi];
+                        let old_dst = loads[mi];
+                        loads[old_mi] = old_src - inst.etc.get(task, inst.machines[old_mi]);
+                        loads[mi] = old_dst + inst.etc.get(task, inst.machines[mi]);
+                        let candidate = naive_makespan(&loads);
+                        if candidate < current {
+                            assign[pos] = mi;
+                            current = candidate;
+                            improved = true;
+                            hops += 1;
+                            if current < best {
+                                best = current;
+                                best_assign.clone_from(&assign);
+                            }
+                            observe(&assign, &loads, current);
+                            if hops >= self.config.max_hops {
+                                break 'search;
+                            }
+                            break 'sweep;
+                        }
+                        loads[old_mi] = old_src;
+                        loads[mi] = old_dst;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+
+            if tabu.len() < self.config.tabu_capacity {
+                tabu.insert(assign.clone());
+            }
+            let mut restarted = false;
+            for _ in 0..self.config.restart_attempts {
+                let candidate: Vec<usize> = (0..n_tasks)
+                    .map(|_| self.rng.gen_range(0..n_machines))
+                    .collect();
+                if !tabu.contains(&candidate) {
+                    assign = candidate;
+                    loads = naive_loads_of(inst, &assign);
+                    current = naive_makespan(&loads);
+                    hops += 1;
+                    restarted = true;
+                    if current < best {
+                        best = current;
+                        best_assign.clone_from(&assign);
+                    }
+                    observe(&assign, &loads, current);
+                    break;
+                }
+            }
+            if !restarted {
+                break;
+            }
+        }
+
+        for (pos, &mi) in best_assign.iter().enumerate() {
+            mapping
+                .assign(inst.tasks[pos], inst.machines[mi])
+                .expect("each position assigned once");
+        }
+        mapping
+    }
+}
+
+impl Heuristic for NaiveTabu {
+    fn name(&self) -> &'static str {
+        "Tabu"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_observed(inst, tb, |_, _, _| {})
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! greedy heuristics — it is an extension baseline for the Monte-Carlo
 //! studies, not part of the paper's study set.
 
-use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use hcs_core::{Heuristic, Instance, LoadTracker, Mapping, TieBreaker, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -76,12 +76,19 @@ impl Sa {
     }
 }
 
-impl Heuristic for Sa {
-    fn name(&self) -> &'static str {
-        "SA"
-    }
-
-    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+impl Sa {
+    /// [`map`](Heuristic::map) with an observer called on the start state
+    /// and after every accepted move, receiving the assignment (machine
+    /// index per task position), the tracked loads, and the current
+    /// makespan. This is the testing seam the golden-equivalence and
+    /// load-drift property suites hook into; the observer is outside the
+    /// RNG stream, so observing does not perturb the search.
+    pub fn map_observed(
+        &mut self,
+        inst: &Instance<'_>,
+        _tb: &mut TieBreaker,
+        mut observe: impl FnMut(&[usize], &[Time], Time),
+    ) -> Mapping {
         let n_tasks = inst.tasks.len();
         let n_machines = inst.machines.len();
         let mut mapping = Mapping::new(inst.etc.n_tasks());
@@ -89,9 +96,10 @@ impl Heuristic for Sa {
             return mapping;
         }
 
-        // State: assignment (machine index per task position) + per-machine
-        // finishing times, updated incrementally (O(M) per step for the
-        // makespan re-scan, O(1) for the loads).
+        // State: assignment (machine index per task position) + the
+        // delta-evaluation kernel over per-machine finishing times. A
+        // candidate move is *probed* read-only in O(log m) — the old code
+        // rescanned all m machines and had to restore loads on rejection.
         let mut assign: Vec<usize> = if self.config.seed_minmin {
             minmin_assignment(inst)
         } else {
@@ -99,20 +107,16 @@ impl Heuristic for Sa {
                 .map(|_| self.rng.gen_range(0..n_machines))
                 .collect()
         };
-        let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
-        for (pos, &mi) in assign.iter().enumerate() {
-            loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
-        }
-        let makespan = |loads: &[Time]| -> Time {
-            loads.iter().copied().max().expect("non-empty machine set")
-        };
+        let mut tracker = LoadTracker::new();
+        tracker.rebuild(inst, &assign);
 
-        let mut current = makespan(&loads);
+        let mut current = tracker.makespan();
         let mut best = current;
         let mut best_assign = assign.clone();
         let t0 = current.get().max(1e-9);
         let mut temperature = t0;
         let t_floor = t0 * self.config.t_min_fraction;
+        observe(&assign, tracker.loads(), current);
 
         for step in 0..self.config.max_steps {
             if temperature < t_floor {
@@ -124,25 +128,22 @@ impl Heuristic for Sa {
             let new_mi = self.rng.gen_range(0..n_machines);
             if new_mi != old_mi {
                 let task = inst.tasks[pos];
-                let old_load = loads[old_mi];
-                let new_load = loads[new_mi];
-                loads[old_mi] = old_load - inst.etc.get(task, inst.machines[old_mi]);
-                loads[new_mi] = new_load + inst.etc.get(task, inst.machines[new_mi]);
-                let candidate = makespan(&loads);
+                let sub = inst.etc.get(task, inst.machines[old_mi]);
+                let add = inst.etc.get(task, inst.machines[new_mi]);
+                let candidate = tracker.probe(old_mi, sub, new_mi, add);
 
                 let delta = candidate.get() - current.get();
                 let accept =
                     delta <= 0.0 || self.rng.gen_range(0.0..1.0) < (-delta / temperature).exp();
                 if accept {
+                    tracker.apply(old_mi, sub, new_mi, add);
                     assign[pos] = new_mi;
                     current = candidate;
                     if current < best {
                         best = current;
                         best_assign.clone_from(&assign);
                     }
-                } else {
-                    loads[old_mi] = old_load;
-                    loads[new_mi] = new_load;
+                    observe(&assign, tracker.loads(), current);
                 }
             }
             if (step + 1) % self.config.sweep == 0 {
@@ -159,9 +160,20 @@ impl Heuristic for Sa {
     }
 }
 
+impl Heuristic for Sa {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_observed(inst, tb, |_, _, _| {})
+    }
+}
+
 /// Min-Min as a machine-index assignment (seed option). Kept local for the
-/// same crate-graph reason as in `hcs-genitor`.
-fn minmin_assignment(inst: &Instance<'_>) -> Vec<usize> {
+/// same crate-graph reason as in `hcs-genitor`; shared with the naive
+/// reference twin so both start from the identical seed.
+pub(crate) fn minmin_assignment(inst: &Instance<'_>) -> Vec<usize> {
     let mut ready: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
     let mut assign = vec![0usize; inst.tasks.len()];
     let mut unmapped: Vec<usize> = (0..inst.tasks.len()).collect();

@@ -12,7 +12,7 @@
 //! The best mapping over all hops wins. Stopping: a budget on total
 //! (short + long) hops. Deterministic per seed.
 
-use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
+use hcs_core::{Heuristic, Instance, LoadTracker, Mapping, TieBreaker, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -67,25 +67,19 @@ impl Tabu {
     }
 }
 
-/// Machine loads for an assignment vector.
-fn loads_of(inst: &Instance<'_>, assign: &[usize]) -> Vec<Time> {
-    let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
-    for (pos, &mi) in assign.iter().enumerate() {
-        loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
-    }
-    loads
-}
-
-fn makespan(loads: &[Time]) -> Time {
-    loads.iter().copied().max().expect("non-empty machine set")
-}
-
-impl Heuristic for Tabu {
-    fn name(&self) -> &'static str {
-        "Tabu"
-    }
-
-    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+impl Tabu {
+    /// [`map`](Heuristic::map) with an observer called on every fresh
+    /// state — the initial mapping, each accepted short hop, and each
+    /// long-hop restart — receiving the assignment (machine index per task
+    /// position), the tracked loads, and the current makespan. Testing
+    /// seam for the golden-equivalence and load-drift property suites; the
+    /// observer is outside the RNG stream.
+    pub fn map_observed(
+        &mut self,
+        inst: &Instance<'_>,
+        _tb: &mut TieBreaker,
+        mut observe: impl FnMut(&[usize], &[Time], Time),
+    ) -> Mapping {
         let n_tasks = inst.tasks.len();
         let n_machines = inst.machines.len();
         let mut mapping = Mapping::new(inst.etc.n_tasks());
@@ -96,12 +90,17 @@ impl Heuristic for Tabu {
         let mut assign: Vec<usize> = (0..n_tasks)
             .map(|_| self.rng.gen_range(0..n_machines))
             .collect();
-        let mut loads = loads_of(inst, &assign);
-        let mut current = makespan(&loads);
+        // The delta-evaluation kernel: each candidate of the sweep below is
+        // probed read-only in O(log m) instead of the old write-scan-restore
+        // over all m machines.
+        let mut tracker = LoadTracker::new();
+        tracker.rebuild(inst, &assign);
+        let mut current = tracker.makespan();
         let mut best = current;
         let mut best_assign = assign.clone();
         let mut tabu: HashSet<Vec<usize>> = HashSet::new();
         let mut hops = 0usize;
+        observe(&assign, tracker.loads(), current);
 
         'search: while hops < self.config.max_hops {
             // --- Short hops: first-improvement sweeps ---------------------
@@ -114,12 +113,11 @@ impl Heuristic for Tabu {
                         if mi == old_mi {
                             continue;
                         }
-                        let old_src = loads[old_mi];
-                        let old_dst = loads[mi];
-                        loads[old_mi] = old_src - inst.etc.get(task, inst.machines[old_mi]);
-                        loads[mi] = old_dst + inst.etc.get(task, inst.machines[mi]);
-                        let candidate = makespan(&loads);
+                        let sub = inst.etc.get(task, inst.machines[old_mi]);
+                        let add = inst.etc.get(task, inst.machines[mi]);
+                        let candidate = tracker.probe(old_mi, sub, mi, add);
                         if candidate < current {
+                            tracker.apply(old_mi, sub, mi, add);
                             assign[pos] = mi;
                             current = candidate;
                             improved = true;
@@ -128,13 +126,12 @@ impl Heuristic for Tabu {
                                 best = current;
                                 best_assign.clone_from(&assign);
                             }
+                            observe(&assign, tracker.loads(), current);
                             if hops >= self.config.max_hops {
                                 break 'search;
                             }
                             break 'sweep;
                         }
-                        loads[old_mi] = old_src;
-                        loads[mi] = old_dst;
                     }
                 }
                 if !improved {
@@ -153,14 +150,15 @@ impl Heuristic for Tabu {
                     .collect();
                 if !tabu.contains(&candidate) {
                     assign = candidate;
-                    loads = loads_of(inst, &assign);
-                    current = makespan(&loads);
+                    tracker.rebuild(inst, &assign);
+                    current = tracker.makespan();
                     hops += 1;
                     restarted = true;
                     if current < best {
                         best = current;
                         best_assign.clone_from(&assign);
                     }
+                    observe(&assign, tracker.loads(), current);
                     break;
                 }
             }
@@ -175,6 +173,16 @@ impl Heuristic for Tabu {
                 .expect("each position assigned once");
         }
         mapping
+    }
+}
+
+impl Heuristic for Tabu {
+    fn name(&self) -> &'static str {
+        "Tabu"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.map_observed(inst, tb, |_, _, _| {})
     }
 }
 

@@ -1,0 +1,311 @@
+//! Golden-equivalence suite for the delta-evaluation search kernel: the
+//! [`LoadTracker`]-backed SA and Tabu must reproduce their pre-kernel
+//! naive twins ([`reference::NaiveSa`], [`reference::NaiveTabu`])
+//! bit-for-bit — final mappings, every accepted-move makespan, and every
+//! intermediate load vector — for identical seeds under both tie
+//! policies, including through the full `IterativeRun` loop. A separate
+//! drift property checks the incrementally-maintained loads against a
+//! from-scratch recomputation after every accepted move.
+
+use hcs_core::{iterative, EtcMatrix, Instance, LoadTracker, Scenario, TieBreaker, Time};
+use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
+use hcs_heuristics::{reference, Sa, SaConfig, Tabu, TabuConfig};
+use proptest::prelude::*;
+
+/// Random continuous matrices (tie-free in practice, inexact arithmetic).
+fn continuous_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=6, 1usize..=14).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(0.5f64..100.0, t * m).prop_map(move |values| {
+            EtcMatrix::new(t, m, &values).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// Random small-integer matrices (tie-rich, exact f64 arithmetic).
+fn integer_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=5, 1usize..=10).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=5, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            EtcMatrix::new(t, m, &flat).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// Random Braun-class matrices via `hcs-etcgen`, like the studies.
+fn braun_etc() -> impl Strategy<Value = EtcMatrix> {
+    (1usize..=14, 2usize..=6, 0u8..12, 0u64..1_000_000).prop_map(|(t, m, class, seed)| {
+        let consistency = match class % 3 {
+            0 => Consistency::Consistent,
+            1 => Consistency::SemiConsistent,
+            _ => Consistency::Inconsistent,
+        };
+        let hetero = |hi| {
+            if hi {
+                Heterogeneity::Hi
+            } else {
+                Heterogeneity::Lo
+            }
+        };
+        let spec = EtcSpec::braun(
+            t,
+            m,
+            consistency,
+            hetero((class / 3) % 2 == 0),
+            hetero(class / 6 == 0),
+        );
+        spec.generate(seed)
+    })
+}
+
+/// Shrunk search budgets so a proptest case stays fast; every parameter
+/// still exercises both accept paths (greedy and thermal for SA, short and
+/// long hops for Tabu).
+fn quick_sa() -> SaConfig {
+    SaConfig {
+        max_steps: 1_500,
+        sweep: 16,
+        ..SaConfig::default()
+    }
+}
+
+fn quick_tabu() -> TabuConfig {
+    TabuConfig {
+        max_hops: 150,
+        ..TabuConfig::default()
+    }
+}
+
+/// One observed trajectory: the makespan and full load vector at the start
+/// state and after every accepted move.
+type Trajectory = Vec<(Vec<Time>, Time)>;
+
+fn record(traj: &mut Trajectory) -> impl FnMut(&[usize], &[Time], Time) + '_ {
+    |_, loads, makespan| traj.push((loads.to_vec(), makespan))
+}
+
+fn assert_search_equivalence(etc: EtcMatrix, seed: u64, minmin: bool) -> Result<(), TestCaseError> {
+    let s = Scenario::with_zero_ready(etc);
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+    for tb_seed in [None, Some(seed)] {
+        let tb = |s: Option<u64>| match s {
+            None => TieBreaker::Deterministic,
+            Some(x) => TieBreaker::random(x),
+        };
+
+        // SA: delta vs naive, bit-for-bit.
+        let sa_config = SaConfig {
+            seed_minmin: minmin,
+            ..quick_sa()
+        };
+        let (mut fast_traj, mut naive_traj) = (Trajectory::new(), Trajectory::new());
+        let fast = Sa::with_config(seed, sa_config).map_observed(
+            &inst,
+            &mut tb(tb_seed),
+            record(&mut fast_traj),
+        );
+        let naive = reference::NaiveSa::with_config(seed, sa_config).map_observed(
+            &inst,
+            &mut tb(tb_seed),
+            record(&mut naive_traj),
+        );
+        prop_assert_eq!(fast.order(), naive.order(), "SA final mapping");
+        prop_assert_eq!(&fast_traj, &naive_traj, "SA trajectory");
+
+        // Tabu: delta vs naive, bit-for-bit.
+        let (mut fast_traj, mut naive_traj) = (Trajectory::new(), Trajectory::new());
+        let fast = Tabu::with_config(seed, quick_tabu()).map_observed(
+            &inst,
+            &mut tb(tb_seed),
+            record(&mut fast_traj),
+        );
+        let naive = reference::NaiveTabu::with_config(seed, quick_tabu()).map_observed(
+            &inst,
+            &mut tb(tb_seed),
+            record(&mut naive_traj),
+        );
+        prop_assert_eq!(fast.order(), naive.order(), "Tabu final mapping");
+        prop_assert_eq!(&fast_traj, &naive_traj, "Tabu trajectory");
+    }
+    Ok(())
+}
+
+/// From-scratch loads for an assignment, in the canonical accumulation
+/// order (ready time, then ETCs in task-position order).
+fn scratch_loads(inst: &Instance<'_>, assign: &[usize]) -> Vec<Time> {
+    let mut loads: Vec<Time> = inst.machines.iter().map(|&m| inst.ready.get(m)).collect();
+    for (pos, &mi) in assign.iter().enumerate() {
+        loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
+    }
+    loads
+}
+
+/// Incremental loads may drift from a from-scratch recomputation only by
+/// accumulated f64 rounding; `exact` demands bitwise equality (integer
+/// workloads, where every operation is exact).
+fn assert_no_drift(
+    inst: &Instance<'_>,
+    assign: &[usize],
+    loads: &[Time],
+    exact: bool,
+) -> Result<(), TestCaseError> {
+    let expect = scratch_loads(inst, assign);
+    prop_assert_eq!(expect.len(), loads.len());
+    for (mi, (&want, &got)) in expect.iter().zip(loads.iter()).enumerate() {
+        if exact {
+            prop_assert_eq!(want, got, "machine {}", mi);
+        } else {
+            let tol = 1e-9 * want.get().abs().max(1.0);
+            prop_assert!(
+                (want.get() - got.get()).abs() <= tol,
+                "machine {}: incremental {} vs scratch {}",
+                mi,
+                got,
+                want
+            );
+        }
+    }
+    Ok(())
+}
+
+fn assert_loads_track_scratch(etc: EtcMatrix, seed: u64, exact: bool) -> Result<(), TestCaseError> {
+    let s = Scenario::with_zero_ready(etc);
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+    let mut failure = None;
+    let mut check = |assign: &[usize], loads: &[Time], _ms: Time| {
+        if failure.is_none() {
+            if let Err(e) = assert_no_drift(&inst, assign, loads, exact) {
+                failure = Some(e);
+            }
+        }
+    };
+    let _ = Sa::with_config(seed, quick_sa()).map_observed(
+        &inst,
+        &mut TieBreaker::Deterministic,
+        &mut check,
+    );
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let mut failure = None;
+    let mut check = |assign: &[usize], loads: &[Time], _ms: Time| {
+        if failure.is_none() {
+            if let Err(e) = assert_no_drift(&inst, assign, loads, exact) {
+                failure = Some(e);
+            }
+        }
+    };
+    let _ = Tabu::with_config(seed, quick_tabu()).map_observed(
+        &inst,
+        &mut TieBreaker::Deterministic,
+        &mut check,
+    );
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Delta SA/Tabu equal their naive twins on continuous workloads.
+    #[test]
+    fn search_matches_reference_continuous(etc in continuous_etc(), seed in 0u64..1000) {
+        assert_search_equivalence(etc, seed, false)?;
+    }
+
+    /// ... and on tie-rich integer workloads (exact arithmetic).
+    #[test]
+    fn search_matches_reference_integer(etc in integer_etc(), seed in 0u64..1000) {
+        assert_search_equivalence(etc, seed, false)?;
+    }
+
+    /// ... and on Braun-class study workloads, with the Min-Min seed on
+    /// (exercising SA's seeded start).
+    #[test]
+    fn search_matches_reference_braun(etc in braun_etc(), seed in 0u64..1000) {
+        assert_search_equivalence(etc, seed, true)?;
+    }
+
+    /// The tracker's incrementally-maintained load vectors equal a
+    /// from-scratch recomputation after every accepted move: bitwise on
+    /// integer workloads, within accumulated-rounding tolerance on
+    /// continuous ones.
+    #[test]
+    fn loads_never_drift_integer(etc in integer_etc(), seed in 0u64..1000) {
+        assert_loads_track_scratch(etc, seed, true)?;
+    }
+
+    #[test]
+    fn loads_never_drift_continuous(etc in continuous_etc(), seed in 0u64..1000) {
+        assert_loads_track_scratch(etc, seed, false)?;
+    }
+
+    /// End to end: the delta-kernel SA/Tabu driven through the full
+    /// iterative loop equal the naive twins — every round, every
+    /// finishing time, both tie policies.
+    #[test]
+    fn iterative_driver_matches_naive_search(etc in integer_etc(), seed in 0u64..500) {
+        let s = Scenario::with_zero_ready(etc);
+        for tb_seed in [None, Some(seed)] {
+            let tb = |s: Option<u64>| match s {
+                None => TieBreaker::Deterministic,
+                Some(x) => TieBreaker::random(x),
+            };
+            let mut fast = Sa::with_config(seed, quick_sa());
+            let mut naive = reference::NaiveSa::with_config(seed, quick_sa());
+            let a = iterative::IterativeRun::new(&mut fast, &s)
+                .tie_breaker(tb(tb_seed))
+                .execute()
+                .unwrap();
+            let b = iterative::IterativeRun::new(&mut naive, &s)
+                .tie_breaker(tb(tb_seed))
+                .execute()
+                .unwrap();
+            prop_assert_eq!(a, b, "SA iterative");
+
+            let mut fast = Tabu::with_config(seed, quick_tabu());
+            let mut naive = reference::NaiveTabu::with_config(seed, quick_tabu());
+            let a = iterative::IterativeRun::new(&mut fast, &s)
+                .tie_breaker(tb(tb_seed))
+                .execute()
+                .unwrap();
+            let b = iterative::IterativeRun::new(&mut naive, &s)
+                .tie_breaker(tb(tb_seed))
+                .execute()
+                .unwrap();
+            prop_assert_eq!(a, b, "Tabu iterative");
+        }
+    }
+}
+
+/// Deterministic spot-check that the tracker probe path is live on a
+/// non-trivial instance (guards against the suite silently passing because
+/// the search never accepts a move).
+#[test]
+fn sa_accepts_moves_on_a_plain_instance() {
+    let etc = EtcMatrix::from_rows(&[
+        vec![4.0, 7.0, 2.0],
+        vec![3.0, 1.0, 9.0],
+        vec![5.0, 5.0, 5.0],
+        vec![2.0, 8.0, 6.0],
+    ])
+    .unwrap();
+    let s = Scenario::with_zero_ready(etc);
+    let owned = s.full_instance();
+    let inst = owned.as_instance(&s);
+    let mut events = 0usize;
+    let _ = Sa::with_config(3, quick_sa()).map_observed(
+        &inst,
+        &mut TieBreaker::Deterministic,
+        |_, _, _| events += 1,
+    );
+    assert!(events > 1, "SA never accepted a move");
+    // And the tracker agrees with a naive rebuild on the final state the
+    // observer saw — cheap direct use of the public LoadTracker API.
+    let mut lt = LoadTracker::new();
+    lt.rebuild(&inst, &[0, 1, 0, 2]);
+    assert_eq!(lt.makespan(), lt.loads().iter().copied().max().unwrap());
+}

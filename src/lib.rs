@@ -17,6 +17,8 @@
 //! See `README.md` for a guided tour and `DESIGN.md` for the experiment
 //! index.
 
+#![deny(deprecated)]
+
 pub mod cli;
 
 pub use hcs_analysis as analysis;
