@@ -375,6 +375,7 @@ fn obj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
 fn write_search_summary() {
     let mut sizes = serde_json::Map::new();
     let mut genitor_512_speedup = None;
+    let mut sa_worst_speedup = f64::INFINITY;
     for (label, n_tasks, n_machines, runs) in [
         ("128x8", 128, 8, 5),
         ("512x16", 512, 16, 5),
@@ -388,6 +389,9 @@ fn write_search_summary() {
             let speedup = naive / delta;
             if name == "genitor" && label == "512x16" {
                 genitor_512_speedup = Some(speedup);
+            }
+            if name == "sa" {
+                sa_worst_speedup = sa_worst_speedup.min(speedup);
             }
             entry.insert(
                 name.to_string(),
@@ -464,17 +468,33 @@ fn write_search_summary() {
         speedup >= 5.0,
         "Genitor delta kernel must be >= 5x naive at 512x16, measured {speedup:.2}x"
     );
+    // PR 5's honest loss, closed: the adaptive flat/tree split must keep
+    // SA at or above parity with its naive twin at every measured size.
+    assert!(
+        sa_worst_speedup >= 1.0,
+        "SA delta kernel must be >= 1.0x naive at every size, worst {sa_worst_speedup:.2}x"
+    );
 }
 
-/// `--smoke`: the CI guardrail. Small size, tiny budgets, hard asserts.
+/// `--smoke`: the CI guardrail. Small sizes, tiny budgets, hard asserts.
+///
+/// Two sizes on purpose: 64×8 exercises the tracker's *flat* mode (the
+/// small-m regime where the tree-based kernel used to run SA at ~0.6x its
+/// naive twin) and 256×256 its *tree* mode — the adaptive split must leave
+/// no configuration slower than naive on either side of `FLAT_MAX`.
 fn smoke() {
-    let scenario = braun_inconsistent(256, 256);
-    for (name, naive, delta) in measure_size(&scenario, 3, 300, 8_000, 30) {
-        println!("smoke/{name}: naive {naive:.5}s, delta {delta:.5}s");
-        assert!(
-            delta <= naive,
-            "{name}: delta kernel slower than naive at smoke size ({delta:.5}s > {naive:.5}s)"
-        );
+    for (label, n_tasks, n_machines, sa_steps) in [
+        ("64x8-flat", 64, 8, 20_000),
+        ("256x256-tree", 256, 256, 8_000),
+    ] {
+        let scenario = braun_inconsistent(n_tasks, n_machines);
+        for (name, naive, delta) in measure_size(&scenario, 3, 300, sa_steps, 300) {
+            println!("smoke/{label}/{name}: naive {naive:.5}s, delta {delta:.5}s");
+            assert!(
+                delta <= naive,
+                "{name}: delta kernel slower than naive at {label} ({delta:.5}s > {naive:.5}s)"
+            );
+        }
     }
 
     // The checked-in summary must still be well-formed — the smoke run
@@ -505,7 +525,7 @@ fn smoke() {
         speedup >= 5.0,
         "checked-in BENCH_search.json records only {speedup:.2}x for Genitor at 512x16"
     );
-    println!("smoke ok: delta <= naive at 256x256; BENCH_search.json well-formed");
+    println!("smoke ok: delta <= naive in flat (64x8) and tree (256x256) mode; BENCH_search.json well-formed");
 }
 
 fn bench_search(c: &mut Criterion) {

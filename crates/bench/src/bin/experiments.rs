@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p hcs-bench --bin experiments \
 //!     [-- --exp x1|x2|x3|x4|x6|all] [--tasks N] [--machines M] [--trials T] [--seed S]
-//!     [--per-class HEURISTIC] [--large] [--json FILE]
+//!     [--per-class HEURISTIC] [--objective NAME] [--large] [--json FILE]
 //!
 //! With `--json FILE`, every study's raw rows are additionally written as
 //! one JSON document (for archiving or downstream plotting). `--large`
@@ -17,6 +17,8 @@
 //! available with `--tasks 512 --machines 16` (slower).
 
 use argflags::value as parse_flag;
+use hcs_core::Objective;
+
 use hcs_bench::{
     dynamic_study, genitor_study, makespan_tie_study, production_study, seedguard_study,
     study_genitor_config, study_genitor_config_large, tiebreak_study, try_make_heuristic,
@@ -35,6 +37,17 @@ fn main() {
     }
     if let Some(v) = parse_flag(&args, "--trials") {
         dims.trials = v.parse().expect("--trials takes an integer");
+    }
+    if let Some(v) = parse_flag(&args, "--objective") {
+        // Reject a misspelled objective before any study burns CPU — the
+        // same exit path as an unknown heuristic, never a makespan fallback.
+        match Objective::from_name(&v) {
+            Ok(o) => dims.objective = o,
+            Err(e) => {
+                eprintln!("--objective: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     let seed: u64 = parse_flag(&args, "--seed")
         .map(|v| v.parse().expect("--seed takes an integer"))
@@ -58,6 +71,7 @@ fn main() {
     json.insert("machines".into(), dims.n_machines.into());
     json.insert("trials".into(), dims.trials.into());
     json.insert("seed".into(), seed.into());
+    json.insert("objective".into(), dims.objective.name().into());
 
     let run_x1 = exp == "all" || exp == "x1";
     let run_x2 = exp == "all" || exp == "x2";

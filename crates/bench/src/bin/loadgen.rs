@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p hcs-bench --bin loadgen
 //!     [-- --smoke] [--tasks N] [--machines M] [--instances K] [--clients C]
-//!     [--warm-repeats R] [--heuristic NAME] [--out BENCH_service.json]
+//!     [--warm-repeats R] [--heuristic NAME] [--objective NAME]
+//!     [--out BENCH_service.json]
 //! ```
 //!
 //! Starts an in-process daemon (ephemeral port), drives it with `C`
@@ -36,7 +37,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 use argflags::{present, value as parse_flag};
-use hcs_core::Scenario;
+use hcs_core::{Objective, Scenario};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
 use hcs_service::json::{ObjectBuilder, Value};
 use hcs_service::{MapRequest, ServeConfig, Server};
@@ -48,6 +49,7 @@ struct LoadSpec {
     clients: usize,
     warm_repeats: usize,
     heuristic: String,
+    objective: Objective,
 }
 
 /// One measured regime (cold or warm).
@@ -96,7 +98,7 @@ fn build_lines(spec: &LoadSpec) -> Vec<String> {
             )
             .generate(1000 + i as u64);
             MapRequest {
-                scenario: Scenario::with_zero_ready(etc),
+                scenario: Scenario::with_zero_ready(etc).with_objective(spec.objective),
                 heuristic: spec.heuristic.clone(),
                 random_ties: None,
                 iterative: true,
@@ -470,6 +472,16 @@ fn main() {
         clients: uint("--clients", if smoke { 2 } else { 8 }),
         warm_repeats: uint("--warm-repeats", if smoke { 2 } else { 8 }),
         heuristic: parse_flag(&args, "--heuristic").unwrap_or_else(|| "min-min".into()),
+        // Unknown objective names exit 2 before any daemon starts — the
+        // same path as an unknown heuristic, never a makespan fallback.
+        objective: match parse_flag(&args, "--objective").map(|v| Objective::from_name(&v)) {
+            None => Objective::Makespan,
+            Some(Ok(o)) => o,
+            Some(Err(e)) => {
+                eprintln!("--objective: {e}");
+                std::process::exit(2);
+            }
+        },
     };
     let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_service.json".to_string());
 
@@ -536,6 +548,7 @@ fn main() {
                 .field("clients", Value::Number(spec.clients as f64))
                 .field("warm_repeats", Value::Number(spec.warm_repeats as f64))
                 .field("heuristic", Value::String(spec.heuristic.clone()))
+                .field("objective", Value::String(spec.objective.name().into()))
                 .build(),
         )
         .field("runs", Value::Array(runs))

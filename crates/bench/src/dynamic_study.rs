@@ -62,7 +62,7 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<DynamicRow> {
 
     for spec in &classes {
         let results = run_trials(base_seed, dims.trials, |seed| {
-            let scenario = study_scenario(spec, seed);
+            let scenario = study_scenario(spec, seed).with_objective(dims.objective);
             // Moderate load: arrivals spread over about half the serial
             // execution horizon.
             let mean_etc = scenario.etc.mean().get();
@@ -133,6 +133,7 @@ mod tests {
             n_tasks: 16,
             n_machines: 4,
             trials: 2,
+            ..StudyDims::default()
         };
         let rows = run(dims, 3);
         assert_eq!(rows.len(), policy_roster().len());
@@ -153,6 +154,7 @@ mod tests {
             n_tasks: 32,
             n_machines: 4,
             trials: 2,
+            ..StudyDims::default()
         };
         let rows = run(dims, 11);
         let met = rows.iter().find(|r| r.policy == "MET").unwrap();

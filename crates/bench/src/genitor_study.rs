@@ -36,7 +36,7 @@ pub struct GenitorRow {
 
 fn run_class(spec: &EtcSpec, dims: StudyDims, base_seed: u64, config: GenitorConfig) -> GenitorRow {
     let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
-        let scenario = study_scenario(spec, seed);
+        let scenario = study_scenario(spec, seed).with_objective(dims.objective);
         let mut ga = Genitor::with_config(seed, config);
         let outcome = iterative::IterativeRun::new(&mut ga, &scenario)
             .workspace(ws)
@@ -111,6 +111,7 @@ mod tests {
             n_tasks: 10,
             n_machines: 3,
             trials: 2,
+            ..StudyDims::default()
         };
         let spec = study_classes(dims)[0];
         let row = run_class(&spec, dims, 1234, study_genitor_config());

@@ -132,6 +132,7 @@ mod tests {
             n_tasks: 10,
             n_machines: 4,
             trials: 1,
+            ..StudyDims::default()
         };
         let rows = run(dims, 77);
         assert_eq!(rows.len(), greedy_roster().len());
@@ -152,6 +153,7 @@ mod tests {
             n_tasks: 10,
             n_machines: 4,
             trials: 2,
+            ..StudyDims::default()
         };
         for r in run(dims, 5) {
             if ["Min-Min", "MCT", "MET"].contains(&r.heuristic) {

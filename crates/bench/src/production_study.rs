@@ -49,7 +49,7 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<ProductionRow> {
                 };
                 let results =
                     run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
-                        let wave1 = study_scenario(spec, seed);
+                        let wave1 = study_scenario(spec, seed).with_objective(dims.objective);
                         let wave2 = wave2_spec.generate(seed ^ 0x5151_5151);
                         let scenario = ProductionScenario::new(wave1, wave2, Time::ZERO);
                         let mut h = make_heuristic(name, seed);
@@ -115,6 +115,7 @@ mod tests {
             n_tasks: 12,
             n_machines: 4,
             trials: 2,
+            ..StudyDims::default()
         };
         let rows = run(dims, 9);
         assert_eq!(rows.len(), greedy_roster().len());

@@ -52,7 +52,7 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<SeedGuardRow> {
             for spec in &classes {
                 let results =
                     run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
-                        let scenario = study_scenario(spec, seed);
+                        let scenario = study_scenario(spec, seed).with_objective(dims.objective);
                         let run_with = |guard: bool, ws: &mut MapWorkspace| {
                             let mut h = make_heuristic(name, seed);
                             let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
@@ -121,6 +121,7 @@ mod tests {
             n_tasks: 12,
             n_machines: 4,
             trials: 2,
+            ..StudyDims::default()
         };
         for r in run(dims, 42) {
             assert_eq!(

@@ -59,7 +59,7 @@ pub fn run(dims: StudyDims, base_seed: u64) -> Vec<TieBreakRow> {
             for spec in &classes {
                 let results =
                     run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
-                        let scenario = study_scenario(spec, seed);
+                        let scenario = study_scenario(spec, seed).with_objective(dims.objective);
                         let mut h = make_heuristic(name, seed);
                         let det_outcome = iterative::IterativeRun::new(&mut *h, &scenario)
                             .workspace(&mut *ws)
@@ -140,7 +140,7 @@ pub fn run_per_class(heuristic: &str, dims: StudyDims, base_seed: u64) -> Vec<Cl
         .iter()
         .map(|spec| {
             let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
-                let scenario = study_scenario(spec, seed);
+                let scenario = study_scenario(spec, seed).with_objective(dims.objective);
                 let mut h = make_heuristic(heuristic, seed);
                 let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
                     .workspace(ws)
@@ -189,6 +189,7 @@ mod tests {
             n_tasks: 12,
             n_machines: 4,
             trials: 2,
+            ..StudyDims::default()
         }
     }
 

@@ -1,6 +1,6 @@
 //! Workload builders shared by the experiment binaries and benches.
 
-use hcs_core::Scenario;
+use hcs_core::{Objective, Scenario};
 use hcs_etcgen::{braun_classes, EtcSpec};
 
 /// Dimensions for a Monte-Carlo study.
@@ -12,6 +12,9 @@ pub struct StudyDims {
     pub n_machines: usize,
     /// Trials (seeds) per (class, heuristic) cell.
     pub trials: usize,
+    /// Objective every trial scenario is scored against (makespan by
+    /// default — the paper's setting; `--objective` overrides it).
+    pub objective: Objective,
 }
 
 impl Default for StudyDims {
@@ -23,6 +26,7 @@ impl Default for StudyDims {
             n_tasks: 64,
             n_machines: 8,
             trials: 10,
+            objective: Objective::Makespan,
         }
     }
 }
@@ -33,7 +37,9 @@ pub fn study_classes(dims: StudyDims) -> Vec<EtcSpec> {
 }
 
 /// One scenario of a class: the workload of trial `seed`. Initial ready
-/// times are zero, as in the paper's setting.
+/// times are zero, as in the paper's setting; the objective is makespan
+/// (the studies apply [`StudyDims::objective`] via
+/// [`Scenario::with_objective`]).
 pub fn study_scenario(spec: &EtcSpec, seed: u64) -> Scenario {
     Scenario::with_zero_ready(spec.generate(seed))
 }

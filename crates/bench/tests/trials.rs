@@ -6,12 +6,13 @@
 
 use hcs_analysis::{run_trials, run_trials_seq, run_trials_with};
 use hcs_bench::{greedy_roster, make_heuristic, study_classes, study_scenario, StudyDims};
-use hcs_core::{iterative, MapWorkspace, TieBreaker};
+use hcs_core::{iterative, MapWorkspace, Objective, TieBreaker};
 
 const DIMS: StudyDims = StudyDims {
     n_tasks: 10,
     n_machines: 3,
     trials: 4,
+    objective: Objective::Makespan,
 };
 
 /// One study trial: map + iterate one heuristic on a seeded Braun scenario,

@@ -182,6 +182,11 @@ pub struct MapReply {
     pub heuristic: String,
     /// Initial-mapping makespan.
     pub makespan: f64,
+    /// The objective name the daemon scored against, when the request
+    /// asked for a non-makespan objective (absent on v1/makespan replies).
+    pub objective: Option<String>,
+    /// The objective's value for the mapping, when non-makespan.
+    pub objective_value: Option<f64>,
     /// Post-iteration makespan, when the request asked for the iterative
     /// procedure.
     pub final_makespan: Option<f64>,
@@ -582,6 +587,11 @@ fn reply_from_value(value: Value) -> Result<MapReply, Failure> {
             .unwrap_or(false),
         heuristic,
         makespan,
+        objective: value
+            .get("objective")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        objective_value: value.get("objective_value").and_then(Value::as_f64),
         final_makespan: value.get("final_makespan").and_then(Value::as_f64),
         rounds: value
             .get("rounds")
@@ -710,9 +720,24 @@ mod tests {
         assert!(reply.cached);
         assert_eq!(reply.heuristic, "Min-Min");
         assert_eq!(reply.makespan, 3.5);
+        assert_eq!(reply.objective, None, "makespan replies omit the field");
+        assert_eq!(reply.objective_value, None);
         assert_eq!(reply.final_makespan, Some(3.0));
         assert_eq!(reply.rounds, Some(2));
         assert!(reply.raw.get("assignments").is_some());
+    }
+
+    #[test]
+    fn map_reply_lifts_the_objective_fields_when_present() {
+        let value = parse(
+            r#"{"ok":true,"cached":false,"heuristic":"MCT","assignments":[[0,0]],
+                "completion":[[0,2.0]],"makespan":2.0,"objective":"flowtime",
+                "objective_value":2.0}"#,
+        )
+        .unwrap();
+        let reply = reply_from_value(value).unwrap();
+        assert_eq!(reply.objective.as_deref(), Some("flowtime"));
+        assert_eq!(reply.objective_value, Some(2.0));
     }
 
     #[test]

@@ -94,12 +94,20 @@ impl InstanceDigest {
 
     /// Canonical digest of a mapping request: scenario shape, every ETC
     /// value, every initial ready time, the heuristic name, the tie policy
-    /// (`None` = deterministic, `Some(seed)` = random with that seed), and
-    /// whether the iterative driver (and its seeding guard) is applied.
+    /// (`None` = deterministic, `Some(seed)` = random with that seed),
+    /// whether the iterative driver (and its seeding guard) is applied,
+    /// and — for non-makespan scenarios only — the objective name.
     ///
     /// Two requests share a digest exactly when this function was fed equal
     /// field values — which, all inputs being deterministic given those
-    /// fields, means they produce identical mappings.
+    /// fields, means they produce identical mappings. The objective is
+    /// appended *only* when it is not [`Objective::Makespan`]: every digest
+    /// computed before the objective field existed implicitly meant
+    /// makespan, and this keeps those digests (and any cache entries keyed
+    /// by them) valid, while requests that differ only in objective can
+    /// never collide.
+    ///
+    /// [`Objective::Makespan`]: crate::Objective::Makespan
     pub fn of_request(
         scenario: &Scenario,
         heuristic: &str,
@@ -122,6 +130,9 @@ impl InstanceDigest {
             .write_opt_u64(random_ties)
             .write_bool(iterative)
             .write_bool(seed_guard);
+        if !scenario.objective.is_makespan() {
+            d.write_str(scenario.objective.name());
+        }
         d.finish()
     }
 }
@@ -179,6 +190,29 @@ mod tests {
         assert_ne!(
             d0,
             InstanceDigest::of_request(&base, "Min-Min", None, true, true)
+        );
+    }
+
+    #[test]
+    fn objectives_never_share_a_digest() {
+        let base = scen(&[vec![2.0, 4.0], vec![3.0, 1.0]]);
+        let digests: Vec<u64> = crate::Objective::ALL
+            .iter()
+            .map(|&o| {
+                let s = base.clone().with_objective(o);
+                InstanceDigest::of_request(&s, "Min-Min", None, true, false)
+            })
+            .collect();
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i], digests[j], "{i} vs {j}");
+            }
+        }
+        // Makespan scenarios keep the pre-objective digest: the field is
+        // only appended when non-default, so v1 cache keys stay valid.
+        assert_eq!(
+            digests[0],
+            InstanceDigest::of_request(&base, "Min-Min", None, true, false)
         );
     }
 

@@ -40,6 +40,10 @@ pub enum Error {
     /// An operation that reassigns work (failure recovery, machine drop)
     /// was asked to run with no surviving machine to receive it.
     NoSurvivors,
+    /// An objective name did not match any [`Objective`](crate::Objective)
+    /// variant (same validation family as unknown heuristic names: callers
+    /// reject before doing any work, never fall back silently).
+    UnknownObjective(String),
 }
 
 impl fmt::Display for Error {
@@ -69,6 +73,13 @@ impl fmt::Display for Error {
             }
             Error::NoSurvivors => {
                 write!(f, "no surviving machine is available to receive work")
+            }
+            Error::UnknownObjective(name) => {
+                write!(
+                    f,
+                    "unknown objective '{name}' (expected one of: makespan, flowtime, \
+                     weighted-flowtime)"
+                )
             }
         }
     }

@@ -10,16 +10,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::etc::EtcMatrix;
 use crate::id::{MachineId, TaskId};
+use crate::objective::Objective;
 use crate::ready::ReadyTimes;
 use crate::time::Time;
 
-/// A complete problem: tasks, machines, ETC values and initial ready times.
+/// A complete problem: tasks, machines, ETC values, initial ready times,
+/// and the objective the mapping is scored against.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Estimated time to compute each task on each machine.
     pub etc: EtcMatrix,
     /// The time each machine becomes available for its first task.
     pub initial_ready: ReadyTimes,
+    /// The optimization objective (defaults to makespan, the paper's
+    /// setting; absent in serialized v1 scenarios, which therefore load as
+    /// makespan).
+    #[serde(default)]
+    pub objective: Objective,
 }
 
 impl Scenario {
@@ -30,6 +37,7 @@ impl Scenario {
         Scenario {
             etc,
             initial_ready: ReadyTimes::zero(n),
+            objective: Objective::Makespan,
         }
     }
 
@@ -47,7 +55,14 @@ impl Scenario {
         Scenario {
             etc,
             initial_ready: ready,
+            objective: Objective::Makespan,
         }
+    }
+
+    /// The same scenario scored against `objective` (builder style).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Number of tasks.
@@ -81,6 +96,8 @@ pub struct Instance<'a> {
     pub machines: &'a [MachineId],
     /// Initial ready times (full machine space).
     pub ready: &'a ReadyTimes,
+    /// The objective candidate decisions are scored against.
+    pub objective: Objective,
 }
 
 impl<'a> Instance<'a> {
@@ -89,6 +106,17 @@ impl<'a> Instance<'a> {
     #[inline]
     pub fn ct(&self, t: TaskId, m: MachineId, rt: &ReadyTimes) -> Time {
         self.etc.get(t, m) + rt.get(m)
+    }
+
+    /// Marginal objective cost of placing `t` on `m`, given `m`'s current
+    /// ready time `rt` and the number of tasks it already holds (`count`).
+    /// For [`Objective::Makespan`] this is exactly [`Instance::ct`] — the
+    /// shared scoring function that keeps the workspace kernel and the
+    /// naive reference paths bit-identical (see [`Objective::marginal`]).
+    #[inline]
+    pub fn score(&self, t: TaskId, m: MachineId, rt: &ReadyTimes, count: u32) -> Time {
+        self.objective
+            .marginal(self.etc.get(t, m), rt.get(m), count)
     }
 
     /// A fresh copy of the initial ready times, the mutable working state a
@@ -115,6 +143,7 @@ impl InstanceOwned {
             tasks: &self.tasks,
             machines: &self.machines,
             ready: &scenario.initial_ready,
+            objective: scenario.objective,
         }
     }
 }
@@ -154,5 +183,38 @@ mod tests {
     fn mismatched_ready_rejected() {
         let etc = EtcMatrix::from_rows(&[vec![2.0, 4.0]]).unwrap();
         let _ = Scenario::with_ready(etc, ReadyTimes::zero(3));
+    }
+
+    #[test]
+    fn objective_defaults_to_makespan_and_builds() {
+        let s = scen();
+        assert_eq!(s.objective, Objective::Makespan);
+        let s = s.with_objective(Objective::Flowtime);
+        assert_eq!(s.objective, Objective::Flowtime);
+        let owned = s.full_instance();
+        assert_eq!(owned.as_instance(&s).objective, Objective::Flowtime);
+    }
+
+    #[test]
+    fn v1_scenario_json_without_objective_loads_as_makespan() {
+        // A scenario serialized before the objective field existed must
+        // keep deserializing (and mean makespan).
+        let s = scen();
+        let json = serde_json::to_string(&s).unwrap();
+        let v1 = json.replace(",\"objective\":\"makespan\"", "");
+        assert_ne!(json, v1, "serialized scenario should carry the field");
+        let back: Scenario = serde_json::from_str(&v1).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.objective, Objective::Makespan);
+    }
+
+    #[test]
+    fn score_is_ct_under_makespan() {
+        let etc = EtcMatrix::from_rows(&[vec![2.0, 4.0]]).unwrap();
+        let s = Scenario::with_ready(etc, ReadyTimes::from_values(&[1.0, 10.0]));
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let rt = inst.working_ready();
+        assert_eq!(inst.score(t(0), m(0), &rt, 3), inst.ct(t(0), m(0), &rt));
     }
 }

@@ -29,8 +29,32 @@
 //! makespan from one iteration to the next". [`IterativeConfig::seed_guard`]
 //! implements exactly that: each round, the freshly produced mapping is
 //! compared with the previous round's mapping restricted to the surviving
-//! tasks, and the one with the smaller makespan (over the surviving
-//! machines) is kept; ties keep the previous mapping.
+//! tasks, and the one with the smaller objective value (over the surviving
+//! machines) is kept; ties keep the previous mapping. With the guard on,
+//! the per-round objective value is monotone non-increasing for **every**
+//! [`Objective`](crate::Objective) variant and both makespan-tie policies
+//! (pinned by proptest in `tests/objective_iterative_proptest.rs`).
+//!
+//! # Non-makespan machines under other objectives
+//!
+//! The scenario's [`Objective`](crate::Objective) generalizes the freeze
+//! step. Each round the driver freezes the machine with the **largest
+//! objective contribution** ([`Objective::contribution`](crate::Objective::contribution)):
+//!
+//! * makespan and flowtime: the contribution is the completion time, so
+//!   the frozen machine is the literal makespan machine and the paper's
+//!   wording carries over unchanged — the "non-makespan machines" are
+//!   everyone else;
+//! * weighted flowtime: the contribution is `n(m) · C(m)`, so the frozen
+//!   machine is the one dominating the weighted sum (possibly not the
+//!   latest-finishing one). "Non-makespan machine" thus reads
+//!   "non-extreme-contribution machine": the machines whose objective
+//!   share the next rounds try to shrink.
+//!
+//! [`Round::makespan_machine`] and [`Round::makespan`] keep their historic
+//! names for serialization stability; they record the frozen machine and
+//! *its completion time* (which is the round's makespan whenever the
+//! contribution is the completion time — i.e. for makespan and flowtime).
 
 use std::sync::{Arc, OnceLock};
 
@@ -86,9 +110,14 @@ pub struct Round {
     pub mapping: Mapping,
     /// Completion time of every considered machine.
     pub completion: CompletionTimes,
-    /// The machine frozen at the end of this round (lowest index on ties).
+    /// The machine frozen at the end of this round: the largest objective
+    /// contribution, resolved by the configured [`MakespanTie`] (lowest
+    /// index by default). For makespan and flowtime this is the makespan
+    /// machine; see the module docs for weighted flowtime.
     pub makespan_machine: MachineId,
-    /// Its completion time — the round's makespan.
+    /// The frozen machine's completion time — the round's makespan under
+    /// the makespan and flowtime objectives (historic field name kept for
+    /// serialization stability).
     pub makespan: Time,
     /// Whether the seed guard rejected the fresh mapping in favour of the
     /// previous round's (always `false` in round 0 or when the guard is
@@ -568,22 +597,35 @@ fn run_rounds<H: Heuristic + ?Sized>(
             tasks: &tasks,
             machines: &machines,
             ready: &scenario.initial_ready,
+            objective: scenario.objective,
         };
         let fresh = heuristic.map_with(&inst, tb, ws);
         fresh.validate(&tasks, &machines)?;
 
         // Seeding guard: compare against the previous round's mapping
         // restricted to the surviving tasks (those tasks were all on
-        // surviving machines, by construction of the removal step).
+        // surviving machines, by construction of the removal step). The
+        // comparison is by the scenario's objective; for makespan this is
+        // the exact pre-objective makespan comparison.
         let (mapping, kept_seed) = if config.seed_guard && !rounds.is_empty() {
             let prev = rounds
                 .last()
                 .expect("guard only runs after round 0")
                 .mapping
                 .restricted_to(&tasks);
-            let fresh_ms = fresh.makespan(&scenario.etc, &scenario.initial_ready, &machines);
-            let prev_ms = prev.makespan(&scenario.etc, &scenario.initial_ready, &machines);
-            if fresh_ms < prev_ms {
+            let fresh_val = fresh.objective_value(
+                &scenario.etc,
+                &scenario.initial_ready,
+                &machines,
+                scenario.objective,
+            );
+            let prev_val = prev.objective_value(
+                &scenario.etc,
+                &scenario.initial_ready,
+                &machines,
+                scenario.objective,
+            );
+            if fresh_val < prev_val {
                 (fresh, false)
             } else {
                 (prev, true)
@@ -594,8 +636,12 @@ fn run_rounds<H: Heuristic + ?Sized>(
 
         let completion =
             mapping.completion_times(&scenario.etc, &scenario.initial_ready, &machines);
-        let (mk_machine, mk_time) =
-            pick_makespan_machine(&completion, &mapping, config.makespan_tie);
+        let (mk_machine, mk_time) = pick_frozen_machine(
+            &completion,
+            &mapping,
+            config.makespan_tie,
+            scenario.objective,
+        );
         rounds.push(Round {
             machines: machines.clone(),
             tasks: tasks.clone(),
@@ -662,18 +708,32 @@ fn run_rounds<H: Heuristic + ?Sized>(
     })
 }
 
-/// Applies the configured tie rule among machines sharing the maximum
-/// completion time.
-fn pick_makespan_machine(
+/// Picks the machine to freeze: the largest per-machine objective
+/// [contribution](crate::Objective::contribution) — the literal makespan
+/// machine for makespan and flowtime, the largest `n(m) · C(m)` for
+/// weighted flowtime — with the configured tie rule applied among the tied
+/// machines. Returns the chosen machine and its **completion time** (its
+/// final finishing time once frozen). For makespan this is bit-identical
+/// to the pre-objective `pick_makespan_machine`.
+fn pick_frozen_machine(
     completion: &CompletionTimes,
     mapping: &Mapping,
     tie: MakespanTie,
+    objective: crate::objective::Objective,
 ) -> (MachineId, Time) {
-    let (_, max_time) = completion.makespan_machine();
+    let key = |m: MachineId, t: Time| objective.contribution(t, mapping.count_on(m));
+    let mut max_key: Option<Time> = None;
+    for &(m, t) in completion.pairs() {
+        let k = key(m, t);
+        if max_key.is_none_or(|mk| k > mk) {
+            max_key = Some(k);
+        }
+    }
+    let max_key = max_key.expect("completion set is empty");
     let tied: Vec<MachineId> = completion
         .pairs()
         .iter()
-        .filter(|&&(_, t)| t == max_time)
+        .filter(|&&(m, t)| key(m, t) == max_key)
         .map(|&(m, _)| m)
         .collect();
     let chosen = match tie {
@@ -692,7 +752,7 @@ fn pick_makespan_machine(
             best
         }
     };
-    (chosen, max_time)
+    (chosen, completion.get(chosen))
 }
 
 #[cfg(test)]
@@ -911,6 +971,41 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn flowtime_freezes_the_same_machine_as_makespan() {
+        // Flowtime's per-machine contribution is the completion time, so
+        // the frozen-machine sequence matches the makespan run exactly
+        // (MiniMct's naive CT greedy also scores identically: flowtime
+        // only changes what the *workspace* kernels rank by).
+        let s = scenario_3x3();
+        let sf = scenario_3x3().with_objective(crate::Objective::Flowtime);
+        let a = exec(&mut MiniMct, &s);
+        let b = exec(&mut MiniMct, &sf);
+        let frozen = |o: &IterativeOutcome| -> Vec<MachineId> {
+            o.rounds.iter().map(|r| r.makespan_machine).collect()
+        };
+        assert_eq!(frozen(&a), frozen(&b));
+    }
+
+    #[test]
+    fn weighted_flowtime_freezes_largest_contribution_machine() {
+        // MiniMct: t0->m0 (CT 10), t1->m1 (3), t2->m1 (6). Completions:
+        // m0 = 10 with 1 task, m1 = 6 with 2 tasks. Makespan freezes m0;
+        // weighted flowtime compares contributions 1·10 vs 2·6 and
+        // freezes m1 — at m1's own completion time, 6.
+        let etc =
+            EtcMatrix::from_rows(&[vec![10.0, 100.0], vec![100.0, 3.0], vec![100.0, 3.0]]).unwrap();
+        let s = Scenario::with_zero_ready(etc.clone());
+        let outcome = exec(&mut MiniMct, &s);
+        assert_eq!(outcome.rounds[0].makespan_machine, m(0));
+        assert_eq!(outcome.rounds[0].makespan, Time::new(10.0));
+
+        let sw = Scenario::with_zero_ready(etc).with_objective(crate::Objective::WeightedFlowtime);
+        let outcome = exec(&mut MiniMct, &sw);
+        assert_eq!(outcome.rounds[0].makespan_machine, m(1));
+        assert_eq!(outcome.rounds[0].makespan, Time::new(6.0));
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod instance;
 pub mod iterative;
 pub mod loads;
 pub mod mapping;
+pub mod objective;
 pub mod ready;
 pub mod select;
 pub mod tiebreak;
@@ -101,6 +102,7 @@ pub use instance::{Instance, Scenario};
 pub use iterative::{IterativeConfig, IterativeOutcome, IterativeRun, MakespanTie, Round};
 pub use loads::{LoadTracker, MoveUndo};
 pub use mapping::{CompletionTimes, Mapping};
+pub use objective::Objective;
 pub use ready::ReadyTimes;
 pub use tiebreak::TieBreaker;
 pub use time::Time;

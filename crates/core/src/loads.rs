@@ -1,22 +1,46 @@
 //! The delta-evaluation search kernel: per-machine loads with O(1)
-//! reassign-move bookkeeping and an O(log m) makespan read.
+//! reassign-move bookkeeping and a cheap objective read.
 //!
 //! The search heuristics (SA, Tabu, Genitor) explore the space of complete
 //! assignments by *reassign moves*: take one task off machine `a`, put it
 //! on machine `b`. The loads of `a` and `b` change by one subtraction and
 //! one addition — but the naive inner loops still rescanned all `m`
-//! machines per candidate move to find the new makespan. [`LoadTracker`]
-//! removes that rescan: it mirrors the load vector into a max tournament
-//! tree (an implicit perfect binary tree whose internal nodes hold the max
-//! of their children), so
+//! machines per candidate move to re-score the assignment. [`LoadTracker`]
+//! removes that rescan where the [`Objective`] allows it, and falls back
+//! honestly where it does not.
 //!
-//! * the current makespan is the root — **O(1)**;
-//! * applying or undoing a move updates two leaves and their ancestor
-//!   paths — **O(log m)**;
-//! * *probing* a move — "what would the makespan be?" — combines the two
-//!   shifted loads with the tree-max over every *other* machine
-//!   (sibling-subtree maxima along the two root-to-leaf paths) —
-//!   **O(log m)**, read-only, nothing to undo on rejection.
+//! # Costing strategy: flat vs tree, per objective
+//!
+//! The tracker picks its strategy from two inputs — the machine count and
+//! the objective — so no configuration is slower than its naive twin:
+//!
+//! * **Flat mode** (`m <= FLAT_MAX`): just the load vector. A move is two
+//!   writes (O(1), no tree maintenance), a probe or objective read is one
+//!   O(m) scan. At small `m` the scan is a handful of cache-resident
+//!   compares and beats the tree's pointer chasing — BENCH_search.json
+//!   before this mode showed the tree-based SA kernel at ~0.6x its naive
+//!   twin for m = 8..32 precisely because every probe *and* apply paid
+//!   O(log m) tree traffic that the naive scan did not.
+//! * **Tree mode** (`m > FLAT_MAX`): the load vector is mirrored into an
+//!   implicit perfect binary tree whose internal nodes aggregate their
+//!   children — `max` for [`Objective::Makespan`], `+` over per-machine
+//!   [contributions](Objective::contribution) for the sum objectives. The
+//!   objective read is the root — O(1); applying or undoing a move updates
+//!   two leaves and their ancestor paths — O(log m).
+//!
+//! Probing a move — "what would the objective be?" — is:
+//!
+//! | objective          | flat mode             | tree mode                          |
+//! |--------------------|-----------------------|------------------------------------|
+//! | makespan           | O(m) substituted scan | O(log m) sibling walk, read-only   |
+//! | flowtime           | O(m) substituted fold | O(log m) apply/read/undo           |
+//! | weighted flowtime  | O(m) substituted fold | O(log m) apply/read/undo           |
+//!
+//! The sum-objective tree probe is the honest fallback the design calls
+//! for: a sum tree cannot answer "total excluding two leaves, plus their
+//! replacements" read-only any cheaper than applying the move, reading the
+//! root, and undoing — so that is exactly what it does (still O(log m),
+//! but `&mut` and three tree updates rather than one read-only walk).
 //!
 //! # Equivalence argument
 //!
@@ -25,21 +49,28 @@
 //!
 //! * loads are updated with the *same* [`Time`] operations in the same
 //!   order (`old − etc`, `old + etc`; undo restores the saved bits), so
-//!   every leaf equals the naive vector bit-for-bit;
-//! * `max` over a total order is associative and commutative, so the
-//!   tree-shaped reduction returns the same bits as the naive linear scan
-//!   (`Time`'s order is `f64::total_cmp`, and equal elements are
-//!   bit-identical under it);
-//! * a probe computes `max(everything else, shifted a, shifted b)` — the
-//!   same multiset the naive code scanned after temporarily writing the
-//!   two entries.
+//!   every entry equals the naive vector bit-for-bit in both modes;
+//! * for makespan, `max` over a total order is associative and
+//!   commutative, so the tree-shaped reduction, the flat scan, and the
+//!   naive linear scan all return the same bits (`Time`'s order is
+//!   `f64::total_cmp`, and equal elements are bit-identical under it) —
+//!   flat and tree mode are **bit-identical** to each other and to the
+//!   naive twin;
+//! * for the sum objectives, flat mode folds contributions left to right —
+//!   the canonical [`Objective::value`] order every naive evaluation site
+//!   uses — while tree mode necessarily sums in tree shape. Float addition
+//!   is not associative, so *across modes* sum-objective values may differ
+//!   in final bits; each tracker is internally consistent (probe equals
+//!   apply-then-read bit-for-bit within a mode) and deterministic for a
+//!   given `m`, so seeded runs remain reproducible.
 //!
-//! Internal nodes store raw `f64`s (padding leaves are `-∞`, the identity
-//! of `max`, which a [`Time`] is not allowed to hold); the public surface
-//! speaks [`Time`] only.
+//! Internal nodes store raw `f64`s (padding leaves hold the aggregation
+//! identity: `-∞` for `max`, `0.0` for `+`, neither of which a [`Time`] is
+//! required to hold); the public surface speaks [`Time`] only.
 
 use crate::id::MachineId;
 use crate::instance::Instance;
+use crate::objective::Objective;
 use crate::time::Time;
 
 /// `max` under `total_cmp` — the exact order [`Time`] sorts by, usable on
@@ -56,7 +87,8 @@ fn fmax(a: f64, b: f64) -> f64 {
 
 /// Saved state of one applied reassign move, for [`LoadTracker::undo`].
 /// Holds the *exact* pre-move loads, so undoing restores them bit-for-bit
-/// instead of re-deriving them arithmetically.
+/// instead of re-deriving them arithmetically (task counts are restored by
+/// the inverse integer increments; those are exact by construction).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MoveUndo {
     /// Machine the task was taken from.
@@ -69,7 +101,8 @@ pub struct MoveUndo {
     pub old_to: Time,
 }
 
-/// Per-machine loads plus a max tournament tree over them; see the
+/// Per-machine loads and task counts, plus (above [`LoadTracker::FLAT_MAX`]
+/// machines) an aggregate tournament tree over them; see the
 /// [module docs](self) for the operations and the equivalence argument.
 ///
 /// Machines are addressed by *position* in the instance's active machine
@@ -79,18 +112,34 @@ pub struct MoveUndo {
 pub struct LoadTracker {
     /// Leaf values as [`Time`] (the public view).
     loads: Vec<Time>,
+    /// Tasks currently on each machine (only *read* by the weighted
+    /// objective, but maintained for all of them).
+    counts: Vec<u32>,
     /// Implicit binary tree, 1-based: `tree[1]` is the root, leaf `i`
-    /// lives at `cap + i`, padding leaves hold `-∞`.
+    /// lives at `cap + i`, padding leaves hold the aggregation identity.
+    /// Empty in flat mode.
     tree: Vec<f64>,
-    /// Leaf capacity: `loads.len().next_power_of_two()`.
+    /// Leaf capacity: `loads.len().next_power_of_two()` (tree mode only).
     cap: usize,
+    /// `true` when `m <= FLAT_MAX`: no tree is kept, every aggregate read
+    /// is a flat scan and every move is O(1).
+    flat: bool,
+    /// The objective the aggregates answer for.
+    objective: Objective,
 }
 
 impl LoadTracker {
+    /// Largest machine count handled in flat mode (no tournament tree).
+    /// BENCH_search.json: the tree kernel lost to the naive scan for
+    /// m = 8..32 and won from m = 256 up; 128 splits the measured gap.
+    pub const FLAT_MAX: usize = 128;
+
     /// An empty tracker; call [`reset`](Self::reset) or
     /// [`rebuild`](Self::rebuild) before use. Buffers grow on demand and
     /// are reused across resets, so one tracker serves many instances
-    /// without reallocating.
+    /// without reallocating. The objective defaults to makespan; use
+    /// [`rebuild`](Self::rebuild) (which adopts the instance's objective)
+    /// or [`set_objective`](Self::set_objective).
     pub fn new() -> Self {
         LoadTracker::default()
     }
@@ -115,36 +164,113 @@ impl LoadTracker {
         self.loads[i]
     }
 
-    /// Re-initializes the tracker from explicit loads (O(m)).
+    /// Per-machine task counts (machine-position order).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The objective the tracker aggregates for.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// `true` when the tracker runs without a tree (`m <=`
+    /// [`FLAT_MAX`](Self::FLAT_MAX)).
+    pub fn is_flat(&self) -> bool {
+        self.flat
+    }
+
+    /// Switches the objective the aggregates answer for, rebuilding them
+    /// from the current loads and counts. Prefer [`rebuild`](Self::rebuild)
+    /// on the search hot path (it adopts `inst.objective` automatically).
+    pub fn set_objective(&mut self, objective: Objective) {
+        self.objective = objective;
+        self.build_tree();
+    }
+
+    /// Re-initializes the tracker from explicit loads (O(m)), keeping the
+    /// current objective. All task counts are reset to zero — exact for
+    /// makespan and flowtime; for weighted flowtime use
+    /// [`rebuild`](Self::rebuild) (or [`set`](Self::set) plus external
+    /// count bookkeeping is *not* supported — counts only change through
+    /// `rebuild`, [`apply`](Self::apply) and [`undo`](Self::undo)).
     pub fn reset(&mut self, loads: impl IntoIterator<Item = Time>) {
         self.loads.clear();
         self.loads.extend(loads);
+        self.counts.clear();
+        self.counts.resize(self.loads.len(), 0);
+        self.build_tree();
+    }
+
+    /// Sizes `flat`/`cap` for the current machine count and (in tree mode)
+    /// rebuilds the whole aggregate tree from loads and counts.
+    fn build_tree(&mut self) {
         let n = self.loads.len();
-        self.cap = n.next_power_of_two().max(1);
+        self.flat = n <= Self::FLAT_MAX;
+        if self.flat {
+            self.tree.clear();
+            self.cap = 0;
+            return;
+        }
+        self.cap = n.next_power_of_two();
         self.tree.clear();
-        self.tree.resize(2 * self.cap, f64::NEG_INFINITY);
-        for (i, &v) in self.loads.iter().enumerate() {
-            self.tree[self.cap + i] = v.get();
+        self.tree.resize(2 * self.cap, self.identity());
+        for i in 0..n {
+            self.tree[self.cap + i] = self.leaf(i);
         }
         for node in (1..self.cap).rev() {
-            self.tree[node] = fmax(self.tree[2 * node], self.tree[2 * node + 1]);
+            self.tree[node] = self.combine(self.tree[2 * node], self.tree[2 * node + 1]);
         }
+    }
+
+    /// The aggregation identity padding leaves hold.
+    #[inline]
+    fn identity(&self) -> f64 {
+        match self.objective {
+            Objective::Makespan => f64::NEG_INFINITY,
+            Objective::Flowtime | Objective::WeightedFlowtime => 0.0,
+        }
+    }
+
+    /// One internal-node combination step.
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        match self.objective {
+            Objective::Makespan => fmax(a, b),
+            Objective::Flowtime | Objective::WeightedFlowtime => a + b,
+        }
+    }
+
+    /// Leaf `i`'s aggregate value: the load for makespan/flowtime, the
+    /// [contribution](Objective::contribution) `count · load` for weighted
+    /// flowtime.
+    #[inline]
+    fn leaf(&self, i: usize) -> f64 {
+        self.objective
+            .contribution(self.loads[i], self.counts[i])
+            .get()
     }
 
     /// Re-initializes from an instance and a machine-position assignment
     /// vector (`assign[pos]` = machine position of the `pos`-th instance
     /// task): load of machine `j` is its initial ready time plus its
     /// tasks' ETCs, accumulated in task-position order — the exact
-    /// operation order of the naive `loads_of` it replaces.
+    /// operation order of the naive `loads_of` it replaces. Adopts
+    /// `inst.objective` and counts tasks per machine.
     pub fn rebuild(&mut self, inst: &Instance<'_>, assign: &[usize]) {
+        self.objective = inst.objective;
         self.reset(inst.machines.iter().map(|&m| inst.ready.get(m)));
         for (pos, &mi) in assign.iter().enumerate() {
+            self.counts[mi] += 1;
             let t = self.loads[mi] + inst.etc.get(inst.tasks[pos], inst.machines[mi]);
             self.set(mi, t);
         }
     }
 
-    /// Current makespan: the largest tracked load, read from the root.
+    /// Current makespan: the largest tracked load. Read from the root in
+    /// makespan tree mode (O(1)); a flat scan otherwise (flat mode, or a
+    /// sum objective whose tree aggregates sums, not maxima) — both return
+    /// the same bits as a naive linear scan.
     ///
     /// # Panics
     ///
@@ -152,27 +278,67 @@ impl LoadTracker {
     #[inline]
     pub fn makespan(&self) -> Time {
         assert!(!self.loads.is_empty(), "makespan of an empty tracker");
-        Time::new(self.tree[1])
+        if !self.flat && self.objective.is_makespan() {
+            Time::new(self.tree[1])
+        } else {
+            self.loads.iter().copied().max().expect("non-empty")
+        }
     }
 
-    /// Sets machine `i`'s load and lifts the change to the root
-    /// (O(log m)).
+    /// The current objective value: [`makespan`](Self::makespan) for
+    /// [`Objective::Makespan`] (bit-identical to the pre-refactor path);
+    /// for the sum objectives the canonical left-to-right
+    /// [`Objective::value`] fold in flat mode, or the sum-tree root in tree
+    /// mode (see the [module docs](self) on cross-mode bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tracker is empty.
+    #[inline]
+    pub fn objective_value(&self) -> Time {
+        match self.objective {
+            Objective::Makespan => self.makespan(),
+            Objective::Flowtime | Objective::WeightedFlowtime => {
+                assert!(!self.loads.is_empty(), "objective of an empty tracker");
+                if self.flat {
+                    self.objective.value(&self.loads, &self.counts)
+                } else {
+                    Time::new(self.tree[1])
+                }
+            }
+        }
+    }
+
+    /// Sets machine `i`'s load and (in tree mode) lifts the change to the
+    /// root (O(log m); O(1) flat). Task counts are untouched — this is a
+    /// raw load write, not a task move; see [`apply`](Self::apply).
     #[inline]
     pub fn set(&mut self, i: usize, v: Time) {
         self.loads[i] = v;
+        if self.flat {
+            return;
+        }
         let mut node = self.cap + i;
-        self.tree[node] = v.get();
+        self.tree[node] = self.leaf(i);
         node >>= 1;
         while node >= 1 {
-            let up = fmax(self.tree[2 * node], self.tree[2 * node + 1]);
+            let up = self.combine(self.tree[2 * node], self.tree[2 * node + 1]);
             self.tree[node] = up;
             node >>= 1;
         }
     }
 
-    /// Applies a reassign move — `from` loses `sub`, `to` gains `add` —
-    /// with the same two [`Time`] operations the naive load vector
-    /// performed, and returns the saved state for [`undo`](Self::undo).
+    /// Applies a one-task reassign move — `from` loses `sub` and one task,
+    /// `to` gains `add` and one task — with the same two [`Time`]
+    /// operations the naive load vector performed, and returns the saved
+    /// state for [`undo`](Self::undo).
+    ///
+    /// The count transfer saturates at zero so load-only callers that
+    /// initialized via [`reset`](Self::reset) (all counts zero) stay
+    /// valid; with counts established by [`rebuild`](Self::rebuild) — as
+    /// every weighted-flowtime caller must — `from` always holds a task
+    /// and the transfer is exact, so `undo` restores counts exactly.
+    #[inline]
     pub fn apply(&mut self, from: usize, sub: Time, to: usize, add: Time) -> MoveUndo {
         let undo = MoveUndo {
             from,
@@ -180,38 +346,153 @@ impl LoadTracker {
             old_from: self.loads[from],
             old_to: self.loads[to],
         };
+        self.counts[from] = self.counts[from].saturating_sub(1);
+        self.counts[to] += 1;
         self.set(from, undo.old_from - sub);
         self.set(to, undo.old_to + add);
         undo
     }
 
-    /// Reverts an applied move, restoring the saved loads bit-for-bit.
+    /// Reverts an applied move, restoring the saved loads bit-for-bit and
+    /// the task counts exactly (integer inverse; see
+    /// [`apply`](Self::apply) on the saturation caveat for load-only use).
+    #[inline]
     pub fn undo(&mut self, undo: MoveUndo) {
+        self.counts[undo.from] += 1;
+        self.counts[undo.to] = self.counts[undo.to].saturating_sub(1);
         self.set(undo.from, undo.old_from);
         self.set(undo.to, undo.old_to);
     }
 
-    /// Post-move makespan without mutating anything: the max of the two
-    /// shifted loads and every other machine's current load (read from
-    /// sibling subtrees along the two leaf-to-root paths). `from` and `to`
-    /// must differ.
+    /// Post-move **makespan** without mutating anything: the max of the
+    /// two shifted loads and every other machine's current load. `from`
+    /// and `to` must differ.
     ///
-    /// The sibling walk stays even at small `m`: measured against a flat
-    /// scan of the load vector it was never slower at any bench size
-    /// (m = 8..256), so there is no small-`m` special case.
+    /// Tree mode with the makespan objective reads sibling-subtree maxima
+    /// along the two leaf-to-root paths (O(log m)); otherwise this is an
+    /// O(m) substituted scan over the load vector — the same multiset
+    /// either way, so the same bits. For the post-move value of a sum
+    /// objective use [`probe_objective`](Self::probe_objective).
     #[inline]
     pub fn probe(&self, from: usize, sub: Time, to: usize, add: Time) -> Time {
         debug_assert_ne!(from, to, "probe needs two distinct machines");
         let new_from = self.loads[from] - sub;
         let new_to = self.loads[to] + add;
-        let rest = self.max_excluding2(from, to);
-        Time::new(fmax(fmax(rest, new_from.get()), new_to.get()))
+        if !self.flat && self.objective.is_makespan() {
+            let rest = self.max_excluding2(from, to);
+            Time::new(fmax(fmax(rest, new_from.get()), new_to.get()))
+        } else {
+            let mut best = fmax(new_from.get(), new_to.get());
+            for (i, l) in self.loads.iter().enumerate() {
+                if i != from && i != to {
+                    best = fmax(best, l.get());
+                }
+            }
+            Time::new(best)
+        }
+    }
+
+    /// Post-move **objective value** for the tracker's objective. `from`
+    /// and `to` must differ.
+    ///
+    /// * Makespan: delegates to [`probe`](Self::probe) — read-only, and
+    ///   bit-identical to the pre-refactor probe.
+    /// * Sum objectives, flat mode: an O(m) left-to-right fold with the
+    ///   two machines' loads (and, for weighted flowtime, counts)
+    ///   substituted — bit-identical to apply-then-
+    ///   [`objective_value`](Self::objective_value)-then-undo.
+    /// * Sum objectives, tree mode: the honest O(log m) fallback —
+    ///   apply, read the root, undo (hence `&mut self`; the tracker is
+    ///   restored exactly before returning).
+    #[inline]
+    pub fn probe_objective(&mut self, from: usize, sub: Time, to: usize, add: Time) -> Time {
+        debug_assert_ne!(from, to, "probe needs two distinct machines");
+        match self.objective {
+            // Flat makespan: substitute the two loads in place, take a
+            // branch-free max fold over the whole vector, restore. Same
+            // multiset as [`probe`](Self::probe)'s skip-two scan, so the
+            // same bits — but the fold has no per-element index compares,
+            // which is what lets small-m SA match its naive twin.
+            Objective::Makespan if self.flat => {
+                let old_from = self.loads[from];
+                let old_to = self.loads[to];
+                self.loads[from] = old_from - sub;
+                self.loads[to] = old_to + add;
+                let mut best = f64::NEG_INFINITY;
+                for l in &self.loads {
+                    best = fmax(best, l.get());
+                }
+                self.loads[from] = old_from;
+                self.loads[to] = old_to;
+                Time::new(best)
+            }
+            Objective::Makespan => self.probe(from, sub, to, add),
+            Objective::Flowtime | Objective::WeightedFlowtime if self.flat => {
+                let new_from = self.loads[from] - sub;
+                let new_to = self.loads[to] + add;
+                let o = self.objective;
+                let mut acc = Time::ZERO;
+                for (i, &l) in self.loads.iter().enumerate() {
+                    let (load, count) = if i == from {
+                        (new_from, self.counts[i].saturating_sub(1))
+                    } else if i == to {
+                        (new_to, self.counts[i] + 1)
+                    } else {
+                        (l, self.counts[i])
+                    };
+                    acc += o.contribution(load, count);
+                }
+                acc
+            }
+            Objective::Flowtime | Objective::WeightedFlowtime => {
+                let undo = self.apply(from, sub, to, add);
+                let value = self.objective_value();
+                self.undo(undo);
+                value
+            }
+        }
+    }
+
+    /// [`probe_objective`](Self::probe_objective) with the caller's known
+    /// current objective value, exploited for an O(1) answer where the
+    /// objective allows. `current` **must** equal
+    /// [`objective_value()`](Self::objective_value) (search loops carry it
+    /// anyway); `from` and `to` must differ.
+    ///
+    /// Under makespan, when neither endpoint's load attains `current`,
+    /// some untouched machine does; untouched loads don't move and `from`
+    /// only shrinks, so the post-move makespan is exactly
+    /// `max(current, loads[to] + add)` — no scan, no tree walk, in either
+    /// mode. Only moves touching a max-attaining machine (~2/m of random
+    /// moves) fall back to the full probe. The shortcut picks the larger
+    /// of two values the fallback would also produce, so the result is
+    /// bit-identical. Sum objectives always delegate: rebuilding their
+    /// value from `current` would reassociate the fold and change bits.
+    #[inline]
+    pub fn probe_objective_hint(
+        &mut self,
+        from: usize,
+        sub: Time,
+        to: usize,
+        add: Time,
+        current: Time,
+    ) -> Time {
+        debug_assert_eq!(current, self.objective_value(), "stale current value");
+        if self.objective.is_makespan() {
+            let old_from = self.loads[from];
+            let old_to = self.loads[to];
+            if old_from != current && old_to != current {
+                debug_assert!(old_from < current && old_to < current);
+                return current.max(old_to + add);
+            }
+        }
+        self.probe_objective(from, sub, to, add)
     }
 
     /// Max over every leaf except `a` and `b` (`-∞` when none remain).
     /// Walks both root-to-leaf paths bottom-up in lockstep, taking each
     /// sibling subtree exactly once and skipping the subtrees that contain
-    /// the excluded leaves.
+    /// the excluded leaves. Only meaningful in makespan tree mode.
     fn max_excluding2(&self, a: usize, b: usize) -> f64 {
         let mut best = f64::NEG_INFINITY;
         let mut ia = self.cap + a;
@@ -235,20 +516,33 @@ impl LoadTracker {
         best
     }
 
-    /// The machine position holding the current makespan (lowest position
-    /// on ties, like a forward linear scan): walks the tree from the root
-    /// preferring the left child when both subtrees attain the max.
+    /// The machine position holding the largest load (lowest position on
+    /// ties, like a forward linear scan): a root descent preferring the
+    /// left child in makespan tree mode, the literal forward scan
+    /// otherwise — identical answers either way, because a forward scan
+    /// that only replaces on strictly-greater lands on the lowest maximal
+    /// position.
     pub fn argmax(&self) -> usize {
         assert!(!self.loads.is_empty(), "argmax of an empty tracker");
-        let mut node = 1;
-        while node < self.cap {
-            node = if self.tree[2 * node].total_cmp(&self.tree[node]).is_eq() {
-                2 * node
-            } else {
-                2 * node + 1
-            };
+        if !self.flat && self.objective.is_makespan() {
+            let mut node = 1;
+            while node < self.cap {
+                node = if self.tree[2 * node].total_cmp(&self.tree[node]).is_eq() {
+                    2 * node
+                } else {
+                    2 * node + 1
+                };
+            }
+            node - self.cap
+        } else {
+            let mut best = 0;
+            for i in 1..self.loads.len() {
+                if self.loads[i] > self.loads[best] {
+                    best = i;
+                }
+            }
+            best
         }
-        node - self.cap
     }
 
     /// The corresponding [`MachineId`] under `inst` for [`argmax`](Self::argmax).
@@ -271,15 +565,50 @@ mod tests {
         loads.iter().copied().max().expect("non-empty")
     }
 
+    /// A tracker forced into tree mode by size, seeded deterministically.
+    fn wide_tracker(m: usize, objective: Objective) -> LoadTracker {
+        let mut lt = LoadTracker::new();
+        lt.set_objective(objective);
+        lt.reset((0..m).map(|i| t(((i * 13 + 5) % 23) as f64 + 0.25)));
+        lt
+    }
+
     #[test]
     fn reset_and_makespan_match_linear_scan() {
         let mut lt = LoadTracker::new();
         for n in 1..=9usize {
             let loads: Vec<Time> = (0..n).map(|i| t(((i * 7 + 3) % 5) as f64)).collect();
             lt.reset(loads.iter().copied());
+            assert!(lt.is_flat(), "n={n} fits flat mode");
             assert_eq!(lt.makespan(), naive_max(&loads), "n={n}");
             assert_eq!(lt.loads(), &loads[..]);
         }
+    }
+
+    #[test]
+    fn flat_and_tree_mode_agree_on_makespan_bits() {
+        // The same loads, read through both strategies, give identical
+        // bits: max is associative/commutative under total_cmp.
+        let m = LoadTracker::FLAT_MAX + 72; // tree mode
+        let tree = wide_tracker(m, Objective::Makespan);
+        assert!(!tree.is_flat());
+        let loads: Vec<Time> = tree.loads().to_vec();
+        assert_eq!(tree.makespan(), naive_max(&loads));
+        let probed = tree.probe(3, t(0.25), m - 1, t(2.5));
+        // Naive twin: write the two entries, scan.
+        let mut shifted = loads.clone();
+        shifted[3] = shifted[3] - t(0.25);
+        shifted[m - 1] += t(2.5);
+        assert_eq!(probed, naive_max(&shifted));
+        assert_eq!(tree.argmax(), {
+            let mut best = 0;
+            for i in 1..m {
+                if loads[i] > loads[best] {
+                    best = i;
+                }
+            }
+            best
+        });
     }
 
     #[test]
@@ -287,12 +616,18 @@ mod tests {
         let mut lt = LoadTracker::new();
         let loads = [t(3.5), t(1.25), t(9.0), t(2.0), t(4.75)];
         lt.reset(loads.iter().copied());
+        // Give every machine a task so the count transfer stays valid.
+        for c in lt.counts.iter_mut() {
+            *c = 1;
+        }
         let undo = lt.apply(2, t(6.5), 0, t(1.5));
         assert_eq!(lt.load(2), t(2.5));
         assert_eq!(lt.load(0), t(5.0));
+        assert_eq!(lt.counts(), &[2, 1, 0, 1, 1]);
         assert_eq!(lt.makespan(), t(5.0));
         lt.undo(undo);
         assert_eq!(lt.loads(), &loads[..]);
+        assert_eq!(lt.counts(), &[1, 1, 1, 1, 1]);
         assert_eq!(lt.makespan(), t(9.0));
     }
 
@@ -300,6 +635,9 @@ mod tests {
     fn probe_equals_apply_then_read() {
         let mut lt = LoadTracker::new();
         lt.reset([t(3.0), t(8.0), t(5.0), t(1.0), t(6.0), t(2.0)]);
+        for c in lt.counts.iter_mut() {
+            *c = 2;
+        }
         for from in 0..6 {
             for to in 0..6 {
                 if from == to {
@@ -317,12 +655,15 @@ mod tests {
     #[test]
     fn probe_matches_apply_on_a_wide_tracker() {
         // Deep enough that the sibling walk crosses several tree levels
-        // and meets non-trivial `-∞` padding (81 leaves in a 128-leaf
-        // tree).
-        let m = 81;
-        let mut lt = LoadTracker::new();
-        lt.reset((0..m).map(|i| t(((i * 13 + 5) % 23) as f64 + 0.25)));
-        for (from, to) in [(0, m - 1), (m - 1, 0), (3, 4), (40, 70), (70, 40)] {
+        // and meets non-trivial padding (200 leaves in a 256-leaf tree —
+        // past FLAT_MAX, so genuinely in tree mode).
+        let m = 200;
+        let mut lt = wide_tracker(m, Objective::Makespan);
+        assert!(!lt.is_flat());
+        for c in lt.counts.iter_mut() {
+            *c = 1;
+        }
+        for (from, to) in [(0, m - 1), (m - 1, 0), (3, 4), (40, 170), (170, 40)] {
             let probed = lt.probe(from, t(0.5), to, t(3.75));
             let undo = lt.apply(from, t(0.5), to, t(3.75));
             assert_eq!(probed, lt.makespan(), "{from}->{to}");
@@ -376,8 +717,111 @@ mod tests {
             loads[mi] += inst.etc.get(inst.tasks[pos], inst.machines[mi]);
         }
         assert_eq!(lt.loads(), &loads[..]);
+        assert_eq!(lt.counts(), &[1, 2]);
         assert_eq!(lt.makespan(), naive_max(&loads));
         assert_eq!(lt.argmax_machine(&inst), inst.machines[1]);
+    }
+
+    #[test]
+    fn rebuild_adopts_instance_objective() {
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0]]).unwrap(),
+        )
+        .with_objective(Objective::Flowtime);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut lt = LoadTracker::new();
+        lt.rebuild(&inst, &[0, 1]);
+        assert_eq!(lt.objective(), Objective::Flowtime);
+        assert_eq!(lt.objective_value(), t(6.0)); // 2 + 4
+        assert_eq!(lt.makespan(), t(4.0)); // still answerable
+    }
+
+    #[test]
+    fn flowtime_value_and_probe_agree_with_naive_fold() {
+        let mut lt = LoadTracker::new();
+        lt.set_objective(Objective::Flowtime);
+        lt.reset([t(3.0), t(8.0), t(5.0), t(1.0)]);
+        for c in lt.counts.iter_mut() {
+            *c = 1;
+        }
+        assert_eq!(lt.objective_value(), t(17.0));
+        for from in 0..4 {
+            for to in 0..4 {
+                if from == to {
+                    continue;
+                }
+                let probed = lt.probe_objective(from, t(0.5), to, t(2.25));
+                let undo = lt.apply(from, t(0.5), to, t(2.25));
+                assert_eq!(probed, lt.objective_value(), "{from}->{to}");
+                lt.undo(undo);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_value_and_probe_agree_with_apply_then_read() {
+        let s = Scenario::with_zero_ready(
+            EtcMatrix::from_rows(&[
+                vec![2.0, 6.0, 1.0],
+                vec![3.0, 4.0, 2.0],
+                vec![8.0, 3.0, 5.0],
+                vec![1.0, 1.0, 9.0],
+            ])
+            .unwrap(),
+        )
+        .with_objective(Objective::WeightedFlowtime);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut lt = LoadTracker::new();
+        let assign = [0usize, 1, 0, 2];
+        lt.rebuild(&inst, &assign);
+        // loads = (10, 4, 9), counts = (2, 1, 1): value = 20 + 4 + 9.
+        assert_eq!(lt.objective_value(), t(33.0));
+        // Move task 2 (pos 2, etc row (8, 3, 5)) from machine 0 to 1.
+        let probed = lt.probe_objective(0, t(8.0), 1, t(3.0));
+        let undo = lt.apply(0, t(8.0), 1, t(3.0));
+        assert_eq!(probed, lt.objective_value());
+        assert_eq!(lt.counts(), &[1, 2, 1]);
+        lt.undo(undo);
+        assert_eq!(lt.objective_value(), t(33.0));
+        assert_eq!(lt.counts(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn sum_objectives_work_in_tree_mode() {
+        // Past FLAT_MAX the sum tree answers objective_value from the
+        // root, and probe_objective uses the honest apply/read/undo
+        // fallback — internally consistent bit-for-bit.
+        for objective in [Objective::Flowtime, Objective::WeightedFlowtime] {
+            let m = LoadTracker::FLAT_MAX + 72;
+            let mut lt = wide_tracker(m, objective);
+            assert!(!lt.is_flat());
+            for c in lt.counts.iter_mut() {
+                *c = 1;
+            }
+            lt.set_objective(objective); // rebuild leaves with counts = 1
+            let before = lt.objective_value();
+            let loads_before: Vec<Time> = lt.loads().to_vec();
+            let probed = lt.probe_objective(7, t(0.5), 190, t(2.5));
+            // The probe restored everything.
+            assert_eq!(lt.loads(), &loads_before[..]);
+            assert_eq!(lt.objective_value(), before);
+            // And agrees with actually applying the move.
+            let undo = lt.apply(7, t(0.5), 190, t(2.5));
+            assert_eq!(probed, lt.objective_value(), "{objective}");
+            lt.undo(undo);
+            assert_eq!(lt.objective_value(), before);
+        }
+    }
+
+    #[test]
+    fn makespan_readable_under_sum_objectives_in_tree_mode() {
+        let m = LoadTracker::FLAT_MAX + 10;
+        let lt = wide_tracker(m, Objective::Flowtime);
+        assert!(!lt.is_flat());
+        let loads: Vec<Time> = lt.loads().to_vec();
+        assert_eq!(lt.makespan(), naive_max(&loads));
     }
 
     #[test]

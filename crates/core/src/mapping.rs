@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::Error;
 use crate::etc::EtcMatrix;
 use crate::id::{MachineId, TaskId};
+use crate::objective::Objective;
 use crate::ready::ReadyTimes;
 use crate::time::Time;
 
@@ -88,6 +89,11 @@ impl Mapping {
             .collect()
     }
 
+    /// Number of tasks assigned to `m` (no allocation).
+    pub fn count_on(&self, m: MachineId) -> u32 {
+        self.order.iter().filter(|&&(_, mm)| mm == m).count() as u32
+    }
+
     /// Validates that every task in `tasks` is assigned, and only to
     /// machines in `machines`. Heuristic outputs are checked with this by
     /// the iterative driver.
@@ -134,6 +140,29 @@ impl Mapping {
     ) -> Time {
         self.completion_times(etc, initial_ready, machines)
             .makespan()
+    }
+
+    /// The objective value of this mapping over `machines`. For
+    /// [`Objective::Makespan`] this delegates to [`Mapping::makespan`]
+    /// (bit-identical to the pre-refactor path); the sum objectives fold
+    /// per-machine contributions left to right in `machines` order (see
+    /// [`Objective::value`]).
+    pub fn objective_value(
+        &self,
+        etc: &EtcMatrix,
+        initial_ready: &ReadyTimes,
+        machines: &[MachineId],
+        objective: Objective,
+    ) -> Time {
+        match objective {
+            Objective::Makespan => self.makespan(etc, initial_ready, machines),
+            Objective::Flowtime | Objective::WeightedFlowtime => {
+                let ct = self.completion_times(etc, initial_ready, machines);
+                ct.pairs().iter().fold(Time::ZERO, |acc, &(m, c)| {
+                    acc + objective.contribution(c, self.count_on(m))
+                })
+            }
+        }
     }
 
     /// A copy of this mapping restricted to `tasks` (used by the seeding
@@ -348,6 +377,32 @@ mod tests {
         let r = map.restricted_to(&[t(3), t(0)]);
         assert_eq!(r.order(), &[(t(3), m(0)), (t(0), m(0))]);
         assert_eq!(r.machine_of(t(1)), None);
+    }
+
+    #[test]
+    fn objective_value_matches_definitions() {
+        let etc = etc3x3();
+        let ready = ReadyTimes::from_values(&[1.0, 0.0, 0.0]);
+        let mut map = Mapping::new(3);
+        map.assign(t(0), m(0)).unwrap(); // 2 on m0
+        map.assign(t(2), m(0)).unwrap(); // 3 on m0
+        map.assign(t(1), m(1)).unwrap(); // 1 on m1
+        let machines = [m(0), m(1), m(2)];
+        // C = (6, 1, 0); counts = (2, 1, 0).
+        assert_eq!(
+            map.objective_value(&etc, &ready, &machines, Objective::Makespan),
+            map.makespan(&etc, &ready, &machines)
+        );
+        assert_eq!(
+            map.objective_value(&etc, &ready, &machines, Objective::Flowtime),
+            Time::new(7.0)
+        );
+        assert_eq!(
+            map.objective_value(&etc, &ready, &machines, Objective::WeightedFlowtime),
+            Time::new(13.0)
+        );
+        assert_eq!(map.count_on(m(0)), 2);
+        assert_eq!(map.count_on(m(2)), 0);
     }
 
     #[test]

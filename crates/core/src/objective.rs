@@ -1,0 +1,270 @@
+//! Pluggable optimization objectives.
+//!
+//! The paper studies makespan — the largest machine completion time — but
+//! every layer of this codebase that *scores* a candidate decision (the
+//! greedy kernel, the delta-evaluation search kernel, the iterative
+//! driver, the serving tier) is really parameterized by a scalar objective
+//! over the per-machine completion times. [`Objective`] makes that
+//! parameter explicit as a closed, `Copy`-cheap enum:
+//!
+//! * [`Objective::Makespan`] — `max_m C(m)`, the paper's objective and the
+//!   default everywhere (all pre-existing behaviour is the makespan path,
+//!   bit for bit);
+//! * [`Objective::Flowtime`] — `Σ_m C(m)`, the sum of machine completion
+//!   times (the flow-time family of Bansal & Kulkarni on the same
+//!   unrelated-machines model);
+//! * [`Objective::WeightedFlowtime`] — `Σ_m n(m) · C(m)` where `n(m)` is
+//!   the number of tasks on `m`. Because every task on a machine finishes
+//!   when the machine does (batch delivery), this equals the *task-level*
+//!   total completion time `Σ_t C(machine(t))`.
+//!
+//! Two derived quantities drive the kernels:
+//!
+//! * [`Objective::marginal`] — the increase in objective value from placing
+//!   one more task on a machine, given the machine's current ready time
+//!   and task count. Greedy heuristics that ranked machines by completion
+//!   time (`ETC + RT`, Equation 1) rank by this instead; for makespan the
+//!   expression is *exactly* `ETC + RT`, so the makespan path is unchanged.
+//! * [`Objective::contribution`] — one machine's summand (or max-term) in
+//!   the objective value: `C(m)` for makespan and flowtime,
+//!   `n(m) · C(m)` for weighted flowtime. The iterative driver freezes the
+//!   machine with the **largest contribution** each round — which for
+//!   makespan and flowtime is the makespan machine, so "non-makespan
+//!   machine" generalizes to "non-extreme-contribution machine".
+//!
+//! Objective values are compared, never mixed across objectives; wire and
+//! CLI names are the kebab-case strings `"makespan"`, `"flowtime"` and
+//! `"weighted-flowtime"` ([`Objective::from_name`] rejects anything else
+//! with a typed [`Error::UnknownObjective`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::time::Time;
+
+/// A scalar objective over per-machine completion times; see the [module
+/// docs](self). `Copy` and two bytes wide — cheap to thread through every
+/// hot path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum Objective {
+    /// `max_m C(m)` — the paper's objective, and the default.
+    #[default]
+    Makespan,
+    /// `Σ_m C(m)` — sum of machine completion times.
+    Flowtime,
+    /// `Σ_m n(m) · C(m)` — machine completion times weighted by their task
+    /// counts (equivalently, the task-level total completion time under
+    /// batch delivery).
+    WeightedFlowtime,
+}
+
+impl Objective {
+    /// Every variant, in canonical order (makespan first).
+    pub const ALL: [Objective; 3] = [
+        Objective::Makespan,
+        Objective::Flowtime,
+        Objective::WeightedFlowtime,
+    ];
+
+    /// The canonical (wire/CLI) name: `"makespan"`, `"flowtime"` or
+    /// `"weighted-flowtime"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Makespan => "makespan",
+            Objective::Flowtime => "flowtime",
+            Objective::WeightedFlowtime => "weighted-flowtime",
+        }
+    }
+
+    /// Parses a canonical name; unknown names are a typed
+    /// [`Error::UnknownObjective`] (callers surface it the same way as an
+    /// unknown heuristic name — validation *before* any work happens).
+    pub fn from_name(name: &str) -> Result<Objective, Error> {
+        Objective::ALL
+            .into_iter()
+            .find(|o| o.name() == name)
+            .ok_or_else(|| Error::UnknownObjective(name.to_string()))
+    }
+
+    /// `true` for [`Objective::Makespan`] — the fast path every layer keeps
+    /// bit-identical to the pre-refactor code.
+    #[inline]
+    pub fn is_makespan(self) -> bool {
+        matches!(self, Objective::Makespan)
+    }
+
+    /// `true` when the objective is a sum over machines (flowtime family)
+    /// rather than a max.
+    #[inline]
+    pub fn is_sum(self) -> bool {
+        !self.is_makespan()
+    }
+
+    /// Marginal cost of placing one more task (execution time `etc`) on a
+    /// machine whose working ready time is `ready` and which currently
+    /// holds `count` tasks:
+    ///
+    /// * makespan: the task's completion time `etc + ready` (Equation 1) —
+    ///   the exact expression (and float-operation order) the pre-refactor
+    ///   kernels computed;
+    /// * flowtime: `etc` — the sum grows by exactly the task's execution
+    ///   time, so flowtime-greedy ranks machines by ETC alone;
+    /// * weighted flowtime: `ready + (count + 1) · etc` — the machine's
+    ///   summand goes from `count · C` to `(count + 1) · (C + etc)`.
+    ///
+    /// This is *the* scoring function: the workspace kernel and the naive
+    /// reference paths both call it, so their candidate sets stay
+    /// bit-identical for every objective.
+    #[inline]
+    pub fn marginal(self, etc: Time, ready: Time, count: u32) -> Time {
+        match self {
+            Objective::Makespan => etc + ready,
+            Objective::Flowtime => etc,
+            Objective::WeightedFlowtime => {
+                Time::new(ready.get() + (count as f64 + 1.0) * etc.get())
+            }
+        }
+    }
+
+    /// One machine's term in the objective: its completion time `load` for
+    /// makespan and flowtime, `count · load` for weighted flowtime.
+    #[inline]
+    pub fn contribution(self, load: Time, count: u32) -> Time {
+        match self {
+            Objective::Makespan | Objective::Flowtime => load,
+            Objective::WeightedFlowtime => Time::new(count as f64 * load.get()),
+        }
+    }
+
+    /// The objective value of a completed assignment, from per-machine
+    /// loads (completion times) and task counts, combined left to right —
+    /// the canonical fold every flat evaluation site uses. `counts` is only
+    /// read for [`Objective::WeightedFlowtime`] (it may be empty for the
+    /// other variants).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Objective::Makespan`] on an empty load vector (the max
+    /// of nothing), like [`LoadTracker::makespan`](crate::LoadTracker).
+    pub fn value(self, loads: &[Time], counts: &[u32]) -> Time {
+        match self {
+            Objective::Makespan => loads
+                .iter()
+                .copied()
+                .max()
+                .expect("makespan of an empty load vector"),
+            Objective::Flowtime => loads.iter().fold(Time::ZERO, |acc, &l| acc + l),
+            Objective::WeightedFlowtime => loads
+                .iter()
+                .zip(counts)
+                .fold(Time::ZERO, |acc, (&l, &c)| acc + self.contribution(l, c)),
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Objective {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Objective::from_name(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for o in Objective::ALL {
+            assert_eq!(Objective::from_name(o.name()).unwrap(), o);
+            assert_eq!(o.name().parse::<Objective>().unwrap(), o);
+            assert_eq!(o.to_string(), o.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let err = Objective::from_name("throughput").unwrap_err();
+        assert_eq!(err, Error::UnknownObjective("throughput".to_string()));
+        assert!(err.to_string().contains("throughput"));
+        assert!(err.to_string().contains("weighted-flowtime"));
+    }
+
+    #[test]
+    fn serde_uses_kebab_case_names() {
+        for o in Objective::ALL {
+            let json = serde_json::to_string(&o).unwrap();
+            assert_eq!(json, format!("\"{}\"", o.name()));
+            assert_eq!(serde_json::from_str::<Objective>(&json).unwrap(), o);
+        }
+        assert!(serde_json::from_str::<Objective>("\"nope\"").is_err());
+    }
+
+    #[test]
+    fn default_is_makespan() {
+        assert_eq!(Objective::default(), Objective::Makespan);
+        assert!(Objective::Makespan.is_makespan());
+        assert!(!Objective::Flowtime.is_makespan());
+        assert!(Objective::Flowtime.is_sum());
+        assert!(Objective::WeightedFlowtime.is_sum());
+    }
+
+    #[test]
+    fn makespan_marginal_is_equation_one() {
+        // etc + ready, in that operand order.
+        assert_eq!(
+            Objective::Makespan.marginal(t(2.5), t(4.0), 7),
+            t(2.5) + t(4.0)
+        );
+    }
+
+    #[test]
+    fn flowtime_marginal_ignores_ready_and_count() {
+        assert_eq!(Objective::Flowtime.marginal(t(2.5), t(100.0), 9), t(2.5));
+    }
+
+    #[test]
+    fn weighted_marginal_matches_value_delta() {
+        // Placing a task on a machine must change `value` by exactly the
+        // marginal (exact in f64 for these dyadic inputs).
+        let o = Objective::WeightedFlowtime;
+        let loads = [t(4.0), t(6.5)];
+        let counts = [2u32, 1];
+        let before = o.value(&loads, &counts);
+        let etc = t(2.5);
+        let after = o.value(&[t(4.0), t(6.5) + etc], &[2, 2]);
+        assert_eq!(before + o.marginal(etc, t(6.5), 1), after);
+    }
+
+    #[test]
+    fn value_folds_left_to_right() {
+        let loads = [t(1.0), t(2.0), t(4.0)];
+        assert_eq!(Objective::Makespan.value(&loads, &[]), t(4.0));
+        assert_eq!(Objective::Flowtime.value(&loads, &[]), t(7.0));
+        assert_eq!(
+            Objective::WeightedFlowtime.value(&loads, &[0, 2, 1]),
+            t(8.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty load vector")]
+    fn makespan_value_of_nothing_panics() {
+        let _ = Objective::Makespan.value(&[], &[]);
+    }
+}

@@ -12,22 +12,32 @@
 //! # The invalidation invariant
 //!
 //! The workspace caches, for each unmapped task `t`, the set of machines
-//! tied for the minimum completion time `CT(t, m) = ETC(t, m) + RT(m)` (in
-//! ascending machine order) together with that minimum. Committing a task
-//! to machine `m*` advances only `RT(m*)` by `ETC(task, m*) ≥ 0`:
+//! tied for the minimum **score** — the
+//! [marginal objective cost](crate::Objective::marginal) of placing `t` on
+//! `m`, which for the default makespan objective is the completion time
+//! `CT(t, m) = ETC(t, m) + RT(m)` — in ascending machine order, together
+//! with that minimum. Committing a task to machine `m*` advances only
+//! `RT(m*)` by `ETC(task, m*) ≥ 0` and increments only `m*`'s task count:
 //!
-//! * for a task whose cached tied set does **not** contain `m*`, every
-//!   `CT(t, m)` with `m ≠ m*` is unchanged and `CT(t, m*)` only grew — and
-//!   it was *strictly* above the cached minimum (else `m*` would be in the
-//!   tied set) — so both the minimum and the tied set are exactly what a
-//!   full rescan would produce;
+//! * for a task whose cached tied set does **not** contain `m*`, the score
+//!   on every `m ≠ m*` is unchanged and the score on `m*` did not shrink —
+//!   makespan grows by the committed ETC, flowtime's score (`ETC(t, m)`
+//!   alone) never changes, and weighted flowtime's score
+//!   `RT + (count + 1) · ETC` grows in both terms — and it was *strictly*
+//!   above the cached minimum (else `m*` would be in the tied set), so
+//!   both the minimum and the tied set are exactly what a full rescan
+//!   would produce;
 //! * a task whose tied set **does** contain `m*` is marked stale and
 //!   rescanned on the next [`MapWorkspace::refresh`].
 //!
-//! This is the classic Min-Min `O(n·m + n²)` trick, and the argument above
-//! is why the cache is *semantically invisible*: candidate sets, tie
-//! counts, and therefore the [`TieBreaker`](crate::TieBreaker) random
-//! stream are bit-identical to the naive `O(n²·m)` recomputation.
+//! This is the classic Min-Min `O(n·m + n²)` trick, generalized: the
+//! monotonicity argument holds for every [`Objective`](crate::Objective)
+//! variant, so the cache is *semantically invisible* for all of them —
+//! candidate sets, tie counts, and therefore the
+//! [`TieBreaker`](crate::TieBreaker) random stream are bit-identical to
+//! the naive `O(n²·m)` recomputation (and, for makespan, bit-identical to
+//! the pre-objective code: the score expression is literally `ETC + RT` in
+//! the same operation order).
 //!
 //! # The canonical-order guarantee
 //!
@@ -92,6 +102,9 @@ impl std::fmt::Debug for TraceHandle {
 pub struct MapWorkspace {
     /// Working ready times, full machine space (indexed by machine id).
     ready: Vec<Time>,
+    /// Tasks placed on each machine so far, full machine space (read by
+    /// the weighted-flowtime score; maintained unconditionally).
+    counts: Vec<u32>,
     /// Row stride of `best_machines` (= machine-space size of the instance).
     stride: usize,
     /// Per-task tied-best machines, ascending, `stride` slots per task.
@@ -138,6 +151,8 @@ impl MapWorkspace {
         self.stride = n_machines;
         self.ready.clear();
         self.ready.extend_from_slice(inst.ready.as_slice());
+        self.counts.clear();
+        self.counts.resize(n_machines, 0);
         self.best_machines
             .resize(n_tasks * n_machines, MachineId(0));
         self.best_len.resize(n_tasks, 0);
@@ -195,10 +210,33 @@ impl MapWorkspace {
         inst.etc.get(t, m) + self.ready[m.idx()]
     }
 
-    /// Advances machine `m`'s working ready time by `dt`.
+    /// Records placing one task on machine `m`: advances its working ready
+    /// time by the task's execution time `dt` and bumps its task count.
+    /// Every call site is exactly one task placement (immediate-mode
+    /// heuristics call it at their assignment site; [`commit`](Self::commit)
+    /// calls it once per committed task).
     #[inline]
     pub fn advance(&mut self, m: MachineId, dt: Time) {
         self.ready[m.idx()] += dt;
+        self.counts[m.idx()] += 1;
+    }
+
+    /// Tasks placed on `m` so far in this mapping run.
+    #[inline]
+    pub fn count_of(&self, m: MachineId) -> u32 {
+        self.counts[m.idx()]
+    }
+
+    /// The marginal objective score of placing `t` on `m` under the
+    /// current working state ([`Objective::marginal`](crate::Objective::marginal);
+    /// equals [`ct`](Self::ct) for makespan).
+    #[inline]
+    pub fn score(&self, inst: &Instance<'_>, t: TaskId, m: MachineId) -> Time {
+        inst.objective.marginal(
+            inst.etc.get(t, m),
+            self.ready[m.idx()],
+            self.counts[m.idx()],
+        )
     }
 
     /// Removes `t` from the unmapped set in O(1) (swap-remove; storage
@@ -229,14 +267,19 @@ impl MapWorkspace {
         }
     }
 
-    /// Full rescan of one task's minimum-CT machines, ascending order —
-    /// exactly `select::min_candidates` over the instance machines.
+    /// Full rescan of one task's minimum-score machines, ascending order —
+    /// exactly `select::min_candidates` over the instance machines, scored
+    /// by the instance objective's marginal cost (for makespan: `CT`).
     fn recompute(&mut self, inst: &Instance<'_>, t: TaskId) {
         let base = t.idx() * self.stride;
         let mut len = 0usize;
         let mut best = Time::ZERO;
         for (k, &machine) in inst.machines.iter().enumerate() {
-            let ct = inst.etc.get(t, machine) + self.ready[machine.idx()];
+            let ct = inst.objective.marginal(
+                inst.etc.get(t, machine),
+                self.ready[machine.idx()],
+                self.counts[machine.idx()],
+            );
             if k == 0 || ct < best {
                 best = ct;
                 self.best_machines[base] = machine;
@@ -342,14 +385,21 @@ impl MapWorkspace {
         &self.pairs
     }
 
-    /// Machines of `inst` tied for the minimum completion time of `t`
-    /// (ascending) plus that minimum — buffer-backed MCT selection.
+    /// Machines of `inst` tied for the minimum marginal score of `t`
+    /// (ascending) plus that minimum — buffer-backed MCT selection (the
+    /// score is the completion time under makespan; see
+    /// [`Objective::marginal`](crate::Objective::marginal)).
     pub fn min_ct_candidates(&mut self, inst: &Instance<'_>, t: TaskId) -> (&[MachineId], Time) {
         let ready = &self.ready;
+        let counts = &self.counts;
         let best = select::min_candidates_into(
-            inst.machines
-                .iter()
-                .map(|&m| (m, inst.etc.get(t, m) + ready[m.idx()])),
+            inst.machines.iter().map(|&m| {
+                (
+                    m,
+                    inst.objective
+                        .marginal(inst.etc.get(t, m), ready[m.idx()], counts[m.idx()]),
+                )
+            }),
             &mut self.cand,
         );
         (&self.cand, best)
@@ -392,23 +442,31 @@ impl MapWorkspace {
         self.subset.truncate(subset_size.max(1));
         self.subset.sort_unstable();
         let ready = &self.ready;
+        let counts = &self.counts;
         let best = select::min_candidates_into(
-            self.subset
-                .iter()
-                .map(|&m| (m, inst.etc.get(t, m) + ready[m.idx()])),
+            self.subset.iter().map(|&m| {
+                (
+                    m,
+                    inst.objective
+                        .marginal(inst.etc.get(t, m), ready[m.idx()], counts[m.idx()]),
+                )
+            }),
             &mut self.cand,
         );
         (&self.cand, best)
     }
 
-    /// The two smallest completion times of `t` over the instance machines
-    /// — Sufferage's `(min, second_min)` under current ready times.
+    /// The two smallest marginal scores of `t` over the instance machines
+    /// — Sufferage's `(min, second_min)` under current working state
+    /// (completion times for makespan).
     pub fn two_smallest_ct(&self, inst: &Instance<'_>, t: TaskId) -> (Time, Option<Time>) {
-        select::two_smallest(
-            inst.machines
-                .iter()
-                .map(|&m| inst.etc.get(t, m) + self.ready[m.idx()]),
-        )
+        select::two_smallest(inst.machines.iter().map(|&m| {
+            inst.objective.marginal(
+                inst.etc.get(t, m),
+                self.ready[m.idx()],
+                self.counts[m.idx()],
+            )
+        }))
     }
 
     /// Loans out the reusable task buffer (cleared). Return it with
@@ -508,18 +566,24 @@ mod tests {
     }
 
     /// The cache after any commit sequence must match a from-scratch
-    /// `min_candidates` scan for every unmapped task.
+    /// `min_candidates` scan (over the objective's marginal score) for
+    /// every unmapped task.
     fn assert_cache_matches_naive(ws: &mut MapWorkspace, inst: &Instance<'_>) {
         ws.refresh(inst);
         for &task in inst.tasks {
             if !ws.is_unmapped(task) {
                 continue;
             }
-            let (naive, naive_best) = min_candidates(
-                inst.machines
-                    .iter()
-                    .map(|&mm| (mm, inst.etc.get(task, mm) + ws.ready_of(mm))),
-            );
+            let (naive, naive_best) = min_candidates(inst.machines.iter().map(|&mm| {
+                (
+                    mm,
+                    inst.objective.marginal(
+                        inst.etc.get(task, mm),
+                        ws.ready_of(mm),
+                        ws.count_of(mm),
+                    ),
+                )
+            }));
             let (cached, cached_best) = ws.best_of(task);
             assert_eq!(cached, naive.as_slice(), "tied set diverged for {task}");
             assert_eq!(cached_best, naive_best, "minimum diverged for {task}");
@@ -550,6 +614,53 @@ mod tests {
         ws.commit(&inst, t(0), m(2));
         assert_cache_matches_naive(&mut ws, &inst);
         assert_eq!(ws.n_unmapped(), 1);
+    }
+
+    #[test]
+    fn cache_invariant_holds_for_every_objective() {
+        use crate::objective::Objective;
+        // Same tie-rich matrix as above, driven to completion under each
+        // objective: the invalidation invariant must keep the cache exact
+        // (scores on the committed machine may grow or stay put, never
+        // shrink — see module docs).
+        for objective in Objective::ALL {
+            let s = scen(&[
+                vec![2.0, 2.0, 3.0],
+                vec![1.0, 4.0, 1.0],
+                vec![3.0, 3.0, 3.0],
+                vec![2.0, 1.0, 2.0],
+            ])
+            .with_objective(objective);
+            let owned = s.full_instance();
+            let inst = owned.as_instance(&s);
+            let mut ws = MapWorkspace::new();
+            ws.begin(&inst);
+            ws.activate(inst.tasks);
+            assert_cache_matches_naive(&mut ws, &inst);
+            while ws.has_unmapped() {
+                ws.refresh(&inst);
+                let &(task, machine) = &ws.extreme_pairs(inst.tasks, false)[0];
+                ws.commit(&inst, task, machine);
+                assert_cache_matches_naive(&mut ws, &inst);
+            }
+        }
+    }
+
+    #[test]
+    fn advance_tracks_counts_and_score_uses_them() {
+        use crate::objective::Objective;
+        let s = scen(&[vec![2.0, 5.0], vec![3.0, 1.0]]).with_objective(Objective::WeightedFlowtime);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut ws = MapWorkspace::new();
+        ws.begin(&inst);
+        assert_eq!(ws.count_of(m(0)), 0);
+        ws.advance(m(0), Time::new(2.0));
+        assert_eq!(ws.count_of(m(0)), 1);
+        // Weighted score of t1 on m0: ready 2 + (1+1)*3 = 8.
+        assert_eq!(ws.score(&inst, t(1), m(0)), Time::new(8.0));
+        // Flowtime/makespan scores ignore or use count differently.
+        assert_eq!(ws.ct(&inst, t(1), m(0)), Time::new(5.0));
     }
 
     #[test]

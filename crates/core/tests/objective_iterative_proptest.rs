@@ -1,0 +1,184 @@
+//! Property suite for the iterative driver's freeze/monotonicity guard
+//! under every [`Objective`] variant (referenced by the module docs of
+//! `hcs_core::iterative`).
+//!
+//! With [`IterativeConfig::seed_guard`] on, each round keeps the better of
+//! the fresh mapping and the previous round's mapping restricted to the
+//! surviving tasks, compared by the scenario's objective over the
+//! surviving machines. Since every per-machine contribution is
+//! non-negative, a restriction to fewer machines can only shrink the
+//! objective value (max over a subset for makespan, a partial sum for the
+//! sum objectives) — so the per-round objective value must be monotone
+//! non-increasing for **every** objective, under **both** tie policies
+//! (deterministic and random), every frozen-machine tie rule, and even an
+//! adversarial heuristic that actively tries to degrade later rounds.
+
+use hcs_core::iterative::{IterativeConfig, IterativeOutcome, IterativeRun, MakespanTie};
+use hcs_core::{EtcMatrix, Heuristic, Instance, Mapping, Objective, Scenario, TieBreaker, Time};
+use proptest::prelude::*;
+
+/// Greedy MCT in miniature (task-list order, earliest completion,
+/// canonical tie order) — the well-behaved end of the heuristic spectrum.
+struct MiniMct;
+
+impl Heuristic for MiniMct {
+    fn name(&self) -> &'static str {
+        "mini-mct"
+    }
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let mut rt = inst.working_ready();
+        let mut map = Mapping::new(inst.etc.n_tasks());
+        for &task in inst.tasks {
+            let (cands, _) = hcs_core::select::min_candidates(
+                inst.machines.iter().map(|&mm| (mm, inst.ct(task, mm, &rt))),
+            );
+            let chosen = cands[tb.pick(cands.len())];
+            rt.advance(chosen, inst.etc.get(task, chosen));
+            map.assign(task, chosen).unwrap();
+        }
+        map
+    }
+}
+
+/// Adversarial heuristic: round 0 behaves (greedy MCT), every later round
+/// piles all surviving tasks onto one machine — the worst case the seed
+/// guard exists to neutralize.
+struct Degrading {
+    calls: usize,
+}
+
+impl Heuristic for Degrading {
+    fn name(&self) -> &'static str {
+        "degrading"
+    }
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        self.calls += 1;
+        if self.calls == 1 {
+            MiniMct.map(inst, tb)
+        } else {
+            let mut map = Mapping::new(inst.etc.n_tasks());
+            for &task in inst.tasks {
+                map.assign(task, inst.machines[0]).unwrap();
+            }
+            map
+        }
+    }
+}
+
+/// Objective value of each round's mapping over that round's machines —
+/// the sequence the guard promises is non-increasing.
+fn round_values(outcome: &IterativeOutcome, scenario: &Scenario) -> Vec<Time> {
+    outcome
+        .rounds
+        .iter()
+        .map(|round| {
+            round.mapping.objective_value(
+                &scenario.etc,
+                &scenario.initial_ready,
+                &round.machines,
+                scenario.objective,
+            )
+        })
+        .collect()
+}
+
+fn assert_monotone(values: &[Time], label: &str) {
+    for pair in values.windows(2) {
+        assert!(
+            pair[1] <= pair[0],
+            "{label}: round value increased {} -> {} in {values:?}",
+            pair[0],
+            pair[1],
+        );
+    }
+}
+
+/// Runs one (scenario, heuristic, tie policy, tie rule) cell with the
+/// guard on and checks the per-round objective value sequence.
+fn check_cell(
+    scenario: &Scenario,
+    adversarial: bool,
+    ties: TieBreaker,
+    makespan_tie: MakespanTie,
+    label: &str,
+) {
+    let config = IterativeConfig {
+        seed_guard: true,
+        makespan_tie,
+    };
+    let outcome = if adversarial {
+        IterativeRun::new(&mut Degrading { calls: 0 }, scenario)
+            .tie_breaker(ties)
+            .config(config)
+            .execute()
+            .unwrap()
+    } else {
+        IterativeRun::new(&mut MiniMct, scenario)
+            .tie_breaker(ties)
+            .config(config)
+            .execute()
+            .unwrap()
+    };
+    assert_monotone(&round_values(&outcome, scenario), label);
+    // For the makespan objective, per-round monotonicity is exactly the
+    // paper's "never increase makespan" guarantee end to end.
+    if scenario.objective.is_makespan() {
+        assert!(
+            !outcome.makespan_increased(),
+            "{label}: guarded run increased the overall makespan"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn guarded_round_values_are_monotone_for_every_objective(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1.0f64..100.0, 2..=5),
+            1..=10,
+        ),
+        seed in 0u64..1_000_000,
+    ) {
+        // Rectangularize: every task row truncated to the shortest row's
+        // machine count (proptest draws ragged rows).
+        let machines = rows.iter().map(Vec::len).min().unwrap();
+        let rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.truncate(machines);
+                r
+            })
+            .collect();
+        let etc = EtcMatrix::from_rows(&rows).unwrap();
+
+        for objective in Objective::ALL {
+            let scenario =
+                Scenario::with_zero_ready(etc.clone()).with_objective(objective);
+            for adversarial in [false, true] {
+                for makespan_tie in [
+                    MakespanTie::LowestIndex,
+                    MakespanTie::HighestIndex,
+                    MakespanTie::MostTasks,
+                ] {
+                    for (tie_name, ties) in [
+                        ("det", TieBreaker::Deterministic),
+                        ("rand", TieBreaker::random(seed)),
+                    ] {
+                        check_cell(
+                            &scenario,
+                            adversarial,
+                            ties,
+                            makespan_tie,
+                            &format!(
+                                "{objective}/{}/{tie_name}/{makespan_tie:?}",
+                                if adversarial { "degrading" } else { "mct" },
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! (paper §3.1, Figure 1; Whitley \[17\]).
 //!
 //! A chromosome assigns every mappable task a machine. The population is
-//! kept **sorted by makespan**; each step performs
+//! kept **sorted by fitness** — the instance's [`hcs_core::Objective`]
+//! value, the makespan in the paper's setting; each step performs
 //!
 //! 1. **crossover** — two parents are selected, a random cut-off point is
 //!    generated, and the machine assignments below the cut are exchanged,
@@ -185,49 +186,89 @@ struct Entry {
     fit: Time,
     chrom: Chromosome,
     loads: Vec<Time>,
+    counts: Vec<u32>,
 }
 
 /// From-scratch fitness: ready times plus ETCs accumulated in task-position
-/// order, exactly as [`reference::NaiveGenitor`] computes it (bit-for-bit —
-/// the golden-equivalence suite depends on this). Leaves the load vector in
-/// `loads` for the entry cache.
-fn eval_into(inst: &Instance<'_>, chrom: &[u16], loads: &mut Vec<Time>) -> Time {
+/// order, exactly as [`reference::NaiveGenitor`] computes it (bit-for-bit
+/// under makespan — the golden-equivalence suite depends on this; the
+/// makespan arm is the reference's exact max fold). Leaves the load and
+/// per-machine task-count vectors in `loads`/`counts` for the entry cache.
+fn eval_into(
+    inst: &Instance<'_>,
+    chrom: &[u16],
+    loads: &mut Vec<Time>,
+    counts: &mut Vec<u32>,
+) -> Time {
     loads.clear();
     loads.extend(inst.machines.iter().map(|&m| inst.ready.get(m)));
+    counts.clear();
+    counts.resize(inst.machines.len(), 0);
     for (pos, &mi) in chrom.iter().enumerate() {
         let task = inst.tasks[pos];
         let machine = inst.machines[mi as usize];
         loads[mi as usize] += inst.etc.get(task, machine);
+        counts[mi as usize] += 1;
     }
-    loads.iter().copied().max().expect("instance has machines")
+    match inst.objective {
+        hcs_core::Objective::Makespan => {
+            loads.iter().copied().max().expect("instance has machines")
+        }
+        _ => inst.objective.value(loads, counts),
+    }
 }
 
 /// Candidate fitness by delta: copy the base parent's cached loads, apply
-/// each differing gene's ETC shift, take the max — O(m + Δ) instead of the
-/// O(n + m) from-scratch walk. Used only as an acceptance *gate*; retained
-/// offspring are re-evaluated from scratch (see module docs / DESIGN.md
-/// §11), so rounding drift here can at worst flip a measure-zero
-/// borderline accept, never corrupt a stored fitness.
+/// each differing gene's ETC shift, and aggregate per the instance's
+/// objective (max for makespan, sum for flowtime, count-weighted sum for
+/// weighted flowtime) — O(m + Δ) instead of the O(n + m) from-scratch
+/// walk. Used only as an acceptance *gate*; retained offspring are
+/// re-evaluated from scratch (see module docs / DESIGN.md §11), so
+/// rounding drift here can at worst flip a measure-zero borderline
+/// accept, never corrupt a stored fitness.
 fn gate_fitness(
     inst: &Instance<'_>,
     base_loads: &[Time],
+    base_counts: &[u32],
     moves: impl Iterator<Item = (usize, u16, u16)>,
     scratch: &mut Vec<f64>,
+    counts_scratch: &mut Vec<u32>,
 ) -> Time {
     scratch.clear();
     scratch.extend(base_loads.iter().map(|t| t.get()));
+    let weighted = inst.objective == hcs_core::Objective::WeightedFlowtime;
+    if weighted {
+        counts_scratch.clear();
+        counts_scratch.extend_from_slice(base_counts);
+    }
     for (pos, from, to) in moves {
         let task = inst.tasks[pos];
         scratch[from as usize] -= inst.etc.get(task, inst.machines[from as usize]).get();
         scratch[to as usize] += inst.etc.get(task, inst.machines[to as usize]).get();
-    }
-    let mut mx = f64::NEG_INFINITY;
-    for &v in scratch.iter() {
-        if mx.total_cmp(&v).is_lt() {
-            mx = v;
+        if weighted {
+            counts_scratch[from as usize] -= 1;
+            counts_scratch[to as usize] += 1;
         }
     }
-    Time::new(mx)
+    match inst.objective {
+        hcs_core::Objective::Makespan => {
+            let mut mx = f64::NEG_INFINITY;
+            for &v in scratch.iter() {
+                if mx.total_cmp(&v).is_lt() {
+                    mx = v;
+                }
+            }
+            Time::new(mx)
+        }
+        hcs_core::Objective::Flowtime => Time::new(scratch.iter().sum()),
+        hcs_core::Objective::WeightedFlowtime => Time::new(
+            scratch
+                .iter()
+                .zip(counts_scratch.iter())
+                .map(|(&v, &c)| c as f64 * v)
+                .sum(),
+        ),
+    }
 }
 
 /// Inserts `entry` into the fitness-sorted population (after equals, like
@@ -260,14 +301,15 @@ fn eval_batch(
     inst: &Instance<'_>,
     chroms: &[Chromosome],
     threads: usize,
-) -> Vec<(Time, Vec<Time>)> {
-    let eval_all = |slice: &[Chromosome]| -> Vec<(Time, Vec<Time>)> {
+) -> Vec<(Time, Vec<Time>, Vec<u32>)> {
+    let eval_all = |slice: &[Chromosome]| -> Vec<(Time, Vec<Time>, Vec<u32>)> {
         slice
             .iter()
             .map(|chrom| {
                 let mut loads = Vec::new();
-                let fit = eval_into(inst, chrom, &mut loads);
-                (fit, loads)
+                let mut counts = Vec::new();
+                let fit = eval_into(inst, chrom, &mut loads, &mut counts);
+                (fit, loads, counts)
             })
             .collect()
     };
@@ -334,16 +376,30 @@ impl Genitor {
         });
         if let Some(chrom) = seed_chrom {
             let mut loads = Vec::new();
-            let fit = eval_into(inst, &chrom, &mut loads);
-            if insert_entry(&mut pop, Entry { fit, chrom, loads }, cap, &mut pool) {
+            let mut counts = Vec::new();
+            let fit = eval_into(inst, &chrom, &mut loads, &mut counts);
+            let entry = Entry {
+                fit,
+                chrom,
+                loads,
+                counts,
+            };
+            if insert_entry(&mut pop, entry, cap, &mut pool) {
                 observe(fit, pop[0].fit);
             }
         }
         if self.config.seed_minmin {
             let chrom = minmin_chromosome(inst);
             let mut loads = Vec::new();
-            let fit = eval_into(inst, &chrom, &mut loads);
-            if insert_entry(&mut pop, Entry { fit, chrom, loads }, cap, &mut pool) {
+            let mut counts = Vec::new();
+            let fit = eval_into(inst, &chrom, &mut loads, &mut counts);
+            let entry = Entry {
+                fit,
+                chrom,
+                loads,
+                counts,
+            };
+            if insert_entry(&mut pop, entry, cap, &mut pool) {
                 observe(fit, pop[0].fit);
             }
         }
@@ -373,8 +429,14 @@ impl Genitor {
             1
         };
         let evaluated = eval_batch(inst, &pending, threads);
-        for (chrom, (fit, loads)) in pending.into_iter().zip(evaluated) {
-            if insert_entry(&mut pop, Entry { fit, chrom, loads }, cap, &mut pool) {
+        for (chrom, (fit, loads, counts)) in pending.into_iter().zip(evaluated) {
+            let entry = Entry {
+                fit,
+                chrom,
+                loads,
+                counts,
+            };
+            if insert_entry(&mut pop, entry, cap, &mut pool) {
                 observe(fit, pop[0].fit);
             }
         }
@@ -389,6 +451,7 @@ impl Genitor {
         let mut stall = 0usize;
         let mut diffs: Vec<u32> = Vec::new();
         let mut scratch: Vec<f64> = Vec::new();
+        let mut counts_scratch: Vec<u32> = Vec::new();
 
         for _ in 0..self.config.max_steps {
             // (a) Crossover: child_a = pb-prefix + pa-suffix, child_b the
@@ -427,11 +490,13 @@ impl Genitor {
                 gate_fitness(
                     inst,
                     &pop[base_a].loads,
+                    &pop[base_a].counts,
                     diffs.iter().map(|&p| {
                         let pos = p as usize;
                         (pos, bc[pos], oc[pos])
                     }),
                     &mut scratch,
+                    &mut counts_scratch,
                 )
             };
             let entry_a = if gate_a < worst {
@@ -439,11 +504,12 @@ impl Genitor {
                     fit: Time::ZERO,
                     chrom: Vec::new(),
                     loads: Vec::new(),
+                    counts: Vec::new(),
                 });
                 e.chrom.clear();
                 e.chrom.extend_from_slice(&pop[pb].chrom[..cut]);
                 e.chrom.extend_from_slice(&pop[pa].chrom[cut..]);
-                e.fit = eval_into(inst, &e.chrom, &mut e.loads);
+                e.fit = eval_into(inst, &e.chrom, &mut e.loads, &mut e.counts);
                 Some(e)
             } else {
                 None
@@ -472,11 +538,13 @@ impl Genitor {
                 gate_fitness(
                     inst,
                     &pop[base_b].loads,
+                    &pop[base_b].counts,
                     diffs.iter().map(|&p| {
                         let pos = p as usize;
                         (pos, bc[pos], oc[pos])
                     }),
                     &mut scratch,
+                    &mut counts_scratch,
                 )
             };
             let entry_b = if gate_b < worst_b {
@@ -484,11 +552,12 @@ impl Genitor {
                     fit: Time::ZERO,
                     chrom: Vec::new(),
                     loads: Vec::new(),
+                    counts: Vec::new(),
                 });
                 e.chrom.clear();
                 e.chrom.extend_from_slice(&pop[pa].chrom[..cut]);
                 e.chrom.extend_from_slice(&pop[pb].chrom[cut..]);
-                e.fit = eval_into(inst, &e.chrom, &mut e.loads);
+                e.fit = eval_into(inst, &e.chrom, &mut e.loads, &mut e.counts);
                 Some(e)
             } else {
                 None
@@ -521,8 +590,10 @@ impl Genitor {
                 gate_fitness(
                     inst,
                     &pop[pm].loads,
+                    &pop[pm].counts,
                     std::iter::once((pos, old_gene, gene)),
                     &mut scratch,
+                    &mut counts_scratch,
                 )
             };
             if gate_m < worst_m {
@@ -530,11 +601,12 @@ impl Genitor {
                     fit: Time::ZERO,
                     chrom: Vec::new(),
                     loads: Vec::new(),
+                    counts: Vec::new(),
                 });
                 e.chrom.clear();
                 e.chrom.extend_from_slice(&pop[pm].chrom);
                 e.chrom[pos] = gene;
-                e.fit = eval_into(inst, &e.chrom, &mut e.loads);
+                e.fit = eval_into(inst, &e.chrom, &mut e.loads, &mut e.counts);
                 let fit = e.fit;
                 if insert_entry(&mut pop, e, cap, &mut pool) {
                     observe(fit, pop[0].fit);
@@ -720,9 +792,10 @@ mod tests {
         let seq = eval_batch(&inst, &chroms, 1);
         let par = eval_batch(&inst, &chroms, 4);
         assert_eq!(seq.len(), par.len());
-        for ((fs, ls), (fp, lp)) in seq.iter().zip(par.iter()) {
+        for ((fs, ls, cs), (fp, lp, cp)) in seq.iter().zip(par.iter()) {
             assert_eq!(fs, fp);
             assert_eq!(ls, lp);
+            assert_eq!(cs, cp);
         }
     }
 
@@ -735,20 +808,86 @@ mod tests {
         let inst = owned.as_instance(&s);
         let parent: Chromosome = vec![0, 1, 2, 0, 1];
         let mut loads = Vec::new();
-        let _ = eval_into(&inst, &parent, &mut loads);
+        let mut counts = Vec::new();
+        let _ = eval_into(&inst, &parent, &mut loads, &mut counts);
         let mut scratch = Vec::new();
+        let mut counts_scratch = Vec::new();
         // Mutate position 2 from machine 2 to machine 0.
         let gated = gate_fitness(
             &inst,
             &loads,
+            &counts,
             std::iter::once((2usize, 2u16, 0u16)),
             &mut scratch,
+            &mut counts_scratch,
         );
         let mut child = parent.clone();
         child[2] = 0;
         let mut child_loads = Vec::new();
-        let scratch_fit = eval_into(&inst, &child, &mut child_loads);
+        let mut child_counts = Vec::new();
+        let scratch_fit = eval_into(&inst, &child, &mut child_loads, &mut child_counts);
         assert_eq!(gated, scratch_fit);
+    }
+
+    #[test]
+    fn gate_fitness_is_exact_for_every_objective() {
+        // Same integer-workload exactness argument as above, but the gate's
+        // aggregation now depends on the objective: max, sum, and the
+        // count-weighted sum must each match the from-scratch fitness.
+        for objective in hcs_core::Objective::ALL {
+            let s = small_scenario().with_objective(objective);
+            let owned = s.full_instance();
+            let inst = owned.as_instance(&s);
+            let parent: Chromosome = vec![0, 1, 2, 0, 1];
+            let mut loads = Vec::new();
+            let mut counts = Vec::new();
+            let _ = eval_into(&inst, &parent, &mut loads, &mut counts);
+            let mut scratch = Vec::new();
+            let mut counts_scratch = Vec::new();
+            let gated = gate_fitness(
+                &inst,
+                &loads,
+                &counts,
+                std::iter::once((2usize, 2u16, 0u16)),
+                &mut scratch,
+                &mut counts_scratch,
+            );
+            let mut child = parent.clone();
+            child[2] = 0;
+            let mut child_loads = Vec::new();
+            let mut child_counts = Vec::new();
+            let scratch_fit = eval_into(&inst, &child, &mut child_loads, &mut child_counts);
+            assert_eq!(gated, scratch_fit, "objective {objective}");
+        }
+    }
+
+    #[test]
+    fn optimizes_flowtime_when_asked() {
+        // Under flowtime the GA must find the brute-force flowtime optimum
+        // on the small instance (81..243 assignments is trivially covered
+        // by the population).
+        let s = small_scenario().with_objective(hcs_core::Objective::Flowtime);
+        let n_m = s.etc.n_machines();
+        let machines = s.etc.machine_vec();
+        let mut best: Option<Time> = None;
+        for code in 0..n_m.pow(s.etc.n_tasks() as u32) {
+            let mut c = code;
+            let mut loads = vec![Time::ZERO; n_m];
+            for task in s.etc.tasks() {
+                let mi = c % n_m;
+                c /= n_m;
+                loads[mi] += s.etc.get(task, machines[mi]);
+            }
+            let ft = loads.iter().copied().fold(Time::ZERO, |a, b| a + b);
+            if best.is_none_or(|b| ft < b) {
+                best = Some(ft);
+            }
+        }
+        let mut ga = Genitor::with_config(42, quick_config());
+        let owned = s.full_instance();
+        let map = ga.map(&owned.as_instance(&s), &mut TieBreaker::Deterministic);
+        let got = map.objective_value(&s.etc, &s.initial_ready, &machines, s.objective);
+        assert_eq!(Some(got), best, "GA should reach the flowtime optimum");
     }
 
     #[test]
@@ -779,6 +918,7 @@ mod tests {
             tasks: &rem_tasks,
             machines: &rem_machines,
             ready: &s.initial_ready,
+            objective: s.objective,
         };
         let seed_ms =
             first
@@ -801,6 +941,7 @@ mod tests {
             tasks: &[],
             machines: &machines,
             ready: &s.initial_ready,
+            objective: s.objective,
         };
         let mut ga = Genitor::new(0);
         let map = ga.map(&inst, &mut TieBreaker::Deterministic);

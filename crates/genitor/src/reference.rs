@@ -11,6 +11,13 @@
 //! including when both are driven through the full
 //! `IterativeRun` loop (where the stateful seeding carries across rounds).
 //!
+//! The twin is a **makespan** spec: it predates the pluggable
+//! [`hcs_core::Objective`] layer and its fitness is the max machine
+//! finishing time regardless of the instance's objective. The golden
+//! suites therefore drive both implementations on makespan scenarios
+//! only; the generic path's other objectives are covered by their own
+//! exactness tests in the parent module.
+//!
 //! None of this code is on a hot path — clarity over speed.
 
 use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};

@@ -19,6 +19,12 @@
 //!
 //! With unbounded width this explores the full tree (exact); the default
 //! width trades optimality for polynomial cost, like Braun's pruned A\*.
+//!
+//! Beam search always ranks by **makespan**, whatever the instance's
+//! [`hcs_core::Objective`]: its admissible bound `h` is a completion-time
+//! bound, and no analogous cheap bound exists for the sum objectives. It
+//! is an extension baseline outside the paper's study set, so it keeps
+//! its native objective rather than pretending to optimize another.
 
 use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
 use serde::{Deserialize, Serialize};
@@ -230,6 +236,7 @@ mod tests {
             tasks: &[],
             machines: &machines,
             ready: &s.initial_ready,
+            objective: s.objective,
         };
         assert!(BeamSearch::default()
             .map(&inst, &mut TieBreaker::Deterministic)

@@ -112,6 +112,7 @@ mod tests {
             tasks: &tasks,
             machines: &machines,
             ready: &s.initial_ready,
+            objective: s.objective,
         };
         let map = Met.map(&inst, &mut TieBreaker::Deterministic);
         assert_eq!(map.machine_of(t(0)), Some(m(1)));

@@ -11,6 +11,14 @@
 //! naive-vs-workspace criterion benchmark quantifies what the workspace
 //! buys.
 //!
+//! These twins are **makespan** specs: they predate the pluggable
+//! [`hcs_core::Objective`] layer and score candidates by raw completion
+//! time whatever the instance's objective says. The golden suites drive
+//! the generic and naive paths on makespan scenarios only (under makespan
+//! the generic marginal *is* `CT = ETC + ready`, in the same operand
+//! order, so equality is bit-level); the other objectives are pinned by
+//! their own tests in the live modules.
+//!
 //! None of this code is on a hot path — clarity over speed.
 
 use hcs_core::{select, Heuristic, Instance, MachineId, Mapping, TaskId, TieBreaker, Time};

@@ -80,7 +80,8 @@ impl Sa {
     /// [`map`](Heuristic::map) with an observer called on the start state
     /// and after every accepted move, receiving the assignment (machine
     /// index per task position), the tracked loads, and the current
-    /// makespan. This is the testing seam the golden-equivalence and
+    /// objective value (the makespan under [`hcs_core::Objective::Makespan`],
+    /// the scenario's setting in every golden suite). This is the testing seam the golden-equivalence and
     /// load-drift property suites hook into; the observer is outside the
     /// RNG stream, so observing does not perturb the search.
     pub fn map_observed(
@@ -98,8 +99,8 @@ impl Sa {
 
         // State: assignment (machine index per task position) + the
         // delta-evaluation kernel over per-machine finishing times. A
-        // candidate move is *probed* read-only in O(log m) — the old code
-        // rescanned all m machines and had to restore loads on rejection.
+        // candidate move is *probed* read-only — the old code rescanned
+        // all m machines and had to restore loads on rejection.
         let mut assign: Vec<usize> = if self.config.seed_minmin {
             minmin_assignment(inst)
         } else {
@@ -110,7 +111,7 @@ impl Sa {
         let mut tracker = LoadTracker::new();
         tracker.rebuild(inst, &assign);
 
-        let mut current = tracker.makespan();
+        let mut current = tracker.objective_value();
         let mut best = current;
         let mut best_assign = assign.clone();
         let t0 = current.get().max(1e-9);
@@ -130,7 +131,13 @@ impl Sa {
                 let task = inst.tasks[pos];
                 let sub = inst.etc.get(task, inst.machines[old_mi]);
                 let add = inst.etc.get(task, inst.machines[new_mi]);
-                let candidate = tracker.probe(old_mi, sub, new_mi, add);
+                // The hinted probe answers most makespan candidates in
+                // O(1) from the carried `current` value (see
+                // `LoadTracker::probe_objective_hint`); the rest pay the
+                // mode's full probe — an O(m) fold in flat mode (m <=
+                // FLAT_MAX, where the old tree climbs ran SA below its
+                // naive twin), an O(log m) sibling walk above it.
+                let candidate = tracker.probe_objective_hint(old_mi, sub, new_mi, add, current);
 
                 let delta = candidate.get() - current.get();
                 let accept =
@@ -301,6 +308,7 @@ mod tests {
             tasks: &[],
             machines: &machines,
             ready: &s.initial_ready,
+            objective: s.objective,
         };
         let map = Sa::new(0).map(&inst, &mut TieBreaker::Deterministic);
         assert!(map.is_empty());

@@ -27,6 +27,11 @@
 //!
 //! The paper's §3.7 example shows Sufferage increasing its makespan under
 //! the iterative technique even with deterministic ties.
+//!
+//! Under a non-makespan [`hcs_core::Objective`] both the favourite machine
+//! and the sufferage value are computed from the objective's marginal cost
+//! instead of raw completion time (for makespan they coincide — `min CT`
+//! in the tables is the makespan marginal).
 
 use hcs_core::{
     select, Heuristic, Instance, MachineId, MapWorkspace, Mapping, TaskId, TieBreaker, Time,
@@ -83,6 +88,7 @@ impl Sufferage {
     ) -> (Mapping, Vec<SufferagePass>) {
         let mut list: Vec<TaskId> = inst.tasks.to_vec();
         let mut ready = inst.working_ready();
+        let mut counts = vec![0u32; inst.etc.n_machines()];
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         let mut passes = Vec::new();
 
@@ -94,11 +100,16 @@ impl Sufferage {
 
             for &task in &snapshot {
                 let (machine_cands, min_ct) = select::min_candidates(
-                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                    inst.machines
+                        .iter()
+                        .map(|&m| (m, inst.score(task, m, &ready, counts[m.idx()]))),
                 );
                 let machine = machine_cands[tb.pick(machine_cands.len())];
-                let (_, second) =
-                    select::two_smallest(inst.machines.iter().map(|&m| inst.ct(task, m, &ready)));
+                let (_, second) = select::two_smallest(
+                    inst.machines
+                        .iter()
+                        .map(|&m| inst.score(task, m, &ready, counts[m.idx()])),
+                );
                 let sufferage = second.map_or(Time::ZERO, |s| s - min_ct);
 
                 let action = match tentative.iter_mut().find(|(m, _, _)| *m == machine) {
@@ -130,6 +141,7 @@ impl Sufferage {
             let mut commits = Vec::with_capacity(tentative.len());
             for &(machine, task, _) in &tentative {
                 ready.advance(machine, inst.etc.get(task, machine));
+                counts[machine.idx()] += 1;
                 mapping
                     .assign(task, machine)
                     .expect("a task wins at most one machine per pass");

@@ -20,6 +20,11 @@
 //! iterative technique **even with deterministic ties**: removing the
 //! makespan machine changes the BI trajectory, which flips the MET/MCT
 //! selection for later tasks.
+//!
+//! Under a non-makespan [`hcs_core::Objective`], the MCT arm ranks by the
+//! objective's marginal cost instead of raw completion time (the MET arm
+//! and the BI trajectory are objective-independent — BI is defined on
+//! ready times, not scores).
 
 use hcs_core::{
     select, Heuristic, Instance, MachineId, MapWorkspace, Mapping, TaskId, TieBreaker, Time,
@@ -113,6 +118,7 @@ impl Swa {
     /// trace used by the paper's tables.
     pub fn map_traced(&self, inst: &Instance<'_>, tb: &mut TieBreaker) -> (Mapping, SwaTrace) {
         let mut ready = inst.working_ready();
+        let mut counts = vec![0u32; inst.etc.n_machines()];
         let mut mapping = Mapping::new(inst.etc.n_tasks());
         let mut trace = Vec::with_capacity(inst.tasks.len());
         let mut mode = SwaMode::Mct; // step 2: first task uses MCT
@@ -134,7 +140,9 @@ impl Swa {
 
             let (cands, _) = match mode {
                 SwaMode::Mct => select::min_candidates(
-                    inst.machines.iter().map(|&m| (m, inst.ct(task, m, &ready))),
+                    inst.machines
+                        .iter()
+                        .map(|&m| (m, inst.score(task, m, &ready, counts[m.idx()]))),
                 ),
                 SwaMode::Met => select::min_candidates(
                     inst.machines.iter().map(|&m| (m, inst.etc.get(task, m))),
@@ -142,6 +150,7 @@ impl Swa {
             };
             let machine = cands[tb.pick(cands.len())];
             ready.advance(machine, inst.etc.get(task, machine));
+            counts[machine.idx()] += 1;
             mapping
                 .assign(task, machine)
                 .expect("task list contains no duplicates");

@@ -71,9 +71,10 @@ impl Tabu {
     /// [`map`](Heuristic::map) with an observer called on every fresh
     /// state — the initial mapping, each accepted short hop, and each
     /// long-hop restart — receiving the assignment (machine index per task
-    /// position), the tracked loads, and the current makespan. Testing
-    /// seam for the golden-equivalence and load-drift property suites; the
-    /// observer is outside the RNG stream.
+    /// position), the tracked loads, and the current objective value (the
+    /// makespan under [`hcs_core::Objective::Makespan`]). Testing seam for
+    /// the golden-equivalence and load-drift property suites; the observer
+    /// is outside the RNG stream.
     pub fn map_observed(
         &mut self,
         inst: &Instance<'_>,
@@ -91,11 +92,12 @@ impl Tabu {
             .map(|_| self.rng.gen_range(0..n_machines))
             .collect();
         // The delta-evaluation kernel: each candidate of the sweep below is
-        // probed read-only in O(log m) instead of the old write-scan-restore
-        // over all m machines.
+        // probed read-only — O(1) for most makespan moves via the hinted
+        // probe, O(log m) tree / O(m) flat otherwise — instead of the old
+        // write-scan-restore over all m machines.
         let mut tracker = LoadTracker::new();
         tracker.rebuild(inst, &assign);
-        let mut current = tracker.makespan();
+        let mut current = tracker.objective_value();
         let mut best = current;
         let mut best_assign = assign.clone();
         let mut tabu: HashSet<Vec<usize>> = HashSet::new();
@@ -115,7 +117,7 @@ impl Tabu {
                         }
                         let sub = inst.etc.get(task, inst.machines[old_mi]);
                         let add = inst.etc.get(task, inst.machines[mi]);
-                        let candidate = tracker.probe(old_mi, sub, mi, add);
+                        let candidate = tracker.probe_objective_hint(old_mi, sub, mi, add, current);
                         if candidate < current {
                             tracker.apply(old_mi, sub, mi, add);
                             assign[pos] = mi;
@@ -151,7 +153,7 @@ impl Tabu {
                 if !tabu.contains(&candidate) {
                     assign = candidate;
                     tracker.rebuild(inst, &assign);
-                    current = tracker.makespan();
+                    current = tracker.objective_value();
                     hops += 1;
                     restarted = true;
                     if current < best {
@@ -275,6 +277,7 @@ mod tests {
             tasks: &[],
             machines: &machines,
             ready: &s.initial_ready,
+            objective: s.objective,
         };
         assert!(Tabu::new(0)
             .map(&inst, &mut TieBreaker::Deterministic)

@@ -64,6 +64,7 @@ pub fn swa_table(example: &PaperExample, round: &Round, title: &str) -> TextTabl
         tasks: &round.tasks,
         machines: &round.machines,
         ready: &scenario.initial_ready,
+        objective: scenario.objective,
     };
     let swa = Swa::new(1.0 / 3.0, 0.49);
     let mut tb = example.tie_breaker();
@@ -92,6 +93,7 @@ pub fn kpb_table(example: &PaperExample, round: &Round, title: &str) -> TextTabl
         tasks: &round.tasks,
         machines: &round.machines,
         ready: &scenario.initial_ready,
+        objective: scenario.objective,
     };
     let kpb = Kpb::new(70.0);
 
@@ -132,6 +134,7 @@ pub fn sufferage_table(example: &PaperExample, round: &Round, title: &str) -> Te
         tasks: &round.tasks,
         machines: &round.machines,
         ready: &scenario.initial_ready,
+        objective: scenario.objective,
     };
     let mut tb = example.tie_breaker();
     let (_, passes) = Sufferage.map_traced(&inst, &mut tb);

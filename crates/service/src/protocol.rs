@@ -5,13 +5,20 @@
 //!
 //! ```json
 //! {"op":"map","v":1,"etc":[[2,4],[3,1]],"heuristic":"min-min",
-//!  "ready":[0,0],"random_ties":7,"iterative":true,"guard":false}
+//!  "ready":[0,0],"random_ties":7,"iterative":true,"guard":false,
+//!  "objective":"flowtime"}
 //! {"op":"map_batch","v":1,"items":[{"etc":[[2,4]],"heuristic":"mct"}]}
 //! {"op":"stats"}
 //! {"op":"metrics"}
 //! {"op":"trace"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! The `"objective"` field selects what the mapping is scored against —
+//! `"makespan"` (the default when absent or `null`, so v1 requests keep
+//! their meaning *and* their cache digests), `"flowtime"`, or
+//! `"weighted-flowtime"`. Unknown objective strings are rejected with a
+//! typed [`ErrorCode::Parse`] error — never silently treated as makespan.
 //!
 //! # Versioning
 //!
@@ -47,8 +54,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use hcs_core::{
-    iterative, EtcMatrix, Heuristic, InstanceDigest, IterativeConfig, ReadyTimes, Scenario,
-    TieBreaker,
+    iterative, EtcMatrix, Heuristic, InstanceDigest, IterativeConfig, Objective, ReadyTimes,
+    Scenario, TieBreaker,
 };
 
 use crate::json::{self, ObjectBuilder, Value};
@@ -162,6 +169,12 @@ impl MapRequest {
             .field("etc", Value::Array(rows))
             .field("ready", Value::Array(ready))
             .field("heuristic", Value::String(self.heuristic.clone()));
+        if !self.scenario.objective.is_makespan() {
+            b = b.field(
+                "objective",
+                Value::String(self.scenario.objective.name().to_string()),
+            );
+        }
         if let Some(seed) = self.random_ties {
             b = b.field("random_ties", Value::Number(seed as f64));
         }
@@ -434,6 +447,17 @@ fn parse_map(v: &Value) -> Result<MapRequest, ProtocolError> {
     let etc = EtcMatrix::from_rows(&rows)
         .map_err(|e| ProtocolError::bad_request(format!("bad etc matrix: {e}")))?;
 
+    let objective = match v.get("objective") {
+        None | Some(Value::Null) => Objective::Makespan,
+        Some(x) => {
+            let name = x
+                .as_str()
+                .ok_or_else(|| ProtocolError::bad_request("\"objective\" must be a string name"))?;
+            Objective::from_name(name)
+                .map_err(|e| ProtocolError::bad_request(format!("bad objective: {e}")))?
+        }
+    };
+
     let scenario = match v.get("ready") {
         None | Some(Value::Null) => Scenario::with_zero_ready(etc),
         Some(r) => {
@@ -462,6 +486,7 @@ fn parse_map(v: &Value) -> Result<MapRequest, ProtocolError> {
             Scenario::with_ready(etc, ReadyTimes::from_values(&values))
         }
     };
+    let scenario = scenario.with_objective(objective);
 
     let name = v
         .get("heuristic")
@@ -541,6 +566,12 @@ pub struct MapResult {
     pub completion: Vec<(u32, f64)>,
     /// Makespan of the original mapping.
     pub makespan: f64,
+    /// The objective the request was scored against.
+    pub objective: Objective,
+    /// The objective's value for the original mapping (equal to `makespan`
+    /// under the makespan objective; rendered on the wire only when the
+    /// objective is non-makespan, keeping v1 reply lines byte-stable).
+    pub objective_value: f64,
     /// Iterative-driver outcome, when requested.
     pub iterative: Option<IterativeResult>,
 }
@@ -598,6 +629,14 @@ impl MapResult {
             )
             .field("completion", pairs(&self.completion))
             .field("makespan", Value::Number(self.makespan));
+        if !self.objective.is_makespan() {
+            b = b
+                .field(
+                    "objective",
+                    Value::String(self.objective.name().to_string()),
+                )
+                .field("objective_value", Value::Number(self.objective_value));
+        }
         if let Some(it) = &self.iterative {
             b = b
                 .field("final_finish", pairs(&it.final_finish))
@@ -646,11 +685,26 @@ pub fn execute(
         )
         .map_err(internal)?;
         let round0 = &outcome.rounds[0];
+        let machines = scenario.etc.machine_vec();
+        let objective_value = round0
+            .mapping
+            .objective_value(
+                &scenario.etc,
+                &scenario.initial_ready,
+                &machines,
+                scenario.objective,
+            )
+            .get();
         Ok(Arc::new(MapResult {
             heuristic: req.heuristic.clone(),
             assignments: order_pairs(round0.mapping.order()),
             completion: time_pairs(round0.completion.pairs()),
-            makespan: round0.makespan.get(),
+            // `round0.makespan` is the *frozen machine's* completion time,
+            // which under weighted flowtime need not be the largest; the
+            // reply's makespan field stays the honest maximum.
+            makespan: round0.completion.makespan().get(),
+            objective: scenario.objective,
+            objective_value,
             iterative: Some(IterativeResult {
                 final_finish: outcome
                     .final_finish
@@ -670,11 +724,21 @@ pub fn execute(
             .validate(&owned.tasks, &owned.machines)
             .map_err(internal)?;
         let ct = mapping.completion_times(&scenario.etc, &scenario.initial_ready, &owned.machines);
+        let objective_value = mapping
+            .objective_value(
+                &scenario.etc,
+                &scenario.initial_ready,
+                &owned.machines,
+                scenario.objective,
+            )
+            .get();
         Ok(Arc::new(MapResult {
             heuristic: req.heuristic.clone(),
             assignments: order_pairs(mapping.order()),
             completion: time_pairs(ct.pairs()),
             makespan: ct.makespan().get(),
+            objective: scenario.objective,
+            objective_value,
             iterative: None,
         }))
     }
@@ -757,6 +821,98 @@ mod tests {
         assert_eq!(req("min-min").digest(), req("MinMin").digest());
         assert_eq!(req("min-min").heuristic, "Min-Min");
         assert_ne!(req("min-min").digest(), req("mct").digest());
+    }
+
+    #[test]
+    fn unknown_objectives_are_typed_rejections_not_silent_makespan() {
+        // Satellite guarantee: a request naming an objective outside the
+        // closed set must come back through the Parse error path — it must
+        // never execute as makespan.
+        for bad in ["banana", "Flowtime ", "makespan2", ""] {
+            let line = format!(r#"{{"etc":[[1,2]],"heuristic":"mct","objective":"{bad}"}}"#);
+            let err = parse_request(&line).unwrap_err();
+            assert_eq!(err.kind, ErrorCode::Parse, "{bad:?}");
+            assert_eq!(err.code, 400, "{bad:?}");
+            assert!(
+                err.message.contains("objective"),
+                "{bad:?}: {}",
+                err.message
+            );
+        }
+        // A non-string objective is rejected the same way.
+        let err = parse_request(r#"{"etc":[[1]],"heuristic":"mct","objective":7}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorCode::Parse);
+        // Missing and null mean makespan (v1 compatibility).
+        for line in [
+            r#"{"etc":[[1]],"heuristic":"mct"}"#,
+            r#"{"etc":[[1]],"heuristic":"mct","objective":null}"#,
+        ] {
+            let Request::Map(req) = parse_request(line).unwrap() else {
+                unreachable!()
+            };
+            assert!(req.scenario.objective.is_makespan(), "{line}");
+        }
+    }
+
+    #[test]
+    fn objective_requests_round_trip_and_digest_distinctly() {
+        let req = |objective: &str| {
+            let line = format!(
+                r#"{{"etc":[[2,6],[3,4]],"heuristic":"min-min","objective":"{objective}"}}"#
+            );
+            match parse_request(&line).unwrap() {
+                Request::Map(m) => m,
+                _ => unreachable!(),
+            }
+        };
+        let makespan = req("makespan");
+        let flowtime = req("flowtime");
+        let weighted = req("weighted-flowtime");
+        // Same problem, different objective: the cache keys must differ.
+        assert_ne!(makespan.digest(), flowtime.digest());
+        assert_ne!(makespan.digest(), weighted.digest());
+        assert_ne!(flowtime.digest(), weighted.digest());
+        // An explicit "makespan" matches the field-less v1 request exactly
+        // (same digest, same rendered line).
+        let Request::Map(v1) =
+            parse_request(r#"{"etc":[[2,6],[3,4]],"heuristic":"min-min"}"#).unwrap()
+        else {
+            unreachable!()
+        };
+        assert_eq!(v1.digest(), makespan.digest());
+        assert_eq!(v1.to_line(), makespan.to_line());
+        // Non-makespan requests round-trip through their wire form.
+        for r in [&flowtime, &weighted] {
+            let Request::Map(back) = parse_request(&r.to_line()).unwrap() else {
+                unreachable!()
+            };
+            assert_eq!(&back, r);
+            assert_eq!(back.digest(), r.digest());
+        }
+    }
+
+    #[test]
+    fn flowtime_replies_carry_the_objective_value() {
+        let line = r#"{"etc":[[2,6],[3,4],[8,3]],"heuristic":"min-min","objective":"flowtime"}"#;
+        let Request::Map(req) = parse_request(line).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let result = execute(&req, &mut ws).unwrap();
+        let v = crate::json::parse(&result.to_line(false)).unwrap();
+        assert_eq!(v.get("objective").unwrap().as_str(), Some("flowtime"));
+        let ov = v.get("objective_value").unwrap().as_f64().unwrap();
+        // Flowtime is the sum of the reply's own completion times.
+        let sum: f64 = result.completion.iter().map(|&(_, t)| t).sum();
+        assert_eq!(ov, sum);
+        // Makespan replies stay byte-stable: no objective fields.
+        let Request::Map(v1) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let r1 = execute(&v1, &mut ws).unwrap();
+        let v1_reply = crate::json::parse(&r1.to_line(false)).unwrap();
+        assert!(v1_reply.get("objective").is_none());
+        assert!(v1_reply.get("objective_value").is_none());
     }
 
     #[test]

@@ -476,6 +476,103 @@ fn batch_items_share_the_digest_cache_with_single_requests() {
 }
 
 #[test]
+fn objectives_get_distinct_cache_entries_and_replies() {
+    let server = start(2, 16);
+    let addr = server.local_addr();
+
+    // Two requests identical in every field except the objective.
+    let makespan_req = request(600, 8, false);
+    let mut flowtime_req = makespan_req.clone();
+    flowtime_req.scenario = flowtime_req
+        .scenario
+        .with_objective(hcs_core::Objective::Flowtime);
+
+    // Warm the cache with the makespan variant...
+    let first = roundtrip(addr, &makespan_req.to_line());
+    // ...then ask for flowtime: it must be a cache *miss* (distinct digest),
+    // not a stale cross-objective hit.
+    let second = roundtrip(addr, &flowtime_req.to_line());
+    let v1 = parse(&first).unwrap();
+    let v2 = parse(&second).unwrap();
+    assert_eq!(v1.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        v2.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "flowtime request answered from the makespan cache entry: {second}"
+    );
+    // The replies themselves are distinct: only the flowtime reply carries
+    // the objective fields.
+    assert!(v1.get("objective").is_none(), "{first}");
+    assert_eq!(
+        v2.get("objective").and_then(Value::as_str),
+        Some("flowtime"),
+        "{second}"
+    );
+    assert!(v2.get("objective_value").and_then(Value::as_f64).is_some());
+
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let stats = parse(&stats_reply).unwrap();
+    let n = |k: &str| {
+        stats
+            .get("stats")
+            .unwrap()
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap()
+    };
+    assert_eq!(
+        n("cache_hits"),
+        0,
+        "cross-objective collision: {stats_reply}"
+    );
+
+    // Repeating each request now hits its own entry, byte-identically.
+    let first_again = roundtrip(addr, &makespan_req.to_line());
+    let second_again = roundtrip(addr, &flowtime_req.to_line());
+    assert_eq!(without_cached(&first), without_cached(&first_again));
+    assert_eq!(without_cached(&second), without_cached(&second_again));
+    assert_eq!(
+        parse(&second_again)
+            .unwrap()
+            .get("cached")
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn unknown_objective_is_rejected_over_the_wire() {
+    let server = start(1, 8);
+    let addr = server.local_addr();
+    let reply = roundtrip(
+        addr,
+        r#"{"etc":[[2,6],[3,4]],"heuristic":"min-min","objective":"banana"}"#,
+    );
+    let v = parse(&reply).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{reply}");
+    assert_eq!(v.get("code").and_then(Value::as_u64), Some(400));
+    assert_eq!(v.get("error_code").and_then(Value::as_str), Some("parse"));
+    assert!(
+        v.get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("objective")),
+        "{reply}"
+    );
+    // The rejection is a typed parse error, never a silent makespan run.
+    let stats_reply = roundtrip(addr, r#"{"op":"stats"}"#);
+    let stats = parse(&stats_reply).unwrap();
+    let stats = stats.get("stats").unwrap().clone();
+    let n = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap();
+    assert_eq!(n("bad_requests"), 1);
+    assert_eq!(n("submitted"), 0);
+    server.stop();
+    server.join();
+}
+
+#[test]
 fn injected_faults_are_typed_counted_and_deterministic() {
     let fault_server = |rate: f64| {
         Server::start(ServeConfig {

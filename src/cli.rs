@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use argflags::{present, value as flag};
 use hcs_analysis::TextTable;
 use hcs_core::obs::{TraceSink, VecSink};
-use hcs_core::{iterative, Heuristic, IterativeConfig, Scenario, TieBreaker};
+use hcs_core::{iterative, Heuristic, IterativeConfig, Objective, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
 use hcs_genitor::Genitor;
 use hcs_sim::Gantt;
@@ -50,6 +50,8 @@ pub enum Command {
         heuristic: String,
         /// Tie policy: `None` = deterministic, `Some(seed)` = random.
         random_ties: Option<u64>,
+        /// Objective the mapping is scored against.
+        objective: Objective,
     },
     /// Run the iterative technique on an ETC CSV.
     Iterate {
@@ -61,6 +63,8 @@ pub enum Command {
         random_ties: Option<u64>,
         /// Apply the seeding guard.
         guard: bool,
+        /// Objective the driver freezes against.
+        objective: Objective,
     },
     /// Summarize the paper's worked examples (all, or one by id).
     Examples {
@@ -80,6 +84,8 @@ pub enum Command {
         random_ties: Option<u64>,
         /// Apply the seeding guard (CSV mode).
         guard: bool,
+        /// Objective (CSV mode; the paper examples are makespan runs).
+        objective: Objective,
     },
     /// Run the mapping daemon until it is told to shut down.
     Serve {
@@ -107,6 +113,8 @@ pub enum Command {
         /// Send the instance as one `map_batch` line with this many
         /// items instead of a single `map` request.
         batch: Option<usize>,
+        /// Objective the daemon scores against.
+        objective: Objective,
     },
 }
 
@@ -129,19 +137,23 @@ nonmakespan — iterative non-makespan completion-time minimization
 USAGE:
   nonmakespan generate --tasks N --machines M [--class i-hihi] [--seed S]
   nonmakespan map      --etc FILE.csv --heuristic NAME [--random-ties SEED]
+                       [--objective NAME]
   nonmakespan iterate  --etc FILE.csv --heuristic NAME [--random-ties SEED] [--guard]
+                       [--objective NAME]
   nonmakespan examples [ID]
   nonmakespan trace    --example ID | --etc FILE.csv --heuristic NAME
-                       [--random-ties SEED] [--guard]
+                       [--random-ties SEED] [--guard] [--objective NAME]
   nonmakespan serve    [--addr 127.0.0.1:7077] [--workers 4] [--queue-depth 256]
                        [--cache-capacity 1024] [--trace-capacity 1024]
                        [--fault-rate 0.0] [--fault-seed 0]
   nonmakespan mapc     --etc FILE.csv --heuristic NAME [--addr 127.0.0.1:7077]
                        [--iterative] [--guard] [--random-ties SEED]
                        [--retries 3] [--timeout-ms 5000] [--batch K]
+                       [--objective NAME]
 
 HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
             segmented-min-min, genitor, sa, tabu, beam
+OBJECTIVES: makespan (default), flowtime, weighted-flowtime
 CLASSES:    {c,s,i}-{hi,lo}{hi,lo}, e.g. c-hihi, i-lolo
 EXAMPLES:   minmin, mct, met, swa, kpb, sufferage
 ";
@@ -157,6 +169,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| CliError("--random-ties takes an integer seed".into()))
         })
         .transpose()?;
+    // Unknown objective names fail parsing here — the same exit-2 path as
+    // an unknown heuristic, never a silent fall-back to makespan.
+    let objective = flag(rest, "--objective")
+        .map(|v| {
+            Objective::from_name(&v).map_err(|e| CliError(format!("--objective: {e}\n\n{USAGE}")))
+        })
+        .transpose()?
+        .unwrap_or_default();
     match sub.as_str() {
         "generate" => {
             let tasks = flag(rest, "--tasks")
@@ -194,6 +214,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     csv,
                     heuristic,
                     random_ties,
+                    objective,
                 })
             } else {
                 Ok(Command::Iterate {
@@ -201,6 +222,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     heuristic,
                     random_ties,
                     guard: present(rest, "--guard"),
+                    objective,
                 })
             }
         }
@@ -235,6 +257,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 heuristic,
                 random_ties,
                 guard: present(rest, "--guard"),
+                objective,
             })
         }
         "serve" => {
@@ -316,6 +339,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 retries,
                 timeout_ms,
                 batch,
+                objective,
             })
         }
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
@@ -383,10 +407,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             csv,
             heuristic,
             random_ties,
+            objective,
         } => {
             let etc = hcs_etcgen::io::parse_csv(&csv)
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
-            let scenario = Scenario::with_zero_ready(etc);
+            let scenario = Scenario::with_zero_ready(etc).with_objective(objective);
             let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
             let mut tb = tie_breaker(random_ties);
             let owned = scenario.full_instance();
@@ -411,6 +436,15 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "{summary}");
             let (mk, ms) = ct.makespan_machine();
             let _ = writeln!(out, "makespan: {ms} on {mk}");
+            if !objective.is_makespan() {
+                let value = mapping.objective_value(
+                    &scenario.etc,
+                    &scenario.initial_ready,
+                    &owned.machines,
+                    objective,
+                );
+                let _ = writeln!(out, "{}: {value}", objective.name());
+            }
             Ok(out)
         }
         Command::Iterate {
@@ -418,10 +452,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             heuristic,
             random_ties,
             guard,
+            objective,
         } => {
             let etc = hcs_etcgen::io::parse_csv(&csv)
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
-            let scenario = Scenario::with_zero_ready(etc);
+            let scenario = Scenario::with_zero_ready(etc).with_objective(objective);
             let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
             let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
                 .tie_breaker(tie_breaker(random_ties))
@@ -433,6 +468,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 .map_err(|e| CliError(format!("heuristic contract violation: {e}")))?;
 
             let mut out = String::new();
+            if !objective.is_makespan() {
+                // Under a non-makespan objective the driver freezes the
+                // machine with the largest objective *contribution*; the
+                // per-round makespan column reports that machine's
+                // completion time.
+                let _ = writeln!(out, "objective: {}", objective.name());
+            }
             for (i, round) in outcome.rounds.iter().enumerate() {
                 let _ = writeln!(
                     out,
@@ -518,6 +560,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             heuristic,
             random_ties,
             guard,
+            objective,
         } => {
             // Resolve the run: a paper example replays its scripted ties;
             // CSV mode mirrors `iterate`.
@@ -538,7 +581,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     let etc = hcs_etcgen::io::parse_csv(&csv)
                         .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
                     (
-                        Scenario::with_zero_ready(etc),
+                        Scenario::with_zero_ready(etc).with_objective(objective),
                         make_heuristic(&name, random_ties.unwrap_or(0))?,
                         tie_breaker(random_ties),
                         IterativeConfig {
@@ -588,11 +631,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             retries,
             timeout_ms,
             batch,
+            objective,
         } => {
             let etc = hcs_etcgen::io::parse_csv(&csv)
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
             let request = hcs_service::MapRequest {
-                scenario: Scenario::with_zero_ready(etc),
+                scenario: Scenario::with_zero_ready(etc).with_objective(objective),
                 heuristic,
                 random_ties,
                 iterative,
@@ -620,6 +664,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         reply.heuristic, reply.cached
                     );
                     let _ = writeln!(out, "makespan: {}", reply.makespan);
+                    if let (Some(name), Some(value)) =
+                        (reply.objective.as_deref(), reply.objective_value)
+                    {
+                        let _ = writeln!(out, "{name}: {value}");
+                    }
                     if let (Some(fin), Some(rounds)) = (reply.final_makespan, reply.rounds) {
                         let _ = writeln!(out, "final makespan: {fin} after {rounds} rounds");
                     }
@@ -699,10 +748,74 @@ mod tests {
             csv,
             heuristic: "min-min".into(),
             random_ties: None,
+            objective: Objective::Makespan,
         })
         .unwrap();
         assert!(out.contains("makespan: 5 on m0"), "{out}");
         assert!(out.contains("t0"), "{out}");
+        // No objective line in the default (makespan) output.
+        assert!(!out.contains("flowtime"), "{out}");
+    }
+
+    #[test]
+    fn objective_flag_parses_validates_and_prints() {
+        let dir = std::env::temp_dir().join("nonmakespan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("objective.csv");
+        std::fs::write(&path, "2,6\n3,4\n8,3\n").unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        let cmd = parse(&strs(&[
+            "map",
+            "--etc",
+            &path,
+            "--heuristic",
+            "min-min",
+            "--objective",
+            "flowtime",
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Map { objective, .. } => assert_eq!(*objective, Objective::Flowtime),
+            other => panic!("expected map, got {other:?}"),
+        }
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("flowtime:"), "{out}");
+
+        // Unknown names are usage errors (exit 2 through main), exactly
+        // like an unknown heuristic — never a silent makespan run.
+        let err = parse(&strs(&[
+            "map",
+            "--etc",
+            &path,
+            "--heuristic",
+            "min-min",
+            "--objective",
+            "banana",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("objective"), "{err}");
+
+        // Omitting the flag means makespan.
+        let cmd = parse(&strs(&["iterate", "--etc", &path, "--heuristic", "mct"])).unwrap();
+        match cmd {
+            Command::Iterate { objective, .. } => assert!(objective.is_makespan()),
+            other => panic!("expected iterate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterate_runs_under_flowtime() {
+        let out = execute(Command::Iterate {
+            csv: "2,6\n3,4\n8,3\n".into(),
+            heuristic: "sufferage".into(),
+            random_ties: None,
+            guard: false,
+            objective: Objective::Flowtime,
+        })
+        .unwrap();
+        assert!(out.contains("objective: flowtime"), "{out}");
+        assert!(out.contains("round 0"), "{out}");
     }
 
     #[test]
@@ -713,6 +826,7 @@ mod tests {
             heuristic: "sufferage".into(),
             random_ties: None,
             guard: false,
+            objective: Objective::Makespan,
         })
         .unwrap();
         assert!(out.contains("round 0"), "{out}");
@@ -841,6 +955,7 @@ mod tests {
             heuristic: Some("sufferage".into()),
             random_ties: None,
             guard: false,
+            objective: Objective::Makespan,
         })
         .unwrap();
         assert!(out.contains("\"event\":\"round_end\""), "{out}");
@@ -972,6 +1087,7 @@ mod tests {
             retries: 16,
             timeout_ms: 5000,
             batch,
+            objective: Objective::Makespan,
         };
 
         let single = execute(mapc(None)).unwrap();
@@ -1008,6 +1124,7 @@ mod tests {
                 csv: csv.clone(),
                 heuristic: "mct".into(),
                 random_ties: Some(seed),
+                objective: Objective::Makespan,
             })
             .unwrap();
             let first_line = out

@@ -35,7 +35,7 @@ pub use hcs_heuristics as heuristics;
 pub mod prelude {
     pub use hcs_core::{
         iterative, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome, IterativeRun,
-        MachineId, Mapping, ReadyTimes, Round, Scenario, TaskId, TieBreaker, Time,
+        MachineId, Mapping, Objective, ReadyTimes, Round, Scenario, TaskId, TieBreaker, Time,
     };
     pub use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity, Method};
     pub use hcs_genitor::{Genitor, GenitorConfig};
