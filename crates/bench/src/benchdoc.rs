@@ -1,0 +1,87 @@
+//! Helpers for the `BENCH_service.json` document.
+//!
+//! Several tools write into the same bench document — `loadgen` owns the
+//! serving sections (`config`, `runs`, `batch`, `fleet`, …) while other
+//! harnesses may add their own top-level sections over time. A fresh
+//! measurement must therefore *merge into* the existing file, not clobber
+//! it: [`merge_preserving`] keeps every top-level section the new document
+//! does not redefine.
+
+use hcs_service::json::Value;
+
+/// Merges a freshly measured bench document over an existing one.
+///
+/// Both documents are JSON objects of top-level sections. Sections defined
+/// by `fresh` win (a new measurement replaces its own previous results,
+/// wholesale — no deep merge); sections only present in `existing` are
+/// appended after them in their original order, so a section written by
+/// another tool survives a re-run of this one.
+///
+/// A missing or non-object `existing` (first run, corrupt file) yields
+/// `fresh` unchanged.
+pub fn merge_preserving(existing: Option<&Value>, fresh: Value) -> Value {
+    let Some(Value::Object(old)) = existing else {
+        return fresh;
+    };
+    let Value::Object(mut entries) = fresh else {
+        return fresh;
+    };
+    for (key, value) in old {
+        if !entries.iter().any(|(k, _)| k == key) {
+            entries.push((key.clone(), value.clone()));
+        }
+    }
+    Value::Object(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_service::json::parse;
+
+    fn obj(text: &str) -> Value {
+        parse(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn fresh_sections_replace_their_old_versions() {
+        let existing = obj(r#"{"runs":[1,2],"batch":{"old":true}}"#);
+        let fresh = obj(r#"{"runs":[3],"batch":{"new":true}}"#);
+        let merged = merge_preserving(Some(&existing), fresh.clone());
+        assert_eq!(merged, fresh);
+    }
+
+    #[test]
+    fn unknown_sections_survive_a_rewrite() {
+        let existing = obj(r#"{"runs":[1],"search_bench":{"sa":1.5},"notes":"keep me"}"#);
+        let fresh = obj(r#"{"runs":[2],"fleet":{"nodes":2}}"#);
+        let merged = merge_preserving(Some(&existing), fresh);
+        assert_eq!(merged.get("runs"), Some(&obj("[2]")));
+        assert_eq!(merged.get("fleet"), Some(&obj(r#"{"nodes":2}"#)));
+        // Sections loadgen knows nothing about are preserved verbatim.
+        assert_eq!(merged.get("search_bench"), Some(&obj(r#"{"sa":1.5}"#)));
+        assert_eq!(merged.get("notes"), Some(&Value::String("keep me".into())));
+    }
+
+    #[test]
+    fn preserved_sections_keep_their_relative_order_after_fresh_ones() {
+        let existing = obj(r#"{"a":1,"b":2,"c":3}"#);
+        let fresh = obj(r#"{"b":9,"d":4}"#);
+        let merged = merge_preserving(Some(&existing), fresh);
+        match merged {
+            Value::Object(entries) => {
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["b", "d", "a", "c"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_or_corrupt_existing_yields_fresh_unchanged() {
+        let fresh = obj(r#"{"runs":[1]}"#);
+        assert_eq!(merge_preserving(None, fresh.clone()), fresh);
+        let not_an_object = obj("[1,2,3]");
+        assert_eq!(merge_preserving(Some(&not_an_object), fresh.clone()), fresh);
+    }
+}

@@ -26,21 +26,33 @@
 //!
 //! Results (client-side throughput and latency percentiles, plus the
 //! daemon's own `STATS` counters and registry-side latency percentiles)
-//! are written to `BENCH_service.json`. `--smoke` runs one tiny round —
-//! including fetching `METRICS` and validating the Prometheus exposition,
-//! a small batch-vs-single pass, and an `hcs-client` retry exercise
-//! against a daemon injecting faults into 20% of requests — and exits
-//! non-zero on any invariant violation; used as the CI smoke test.
+//! are merged into `BENCH_service.json` — sections the current run does
+//! not redefine are preserved. `--smoke` runs one tiny round — including
+//! fetching `METRICS` and validating the Prometheus exposition, a small
+//! batch-vs-single pass, and an `hcs-client` retry exercise against a
+//! daemon injecting faults into 20% of requests — and exits non-zero on
+//! any invariant violation; used as the CI smoke test.
+//!
+//! `--fleet N` switches to the sharded-fleet benchmark: it spins fleets
+//! of in-process daemons (every node count in {1, 2, 4, 8} up to `N`),
+//! routes the workload through the consistent-hash [`FleetClient`], and
+//! records scaling efficiency and per-node cache hit rates into the
+//! `"fleet"` section. `--fleet N --smoke` instead asserts the routing
+//! invariants (>= 90% of keys stay put when one of 16 ring nodes is
+//! removed), drives a live fleet end-to-end, and proves failover absorbs
+//! a fault-injecting node.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 use argflags::{present, value as parse_flag};
+use hcs_bench::benchdoc::merge_preserving;
+use hcs_client::fleet::{FleetClient, FleetConfig, HashRing};
 use hcs_core::{Objective, Scenario};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
 use hcs_service::json::{ObjectBuilder, Value};
-use hcs_service::{MapRequest, ServeConfig, Server};
+use hcs_service::{MapRequest, ServeConfig, Server, ShardIdentity};
 
 struct LoadSpec {
     tasks: usize,
@@ -224,6 +236,7 @@ fn bench_workers(spec: &LoadSpec, workers: usize) -> (Value, f64) {
         trace_capacity: 0,
         fault_rate: 0.0,
         fault_seed: 0,
+        shard: None,
     })
     .expect("start daemon");
     let addr = server.local_addr();
@@ -333,6 +346,7 @@ fn bench_batch(
             trace_capacity: 0,
             fault_rate: 0.0,
             fault_seed: 0,
+            shard: None,
         })
         .expect("start daemon")
     };
@@ -404,6 +418,7 @@ fn smoke_fault_retry(tasks: usize, machines: usize) {
         trace_capacity: 0,
         fault_rate: 0.2,
         fault_seed: 7,
+        shard: None,
     })
     .expect("start faulty daemon");
     let addr = server.local_addr().to_string();
@@ -450,6 +465,273 @@ fn smoke_fault_retry(tasks: usize, machines: usize) {
     server.join();
 }
 
+/// Spawns `nodes` in-process daemons, each stamped with its fleet
+/// identity; `fault_rate_for(i)` lets one node inject faults.
+fn start_fleet(nodes: usize, fault_rate_for: impl Fn(usize) -> f64) -> Vec<Server> {
+    (0..nodes)
+        .map(|i| {
+            Server::start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_depth: 1024,
+                cache_capacity: 1024,
+                cache_shards: 8,
+                trace_capacity: 0,
+                fault_rate: fault_rate_for(i),
+                fault_seed: 7,
+                shard: Some(ShardIdentity {
+                    shard_id: i as u64,
+                    fleet_size: nodes as u64,
+                }),
+            })
+            .expect("start fleet daemon")
+        })
+        .collect()
+}
+
+/// Fleet client tuned for the bench: no inner retries (failover is the
+/// fleet layer's job) and fast backoff.
+fn fleet_client(addrs: &[String]) -> FleetClient {
+    FleetClient::with_config(
+        addrs,
+        FleetConfig {
+            client: hcs_client::ClientConfig {
+                retries: 0,
+                backoff_base: std::time::Duration::from_millis(1),
+                backoff_max: std::time::Duration::from_millis(10),
+                ..hcs_client::ClientConfig::default()
+            },
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// Sends `items` through the fleet in sub-batches and returns the elapsed
+/// seconds; panics on any per-item error (the bench sends only valid
+/// requests at fleets with no injected faults).
+fn drive_fleet(client: &mut FleetClient, items: &[MapRequest], expect_cached: bool) -> f64 {
+    let start = Instant::now();
+    for chunk in items.chunks(32) {
+        for (i, result) in client.map_batch(chunk).iter().enumerate() {
+            let reply = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("fleet bench item {i} failed: {e}"));
+            if expect_cached {
+                assert!(reply.cached, "warm fleet pass should hit the owner cache");
+            }
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Per-node accounting after a measurement: shard id, counters, and the
+/// node's cache hit rate, straight from each daemon's `STATS`.
+fn fleet_per_node(client: &mut FleetClient) -> Vec<Value> {
+    client
+        .stats()
+        .into_iter()
+        .map(|(addr, stats)| {
+            let stats = stats.unwrap_or_else(|e| panic!("STATS from {addr} failed: {e}"));
+            let count = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or(0);
+            assert_eq!(
+                count("submitted"),
+                count("served") + count("cache_hits") + count("rejected"),
+                "stats invariant violated on {addr}: {stats}"
+            );
+            let hit_rate = if count("submitted") > 0 {
+                count("cache_hits") as f64 / count("submitted") as f64
+            } else {
+                0.0
+            };
+            ObjectBuilder::new()
+                .field("addr", Value::String(addr))
+                .field("shard_id", Value::Number(count("shard_id") as f64))
+                .field("submitted", Value::Number(count("submitted") as f64))
+                .field("cache_hits", Value::Number(count("cache_hits") as f64))
+                .field("cache_hit_rate", Value::Number(hit_rate))
+                .build()
+        })
+        .collect()
+}
+
+/// The fleet benchmark: for every node count in {1, 2, 4, 8} up to
+/// `max_nodes`, route the same workload through a consistent-hash fleet
+/// of that size and record throughput, scaling efficiency against the
+/// single-node run, and per-node cache hit rates.
+fn bench_fleet(spec: &LoadSpec, max_nodes: usize) -> Value {
+    let items = build_batch_requests(
+        spec.tasks,
+        spec.machines,
+        spec.instances.max(32),
+        &spec.heuristic,
+        0,
+    );
+    let mut runs = Vec::new();
+    let mut single_node_rps = None;
+    for nodes in [1usize, 2, 4, 8] {
+        if nodes > max_nodes {
+            break;
+        }
+        let servers = start_fleet(nodes, |_| 0.0);
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let mut client = fleet_client(&addrs);
+
+        let cold_seconds = drive_fleet(&mut client, &items, false);
+        let mut warm_seconds = 0.0;
+        for _ in 0..spec.warm_repeats {
+            warm_seconds += drive_fleet(&mut client, &items, true);
+        }
+        let per_node = fleet_per_node(&mut client);
+        for (addr, result) in client.drain() {
+            result.unwrap_or_else(|e| panic!("drain of {addr} failed: {e}"));
+        }
+        for server in servers {
+            server.join();
+        }
+
+        let cold_rps = items.len() as f64 / cold_seconds.max(1e-9);
+        let warm_rps = (items.len() * spec.warm_repeats) as f64 / warm_seconds.max(1e-9);
+        let base = *single_node_rps.get_or_insert(warm_rps);
+        let speedup = warm_rps / base.max(1e-9);
+        println!(
+            "fleet nodes={nodes}: cold {cold_rps:>8.1} rps, warm {warm_rps:>8.1} rps \
+             (speedup {speedup:.2}x, efficiency {:.2})",
+            speedup / nodes as f64
+        );
+        runs.push(
+            ObjectBuilder::new()
+                .field("nodes", Value::Number(nodes as f64))
+                .field("cold_rps", Value::Number(cold_rps))
+                .field("warm_rps", Value::Number(warm_rps))
+                .field("speedup", Value::Number(speedup))
+                .field("efficiency", Value::Number(speedup / nodes as f64))
+                .field("per_node", Value::Array(per_node))
+                .build(),
+        );
+    }
+    ObjectBuilder::new()
+        .field("items", Value::Number(items.len() as f64))
+        .field("warm_repeats", Value::Number(spec.warm_repeats as f64))
+        .field("runs", Value::Array(runs))
+        .build()
+}
+
+/// The splitmix64 finalizer — synthetic well-mixed routing keys for the
+/// ring-stability assertion.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fleet smoke: ring-stability invariants on a synthetic 16-node ring,
+/// then a live fleet driven end-to-end, then failover against a node
+/// injecting faults into 20% of its requests.
+fn smoke_fleet(nodes: usize, tasks: usize, machines: usize) {
+    // 1. Routing stability. Removing one of 16 nodes must leave >= 90% of
+    //    keys on their original owner (the expected remap is ~1/16), and
+    //    every key that moved must have been owned by the removed node —
+    //    consistent hashing never reshuffles survivors among themselves.
+    let ring_nodes: Vec<String> = (0..16).map(|i| format!("10.0.0.{i}:7077")).collect();
+    let full = HashRing::new(&ring_nodes, 64);
+    let shrunk = HashRing::new(&ring_nodes[1..], 64);
+    let keys: Vec<u64> = (0..4096u64).map(mix64).collect();
+    let mut stable = 0usize;
+    for &key in &keys {
+        let owner = &full.nodes()[full.node_for(key)];
+        let new_owner = &shrunk.nodes()[shrunk.node_for(key)];
+        if owner == new_owner {
+            stable += 1;
+        } else {
+            assert_eq!(
+                owner, &ring_nodes[0],
+                "a key moved off a surviving node: {owner} -> {new_owner}"
+            );
+        }
+    }
+    let stable_fraction = stable as f64 / keys.len() as f64;
+    assert!(
+        stable_fraction >= 0.90,
+        "only {stable_fraction:.3} of keys survived a 1-of-16 node removal"
+    );
+    println!(
+        "fleet routing smoke ok: {stable_fraction:.3} of {} keys stable after removing \
+         1 of 16 nodes",
+        keys.len()
+    );
+
+    // 2. A live fleet end-to-end: distinct items complete, repeats hit
+    //    the owner's cache, every node exposes valid metrics with its
+    //    shard identity stamped, and drain stops every daemon.
+    let nodes = nodes.max(2);
+    let servers = start_fleet(nodes, |_| 0.0);
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let mut client = fleet_client(&addrs);
+    let items = build_batch_requests(tasks, machines, 24, "min-min", 0);
+    drive_fleet(&mut client, &items, false);
+    drive_fleet(&mut client, &items, true);
+    let per_node = fleet_per_node(&mut client);
+    assert_eq!(per_node.len(), nodes);
+    for (addr, text) in client.metrics() {
+        let text = text.unwrap_or_else(|e| panic!("METRICS from {addr} failed: {e}"));
+        hcs_core::obs::validate_prometheus(&text)
+            .unwrap_or_else(|e| panic!("invalid exposition from {addr}: {e}"));
+        assert!(
+            text.contains("hcs_shard_info{shard_id=\""),
+            "{addr} exposes no shard identity"
+        );
+    }
+    for (addr, result) in client.drain() {
+        result.unwrap_or_else(|e| panic!("drain of {addr} failed: {e}"));
+    }
+    for server in servers {
+        server.join();
+    }
+    println!("fleet live smoke ok: {nodes} nodes served, cached, and drained");
+
+    // 3. Failover: one of two daemons injects faults into 20% of its
+    //    requests; with zero inner retries every fault surfaces to the
+    //    fleet layer, which must absorb 100% of the batch on the healthy
+    //    node.
+    let servers = start_fleet(2, |i| if i == 1 { 0.2 } else { 0.0 });
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let mut client = fleet_client(&addrs);
+    let items = build_batch_requests(tasks + 1, machines, 40, "min-min", 0);
+    for (i, result) in client.map_batch(&items).iter().enumerate() {
+        assert!(result.is_ok(), "failover smoke item {i}: {result:?}");
+    }
+    let faults: u64 = client
+        .stats()
+        .iter()
+        .map(|(_, v)| {
+            v.as_ref()
+                .ok()
+                .and_then(|s| s.get("faults").and_then(Value::as_u64))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(faults > 0, "fault rate 0.2 never fired");
+    for (addr, result) in client.drain() {
+        result.unwrap_or_else(|e| panic!("drain of {addr} failed: {e}"));
+    }
+    for server in servers {
+        server.join();
+    }
+    println!("fleet failover smoke ok: {faults} faults absorbed by ring failover");
+}
+
+/// Writes the bench document, preserving any top-level sections of an
+/// existing file that `fresh` does not redefine.
+fn write_merged(out_path: &str, fresh: Value) {
+    let existing = std::fs::read_to_string(out_path)
+        .ok()
+        .and_then(|text| hcs_service::json::parse(text.trim_end()).ok());
+    let doc = merge_preserving(existing.as_ref(), fresh);
+    std::fs::write(out_path, format!("{doc}\n")).expect("write results");
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = present(&args, "--smoke");
@@ -484,6 +766,24 @@ fn main() {
         },
     };
     let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+    let fleet = parse_flag(&args, "--fleet").map(|v| {
+        v.parse::<usize>()
+            .unwrap_or_else(|_| panic!("--fleet takes a node count"))
+            .max(1)
+    });
+
+    if let Some(max_nodes) = fleet {
+        if smoke {
+            smoke_fleet(max_nodes, spec.tasks, spec.machines);
+            return;
+        }
+        let record = bench_fleet(&spec, max_nodes);
+        write_merged(
+            &out_path,
+            ObjectBuilder::new().field("fleet", record).build(),
+        );
+        return;
+    }
 
     if smoke {
         let (record, ratio) = bench_workers(&spec, 2);
@@ -555,8 +855,7 @@ fn main() {
         .field("min_warm_over_cold", Value::Number(worst_ratio))
         .field("batch", batch_record)
         .build();
-    std::fs::write(&out_path, format!("{doc}\n")).expect("write results");
-    println!("wrote {out_path}");
+    write_merged(&out_path, doc);
     assert!(
         worst_ratio >= 5.0,
         "cache should make warm throughput >= 5x cold (got {worst_ratio:.1}x)"

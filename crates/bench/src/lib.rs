@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+pub mod benchdoc;
 pub mod dynamic_study;
 pub mod genitor_study;
 pub mod makespan_tie_study;

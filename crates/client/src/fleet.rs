@@ -1,0 +1,655 @@
+//! Fleet-aware client: consistent-hash routing over a set of `hcs-service`
+//! shards.
+//!
+//! One daemon is a scaling ceiling; a fleet of daemons is only useful if
+//! requests route *stably* — the digest cache inside each shard is keyed on
+//! [`InstanceDigest`], so cache locality falls out of routing exactly when
+//! the same digest always lands on the same shard. This module provides
+//! that:
+//!
+//! * [`HashRing`] — a deterministic consistent-hash ring over shard
+//!   addresses. Each node contributes `vnodes` points (hashed with the same
+//!   FNV-1a construction as [`InstanceDigest`]); a request's digest owns
+//!   the first point clockwise from it. Two rings built from the same
+//!   addresses agree on every key, and removing a node only remaps the
+//!   keys that node owned (~`1/N` of the keyspace) — both properties are
+//!   pinned by tests.
+//! * [`FleetClient`] — owns one lazily-connected [`Client`] per shard,
+//!   routes [`Client::map`]/[`Client::map_batch`] by digest, tracks
+//!   per-node health, and **fails over to the next ring node only for
+//!   retryable [`ErrorKind`]s**. Terminal errors (protocol breakage, a
+//!   deterministic server failure) surface immediately: retrying the same
+//!   bytes against a different shard cannot help and would double the
+//!   damage. [`FleetClient::drain`] chains per-node SHUTDOWN in reverse
+//!   ring order, so the node that owns the lowest arc — the one new
+//!   traffic hits first after a wrap — goes down last.
+//!
+//! The inner [`Client`] already retries transient failures against *its*
+//! node with jittered backoff; the fleet layer adds the across-node hop on
+//! top. A request therefore survives both a flaky exchange (inner retry)
+//! and a dead shard (ring failover) without the caller seeing either.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hcs_core::InstanceDigest;
+use hcs_service::json::Value;
+use hcs_service::protocol::MapRequest;
+
+use crate::{Client, ClientConfig, ClientError, ErrorKind, MapReply};
+
+/// Tuning for a [`FleetClient`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Configuration handed to every per-shard [`Client`].
+    pub client: ClientConfig,
+    /// Virtual nodes per shard address. More points smooth the arc sizes
+    /// (64 keeps the max/min owned-share ratio close to 1 for small
+    /// fleets); fewer make ring construction cheaper.
+    pub vnodes: usize,
+    /// Maximum *additional* nodes tried after the owner on retryable
+    /// failures. `None` tries every node once before giving up.
+    pub failover: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            client: ClientConfig::default(),
+            vnodes: 64,
+            failover: None,
+        }
+    }
+}
+
+/// A deterministic consistent-hash ring over shard addresses.
+///
+/// Construction is pure: the point set depends only on the address strings
+/// and the vnode count, never on insertion order, process, or time — the
+/// property that lets every client in a fleet agree on routing without
+/// coordination.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    nodes: Vec<String>,
+    /// `(point, node index)` sorted by point; lookup is a binary search.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty address list or zero vnodes — an unroutable ring
+    /// is a configuration error, not a runtime condition.
+    pub fn new(addrs: &[String], vnodes: usize) -> HashRing {
+        assert!(!addrs.is_empty(), "a ring needs at least one node");
+        assert!(vnodes > 0, "a node needs at least one point");
+        let nodes: Vec<String> = addrs.to_vec();
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for (idx, addr) in nodes.iter().enumerate() {
+            for replica in 0..vnodes {
+                points.push((Self::point(addr, replica), idx as u32));
+            }
+        }
+        // Sort by point; break the (astronomically unlikely) point
+        // collision by node index so construction stays order-independent.
+        points.sort_unstable();
+        HashRing { nodes, points }
+    }
+
+    /// One ring point: the FNV-1a stream over the address and the replica
+    /// index — the same construction [`InstanceDigest`] uses for cache
+    /// keys, so the two hash spaces mix identically.
+    fn point(addr: &str, replica: usize) -> u64 {
+        InstanceDigest::new()
+            .write_str(addr)
+            .write_usize(replica)
+            .finish()
+    }
+
+    /// The shard addresses, in construction order (node indices returned
+    /// by [`node_for`](Self::node_for) index into this slice).
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of distinct shards on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` only for a ring that cannot exist (construction panics on
+    /// empty input); present for clippy's `len_without_is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index of the first point at or clockwise-after `key`, wrapping.
+    fn first_point(&self, key: u64) -> usize {
+        match self.points.binary_search(&(key, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The node that owns `key` (an [`InstanceDigest`] value).
+    pub fn node_for(&self, key: u64) -> usize {
+        self.points[self.first_point(key)].1 as usize
+    }
+
+    /// All distinct nodes in ring order starting at `key`'s owner — the
+    /// failover sequence: owner first, then each subsequent node the key
+    /// would route to if everything before it were removed.
+    pub fn sequence(&self, key: u64) -> Vec<usize> {
+        let start = self.first_point(key);
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.points.len() {
+            let idx = self.points[(start + i) % self.points.len()].1 as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                order.push(idx);
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Nodes ordered by their first point on the ring — the canonical
+    /// "ring order" used (reversed) by [`FleetClient::drain`].
+    pub fn ring_order(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        for &(_, idx) in &self.points {
+            let idx = idx as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                order.push(idx);
+            }
+        }
+        order
+    }
+}
+
+/// Per-node request accounting, updated on every exchange the fleet client
+/// makes (MAP, MAP_BATCH sub-batches, STATS probes).
+#[derive(Clone, Debug, Default)]
+pub struct NodeHealth {
+    /// Exchanges attempted against this node.
+    pub requests: u64,
+    /// Exchanges that failed (after the inner client's own retries).
+    pub failures: u64,
+    /// Failures since the last success; reset to zero by any success.
+    pub consecutive_failures: u64,
+    /// Kind of the most recent failure, if any.
+    pub last_error: Option<ErrorKind>,
+}
+
+/// A request the whole fleet could not serve: the terminal failure, or the
+/// last retryable one after every eligible node was tried.
+#[derive(Clone, Debug)]
+pub struct FleetError {
+    /// Classification of the failure that ended the attempt.
+    pub kind: ErrorKind,
+    /// Detail from the last node tried.
+    pub message: String,
+    /// Addresses tried, in ring order (one entry for a terminal failure —
+    /// terminal errors never fail over).
+    pub nodes_tried: Vec<String>,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} after trying {} node{} [{}]: {}",
+            self.kind,
+            self.nodes_tried.len(),
+            if self.nodes_tried.len() == 1 { "" } else { "s" },
+            self.nodes_tried.join(", "),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+struct NodeState {
+    addr: String,
+    client: Option<Client>,
+    health: NodeHealth,
+}
+
+/// A client for a fleet of `hcs-service` shards: consistent-hash routing
+/// keyed on the request digest, lazy per-shard connections, retryable-only
+/// failover, reverse-ring-order drain.
+pub struct FleetClient {
+    ring: HashRing,
+    nodes: Vec<NodeState>,
+    config: FleetConfig,
+}
+
+impl FleetClient {
+    /// A fleet client over `addrs` with default [`FleetConfig`].
+    pub fn new(addrs: &[String]) -> FleetClient {
+        FleetClient::with_config(addrs, FleetConfig::default())
+    }
+
+    /// A fleet client with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty address list (see [`HashRing::new`]).
+    pub fn with_config(addrs: &[String], config: FleetConfig) -> FleetClient {
+        let ring = HashRing::new(addrs, config.vnodes);
+        let nodes = ring
+            .nodes()
+            .iter()
+            .map(|addr| NodeState {
+                addr: addr.clone(),
+                client: None,
+                health: NodeHealth::default(),
+            })
+            .collect();
+        FleetClient {
+            ring,
+            nodes,
+            config,
+        }
+    }
+
+    /// The routing ring (read-only; the node set is fixed at construction).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The address `request` routes to — the ring owner of its digest.
+    pub fn node_for(&self, request: &MapRequest) -> &str {
+        &self.ring.nodes()[self.ring.node_for(request.digest())]
+    }
+
+    /// Per-node health counters, in ring construction order.
+    pub fn health(&self) -> Vec<(String, NodeHealth)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.addr.clone(), n.health.clone()))
+            .collect()
+    }
+
+    /// How many nodes a request may be sent to: the owner plus the
+    /// configured failover budget.
+    fn tries_for(&self, sequence_len: usize) -> usize {
+        match self.config.failover {
+            Some(extra) => sequence_len.min(1 + extra),
+            None => sequence_len,
+        }
+    }
+
+    /// The lazily-created client for node `idx`. Connection happens on the
+    /// first exchange, inside the inner client.
+    fn client_at(&mut self, idx: usize) -> &mut Client {
+        let node = &mut self.nodes[idx];
+        node.client.get_or_insert_with(|| {
+            // Decorrelate the jitter streams so the shards of one fleet
+            // client do not back off in lockstep.
+            let mut config = self.config.client.clone();
+            config.jitter_seed = config.jitter_seed.wrapping_add(idx as u64);
+            Client::with_config(node.addr.clone(), config)
+        })
+    }
+
+    fn record_ok(&mut self, idx: usize) {
+        let h = &mut self.nodes[idx].health;
+        h.requests += 1;
+        h.consecutive_failures = 0;
+    }
+
+    fn record_err(&mut self, idx: usize, kind: ErrorKind) {
+        let h = &mut self.nodes[idx].health;
+        h.requests += 1;
+        h.failures += 1;
+        h.consecutive_failures += 1;
+        h.last_error = Some(kind);
+    }
+
+    /// Maps one instance through the fleet: send to the digest's owner,
+    /// hop to the next ring node only while failures stay retryable.
+    pub fn map(&mut self, request: &MapRequest) -> Result<MapReply, FleetError> {
+        let sequence = self.ring.sequence(request.digest());
+        let tries = self.tries_for(sequence.len());
+        let mut tried = Vec::new();
+        let mut last: Option<(ErrorKind, String)> = None;
+        for &idx in &sequence[..tries] {
+            match self.client_at(idx).map(request) {
+                Ok(reply) => {
+                    self.record_ok(idx);
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    self.record_err(idx, e.kind);
+                    tried.push(self.nodes[idx].addr.clone());
+                    if e.kind.retryable() {
+                        last = Some((e.kind, e.message));
+                    } else {
+                        return Err(FleetError {
+                            kind: e.kind,
+                            message: e.message,
+                            nodes_tried: tried,
+                        });
+                    }
+                }
+            }
+        }
+        let (kind, message) =
+            last.unwrap_or((ErrorKind::Connect, "fleet has no nodes to try".into()));
+        Err(FleetError {
+            kind,
+            message,
+            nodes_tried: tried,
+        })
+    }
+
+    /// Maps many instances, grouping them into one MAP_BATCH sub-batch per
+    /// target shard and re-grouping retryable failures onto each item's
+    /// next ring node. Returns one result per input, in input order.
+    pub fn map_batch(&mut self, requests: &[MapRequest]) -> Vec<Result<MapReply, FleetError>> {
+        let n = requests.len();
+        let mut results: Vec<Option<Result<MapReply, FleetError>>> = (0..n).map(|_| None).collect();
+        let sequences: Vec<Vec<usize>> = requests
+            .iter()
+            .map(|r| self.ring.sequence(r.digest()))
+            .collect();
+        let mut position = vec![0usize; n];
+        let mut tried: Vec<Vec<String>> = vec![Vec::new(); n];
+        let mut last: Vec<Option<(ErrorKind, String)>> = vec![None; n];
+
+        loop {
+            // Group unresolved items by their current target node; items
+            // whose failover budget is spent resolve to their last error.
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for i in 0..n {
+                if results[i].is_some() {
+                    continue;
+                }
+                if position[i] >= self.tries_for(sequences[i].len()) {
+                    let (kind, message) = last[i]
+                        .take()
+                        .unwrap_or((ErrorKind::Connect, "fleet has no nodes to try".into()));
+                    results[i] = Some(Err(FleetError {
+                        kind,
+                        message,
+                        nodes_tried: std::mem::take(&mut tried[i]),
+                    }));
+                    continue;
+                }
+                groups.entry(sequences[i][position[i]]).or_default().push(i);
+            }
+            if groups.is_empty() {
+                break;
+            }
+
+            for (node, items) in groups {
+                let addr = self.nodes[node].addr.clone();
+                let subset: Vec<MapRequest> = items.iter().map(|&i| requests[i].clone()).collect();
+                match self.client_at(node).map_batch(&subset) {
+                    Ok(per_item) => {
+                        for (&i, item) in items.iter().zip(per_item) {
+                            match item {
+                                Ok(reply) => {
+                                    self.record_ok(node);
+                                    results[i] = Some(Ok(reply));
+                                }
+                                Err(e) if e.kind.retryable() => {
+                                    self.record_err(node, e.kind);
+                                    tried[i].push(addr.clone());
+                                    last[i] = Some((e.kind, e.message));
+                                    position[i] += 1;
+                                }
+                                Err(e) => {
+                                    self.record_err(node, e.kind);
+                                    tried[i].push(addr.clone());
+                                    results[i] = Some(Err(FleetError {
+                                        kind: e.kind,
+                                        message: e.message,
+                                        nodes_tried: std::mem::take(&mut tried[i]),
+                                    }));
+                                }
+                            }
+                        }
+                    }
+                    // The exchange itself failed against this node; every
+                    // item in the sub-batch shares the outcome.
+                    Err(e) => {
+                        let retryable = e.kind.retryable();
+                        for &i in &items {
+                            self.record_err(node, e.kind);
+                            tried[i].push(addr.clone());
+                            if retryable {
+                                last[i] = Some((e.kind, e.message.clone()));
+                                position[i] += 1;
+                            } else {
+                                results[i] = Some(Err(FleetError {
+                                    kind: e.kind,
+                                    message: e.message.clone(),
+                                    nodes_tried: std::mem::take(&mut tried[i]),
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved"))
+            .collect()
+    }
+
+    /// Fetches STATS from every node (ring construction order), updating
+    /// each node's health counters — the fleet-level health probe.
+    pub fn stats(&mut self) -> Vec<(String, Result<Value, ClientError>)> {
+        (0..self.nodes.len())
+            .map(|idx| {
+                let result = self.client_at(idx).stats();
+                match &result {
+                    Ok(_) => self.record_ok(idx),
+                    Err(e) => self.record_err(idx, e.kind),
+                }
+                (self.nodes[idx].addr.clone(), result)
+            })
+            .collect()
+    }
+
+    /// Fetches the Prometheus exposition from every node.
+    pub fn metrics(&mut self) -> Vec<(String, Result<String, ClientError>)> {
+        (0..self.nodes.len())
+            .map(|idx| {
+                let result = self.client_at(idx).metrics();
+                match &result {
+                    Ok(_) => self.record_ok(idx),
+                    Err(e) => self.record_err(idx, e.kind),
+                }
+                (self.nodes[idx].addr.clone(), result)
+            })
+            .collect()
+    }
+
+    /// Shuts the fleet down: per-node SHUTDOWN in **reverse ring order**,
+    /// so the node owning the lowest arc — the first stop for wrapped
+    /// lookups — drains last. Returns per-node outcomes in the order the
+    /// shutdowns were sent.
+    pub fn drain(&mut self) -> Vec<(String, Result<(), ClientError>)> {
+        let mut order = self.ring.ring_order();
+        order.reverse();
+        order
+            .into_iter()
+            .map(|idx| {
+                let result = self.client_at(idx).shutdown();
+                (self.nodes[idx].addr.clone(), result)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7077")).collect()
+    }
+
+    /// A deterministic stream of well-spread keys (the splitmix64
+    /// finalizer over a counter).
+    fn keys(count: usize) -> impl Iterator<Item = u64> {
+        (0..count as u64).map(crate::splitmix64)
+    }
+
+    #[test]
+    fn same_nodes_same_ring_same_owner_for_every_key() {
+        let a = HashRing::new(&addrs(8), 64);
+        let b = HashRing::new(&addrs(8), 64);
+        for key in keys(4096) {
+            assert_eq!(a.node_for(key), b.node_for(key));
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_ownership_across_all_nodes() {
+        let ring = HashRing::new(&addrs(8), 64);
+        let mut owned = vec![0usize; 8];
+        let total = 8192;
+        for key in keys(total) {
+            owned[ring.node_for(key)] += 1;
+        }
+        let expected = total / 8;
+        for (node, &count) in owned.iter().enumerate() {
+            assert!(
+                count > expected / 4,
+                "node {node} owns {count} of {total} keys — ring badly unbalanced: {owned:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_one_node_remaps_only_its_own_keys() {
+        for n in [2usize, 4, 8, 16] {
+            let full = HashRing::new(&addrs(n), 64);
+            let removed = n - 1;
+            let survivors: Vec<String> = addrs(n)
+                .into_iter()
+                .enumerate()
+                .filter(|&(i, _)| i != removed)
+                .map(|(_, a)| a)
+                .collect();
+            let shrunk = HashRing::new(&survivors, 64);
+
+            let total = 4096;
+            let mut moved = 0usize;
+            for key in keys(total) {
+                let before = &full.nodes()[full.node_for(key)];
+                let after = &shrunk.nodes()[shrunk.node_for(key)];
+                if before == after {
+                    continue;
+                }
+                moved += 1;
+                // Only keys the removed node owned may move.
+                assert_eq!(
+                    before,
+                    &full.nodes()[removed],
+                    "key {key:#x} moved off a surviving node at n={n}"
+                );
+            }
+            let fraction = moved as f64 / total as f64;
+            // ~1/n of the keyspace, with slack for vnode unevenness.
+            assert!(
+                fraction < 2.5 / n as f64,
+                "n={n}: {fraction:.3} of keys remapped, expected ~{:.3}",
+                1.0 / n as f64
+            );
+            assert!(fraction > 0.0, "n={n}: the removed node owned nothing");
+        }
+    }
+
+    #[test]
+    fn sequence_starts_at_owner_and_visits_every_node_once() {
+        let ring = HashRing::new(&addrs(8), 64);
+        for key in keys(256) {
+            let seq = ring.sequence(key);
+            assert_eq!(seq[0], ring.node_for(key));
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn failover_target_matches_the_shrunk_ring() {
+        // The second node in a key's sequence is exactly where the key
+        // routes if the owner disappears — the property that makes
+        // failover cache-friendly.
+        let all = addrs(4);
+        let ring = HashRing::new(&all, 64);
+        for key in keys(512) {
+            let seq = ring.sequence(key);
+            let survivors: Vec<String> = all
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != seq[0])
+                .map(|(_, a)| a.clone())
+                .collect();
+            let shrunk = HashRing::new(&survivors, 64);
+            assert_eq!(
+                &survivors[shrunk.node_for(key)],
+                &all[seq[1]],
+                "key {key:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_order_is_a_permutation_and_deterministic() {
+        let ring = HashRing::new(&addrs(8), 64);
+        let order = ring.ring_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        assert_eq!(order, HashRing::new(&addrs(8), 64).ring_order());
+    }
+
+    #[test]
+    fn fleet_error_display_names_the_kind_and_the_nodes() {
+        let err = FleetError {
+            kind: ErrorKind::Connect,
+            message: "connection refused".into(),
+            nodes_tried: vec!["a:1".into(), "b:2".into()],
+        };
+        let text = err.to_string();
+        assert!(text.contains("Connect"), "{text}");
+        assert!(text.contains("2 nodes"), "{text}");
+        assert!(text.contains("a:1, b:2"), "{text}");
+    }
+
+    #[test]
+    fn node_for_request_agrees_with_the_ring() {
+        use hcs_core::{EtcMatrix, Scenario};
+        let client = FleetClient::new(&addrs(4));
+        let request = MapRequest {
+            scenario: Scenario::with_zero_ready(
+                EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0]]).unwrap(),
+            ),
+            heuristic: "Min-Min".into(),
+            random_ties: None,
+            iterative: true,
+            guard: false,
+            sleep_ms: 0,
+        };
+        let expected = &client.ring().nodes()[client.ring().node_for(request.digest())];
+        assert_eq!(client.node_for(&request), expected);
+    }
+}

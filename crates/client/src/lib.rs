@@ -48,6 +48,8 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+pub mod fleet;
+
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};

@@ -1,0 +1,227 @@
+//! Fleet-client acceptance tests: real `hcs-service` daemons on ephemeral
+//! ports behind a [`FleetClient`] — failover against an injected-fault
+//! node, terminal errors surfacing without failover, cache locality under
+//! ring routing, and reverse-ring-order drain.
+
+use std::time::Duration;
+
+use hcs_client::fleet::{FleetClient, FleetConfig};
+use hcs_client::{ClientConfig, ErrorKind};
+use hcs_core::{EtcMatrix, Scenario};
+use hcs_service::{MapRequest, ServeConfig, Server, ShardIdentity};
+
+fn serve(shard_id: u64, fleet_size: u64, fault_rate: f64) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 64,
+        cache_capacity: 256,
+        cache_shards: 4,
+        trace_capacity: 0,
+        fault_rate,
+        fault_seed: 2024,
+        shard: Some(ShardIdentity {
+            shard_id,
+            fleet_size,
+        }),
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Fleet config with no inner retries: every fault surfaces to the fleet
+/// layer, so the tests exercise *ring* failover rather than the inner
+/// client's backoff loop.
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            retries: 0,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(10),
+            jitter_seed: 1,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn request(seed: u64) -> MapRequest {
+    let rows: Vec<Vec<f64>> = (0..4)
+        .map(|t| {
+            (0..3)
+                .map(|m| {
+                    let mut x = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((t * 3 + m) as u64);
+                    x ^= x >> 31;
+                    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((x >> 33) % 100 + 1) as f64
+                })
+                .collect()
+        })
+        .collect();
+    MapRequest {
+        scenario: Scenario::with_zero_ready(EtcMatrix::from_rows(&rows).unwrap()),
+        heuristic: "Min-Min".into(),
+        random_ties: None,
+        iterative: true,
+        guard: false,
+        sleep_ms: 0,
+    }
+}
+
+/// The fleet acceptance test: two daemons, one injecting faults into 20%
+/// of its requests, and a fleet client with **zero** inner retries. Every
+/// fault becomes a fleet-level failover to the healthy node, and the
+/// whole batch still completes 100%.
+#[test]
+fn batch_completes_against_a_fleet_with_one_faulty_node() {
+    let healthy = serve(0, 2, 0.0);
+    let faulty = serve(1, 2, 0.2);
+    let addrs = vec![
+        healthy.local_addr().to_string(),
+        faulty.local_addr().to_string(),
+    ];
+    let mut client = FleetClient::with_config(&addrs, fleet_config());
+
+    let items: Vec<MapRequest> = (0..40).map(|i| request(5000 + i)).collect();
+    let results = client.map_batch(&items);
+    assert_eq!(results.len(), items.len());
+    for (i, r) in results.iter().enumerate() {
+        let reply = r.as_ref().unwrap_or_else(|e| {
+            panic!("item {i} failed despite a healthy failover target: {e}");
+        });
+        assert_eq!(reply.heuristic, "Min-Min");
+    }
+
+    // Singles fail over the same way.
+    for i in 0..20 {
+        client.map(&request(7000 + i)).unwrap_or_else(|e| {
+            panic!("single {i} failed despite a healthy failover target: {e}");
+        });
+    }
+
+    // The faulty node really did fault (otherwise this test is vacuous),
+    // and the health ledger saw both nodes take traffic.
+    let stats = client.stats();
+    let faults: u64 = stats
+        .iter()
+        .map(|(_, v)| {
+            v.as_ref()
+                .ok()
+                .and_then(|s| s.get("faults").and_then(|f| f.as_u64()))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(faults > 0, "fault injection never fired");
+    let health = client.health();
+    assert!(health.iter().all(|(_, h)| h.requests > 0), "{health:?}");
+
+    for server in [healthy, faulty] {
+        server.stop();
+        server.join();
+    }
+}
+
+/// Terminal errors must surface immediately: an unknown heuristic is a
+/// protocol-level mistake that would fail identically on every node, so
+/// the fleet client reports it after exactly one attempt.
+#[test]
+fn terminal_errors_surface_without_failover() {
+    let a = serve(0, 2, 0.0);
+    let b = serve(1, 2, 0.0);
+    let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let mut client = FleetClient::with_config(&addrs, fleet_config());
+
+    let mut bad = request(1);
+    bad.heuristic = "no-such-heuristic".into();
+    let err = client.map(&bad).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Protocol);
+    assert_eq!(
+        err.nodes_tried.len(),
+        1,
+        "terminal errors must not fail over: {err}"
+    );
+
+    // The same request through map_batch also stays on its owner.
+    let results = client.map_batch(std::slice::from_ref(&bad));
+    let err = results[0].as_ref().unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Protocol);
+    assert_eq!(err.nodes_tried.len(), 1, "{err}");
+
+    for server in [a, b] {
+        server.stop();
+        server.join();
+    }
+}
+
+/// Ring routing is cache-friendly: repeating a request lands it on the
+/// same node, so the second round is answered entirely from that node's
+/// digest cache.
+#[test]
+fn repeat_requests_hit_the_owner_node_cache() {
+    let a = serve(0, 2, 0.0);
+    let b = serve(1, 2, 0.0);
+    let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let mut client = FleetClient::with_config(&addrs, fleet_config());
+
+    let items: Vec<MapRequest> = (0..12).map(|i| request(100 + i)).collect();
+    for r in client.map_batch(&items) {
+        assert!(!r.expect("cold round completes").cached);
+    }
+    for r in client.map_batch(&items) {
+        assert!(
+            r.expect("warm round completes").cached,
+            "a repeated request missed its owner's cache"
+        );
+    }
+
+    // Identity stamped by `ServeConfig::shard` is visible through the
+    // fleet client's METRICS fan-out.
+    let metrics = client.metrics();
+    assert_eq!(metrics.len(), 2);
+    for (addr, text) in metrics {
+        let text = text.expect("metrics reachable");
+        assert!(
+            text.contains("hcs_shard_info{shard_id=\""),
+            "{addr} exposes no shard identity"
+        );
+    }
+
+    for server in [a, b] {
+        server.stop();
+        server.join();
+    }
+}
+
+/// `drain` shuts every node down, last ring position first, and reports
+/// one result per node in that order.
+#[test]
+fn drain_stops_every_node_in_reverse_ring_order() {
+    let servers: Vec<Server> = (0..3).map(|i| serve(i, 3, 0.0)).collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let mut client = FleetClient::with_config(&addrs, fleet_config());
+    client.map(&request(42)).expect("fleet serves before drain");
+
+    let expected: Vec<String> = {
+        let ring = client.ring();
+        let mut order: Vec<String> = ring
+            .ring_order()
+            .into_iter()
+            .map(|i| ring.nodes()[i].clone())
+            .collect();
+        order.reverse();
+        order
+    };
+    let drained = client.drain();
+    let drained_addrs: Vec<String> = drained.iter().map(|(a, _)| a.clone()).collect();
+    assert_eq!(drained_addrs, expected);
+    for (addr, result) in &drained {
+        assert!(result.is_ok(), "drain of {addr} failed: {result:?}");
+    }
+
+    // Every daemon actually exits.
+    for server in servers {
+        server.join();
+    }
+}

@@ -20,6 +20,7 @@ fn serve(workers: usize, fault_rate: f64) -> Server {
         trace_capacity: 0,
         fault_rate,
         fault_seed: 2024,
+        shard: None,
     })
     .expect("bind ephemeral port")
 }

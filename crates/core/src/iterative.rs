@@ -364,128 +364,6 @@ impl<'a, H: Heuristic + ?Sized> IterativeRun<'a, H> {
     }
 }
 
-/// Runs the iterative technique. See the module docs for the procedure.
-///
-/// # Panics
-///
-/// Panics if the heuristic violates its contract (leaves a task unassigned
-/// or assigns to an inactive machine); use [`try_run`] to get the error
-/// instead.
-#[deprecated(since = "0.1.0", note = "use IterativeRun::new(h, scenario).execute()")]
-pub fn run<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-) -> IterativeOutcome {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .execute()
-        .expect("heuristic violated the mapping contract")
-}
-
-/// Runs the iterative technique with an explicit [`IterativeConfig`].
-///
-/// # Panics
-///
-/// Panics if the heuristic violates its contract; use [`try_run`] for the
-/// fallible version.
-#[deprecated(
-    since = "0.1.0",
-    note = "use IterativeRun::new(h, scenario).config(cfg).execute()"
-)]
-pub fn run_with<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-    config: IterativeConfig,
-) -> IterativeOutcome {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .config(config)
-        .execute()
-        .expect("heuristic violated the mapping contract")
-}
-
-/// Like [`run`], but with a caller-owned [`MapWorkspace`] reused by every
-/// round's `map_with` call — the zero-allocation hot path for the studies.
-///
-/// # Panics
-///
-/// Panics if the heuristic violates its contract.
-#[deprecated(
-    since = "0.1.0",
-    note = "use IterativeRun::new(h, scenario).workspace(ws).execute()"
-)]
-pub fn run_in<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-    ws: &mut MapWorkspace,
-) -> IterativeOutcome {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .workspace(ws)
-        .execute()
-        .expect("heuristic violated the mapping contract")
-}
-
-/// Like [`run_with`], but with a caller-owned [`MapWorkspace`].
-///
-/// # Panics
-///
-/// Panics if the heuristic violates its contract.
-#[deprecated(
-    since = "0.1.0",
-    note = "use IterativeRun::new(h, scenario).config(cfg).workspace(ws).execute()"
-)]
-pub fn run_with_in<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-    config: IterativeConfig,
-    ws: &mut MapWorkspace,
-) -> IterativeOutcome {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .config(config)
-        .workspace(ws)
-        .execute()
-        .expect("heuristic violated the mapping contract")
-}
-
-/// Fallible driver: validates every mapping the heuristic produces.
-/// Allocates a throwaway [`MapWorkspace`]; hot loops should hold one and
-/// call [`try_run_in`].
-pub fn try_run<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-    config: IterativeConfig,
-) -> Result<IterativeOutcome, Error> {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .config(config)
-        .execute()
-}
-
-/// Fallible driver threading a caller-owned [`MapWorkspace`] through every
-/// round (the heuristic's [`Heuristic::map_with`] is called instead of
-/// `map`, so refactored heuristics reuse the workspace buffers across all
-/// `m − 1` re-runs).
-pub fn try_run_in<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-    config: IterativeConfig,
-    ws: &mut MapWorkspace,
-) -> Result<IterativeOutcome, Error> {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .config(config)
-        .workspace(ws)
-        .execute()
-}
-
 /// The shared always-disabled sink the untraced entry points delegate
 /// through (one `enabled()` branch per run, no per-call allocation).
 fn null_sink() -> &'static Arc<dyn TraceSink> {
@@ -504,28 +382,6 @@ fn round_balance_index(completion: &crate::mapping::CompletionTimes) -> f64 {
     }
     let min = pairs.iter().map(|&(_, t)| t).min().unwrap_or(Time::ZERO);
     min.get() / max.get()
-}
-
-/// Like [`try_run_in`], but emitting the round-by-round trajectory to
-/// `sink`; see [`IterativeRun::trace`], which this wrapper delegates to.
-#[deprecated(
-    since = "0.1.0",
-    note = "use IterativeRun::new(h, scenario).workspace(ws).trace(sink).execute()"
-)]
-pub fn try_run_in_traced<H: Heuristic + ?Sized>(
-    heuristic: &mut H,
-    scenario: &Scenario,
-    tb: &mut TieBreaker,
-    config: IterativeConfig,
-    ws: &mut MapWorkspace,
-    sink: &Arc<dyn TraceSink>,
-) -> Result<IterativeOutcome, Error> {
-    IterativeRun::new(heuristic, scenario)
-        .ties(tb)
-        .config(config)
-        .workspace(ws)
-        .trace(sink)
-        .execute()
 }
 
 /// The traced driver behind [`IterativeRun::execute`]: emits
@@ -1009,7 +865,7 @@ mod tests {
     }
 
     #[test]
-    fn try_run_surfaces_contract_violations() {
+    fn execute_surfaces_contract_violations() {
         struct Lazy;
         impl Heuristic for Lazy {
             fn name(&self) -> &'static str {
@@ -1019,14 +875,9 @@ mod tests {
                 Mapping::new(inst.etc.n_tasks()) // assigns nothing
             }
         }
-        let mut tb = TieBreaker::Deterministic;
-        let err = try_run(
-            &mut Lazy,
-            &scenario_3x3(),
-            &mut tb,
-            IterativeConfig::default(),
-        )
-        .unwrap_err();
+        let err = IterativeRun::new(&mut Lazy, &scenario_3x3())
+            .execute()
+            .unwrap_err();
         assert_eq!(err, Error::Unassigned(t(0)));
     }
 
@@ -1148,37 +999,6 @@ mod tests {
                 .unwrap();
             assert_eq!(reused, baseline);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_the_builder() {
-        let s = scenario_3x3();
-        let baseline = exec(&mut MiniMct, &s);
-        let cfg = IterativeConfig {
-            seed_guard: true,
-            ..IterativeConfig::default()
-        };
-        let cfg_baseline = exec_cfg(&mut MiniMct, &s, cfg);
-
-        let mut tb = TieBreaker::Deterministic;
-        assert_eq!(run(&mut MiniMct, &s, &mut tb), baseline);
-        let mut tb = TieBreaker::Deterministic;
-        assert_eq!(run_with(&mut MiniMct, &s, &mut tb, cfg), cfg_baseline);
-        let mut ws = MapWorkspace::new();
-        let mut tb = TieBreaker::Deterministic;
-        assert_eq!(run_in(&mut MiniMct, &s, &mut tb, &mut ws), baseline);
-        let mut tb = TieBreaker::Deterministic;
-        assert_eq!(
-            run_with_in(&mut MiniMct, &s, &mut tb, cfg, &mut ws),
-            cfg_baseline
-        );
-        let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
-        let mut tb = TieBreaker::Deterministic;
-        assert_eq!(
-            try_run_in_traced(&mut MiniMct, &s, &mut tb, cfg, &mut ws, &sink).unwrap(),
-            cfg_baseline
-        );
     }
 
     #[test]

@@ -1,21 +1,21 @@
-//! Property-based equivalence of the [`IterativeRun`] builder and the
-//! deprecated free-function wrappers it replaced.
+//! Property-based equivalence across the [`IterativeRun`] builder's
+//! configuration surface.
 //!
-//! The wrappers delegate to the builder, so equivalence is cheap to state
-//! but worth pinning down by property: for random tie-rich instances,
-//! random configs and **both** tie policies, every legacy entry point must
-//! produce an outcome bit-identical (rounds, mappings, final finishing
-//! times) to the equivalent builder chain. This is the compatibility
-//! contract that lets callers migrate one site at a time.
-
-#![allow(deprecated)]
+//! The builder is the only entry point to the iterative driver (the
+//! free-function wrappers it replaced are gone), so what needs pinning now
+//! is that its knobs are *observationally inert*: for random tie-rich
+//! instances, random configs and **both** tie policies, every way of
+//! spelling the same run — owned vs borrowed tie-breaker, throwaway vs
+//! reused workspace, disabled trace sink vs no sink at all — must produce
+//! an outcome bit-identical (rounds, mappings, final finishing times) to
+//! the plain chain.
 
 use std::sync::Arc;
 
 use hcs_core::obs::{NullSink, TraceSink};
 use hcs_core::{
-    iterative, select, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome,
-    IterativeRun, MakespanTie, MapWorkspace, Mapping, Scenario, TieBreaker,
+    select, EtcMatrix, Heuristic, Instance, IterativeConfig, IterativeOutcome, IterativeRun,
+    MakespanTie, MapWorkspace, Mapping, Scenario, TieBreaker,
 };
 use proptest::prelude::*;
 
@@ -45,8 +45,8 @@ impl Heuristic for MiniMct {
 }
 
 /// Tie-rich random instances: small integer costs collide constantly, so
-/// the tie-breaker stream (and therefore any divergence in how an entry
-/// point threads it) shows up in the outcome.
+/// the tie-breaker stream (and therefore any divergence in how a builder
+/// knob threads it) shows up in the outcome.
 fn scenarios() -> impl Strategy<Value = Scenario> {
     (2usize..=5, 1usize..=10).prop_flat_map(|(m, t)| {
         proptest::collection::vec(1u32..=4, t * m).prop_map(move |values| {
@@ -69,17 +69,14 @@ fn configs() -> impl Strategy<Value = IterativeConfig> {
     })
 }
 
-/// Both tie policies, reconstructed identically for every entry point so
-/// each run consumes a fresh but equal stream.
+/// Both tie policies, reconstructed identically for every spelling so each
+/// run consumes a fresh but equal stream.
 fn tie_policies(seed: u64) -> [TieBreaker; 2] {
     [TieBreaker::Deterministic, TieBreaker::random(seed)]
 }
 
-fn builder_outcome(
-    scenario: &Scenario,
-    config: IterativeConfig,
-    mut tb: TieBreaker,
-) -> IterativeOutcome {
+/// The reference spelling: borrowed ties, throwaway workspace, no sink.
+fn baseline(scenario: &Scenario, config: IterativeConfig, mut tb: TieBreaker) -> IterativeOutcome {
     IterativeRun::new(&mut MiniMct, scenario)
         .ties(&mut tb)
         .config(config)
@@ -89,72 +86,75 @@ fn builder_outcome(
 
 proptest! {
     #[test]
-    fn wrappers_match_the_builder(
+    fn builder_knobs_are_observationally_inert(
         scenario in scenarios(),
         config in configs(),
         seed in 0u64..1_000_000,
     ) {
         for tb in tie_policies(seed) {
-            // `run` / `run_in` fix the default config; compare against a
-            // default-config builder chain.
-            let default_cfg = builder_outcome(&scenario, IterativeConfig::default(), tb.clone());
-            let configured = builder_outcome(&scenario, config, tb.clone());
+            let reference = baseline(&scenario, config, tb.clone());
 
-            let mut t = tb.clone();
-            prop_assert_eq!(
-                &iterative::run(&mut MiniMct, &scenario, &mut t),
-                &default_cfg
-            );
+            // Owned tie-breaker (`tie_breaker`) vs borrowed (`ties`).
+            let owned = IterativeRun::new(&mut MiniMct, &scenario)
+                .tie_breaker(tb.clone())
+                .config(config)
+                .execute()
+                .expect("MiniMct honors the mapping contract");
+            prop_assert_eq!(&owned, &reference);
 
-            let mut t = tb.clone();
-            prop_assert_eq!(
-                &iterative::run_with(&mut MiniMct, &scenario, &mut t, config),
-                &configured
-            );
-
-            let mut t = tb.clone();
+            // A caller-owned workspace, reused twice in a row: the reuse
+            // path must match the scratch path and leave no state behind.
             let mut ws = MapWorkspace::new();
-            prop_assert_eq!(
-                &iterative::run_in(&mut MiniMct, &scenario, &mut t, &mut ws),
-                &default_cfg
-            );
+            for _ in 0..2 {
+                let mut t = tb.clone();
+                let reused = IterativeRun::new(&mut MiniMct, &scenario)
+                    .ties(&mut t)
+                    .config(config)
+                    .workspace(&mut ws)
+                    .execute()
+                    .expect("MiniMct honors the mapping contract");
+                prop_assert_eq!(&reused, &reference);
+            }
 
-            let mut t = tb.clone();
-            let mut ws = MapWorkspace::new();
-            prop_assert_eq!(
-                &iterative::run_with_in(&mut MiniMct, &scenario, &mut t, config, &mut ws),
-                &configured
-            );
-
+            // A disabled sink must short-circuit to the untraced hot path.
             let mut t = tb.clone();
             let mut ws = MapWorkspace::new();
             let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
-            let traced =
-                iterative::try_run_in_traced(&mut MiniMct, &scenario, &mut t, config, &mut ws, &sink)
-                    .expect("MiniMct honors the mapping contract");
-            prop_assert_eq!(&traced, &configured);
+            let traced = IterativeRun::new(&mut MiniMct, &scenario)
+                .ties(&mut t)
+                .config(config)
+                .workspace(&mut ws)
+                .trace(&sink)
+                .execute()
+                .expect("MiniMct honors the mapping contract");
+            prop_assert_eq!(&traced, &reference);
         }
     }
 
-    /// The borrowed tie-breaker is threaded, not copied: after equivalent
-    /// runs, the builder and the wrapper leave the caller's breaker in the
-    /// same state (observable through its next picks).
+    /// The borrowed tie-breaker is threaded, not copied: two equivalent
+    /// spellings leave the caller's breaker in the same state (observable
+    /// through its next picks).
     #[test]
     fn tie_breaker_state_advances_identically(
         scenario in scenarios(),
         seed in 0u64..1_000_000,
     ) {
-        let mut via_builder = TieBreaker::random(seed);
+        let mut plain = TieBreaker::random(seed);
         IterativeRun::new(&mut MiniMct, &scenario)
-            .ties(&mut via_builder)
+            .ties(&mut plain)
             .execute()
             .expect("MiniMct honors the mapping contract");
 
-        let mut via_wrapper = TieBreaker::random(seed);
-        iterative::run(&mut MiniMct, &scenario, &mut via_wrapper);
+        let mut with_workspace = TieBreaker::random(seed);
+        let mut ws = MapWorkspace::new();
+        IterativeRun::new(&mut MiniMct, &scenario)
+            .ties(&mut with_workspace)
+            .workspace(&mut ws)
+            .execute()
+            .expect("MiniMct honors the mapping contract");
 
         for width in 2usize..=7 {
-            prop_assert_eq!(via_builder.pick(width), via_wrapper.pick(width));
+            prop_assert_eq!(plain.pick(width), with_workspace.pick(width));
         }
     }
 }

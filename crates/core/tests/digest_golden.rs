@@ -1,0 +1,65 @@
+//! Golden digests: exact [`InstanceDigest`] values pinned for fixed
+//! instances.
+//!
+//! The digest keys the service's cross-request cache and the fleet tier's
+//! consistent-hash routing, so its value for a given request is a *wire
+//! contract*: if any of these constants change, every persisted cache
+//! entry is invalidated and every fleet key remaps to a new owner. A
+//! failure here means the canonical field order, the FNV constants, or a
+//! field encoding changed — that must be a deliberate, versioned decision,
+//! never an accident.
+
+use hcs_core::{EtcMatrix, InstanceDigest, Objective, Scenario};
+
+/// The paper's worked 3x2 instance, as `mapc --etc` would submit it.
+fn paper_scenario() -> Scenario {
+    Scenario::with_zero_ready(
+        EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0], vec![8.0, 3.0]]).unwrap(),
+    )
+}
+
+#[test]
+fn v1_makespan_request_digest_is_pinned() {
+    // An iterative Min-Min run with deterministic ties and no guard —
+    // the exact shape of a v1 (pre-objective) cache key.
+    let digest = InstanceDigest::of_request(&paper_scenario(), "Min-Min", None, true, false);
+    assert_eq!(
+        digest, 0xab48_7e64_a6a0_932d,
+        "v1 request digest drifted: got {digest:#018x}"
+    );
+}
+
+#[test]
+fn non_makespan_request_digest_is_pinned() {
+    // The same instance under flowtime: the objective name is appended to
+    // the digest stream, so this constant differs from the v1 one — and
+    // both are load-bearing for mixed-objective caches.
+    let scenario = paper_scenario().with_objective(Objective::Flowtime);
+    let digest = InstanceDigest::of_request(&scenario, "Min-Min", None, true, false);
+    assert_eq!(
+        digest, 0x933c_9f0e_d621_1b34,
+        "flowtime request digest drifted: got {digest:#018x}"
+    );
+}
+
+#[test]
+fn incremental_stream_reproduces_the_pinned_v1_digest() {
+    // The canonical field order, spelled out by hand through the
+    // incremental API: shape, ETC values row-major, ready times,
+    // heuristic, tie policy, iterative, guard. Pinning the hand-built
+    // stream against the same constant proves `of_request` feeds exactly
+    // these fields in exactly this order.
+    let mut d = InstanceDigest::new();
+    d.write_usize(3).write_usize(2);
+    for v in [2.0f64, 6.0, 3.0, 4.0, 8.0, 3.0] {
+        d.write_u64(v.to_bits());
+    }
+    for r in [0.0f64, 0.0] {
+        d.write_u64(r.to_bits());
+    }
+    d.write_str("Min-Min")
+        .write_opt_u64(None)
+        .write_bool(true)
+        .write_bool(false);
+    assert_eq!(d.finish(), 0xab48_7e64_a6a0_932d);
+}

@@ -9,7 +9,7 @@
 //! `BENCH_kernel.json`.
 //!
 //! Three sinks cover the stack: [`NullSink`] (always disabled — the default
-//! wired through `try_run_in`), [`VecSink`] (collects everything; tests and
+//! when an `IterativeRun` has no sink attached), [`VecSink`] (collects everything; tests and
 //! the one-shot `nonmakespan trace` CLI), and [`TraceBuffer`] (a bounded
 //! ring a long-running daemon keeps — old events are overwritten, a
 //! `TRACE` request snapshots the survivors in order).

@@ -66,4 +66,4 @@ pub use protocol::{
     MAX_BATCH_ITEMS, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server};
-pub use stats::{LatencyHistogram, ServiceStats};
+pub use stats::{LatencyHistogram, ServiceStats, ShardIdentity};

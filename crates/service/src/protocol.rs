@@ -54,7 +54,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use hcs_core::{
-    iterative, EtcMatrix, Heuristic, InstanceDigest, IterativeConfig, Objective, ReadyTimes,
+    EtcMatrix, Heuristic, InstanceDigest, IterativeConfig, IterativeRun, Objective, ReadyTimes,
     Scenario, TieBreaker,
 };
 
@@ -673,17 +673,15 @@ pub fn execute(
         |e: hcs_core::Error| ProtocolError::internal(format!("heuristic contract violation: {e}"));
 
     if req.iterative {
-        let outcome = iterative::try_run_in(
-            &mut *heuristic,
-            scenario,
-            &mut tb,
-            IterativeConfig {
+        let outcome = IterativeRun::new(&mut *heuristic, scenario)
+            .ties(&mut tb)
+            .config(IterativeConfig {
                 seed_guard: req.guard,
                 ..IterativeConfig::default()
-            },
-            ws,
-        )
-        .map_err(internal)?;
+            })
+            .workspace(ws)
+            .execute()
+            .map_err(internal)?;
         let round0 = &outcome.rounds[0];
         let machines = scenario.etc.machine_vec();
         let objective_value = round0
@@ -970,9 +968,7 @@ mod tests {
 
         // Same run through the library directly.
         let mut h = hcs_heuristics::by_name("sufferage").unwrap();
-        let outcome = iterative::IterativeRun::new(&mut *h, &req.scenario)
-            .execute()
-            .unwrap();
+        let outcome = IterativeRun::new(&mut *h, &req.scenario).execute().unwrap();
         assert_eq!(it.final_makespan, outcome.final_makespan().get());
         assert_eq!(it.makespan_increased, outcome.makespan_increased());
     }

@@ -42,7 +42,7 @@ use crate::cache::ShardedCache;
 use crate::json::{ObjectBuilder, Value};
 use crate::protocol::{self, BatchRequest, MapRequest, MapResult, ProtocolError, Request};
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::ServiceStats;
+use crate::stats::{ServiceStats, ShardIdentity};
 
 /// How long a connection thread waits on a silent socket before it checks
 /// the shutdown flag again (bounds shutdown latency for idle connections).
@@ -73,6 +73,10 @@ pub struct ServeConfig {
     pub fault_rate: f64,
     /// Seed for the fault-injection sequence.
     pub fault_seed: u64,
+    /// Fleet identity (`serve --shard-id`/`--fleet-size`). When set, the
+    /// daemon stamps it into `STATS` and `METRICS` output; standalone
+    /// daemons (`None`, the default) expose exactly the pre-fleet shape.
+    pub shard: Option<ShardIdentity>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +90,7 @@ impl Default for ServeConfig {
             trace_capacity: 1024,
             fault_rate: 0.0,
             fault_seed: 0,
+            shard: None,
         }
     }
 }
@@ -182,7 +187,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
-            stats: ServiceStats::new(),
+            stats: ServiceStats::with_shard(config.shard),
             trace: Arc::new(TraceBuffer::new(config.trace_capacity)),
             fault: FaultInjector::new(config.fault_rate, config.fault_seed),
             shutdown: AtomicBool::new(false),

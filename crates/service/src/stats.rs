@@ -54,6 +54,20 @@ use crate::json::{ObjectBuilder, Value};
 /// Number of histogram buckets: bucket `i` holds samples `<= 2^i` µs.
 pub use hcs_obs::BUCKETS;
 
+/// The daemon's position in a sharded fleet, stamped into `STATS` and
+/// `METRICS` output so fleet clients and scrapers can tell replies apart.
+///
+/// Standalone daemons have no identity and their exposition is unchanged —
+/// the fields only appear once `serve --shard-id`/`--fleet-size` (or the
+/// in-process equivalent) assigns one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// Zero-based index of this daemon within the fleet.
+    pub shard_id: u64,
+    /// Total daemons in the fleet.
+    pub fleet_size: u64,
+}
+
 /// Lock-free fixed-bucket latency histogram (microsecond resolution).
 ///
 /// This is now the shared [`hcs_obs::Histogram`]; the old service-local
@@ -69,6 +83,8 @@ pub use hcs_obs::Histogram as LatencyHistogram;
 #[derive(Debug)]
 pub struct ServiceStats {
     registry: Registry,
+    /// Fleet position, if this daemon is one shard of a fleet.
+    shard: Option<ShardIdentity>,
     /// Valid map requests received (before queueing / cache lookup).
     pub submitted: Counter,
     /// Requests computed by a worker.
@@ -110,9 +126,32 @@ impl Default for ServiceStats {
 }
 
 impl ServiceStats {
-    /// A zeroed stats block with every metric registered.
+    /// A zeroed stats block with every metric registered and no fleet
+    /// identity (the standalone-daemon default).
     pub fn new() -> Self {
+        Self::with_shard(None)
+    }
+
+    /// A zeroed stats block, optionally stamped with a fleet identity.
+    ///
+    /// When `shard` is set, an `hcs_shard_info` gauge pinned at 1 carries
+    /// the identity as `shard_id`/`fleet_size` labels (the Prometheus
+    /// "info metric" idiom), and [`ServiceStats::to_line`] adds matching
+    /// JSON fields. When `None`, the exposition is byte-identical to what
+    /// a pre-fleet daemon produced.
+    pub fn with_shard(shard: Option<ShardIdentity>) -> Self {
         let registry = Registry::new();
+        if let Some(id) = shard {
+            let info = registry.gauge_with(
+                "hcs_shard_info",
+                "Fleet identity of this daemon (value is always 1).",
+                &[
+                    ("shard_id", &id.shard_id.to_string()),
+                    ("fleet_size", &id.fleet_size.to_string()),
+                ],
+            );
+            info.set(1);
+        }
         let submitted = registry.counter(
             "hcs_requests_submitted_total",
             "Valid map requests received.",
@@ -160,6 +199,7 @@ impl ServiceStats {
         );
         Self {
             registry,
+            shard,
             submitted,
             served,
             cache_hits,
@@ -199,25 +239,26 @@ impl ServiceStats {
             )
             .field("max_us", Value::Number(self.latency.max() as f64))
             .build();
+        let mut stats = ObjectBuilder::new()
+            .field("submitted", count(&self.submitted))
+            .field("served", count(&self.served))
+            .field("cache_hits", count(&self.cache_hits))
+            .field("rejected", count(&self.rejected))
+            .field("bad_requests", count(&self.bad_requests))
+            .field("batched", count(&self.batched))
+            .field("batch_items", count(&self.batch_items))
+            .field("faults", count(&self.faults))
+            .field("queue_depth", Value::Number(queue_depth as f64))
+            .field("workers", Value::Number(workers as f64));
+        if let Some(id) = self.shard {
+            stats = stats
+                .field("shard_id", Value::Number(id.shard_id as f64))
+                .field("fleet_size", Value::Number(id.fleet_size as f64));
+        }
         ObjectBuilder::new()
             .field("ok", Value::Bool(true))
             .field("v", Value::Number(crate::protocol::PROTOCOL_VERSION as f64))
-            .field(
-                "stats",
-                ObjectBuilder::new()
-                    .field("submitted", count(&self.submitted))
-                    .field("served", count(&self.served))
-                    .field("cache_hits", count(&self.cache_hits))
-                    .field("rejected", count(&self.rejected))
-                    .field("bad_requests", count(&self.bad_requests))
-                    .field("batched", count(&self.batched))
-                    .field("batch_items", count(&self.batch_items))
-                    .field("faults", count(&self.faults))
-                    .field("queue_depth", Value::Number(queue_depth as f64))
-                    .field("workers", Value::Number(workers as f64))
-                    .field("latency", latency)
-                    .build(),
-            )
+            .field("stats", stats.field("latency", latency).build())
             .build()
             .to_string()
     }
@@ -325,6 +366,31 @@ mod tests {
         assert!(text.contains("hcs_queue_depth 5\n"));
         assert!(text.contains("hcs_workers 2\n"));
         assert!(text.contains("hcs_request_latency_us_count 1\n"));
+    }
+
+    #[test]
+    fn shard_identity_shows_up_in_both_expositions() {
+        let s = ServiceStats::with_shard(Some(ShardIdentity {
+            shard_id: 2,
+            fleet_size: 4,
+        }));
+        let line = s.to_line(0, 1);
+        let v = crate::json::parse(&line).unwrap();
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("shard_id").unwrap().as_u64(), Some(2));
+        assert_eq!(stats.get("fleet_size").unwrap().as_u64(), Some(4));
+        let text = s.prometheus_text(0, 1);
+        hcs_obs::validate_prometheus(&text).expect("exposition must be valid");
+        assert!(text.contains("hcs_shard_info{shard_id=\"2\",fleet_size=\"4\"} 1\n"));
+    }
+
+    #[test]
+    fn standalone_daemon_exposes_no_shard_fields() {
+        let s = ServiceStats::new();
+        let line = s.to_line(0, 1);
+        assert!(!line.contains("shard_id"));
+        assert!(!line.contains("fleet_size"));
+        assert!(!s.prometheus_text(0, 1).contains("hcs_shard_info"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn start(workers: usize, queue_depth: usize) -> Server {
         trace_capacity: 256,
         fault_rate: 0.0,
         fault_seed: 0,
+        shard: None,
     })
     .expect("bind ephemeral port")
 }
@@ -362,6 +363,7 @@ fn zero_trace_capacity_disables_tracing() {
         trace_capacity: 0,
         fault_rate: 0.0,
         fault_seed: 0,
+        shard: None,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -584,6 +586,7 @@ fn injected_faults_are_typed_counted_and_deterministic() {
             trace_capacity: 0,
             fault_rate: rate,
             fault_seed: 42,
+            shard: None,
         })
         .expect("bind ephemeral port")
     };

@@ -92,10 +92,21 @@ pub enum Command {
         /// Daemon configuration (bind address, workers, queue, cache).
         config: hcs_service::ServeConfig,
     },
+    /// Spawn a local fleet of daemons on ephemeral ports and run them
+    /// until every shard has been told to shut down.
+    Fleet {
+        /// Number of shards to spawn.
+        size: usize,
+        /// Worker threads per shard.
+        workers: usize,
+    },
     /// Map an ETC CSV against a running daemon over TCP.
     Mapc {
         /// Daemon address, `HOST:PORT`.
         addr: String,
+        /// Fleet shard addresses (`--fleet a,b,c`); when set, requests
+        /// route through the consistent-hash ring instead of `addr`.
+        fleet: Option<Vec<String>>,
         /// CSV text of the ETC matrix.
         csv: String,
         /// Heuristic name.
@@ -146,7 +157,10 @@ USAGE:
   nonmakespan serve    [--addr 127.0.0.1:7077] [--workers 4] [--queue-depth 256]
                        [--cache-capacity 1024] [--trace-capacity 1024]
                        [--fault-rate 0.0] [--fault-seed 0]
+                       [--shard-id I --fleet-size N]
+  nonmakespan fleet    --size N [--workers 4]
   nonmakespan mapc     --etc FILE.csv --heuristic NAME [--addr 127.0.0.1:7077]
+                       [--fleet HOST:PORT,HOST:PORT,...]
                        [--iterative] [--guard] [--random-ties SEED]
                        [--retries 3] [--timeout-ms 5000] [--batch K]
                        [--objective NAME]
@@ -288,6 +302,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 })
                 .transpose()?
                 .unwrap_or(defaults.fault_seed);
+            let fleet_flag = |name: &str| {
+                flag(rest, name)
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| CliError(format!("{name} takes an integer")))
+                    })
+                    .transpose()
+            };
+            let shard = match (fleet_flag("--shard-id")?, fleet_flag("--fleet-size")?) {
+                (None, None) => None,
+                (Some(shard_id), Some(fleet_size)) => {
+                    if fleet_size == 0 || shard_id >= fleet_size {
+                        return Err(CliError("--shard-id must be less than --fleet-size".into()));
+                    }
+                    Some(hcs_service::ShardIdentity {
+                        shard_id,
+                        fleet_size,
+                    })
+                }
+                _ => {
+                    return Err(CliError(
+                        "--shard-id and --fleet-size must be given together".into(),
+                    ))
+                }
+            };
             Ok(Command::Serve {
                 config: hcs_service::ServeConfig {
                     addr: flag(rest, "--addr").unwrap_or(defaults.addr),
@@ -298,8 +337,26 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     trace_capacity: uint("--trace-capacity", defaults.trace_capacity)?,
                     fault_rate,
                     fault_seed,
+                    shard,
                 },
             })
+        }
+        "fleet" => {
+            let size = flag(rest, "--size")
+                .ok_or_else(|| CliError("fleet requires --size N".into()))?
+                .parse::<usize>()
+                .map_err(|_| CliError("--size takes an integer".into()))?;
+            if size == 0 {
+                return Err(CliError("--size must be at least 1".into()));
+            }
+            let workers = flag(rest, "--workers")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError("--workers takes an integer".into()))
+                })
+                .transpose()?
+                .unwrap_or(hcs_service::ServeConfig::default().workers);
+            Ok(Command::Fleet { size, workers })
         }
         "mapc" => {
             let path = flag(rest, "--etc")
@@ -328,9 +385,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError("--batch takes an integer".into()))
                 })
                 .transpose()?;
+            let fleet = flag(rest, "--fleet").map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect::<Vec<_>>()
+            });
+            if matches!(&fleet, Some(addrs) if addrs.is_empty()) {
+                return Err(CliError(
+                    "--fleet takes a comma-separated list of HOST:PORT addresses".into(),
+                ));
+            }
             Ok(Command::Mapc {
                 addr: flag(rest, "--addr")
                     .unwrap_or_else(|| hcs_service::ServeConfig::default().addr),
+                fleet,
                 csv,
                 heuristic,
                 random_ties,
@@ -621,8 +690,39 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let final_stats = server.join();
             Ok(format!("daemon stopped; final stats: {final_stats}\n"))
         }
+        Command::Fleet { size, workers } => {
+            let mut servers = Vec::with_capacity(size);
+            for i in 0..size {
+                let server = hcs_service::Server::start(hcs_service::ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers,
+                    shard: Some(hcs_service::ShardIdentity {
+                        shard_id: i as u64,
+                        fleet_size: size as u64,
+                    }),
+                    ..hcs_service::ServeConfig::default()
+                })
+                .map_err(|e| CliError(format!("cannot start shard {i}: {e}")))?;
+                servers.push(server);
+            }
+            let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+            // Announce readiness immediately (scripts wait for this line);
+            // the returned text is the post-shutdown summary.
+            println!(
+                "fleet of {size} shards listening: {}\nroute with `mapc --fleet {}`; each shard stops on its own {{\"op\":\"shutdown\"}}",
+                addrs.join(" "),
+                addrs.join(","),
+            );
+            let mut out = String::new();
+            for (i, server) in servers.into_iter().enumerate() {
+                let final_stats = server.join();
+                let _ = writeln!(out, "shard {i} stopped; final stats: {final_stats}");
+            }
+            Ok(out)
+        }
         Command::Mapc {
             addr,
+            fleet,
             csv,
             heuristic,
             random_ties,
@@ -643,62 +743,103 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 guard,
                 sleep_ms: 0,
             };
-            let mut client = hcs_client::Client::with_config(
-                &addr,
-                hcs_client::ClientConfig {
-                    read_timeout: std::time::Duration::from_millis(timeout_ms),
-                    retries,
-                    ..hcs_client::ClientConfig::default()
-                },
-            );
+            let client_config = hcs_client::ClientConfig {
+                read_timeout: std::time::Duration::from_millis(timeout_ms),
+                retries,
+                ..hcs_client::ClientConfig::default()
+            };
             let mut out = String::new();
             let fmt_opt = |v: Option<String>| v.unwrap_or_else(|| "-".into());
-            match batch {
-                None => {
-                    let reply = client
-                        .map(&request)
-                        .map_err(|e| CliError(format!("daemon request failed: {e}")))?;
-                    let _ = writeln!(
-                        out,
-                        "heuristic: {} (cached: {})",
-                        reply.heuristic, reply.cached
-                    );
-                    let _ = writeln!(out, "makespan: {}", reply.makespan);
-                    if let (Some(name), Some(value)) =
-                        (reply.objective.as_deref(), reply.objective_value)
-                    {
-                        let _ = writeln!(out, "{name}: {value}");
-                    }
-                    if let (Some(fin), Some(rounds)) = (reply.final_makespan, reply.rounds) {
-                        let _ = writeln!(out, "final makespan: {fin} after {rounds} rounds");
+            let render_single = |out: &mut String, reply: &hcs_client::MapReply| {
+                let _ = writeln!(
+                    out,
+                    "heuristic: {} (cached: {})",
+                    reply.heuristic, reply.cached
+                );
+                let _ = writeln!(out, "makespan: {}", reply.makespan);
+                if let (Some(name), Some(value)) =
+                    (reply.objective.as_deref(), reply.objective_value)
+                {
+                    let _ = writeln!(out, "{name}: {value}");
+                }
+                if let (Some(fin), Some(rounds)) = (reply.final_makespan, reply.rounds) {
+                    let _ = writeln!(out, "final makespan: {fin} after {rounds} rounds");
+                }
+            };
+            let render_batch = |out: &mut String,
+                                rows: &mut dyn Iterator<
+                Item = Result<&hcs_client::MapReply, String>,
+            >| {
+                let mut table =
+                    TextTable::new(vec!["item", "cached", "makespan", "final", "rounds"]);
+                for (i, result) in rows.enumerate() {
+                    match result {
+                        Ok(reply) => table.push_row(vec![
+                            i.to_string(),
+                            reply.cached.to_string(),
+                            reply.makespan.to_string(),
+                            fmt_opt(reply.final_makespan.map(|v| v.to_string())),
+                            fmt_opt(reply.rounds.map(|v| v.to_string())),
+                        ]),
+                        Err(e) => table.push_row(vec![
+                            i.to_string(),
+                            "-".into(),
+                            format!("error: {e}"),
+                            "-".into(),
+                            "-".into(),
+                        ]),
                     }
                 }
-                Some(k) => {
-                    let items = vec![request; k];
-                    let results = client
-                        .map_batch(&items)
-                        .map_err(|e| CliError(format!("daemon batch failed: {e}")))?;
-                    let mut table =
-                        TextTable::new(vec!["item", "cached", "makespan", "final", "rounds"]);
-                    for (i, result) in results.iter().enumerate() {
-                        match result {
-                            Ok(reply) => table.push_row(vec![
-                                i.to_string(),
-                                reply.cached.to_string(),
-                                reply.makespan.to_string(),
-                                fmt_opt(reply.final_makespan.map(|v| v.to_string())),
-                                fmt_opt(reply.rounds.map(|v| v.to_string())),
-                            ]),
-                            Err(e) => table.push_row(vec![
-                                i.to_string(),
-                                "-".into(),
-                                format!("error: {e}"),
-                                "-".into(),
-                                "-".into(),
-                            ]),
-                        }
+                let _ = writeln!(out, "{table}");
+            };
+            if let Some(addrs) = fleet {
+                let mut client = hcs_client::fleet::FleetClient::with_config(
+                    &addrs,
+                    hcs_client::fleet::FleetConfig {
+                        client: client_config,
+                        ..hcs_client::fleet::FleetConfig::default()
+                    },
+                );
+                match batch {
+                    None => {
+                        let _ = writeln!(out, "routed to: {}", client.node_for(&request));
+                        let reply = client
+                            .map(&request)
+                            .map_err(|e| CliError(format!("fleet request failed: {e}")))?;
+                        render_single(&mut out, &reply);
                     }
-                    let _ = writeln!(out, "{table}");
+                    Some(k) => {
+                        let items = vec![request; k];
+                        let results = client.map_batch(&items);
+                        render_batch(
+                            &mut out,
+                            &mut results
+                                .iter()
+                                .map(|r| r.as_ref().map_err(|e| e.to_string())),
+                        );
+                    }
+                }
+            } else {
+                let mut client = hcs_client::Client::with_config(&addr, client_config);
+                match batch {
+                    None => {
+                        let reply = client
+                            .map(&request)
+                            .map_err(|e| CliError(format!("daemon request failed: {e}")))?;
+                        render_single(&mut out, &reply);
+                    }
+                    Some(k) => {
+                        let items = vec![request; k];
+                        let results = client
+                            .map_batch(&items)
+                            .map_err(|e| CliError(format!("daemon batch failed: {e}")))?;
+                        render_batch(
+                            &mut out,
+                            &mut results
+                                .iter()
+                                .map(|r| r.as_ref().map_err(|e| e.to_string())),
+                        );
+                    }
                 }
             }
             Ok(out)
@@ -1018,6 +1159,163 @@ mod tests {
     }
 
     #[test]
+    fn serve_shard_flags_parse_and_validate() {
+        let cmd = parse(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--shard-id",
+            "1",
+            "--fleet-size",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { config } => {
+                assert_eq!(
+                    config.shard,
+                    Some(hcs_service::ShardIdentity {
+                        shard_id: 1,
+                        fleet_size: 4
+                    })
+                );
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        // Standalone serve carries no identity.
+        match parse(&strs(&["serve"])).unwrap() {
+            Command::Serve { config } => assert_eq!(config.shard, None),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        // Half an identity or an out-of-range one is a usage error.
+        assert!(parse(&strs(&["serve", "--shard-id", "0"])).is_err());
+        assert!(parse(&strs(&["serve", "--fleet-size", "2"])).is_err());
+        assert!(parse(&strs(&["serve", "--shard-id", "4", "--fleet-size", "4"])).is_err());
+        assert!(parse(&strs(&["serve", "--shard-id", "0", "--fleet-size", "0"])).is_err());
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_validate() {
+        match parse(&strs(&["fleet", "--size", "3", "--workers", "2"])).unwrap() {
+            Command::Fleet { size, workers } => {
+                assert_eq!(size, 3);
+                assert_eq!(workers, 2);
+            }
+            other => panic!("expected fleet, got {other:?}"),
+        }
+        assert!(parse(&strs(&["fleet"])).is_err()); // missing --size
+        assert!(parse(&strs(&["fleet", "--size", "0"])).is_err());
+        assert!(parse(&strs(&["fleet", "--size", "many"])).is_err());
+    }
+
+    #[test]
+    fn mapc_fleet_flag_parses_a_comma_list() {
+        let dir = std::env::temp_dir().join("nonmakespan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapc-fleet.csv");
+        std::fs::write(&path, "2,6\n3,4\n8,3\n").unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        let cmd = parse(&strs(&[
+            "mapc",
+            "--etc",
+            &path,
+            "--heuristic",
+            "mct",
+            "--fleet",
+            "127.0.0.1:7077, 127.0.0.1:7078",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Mapc { fleet, .. } => {
+                assert_eq!(
+                    fleet,
+                    Some(vec![
+                        "127.0.0.1:7077".to_string(),
+                        "127.0.0.1:7078".to_string()
+                    ])
+                );
+            }
+            other => panic!("expected mapc, got {other:?}"),
+        }
+        assert!(parse(&strs(&[
+            "mapc",
+            "--etc",
+            &path,
+            "--heuristic",
+            "mct",
+            "--fleet",
+            ","
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn mapc_fleet_end_to_end_against_a_two_shard_fleet() {
+        let start = |shard_id: u64| {
+            hcs_service::Server::start(hcs_service::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                shard: Some(hcs_service::ShardIdentity {
+                    shard_id,
+                    fleet_size: 2,
+                }),
+                ..hcs_service::ServeConfig::default()
+            })
+            .unwrap()
+        };
+        let (a, b) = (start(0), start(1));
+        let addrs = format!("{},{}", a.local_addr(), b.local_addr());
+        let mapc = |batch: Option<usize>| Command::Mapc {
+            addr: "unused:0".into(),
+            fleet: Some(addrs.split(',').map(str::to_string).collect()),
+            csv: "2,6\n3,4\n8,3\n".into(),
+            heuristic: "min-min".into(),
+            random_ties: None,
+            iterative: true,
+            guard: false,
+            retries: 2,
+            timeout_ms: 5000,
+            batch,
+            objective: Objective::Makespan,
+        };
+
+        let single = execute(mapc(None)).unwrap();
+        assert!(single.contains("routed to: 127.0.0.1:"), "{single}");
+        assert!(single.contains("makespan: 5"), "{single}");
+
+        let batched = execute(mapc(Some(3))).unwrap();
+        assert!(!batched.contains("error:"), "{batched}");
+
+        for server in [a, b] {
+            server.stop();
+            server.join();
+        }
+    }
+
+    #[test]
+    fn mapc_fleet_with_unreachable_nodes_fails_with_a_connect_error() {
+        // Nothing listens on these ports; the fleet client must exhaust
+        // the ring and surface a typed connect error (exit 2 via main).
+        let err = execute(Command::Mapc {
+            addr: "unused:0".into(),
+            fleet: Some(vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()]),
+            csv: "2,6\n3,4\n8,3\n".into(),
+            heuristic: "min-min".into(),
+            random_ties: None,
+            iterative: false,
+            guard: false,
+            retries: 0,
+            timeout_ms: 200,
+            batch: None,
+            objective: Objective::Makespan,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("Connect"), "{err}");
+        assert!(err.0.contains("2 nodes"), "{err}");
+    }
+
+    #[test]
     fn mapc_flags_parse() {
         let dir = std::env::temp_dir().join("nonmakespan-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1074,11 +1372,13 @@ mod tests {
             trace_capacity: 0,
             fault_rate: 0.2,
             fault_seed: 11,
+            shard: None,
         })
         .unwrap();
         let addr = server.local_addr().to_string();
         let mapc = |batch: Option<usize>| Command::Mapc {
             addr: addr.clone(),
+            fleet: None,
             csv: "2,6\n3,4\n8,3\n".into(),
             heuristic: "min-min".into(),
             random_ties: None,
