@@ -37,10 +37,18 @@
 //! of in-process daemons (every node count in {1, 2, 4, 8} up to `N`),
 //! routes the workload through the consistent-hash [`FleetClient`], and
 //! records scaling efficiency and per-node cache hit rates into the
-//! `"fleet"` section. `--fleet N --smoke` instead asserts the routing
-//! invariants (>= 90% of keys stay put when one of 16 ring nodes is
-//! removed), drives a live fleet end-to-end, and proves failover absorbs
-//! a fault-injecting node.
+//! `"fleet"` section — each run now also records the fleet-merged
+//! queue-wait p95 and ring-imbalance statistics (min/max/CV of per-node
+//! `submitted`, with a loud warning if any node saw zero requests).
+//! `--fleet N --smoke` instead asserts the routing invariants (>= 90% of
+//! keys stay put when one of 16 ring nodes is removed), drives a live
+//! fleet end-to-end (asserting the imbalance CV is finite), and proves
+//! failover absorbs a fault-injecting node.
+//!
+//! `--trace-smoke` runs the request-correlation smoke: a 2-node tracing
+//! fleet driven under known rids, each rid's `TRACE` reply reconstructing
+//! its end-to-end timeline, and the merged fleet `METRICS` exposition
+//! passing the strict Prometheus validator.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -116,6 +124,7 @@ fn build_lines(spec: &LoadSpec) -> Vec<String> {
                 iterative: true,
                 guard: false,
                 sleep_ms: 0,
+                rid: None,
             }
             .to_line()
         })
@@ -308,6 +317,7 @@ fn build_batch_requests(
                 iterative: false,
                 guard: false,
                 sleep_ms,
+                rid: None,
             }
         })
         .collect()
@@ -467,7 +477,13 @@ fn smoke_fault_retry(tasks: usize, machines: usize) {
 
 /// Spawns `nodes` in-process daemons, each stamped with its fleet
 /// identity; `fault_rate_for(i)` lets one node inject faults.
-fn start_fleet(nodes: usize, fault_rate_for: impl Fn(usize) -> f64) -> Vec<Server> {
+/// `trace_capacity` is 0 for measured runs (per-request ring writes would
+/// perturb the numbers) and nonzero for the trace-correlation smoke.
+fn start_fleet(
+    nodes: usize,
+    trace_capacity: usize,
+    fault_rate_for: impl Fn(usize) -> f64,
+) -> Vec<Server> {
     (0..nodes)
         .map(|i| {
             Server::start(ServeConfig {
@@ -476,7 +492,7 @@ fn start_fleet(nodes: usize, fault_rate_for: impl Fn(usize) -> f64) -> Vec<Serve
                 queue_depth: 1024,
                 cache_capacity: 1024,
                 cache_shards: 8,
-                trace_capacity: 0,
+                trace_capacity,
                 fault_rate: fault_rate_for(i),
                 fault_seed: 7,
                 shard: Some(ShardIdentity {
@@ -543,15 +559,56 @@ fn fleet_per_node(client: &mut FleetClient) -> Vec<Value> {
             } else {
                 0.0
             };
+            let queue_wait_p95 = stats
+                .get("queue_wait")
+                .and_then(|q| q.get("p95_us"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
             ObjectBuilder::new()
                 .field("addr", Value::String(addr))
                 .field("shard_id", Value::Number(count("shard_id") as f64))
                 .field("submitted", Value::Number(count("submitted") as f64))
                 .field("cache_hits", Value::Number(count("cache_hits") as f64))
                 .field("cache_hit_rate", Value::Number(hit_rate))
+                .field("queue_wait_p95_us", Value::Number(queue_wait_p95))
                 .build()
         })
         .collect()
+}
+
+/// Ring-imbalance statistics over the per-node `submitted` counters:
+/// min, max, mean, and the coefficient of variation (stddev / mean). A
+/// node that saw zero requests is a routing bug worth shouting about —
+/// the ring left a shard completely idle.
+fn imbalance_stats(per_node: &[Value]) -> Value {
+    let submitted: Vec<f64> = per_node
+        .iter()
+        .map(|n| n.get("submitted").and_then(Value::as_f64).unwrap_or(0.0))
+        .collect();
+    let min = submitted.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = submitted.iter().copied().fold(0.0f64, f64::max);
+    let mean = submitted.iter().sum::<f64>() / submitted.len().max(1) as f64;
+    let var = submitted
+        .iter()
+        .map(|&s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / submitted.len().max(1) as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    for (node, &s) in per_node.iter().zip(&submitted) {
+        if s == 0.0 {
+            let addr = node.get("addr").and_then(Value::as_str).unwrap_or("?");
+            eprintln!(
+                "WARNING: fleet node {addr} received ZERO requests — \
+                 the ring routed nothing to it (imbalance cv {cv:.3})"
+            );
+        }
+    }
+    ObjectBuilder::new()
+        .field("min_submitted", Value::Number(min))
+        .field("max_submitted", Value::Number(max))
+        .field("mean_submitted", Value::Number(mean))
+        .field("cv", Value::Number(cv))
+        .build()
 }
 
 /// The fleet benchmark: for every node count in {1, 2, 4, 8} up to
@@ -572,7 +629,7 @@ fn bench_fleet(spec: &LoadSpec, max_nodes: usize) -> Value {
         if nodes > max_nodes {
             break;
         }
-        let servers = start_fleet(nodes, |_| 0.0);
+        let servers = start_fleet(nodes, 0, |_| 0.0);
         let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
         let mut client = fleet_client(&addrs);
 
@@ -582,6 +639,15 @@ fn bench_fleet(spec: &LoadSpec, max_nodes: usize) -> Value {
             warm_seconds += drive_fleet(&mut client, &items, true);
         }
         let per_node = fleet_per_node(&mut client);
+        let imbalance = imbalance_stats(&per_node);
+        // Fleet-wide queue-wait p95: merged across nodes bucket-wise, not
+        // averaged per-node percentiles.
+        let queue_wait_p95 = client
+            .stats_merged()
+            .get("queue_wait")
+            .and_then(|q| q.get("p95_us"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
         for (addr, result) in client.drain() {
             result.unwrap_or_else(|e| panic!("drain of {addr} failed: {e}"));
         }
@@ -605,6 +671,8 @@ fn bench_fleet(spec: &LoadSpec, max_nodes: usize) -> Value {
                 .field("warm_rps", Value::Number(warm_rps))
                 .field("speedup", Value::Number(speedup))
                 .field("efficiency", Value::Number(speedup / nodes as f64))
+                .field("queue_wait_p95_us", Value::Number(queue_wait_p95))
+                .field("imbalance", imbalance)
                 .field("per_node", Value::Array(per_node))
                 .build(),
         );
@@ -665,7 +733,7 @@ fn smoke_fleet(nodes: usize, tasks: usize, machines: usize) {
     //    the owner's cache, every node exposes valid metrics with its
     //    shard identity stamped, and drain stops every daemon.
     let nodes = nodes.max(2);
-    let servers = start_fleet(nodes, |_| 0.0);
+    let servers = start_fleet(nodes, 0, |_| 0.0);
     let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
     let mut client = fleet_client(&addrs);
     let items = build_batch_requests(tasks, machines, 24, "min-min", 0);
@@ -673,6 +741,16 @@ fn smoke_fleet(nodes: usize, tasks: usize, machines: usize) {
     drive_fleet(&mut client, &items, true);
     let per_node = fleet_per_node(&mut client);
     assert_eq!(per_node.len(), nodes);
+    let imbalance = imbalance_stats(&per_node);
+    let cv = imbalance
+        .get("cv")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    assert!(
+        cv.is_finite(),
+        "ring imbalance cv must be finite: {imbalance}"
+    );
+    println!("fleet imbalance smoke ok: cv {cv:.3} over {nodes} nodes");
     for (addr, text) in client.metrics() {
         let text = text.unwrap_or_else(|e| panic!("METRICS from {addr} failed: {e}"));
         hcs_core::obs::validate_prometheus(&text)
@@ -694,7 +772,7 @@ fn smoke_fleet(nodes: usize, tasks: usize, machines: usize) {
     //    requests; with zero inner retries every fault surfaces to the
     //    fleet layer, which must absorb 100% of the batch on the healthy
     //    node.
-    let servers = start_fleet(2, |i| if i == 1 { 0.2 } else { 0.0 });
+    let servers = start_fleet(2, 0, |i| if i == 1 { 0.2 } else { 0.0 });
     let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
     let mut client = fleet_client(&addrs);
     let items = build_batch_requests(tasks + 1, machines, 40, "min-min", 0);
@@ -719,6 +797,89 @@ fn smoke_fleet(nodes: usize, tasks: usize, machines: usize) {
         server.join();
     }
     println!("fleet failover smoke ok: {faults} faults absorbed by ring failover");
+}
+
+/// Trace-correlation smoke: a 2-node tracing fleet driven under known
+/// rids. Every reply must echo its rid, every rid's fleet `TRACE` must
+/// reconstruct the full timeline (client hop plus the owner node's four
+/// server-side phase spans), and the merged fleet exposition must pass
+/// the strict Prometheus validator with per-node health gauges present.
+fn smoke_trace(tasks: usize, machines: usize) {
+    const TRACE_CAPACITY: u64 = 256;
+    let servers = start_fleet(2, TRACE_CAPACITY as usize, |_| 0.0);
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let mut client = fleet_client(&addrs);
+    let mut items = build_batch_requests(tasks, machines, 8, "min-min", 0);
+    // Rids chosen so no two share a span-store slot (`splitmix64(rid) %
+    // capacity`): which rids co-reside on a node depends on the ephemeral
+    // ports behind the ring, so any slot collision would flakily evict
+    // another smoke rid's record.
+    let mut rids: Vec<u64> = Vec::with_capacity(items.len());
+    let mut slots_used = std::collections::HashSet::new();
+    let mut candidate = 0xC0FF_EE00u64;
+    while rids.len() < items.len() {
+        if slots_used.insert(mix64(candidate) % TRACE_CAPACITY) {
+            rids.push(candidate);
+        }
+        candidate += 1;
+    }
+    for (item, &rid) in items.iter_mut().zip(&rids) {
+        item.rid = Some(rid);
+    }
+    for (i, item) in items.iter().enumerate() {
+        let reply = client
+            .map(item)
+            .unwrap_or_else(|e| panic!("trace smoke item {i}: {e}"));
+        assert_eq!(reply.rid, Some(rids[i]), "reply must echo the rid");
+    }
+    for &rid in &rids {
+        let timeline = client.trace(rid);
+        let hops = timeline
+            .get("hops")
+            .and_then(Value::as_array)
+            .expect("hops array");
+        assert!(!hops.is_empty(), "rid {rid:#x} has no client hop timeline");
+        let nodes = timeline
+            .get("nodes")
+            .and_then(Value::as_array)
+            .expect("nodes array");
+        assert_eq!(
+            nodes.len(),
+            1,
+            "exactly one node should hold rid {rid:#x}: {timeline}"
+        );
+        let spans = nodes[0]
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("spans array");
+        let phases: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("phase").and_then(Value::as_str))
+            .collect();
+        for phase in ["cache_probe", "queue_wait", "kernel_map", "serialize"] {
+            assert!(
+                phases.contains(&phase),
+                "rid {rid:#x} missing span {phase}: {timeline}"
+            );
+        }
+    }
+    let exposition = client.metrics_merged();
+    hcs_core::obs::validate_prometheus(&exposition)
+        .unwrap_or_else(|e| panic!("invalid merged exposition: {e}"));
+    assert!(
+        exposition.contains("hcs_fleet_node_health{node=\""),
+        "merged exposition must carry per-node health gauges"
+    );
+    for (addr, result) in client.drain() {
+        result.unwrap_or_else(|e| panic!("drain of {addr} failed: {e}"));
+    }
+    for server in servers {
+        server.join();
+    }
+    println!(
+        "trace smoke ok: {} rids reconstructed end to end, merged exposition valid",
+        rids.len()
+    );
 }
 
 /// Writes the bench document, preserving any top-level sections of an
@@ -771,6 +932,11 @@ fn main() {
             .unwrap_or_else(|_| panic!("--fleet takes a node count"))
             .max(1)
     });
+
+    if present(&args, "--trace-smoke") {
+        smoke_trace(spec.tasks, spec.machines);
+        return;
+    }
 
     if let Some(max_nodes) = fleet {
         if smoke {

@@ -28,15 +28,36 @@
 //! node with jittered backoff; the fleet layer adds the across-node hop on
 //! top. A request therefore survives both a flaky exchange (inner retry)
 //! and a dead shard (ring failover) without the caller seeing either.
+//!
+//! # Correlation and aggregation
+//!
+//! Every request routed through the fleet carries a [`RequestId`]: the
+//! caller's own (`request.rid`), or one the fleet client derives from
+//! [`FleetConfig::rid_seed`] and a counter. Each attempt — the owner node
+//! and every failover hop — is recorded in a bounded per-rid hop timeline
+//! ([`HopAttempt`]: node tried, error kind, elapsed), and
+//! [`FleetClient::trace`] joins those client-side hops with every node's
+//! rid-filtered `TRACE` reply into one end-to-end timeline. On the
+//! telemetry side, [`FleetClient::stats_merged`] and
+//! [`FleetClient::metrics_merged`] fold the per-node fan-outs into one
+//! fleet view: summed counters, max queue depth, and latency distributions
+//! merged bucket-wise ([`Histogram::merge`]) so fleet percentiles come
+//! from one histogram rather than averaging per-node percentiles.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
+use hcs_core::obs::{Histogram, Registry, RequestId};
 use hcs_core::InstanceDigest;
-use hcs_service::json::Value;
+use hcs_service::json::{ObjectBuilder, Value};
 use hcs_service::protocol::MapRequest;
 
 use crate::{Client, ClientConfig, ClientError, ErrorKind, MapReply};
+
+/// Distinct rids whose hop timelines are retained; older rids are evicted
+/// first-in-first-out once the table is full.
+const HOP_CAPACITY: usize = 1024;
 
 /// Tuning for a [`FleetClient`].
 #[derive(Clone, Debug)]
@@ -50,6 +71,11 @@ pub struct FleetConfig {
     /// Maximum *additional* nodes tried after the owner on retryable
     /// failures. `None` tries every node once before giving up.
     pub failover: Option<usize>,
+    /// Seed for rids assigned to requests submitted without one: the
+    /// `i`-th assigned rid is `RequestId::derive(rid_seed, i)`, so a test
+    /// or bench can predict every id it will issue. Vary the seed per
+    /// fleet client to keep streams disjoint.
+    pub rid_seed: u64,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +84,7 @@ impl Default for FleetConfig {
             client: ClientConfig::default(),
             vnodes: 64,
             failover: None,
+            rid_seed: 0,
         }
     }
 }
@@ -218,10 +245,86 @@ impl fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
+/// One attempt in a request's client-side hop timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopAttempt {
+    /// Address the attempt went to.
+    pub node: String,
+    /// `None` when the hop succeeded; otherwise the failure kind that
+    /// pushed the request to the next ring node (or ended it).
+    pub error: Option<ErrorKind>,
+    /// Wall-clock duration of the exchange in microseconds, including the
+    /// inner client's own retries and backoff.
+    pub elapsed_us: u64,
+}
+
 struct NodeState {
     addr: String,
     client: Option<Client>,
     health: NodeHealth,
+}
+
+/// One STATS fan-out folded into a fleet-wide view.
+struct MergedStats {
+    nodes: usize,
+    reachable: usize,
+    counters: [(&'static str, u64); 8],
+    queue_depth: u64,
+    workers: u64,
+    latency: Histogram,
+    queue_wait: Histogram,
+}
+
+impl MergedStats {
+    fn new(nodes: usize) -> MergedStats {
+        MergedStats {
+            nodes,
+            reachable: 0,
+            counters: [
+                ("submitted", 0),
+                ("served", 0),
+                ("cache_hits", 0),
+                ("rejected", 0),
+                ("bad_requests", 0),
+                ("batched", 0),
+                ("batch_items", 0),
+                ("faults", 0),
+            ],
+            queue_depth: 0,
+            workers: 0,
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+        }
+    }
+}
+
+/// Rebuilds a mergeable [`Histogram`] from the `{count, ..., sum_us,
+/// buckets}` object a daemon's STATS reply carries.
+fn hist_from_value(v: &Value) -> Option<Histogram> {
+    let buckets = v.get("buckets")?.as_array()?;
+    let counts: Vec<u64> = buckets.iter().filter_map(Value::as_u64).collect();
+    let sum = v.get("sum_us").and_then(Value::as_u64).unwrap_or(0);
+    let max = v.get("max_us").and_then(Value::as_u64).unwrap_or(0);
+    Some(Histogram::from_parts(&counts, sum, max))
+}
+
+/// Renders a histogram in the same JSON shape a single daemon's STATS
+/// reply uses, so merged and per-node views stay drop-in compatible.
+fn hist_object(h: &Histogram) -> Value {
+    let buckets = h
+        .bucket_counts()
+        .iter()
+        .map(|&n| Value::Number(n as f64))
+        .collect();
+    ObjectBuilder::new()
+        .field("count", Value::Number(h.count() as f64))
+        .field("p50_us", Value::Number(h.percentile(50.0) as f64))
+        .field("p95_us", Value::Number(h.percentile(95.0) as f64))
+        .field("p99_us", Value::Number(h.percentile(99.0) as f64))
+        .field("max_us", Value::Number(h.max() as f64))
+        .field("sum_us", Value::Number(h.sum() as f64))
+        .field("buckets", Value::Array(buckets))
+        .build()
 }
 
 /// A client for a fleet of `hcs-service` shards: consistent-hash routing
@@ -231,6 +334,11 @@ pub struct FleetClient {
     ring: HashRing,
     nodes: Vec<NodeState>,
     config: FleetConfig,
+    /// Counter behind [`FleetConfig::rid_seed`]-derived rid assignment.
+    rid_counter: u64,
+    /// Bounded per-rid hop timelines (FIFO eviction at [`HOP_CAPACITY`]).
+    hops: BTreeMap<u64, Vec<HopAttempt>>,
+    hop_order: VecDeque<u64>,
 }
 
 impl FleetClient {
@@ -259,6 +367,9 @@ impl FleetClient {
             ring,
             nodes,
             config,
+            rid_counter: 0,
+            hops: BTreeMap::new(),
+            hop_order: VecDeque::new(),
         }
     }
 
@@ -316,21 +427,67 @@ impl FleetClient {
         h.last_error = Some(kind);
     }
 
+    /// The rid this request travels under: its own, or the next one in
+    /// the client's deterministic assignment stream.
+    fn rid_for(&mut self, request: &MapRequest) -> u64 {
+        request.rid.unwrap_or_else(|| {
+            let n = self.rid_counter;
+            self.rid_counter += 1;
+            RequestId::derive(self.config.rid_seed, n).0
+        })
+    }
+
+    /// Appends one attempt to `rid`'s hop timeline, evicting the oldest
+    /// rid's timeline once [`HOP_CAPACITY`] distinct rids are tracked.
+    fn record_hop(&mut self, rid: u64, node: usize, error: Option<ErrorKind>, elapsed_us: u64) {
+        let attempt = HopAttempt {
+            node: self.nodes[node].addr.clone(),
+            error,
+            elapsed_us,
+        };
+        if let Some(timeline) = self.hops.get_mut(&rid) {
+            timeline.push(attempt);
+            return;
+        }
+        while self.hop_order.len() >= HOP_CAPACITY {
+            if let Some(evicted) = self.hop_order.pop_front() {
+                self.hops.remove(&evicted);
+            }
+        }
+        self.hop_order.push_back(rid);
+        self.hops.insert(rid, vec![attempt]);
+    }
+
+    /// The recorded hop timeline for `rid`, if still retained.
+    pub fn hops(&self, rid: u64) -> Option<&[HopAttempt]> {
+        self.hops.get(&rid).map(Vec::as_slice)
+    }
+
     /// Maps one instance through the fleet: send to the digest's owner,
     /// hop to the next ring node only while failures stay retryable.
+    /// Every attempt is recorded in the request's hop timeline under its
+    /// rid (assigned here when the request carries none).
     pub fn map(&mut self, request: &MapRequest) -> Result<MapReply, FleetError> {
+        let rid = self.rid_for(request);
+        let mut request = request.clone();
+        request.rid = Some(rid);
         let sequence = self.ring.sequence(request.digest());
         let tries = self.tries_for(sequence.len());
         let mut tried = Vec::new();
         let mut last: Option<(ErrorKind, String)> = None;
         for &idx in &sequence[..tries] {
-            match self.client_at(idx).map(request) {
+            let start = Instant::now();
+            let outcome = self.client_at(idx).map(&request);
+            let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            match outcome {
                 Ok(reply) => {
                     self.record_ok(idx);
+                    self.record_hop(rid, idx, None, elapsed_us);
                     return Ok(reply);
                 }
                 Err(e) => {
                     self.record_err(idx, e.kind);
+                    self.record_hop(rid, idx, Some(e.kind), elapsed_us);
                     tried.push(self.nodes[idx].addr.clone());
                     if e.kind.retryable() {
                         last = Some((e.kind, e.message));
@@ -356,7 +513,22 @@ impl FleetClient {
     /// Maps many instances, grouping them into one MAP_BATCH sub-batch per
     /// target shard and re-grouping retryable failures onto each item's
     /// next ring node. Returns one result per input, in input order.
+    /// Items are stamped with rids up front (assigned when absent); each
+    /// sub-batch exchange is recorded in every member item's hop timeline.
     pub fn map_batch(&mut self, requests: &[MapRequest]) -> Vec<Result<MapReply, FleetError>> {
+        let requests: Vec<MapRequest> = requests
+            .iter()
+            .map(|r| {
+                let rid = self.rid_for(r);
+                let mut r = r.clone();
+                r.rid = Some(rid);
+                r
+            })
+            .collect();
+        let rids: Vec<u64> = requests
+            .iter()
+            .map(|r| r.rid.expect("stamped above"))
+            .collect();
         let n = requests.len();
         let mut results: Vec<Option<Result<MapReply, FleetError>>> = (0..n).map(|_| None).collect();
         let sequences: Vec<Vec<usize>> = requests
@@ -395,22 +567,30 @@ impl FleetClient {
             for (node, items) in groups {
                 let addr = self.nodes[node].addr.clone();
                 let subset: Vec<MapRequest> = items.iter().map(|&i| requests[i].clone()).collect();
-                match self.client_at(node).map_batch(&subset) {
+                let start = Instant::now();
+                let outcome = self.client_at(node).map_batch(&subset);
+                // One exchange served the whole sub-batch, so its members
+                // share the hop's elapsed time.
+                let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                match outcome {
                     Ok(per_item) => {
                         for (&i, item) in items.iter().zip(per_item) {
                             match item {
                                 Ok(reply) => {
                                     self.record_ok(node);
+                                    self.record_hop(rids[i], node, None, elapsed_us);
                                     results[i] = Some(Ok(reply));
                                 }
                                 Err(e) if e.kind.retryable() => {
                                     self.record_err(node, e.kind);
+                                    self.record_hop(rids[i], node, Some(e.kind), elapsed_us);
                                     tried[i].push(addr.clone());
                                     last[i] = Some((e.kind, e.message));
                                     position[i] += 1;
                                 }
                                 Err(e) => {
                                     self.record_err(node, e.kind);
+                                    self.record_hop(rids[i], node, Some(e.kind), elapsed_us);
                                     tried[i].push(addr.clone());
                                     results[i] = Some(Err(FleetError {
                                         kind: e.kind,
@@ -427,6 +607,7 @@ impl FleetClient {
                         let retryable = e.kind.retryable();
                         for &i in &items {
                             self.record_err(node, e.kind);
+                            self.record_hop(rids[i], node, Some(e.kind), elapsed_us);
                             tried[i].push(addr.clone());
                             if retryable {
                                 last[i] = Some((e.kind, e.message.clone()));
@@ -477,6 +658,201 @@ impl FleetClient {
                 (self.nodes[idx].addr.clone(), result)
             })
             .collect()
+    }
+
+    /// Reconstructs one request's end-to-end timeline as a JSON object:
+    /// this client's recorded hop attempts (`"hops"`), plus each node's
+    /// rid-filtered `TRACE` reply (`"nodes"`, one entry per node that
+    /// still holds events or spans for the rid). Unreachable nodes are
+    /// skipped (and counted against their health), so a partial fleet
+    /// still yields the surviving half of the timeline.
+    pub fn trace(&mut self, rid: u64) -> Value {
+        let hops = Value::Array(
+            self.hops(rid)
+                .unwrap_or(&[])
+                .iter()
+                .map(|h| {
+                    let mut b = ObjectBuilder::new()
+                        .field("node", Value::String(h.node.clone()))
+                        .field("elapsed_us", Value::Number(h.elapsed_us as f64));
+                    b = match h.error {
+                        Some(kind) => b.field("error", Value::String(format!("{kind:?}"))),
+                        None => b.field("ok", Value::Bool(true)),
+                    };
+                    b.build()
+                })
+                .collect(),
+        );
+        let mut nodes = Vec::new();
+        for idx in 0..self.nodes.len() {
+            let result = self.client_at(idx).trace(Some(rid));
+            match result {
+                Ok(reply) => {
+                    self.record_ok(idx);
+                    let events = reply.get("events").cloned().unwrap_or(Value::Array(vec![]));
+                    let spans = reply.get("spans").cloned().unwrap_or(Value::Array(vec![]));
+                    let empty = |v: &Value| matches!(v.as_array(), Some([]) | None);
+                    if empty(&events) && empty(&spans) {
+                        continue;
+                    }
+                    nodes.push(
+                        ObjectBuilder::new()
+                            .field("node", Value::String(self.nodes[idx].addr.clone()))
+                            .field("events", events)
+                            .field("spans", spans)
+                            .build(),
+                    );
+                }
+                Err(e) => self.record_err(idx, e.kind),
+            }
+        }
+        ObjectBuilder::new()
+            .field("rid", Value::String(RequestId(rid).to_hex()))
+            .field("hops", hops)
+            .field("nodes", Value::Array(nodes))
+            .build()
+    }
+
+    /// Fetches STATS from every node and folds them into one fleet view:
+    /// summed counters and workers, max queue depth, and latency /
+    /// queue-wait distributions merged bucket-wise so the percentiles are
+    /// those of the *fleet* histogram. `"nodes"` counts the fleet;
+    /// `"reachable"` how many answered this probe.
+    pub fn stats_merged(&mut self) -> Value {
+        let merged = self.merged_view();
+        let mut b = ObjectBuilder::new()
+            .field("nodes", Value::Number(merged.nodes as f64))
+            .field("reachable", Value::Number(merged.reachable as f64));
+        for (key, total) in merged.counters {
+            b = b.field(key, Value::Number(total as f64));
+        }
+        b.field("queue_depth", Value::Number(merged.queue_depth as f64))
+            .field("workers", Value::Number(merged.workers as f64))
+            .field("latency", hist_object(&merged.latency))
+            .field("queue_wait", hist_object(&merged.queue_wait))
+            .build()
+    }
+
+    /// Renders the merged fleet view in Prometheus text exposition format:
+    /// the same counter/gauge/histogram families a single daemon exposes
+    /// (folded across nodes), plus one `hcs_fleet_node_health` gauge per
+    /// node — 1 when the node's last exchange succeeded (no consecutive
+    /// failures), 0 otherwise. Health is sampled *before* this call's own
+    /// STATS probe, so the gauge reports the request-path state (a node
+    /// that faults MAPs but answers STATS still scores 0).
+    pub fn metrics_merged(&mut self) -> String {
+        let health: Vec<(String, bool)> = self
+            .nodes
+            .iter()
+            .map(|n| (n.addr.clone(), n.health.consecutive_failures == 0))
+            .collect();
+        let merged = self.merged_view();
+        let registry = Registry::new();
+        registry
+            .gauge("hcs_fleet_nodes", "Nodes configured in the fleet.")
+            .set(merged.nodes as u64);
+        registry
+            .gauge(
+                "hcs_fleet_reachable",
+                "Nodes that answered the last merged STATS probe.",
+            )
+            .set(merged.reachable as u64);
+        for (key, total) in merged.counters {
+            let name = match key {
+                "submitted" => "hcs_requests_submitted_total",
+                "served" => "hcs_requests_served_total",
+                "cache_hits" => "hcs_cache_hits_total",
+                "rejected" => "hcs_requests_rejected_total",
+                "bad_requests" => "hcs_bad_requests_total",
+                "batched" => "hcs_batch_requests_total",
+                "batch_items" => "hcs_batch_items_total",
+                _ => "hcs_faults_injected_total",
+            };
+            registry
+                .counter(name, "Summed across fleet nodes.")
+                .add(total);
+        }
+        registry
+            .gauge("hcs_queue_depth", "Deepest per-node queue at probe time.")
+            .set(merged.queue_depth);
+        registry
+            .gauge("hcs_workers", "Worker threads across the fleet.")
+            .set(merged.workers);
+        registry
+            .histogram(
+                "hcs_request_latency_us",
+                "End-to-end request latency, merged across fleet nodes.",
+            )
+            .merge(&merged.latency);
+        registry
+            .histogram(
+                "hcs_queue_wait_us",
+                "Queue wait before a worker pickup, merged across fleet nodes.",
+            )
+            .merge(&merged.queue_wait);
+        for (addr, healthy) in &health {
+            registry
+                .gauge_with(
+                    "hcs_fleet_node_health",
+                    "1 when the node's most recent exchange succeeded, else 0.",
+                    &[("node", addr)],
+                )
+                .set(u64::from(*healthy));
+        }
+        registry.prometheus_text()
+    }
+
+    /// The per-node health ledger as a JSON array (one object per node, in
+    /// ring construction order): request/failure counts, the consecutive-
+    /// failure streak, the last error kind, and the derived `healthy` bit
+    /// that also backs the `hcs_fleet_node_health` gauge.
+    pub fn health_snapshot(&self) -> Value {
+        Value::Array(
+            self.nodes
+                .iter()
+                .map(|n| {
+                    let mut b = ObjectBuilder::new()
+                        .field("node", Value::String(n.addr.clone()))
+                        .field("requests", Value::Number(n.health.requests as f64))
+                        .field("failures", Value::Number(n.health.failures as f64))
+                        .field(
+                            "consecutive_failures",
+                            Value::Number(n.health.consecutive_failures as f64),
+                        )
+                        .field("healthy", Value::Bool(n.health.consecutive_failures == 0));
+                    if let Some(kind) = n.health.last_error {
+                        b = b.field("last_error", Value::String(format!("{kind:?}")));
+                    }
+                    b.build()
+                })
+                .collect(),
+        )
+    }
+
+    /// One STATS fan-out, folded. Unreachable nodes contribute nothing
+    /// (their health records the failure).
+    fn merged_view(&mut self) -> MergedStats {
+        let mut merged = MergedStats::new(self.nodes.len());
+        for (_, result) in self.stats() {
+            let Ok(stats) = result else { continue };
+            merged.reachable += 1;
+            for (key, total) in merged.counters.iter_mut() {
+                *total += stats.get(key).and_then(Value::as_u64).unwrap_or(0);
+            }
+            let depth = stats
+                .get("queue_depth")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            merged.queue_depth = merged.queue_depth.max(depth);
+            merged.workers += stats.get("workers").and_then(Value::as_u64).unwrap_or(0);
+            if let Some(h) = stats.get("latency").and_then(hist_from_value) {
+                merged.latency.merge(&h);
+            }
+            if let Some(h) = stats.get("queue_wait").and_then(hist_from_value) {
+                merged.queue_wait.merge(&h);
+            }
+        }
+        merged
     }
 
     /// Shuts the fleet down: per-node SHUTDOWN in **reverse ring order**,
@@ -648,8 +1024,108 @@ mod tests {
             iterative: true,
             guard: false,
             sleep_ms: 0,
+            rid: None,
         };
         let expected = &client.ring().nodes()[client.ring().node_for(request.digest())];
         assert_eq!(client.node_for(&request), expected);
+    }
+
+    #[test]
+    fn rid_assignment_is_deterministic_and_respects_the_request() {
+        let mut a = FleetClient::new(&addrs(2));
+        let mut b = FleetClient::new(&addrs(2));
+        let blank = MapRequest {
+            scenario: hcs_core::Scenario::with_zero_ready(
+                hcs_core::EtcMatrix::from_rows(&[vec![2.0, 6.0], vec![3.0, 4.0]]).unwrap(),
+            ),
+            heuristic: "mct".into(),
+            random_ties: None,
+            iterative: false,
+            guard: false,
+            sleep_ms: 0,
+            rid: None,
+        };
+        // Same seed, same position in the stream, same rid — and never 0.
+        let first = a.rid_for(&blank);
+        assert_eq!(first, b.rid_for(&blank));
+        assert_ne!(first, 0);
+        let second = a.rid_for(&blank);
+        assert_ne!(second, first, "stream must advance");
+        assert_eq!(second, b.rid_for(&blank));
+
+        // A client-supplied rid passes through and does not consume the
+        // stream.
+        let mut tagged = blank.clone();
+        tagged.rid = Some(0x2a);
+        assert_eq!(a.rid_for(&tagged), 0x2a);
+        assert_eq!(a.rid_for(&blank), b.rid_for(&blank));
+    }
+
+    #[test]
+    fn hop_timelines_append_and_evict_fifo_at_capacity() {
+        let mut fleet = FleetClient::new(&addrs(2));
+        fleet.record_hop(1, 0, Some(ErrorKind::Connect), 10);
+        fleet.record_hop(1, 1, None, 20);
+        let hops = fleet.hops(1).expect("rid 1 tracked");
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].error, Some(ErrorKind::Connect));
+        assert_eq!(hops[1].error, None);
+        assert_eq!(hops[1].elapsed_us, 20);
+
+        // Fill to capacity with fresh rids: the oldest (rid 1) evicts
+        // first, newer rids survive.
+        for rid in 2..(2 + HOP_CAPACITY as u64) {
+            fleet.record_hop(rid, 0, None, 1);
+        }
+        assert!(fleet.hops(1).is_none(), "oldest rid should evict");
+        assert!(fleet.hops(2).is_some());
+        assert!(fleet.hops(1 + HOP_CAPACITY as u64).is_some());
+    }
+
+    #[test]
+    fn health_snapshot_reports_per_node_state() {
+        let mut fleet = FleetClient::new(&addrs(2));
+        fleet.record_ok(0);
+        fleet.record_err(1, ErrorKind::Connect);
+        let snapshot = fleet.health_snapshot();
+        let nodes = snapshot.as_array().expect("array");
+        assert_eq!(nodes.len(), 2);
+        let by_addr = |addr: &str| {
+            nodes
+                .iter()
+                .find(|n| n.get("node").and_then(Value::as_str) == Some(addr))
+                .expect("node present")
+        };
+        let ok = by_addr(&fleet.nodes[0].addr);
+        assert_eq!(ok.get("healthy"), Some(&Value::Bool(true)));
+        assert_eq!(ok.get("requests").and_then(Value::as_u64), Some(1));
+        assert!(ok.get("last_error").is_none());
+        let bad = by_addr(&fleet.nodes[1].addr);
+        assert_eq!(bad.get("healthy"), Some(&Value::Bool(false)));
+        assert_eq!(bad.get("failures").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            bad.get("last_error").and_then(Value::as_str),
+            Some("Connect")
+        );
+    }
+
+    #[test]
+    fn histogram_objects_round_trip_through_the_wire_shape() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 3, 9, 100] {
+            h.record_value(v);
+        }
+        let rebuilt = hist_from_value(&hist_object(&h)).expect("well-formed");
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.max(), h.max());
+        assert_eq!(rebuilt.percentile(95.0), h.percentile(95.0));
+
+        // Merging two rebuilt histograms folds both sample sets.
+        let other = Histogram::new();
+        other.record_value(50);
+        rebuilt.merge(&other);
+        assert_eq!(rebuilt.count(), h.count() + 1);
+        assert_eq!(rebuilt.sum(), h.sum() + 50);
     }
 }

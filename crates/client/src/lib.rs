@@ -39,6 +39,7 @@
 //!     iterative: true,
 //!     guard: false,
 //!     sleep_ms: 0,
+//!     rid: None,
 //! };
 //! let reply = client.map(&request).expect("mapped");
 //! println!("makespan {} in {:?} rounds", reply.makespan, reply.rounds);
@@ -194,6 +195,9 @@ pub struct MapReply {
     pub final_makespan: Option<f64>,
     /// Rounds the iterative driver ran, when requested.
     pub rounds: Option<u32>,
+    /// The request id the daemon echoed back (present only when the
+    /// request carried one — server-assigned ids are never echoed).
+    pub rid: Option<u64>,
     /// The complete reply object (assignments, completion vector, …).
     pub raw: Value,
 }
@@ -374,6 +378,20 @@ impl Client {
                 message: format!("metrics reply missing payload: {v}"),
                 attempts: 1,
             })
+    }
+
+    /// Fetches the daemon's trace ring as the raw reply object. With a
+    /// rid, the reply carries only that request's `events` plus its
+    /// recorded per-phase `spans` — the server-side half of an
+    /// end-to-end request timeline.
+    pub fn trace(&mut self, rid: Option<u64>) -> Result<Value, ClientError> {
+        let line = match rid {
+            None => op_line("trace"),
+            Some(rid) => {
+                format!("{{\"op\":\"trace\",\"v\":{PROTOCOL_VERSION},\"rid\":\"{rid:016x}\"}}")
+            }
+        };
+        self.request_value(&line)
     }
 
     /// Asks the daemon to shut down (drain, then exit). The connection is
@@ -599,6 +617,10 @@ fn reply_from_value(value: Value) -> Result<MapReply, Failure> {
             .get("rounds")
             .and_then(Value::as_u64)
             .map(|r| r.min(u64::from(u32::MAX)) as u32),
+        rid: value
+            .get("rid")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok()),
         raw: value,
     })
 }
@@ -726,7 +748,18 @@ mod tests {
         assert_eq!(reply.objective_value, None);
         assert_eq!(reply.final_makespan, Some(3.0));
         assert_eq!(reply.rounds, Some(2));
+        assert_eq!(reply.rid, None, "v1 replies carry no rid");
         assert!(reply.raw.get("assignments").is_some());
+    }
+
+    #[test]
+    fn map_reply_lifts_an_echoed_rid() {
+        let value = parse(
+            r#"{"ok":true,"v":1,"rid":"000000000000002a","cached":false,"heuristic":"MCT",
+                "assignments":[[0,0]],"completion":[[0,2.0]],"makespan":2.0}"#,
+        )
+        .unwrap();
+        assert_eq!(reply_from_value(value).unwrap().rid, Some(0x2a));
     }
 
     #[test]

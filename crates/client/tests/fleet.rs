@@ -28,6 +28,25 @@ fn serve(shard_id: u64, fleet_size: u64, fault_rate: f64) -> Server {
     .expect("bind ephemeral port")
 }
 
+/// Like [`serve`] but with tracing on, for the correlation tests.
+fn serve_traced(shard_id: u64, fleet_size: u64, fault_rate: f64) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 64,
+        cache_capacity: 256,
+        cache_shards: 4,
+        trace_capacity: 256,
+        fault_rate,
+        fault_seed: 2024,
+        shard: Some(ShardIdentity {
+            shard_id,
+            fleet_size,
+        }),
+    })
+    .expect("bind ephemeral port")
+}
+
 /// Fleet config with no inner retries: every fault surfaces to the fleet
 /// layer, so the tests exercise *ring* failover rather than the inner
 /// client's backoff loop.
@@ -67,6 +86,7 @@ fn request(seed: u64) -> MapRequest {
         iterative: true,
         guard: false,
         sleep_ms: 0,
+        rid: None,
     }
 }
 
@@ -189,6 +209,130 @@ fn repeat_requests_hit_the_owner_node_cache() {
     }
 
     for server in [a, b] {
+        server.stop();
+        server.join();
+    }
+}
+
+/// The correlation acceptance test: one rid pushed through the fleet
+/// with its ring owner faulting **every** request. The reply must come
+/// from the failover node, and `FleetClient::trace` must reconstruct the
+/// whole story under that single rid — the failed hop, the successful
+/// hop, the owner's partial server-side timeline (the fault fires in the
+/// worker, after the queue-wait span), and the serving node's complete
+/// four-phase timeline. The merged exposition and health snapshot must
+/// reflect the same exchange.
+#[test]
+fn one_rid_yields_a_complete_timeline_across_a_forced_failover() {
+    let faulty = serve_traced(0, 2, 1.0);
+    let healthy = serve_traced(1, 2, 0.0);
+    let addrs = vec![
+        faulty.local_addr().to_string(),
+        healthy.local_addr().to_string(),
+    ];
+    let mut client = FleetClient::with_config(&addrs, fleet_config());
+
+    // A request the ring routes to the faulty node (ownership depends on
+    // the digest, so probe seeds until one lands there).
+    let mut request = (0..1000)
+        .map(|i| request(9000 + i))
+        .find(|r| client.node_for(r) == addrs[0])
+        .expect("some request routes to the faulty node");
+    let rid = 0x51D;
+    request.rid = Some(rid);
+
+    let reply = client.map(&request).expect("failover absorbs the fault");
+    assert_eq!(reply.rid, Some(rid), "reply must echo the rid");
+
+    // Client-side hop timeline: owner faulted, failover node served.
+    let hops = client.hops(rid).expect("hop timeline recorded");
+    assert_eq!(hops.len(), 2, "{hops:?}");
+    assert_eq!(hops[0].node, addrs[0]);
+    assert_eq!(hops[0].error, Some(ErrorKind::Fault), "{hops:?}");
+    assert_eq!(hops[1].node, addrs[1]);
+    assert_eq!(hops[1].error, None, "{hops:?}");
+
+    // Health and aggregation views, sampled while the fault streak is
+    // fresh (a later successful TRACE/STATS exchange resets it): the
+    // snapshot and the merged exposition score the owner unhealthy, the
+    // exposition validates, and the merged stats carry summed counters
+    // and mergeable distributions.
+    let snapshot = client.health_snapshot();
+    let entry = |addr: &str| {
+        snapshot
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|n| n.get("node").and_then(|v| v.as_str()) == Some(addr))
+            .unwrap()
+            .clone()
+    };
+    assert_eq!(
+        entry(&addrs[0]).get("healthy"),
+        Some(&hcs_service::json::Value::Bool(false))
+    );
+    assert_eq!(
+        entry(&addrs[1]).get("healthy"),
+        Some(&hcs_service::json::Value::Bool(true))
+    );
+
+    let exposition = client.metrics_merged();
+    hcs_core::obs::validate_prometheus(&exposition).expect("merged exposition validates");
+    let unhealthy = format!("hcs_fleet_node_health{{node=\"{}\"}} 0", addrs[0]);
+    let healthy_gauge = format!("hcs_fleet_node_health{{node=\"{}\"}} 1", addrs[1]);
+    assert!(exposition.contains(&unhealthy), "{exposition}");
+    assert!(exposition.contains(&healthy_gauge), "{exposition}");
+
+    let merged = client.stats_merged();
+    assert_eq!(merged.get("nodes").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(merged.get("reachable").and_then(|v| v.as_u64()), Some(2));
+    assert!(merged.get("submitted").and_then(|v| v.as_u64()).unwrap() >= 2);
+    assert!(
+        merged
+            .get("latency")
+            .and_then(|l| l.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            >= 1,
+        "{merged}"
+    );
+
+    // The fleet TRACE view stitches both sides together under the rid.
+    let timeline = client.trace(rid);
+    let hops_json = timeline.get("hops").and_then(|h| h.as_array()).unwrap();
+    assert_eq!(hops_json.len(), 2, "{timeline}");
+    let nodes = timeline.get("nodes").and_then(|n| n.as_array()).unwrap();
+    let spans_of = |addr: &str| -> Vec<String> {
+        nodes
+            .iter()
+            .find(|n| n.get("node").and_then(|v| v.as_str()) == Some(addr))
+            .unwrap_or_else(|| panic!("{addr} missing from timeline: {timeline}"))
+            .get("spans")
+            .and_then(|s| s.as_array())
+            .unwrap()
+            .iter()
+            .map(|s| s.get("phase").unwrap().as_str().unwrap().to_string())
+            .collect()
+    };
+    // The owner got as far as the worker before the injected fault.
+    assert_eq!(spans_of(&addrs[0]), ["cache_probe", "queue_wait"]);
+    // The serving node ran the request end to end.
+    assert_eq!(
+        spans_of(&addrs[1]),
+        ["cache_probe", "queue_wait", "kernel_map", "serialize"]
+    );
+    // Every event either node holds for this rid is stamped with it.
+    for node in nodes {
+        for event in node.get("events").and_then(|e| e.as_array()).unwrap() {
+            assert_eq!(
+                event.get("rid").and_then(|r| r.as_str()),
+                Some("000000000000051d"),
+                "{event}"
+            );
+        }
+    }
+
+    for server in [faulty, healthy] {
         server.stop();
         server.join();
     }

@@ -60,6 +60,7 @@ fn request(seed: u64, tasks: usize, iterative: bool) -> MapRequest {
         iterative,
         guard: false,
         sleep_ms: 0,
+        rid: None,
     }
 }
 

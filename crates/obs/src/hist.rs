@@ -2,11 +2,16 @@
 //!
 //! Bucket `i` holds samples `<= 2^i` (in whatever unit the caller records —
 //! the service records microseconds), so recording is one `fetch_add` with
-//! no locks and no allocation; percentiles are read out as the upper bound
-//! of the bucket where the cumulative count crosses the rank. That
-//! quantizes p50/p95/p99 to 2× resolution — plenty for a load shedder's
-//! dashboard, and immune to the reservoir-sampling bias a sampled
-//! exact-percentile sketch has under bursty load.
+//! no locks and no allocation. Percentiles interpolate linearly *within*
+//! the bucket where the cumulative count crosses the rank: the crossing
+//! bucket spans `(2^(i-1), 2^i]`, and the reported value is the rank's
+//! linear position along that span. The last sample of a bucket still
+//! reports the bucket's upper bound exactly, so a single-sample histogram
+//! answers every rank with that sample's bucket bound — but a p95 that
+//! lands early in a wide bucket no longer overshoots by up to 2× the way
+//! a bare upper-bound readout does. Power-of-two buckets stay immune to
+//! the reservoir-sampling bias a sampled exact-percentile sketch has
+//! under bursty load.
 //!
 //! This is the `hcs-service` latency histogram generalized and promoted to
 //! the shared observability crate: it now records arbitrary `u64` values
@@ -65,14 +70,18 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// Upper bound of the bucket containing the `p`-th percentile, or 0
-    /// with no samples.
+    /// The `p`-th percentile, linearly interpolated within the bucket the
+    /// rank falls in, or 0 with no samples.
     ///
-    /// `p` must lie in `(0, 100]`: a single recorded sample makes `p = 50`
-    /// (or any valid `p`) return that sample's bucket bound. Out-of-domain
-    /// ranks are a caller bug — `debug_assert`ed in debug builds and
-    /// clamped into the domain in release builds (`p <= 0` behaves as the
-    /// smallest positive rank, `p > 100` as 100).
+    /// The crossing bucket `i` spans `(lo, hi] = (2^(i-1), 2^i]` (`(0, 1]`
+    /// for bucket 0); the rank's position among the bucket's samples picks
+    /// the value `lo + frac * (hi - lo)` where `frac` is the rank's
+    /// in-bucket fraction. The *last* sample of a bucket has `frac = 1`
+    /// and reports the bound `hi` exactly — so a single recorded sample
+    /// makes `p = 50` (or any valid `p`) return that sample's bucket
+    /// bound. Out-of-domain ranks are a caller bug — `debug_assert`ed in
+    /// debug builds and clamped into the domain in release builds
+    /// (`p <= 0` behaves as the smallest positive rank, `p > 100` as 100).
     pub fn percentile(&self, p: f64) -> u64 {
         debug_assert!(
             p > 0.0 && p <= 100.0,
@@ -88,12 +97,56 @@ impl Histogram {
         let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::bucket_bound(i);
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if seen + in_bucket >= rank && in_bucket > 0 {
+                let lo = if i == 0 { 0 } else { Self::bucket_bound(i - 1) };
+                let hi = Self::bucket_bound(i);
+                let frac = (rank - seen) as f64 / in_bucket as f64;
+                return lo + (frac * (hi - lo) as f64).round() as u64;
             }
+            seen += in_bucket;
         }
         self.max()
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise, plus count,
+    /// sum, and max). Both histograms may be live: each constituent is
+    /// folded in with one relaxed atomic op, so a merge racing concurrent
+    /// `record` calls yields *some* valid interleaving rather than a torn
+    /// histogram. This is how a fleet client folds per-node latency
+    /// distributions into one view.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Rebuilds a histogram from exposed parts — per-bucket counts (as
+    /// from [`bucket_counts`](Self::bucket_counts), shorter slices are
+    /// zero-extended, longer ones truncated), the sample sum, and the
+    /// maximum. The count is the sum of the bucket counts. This is the
+    /// wire-decoding constructor: a fleet client receives each node's
+    /// bucket array in `STATS` and rebuilds a mergeable histogram from it.
+    pub fn from_parts(counts: &[u64], sum: u64, max: u64) -> Histogram {
+        let h = Histogram::new();
+        let mut total = 0u64;
+        for (i, &n) in counts.iter().take(BUCKETS).enumerate() {
+            h.buckets[i].store(n, Ordering::Relaxed);
+            total += n;
+        }
+        h.count.store(total, Ordering::Relaxed);
+        h.sum.store(sum, Ordering::Relaxed);
+        h.max.store(max, Ordering::Relaxed);
+        h
     }
 
     /// The inclusive upper bound of bucket `i` (`2^i`).
@@ -119,15 +172,100 @@ mod tests {
     fn percentiles_track_bucket_upper_bounds() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.record(Duration::from_micros(3)); // bucket <= 4
+            h.record(Duration::from_micros(3)); // bucket (2, 4]
         }
         h.record(Duration::from_millis(100)); // ~1e5 µs
         assert_eq!(h.count(), 100);
-        assert_eq!(h.percentile(50.0), 4);
+        // Rank 50 of 99 samples in the (2, 4] bucket interpolates to
+        // 2 + round((50/99) * 2) = 3; the bucket's *last* rank still
+        // reports the bound itself.
+        assert_eq!(h.percentile(50.0), 3);
         assert_eq!(h.percentile(99.0), 4);
         assert!(h.percentile(100.0) >= 100_000 / 2);
         assert!(h.max() >= 100_000);
         assert_eq!(h.sum(), 99 * 3 + 100_000);
+    }
+
+    #[test]
+    fn interpolation_splits_a_wide_bucket_by_rank() {
+        // 100 samples all in the (16384, 32768] bucket: a bare upper-bound
+        // readout reports 32768 for every rank (the coarseness this
+        // interpolation exists to fix); the interpolated percentile walks
+        // the span linearly instead.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_value(20_000);
+        }
+        assert_eq!(h.percentile(25.0), 16_384 + 16_384 / 4);
+        assert_eq!(h.percentile(50.0), 16_384 + 16_384 / 2);
+        assert_eq!(h.percentile(100.0), 32_768);
+    }
+
+    #[test]
+    fn interpolation_edge_cases_pin_bucket_boundaries() {
+        // Two samples in one bucket: rank 1 is the midpoint, rank 2 the
+        // bound — frac reaches exactly 1 on the bucket's last sample.
+        let h = Histogram::new();
+        h.record_value(3);
+        h.record_value(3);
+        assert_eq!(h.percentile(50.0), 3); // 2 + round(0.5 * 2)
+        assert_eq!(h.percentile(100.0), 4);
+
+        // The smallest recordable value (0 clamps to 1) lands in bucket 1,
+        // which spans (1, 2]: its lone sample reports the bound 2.
+        let h = Histogram::new();
+        h.record_value(1);
+        assert_eq!(h.percentile(50.0), 2);
+
+        // Ranks that fall in a later bucket only count *that* bucket's
+        // samples for the fraction, not the cumulative total.
+        let h = Histogram::new();
+        for _ in 0..9 {
+            h.record_value(1);
+        }
+        h.record_value(1000); // alone in (512, 1024]
+        assert_eq!(h.percentile(100.0), 1024, "lone sample -> its bound");
+        assert_eq!(h.percentile(90.0), 2, "rank 9 is bucket 1's last sample");
+    }
+
+    #[test]
+    fn merge_folds_buckets_counts_sum_and_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 100, 40_000] {
+            a.record_value(v);
+        }
+        for v in [5u64, 7_000_000] {
+            b.record_value(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 3 + 100 + 40_000 + 5 + 7_000_000);
+        assert_eq!(a.max(), 7_000_000);
+        assert_eq!(a.bucket_counts().iter().sum::<u64>(), 5);
+        // The merged distribution answers percentiles over both sources.
+        assert!(a.percentile(100.0) >= 4_194_304, "p100 sees b's tail");
+    }
+
+    #[test]
+    fn from_parts_round_trips_bucket_counts() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 900, 65_000, 65_000] {
+            h.record_value(v);
+        }
+        let rebuilt = Histogram::from_parts(&h.bucket_counts(), h.sum(), h.max());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.max(), h.max());
+        assert_eq!(rebuilt.bucket_counts(), h.bucket_counts());
+        for p in [50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(rebuilt.percentile(p), h.percentile(p), "p{p}");
+        }
+        // Short slices zero-extend; long ones truncate.
+        let short = Histogram::from_parts(&[2, 1], 4, 2);
+        assert_eq!(short.count(), 3);
+        let long = Histogram::from_parts(&vec![1u64; BUCKETS + 5], 0, 1);
+        assert_eq!(long.count(), BUCKETS as u64);
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //!   [`NullSink`]. Events render to JSONL via
 //!   [`TraceEvent::to_json_line`].
 //!
+//! * **Correlation** ([`span`]): deterministic 64-bit [`RequestId`]s
+//!   (splitmix64 over a client seed + counter), per-request
+//!   [`SpanRecord`] phase timelines, and the bounded rid-indexed
+//!   [`SpanStore`] — the substrate that lets a `TRACE` query reconstruct
+//!   one request's queue-wait/cache/kernel/serialize breakdown even after
+//!   the shared trace ring has wrapped.
+//!
 //! * **Validation** ([`promcheck`]): a minimal Prometheus text-format
 //!   validator used by CI smoke tests to keep the `METRICS` exposition
 //!   well-formed.
@@ -38,9 +45,11 @@
 pub mod hist;
 pub mod promcheck;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use hist::{Histogram, BUCKETS};
 pub use promcheck::validate_prometheus;
 pub use registry::{Counter, Gauge, Registry};
+pub use span::{PhaseSpan, RequestId, SpanRecord, SpanStore};
 pub use trace::{NullSink, SpanTimer, TraceBuffer, TraceEvent, TraceSink, VecSink};

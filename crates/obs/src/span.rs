@@ -1,0 +1,286 @@
+//! Request correlation: deterministic request ids and per-request phase
+//! timelines.
+//!
+//! The trace ring ([`crate::TraceBuffer`]) answers "what happened
+//! recently"; this module answers "what happened to *this request*". A
+//! [`RequestId`] is a 64-bit identifier a client derives deterministically
+//! from a seed and a counter (splitmix64, the same finalizer the suite
+//! uses for jitter and fault injection), carried end to end on the wire
+//! as a 16-hex-digit string — the rendering [`crate::TraceEvent`] already
+//! uses for cache digests, chosen because the wire JSON stores numbers as
+//! `f64` and would corrupt ids above 2^53. A [`SpanStore`] is a bounded,
+//! rid-indexed table of [`SpanRecord`] phase timelines: the daemon records
+//! one [`PhaseSpan`] per serving phase (queue wait, cache probe, kernel
+//! map, reply serialization) under the request's rid, and the `TRACE`
+//! verb reads the record back even after the shared trace ring has
+//! wrapped past the request's events.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// A 64-bit end-to-end request identifier.
+///
+/// Ids are either client-derived ([`RequestId::derive`] — deterministic,
+/// so a test or a bench can predict every rid it will issue) or
+/// server-assigned when a request arrives without one (v1 lines). On the
+/// wire a rid is a 16-hex-digit string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Derives the `counter`-th rid of a client stream seeded with
+    /// `seed`: the splitmix64 finalizer over the golden-ratio stride, so
+    /// consecutive counters yield well-mixed, collision-resistant ids and
+    /// two streams with different seeds do not overlap in practice.
+    pub fn derive(seed: u64, counter: u64) -> RequestId {
+        RequestId(splitmix64(
+            seed.wrapping_add(counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ))
+    }
+
+    /// The wire spelling: 16 lowercase hex digits, zero-padded.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the wire spelling (1–16 hex digits, case-insensitive).
+    pub fn from_hex(text: &str) -> Option<RequestId> {
+        if text.is_empty() || text.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(text, 16).ok().map(RequestId)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The splitmix64 finalizer (public here so rid derivation, jitter, and
+/// fault injection share one spelling of the same mix).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One timed phase of a request's lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (`"queue_wait"`, `"cache_probe"`, `"kernel_map"`,
+    /// `"serialize"`, …).
+    pub phase: &'static str,
+    /// Elapsed time in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A request's phase timeline: the rid plus its phases in the order they
+/// were recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request id the phases belong to.
+    pub rid: u64,
+    /// Recorded phases, in recording order.
+    pub phases: Vec<PhaseSpan>,
+}
+
+/// A bounded table of [`SpanRecord`]s indexed by rid.
+///
+/// Capacity-many slots; a rid's slot is `splitmix64(rid) % capacity`.
+/// Recording a phase appends to the slot's record when it already belongs
+/// to the same rid and *evicts* it (starts a fresh record) when a
+/// different rid hashes there — the bounded-memory analogue of the trace
+/// ring's overwrite-oldest policy, except eviction is per colliding rid
+/// rather than global, so a record survives as long as nothing collides
+/// with its slot. Capacity 0 disables the store entirely (every call is a
+/// no-op, [`get`](Self::get) always misses).
+#[derive(Debug)]
+pub struct SpanStore {
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+}
+
+impl SpanStore {
+    /// A store with `capacity` slots (0 disables).
+    pub fn new(capacity: usize) -> SpanStore {
+        SpanStore {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Whether the store records anything at all.
+    pub fn enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, rid: u64) -> &Mutex<Option<SpanRecord>> {
+        &self.slots[(splitmix64(rid) % self.slots.len() as u64) as usize]
+    }
+
+    /// Appends one phase to `rid`'s record, creating it (and evicting any
+    /// colliding rid's record) if absent.
+    pub fn record(&self, rid: u64, phase: &'static str, elapsed_us: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let mut slot = self.slot(rid).lock().expect("span slot poisoned");
+        match slot.as_mut() {
+            Some(record) if record.rid == rid => {
+                record.phases.push(PhaseSpan { phase, elapsed_us });
+            }
+            _ => {
+                *slot = Some(SpanRecord {
+                    rid,
+                    phases: vec![PhaseSpan { phase, elapsed_us }],
+                });
+            }
+        }
+    }
+
+    /// The record for `rid`, if it is still resident.
+    pub fn get(&self, rid: u64) -> Option<SpanRecord> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let slot = self.slot(rid).lock().expect("span slot poisoned");
+        slot.as_ref().filter(|r| r.rid == rid).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn derive_is_deterministic_and_seed_separated() {
+        let a = RequestId::derive(7, 0);
+        assert_eq!(a, RequestId::derive(7, 0));
+        assert_ne!(a, RequestId::derive(7, 1));
+        assert_ne!(a, RequestId::derive(8, 0));
+        // A short stream has no collisions.
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..10_000u64 {
+            assert!(seen.insert(RequestId::derive(42, c).0), "collision at {c}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let rid = RequestId(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(rid.to_hex(), "9e3779b97f4a7c15");
+        assert_eq!(RequestId::from_hex(&rid.to_hex()), Some(rid));
+        assert_eq!(RequestId::from_hex("2A"), Some(RequestId(42)));
+        assert_eq!(RequestId::from_hex(""), None);
+        assert_eq!(RequestId::from_hex("12345678901234567"), None);
+        assert_eq!(RequestId::from_hex("not-hex"), None);
+        assert_eq!(format!("{}", RequestId(1)), "0000000000000001");
+    }
+
+    #[test]
+    fn store_appends_phases_in_order_per_rid() {
+        let store = SpanStore::new(64);
+        store.record(1, "queue_wait", 10);
+        store.record(1, "kernel_map", 20);
+        store.record(1, "serialize", 3);
+        let record = store.get(1).expect("resident");
+        assert_eq!(record.rid, 1);
+        let phases: Vec<&str> = record.phases.iter().map(|p| p.phase).collect();
+        assert_eq!(phases, ["queue_wait", "kernel_map", "serialize"]);
+        assert_eq!(record.phases[1].elapsed_us, 20);
+        assert_eq!(store.get(2), None);
+    }
+
+    #[test]
+    fn colliding_rid_evicts_the_older_record() {
+        // Capacity 1: every rid shares the slot, so each new rid evicts
+        // the previous record wholesale.
+        let store = SpanStore::new(1);
+        store.record(10, "queue_wait", 1);
+        store.record(11, "queue_wait", 2);
+        assert_eq!(store.get(10), None, "evicted by the collision");
+        let survivor = store.get(11).expect("latest rid wins");
+        assert_eq!(survivor.phases.len(), 1);
+        // The survivor keeps appending cleanly after the eviction.
+        store.record(11, "serialize", 5);
+        assert_eq!(store.get(11).unwrap().phases.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_store() {
+        let store = SpanStore::new(0);
+        assert!(!store.enabled());
+        store.record(1, "queue_wait", 1);
+        assert_eq!(store.get(1), None);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_each_rid_complete_and_ordered() {
+        // 8 writers, each its own rid, interleaved with a churn writer
+        // cycling through many other rids (forcing evictions elsewhere in
+        // the table). Every surviving rid's record must hold exactly its
+        // own phases, in recording order. The table is sized so a churn
+        // collision with a writer slot is possible but rare (~22% per
+        // writer), keeping the survivors assertion robust.
+        let store = Arc::new(SpanStore::new(8192));
+        let phases: [&'static str; 4] = ["queue_wait", "cache_probe", "kernel_map", "serialize"];
+        let writers: Vec<_> = (0..8u64)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let rid = RequestId::derive(999, w).0;
+                    for _ in 0..50u64 {
+                        for (i, phase) in phases.iter().enumerate() {
+                            store.record(rid, phase, w * 100 + i as u64);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let churn = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for c in 0..2000u64 {
+                    store.record(RequestId::derive(31337, c).0, "queue_wait", c);
+                }
+            })
+        };
+        for t in writers {
+            t.join().unwrap();
+        }
+        churn.join().unwrap();
+
+        // A churn rid may collide with a writer's slot, evicting its
+        // record mid-stream; the survivor's record is then a *contiguous
+        // window* of the writer's phase stream. The invariant under
+        // concurrency is: never torn, never reordered, every span's
+        // payload matching its phase.
+        let mut survivors = 0;
+        for w in 0..8u64 {
+            let rid = RequestId::derive(999, w).0;
+            let Some(record) = store.get(rid) else {
+                continue; // fully evicted by a colliding churn rid — allowed
+            };
+            survivors += 1;
+            assert_eq!(record.rid, rid);
+            assert!(!record.phases.is_empty());
+            let offset = phases
+                .iter()
+                .position(|p| *p == record.phases[0].phase)
+                .expect("a phase this writer emits");
+            for (i, span) in record.phases.iter().enumerate() {
+                let k = (offset + i) % phases.len();
+                assert_eq!(span.phase, phases[k], "order broken at {i}");
+                assert_eq!(span.elapsed_us, w * 100 + k as u64, "payload torn");
+            }
+        }
+        assert!(survivors > 0, "every writer rid was evicted — vacuous run");
+    }
+}

@@ -89,9 +89,13 @@ pub enum TraceEvent {
     CacheHit {
         /// The request's instance digest.
         digest: u64,
+        /// Correlation id of the request (0 = unattributed).
+        rid: u64,
     },
     /// A service worker finished one request (timing breakdown).
     WorkerServe {
+        /// Correlation id of the request (0 = unattributed).
+        rid: u64,
         /// Time the job waited in the queue, in microseconds.
         queue_wait_us: u64,
         /// Time spent mapping (including serialization), in microseconds.
@@ -99,6 +103,9 @@ pub enum TraceEvent {
     },
     /// A scoped span closed (see [`SpanTimer`]).
     Span {
+        /// Correlation id of the request (0 = unattributed, e.g. kernel
+        /// phase spans emitted outside any request context).
+        rid: u64,
         /// Static phase name given to the timer.
         phase: &'static str,
         /// Wall time between open and close, in microseconds.
@@ -122,12 +129,31 @@ impl TraceEvent {
         }
     }
 
+    /// The request correlation id stamped on this event, if any. Only the
+    /// service-side events (cache hits, worker serves, spans) carry one;
+    /// kernel events are emitted outside any request context, and a rid
+    /// of 0 means "unattributed" even on a service event.
+    pub fn rid(&self) -> Option<u64> {
+        match self {
+            TraceEvent::CacheHit { rid, .. }
+            | TraceEvent::WorkerServe { rid, .. }
+            | TraceEvent::Span { rid, .. }
+                if *rid != 0 =>
+            {
+                Some(*rid)
+            }
+            _ => None,
+        }
+    }
+
     /// Renders the event as one JSON line (no trailing newline):
     /// `{"seq":N,"event":"...",...fields}`.
     ///
-    /// The cache digest is rendered as a hex *string* because a u64
-    /// exceeds f64 integer precision and would be silently mangled by
-    /// JSON consumers that parse numbers as doubles.
+    /// The cache digest and the rid are rendered as hex *strings* because
+    /// a u64 exceeds f64 integer precision and would be silently mangled
+    /// by JSON consumers that parse numbers as doubles. An unattributed
+    /// rid (0) is omitted entirely, keeping pre-correlation trace lines
+    /// byte-identical.
     pub fn to_json_line(&self, seq: u64) -> String {
         let mut out = format!("{{\"seq\":{seq},\"event\":\"{}\"", self.kind());
         match self {
@@ -186,18 +212,26 @@ impl TraceEvent {
             TraceEvent::TaskCommitted { task, machine } => {
                 out.push_str(&format!(",\"task\":{task},\"machine\":{machine}"));
             }
-            TraceEvent::CacheHit { digest } => {
+            TraceEvent::CacheHit { digest, rid } => {
+                push_rid(&mut out, *rid);
                 out.push_str(&format!(",\"digest\":\"{digest:016x}\""));
             }
             TraceEvent::WorkerServe {
+                rid,
                 queue_wait_us,
                 map_us,
             } => {
+                push_rid(&mut out, *rid);
                 out.push_str(&format!(
                     ",\"queue_wait_us\":{queue_wait_us},\"map_us\":{map_us}"
                 ));
             }
-            TraceEvent::Span { phase, elapsed_us } => {
+            TraceEvent::Span {
+                rid,
+                phase,
+                elapsed_us,
+            } => {
+                push_rid(&mut out, *rid);
                 out.push_str(&format!(
                     ",\"phase\":\"{phase}\",\"elapsed_us\":{elapsed_us}"
                 ));
@@ -205,6 +239,13 @@ impl TraceEvent {
         }
         out.push('}');
         out
+    }
+}
+
+/// Appends the `"rid"` field when the event is attributed to a request.
+fn push_rid(out: &mut String, rid: u64) {
+    if rid != 0 {
+        out.push_str(&format!(",\"rid\":\"{rid:016x}\""));
     }
 }
 
@@ -323,6 +364,21 @@ impl TraceBuffer {
         out
     }
 
+    /// The surviving events stamped with the given correlation id, oldest
+    /// first — the `TRACE {"rid":...}` filter. Events overwritten by the
+    /// ring are gone; what survives for a rid is returned complete and in
+    /// emission order.
+    pub fn snapshot_for(&self, rid: u64) -> Vec<(u64, TraceEvent)> {
+        let mut out: Vec<(u64, TraceEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("trace slot poisoned").clone())
+            .filter(|(_, event)| event.rid() == Some(rid))
+            .collect();
+        out.sort_by_key(|(seq, _)| *seq);
+        out
+    }
+
     /// Drops all recorded events (the sequence counter keeps advancing).
     pub fn clear(&self) {
         for slot in &self.slots {
@@ -353,14 +409,26 @@ impl TraceSink for TraceBuffer {
 pub struct SpanTimer<'a> {
     sink: &'a dyn TraceSink,
     phase: &'static str,
+    rid: u64,
     start: Option<Instant>,
 }
 
 impl<'a> SpanTimer<'a> {
-    /// Opens a span named `phase` against `sink`.
+    /// Opens an unattributed span named `phase` against `sink`.
     pub fn start(sink: &'a dyn TraceSink, phase: &'static str) -> Self {
+        Self::start_for(sink, phase, 0)
+    }
+
+    /// Opens a span named `phase` correlated to request `rid` (0 for
+    /// unattributed — equivalent to [`start`](Self::start)).
+    pub fn start_for(sink: &'a dyn TraceSink, phase: &'static str, rid: u64) -> Self {
         let start = sink.enabled().then(Instant::now);
-        Self { sink, phase, start }
+        Self {
+            sink,
+            phase,
+            rid,
+            start,
+        }
     }
 }
 
@@ -368,6 +436,7 @@ impl Drop for SpanTimer<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             self.sink.emit(TraceEvent::Span {
+                rid: self.rid,
                 phase: self.phase,
                 elapsed_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             });
@@ -443,9 +512,84 @@ mod tests {
     fn zero_capacity_ring_is_disabled() {
         let ring = TraceBuffer::new(0);
         assert!(!ring.enabled());
-        ring.emit(TraceEvent::CacheHit { digest: 1 });
+        ring.emit(TraceEvent::CacheHit { digest: 1, rid: 0 });
         assert!(ring.snapshot().is_empty());
         assert_eq!(ring.emitted(), 0);
+    }
+
+    #[test]
+    fn rid_filter_returns_only_that_requests_events_in_order() {
+        let ring = TraceBuffer::new(32);
+        for rid in [7u64, 9, 7, 0, 9, 7] {
+            ring.emit(TraceEvent::Span {
+                rid,
+                phase: "queue_wait",
+                elapsed_us: rid,
+            });
+        }
+        ring.emit(TraceEvent::WorkerServe {
+            rid: 7,
+            queue_wait_us: 1,
+            map_us: 2,
+        });
+        let seven = ring.snapshot_for(7);
+        assert_eq!(seven.len(), 4);
+        assert!(seven.windows(2).all(|w| w[0].0 < w[1].0), "emission order");
+        assert!(seven.iter().all(|(_, e)| e.rid() == Some(7)));
+        // rid 0 means unattributed: never returned by a filter.
+        assert!(ring.snapshot_for(0).is_empty());
+        assert_eq!(ring.snapshot_for(9).len(), 2);
+        assert!(ring.snapshot_for(12345).is_empty());
+    }
+
+    #[test]
+    fn rid_filter_is_complete_and_ordered_under_concurrent_wrap() {
+        // A small ring wrapping many times while 4 writers interleave.
+        // Afterwards, one more full request timeline is written for a
+        // target rid; a filtered snapshot must return that surviving
+        // timeline complete and in emission order even though the ring
+        // wrapped mid-test.
+        let ring = Arc::new(TraceBuffer::new(64));
+        let writers: Vec<_> = (1..=4u64)
+            .map(|rid| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        ring.emit(TraceEvent::Span {
+                            rid,
+                            phase: "kernel_map",
+                            elapsed_us: i,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        assert!(ring.emitted() > 64, "the ring must have wrapped");
+
+        let target = 0xabcdu64;
+        for phase in ["queue_wait", "kernel_map", "serialize"] {
+            ring.emit(TraceEvent::Span {
+                rid: target,
+                phase,
+                elapsed_us: 1,
+            });
+        }
+        let events = ring.snapshot_for(target);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::Span { phase, .. } => *phase,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(phases, ["queue_wait", "kernel_map", "serialize"]);
+        assert!(events.windows(2).all(|w| w[0].0 < w[1].0));
+        // Every filtered event belongs to the target; the bulk writers'
+        // events are still present in the unfiltered snapshot.
+        assert!(ring.snapshot().len() == 64);
     }
 
     #[test]
@@ -536,12 +680,15 @@ mod tests {
             },
             TraceEvent::CacheHit {
                 digest: 0xdead_beef_0123_4567,
+                rid: 0x1234,
             },
             TraceEvent::WorkerServe {
+                rid: 0,
                 queue_wait_us: 12,
                 map_us: 340,
             },
             TraceEvent::Span {
+                rid: 0x1234,
                 phase: "serialize",
                 elapsed_us: 9,
             },
@@ -557,6 +704,15 @@ mod tests {
         assert!(events[6]
             .to_json_line(0)
             .contains("\"digest\":\"deadbeef01234567\""));
+        // rid renders as a zero-padded hex string on attributed events and
+        // is omitted entirely on unattributed ones (byte-stable v1 lines).
+        assert!(events[6]
+            .to_json_line(0)
+            .contains("\"rid\":\"0000000000001234\""));
+        assert!(!events[7].to_json_line(0).contains("rid"));
+        assert_eq!(events[6].rid(), Some(0x1234));
+        assert_eq!(events[7].rid(), None);
+        assert_eq!(events[5].rid(), None, "kernel events carry no rid");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! {"op":"map_batch","v":1,"items":[{"etc":[[2,4]],"heuristic":"mct"}]}
 //! {"op":"stats"}
 //! {"op":"metrics"}
-//! {"op":"trace"}
+//! {"op":"trace","rid":"5851f42d4c957f2d"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -19,6 +19,18 @@
 //! their meaning *and* their cache digests), `"flowtime"`, or
 //! `"weighted-flowtime"`. Unknown objective strings are rejected with a
 //! typed [`ErrorCode::Parse`] error — never silently treated as makespan.
+//!
+//! # Correlation
+//!
+//! `map` and `map_batch` items accept an optional `"rid"` request id — a
+//! 64-bit value spelled as up to 16 hex digits (a non-negative integer is
+//! also accepted for hand-written lines). Absent, `null`, or zero means
+//! "server-assigned": the daemon stamps its own id into the request's
+//! trace events but does *not* echo it, keeping v1 reply lines
+//! byte-stable. A client-supplied rid is excluded from the cache digest
+//! (like `sleep_ms`, it does not affect the result) and *is* echoed back
+//! in the reply's `"rid"` field. `trace` with a `"rid"` filters the reply
+//! to that request's events and returns its recorded phase spans.
 //!
 //! # Versioning
 //!
@@ -57,6 +69,7 @@ use hcs_core::{
     EtcMatrix, Heuristic, InstanceDigest, IterativeConfig, IterativeRun, Objective, ReadyTimes,
     Scenario, TieBreaker,
 };
+use hcs_obs::RequestId;
 
 use crate::json::{self, ObjectBuilder, Value};
 
@@ -83,8 +96,12 @@ pub enum Request {
     Stats,
     /// Return the metrics registry in Prometheus text exposition format.
     Metrics,
-    /// Return the daemon's recent trace events as a JSON array.
-    Trace,
+    /// Return the daemon's recent trace events as a JSON array. With a
+    /// rid, only that request's events (plus its recorded phase spans).
+    Trace {
+        /// `Some` filters the reply to one request id.
+        rid: Option<u64>,
+    },
     /// Drain the queue, join the workers, stop the daemon.
     Shutdown,
 }
@@ -115,6 +132,10 @@ pub struct MapRequest {
     /// Artificial service-time padding in milliseconds (testing/loadgen
     /// aid; excluded from the digest because it does not affect results).
     pub sleep_ms: u64,
+    /// Client-supplied request id (`None` = server-assigned). Excluded
+    /// from the digest — the same instance under different rids must
+    /// share a cache entry — and echoed in the reply only when supplied.
+    pub rid: Option<u64>,
 }
 
 impl MapRequest {
@@ -186,6 +207,9 @@ impl MapRequest {
         }
         if self.sleep_ms > 0 {
             b = b.field("sleep_ms", Value::Number(self.sleep_ms as f64));
+        }
+        if let Some(rid) = self.rid {
+            b = b.field("rid", Value::String(RequestId(rid).to_hex()));
         }
         b.build()
     }
@@ -373,7 +397,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     match v.get("op").and_then(Value::as_str).unwrap_or("map") {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
-        "trace" => Ok(Request::Trace),
+        "trace" => Ok(Request::Trace {
+            rid: parse_rid(&v)?,
+        }),
         "shutdown" => Ok(Request::Shutdown),
         "map" => parse_map(&v).map(Request::Map),
         "map_batch" => parse_batch(&v).map(Request::MapBatch),
@@ -392,6 +418,46 @@ fn check_version(v: &Value) -> Result<(), ProtocolError> {
                 "unsupported protocol version {x} (this daemon speaks v{PROTOCOL_VERSION})"
             ))),
         },
+    }
+}
+
+/// Parses the optional `"rid"` field: up to 16 hex digits as a string, or
+/// a non-negative integer for hand-written lines. Absent, `null`, and
+/// zero all normalize to `None` ("server-assigned").
+fn parse_rid(v: &Value) -> Result<Option<u64>, ProtocolError> {
+    let rid = match v.get("rid") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(s)) => Some(
+            RequestId::from_hex(s)
+                .ok_or_else(|| {
+                    ProtocolError::bad_request(format!("\"rid\" is not 1-16 hex digits: {s:?}"))
+                })?
+                .0,
+        ),
+        Some(x) => Some(x.as_u64().ok_or_else(|| {
+            ProtocolError::bad_request("\"rid\" must be a hex string or a non-negative integer")
+        })?),
+    };
+    Ok(rid.filter(|&r| r != 0))
+}
+
+/// Inserts an echoed `"rid"` field right after the `"ok"`/`"v"` header of
+/// a reply object (or after `"ok"` for embedded batch items, which carry
+/// no version stamp). No-op for `None` — v1 replies stay byte-stable.
+pub fn stamp_rid(reply: Value, rid: Option<u64>) -> Value {
+    match (reply, rid) {
+        (Value::Object(mut entries), Some(rid)) => {
+            let header = entries
+                .iter()
+                .take_while(|(k, _)| k == "ok" || k == "v")
+                .count();
+            entries.insert(
+                header,
+                ("rid".to_string(), Value::String(RequestId(rid).to_hex())),
+            );
+            Value::Object(entries)
+        }
+        (other, _) => other,
     }
 }
 
@@ -530,6 +596,7 @@ fn parse_map(v: &Value) -> Result<MapRequest, ProtocolError> {
         iterative: flag("iterative")?,
         guard: flag("guard")?,
         sleep_ms,
+        rid: parse_rid(v)?,
     })
 }
 
@@ -766,7 +833,10 @@ mod tests {
             parse_request(r#"{"op":"metrics"}"#).unwrap(),
             Request::Metrics
         );
-        assert_eq!(parse_request(r#"{"op":"trace"}"#).unwrap(), Request::Trace);
+        assert_eq!(
+            parse_request(r#"{"op":"trace"}"#).unwrap(),
+            Request::Trace { rid: None }
+        );
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
@@ -1114,6 +1184,95 @@ mod tests {
         let line = format!(r#"{{"op":"map_batch","items":[{}]}}"#, items.join(","));
         let err = parse_request(&line).unwrap_err();
         assert!(err.message.contains("limit"));
+    }
+
+    #[test]
+    fn rid_parses_round_trips_and_stays_out_of_the_digest() {
+        let req = |line: &str| match parse_request(line).unwrap() {
+            Request::Map(m) => m,
+            _ => unreachable!(),
+        };
+        let bare = req(r#"{"etc":[[2,6],[3,4]],"heuristic":"mct"}"#);
+        let hex = req(r#"{"etc":[[2,6],[3,4]],"heuristic":"mct","rid":"9e3779b97f4a7c15"}"#);
+        let num = req(r#"{"etc":[[2,6],[3,4]],"heuristic":"mct","rid":42}"#);
+        assert_eq!(bare.rid, None);
+        assert_eq!(hex.rid, Some(0x9E37_79B9_7F4A_7C15));
+        assert_eq!(num.rid, Some(42));
+        // Same instance, different (or no) rid: one cache entry.
+        assert_eq!(bare.digest(), hex.digest());
+        assert_eq!(bare.digest(), num.digest());
+        // The rid survives a render/parse round trip; rid-less lines stay
+        // byte-identical to v1 (no "rid" key at all).
+        let Request::Map(back) = parse_request(&hex.to_line()).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(back, hex);
+        assert!(!bare.to_line().contains("rid"));
+        // Null and zero both mean server-assigned.
+        assert_eq!(
+            req(r#"{"etc":[[1]],"heuristic":"mct","rid":null}"#).rid,
+            None
+        );
+        assert_eq!(
+            req(r#"{"etc":[[1]],"heuristic":"mct","rid":"0"}"#).rid,
+            None
+        );
+        // Garbage rids are typed parse rejections.
+        for line in [
+            r#"{"etc":[[1]],"heuristic":"mct","rid":"not-hex"}"#,
+            r#"{"etc":[[1]],"heuristic":"mct","rid":"12345678901234567"}"#,
+            r#"{"etc":[[1]],"heuristic":"mct","rid":-3}"#,
+            r#"{"etc":[[1]],"heuristic":"mct","rid":true}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorCode::Parse, "{line}");
+        }
+    }
+
+    #[test]
+    fn trace_requests_carry_an_optional_rid_filter() {
+        assert_eq!(
+            parse_request(r#"{"op":"trace"}"#).unwrap(),
+            Request::Trace { rid: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"trace","v":1,"rid":"2a"}"#).unwrap(),
+            Request::Trace { rid: Some(42) }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"trace","rid":"zz"}"#)
+                .unwrap_err()
+                .code,
+            400
+        );
+    }
+
+    #[test]
+    fn stamp_rid_echoes_after_the_header_and_is_a_noop_for_none() {
+        let Request::Map(req) = parse_request(map_line()).unwrap() else {
+            unreachable!()
+        };
+        let mut ws = MapWorkspace::new();
+        let result = execute(&req, &mut ws).unwrap();
+        // Reply line: rid lands after ok and v.
+        let line = stamp_rid(stamp_version(result.to_value(false)), Some(0x2a)).to_string();
+        assert!(
+            line.starts_with(r#"{"ok":true,"v":1,"rid":"000000000000002a""#),
+            "{line}"
+        );
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("rid").unwrap().as_str(), Some("000000000000002a"));
+        // Batch item (no version stamp): rid lands right after ok.
+        let item = stamp_rid(result.to_value(true), Some(1)).to_string();
+        assert!(
+            item.starts_with(r#"{"ok":true,"rid":"0000000000000001""#),
+            "{item}"
+        );
+        // None leaves the rendering byte-identical.
+        assert_eq!(
+            stamp_rid(stamp_version(result.to_value(false)), None).to_string(),
+            result.to_line(false)
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hcs_core::obs::{TraceBuffer, TraceEvent, TraceSink};
+use hcs_core::obs::{RequestId, SpanStore, TraceBuffer, TraceEvent, TraceSink};
 use hcs_core::MapWorkspace;
 
 use crate::cache::ShardedCache;
@@ -141,6 +141,8 @@ fn splitmix64(mut x: u64) -> u64 {
 struct Job {
     request: MapRequest,
     digest: u64,
+    /// The request's correlation id (client-supplied or server-assigned).
+    rid: u64,
     /// When the connection thread enqueued the job (queue-wait metric).
     enqueued: Instant,
     reply: mpsc::Sender<Result<Arc<MapResult>, ProtocolError>>,
@@ -152,6 +154,11 @@ struct Shared {
     cache: ShardedCache<MapResult>,
     stats: ServiceStats,
     trace: Arc<TraceBuffer>,
+    spans: SpanStore,
+    /// Seed for server-assigned rids (mixed from the bound port so two
+    /// fleet nodes do not mint colliding id streams).
+    rid_seed: u64,
+    rid_counter: AtomicU64,
     fault: FaultInjector,
     shutdown: AtomicBool,
     workers: usize,
@@ -166,6 +173,26 @@ impl Shared {
             self.queue.close();
             let _ = TcpStream::connect(self.local_addr);
         }
+    }
+
+    /// Mints a rid for a request that arrived without one.
+    fn assign_rid(&self) -> u64 {
+        let n = self.rid_counter.fetch_add(1, Ordering::Relaxed);
+        RequestId::derive(self.rid_seed, n).0
+    }
+
+    /// Records one timed phase of a request: a `Span` trace event plus an
+    /// entry in the rid-indexed span store (which survives ring wrap).
+    fn span(&self, rid: u64, phase: &'static str, elapsed: Duration) {
+        let elapsed_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        if self.trace.enabled() {
+            self.trace.emit(TraceEvent::Span {
+                rid,
+                phase,
+                elapsed_us,
+            });
+        }
+        self.spans.record(rid, phase, elapsed_us);
     }
 }
 
@@ -189,6 +216,11 @@ impl Server {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             stats: ServiceStats::with_shard(config.shard),
             trace: Arc::new(TraceBuffer::new(config.trace_capacity)),
+            // The span store rides the trace knob: tracing off ⇒ no span
+            // records either (and `TRACE` with a rid returns empty).
+            spans: SpanStore::new(config.trace_capacity),
+            rid_seed: splitmix64(0xA55E_55ED ^ u64::from(local_addr.port())),
+            rid_counter: AtomicU64::new(0),
             fault: FaultInjector::new(config.fault_rate, config.fault_seed),
             shutdown: AtomicBool::new(false),
             workers,
@@ -276,6 +308,7 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let queue_wait = job.enqueued.elapsed();
         shared.stats.queue_wait.record(queue_wait);
+        shared.span(job.rid, "queue_wait", queue_wait);
         // Injected-fault hook: drop the request before execution. The job
         // is still binned `served` (a worker consumed it), its result is
         // never cached, and the client sees a retryable `fault` error.
@@ -291,8 +324,10 @@ fn worker_loop(shared: &Shared) {
         let result = protocol::execute(&job.request, &mut ws);
         let map_time = map_start.elapsed();
         shared.stats.map_time.record(map_time);
+        shared.span(job.rid, "kernel_map", map_time);
         if shared.trace.enabled() {
             shared.trace.emit(TraceEvent::WorkerServe {
+                rid: job.rid,
                 queue_wait_us: queue_wait.as_micros().min(u128::from(u64::MAX)) as u64,
                 map_us: map_time.as_micros().min(u128::from(u64::MAX)) as u64,
             });
@@ -415,7 +450,7 @@ fn handle_line(line: &str, shared: &Shared) -> String {
             )
             .to_string()
         }
-        Request::Trace => {
+        Request::Trace { rid: None } => {
             let events: Vec<String> = shared
                 .trace
                 .snapshot()
@@ -426,6 +461,37 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 "{{\"ok\":true,\"v\":{},\"events\":[{}]}}",
                 protocol::PROTOCOL_VERSION,
                 events.join(",")
+            )
+        }
+        Request::Trace { rid: Some(rid) } => {
+            let events: Vec<String> = shared
+                .trace
+                .snapshot_for(rid)
+                .into_iter()
+                .map(|(seq, event)| event.to_json_line(seq))
+                .collect();
+            let spans: Vec<String> = shared
+                .spans
+                .get(rid)
+                .map(|record| {
+                    record
+                        .phases
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{{\"phase\":\"{}\",\"elapsed_us\":{}}}",
+                                p.phase, p.elapsed_us
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            format!(
+                "{{\"ok\":true,\"v\":{},\"rid\":\"{}\",\"events\":[{}],\"spans\":[{}]}}",
+                protocol::PROTOCOL_VERSION,
+                RequestId(rid).to_hex(),
+                events.join(","),
+                spans.join(",")
             )
         }
         Request::Shutdown => {
@@ -443,11 +509,27 @@ fn handle_line(line: &str, shared: &Shared) -> String {
     }
 }
 
-/// Renders a reply line while recording serialization time.
-fn render_reply(shared: &Shared, result: &MapResult, cached: bool) -> String {
+/// Renders a reply line while recording serialization time (stat, and a
+/// `"serialize"` phase span under `rid`). `echo` is the client-supplied
+/// rid, stamped into the line; server-assigned rids are *not* echoed, so
+/// v1 replies stay byte-identical to the pre-correlation protocol.
+fn render_reply(
+    shared: &Shared,
+    result: &MapResult,
+    cached: bool,
+    rid: u64,
+    echo: Option<u64>,
+) -> String {
     let start = Instant::now();
-    let line = result.to_line(cached);
-    shared.stats.serialize.record(start.elapsed());
+    let line = match echo {
+        None => result.to_line(cached),
+        Some(_) => {
+            protocol::stamp_rid(protocol::stamp_version(result.to_value(cached)), echo).to_string()
+        }
+    };
+    let elapsed = start.elapsed();
+    shared.stats.serialize.record(elapsed);
+    shared.span(rid, "serialize", elapsed);
     line
 }
 
@@ -455,13 +537,18 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
     shared.stats.submitted.inc();
     let start = Instant::now();
     let digest = request.digest();
+    let echo = request.rid;
+    let rid = echo.unwrap_or_else(|| shared.assign_rid());
 
-    if let Some(hit) = shared.cache.get(digest) {
+    let probe_start = Instant::now();
+    let hit = shared.cache.get(digest);
+    shared.span(rid, "cache_probe", probe_start.elapsed());
+    if let Some(hit) = hit {
         shared.stats.cache_hits.inc();
         if shared.trace.enabled() {
-            shared.trace.emit(TraceEvent::CacheHit { digest });
+            shared.trace.emit(TraceEvent::CacheHit { digest, rid });
         }
-        let line = render_reply(shared, &hit, true);
+        let line = render_reply(shared, &hit, true, rid, echo);
         shared.stats.latency.record(start.elapsed());
         return line;
     }
@@ -470,6 +557,7 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
     let job = Job {
         request,
         digest,
+        rid,
         enqueued: Instant::now(),
         reply: tx,
     };
@@ -486,7 +574,7 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
     }
     match rx.recv() {
         Ok(Ok(result)) => {
-            let line = render_reply(shared, &result, false);
+            let line = render_reply(shared, &result, false, rid, echo);
             shared.stats.latency.record(start.elapsed());
             line
         }
@@ -501,7 +589,12 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
 /// shed) or waiting on a worker's reply channel.
 enum Pending {
     Ready(Value),
-    Wait(mpsc::Receiver<Result<Arc<MapResult>, ProtocolError>>),
+    /// A worker owes the answer; the client-supplied rid (if any) is kept
+    /// so the gathered item can echo it.
+    Wait(
+        Option<u64>,
+        mpsc::Receiver<Result<Arc<MapResult>, ProtocolError>>,
+    ),
 }
 
 /// The batch pipeline. Valid items are pushed onto the *same* bounded
@@ -532,22 +625,28 @@ fn handle_batch(batch: BatchRequest, shared: &Shared) -> String {
             };
             shared.stats.submitted.inc();
             let digest = request.digest();
-            if let Some(hit) = shared.cache.get(digest) {
+            let echo = request.rid;
+            let rid = echo.unwrap_or_else(|| shared.assign_rid());
+            let probe_start = Instant::now();
+            let hit = shared.cache.get(digest);
+            shared.span(rid, "cache_probe", probe_start.elapsed());
+            if let Some(hit) = hit {
                 shared.stats.cache_hits.inc();
                 if shared.trace.enabled() {
-                    shared.trace.emit(TraceEvent::CacheHit { digest });
+                    shared.trace.emit(TraceEvent::CacheHit { digest, rid });
                 }
-                return Pending::Ready(hit.to_value(true));
+                return Pending::Ready(protocol::stamp_rid(hit.to_value(true), echo));
             }
             let (tx, rx) = mpsc::channel();
             let job = Job {
                 request,
                 digest,
+                rid,
                 enqueued: Instant::now(),
                 reply: tx,
             };
             match shared.queue.try_push(job) {
-                Ok(()) => Pending::Wait(rx),
+                Ok(()) => Pending::Wait(echo, rx),
                 Err(PushError::Full) => {
                     shared.stats.rejected.inc();
                     Pending::Ready(ProtocolError::shed("queue full").to_value())
@@ -566,8 +665,8 @@ fn handle_batch(batch: BatchRequest, shared: &Shared) -> String {
         .into_iter()
         .map(|slot| match slot {
             Pending::Ready(v) => v,
-            Pending::Wait(rx) => match rx.recv() {
-                Ok(Ok(result)) => result.to_value(false),
+            Pending::Wait(echo, rx) => match rx.recv() {
+                Ok(Ok(result)) => protocol::stamp_rid(result.to_value(false), echo),
                 Ok(Err(e)) => e.to_value(),
                 Err(_) => ProtocolError::shed("shutting down").to_value(),
             },
@@ -653,6 +752,63 @@ mod tests {
         reply.clear();
         reader.read_line(&mut reply).unwrap();
         assert!(reply.contains("\"ok\":true"), "{reply}");
+
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn rid_requests_echo_and_trace_filters_to_one_request() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        let reply = send_line(
+            addr,
+            r#"{"etc":[[2,6],[3,4]],"heuristic":"mct","rid":"2a"}"#,
+        );
+        let v = crate::json::parse(&reply).unwrap();
+        assert_eq!(v.get("rid").unwrap().as_str(), Some("000000000000002a"));
+        // rid-less requests get a server-assigned id internally but the
+        // reply stays byte-compatible with v1: no rid key.
+        let bare = send_line(addr, r#"{"etc":[[9,1]],"heuristic":"mct"}"#);
+        assert!(!bare.contains("\"rid\""), "{bare}");
+
+        // The rid-filtered TRACE reconstructs the request's full phase
+        // timeline in serving order, and only its own events.
+        let trace = send_line(addr, r#"{"op":"trace","rid":"2a"}"#);
+        let tv = crate::json::parse(&trace).unwrap();
+        assert_eq!(tv.get("rid").unwrap().as_str(), Some("000000000000002a"));
+        let phases: Vec<String> = tv
+            .get("spans")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("phase").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            phases,
+            ["cache_probe", "queue_wait", "kernel_map", "serialize"]
+        );
+        let events = tv.get("events").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        for e in events {
+            assert_eq!(e.get("rid").unwrap().as_str(), Some("000000000000002a"));
+        }
+
+        // A batch item carrying a rid echoes it too.
+        let batch = send_line(
+            addr,
+            r#"{"op":"map_batch","items":[{"etc":[[5,1]],"heuristic":"mct","rid":"2b"}]}"#,
+        );
+        let bv = crate::json::parse(&batch).unwrap();
+        let item = &bv.get("items").unwrap().as_array().unwrap()[0];
+        assert_eq!(item.get("rid").unwrap().as_str(), Some("000000000000002b"));
 
         server.stop();
         server.join();

@@ -34,11 +34,16 @@
 //! Latencies are recorded in microseconds into fixed power-of-two buckets
 //! (1 µs … ~67 s) — see [`Histogram`] in `hcs-obs`, where the service's
 //! original histogram now lives — so recording is one `fetch_add` with no
-//! locks and no allocation; percentiles are read out as the upper bound of
-//! the bucket where the cumulative count crosses the rank. That quantizes
-//! p50/p95/p99 to 2× resolution — plenty for a load shedder's dashboard,
-//! and immune to the reservoir-sampling bias a sampled exact-percentile
-//! sketch has under bursty load.
+//! locks and no allocation; percentiles interpolate linearly within the
+//! bucket where the cumulative count crosses the rank (see [`Histogram`]
+//! in `hcs-obs`), and are immune to the reservoir-sampling bias a sampled
+//! exact-percentile sketch has under bursty load.
+//!
+//! The `STATS` latency objects also carry the raw `sum_us` and `buckets`
+//! cells, so a fleet client can rebuild each node's histogram
+//! ([`hcs_obs::Histogram::from_parts`]) and fold them into one merged
+//! distribution ([`hcs_obs::Histogram::merge`]) — percentiles of the
+//! merged histogram, not averages of per-node percentiles.
 //!
 //! Every metric is registered in a per-daemon [`Registry`], so the same
 //! numbers back both the `STATS` JSON reply ([`ServiceStats::to_line`])
@@ -223,22 +228,8 @@ impl ServiceStats {
         self.queue_depth.set(queue_depth as u64);
         self.workers.set(workers as u64);
         let count = |c: &Counter| Value::Number(c.get() as f64);
-        let latency = ObjectBuilder::new()
-            .field("count", Value::Number(self.latency.count() as f64))
-            .field(
-                "p50_us",
-                Value::Number(self.latency.percentile(50.0) as f64),
-            )
-            .field(
-                "p95_us",
-                Value::Number(self.latency.percentile(95.0) as f64),
-            )
-            .field(
-                "p99_us",
-                Value::Number(self.latency.percentile(99.0) as f64),
-            )
-            .field("max_us", Value::Number(self.latency.max() as f64))
-            .build();
+        let latency = hist_value(&self.latency);
+        let queue_wait = hist_value(&self.queue_wait);
         let mut stats = ObjectBuilder::new()
             .field("submitted", count(&self.submitted))
             .field("served", count(&self.served))
@@ -258,7 +249,13 @@ impl ServiceStats {
         ObjectBuilder::new()
             .field("ok", Value::Bool(true))
             .field("v", Value::Number(crate::protocol::PROTOCOL_VERSION as f64))
-            .field("stats", stats.field("latency", latency).build())
+            .field(
+                "stats",
+                stats
+                    .field("latency", latency)
+                    .field("queue_wait", queue_wait)
+                    .build(),
+            )
             .build()
             .to_string()
     }
@@ -271,6 +268,29 @@ impl ServiceStats {
         self.workers.set(workers as u64);
         self.registry.prometheus_text()
     }
+}
+
+/// Renders one histogram as a `STATS` JSON object: interpolated
+/// percentiles for dashboards, plus the raw `sum_us`/`buckets` cells a
+/// fleet client needs to rebuild and merge the distribution.
+fn hist_value(h: &LatencyHistogram) -> Value {
+    ObjectBuilder::new()
+        .field("count", Value::Number(h.count() as f64))
+        .field("p50_us", Value::Number(h.percentile(50.0) as f64))
+        .field("p95_us", Value::Number(h.percentile(95.0) as f64))
+        .field("p99_us", Value::Number(h.percentile(99.0) as f64))
+        .field("max_us", Value::Number(h.max() as f64))
+        .field("sum_us", Value::Number(h.sum() as f64))
+        .field(
+            "buckets",
+            Value::Array(
+                h.bucket_counts()
+                    .iter()
+                    .map(|&c| Value::Number(c as f64))
+                    .collect(),
+            ),
+        )
+        .build()
 }
 
 #[cfg(test)]
@@ -287,7 +307,8 @@ mod tests {
         }
         h.record(Duration::from_millis(100)); // ~1e5 µs
         assert_eq!(h.count(), 100);
-        assert_eq!(h.percentile(50.0), 4);
+        // Rank 50 of 99 samples in the (2, 4] bucket interpolates to 3.
+        assert_eq!(h.percentile(50.0), 3);
         assert_eq!(h.percentile(99.0), 4);
         assert!(h.percentile(100.0) >= 100_000 / 2);
         assert!(h.max() >= 100_000);
@@ -332,6 +353,35 @@ mod tests {
         let lat = stats.get("latency").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(lat.get("p50_us").unwrap().as_u64(), Some(128));
+    }
+
+    #[test]
+    fn latency_objects_carry_mergeable_cells_that_round_trip() {
+        let s = ServiceStats::new();
+        s.latency.record(Duration::from_micros(100));
+        s.latency.record(Duration::from_micros(3000));
+        s.queue_wait.record(Duration::from_micros(7));
+        let v = crate::json::parse(&s.to_line(0, 1)).unwrap();
+        for (key, source) in [("latency", &s.latency), ("queue_wait", &s.queue_wait)] {
+            let obj = v.get("stats").unwrap().get(key).unwrap();
+            let counts: Vec<u64> = obj
+                .get("buckets")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|c| c.as_u64().unwrap())
+                .collect();
+            assert_eq!(counts.len(), BUCKETS);
+            let rebuilt = LatencyHistogram::from_parts(
+                &counts,
+                obj.get("sum_us").unwrap().as_u64().unwrap(),
+                obj.get("max_us").unwrap().as_u64().unwrap(),
+            );
+            assert_eq!(rebuilt.count(), source.count(), "{key}");
+            assert_eq!(rebuilt.sum(), source.sum(), "{key}");
+            assert_eq!(rebuilt.percentile(95.0), source.percentile(95.0), "{key}");
+        }
     }
 
     #[test]

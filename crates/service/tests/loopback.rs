@@ -59,6 +59,7 @@ fn request(seed: u64, tasks: usize, iterative: bool) -> MapRequest {
         iterative,
         guard: false,
         sleep_ms: 0,
+        rid: None,
     }
 }
 

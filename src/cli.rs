@@ -9,11 +9,15 @@
 //! * `examples` — summarize (or print in full) the paper's worked
 //!   examples;
 //! * `trace` — run the iterative technique with structured tracing
-//!   attached and emit the event stream as JSONL (one event per line);
+//!   attached and emit the event stream as JSONL (one event per line), or
+//!   with `--addr` query a running daemon's `TRACE` verb (optionally
+//!   filtered to one request id with `--rid`);
 //! * `serve` — run the `hcs-service` mapping daemon until it receives a
 //!   `SHUTDOWN` request;
 //! * `mapc` — map an ETC CSV against a *running* daemon through the
-//!   `hcs-client` retry machinery (optionally as a `map_batch` line).
+//!   `hcs-client` retry machinery (optionally as a `map_batch` line);
+//!   `--rid` stamps a request id that the reply echoes and `trace --addr
+//!   --rid` can later look up.
 //!
 //! The logic lives here (library side) so it is unit-testable; the binary
 //! in `src/bin/nonmakespan.rs` is a thin `main`.
@@ -71,7 +75,8 @@ pub enum Command {
         /// Optional example id.
         only: Option<String>,
     },
-    /// Run the iterative technique with tracing and emit JSONL events.
+    /// Run the iterative technique with tracing and emit JSONL events —
+    /// or, with `addr` set, query a running daemon's `TRACE` verb.
     Trace {
         /// Paper example id (`minmin`, `mct`, …) — mutually exclusive
         /// with `csv`.
@@ -86,6 +91,12 @@ pub enum Command {
         guard: bool,
         /// Objective (CSV mode; the paper examples are makespan runs).
         objective: Objective,
+        /// Daemon address — switches to querying a running daemon's
+        /// `TRACE` verb instead of an offline run.
+        addr: Option<String>,
+        /// Request id filter for the daemon query (`--rid`): only that
+        /// request's events and phase spans come back.
+        rid: Option<u64>,
     },
     /// Run the mapping daemon until it is told to shut down.
     Serve {
@@ -126,6 +137,9 @@ pub enum Command {
         batch: Option<usize>,
         /// Objective the daemon scores against.
         objective: Objective,
+        /// Request id to stamp onto the request (`--rid`, decimal or
+        /// 0x-hex); echoed in the reply and queryable via `trace --addr`.
+        rid: Option<u64>,
     },
 }
 
@@ -154,6 +168,7 @@ USAGE:
   nonmakespan examples [ID]
   nonmakespan trace    --example ID | --etc FILE.csv --heuristic NAME
                        [--random-ties SEED] [--guard] [--objective NAME]
+                       | --addr HOST:PORT [--rid ID]
   nonmakespan serve    [--addr 127.0.0.1:7077] [--workers 4] [--queue-depth 256]
                        [--cache-capacity 1024] [--trace-capacity 1024]
                        [--fault-rate 0.0] [--fault-seed 0]
@@ -163,7 +178,7 @@ USAGE:
                        [--fleet HOST:PORT,HOST:PORT,...]
                        [--iterative] [--guard] [--random-ties SEED]
                        [--retries 3] [--timeout-ms 5000] [--batch K]
-                       [--objective NAME]
+                       [--objective NAME] [--rid ID]
 
 HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
             segmented-min-min, genitor, sa, tabu, beam
@@ -244,6 +259,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             only: rest.first().cloned(),
         }),
         "trace" => {
+            let addr = flag(rest, "--addr");
             let example = flag(rest, "--example");
             let heuristic = flag(rest, "--heuristic");
             let csv = flag(rest, "--etc")
@@ -260,9 +276,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
                 _ => example,
             };
-            if example.is_none() && (csv.is_none() || heuristic.is_none()) {
+            if addr.is_none() && example.is_none() && (csv.is_none() || heuristic.is_none()) {
                 return Err(CliError(format!(
-                    "trace requires --example ID or --etc FILE.csv --heuristic NAME\n\n{USAGE}"
+                    "trace requires --example ID, --etc FILE.csv --heuristic NAME, \
+                     or --addr HOST:PORT\n\n{USAGE}"
                 )));
             }
             Ok(Command::Trace {
@@ -272,6 +289,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 random_ties,
                 guard: present(rest, "--guard"),
                 objective,
+                addr,
+                rid: rid_flag(rest)?,
             })
         }
         "serve" => {
@@ -409,10 +428,27 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 timeout_ms,
                 batch,
                 objective,
+                rid: rid_flag(rest)?,
             })
         }
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
+}
+
+/// Parses the optional `--rid` flag: a decimal integer or a `0x`-prefixed
+/// hex one (the wire spelling is 16 hex digits, so `0x…` is the natural
+/// way to paste an id back in).
+fn rid_flag(rest: &[String]) -> Result<Option<u64>, CliError> {
+    flag(rest, "--rid")
+        .map(|v| {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse::<u64>(),
+            };
+            parsed.map_err(|_| CliError("--rid takes a decimal or 0x-hex request id".into()))
+        })
+        .transpose()
 }
 
 /// Parses a Braun class label like `i-hihi`.
@@ -630,7 +666,19 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             random_ties,
             guard,
             objective,
+            addr,
+            rid,
         } => {
+            // Daemon-query mode: fetch the running daemon's trace ring
+            // (optionally filtered to one rid's events and phase spans)
+            // and print the JSON reply as-is.
+            if let Some(addr) = addr {
+                let mut client = hcs_client::Client::new(&addr);
+                let reply = client
+                    .trace(rid)
+                    .map_err(|e| CliError(format!("daemon trace failed: {e}")))?;
+                return Ok(format!("{reply}\n"));
+            }
             // Resolve the run: a paper example replays its scripted ties;
             // CSV mode mirrors `iterate`.
             let (scenario, mut h, mut tb, config) = match example {
@@ -732,6 +780,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             timeout_ms,
             batch,
             objective,
+            rid,
         } => {
             let etc = hcs_etcgen::io::parse_csv(&csv)
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
@@ -742,6 +791,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 iterative,
                 guard,
                 sleep_ms: 0,
+                rid,
             };
             let client_config = hcs_client::ClientConfig {
                 read_timeout: std::time::Duration::from_millis(timeout_ms),
@@ -756,6 +806,9 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     "heuristic: {} (cached: {})",
                     reply.heuristic, reply.cached
                 );
+                if let Some(rid) = reply.rid {
+                    let _ = writeln!(out, "rid: {rid:016x}");
+                }
                 let _ = writeln!(out, "makespan: {}", reply.makespan);
                 if let (Some(name), Some(value)) =
                     (reply.objective.as_deref(), reply.objective_value)
@@ -1097,6 +1150,8 @@ mod tests {
             random_ties: None,
             guard: false,
             objective: Objective::Makespan,
+            addr: None,
+            rid: None,
         })
         .unwrap();
         assert!(out.contains("\"event\":\"round_end\""), "{out}");
@@ -1278,6 +1333,7 @@ mod tests {
             timeout_ms: 5000,
             batch,
             objective: Objective::Makespan,
+            rid: None,
         };
 
         let single = execute(mapc(None)).unwrap();
@@ -1309,6 +1365,7 @@ mod tests {
             timeout_ms: 200,
             batch: None,
             objective: Objective::Makespan,
+            rid: None,
         })
         .unwrap_err();
         assert!(err.0.contains("Connect"), "{err}");
@@ -1388,6 +1445,7 @@ mod tests {
             timeout_ms: 5000,
             batch,
             objective: Objective::Makespan,
+            rid: None,
         };
 
         let single = execute(mapc(None)).unwrap();
@@ -1408,6 +1466,114 @@ mod tests {
             "{batched}"
         );
         assert!(!batched.contains("error:"), "{batched}");
+
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn rid_flag_parses_decimal_and_hex() {
+        let dir = std::env::temp_dir().join("nonmakespan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rid.csv");
+        std::fs::write(&path, "2,6\n3,4\n").unwrap();
+        let parse_rid = |spelling: &str| match parse(&strs(&[
+            "mapc",
+            "--etc",
+            path.to_str().unwrap(),
+            "--heuristic",
+            "mct",
+            "--rid",
+            spelling,
+        ]))
+        .unwrap()
+        {
+            Command::Mapc { rid, .. } => rid,
+            other => panic!("expected mapc, got {other:?}"),
+        };
+        assert_eq!(parse_rid("42"), Some(42));
+        assert_eq!(parse_rid("0x2a"), Some(42));
+        assert_eq!(parse_rid("0X2A"), Some(42));
+        assert!(parse(&strs(&[
+            "mapc",
+            "--etc",
+            path.to_str().unwrap(),
+            "--heuristic",
+            "mct",
+            "--rid",
+            "not-a-rid",
+        ]))
+        .is_err());
+
+        // `trace --addr` alone parses (daemon-query mode needs neither an
+        // example nor a CSV); a rid filter rides along.
+        match parse(&strs(&[
+            "trace",
+            "--addr",
+            "127.0.0.1:7077",
+            "--rid",
+            "0x2a",
+        ]))
+        .unwrap()
+        {
+            Command::Trace { addr, rid, .. } => {
+                assert_eq!(addr.as_deref(), Some("127.0.0.1:7077"));
+                assert_eq!(rid, Some(42));
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mapc_rid_echoes_and_trace_addr_queries_the_daemon() {
+        let server = hcs_service::Server::start(hcs_service::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 16,
+            cache_capacity: 16,
+            cache_shards: 1,
+            trace_capacity: 64,
+            fault_rate: 0.0,
+            fault_seed: 0,
+            shard: None,
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let out = execute(Command::Mapc {
+            addr: addr.clone(),
+            fleet: None,
+            csv: "2,6\n3,4\n8,3\n".into(),
+            heuristic: "min-min".into(),
+            random_ties: None,
+            iterative: false,
+            guard: false,
+            retries: 2,
+            timeout_ms: 5000,
+            batch: None,
+            objective: Objective::Makespan,
+            rid: Some(0x2a),
+        })
+        .unwrap();
+        assert!(out.contains("rid: 000000000000002a"), "{out}");
+
+        // The daemon-side timeline comes back through `trace --addr`,
+        // filtered to exactly that rid.
+        let trace = execute(Command::Trace {
+            example: None,
+            csv: None,
+            heuristic: None,
+            random_ties: None,
+            guard: false,
+            objective: Objective::Makespan,
+            addr: Some(addr),
+            rid: Some(0x2a),
+        })
+        .unwrap();
+        assert!(trace.contains("\"rid\":\"000000000000002a\""), "{trace}");
+        for phase in ["cache_probe", "queue_wait", "kernel_map", "serialize"] {
+            assert!(trace.contains(phase), "missing {phase}: {trace}");
+        }
 
         server.stop();
         server.join();
