@@ -49,6 +49,21 @@
 //! fleet driven under known rids, each rid's `TRACE` reply reconstructing
 //! its end-to-end timeline, and the merged fleet `METRICS` exposition
 //! passing the strict Prometheus validator.
+//!
+//! `--connections N` switches to the connection-scaling benchmark for the
+//! event-driven front end: per worker count (1, 4, 8) it measures MAP
+//! latency on an otherwise empty daemon and again with `N` held-open idle
+//! connections, recording both into the `"connections"` section.
+//! `--serve-bin PATH` runs each daemon as a child process (required near
+//! `N` = 10k, so daemon and loadgen fds live in separate processes);
+//! `--pre-bin PATH` additionally measures a pre-refactor binary for the
+//! regression comparison. `--connections N --smoke` holds `N` idle
+//! connections against one in-process daemon and asserts MAP p99 stays
+//! under 200 ms and the event-loop gauges count them.
+//!
+//! `--oversized-check` is the CI negative check: it asserts a daemon
+//! capped at a small `--max-line-bytes` answers an over-limit request
+//! with the typed 400 parse error (connection surviving), then exits 2.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -233,21 +248,19 @@ fn fetch_and_validate_metrics(addr: SocketAddr) {
 /// One full measurement at a given worker count. Returns the run's JSON
 /// record and the warm/cold throughput ratio.
 fn bench_workers(spec: &LoadSpec, workers: usize) -> (Value, f64) {
-    let server = Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers,
-        queue_depth: 1024,
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(workers)
+        .queue_depth(1024)
         // Cache must hold every distinct instance for the warm pass to be
         // all hits.
-        cache_capacity: spec.instances.max(16) * 2,
-        cache_shards: 8,
+        .cache_capacity(spec.instances.max(16) * 2)
+        .cache_shards(8)
         // Tracing off: per-request ring writes would perturb the numbers.
-        trace_capacity: 0,
-        fault_rate: 0.0,
-        fault_seed: 0,
-        shard: None,
-    })
-    .expect("start daemon");
+        .trace_capacity(0)
+        .build()
+        .expect("valid config");
+    let server = Server::start(config).expect("start daemon");
     let addr = server.local_addr();
     let lines = build_lines(spec);
 
@@ -347,18 +360,16 @@ fn bench_batch(
     // the daemon dispatches them.
     let requests = build_batch_requests(tasks, machines, items, "min-min", sleep_ms);
     let start_server = || {
-        Server::start(ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            workers,
-            queue_depth: 1024,
-            cache_capacity: items.max(16) * 2,
-            cache_shards: 8,
-            trace_capacity: 0,
-            fault_rate: 0.0,
-            fault_seed: 0,
-            shard: None,
-        })
-        .expect("start daemon")
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(workers)
+            .queue_depth(1024)
+            .cache_capacity(items.max(16) * 2)
+            .cache_shards(8)
+            .trace_capacity(0)
+            .build()
+            .expect("valid config");
+        Server::start(config).expect("start daemon")
     };
 
     // Pass 1: every instance as its own `map` line.
@@ -419,18 +430,18 @@ fn bench_batch(
 /// batch) must eventually succeed, and the daemon's counters must show
 /// that faults actually fired and were absorbed.
 fn smoke_fault_retry(tasks: usize, machines: usize) {
-    let server = Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 2,
-        queue_depth: 64,
-        cache_capacity: 128,
-        cache_shards: 4,
-        trace_capacity: 0,
-        fault_rate: 0.2,
-        fault_seed: 7,
-        shard: None,
-    })
-    .expect("start faulty daemon");
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .queue_depth(64)
+        .cache_capacity(128)
+        .cache_shards(4)
+        .trace_capacity(0)
+        .fault_rate(0.2)
+        .fault_seed(7)
+        .build()
+        .expect("valid config");
+    let server = Server::start(config).expect("start faulty daemon");
     let addr = server.local_addr().to_string();
     let mut client = hcs_client::Client::with_config(
         &addr,
@@ -475,6 +486,339 @@ fn smoke_fault_retry(tasks: usize, machines: usize) {
     server.join();
 }
 
+/// Opens and holds `n` idle connections against a daemon (the
+/// connection-scaling axis: sockets that cost the event loop one slab
+/// entry each and nothing else).
+fn open_idle_connections(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    (0..n)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connection {i}: {e}")))
+        .collect()
+}
+
+/// Blocks until the daemon reports at least `n` open connections. A
+/// connect storm needs this barrier: the kernel completes TCP handshakes
+/// into the listen backlog before the daemon has accepted and registered
+/// the sockets, so measuring immediately would overlap the accept burst.
+fn wait_for_open_connections(addr: SocketAddr, n: usize) {
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let parsed = fetch_verb(addr, "stats");
+        let open = parsed
+            .get("stats")
+            .and_then(|s| s.get("open_connections"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if open >= n as u64 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never registered {n} connections (stuck at {open})"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// A daemon running as a child process — the 10k-connection run needs the
+/// daemon's file descriptors in a separate process from the load
+/// generator's, or the combined count blows the per-process fd limit.
+struct ChildDaemon {
+    child: std::process::Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: SocketAddr,
+}
+
+impl ChildDaemon {
+    /// Spawns `bin serve` on an ephemeral port and parses the bound
+    /// address from its readiness line.
+    fn spawn(bin: &str, workers: usize, extra: &[&str]) -> ChildDaemon {
+        let mut child = std::process::Command::new(bin)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                &workers.to_string(),
+                "--queue-depth",
+                "1024",
+                "--trace-capacity",
+                "0",
+            ])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("daemon readiness line");
+        // "listening on 127.0.0.1:PORT (N workers); send ..."
+        let addr = line
+            .strip_prefix("listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable readiness line: {line:?}"));
+        ChildDaemon {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    /// Sends `SHUTDOWN` and waits for the child to exit.
+    fn stop(mut self) {
+        if let Ok(mut stream) = TcpStream::connect(self.addr) {
+            let _ = stream.write_all(b"{\"op\":\"shutdown\"}\n");
+            let mut reply = String::new();
+            let _ = BufReader::new(stream).read_line(&mut reply);
+        }
+        // Drain remaining stdout so the child never blocks on a full pipe.
+        let mut rest = String::new();
+        use std::io::Read as _;
+        let _ = self.stdout.read_to_string(&mut rest);
+        let _ = self.child.wait();
+    }
+}
+
+/// Client-side latency percentiles of one measured pass, as JSON.
+fn latency_json(r: &RegimeResult) -> Value {
+    ObjectBuilder::new()
+        .field("requests", Value::Number(r.requests as f64))
+        .field("p50_us", Value::Number(r.percentile_us(50.0) as f64))
+        .field("p95_us", Value::Number(r.percentile_us(95.0) as f64))
+        .field("p99_us", Value::Number(r.percentile_us(99.0) as f64))
+        .build()
+}
+
+/// The connection-scaling benchmark: per worker count, MAP latency with
+/// an empty daemon (`baseline`) and with `idle_n` held-open idle
+/// connections (`with_idle`); optionally the same measurement against a
+/// pre-refactor binary (`--pre-bin`) for the regression comparison.
+/// Daemons run as child processes when `--serve-bin` is given (required
+/// for fd-limit headroom at 10k connections), in-process otherwise.
+fn bench_connections(
+    idle_n: usize,
+    serve_bin: Option<&str>,
+    pre_bin: Option<&str>,
+    out_path: &str,
+) {
+    let spec = LoadSpec {
+        tasks: 16,
+        machines: 8,
+        instances: 64,
+        clients: 4,
+        warm_repeats: 1,
+        heuristic: "min-min".into(),
+        objective: Objective::Makespan,
+    };
+    let lines = build_lines(&spec);
+    // One discarded warmup pass per daemon: the measured passes are then
+    // all cache hits, so every number isolates the front end (accept,
+    // framing, event loop, serialize) rather than kernel compute.
+    let measure = |addr: SocketAddr| {
+        let _ = run_regime(addr, &lines, spec.clients, 1);
+        run_regime(addr, &lines, spec.clients, 3)
+    };
+
+    let mut per_workers = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let pre = pre_bin.map(|bin| {
+            let daemon = ChildDaemon::spawn(bin, workers, &[]);
+            let r = measure(daemon.addr);
+            daemon.stop();
+            r
+        });
+
+        // The idle holders must outlive both measured passes: a long idle
+        // timeout keeps the sweep from reaping them mid-run.
+        let (addr, child, local) = match serve_bin {
+            Some(bin) => {
+                let daemon = ChildDaemon::spawn(bin, workers, &["--idle-timeout-ms", "600000"]);
+                (daemon.addr, Some(daemon), None)
+            }
+            None => {
+                let config = ServeConfig::builder()
+                    .addr("127.0.0.1:0")
+                    .workers(workers)
+                    .queue_depth(1024)
+                    .trace_capacity(0)
+                    .idle_timeout(std::time::Duration::from_secs(600))
+                    .build()
+                    .expect("valid config");
+                let server = Server::start(config).expect("start daemon");
+                (server.local_addr(), None, Some(server))
+            }
+        };
+
+        let baseline = measure(addr);
+        let idles = open_idle_connections(addr, idle_n);
+        wait_for_open_connections(addr, idle_n);
+        let with_idle = measure(addr);
+        let stats = fetch_and_check_stats(addr);
+        let open = stats
+            .get("open_connections")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        assert!(
+            open >= idle_n as u64,
+            "daemon must report >= {idle_n} open connections, got {open}"
+        );
+        drop(idles);
+        if let Some(daemon) = child {
+            daemon.stop();
+        }
+        if let Some(server) = local {
+            server.stop();
+            server.join();
+        }
+
+        let slowdown =
+            with_idle.percentile_us(99.0) as f64 / (baseline.percentile_us(99.0) as f64).max(1.0);
+        println!(
+            "workers={workers}: p99 {:>7}us empty, {:>7}us with {idle_n} idle conns ({slowdown:.2}x){}",
+            baseline.percentile_us(99.0),
+            with_idle.percentile_us(99.0),
+            pre.as_ref()
+                .map(|p| format!(", pre-refactor {}us", p.percentile_us(99.0)))
+                .unwrap_or_default(),
+        );
+
+        let mut record = ObjectBuilder::new()
+            .field("workers", Value::Number(workers as f64))
+            .field("baseline", latency_json(&baseline))
+            .field("with_idle", latency_json(&with_idle));
+        if let Some(p) = pre {
+            record = record.field("pre_refactor", latency_json(&p)).field(
+                "with_idle_over_pre_p99",
+                Value::Number(
+                    with_idle.percentile_us(99.0) as f64 / (p.percentile_us(99.0) as f64).max(1.0),
+                ),
+            );
+        }
+        per_workers.push(record.build());
+    }
+
+    let record = ObjectBuilder::new()
+        .field("idle_connections", Value::Number(idle_n as f64))
+        .field("per_workers", Value::Array(per_workers))
+        .build();
+    write_merged(
+        out_path,
+        ObjectBuilder::new().field("connections", record).build(),
+    );
+}
+
+/// CI smoke for the connection axis: hold `idle_n` idle connections
+/// against one in-process daemon, prove MAP still answers under a p99
+/// bound, and check the new event-loop gauges are live.
+fn smoke_connections(idle_n: usize, tasks: usize, machines: usize) {
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .queue_depth(1024)
+        .trace_capacity(0)
+        .idle_timeout(std::time::Duration::from_secs(600))
+        .build()
+        .expect("valid config");
+    let server = Server::start(config).expect("start daemon");
+    let addr = server.local_addr();
+
+    let idles = open_idle_connections(addr, idle_n);
+    wait_for_open_connections(addr, idle_n);
+    let spec = LoadSpec {
+        tasks,
+        machines,
+        instances: 32,
+        clients: 2,
+        warm_repeats: 1,
+        heuristic: "min-min".into(),
+        objective: Objective::Makespan,
+    };
+    let lines = build_lines(&spec);
+    let active = run_regime(addr, &lines, spec.clients, 1);
+    let p99_us = active.percentile_us(99.0);
+    assert!(
+        p99_us <= 200_000,
+        "MAP p99 with {idle_n} idle connections must stay under 200ms, got {p99_us}us"
+    );
+
+    let stats = fetch_and_check_stats(addr);
+    let open = stats
+        .get("open_connections")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        open >= idle_n as u64,
+        "stats must count the idle connections: {open} < {idle_n}"
+    );
+    let metrics = fetch_verb(addr, "metrics");
+    let text = metrics
+        .get("metrics")
+        .and_then(Value::as_str)
+        .expect("metrics payload");
+    for name in [
+        "hcs_open_connections",
+        "hcs_event_wakeups_total",
+        "hcs_read_buffer_hwm_bytes",
+    ] {
+        assert!(text.contains(name), "metrics must expose {name}");
+    }
+
+    drop(idles);
+    server.stop();
+    server.join();
+    println!("connections smoke ok: {idle_n} idle connections held, MAP p99 {p99_us}us");
+}
+
+/// CI negative check: a daemon capped at a small `max_line_bytes` must
+/// answer an oversized request with the typed 400 (`error_code:"parse"`)
+/// while keeping the connection alive — then this process exits 2 so the
+/// CI step can assert the rejection path actually fired.
+fn oversized_check() -> ! {
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .max_line_bytes(1024)
+        .build()
+        .expect("valid config");
+    let server = Server::start(config).expect("start daemon");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut big = vec![b'x'; 8 * 1024];
+    big.push(b'\n');
+    stream.write_all(&big).expect("send oversized line");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    let v = hcs_service::json::parse(reply.trim_end()).expect("parse reply");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{reply}");
+    assert_eq!(v.get("code").and_then(Value::as_u64), Some(400), "{reply}");
+    assert_eq!(
+        v.get("error_code").and_then(Value::as_str),
+        Some("parse"),
+        "{reply}"
+    );
+    assert!(
+        v.get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("max_line_bytes")),
+        "{reply}"
+    );
+    // The connection survives the rejection.
+    stream
+        .write_all(b"{\"etc\":[[1,2]],\"heuristic\":\"mct\"}\n")
+        .expect("send follow-up");
+    reply.clear();
+    reader.read_line(&mut reply).expect("read follow-up");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    server.stop();
+    server.join();
+    eprintln!("oversized-check: typed 400 received, connection survived; exiting 2");
+    std::process::exit(2);
+}
+
 /// Spawns `nodes` in-process daemons, each stamped with its fleet
 /// identity; `fault_rate_for(i)` lets one node inject faults.
 /// `trace_capacity` is 0 for measured runs (per-request ring writes would
@@ -486,21 +830,22 @@ fn start_fleet(
 ) -> Vec<Server> {
     (0..nodes)
         .map(|i| {
-            Server::start(ServeConfig {
-                addr: "127.0.0.1:0".into(),
-                workers: 2,
-                queue_depth: 1024,
-                cache_capacity: 1024,
-                cache_shards: 8,
-                trace_capacity,
-                fault_rate: fault_rate_for(i),
-                fault_seed: 7,
-                shard: Some(ShardIdentity {
+            let config = ServeConfig::builder()
+                .addr("127.0.0.1:0")
+                .workers(2)
+                .queue_depth(1024)
+                .cache_capacity(1024)
+                .cache_shards(8)
+                .trace_capacity(trace_capacity)
+                .fault_rate(fault_rate_for(i))
+                .fault_seed(7)
+                .shard(ShardIdentity {
                     shard_id: i as u64,
                     fleet_size: nodes as u64,
-                }),
-            })
-            .expect("start fleet daemon")
+                })
+                .build()
+                .expect("valid config");
+            Server::start(config).expect("start fleet daemon")
         })
         .collect()
 }
@@ -932,6 +1277,28 @@ fn main() {
             .unwrap_or_else(|_| panic!("--fleet takes a node count"))
             .max(1)
     });
+
+    if present(&args, "--oversized-check") {
+        oversized_check();
+    }
+
+    if let Some(n) = parse_flag(&args, "--connections").map(|v| {
+        v.parse::<usize>()
+            .unwrap_or_else(|_| panic!("--connections takes a count"))
+            .max(1)
+    }) {
+        if smoke {
+            smoke_connections(n, spec.tasks, spec.machines);
+            return;
+        }
+        bench_connections(
+            n,
+            parse_flag(&args, "--serve-bin").as_deref(),
+            parse_flag(&args, "--pre-bin").as_deref(),
+            &out_path,
+        );
+        return;
+    }
 
     if present(&args, "--trace-smoke") {
         smoke_trace(spec.tasks, spec.machines);

@@ -11,40 +11,42 @@ use hcs_core::{EtcMatrix, Scenario};
 use hcs_service::{MapRequest, ServeConfig, Server, ShardIdentity};
 
 fn serve(shard_id: u64, fleet_size: u64, fault_rate: f64) -> Server {
-    Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 2,
-        queue_depth: 64,
-        cache_capacity: 256,
-        cache_shards: 4,
-        trace_capacity: 0,
-        fault_rate,
-        fault_seed: 2024,
-        shard: Some(ShardIdentity {
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .queue_depth(64)
+        .cache_capacity(256)
+        .cache_shards(4)
+        .trace_capacity(0)
+        .fault_rate(fault_rate)
+        .fault_seed(2024)
+        .shard(ShardIdentity {
             shard_id,
             fleet_size,
-        }),
-    })
-    .expect("bind ephemeral port")
+        })
+        .build()
+        .expect("valid config");
+    Server::start(config).expect("bind ephemeral port")
 }
 
 /// Like [`serve`] but with tracing on, for the correlation tests.
 fn serve_traced(shard_id: u64, fleet_size: u64, fault_rate: f64) -> Server {
-    Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 2,
-        queue_depth: 64,
-        cache_capacity: 256,
-        cache_shards: 4,
-        trace_capacity: 256,
-        fault_rate,
-        fault_seed: 2024,
-        shard: Some(ShardIdentity {
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .queue_depth(64)
+        .cache_capacity(256)
+        .cache_shards(4)
+        .trace_capacity(256)
+        .fault_rate(fault_rate)
+        .fault_seed(2024)
+        .shard(ShardIdentity {
             shard_id,
             fleet_size,
-        }),
-    })
-    .expect("bind ephemeral port")
+        })
+        .build()
+        .expect("valid config");
+    Server::start(config).expect("bind ephemeral port")
 }
 
 /// Fleet config with no inner retries: every fault surfaces to the fleet

@@ -11,18 +11,18 @@ use hcs_service::json::Value;
 use hcs_service::{MapRequest, ServeConfig, Server};
 
 fn serve(workers: usize, fault_rate: f64) -> Server {
-    Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers,
-        queue_depth: 64,
-        cache_capacity: 256,
-        cache_shards: 4,
-        trace_capacity: 0,
-        fault_rate,
-        fault_seed: 2024,
-        shard: None,
-    })
-    .expect("bind ephemeral port")
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(workers)
+        .queue_depth(64)
+        .cache_capacity(256)
+        .cache_shards(4)
+        .trace_capacity(0)
+        .fault_rate(fault_rate)
+        .fault_seed(2024)
+        .build()
+        .expect("valid config");
+    Server::start(config).expect("bind ephemeral port")
 }
 
 /// Fast-retry client config for tests: the budget is what matters, not

@@ -1,0 +1,365 @@
+//! Daemon configuration: [`ServeConfig`] plus its validating
+//! [`ServeConfigBuilder`].
+//!
+//! The struct's fields stay public (and `Default` keeps working) so
+//! existing literal constructors compile, but the builder is the supported
+//! way to assemble a config: it validates the cross-field rules that used
+//! to live ad hoc in the CLI flag parser — fault-rate range, shard
+//! pairing, worker count — and reports violations as typed
+//! [`ConfigError`]s instead of stringly CLI errors. `nonmakespan serve`,
+//! `nonmakespan fleet`, the integration suites, and `loadgen` all build
+//! their daemons through it.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::stats::ShardIdentity;
+
+/// Default cap on one request line, in bytes. Large enough for a
+/// max-sized `map_batch` line of realistic instances, small enough to
+/// bound what one connection can force the daemon to buffer.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Default slow-loris guard: connections idle this long with no pending
+/// reply are closed.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns a `MapWorkspace`); ≥ 1.
+    pub workers: usize,
+    /// Bounded queue depth — pending requests beyond this are rejected.
+    pub queue_depth: usize,
+    /// Total digest-cache entries.
+    pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Slots in the trace ring served by the `TRACE` verb (0 disables
+    /// tracing entirely — event emission becomes a no-op branch).
+    pub trace_capacity: usize,
+    /// Probability in `[0, 1]` that a worker drops a request with an
+    /// [`ErrorCode::Fault`](crate::ErrorCode::Fault) reply instead of
+    /// executing it. Deterministic given `fault_seed` and the request
+    /// arrival order; `0.0` (the default) disables the hook entirely.
+    /// A testing aid for exercising client retry paths — never enable it
+    /// on a real deployment.
+    pub fault_rate: f64,
+    /// Seed for the fault-injection sequence.
+    pub fault_seed: u64,
+    /// Fleet identity (`serve --shard-id`/`--fleet-size`). When set, the
+    /// daemon stamps it into `STATS` and `METRICS` output; standalone
+    /// daemons (`None`, the default) expose exactly the pre-fleet shape.
+    pub shard: Option<ShardIdentity>,
+    /// Maximum bytes in one request line. Longer lines get a typed 400
+    /// reply and are discarded up to the next newline.
+    pub max_line_bytes: usize,
+    /// Connections idle this long with nothing in flight are closed
+    /// (slow-loris guard). [`Duration::ZERO`] disables the sweep.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7077".into(),
+            workers: 4,
+            queue_depth: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            trace_capacity: 1024,
+            fault_rate: 0.0,
+            fault_seed: 0,
+            shard: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+            shard_id: None,
+            fleet_size: None,
+        }
+    }
+}
+
+/// A validation failure from [`ServeConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The bind address is empty.
+    EmptyAddr,
+    /// `workers` must be at least 1.
+    ZeroWorkers,
+    /// `fault_rate` is outside `[0, 1]` (or not finite).
+    FaultRateOutOfRange(f64),
+    /// Only one of `shard_id` / `fleet_size` was given.
+    ShardIncomplete,
+    /// `fleet_size` must be at least 1.
+    ZeroFleet,
+    /// `shard_id` must be strictly less than `fleet_size`.
+    ShardOutOfRange {
+        /// The offending shard index.
+        shard_id: u64,
+        /// The configured fleet size.
+        fleet_size: u64,
+    },
+    /// `max_line_bytes` is too small to carry even control verbs.
+    MaxLineTooSmall(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyAddr => write!(f, "bind address must not be empty"),
+            ConfigError::ZeroWorkers => write!(f, "--workers must be at least 1"),
+            ConfigError::FaultRateOutOfRange(r) => {
+                write!(f, "--fault-rate must be in [0, 1], got {r}")
+            }
+            ConfigError::ShardIncomplete => {
+                write!(f, "--shard-id and --fleet-size must be given together")
+            }
+            ConfigError::ZeroFleet => write!(f, "--fleet-size must be at least 1"),
+            ConfigError::ShardOutOfRange {
+                shard_id,
+                fleet_size,
+            } => write!(
+                f,
+                "--shard-id must be less than --fleet-size ({shard_id} >= {fleet_size})"
+            ),
+            ConfigError::MaxLineTooSmall(n) => write!(
+                f,
+                "--max-line-bytes must be at least {MIN_MAX_LINE_BYTES}, got {n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Floor for [`ServeConfig::max_line_bytes`]: every control verb and a
+/// small map request must fit.
+pub const MIN_MAX_LINE_BYTES: usize = 1024;
+
+/// Validating builder for [`ServeConfig`]; see the module docs.
+#[derive(Clone, Debug)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+    shard_id: Option<u64>,
+    fleet_size: Option<u64>,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Bounded queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Total digest-cache entries.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.cache_capacity = capacity;
+        self
+    }
+
+    /// Cache shard count.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cfg.cache_shards = shards;
+        self
+    }
+
+    /// Trace ring capacity (0 disables tracing).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = capacity;
+        self
+    }
+
+    /// Injected-fault probability (testing aid).
+    pub fn fault_rate(mut self, rate: f64) -> Self {
+        self.cfg.fault_rate = rate;
+        self
+    }
+
+    /// Seed for the fault-injection sequence.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.cfg.fault_seed = seed;
+        self
+    }
+
+    /// This daemon's zero-based shard index (requires
+    /// [`ServeConfigBuilder::fleet_size`]).
+    pub fn shard_id(mut self, id: u64) -> Self {
+        self.shard_id = Some(id);
+        self
+    }
+
+    /// Total fleet size (requires [`ServeConfigBuilder::shard_id`]).
+    pub fn fleet_size(mut self, size: u64) -> Self {
+        self.fleet_size = Some(size);
+        self
+    }
+
+    /// Fleet identity in one call (equivalent to `shard_id` +
+    /// `fleet_size`).
+    pub fn shard(mut self, identity: ShardIdentity) -> Self {
+        self.shard_id = Some(identity.shard_id);
+        self.fleet_size = Some(identity.fleet_size);
+        self
+    }
+
+    /// Per-line byte cap for request framing.
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.max_line_bytes = bytes;
+        self
+    }
+
+    /// Idle-connection timeout ([`Duration::ZERO`] disables it).
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.idle_timeout = timeout;
+        self
+    }
+
+    /// Validates the cross-field rules and returns the config.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let ServeConfigBuilder {
+            mut cfg,
+            shard_id,
+            fleet_size,
+        } = self;
+        if cfg.addr.is_empty() {
+            return Err(ConfigError::EmptyAddr);
+        }
+        if cfg.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if !cfg.fault_rate.is_finite() || !(0.0..=1.0).contains(&cfg.fault_rate) {
+            return Err(ConfigError::FaultRateOutOfRange(cfg.fault_rate));
+        }
+        if cfg.max_line_bytes < MIN_MAX_LINE_BYTES {
+            return Err(ConfigError::MaxLineTooSmall(cfg.max_line_bytes));
+        }
+        cfg.shard = match (shard_id, fleet_size) {
+            (None, None) => None,
+            (Some(_), None) | (None, Some(_)) => return Err(ConfigError::ShardIncomplete),
+            (Some(_), Some(0)) => return Err(ConfigError::ZeroFleet),
+            (Some(shard_id), Some(fleet_size)) if shard_id >= fleet_size => {
+                return Err(ConfigError::ShardOutOfRange {
+                    shard_id,
+                    fleet_size,
+                })
+            }
+            (Some(shard_id), Some(fleet_size)) => Some(ShardIdentity {
+                shard_id,
+                fleet_size,
+            }),
+        };
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_struct_defaults() {
+        let built = ServeConfig::builder().build().unwrap();
+        let defaulted = ServeConfig::default();
+        assert_eq!(built.addr, defaulted.addr);
+        assert_eq!(built.workers, defaulted.workers);
+        assert_eq!(built.queue_depth, defaulted.queue_depth);
+        assert_eq!(built.cache_capacity, defaulted.cache_capacity);
+        assert_eq!(built.max_line_bytes, defaulted.max_line_bytes);
+        assert_eq!(built.idle_timeout, defaulted.idle_timeout);
+        assert!(built.shard.is_none());
+    }
+
+    #[test]
+    fn typed_errors_cover_each_rule() {
+        assert_eq!(
+            ServeConfig::builder().addr("").build().unwrap_err(),
+            ConfigError::EmptyAddr
+        );
+        assert_eq!(
+            ServeConfig::builder().workers(0).build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        assert_eq!(
+            ServeConfig::builder().fault_rate(1.5).build().unwrap_err(),
+            ConfigError::FaultRateOutOfRange(1.5)
+        );
+        assert!(matches!(
+            ServeConfig::builder().fault_rate(f64::NAN).build(),
+            Err(ConfigError::FaultRateOutOfRange(r)) if r.is_nan()
+        ));
+        assert_eq!(
+            ServeConfig::builder().shard_id(0).build().unwrap_err(),
+            ConfigError::ShardIncomplete
+        );
+        assert_eq!(
+            ServeConfig::builder().fleet_size(2).build().unwrap_err(),
+            ConfigError::ShardIncomplete
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .shard_id(0)
+                .fleet_size(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroFleet
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .shard_id(3)
+                .fleet_size(3)
+                .build()
+                .unwrap_err(),
+            ConfigError::ShardOutOfRange {
+                shard_id: 3,
+                fleet_size: 3
+            }
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .max_line_bytes(16)
+                .build()
+                .unwrap_err(),
+            ConfigError::MaxLineTooSmall(16)
+        );
+    }
+
+    #[test]
+    fn valid_shard_pair_lands_in_the_config() {
+        let cfg = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .shard_id(1)
+            .fleet_size(4)
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.shard,
+            Some(ShardIdentity {
+                shard_id: 1,
+                fleet_size: 4
+            })
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! The per-connection protocol state machine: zero-copy line framing on
+//! the read side, ordered reply slots in the middle, and a bounded,
+//! incrementally pumped write buffer on the way out.
+//!
+//! [`ConnMachine`] is deliberately free of sockets, clocks, and threads —
+//! the event loop in [`server`](crate::server) owns the `TcpStream` and
+//! feeds bytes in ([`ConnMachine::read_space`]/[`ConnMachine::commit`]) and
+//! out ([`ConnMachine::writable`]/[`ConnMachine::consume`]); the unit suite
+//! drives exactly the same API with in-memory byte chunks, which is what
+//! makes request framing testable under arbitrary read boundaries and
+//! partial writes.
+//!
+//! # Framing rules
+//!
+//! * A request is one `\n`-terminated line, parsed **in place** from the
+//!   connection's read buffer — no per-request `String` is allocated for
+//!   the line itself ([`Frame::Line`] is a byte range into the buffer).
+//! * A line longer than `max_line` bytes yields exactly one
+//!   [`Frame::Oversized`]; the framer then discards input until the next
+//!   `\n` and resynchronizes, so the connection survives with a typed
+//!   error reply instead of unbounded buffering (the `read_line` hazard
+//!   the old thread-per-connection server had).
+//! * Replies leave in request order, whatever order workers complete in:
+//!   every request reserves a *slot* up front
+//!   ([`ConnMachine::open_slot`]/[`ConnMachine::open_batch`]) and the pump
+//!   only moves the head slot's bytes into the write buffer.
+//! * Batch replies stream: the `{"ok":true,"v":1,"items":[` header, each
+//!   item, and the `]}` footer are emitted as their turn comes, so a
+//!   10k-item batch never materializes as one giant line in memory. The
+//!   pump stops feeding the write buffer past a high-water mark and
+//!   resumes as the socket drains.
+
+use std::collections::VecDeque;
+
+/// Read chunk granularity: `read_space` always offers at least this much.
+const READ_CHUNK: usize = 4096;
+
+/// Soft cap on buffered-but-unsent reply bytes. The pump stops emitting
+/// completed slots past this backlog and resumes as [`ConnMachine::consume`]
+/// drains it; a single reply larger than the cap is still emitted whole.
+const OUT_HIGH_WATER: usize = 64 * 1024;
+
+/// One framed unit from the read buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, as a byte range into the read buffer (newline
+    /// excluded). Resolve it with [`ConnMachine::line`] **before** the next
+    /// [`ConnMachine::read_space`]/[`ConnMachine::commit`] call — those may
+    /// compact the buffer and invalidate the range.
+    Line(std::ops::Range<usize>),
+    /// A line exceeded the configured maximum length. Emitted once per
+    /// offending line; the remainder is discarded up to the next `\n`.
+    Oversized,
+}
+
+/// Identifies a reserved reply slot on one connection.
+pub type SlotId = u64;
+
+enum SlotState {
+    /// Awaiting a worker completion.
+    Pending,
+    /// A fully rendered reply line (trailing `\n` included).
+    Ready(Vec<u8>),
+    /// A streaming `map_batch` reply.
+    Batch {
+        /// Item payloads in wire order; `None` until filled.
+        items: Vec<Option<String>>,
+        filled: usize,
+        /// Items already moved to the write buffer.
+        emitted: usize,
+        header_sent: bool,
+    },
+}
+
+struct Slot {
+    id: SlotId,
+    state: SlotState,
+}
+
+/// The connection state machine. See the module docs for the contract.
+pub struct ConnMachine {
+    rbuf: Vec<u8>,
+    rstart: usize,
+    rfilled: usize,
+    max_line: usize,
+    discarding: bool,
+    read_hwm: usize,
+
+    slots: VecDeque<Slot>,
+    next_id: SlotId,
+
+    out: Vec<u8>,
+    opos: usize,
+}
+
+impl ConnMachine {
+    /// A fresh machine enforcing `max_line` bytes per request line.
+    pub fn new(max_line: usize) -> ConnMachine {
+        ConnMachine {
+            rbuf: Vec::new(),
+            rstart: 0,
+            rfilled: 0,
+            max_line,
+            discarding: false,
+            read_hwm: 0,
+            slots: VecDeque::new(),
+            next_id: 0,
+            out: Vec::new(),
+            opos: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read side
+    // ------------------------------------------------------------------
+
+    /// Spare buffer space to read socket bytes into (at least
+    /// [`READ_CHUNK`] bytes). Compacts consumed bytes first, so any
+    /// outstanding [`Frame::Line`] range is invalidated.
+    pub fn read_space(&mut self) -> &mut [u8] {
+        if self.rstart > 0 {
+            self.rbuf.copy_within(self.rstart..self.rfilled, 0);
+            self.rfilled -= self.rstart;
+            self.rstart = 0;
+        }
+        if self.rbuf.len() < self.rfilled + READ_CHUNK {
+            self.rbuf.resize(self.rfilled + READ_CHUNK, 0);
+        }
+        &mut self.rbuf[self.rfilled..]
+    }
+
+    /// Records `n` bytes just read into [`ConnMachine::read_space`].
+    pub fn commit(&mut self, n: usize) {
+        self.rfilled += n;
+        debug_assert!(self.rfilled <= self.rbuf.len());
+        self.read_hwm = self.read_hwm.max(self.rfilled - self.rstart);
+    }
+
+    /// Extracts the next complete frame, if any. Call in a loop after each
+    /// [`ConnMachine::commit`].
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        loop {
+            let window = &self.rbuf[self.rstart..self.rfilled];
+            let newline = window.iter().position(|&b| b == b'\n');
+            if self.discarding {
+                match newline {
+                    Some(pos) => {
+                        self.rstart += pos + 1;
+                        self.discarding = false;
+                        continue;
+                    }
+                    None => {
+                        self.rstart = self.rfilled;
+                        return None;
+                    }
+                }
+            }
+            return match newline {
+                Some(pos) if pos > self.max_line => {
+                    self.rstart += pos + 1;
+                    Some(Frame::Oversized)
+                }
+                Some(pos) => {
+                    let range = self.rstart..self.rstart + pos;
+                    self.rstart += pos + 1;
+                    Some(Frame::Line(range))
+                }
+                None if window.len() > self.max_line => {
+                    self.rstart = self.rfilled;
+                    self.discarding = true;
+                    Some(Frame::Oversized)
+                }
+                None => None,
+            };
+        }
+    }
+
+    /// Resolves a [`Frame::Line`] range to its bytes.
+    pub fn line(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.rbuf[range]
+    }
+
+    /// High-water mark of buffered request bytes on this connection.
+    pub fn read_hwm(&self) -> usize {
+        self.read_hwm
+    }
+
+    // ------------------------------------------------------------------
+    // Reply slots
+    // ------------------------------------------------------------------
+
+    /// Reserves the next reply slot (replies always leave in reservation
+    /// order). Fill it with [`ConnMachine::fill`].
+    pub fn open_slot(&mut self) -> SlotId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.push_back(Slot {
+            id,
+            state: SlotState::Pending,
+        });
+        id
+    }
+
+    /// Reserves a streaming batch slot carrying `items` entries. An empty
+    /// batch completes (and emits `[]`) immediately.
+    pub fn open_batch(&mut self, items: usize) -> SlotId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.push_back(Slot {
+            id,
+            state: SlotState::Batch {
+                items: (0..items).map(|_| None).collect(),
+                filled: 0,
+                emitted: 0,
+                header_sent: false,
+            },
+        });
+        self.pump();
+        id
+    }
+
+    /// Completes a single-reply slot with a fully rendered line (trailing
+    /// `\n` included). Unknown ids are ignored (the peer may have
+    /// disconnected and the slot queue been dropped).
+    pub fn fill(&mut self, id: SlotId, line: Vec<u8>) {
+        debug_assert!(line.ends_with(b"\n"));
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) {
+            debug_assert!(matches!(slot.state, SlotState::Pending));
+            slot.state = SlotState::Ready(line);
+        }
+        self.pump();
+    }
+
+    /// Fills item `idx` of a batch slot with its rendered JSON object (no
+    /// separators, no newline). Returns `true` when this was the batch's
+    /// last unfilled item.
+    pub fn fill_batch_item(&mut self, id: SlotId, idx: usize, json: String) -> bool {
+        let mut completed = false;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) {
+            if let SlotState::Batch { items, filled, .. } = &mut slot.state {
+                if items[idx].is_none() {
+                    items[idx] = Some(json);
+                    *filled += 1;
+                }
+                completed = *filled == items.len();
+            }
+        }
+        self.pump();
+        completed
+    }
+
+    /// True while any slot still awaits a worker completion.
+    pub fn awaiting_worker(&self) -> bool {
+        self.slots.iter().any(|s| match &s.state {
+            SlotState::Pending => true,
+            SlotState::Ready(_) => false,
+            SlotState::Batch { items, filled, .. } => *filled < items.len(),
+        })
+    }
+
+    /// True while replies remain to be flushed (unfinished slots or
+    /// buffered bytes).
+    pub fn has_pending(&self) -> bool {
+        !self.slots.is_empty() || self.opos < self.out.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Write side
+    // ------------------------------------------------------------------
+
+    /// Bytes ready to write to the socket.
+    pub fn writable(&self) -> &[u8] {
+        &self.out[self.opos..]
+    }
+
+    /// True when [`ConnMachine::writable`] is non-empty.
+    pub fn wants_write(&self) -> bool {
+        self.opos < self.out.len()
+    }
+
+    /// Records `n` bytes accepted by the socket and pumps more completed
+    /// replies into the freed space.
+    pub fn consume(&mut self, n: usize) {
+        self.opos += n;
+        debug_assert!(self.opos <= self.out.len());
+        if self.opos == self.out.len() {
+            self.out.clear();
+            self.opos = 0;
+        }
+        self.pump();
+    }
+
+    /// Moves completed head-slot bytes into the write buffer, in order,
+    /// until the head slot is unfinished or the backlog passes the
+    /// high-water mark.
+    fn pump(&mut self) {
+        loop {
+            if self.out.len() - self.opos >= OUT_HIGH_WATER {
+                return;
+            }
+            let Some(slot) = self.slots.front_mut() else {
+                return;
+            };
+            match &mut slot.state {
+                SlotState::Pending => return,
+                SlotState::Ready(line) => {
+                    self.out.append(line);
+                    self.slots.pop_front();
+                }
+                SlotState::Batch {
+                    items,
+                    emitted,
+                    header_sent,
+                    ..
+                } => {
+                    if !*header_sent {
+                        self.out.extend_from_slice(
+                            format!(
+                                "{{\"ok\":true,\"v\":{},\"items\":[",
+                                crate::protocol::PROTOCOL_VERSION
+                            )
+                            .as_bytes(),
+                        );
+                        *header_sent = true;
+                    }
+                    let mut progressed = false;
+                    while *emitted < items.len() && self.out.len() - self.opos < OUT_HIGH_WATER {
+                        let Some(json) = items[*emitted].take() else {
+                            break;
+                        };
+                        if *emitted > 0 {
+                            self.out.push(b',');
+                        }
+                        self.out.extend_from_slice(json.as_bytes());
+                        *emitted += 1;
+                        progressed = true;
+                    }
+                    if *emitted == items.len() {
+                        self.out.extend_from_slice(b"]}\n");
+                        self.slots.pop_front();
+                    } else if !progressed {
+                        // Head item not filled yet, or backlog full.
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds `bytes` the way the event loop would — chunked through
+    /// `read_space`, draining frames after every commit — and collects the
+    /// produced frames as owned lines (`None` marks an oversized frame).
+    fn feed(m: &mut ConnMachine, bytes: &[u8]) -> Vec<Option<Vec<u8>>> {
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while off < bytes.len() {
+            let space = m.read_space();
+            assert!(!space.is_empty(), "read_space must always offer room");
+            let n = space.len().min(bytes.len() - off);
+            space[..n].copy_from_slice(&bytes[off..off + n]);
+            m.commit(n);
+            off += n;
+            while let Some(f) = m.next_frame() {
+                frames.push(match f {
+                    Frame::Line(r) => Some(m.line(r).to_vec()),
+                    Frame::Oversized => None,
+                });
+            }
+        }
+        frames
+    }
+
+    #[test]
+    fn lines_split_across_commits_reassemble() {
+        let mut m = ConnMachine::new(1024);
+        assert!(feed(&mut m, b"{\"op\":").is_empty());
+        assert!(feed(&mut m, b"\"stats\"").is_empty());
+        let frames = feed(&mut m, b"}\nnext");
+        assert_eq!(frames, vec![Some(b"{\"op\":\"stats\"}".to_vec())]);
+        let frames = feed(&mut m, b"\n");
+        assert_eq!(frames, vec![Some(b"next".to_vec())]);
+    }
+
+    #[test]
+    fn pipelined_lines_in_one_read_all_surface() {
+        let mut m = ConnMachine::new(1024);
+        let frames = feed(&mut m, b"a\nb\nc\n");
+        assert_eq!(
+            frames,
+            vec![
+                Some(b"a".to_vec()),
+                Some(b"b".to_vec()),
+                Some(b"c".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_yields_one_frame_and_resyncs() {
+        let mut m = ConnMachine::new(8);
+        // 20 bytes, no newline: over the limit mid-line.
+        let frames = feed(&mut m, b"AAAAAAAAAAAAAAAAAAAA");
+        assert_eq!(frames, vec![None]);
+        // The rest of the line is discarded silently...
+        assert!(feed(&mut m, b"AAAAA").is_empty());
+        // ...and the next line parses normally.
+        let frames = feed(&mut m, b"AAA\nok\n");
+        assert_eq!(frames, vec![Some(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn oversized_line_with_newline_in_same_read_resyncs() {
+        let mut m = ConnMachine::new(4);
+        let frames = feed(&mut m, b"TOOLONGLINE\nok\n");
+        assert_eq!(frames, vec![None, Some(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn replies_leave_in_slot_order_regardless_of_fill_order() {
+        let mut m = ConnMachine::new(64);
+        let a = m.open_slot();
+        let b = m.open_slot();
+        m.fill(b, b"second\n".to_vec());
+        assert!(!m.wants_write(), "slot b must wait for slot a");
+        m.fill(a, b"first\n".to_vec());
+        assert_eq!(m.writable(), b"first\nsecond\n");
+        m.consume(13);
+        assert!(!m.has_pending());
+    }
+
+    #[test]
+    fn batch_streams_header_items_footer_in_index_order() {
+        let mut m = ConnMachine::new(64);
+        let id = m.open_batch(3);
+        assert_eq!(m.writable(), b"{\"ok\":true,\"v\":1,\"items\":[");
+        // Item 1 completing first cannot jump the queue.
+        assert!(!m.fill_batch_item(id, 1, "{\"i\":1}".into()));
+        let before = m.writable().len();
+        assert_eq!(m.writable().len(), before);
+        assert!(!m.fill_batch_item(id, 0, "{\"i\":0}".into()));
+        assert!(m.writable().ends_with(b"[{\"i\":0},{\"i\":1}"));
+        assert!(m.fill_batch_item(id, 2, "{\"i\":2}".into()));
+        assert_eq!(
+            m.writable(),
+            b"{\"ok\":true,\"v\":1,\"items\":[{\"i\":0},{\"i\":1},{\"i\":2}]}\n".as_slice()
+        );
+        assert!(!m.awaiting_worker());
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let mut m = ConnMachine::new(64);
+        m.open_batch(0);
+        assert_eq!(
+            m.writable(),
+            b"{\"ok\":true,\"v\":1,\"items\":[]}\n".as_slice()
+        );
+    }
+
+    #[test]
+    fn backlog_high_water_pauses_the_pump_until_drained() {
+        let mut m = ConnMachine::new(64);
+        let big = "x".repeat(OUT_HIGH_WATER);
+        let a = m.open_slot();
+        let b = m.open_slot();
+        m.fill(a, format!("{big}\n").into_bytes());
+        m.fill(b, b"tail\n".to_vec());
+        // Slot b is complete but held back by the backlog.
+        assert_eq!(m.writable().len(), OUT_HIGH_WATER + 1);
+        m.consume(OUT_HIGH_WATER + 1);
+        assert_eq!(m.writable(), b"tail\n");
+    }
+
+    #[test]
+    fn read_high_water_tracks_buffered_bytes() {
+        let mut m = ConnMachine::new(1 << 20);
+        feed(&mut m, &vec![b'x'; 10_000]);
+        assert!(m.read_hwm() >= 10_000, "{}", m.read_hwm());
+        feed(&mut m, b"\n");
+        assert!(m.read_hwm() >= 10_000);
+    }
+}

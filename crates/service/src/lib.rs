@@ -6,8 +6,14 @@
 //! a heterogeneous suite whenever new work arrives — without paying process
 //! startup, matrix parsing, or allocator churn per request:
 //!
+//! * a **nonblocking event loop** ([`server`]) — raw epoll on Linux with a
+//!   portable poll(2) fallback ([`sys`]), one thread owning every socket —
+//!   driving a per-connection state machine ([`conn::ConnMachine`]) that
+//!   frames request lines in place (no per-request `String`) and streams
+//!   large batch replies in chunks,
 //! * a **worker pool** where each thread owns one reusable
-//!   [`hcs_core::MapWorkspace`] (the PR 1 zero-allocation kernel),
+//!   [`hcs_core::MapWorkspace`] (the PR 1 zero-allocation kernel), handing
+//!   results back to the loop over a completion channel,
 //! * a **bounded queue** ([`queue::BoundedQueue`]) with explicit
 //!   backpressure — overload is shed with a `503`-style reply, never an
 //!   unbounded backlog,
@@ -19,11 +25,12 @@
 //!   metrics registry, exposed as JSON over `STATS`, as Prometheus text
 //!   over `METRICS`, and as recent trace events over `TRACE`.
 //!
-//! The crate is deliberately **std-only** (no async runtime, no serde): it
-//! must build in sealed/offline environments, and a line-per-request
-//! protocol at mapping-problem granularity gains nothing from an async
-//! reactor — a thread per connection plus a fixed worker pool is simpler to
-//! reason about and easy to drain correctly on `SHUTDOWN`.
+//! The crate is deliberately **std-only** (no async runtime, no serde, no
+//! libc crate — the few epoll/poll syscalls are declared directly in
+//! [`sys`]): it must build in sealed/offline environments. The readiness
+//! loop replaced the original thread-per-connection front end so one
+//! daemon can hold tens of thousands of mostly-idle connections; the
+//! wire protocol is unchanged.
 //!
 //! # Protocol
 //!
@@ -50,20 +57,27 @@
 //! for the full field set, and [`ServeConfig::fault_rate`] for the
 //! deterministic fault-injection hook used to test client retry paths.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `sys` module opts back in for its
+// handful of FFI declarations; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
 pub mod cache;
+pub mod config;
+pub mod conn;
 pub mod json;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+mod sys;
 
+pub use config::{ConfigError, ServeConfig, ServeConfigBuilder};
+pub use conn::{ConnMachine, Frame, SlotId};
 pub use protocol::{
-    batch_line, BatchRequest, ErrorCode, MapRequest, MapResult, ProtocolError, Request,
+    batch_line, BatchRequest, ErrorCode, MapRequest, MapResult, ProtocolError, Reply, Request,
     MAX_BATCH_ITEMS, PROTOCOL_VERSION,
 };
-pub use server::{ServeConfig, Server};
+pub use server::Server;
 pub use stats::{LatencyHistogram, ServiceStats, ShardIdentity};

@@ -81,9 +81,10 @@ pub const MAX_SLEEP_MS: u64 = 5_000;
 pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Upper bound on the number of items in one `map_batch` line. Keeps a
-/// single connection from monopolizing the queue and bounds the memory a
-/// batch reply can pin.
-pub const MAX_BATCH_ITEMS: usize = 1024;
+/// single connection from monopolizing the queue. Since batch replies
+/// stream item by item (the reply is never materialized as one giant
+/// line), the limit is set by queue fairness, not reply memory.
+pub const MAX_BATCH_ITEMS: usize = 10_240;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
@@ -104,6 +105,131 @@ pub enum Request {
     },
     /// Drain the queue, join the workers, stop the daemon.
     Shutdown,
+}
+
+impl Request {
+    /// Parses and validates one request line straight from the
+    /// connection's read buffer — the typed entry point the event loop
+    /// uses (no intermediate `String` for the line). Bytes must be UTF-8;
+    /// anything else is a typed 400, exactly like malformed JSON.
+    pub fn parse(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        let line = std::str::from_utf8(bytes)
+            .map_err(|_| ProtocolError::bad_request("request line is not valid utf-8"))?;
+        parse_request(line)
+    }
+}
+
+/// A typed reply, paired with [`Request`]: every handler produces one of
+/// these, and [`Reply::write_to`] is the single place reply lines are
+/// rendered to bytes. Handlers therefore stay pure functions — request in,
+/// `Reply` out — unit-testable without sockets; the event loop and the
+/// original protocol tests both consume this API.
+///
+/// Wire stability: the rendered bytes are exactly what the
+/// thread-per-connection server produced — `Map` replicates the
+/// `to_line`/`stamp_rid` rendering (server-assigned rids are not echoed),
+/// and `Batch` renders the same `{"ok":true,"v":1,"items":[...]}` shape
+/// the gather loop used to build, just written incrementally.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// A computed map result (worker completion or cache hit).
+    Map {
+        /// The (possibly cached) result payload.
+        result: Arc<MapResult>,
+        /// Whether it came from the digest cache.
+        cached: bool,
+        /// The client-supplied rid to echo; `None` keeps the v1 line
+        /// byte-stable (server-assigned rids are never echoed).
+        rid: Option<u64>,
+    },
+    /// A fully gathered `map_batch` reply (item objects in wire order).
+    /// The event loop streams items as they complete instead of building
+    /// this variant; both paths produce identical bytes.
+    Batch {
+        /// Rendered per-item reply objects.
+        items: Vec<Value>,
+    },
+    /// The `STATS` snapshot line (rendered by `ServiceStats`, which owns
+    /// the registry).
+    Stats {
+        /// The complete reply line, newline excluded.
+        line: String,
+    },
+    /// The `METRICS` exposition payload.
+    Metrics {
+        /// Prometheus text exposition to embed.
+        text: String,
+    },
+    /// A `TRACE` reply line (events/spans already rendered).
+    Trace {
+        /// The complete reply line, newline excluded.
+        line: String,
+    },
+    /// The `SHUTDOWN` acknowledgement.
+    Draining,
+    /// A typed rejection.
+    Error(ProtocolError),
+}
+
+impl Reply {
+    /// Writes the full reply line, **including** the trailing newline.
+    /// Batch replies are written header → items → footer without ever
+    /// concatenating one giant string.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        match self {
+            Reply::Map {
+                result,
+                cached,
+                rid,
+            } => {
+                let line = stamp_rid(stamp_version(result.to_value(*cached)), *rid).to_string();
+                w.write_all(line.as_bytes())?;
+            }
+            Reply::Batch { items } => {
+                write!(w, "{{\"ok\":true,\"v\":{PROTOCOL_VERSION},\"items\":[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        w.write_all(b",")?;
+                    }
+                    write!(w, "{item}")?;
+                }
+                w.write_all(b"]}")?;
+            }
+            Reply::Stats { line } | Reply::Trace { line } => w.write_all(line.as_bytes())?,
+            Reply::Metrics { text } => {
+                let line = stamp_version(
+                    ObjectBuilder::new()
+                        .field("ok", Value::Bool(true))
+                        .field("metrics", Value::String(text.clone()))
+                        .build(),
+                )
+                .to_string();
+                w.write_all(line.as_bytes())?;
+            }
+            Reply::Draining => {
+                let line = stamp_version(
+                    ObjectBuilder::new()
+                        .field("ok", Value::Bool(true))
+                        .field("draining", Value::Bool(true))
+                        .build(),
+                )
+                .to_string();
+                w.write_all(line.as_bytes())?;
+            }
+            Reply::Error(e) => w.write_all(e.to_line().as_bytes())?,
+        }
+        w.write_all(b"\n")
+    }
+
+    /// Renders the reply line as a `String`, newline excluded (the shape
+    /// the line-oriented tests compare against).
+    pub fn to_line(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("Vec<u8> writes are infallible");
+        buf.pop();
+        String::from_utf8(buf).expect("replies are valid utf-8")
+    }
 }
 
 /// A parsed `map_batch` line. Item-level parse failures are kept in place

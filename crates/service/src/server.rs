@@ -1,35 +1,48 @@
-//! The daemon: TCP acceptor, connection threads, and the worker pool.
+//! The daemon: a nonblocking readiness loop (epoll on Linux, poll(2)
+//! fallback) fronting the bounded queue + worker pool.
 //!
 //! ```text
-//!            ┌──────────────┐   try_push    ┌──────────────┐
-//!  client ──▶│ conn thread  │──────────────▶│ BoundedQueue │
-//!            │ parse, digest│  full → 503   └──────┬───────┘
-//!            │ cache lookup │                      │ pop
-//!            │ await reply  │◀── mpsc reply ── ┌───▼────────┐
-//!            └──────────────┘                  │ worker × N │
-//!                                              │ MapWorkspace│
-//!                                              │ execute()  │
-//!                                              │ cache.insert│
-//!                                              └────────────┘
+//!             ┌───────────────────────────────┐  try_push   ┌──────────────┐
+//!  clients ──▶│ event loop (1 thread)         │────────────▶│ BoundedQueue │
+//!   (many)    │  accept / read / parse        │ full → 503  └──────┬───────┘
+//!             │  per-conn ConnMachine         │                    │ pop
+//!             │  cache probe, reply ordering  │             ┌──────▼───────┐
+//!             │  render + flush               │◀────────────│ worker × N   │
+//!             └───────────────▲───────────────┘ completion  │ MapWorkspace │
+//!                             │ UDP waker      channel      │ execute()    │
+//!                             └────────────────────────────·│ cache.insert │
+//!                                                           └──────────────┘
 //! ```
 //!
-//! Each worker owns one [`MapWorkspace`] for its whole lifetime, so the
-//! zero-allocation kernel from PR 1 is amortized across every request the
-//! worker ever serves. Connection threads do the cheap work (parse,
-//! digest, cache lookup) and block on a per-request reply channel; workers
-//! do the expensive mapping. `STATS`, `METRICS`, `TRACE`, and `SHUTDOWN`
-//! are handled inline on the connection thread — they must keep working
-//! when the queue is full, which is precisely when an operator needs them.
+//! One thread owns every socket: the listener, a loopback UDP *waker*, and
+//! all client connections, each wrapped in a [`ConnMachine`] (zero-copy
+//! line framing in, ordered reply slots out — see [`crate::conn`]). Cheap
+//! work (parse, digest, cache probe, control verbs) happens inline on the
+//! loop; mapping runs on the worker pool exactly as before, except workers
+//! now hand results back through an `mpsc` completion channel and nudge
+//! the sleeping loop with a one-byte datagram to the waker socket. The
+//! queue itself is untouched.
 //!
-//! Observability rides on `hcs-obs`: every counter and histogram lives in
-//! the daemon's metrics registry (so `STATS` JSON and `METRICS` Prometheus
-//! text read the same cells), and workers emit `WorkerServe`/`CacheHit`
-//! events into a bounded [`TraceBuffer`] served by `TRACE`. Per-decision
-//! kernel tracing stays off the daemon's hot path — attach a sink to a
-//! `MapWorkspace` in library use or via `nonmakespan trace` instead.
+//! `STATS`, `METRICS`, `TRACE`, and `SHUTDOWN` are answered inline on the
+//! event loop — they must keep working when the queue is full, which is
+//! precisely when an operator needs them.
+//!
+//! Framing hardening (new with the event loop): request lines longer than
+//! [`ServeConfig::max_line_bytes`] get a typed 400 and the connection
+//! resynchronizes at the next newline; connections idle longer than
+//! [`ServeConfig::idle_timeout`] with nothing in flight are closed
+//! (slow-loris guard). Set `HCS_FORCE_POLL=1` to run the portable poll(2)
+//! backend on Linux.
+//!
+//! Observability rides on `hcs-obs` exactly as before, plus three
+//! event-loop gauges: open connections, loop wakeups, and the read-buffer
+//! high-water mark. Every request keeps its four phase spans
+//! (`cache_probe` → `queue_wait` → `kernel_map` → `serialize`) across the
+//! loop ↔ worker handoff.
 
 use std::io::{self, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -39,61 +52,21 @@ use hcs_core::obs::{RequestId, SpanStore, TraceBuffer, TraceEvent, TraceSink};
 use hcs_core::MapWorkspace;
 
 use crate::cache::ShardedCache;
-use crate::json::{ObjectBuilder, Value};
-use crate::protocol::{self, BatchRequest, MapRequest, MapResult, ProtocolError, Request};
+use crate::config::ServeConfig;
+use crate::conn::{ConnMachine, Frame, SlotId};
+use crate::protocol::{self, BatchRequest, MapRequest, MapResult, ProtocolError, Reply, Request};
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{ServiceStats, ShardIdentity};
+use crate::stats::ServiceStats;
+use crate::sys::Poller;
 
-/// How long a connection thread waits on a silent socket before it checks
-/// the shutdown flag again (bounds shutdown latency for idle connections).
-const IDLE_POLL: Duration = Duration::from_millis(200);
+/// Poller token of the TCP listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Poller token of the UDP waker socket.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
 
-/// Daemon configuration.
-#[derive(Clone, Debug)]
-pub struct ServeConfig {
-    /// Bind address; port 0 picks an ephemeral port.
-    pub addr: String,
-    /// Worker threads (each owns a `MapWorkspace`); ≥ 1.
-    pub workers: usize,
-    /// Bounded queue depth — pending requests beyond this are rejected.
-    pub queue_depth: usize,
-    /// Total digest-cache entries.
-    pub cache_capacity: usize,
-    /// Cache shards (rounded up to a power of two).
-    pub cache_shards: usize,
-    /// Slots in the trace ring served by the `TRACE` verb (0 disables
-    /// tracing entirely — event emission becomes a no-op branch).
-    pub trace_capacity: usize,
-    /// Probability in `[0, 1]` that a worker drops a request with an
-    /// [`ErrorCode::Fault`](crate::ErrorCode::Fault) reply instead of
-    /// executing it. Deterministic given `fault_seed` and the request
-    /// arrival order; `0.0` (the default) disables the hook entirely.
-    /// A testing aid for exercising client retry paths — never enable it
-    /// on a real deployment.
-    pub fault_rate: f64,
-    /// Seed for the fault-injection sequence.
-    pub fault_seed: u64,
-    /// Fleet identity (`serve --shard-id`/`--fleet-size`). When set, the
-    /// daemon stamps it into `STATS` and `METRICS` output; standalone
-    /// daemons (`None`, the default) expose exactly the pre-fleet shape.
-    pub shard: Option<ShardIdentity>,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            addr: "127.0.0.1:7077".into(),
-            workers: 4,
-            queue_depth: 256,
-            cache_capacity: 1024,
-            cache_shards: 8,
-            trace_capacity: 1024,
-            fault_rate: 0.0,
-            fault_seed: 0,
-            shard: None,
-        }
-    }
-}
+/// Upper bound on the poll timeout — bounds shutdown/idle-sweep latency
+/// exactly like the old per-connection `IDLE_POLL` read timeout did.
+const MAX_TICK: Duration = Duration::from_millis(200);
 
 /// Deterministic per-request fault decisions: request `n` faults iff
 /// `splitmix64(seed + n)` falls below `fault_rate * 2^64`. The atomic
@@ -137,15 +110,40 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Routes a worker completion back to the reply slot that is waiting for
+/// it. The generation guards against a connection slot index being reused
+/// after its client disconnected mid-flight.
+#[derive(Clone, Copy, Debug)]
+struct DoneKey {
+    conn: usize,
+    gen: u64,
+    slot: SlotId,
+    /// `Some(i)` routes to item `i` of a batch slot.
+    item: Option<u32>,
+}
+
 /// One queued unit of work.
 struct Job {
     request: MapRequest,
     digest: u64,
     /// The request's correlation id (client-supplied or server-assigned).
     rid: u64,
-    /// When the connection thread enqueued the job (queue-wait metric).
+    /// The client-supplied rid to echo (never echoed when server-assigned).
+    echo: Option<u64>,
+    /// When the request line was parsed (end-to-end latency metric).
+    started: Instant,
+    /// When the event loop enqueued the job (queue-wait metric).
     enqueued: Instant,
-    reply: mpsc::Sender<Result<Arc<MapResult>, ProtocolError>>,
+    done: DoneKey,
+}
+
+/// A finished job on its way back from a worker to the event loop.
+struct Completion {
+    done: DoneKey,
+    rid: u64,
+    echo: Option<u64>,
+    started: Instant,
+    result: Result<Arc<MapResult>, ProtocolError>,
 }
 
 /// State shared by every thread of one daemon.
@@ -163,16 +161,24 @@ struct Shared {
     shutdown: AtomicBool,
     workers: usize,
     local_addr: SocketAddr,
+    /// Connected to the event loop's waker socket; any thread can nudge
+    /// the loop out of its poll sleep with a one-byte datagram.
+    waker: UdpSocket,
 }
 
 impl Shared {
-    /// Flips the shutdown flag and closes the queue (idempotent); wakes the
-    /// acceptor with a loopback connection so it notices immediately.
+    /// Flips the shutdown flag and closes the queue (idempotent); wakes
+    /// the event loop so it notices immediately.
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             self.queue.close();
-            let _ = TcpStream::connect(self.local_addr);
+            self.wake();
         }
+    }
+
+    /// Nudges the event loop out of its poll sleep.
+    fn wake(&self) {
+        let _ = self.waker.send(&[1]);
     }
 
     /// Mints a rid for a request that arrived without one.
@@ -201,15 +207,24 @@ impl Shared {
 /// [`Server::join`].
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    event: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts the daemon: listener, acceptor thread, worker pool.
+    /// Binds and starts the daemon: listener, event-loop thread, worker
+    /// pool.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        // Loopback waker pair: the loop polls `wake_rx`; `Shared::wake`
+        // sends through the connected peer.
+        let wake_rx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_rx.set_nonblocking(true)?;
+        let waker = UdpSocket::bind("127.0.0.1:0")?;
+        waker.connect(wake_rx.local_addr()?)?;
+
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
@@ -225,28 +240,46 @@ impl Server {
             shutdown: AtomicBool::new(false),
             workers,
             local_addr,
+            waker,
         });
 
+        let (completion_tx, completion_rx) = mpsc::channel();
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let shared = Arc::clone(&shared);
+            let tx = completion_tx.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("hcs-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))?,
+                    .spawn(move || worker_loop(&shared, &tx))?,
             );
         }
+        drop(completion_tx);
 
-        let acceptor = {
+        let event = {
             let shared = Arc::clone(&shared);
+            let force_poll = std::env::var("HCS_FORCE_POLL").is_ok_and(|v| v == "1");
+            let loop_cfg = LoopConfig {
+                max_line_bytes: config.max_line_bytes,
+                idle_timeout: config.idle_timeout,
+                force_poll,
+            };
             std::thread::Builder::new()
-                .name("hcs-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))?
+                .name("hcs-event-loop".into())
+                .spawn(move || {
+                    if let Err(e) = event_loop(listener, wake_rx, completion_rx, &shared, &loop_cfg)
+                    {
+                        // A dead event loop must not leave workers parked
+                        // forever: fail towards shutdown.
+                        eprintln!("hcs-service event loop failed: {e}");
+                        shared.begin_shutdown();
+                    }
+                })?
         };
 
         Ok(Server {
             shared,
-            acceptor,
+            event,
             workers: worker_handles,
         })
     }
@@ -262,11 +295,11 @@ impl Server {
         self.shared.begin_shutdown();
     }
 
-    /// Waits for shutdown to complete — joins the acceptor (which joins
-    /// all connection threads) and every worker — and returns the final
-    /// stats line.
+    /// Waits for shutdown to complete — joins the event loop (which closes
+    /// every connection) and every worker — and returns the final stats
+    /// line.
     pub fn join(self) -> String {
-        let _ = self.acceptor.join();
+        let _ = self.event.join();
         for w in self.workers {
             let _ = w.join();
         }
@@ -276,32 +309,7 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        if let Ok(handle) = std::thread::Builder::new()
-            .name("hcs-conn".into())
-            .spawn(move || {
-                let _ = serve_connection(stream, &shared);
-            })
-        {
-            connections.push(handle);
-        }
-        // Opportunistically reap finished connection threads so a
-        // long-lived daemon does not accumulate handles.
-        connections.retain(|h| !h.is_finished());
-    }
-    for h in connections {
-        let _ = h.join();
-    }
-}
-
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, completions: &mpsc::Sender<Completion>) {
     // One workspace for the worker's lifetime: every request it serves
     // reuses the same buffers.
     let mut ws = MapWorkspace::new();
@@ -312,145 +320,359 @@ fn worker_loop(shared: &Shared) {
         // Injected-fault hook: drop the request before execution. The job
         // is still binned `served` (a worker consumed it), its result is
         // never cached, and the client sees a retryable `fault` error.
-        if shared.fault.should_fault() {
+        let result = if shared.fault.should_fault() {
             shared.stats.faults.inc();
-            shared.stats.served.inc();
-            let _ = job
-                .reply
-                .send(Err(ProtocolError::fault("injected fault (testing aid)")));
-            continue;
-        }
-        let map_start = Instant::now();
-        let result = protocol::execute(&job.request, &mut ws);
-        let map_time = map_start.elapsed();
-        shared.stats.map_time.record(map_time);
-        shared.span(job.rid, "kernel_map", map_time);
-        if shared.trace.enabled() {
-            shared.trace.emit(TraceEvent::WorkerServe {
-                rid: job.rid,
-                queue_wait_us: queue_wait.as_micros().min(u128::from(u64::MAX)) as u64,
-                map_us: map_time.as_micros().min(u128::from(u64::MAX)) as u64,
-            });
-        }
-        if let Ok(result) = &result {
-            shared.cache.insert(job.digest, Arc::clone(result));
-        }
+            Err(ProtocolError::fault("injected fault (testing aid)"))
+        } else {
+            let map_start = Instant::now();
+            let result = protocol::execute(&job.request, &mut ws);
+            let map_time = map_start.elapsed();
+            shared.stats.map_time.record(map_time);
+            shared.span(job.rid, "kernel_map", map_time);
+            if shared.trace.enabled() {
+                shared.trace.emit(TraceEvent::WorkerServe {
+                    rid: job.rid,
+                    queue_wait_us: queue_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                    map_us: map_time.as_micros().min(u128::from(u64::MAX)) as u64,
+                });
+            }
+            if let Ok(result) = &result {
+                shared.cache.insert(job.digest, Arc::clone(result));
+            }
+            result
+        };
         shared.stats.served.inc();
-        // A dropped receiver just means the client went away mid-flight.
-        let _ = job.reply.send(result);
+        // A dropped receiver just means the daemon is going away.
+        let _ = completions.send(Completion {
+            done: job.done,
+            rid: job.rid,
+            echo: job.echo,
+            started: job.started,
+            result,
+        });
+        shared.wake();
     }
 }
 
-/// Reads `\n`-terminated lines from a stream whose read timeout is
-/// [`IDLE_POLL`], preserving partial lines across timeouts (unlike
-/// `BufRead::read_line`, which cannot be resumed after an error).
-struct LineReader {
+/// Event-loop-only configuration extracted from [`ServeConfig`].
+struct LoopConfig {
+    max_line_bytes: usize,
+    idle_timeout: Duration,
+    force_poll: bool,
+}
+
+/// One client connection owned by the event loop.
+struct Conn {
     stream: TcpStream,
-    buf: Vec<u8>,
-    filled: usize,
+    machine: ConnMachine,
+    gen: u64,
+    last_activity: Instant,
+    /// Close once every pending reply is flushed (set by `SHUTDOWN`).
+    close_after_flush: bool,
+    /// Write interest currently armed in the poller.
+    writable_armed: bool,
+    /// Marked for teardown at the end of the current pass.
+    dead: bool,
 }
 
-enum ReadOutcome {
-    Line(String),
-    TimedOut,
-    Eof,
-}
+/// The single-threaded readiness loop; owns every socket of the daemon.
+fn event_loop(
+    listener: TcpListener,
+    wake_rx: UdpSocket,
+    completions: mpsc::Receiver<Completion>,
+    shared: &Shared,
+    cfg: &LoopConfig,
+) -> io::Result<()> {
+    let mut poller = Poller::new(cfg.force_poll)?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, false)?;
+    poller.register(wake_rx.as_raw_fd(), TOKEN_WAKER, false)?;
+    let mut listener = Some(listener);
 
-impl LineReader {
-    fn read(&mut self) -> io::Result<ReadOutcome> {
-        loop {
-            if let Some(pos) = self.buf[..self.filled].iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = self.buf[..pos].to_vec();
-                self.buf.copy_within(pos + 1..self.filled, 0);
-                self.filled -= pos + 1;
-                return Ok(ReadOutcome::Line(
-                    String::from_utf8_lossy(&line).into_owned(),
-                ));
-            }
-            if self.filled == self.buf.len() {
-                self.buf.resize(self.buf.len() * 2, 0);
-            }
-            match self.stream.read(&mut self.buf[self.filled..]) {
-                Ok(0) => return Ok(ReadOutcome::Eof),
-                Ok(n) => self.filled += n,
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    return Ok(ReadOutcome::TimedOut)
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut gens: Vec<u64> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = Vec::new();
+    let mut read_hwm = 0usize;
+    // Open-connection count is maintained incrementally: every per-pass
+    // cost must stay O(ready events), never O(total connections), or 10k
+    // idle sockets would tax the latency of every active request.
+    let mut open_count = 0usize;
 
-fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_read_timeout(Some(IDLE_POLL))?;
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = LineReader {
-        stream,
-        buf: vec![0; 4096],
-        filled: 0,
+    // Poll timeout: fine-grained enough to enforce a sub-second idle
+    // timeout promptly, capped at MAX_TICK.
+    let tick = if cfg.idle_timeout.is_zero() {
+        MAX_TICK
+    } else {
+        (cfg.idle_timeout / 4).clamp(Duration::from_millis(10), MAX_TICK)
     };
+    let mut next_sweep = Instant::now() + tick;
 
     loop {
-        let line = match reader.read()? {
-            ReadOutcome::Eof => return Ok(()),
-            ReadOutcome::TimedOut => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
+        poller.wait(&mut events, tick)?;
+        shared.stats.event_wakeups.inc();
+        let mut freed: Vec<usize> = Vec::new();
+
+        for &ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    let Some(l) = listener.as_ref() else { continue };
+                    open_count +=
+                        accept_ready(l, &mut poller, &mut conns, &mut gens, &mut free, cfg);
                 }
+                TOKEN_WAKER => {
+                    let mut buf = [0u8; 16];
+                    while wake_rx.recv(&mut buf).is_ok() {}
+                }
+                token => {
+                    let idx = token as usize;
+                    let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if ev.hangup && !ev.readable {
+                        conn.dead = true;
+                    }
+                    if ev.readable && !conn.dead {
+                        conn_readable(conn, idx, shared, cfg, &mut read_hwm);
+                    }
+                    if !conn.dead && (ev.writable || conn.machine.wants_write()) {
+                        flush_conn(conn);
+                    }
+                    finish_pass(conn, idx, &mut poller, &mut freed);
+                }
+            }
+        }
+
+        // Worker completions: route each to its reply slot, then flush
+        // that connection opportunistically.
+        while let Ok(c) = completions.try_recv() {
+            let idx = c.done.conn;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.gen != c.done.gen {
                 continue;
             }
-            ReadOutcome::Line(line) => line,
-        };
-        if line.trim().is_empty() {
-            continue;
+            deliver_completion(conn, c, shared);
+            flush_conn(conn);
+            finish_pass(conn, idx, &mut poller, &mut freed);
         }
-        let reply = handle_line(&line, shared);
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if matches!(parse_op_fast(&line), Some(Request::Shutdown)) {
-            return Ok(());
+
+        // Slow-loris sweep: close connections idle past the timeout with
+        // no worker reply outstanding (a stalled reader with queued work
+        // still owed to it is the worker pool's slowness, not the peer's).
+        // Rate-limited to one scan per tick — the sweep is O(total
+        // connections), so running it on every wakeup would put the slab
+        // scan on the latency path of every active request.
+        if !cfg.idle_timeout.is_zero() && Instant::now() >= next_sweep {
+            let now = Instant::now();
+            next_sweep = now + tick;
+            for (idx, slot) in conns.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                if !conn.dead
+                    && !conn.machine.awaiting_worker()
+                    && now.duration_since(conn.last_activity) >= cfg.idle_timeout
+                {
+                    conn.dead = true;
+                    finish_pass(conn, idx, &mut poller, &mut freed);
+                }
+            }
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            if let Some(l) = listener.take() {
+                poller.deregister(l.as_raw_fd());
+                // Dropping the listener refuses new connections at once.
+            }
+            for (idx, slot) in conns.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                if !conn.machine.has_pending() {
+                    conn.dead = true;
+                    finish_pass(conn, idx, &mut poller, &mut freed);
+                }
+            }
+            // Every remaining connection freed this pass means drained.
+            if open_count == freed.len() {
+                return Ok(());
+            }
+        }
+
+        open_count -= freed.len();
+        for idx in freed {
+            conns[idx] = None;
+            free.push(idx);
+        }
+        shared.stats.open_connections.set(open_count as u64);
+    }
+}
+
+/// Drains the accept backlog into registered, nonblocking connections;
+/// returns how many were admitted.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut Vec<Option<Conn>>,
+    gens: &mut Vec<u64>,
+    free: &mut Vec<usize>,
+    cfg: &LoopConfig,
+) -> usize {
+    let mut admitted = 0usize;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                let idx = match free.pop() {
+                    Some(idx) => idx,
+                    None => {
+                        conns.push(None);
+                        gens.push(0);
+                        conns.len() - 1
+                    }
+                };
+                if poller
+                    .register(stream.as_raw_fd(), idx as u64, false)
+                    .is_err()
+                {
+                    free.push(idx);
+                    continue;
+                }
+                conns[idx] = Some(Conn {
+                    stream,
+                    machine: ConnMachine::new(cfg.max_line_bytes),
+                    gen: gens[idx],
+                    last_activity: Instant::now(),
+                    close_after_flush: false,
+                    writable_armed: false,
+                    dead: false,
+                });
+                admitted += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    admitted
+}
+
+/// Reads until `WouldBlock`, dispatching every complete frame.
+fn conn_readable(
+    conn: &mut Conn,
+    idx: usize,
+    shared: &Shared,
+    cfg: &LoopConfig,
+    read_hwm: &mut usize,
+) {
+    loop {
+        let space = conn.machine.read_space();
+        match conn.stream.read(space) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.machine.commit(n);
+                conn.last_activity = Instant::now();
+                process_frames(conn, idx, shared, cfg);
+                if conn.dead {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.machine.read_hwm() > *read_hwm {
+        *read_hwm = conn.machine.read_hwm();
+        shared.stats.read_buffer_hwm.set(*read_hwm as u64);
+    }
+}
+
+/// Frames buffered bytes into requests and dispatches each one.
+fn process_frames(conn: &mut Conn, idx: usize, shared: &Shared, cfg: &LoopConfig) {
+    while let Some(frame) = conn.machine.next_frame() {
+        match frame {
+            Frame::Oversized => {
+                shared.stats.bad_requests.inc();
+                let slot = conn.machine.open_slot();
+                let reply = Reply::Error(ProtocolError::bad_request(format!(
+                    "request line exceeds max_line_bytes ({})",
+                    cfg.max_line_bytes
+                )));
+                conn.machine.fill(slot, line_bytes(&reply));
+            }
+            Frame::Line(range) => {
+                let parsed = {
+                    let bytes = conn.machine.line(range);
+                    if bytes.iter().all(u8::is_ascii_whitespace) {
+                        continue;
+                    }
+                    Request::parse(bytes)
+                };
+                dispatch(conn, idx, parsed, shared);
+            }
         }
     }
 }
 
-/// Re-derives whether a line was a shutdown request without re-parsing the
-/// whole payload (shutdown lines are tiny; anything unparseable is not a
-/// shutdown).
-fn parse_op_fast(line: &str) -> Option<Request> {
-    if line.len() <= 64 {
-        protocol::parse_request(line).ok()
-    } else {
-        None
-    }
-}
-
-fn handle_line(line: &str, shared: &Shared) -> String {
-    let request = match protocol::parse_request(line) {
+/// Handles one parsed request on the event loop. Control verbs answer
+/// inline; map work reserves a slot and goes through the queue.
+fn dispatch(conn: &mut Conn, idx: usize, parsed: Result<Request, ProtocolError>, shared: &Shared) {
+    let request = match parsed {
         Ok(r) => r,
         Err(e) => {
             shared.stats.bad_requests.inc();
-            return e.to_line();
+            let slot = conn.machine.open_slot();
+            conn.machine.fill(slot, line_bytes(&Reply::Error(e)));
+            return;
         }
     };
     match request {
-        Request::Stats => shared.stats.to_line(shared.queue.len(), shared.workers),
-        Request::Metrics => {
-            let text = shared
-                .stats
-                .prometheus_text(shared.queue.len(), shared.workers);
-            protocol::stamp_version(
-                ObjectBuilder::new()
-                    .field("ok", Value::Bool(true))
-                    .field("metrics", Value::String(text))
-                    .build(),
-            )
-            .to_string()
+        Request::Stats => {
+            let reply = Reply::Stats {
+                line: shared.stats.to_line(shared.queue.len(), shared.workers),
+            };
+            let slot = conn.machine.open_slot();
+            conn.machine.fill(slot, line_bytes(&reply));
         }
-        Request::Trace { rid: None } => {
+        Request::Metrics => {
+            let reply = Reply::Metrics {
+                text: shared
+                    .stats
+                    .prometheus_text(shared.queue.len(), shared.workers),
+            };
+            let slot = conn.machine.open_slot();
+            conn.machine.fill(slot, line_bytes(&reply));
+        }
+        Request::Trace { rid } => {
+            let reply = Reply::Trace {
+                line: render_trace(shared, rid),
+            };
+            let slot = conn.machine.open_slot();
+            conn.machine.fill(slot, line_bytes(&reply));
+        }
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            let slot = conn.machine.open_slot();
+            conn.machine.fill(slot, line_bytes(&Reply::Draining));
+            conn.close_after_flush = true;
+        }
+        Request::Map(request) => handle_map(conn, idx, request, shared),
+        Request::MapBatch(batch) => handle_batch(conn, idx, batch, shared),
+    }
+}
+
+/// Renders a `TRACE` reply line (shared by the rid-filtered and full
+/// forms; byte-identical to the thread-per-connection daemon).
+fn render_trace(shared: &Shared, rid: Option<u64>) -> String {
+    match rid {
+        None => {
             let events: Vec<String> = shared
                 .trace
                 .snapshot()
@@ -463,7 +685,7 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 events.join(",")
             )
         }
-        Request::Trace { rid: Some(rid) } => {
+        Some(rid) => {
             let events: Vec<String> = shared
                 .trace
                 .snapshot_for(rid)
@@ -494,48 +716,14 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 spans.join(",")
             )
         }
-        Request::Shutdown => {
-            shared.begin_shutdown();
-            protocol::stamp_version(
-                ObjectBuilder::new()
-                    .field("ok", Value::Bool(true))
-                    .field("draining", Value::Bool(true))
-                    .build(),
-            )
-            .to_string()
-        }
-        Request::Map(request) => handle_map(request, shared),
-        Request::MapBatch(batch) => handle_batch(batch, shared),
     }
 }
 
-/// Renders a reply line while recording serialization time (stat, and a
-/// `"serialize"` phase span under `rid`). `echo` is the client-supplied
-/// rid, stamped into the line; server-assigned rids are *not* echoed, so
-/// v1 replies stay byte-identical to the pre-correlation protocol.
-fn render_reply(
-    shared: &Shared,
-    result: &MapResult,
-    cached: bool,
-    rid: u64,
-    echo: Option<u64>,
-) -> String {
-    let start = Instant::now();
-    let line = match echo {
-        None => result.to_line(cached),
-        Some(_) => {
-            protocol::stamp_rid(protocol::stamp_version(result.to_value(cached)), echo).to_string()
-        }
-    };
-    let elapsed = start.elapsed();
-    shared.stats.serialize.record(elapsed);
-    shared.span(rid, "serialize", elapsed);
-    line
-}
-
-fn handle_map(request: MapRequest, shared: &Shared) -> String {
+/// A single map request: probe the cache inline, otherwise reserve a slot
+/// and enqueue for the worker pool.
+fn handle_map(conn: &mut Conn, idx: usize, request: MapRequest, shared: &Shared) {
     shared.stats.submitted.inc();
-    let start = Instant::now();
+    let started = Instant::now();
     let digest = request.digest();
     let echo = request.rid;
     let rid = echo.unwrap_or_else(|| shared.assign_rid());
@@ -543,146 +731,227 @@ fn handle_map(request: MapRequest, shared: &Shared) -> String {
     let probe_start = Instant::now();
     let hit = shared.cache.get(digest);
     shared.span(rid, "cache_probe", probe_start.elapsed());
+    let slot = conn.machine.open_slot();
     if let Some(hit) = hit {
         shared.stats.cache_hits.inc();
         if shared.trace.enabled() {
             shared.trace.emit(TraceEvent::CacheHit { digest, rid });
         }
-        let line = render_reply(shared, &hit, true, rid, echo);
-        shared.stats.latency.record(start.elapsed());
-        return line;
+        let bytes = render_timed(
+            shared,
+            rid,
+            &Reply::Map {
+                result: hit,
+                cached: true,
+                rid: echo,
+            },
+        );
+        conn.machine.fill(slot, bytes);
+        shared.stats.latency.record(started.elapsed());
+        return;
     }
 
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         request,
         digest,
         rid,
+        echo,
+        started,
         enqueued: Instant::now(),
-        reply: tx,
+        done: DoneKey {
+            conn: idx,
+            gen: conn.gen,
+            slot,
+            item: None,
+        },
     };
-    match shared.queue.try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Full) => {
-            shared.stats.rejected.inc();
-            return ProtocolError::shed("queue full").to_line();
-        }
-        Err(PushError::Closed) => {
-            shared.stats.rejected.inc();
-            return ProtocolError::shed("shutting down").to_line();
-        }
-    }
-    match rx.recv() {
-        Ok(Ok(result)) => {
-            let line = render_reply(shared, &result, false, rid, echo);
-            shared.stats.latency.record(start.elapsed());
-            line
-        }
-        Ok(Err(e)) => e.to_line(),
-        // Worker pool gone before computing the job (only possible when a
-        // shutdown races the push) — report as shedding.
-        Err(_) => ProtocolError::shed("shutting down").to_line(),
+    if let Err(e) = shared.queue.try_push(job) {
+        shared.stats.rejected.inc();
+        conn.machine
+            .fill(slot, line_bytes(&Reply::Error(shed_error(e))));
     }
 }
 
-/// One batch slot: either already answerable (parse failure, cache hit,
-/// shed) or waiting on a worker's reply channel.
-enum Pending {
-    Ready(Value),
-    /// A worker owes the answer; the client-supplied rid (if any) is kept
-    /// so the gathered item can echo it.
-    Wait(
-        Option<u64>,
-        mpsc::Receiver<Result<Arc<MapResult>, ProtocolError>>,
-    ),
-}
-
-/// The batch pipeline. Valid items are pushed onto the *same* bounded
-/// queue as single requests — all workers can pull from one batch
-/// concurrently — and gathered in wire order afterwards, so the reply's
-/// `items` array lines up index-for-index with the request. Every item is
-/// binned exactly like a single request would be (`submitted` +
-/// `served`/`cache_hits`/`rejected`, or `bad_requests` for item-level
-/// parse failures), keeping the accounting invariant intact under
-/// batching.
-fn handle_batch(batch: BatchRequest, shared: &Shared) -> String {
+/// The batch pipeline, streaming edition: every item is resolved inline
+/// (parse failure, cache hit, shed) or enqueued; the [`ConnMachine`]
+/// batch slot streams items out in wire order as they complete. Every
+/// item is binned exactly like a single request would be, keeping the
+/// accounting invariant intact under batching.
+fn handle_batch(conn: &mut Conn, idx: usize, batch: BatchRequest, shared: &Shared) {
     shared.stats.batched.inc();
     shared.stats.batch_items.add(batch.items.len() as u64);
-    let start = Instant::now();
+    let started = Instant::now();
+    let slot = conn.machine.open_batch(batch.items.len());
+    let mut outstanding = 0u32;
 
-    // Phase 1: fan out. Cheap answers are resolved inline; the rest are
-    // enqueued so the worker pool computes them concurrently.
-    let slots: Vec<Pending> = batch
-        .items
-        .into_iter()
-        .map(|item| {
-            let request = match item {
-                Ok(r) => r,
-                Err(e) => {
-                    shared.stats.bad_requests.inc();
-                    return Pending::Ready(e.to_value());
-                }
-            };
-            shared.stats.submitted.inc();
-            let digest = request.digest();
-            let echo = request.rid;
-            let rid = echo.unwrap_or_else(|| shared.assign_rid());
-            let probe_start = Instant::now();
-            let hit = shared.cache.get(digest);
-            shared.span(rid, "cache_probe", probe_start.elapsed());
-            if let Some(hit) = hit {
-                shared.stats.cache_hits.inc();
-                if shared.trace.enabled() {
-                    shared.trace.emit(TraceEvent::CacheHit { digest, rid });
-                }
-                return Pending::Ready(protocol::stamp_rid(hit.to_value(true), echo));
+    for (i, item) in batch.items.into_iter().enumerate() {
+        let request = match item {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.bad_requests.inc();
+                conn.machine
+                    .fill_batch_item(slot, i, e.to_value().to_string());
+                continue;
             }
-            let (tx, rx) = mpsc::channel();
-            let job = Job {
-                request,
-                digest,
-                rid,
-                enqueued: Instant::now(),
-                reply: tx,
-            };
-            match shared.queue.try_push(job) {
-                Ok(()) => Pending::Wait(echo, rx),
-                Err(PushError::Full) => {
-                    shared.stats.rejected.inc();
-                    Pending::Ready(ProtocolError::shed("queue full").to_value())
-                }
-                Err(PushError::Closed) => {
-                    shared.stats.rejected.inc();
-                    Pending::Ready(ProtocolError::shed("shutting down").to_value())
-                }
+        };
+        shared.stats.submitted.inc();
+        let digest = request.digest();
+        let echo = request.rid;
+        let rid = echo.unwrap_or_else(|| shared.assign_rid());
+        let probe_start = Instant::now();
+        let hit = shared.cache.get(digest);
+        shared.span(rid, "cache_probe", probe_start.elapsed());
+        if let Some(hit) = hit {
+            shared.stats.cache_hits.inc();
+            if shared.trace.enabled() {
+                shared.trace.emit(TraceEvent::CacheHit { digest, rid });
             }
-        })
-        .collect();
-
-    // Phase 2: gather in order. Waiting on item i never delays the
-    // *computation* of item j > i — only the reply assembly is ordered.
-    let items: Vec<Value> = slots
-        .into_iter()
-        .map(|slot| match slot {
-            Pending::Ready(v) => v,
-            Pending::Wait(echo, rx) => match rx.recv() {
-                Ok(Ok(result)) => protocol::stamp_rid(result.to_value(false), echo),
-                Ok(Err(e)) => e.to_value(),
-                Err(_) => ProtocolError::shed("shutting down").to_value(),
+            conn.machine.fill_batch_item(
+                slot,
+                i,
+                protocol::stamp_rid(hit.to_value(true), echo).to_string(),
+            );
+            continue;
+        }
+        let job = Job {
+            request,
+            digest,
+            rid,
+            echo,
+            started,
+            enqueued: Instant::now(),
+            done: DoneKey {
+                conn: idx,
+                gen: conn.gen,
+                slot,
+                item: Some(i as u32),
             },
-        })
-        .collect();
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => outstanding += 1,
+            Err(e) => {
+                shared.stats.rejected.inc();
+                conn.machine
+                    .fill_batch_item(slot, i, shed_error(e).to_value().to_string());
+            }
+        }
+    }
 
-    // One end-to-end latency sample per batch line (not per item): the
-    // histogram tracks answered lines.
-    shared.stats.latency.record(start.elapsed());
-    protocol::stamp_version(
-        ObjectBuilder::new()
-            .field("ok", Value::Bool(true))
-            .field("items", Value::Array(items))
-            .build(),
-    )
-    .to_string()
+    if outstanding == 0 {
+        // Fully resolved inline: one end-to-end latency sample per batch
+        // line (not per item) — the histogram tracks answered lines.
+        shared.stats.latency.record(started.elapsed());
+    }
+}
+
+fn shed_error(e: PushError) -> ProtocolError {
+    match e {
+        PushError::Full => ProtocolError::shed("queue full"),
+        PushError::Closed => ProtocolError::shed("shutting down"),
+    }
+}
+
+/// Routes one worker completion into its connection's reply slot.
+fn deliver_completion(conn: &mut Conn, c: Completion, shared: &Shared) {
+    match c.done.item {
+        None => {
+            let bytes = match c.result {
+                Ok(result) => render_timed(
+                    shared,
+                    c.rid,
+                    &Reply::Map {
+                        result,
+                        cached: false,
+                        rid: c.echo,
+                    },
+                ),
+                Err(e) => line_bytes(&Reply::Error(e)),
+            };
+            conn.machine.fill(c.done.slot, bytes);
+            shared.stats.latency.record(c.started.elapsed());
+        }
+        Some(i) => {
+            let json = match c.result {
+                Ok(result) => protocol::stamp_rid(result.to_value(false), c.echo).to_string(),
+                Err(e) => e.to_value().to_string(),
+            };
+            if conn.machine.fill_batch_item(c.done.slot, i as usize, json) {
+                shared.stats.latency.record(c.started.elapsed());
+            }
+        }
+    }
+}
+
+/// Renders a reply line while recording serialization time (stat, and a
+/// `"serialize"` phase span under `rid`). Server-assigned rids are *not*
+/// echoed, so v1 replies stay byte-identical to the pre-correlation
+/// protocol.
+fn render_timed(shared: &Shared, rid: u64, reply: &Reply) -> Vec<u8> {
+    let start = Instant::now();
+    let bytes = line_bytes(reply);
+    let elapsed = start.elapsed();
+    shared.stats.serialize.record(elapsed);
+    shared.span(rid, "serialize", elapsed);
+    bytes
+}
+
+/// Renders a reply to its full line bytes (trailing newline included).
+fn line_bytes(reply: &Reply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    reply
+        .write_to(&mut buf)
+        .expect("Vec<u8> writes are infallible");
+    buf
+}
+
+/// Writes buffered reply bytes until the socket would block.
+fn flush_conn(conn: &mut Conn) {
+    while conn.machine.wants_write() {
+        match conn.stream.write(conn.machine.writable()) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.machine.consume(n);
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// End-of-pass bookkeeping for one connection: arm or disarm write
+/// interest, honour `close_after_flush`, and tear down dead connections.
+fn finish_pass(conn: &mut Conn, idx: usize, poller: &mut Poller, freed: &mut Vec<usize>) {
+    if !conn.dead
+        && conn.close_after_flush
+        && !conn.machine.has_pending()
+        && !conn.machine.wants_write()
+    {
+        conn.dead = true;
+    }
+    if conn.dead {
+        poller.deregister(conn.stream.as_raw_fd());
+        if !freed.contains(&idx) {
+            freed.push(idx);
+        }
+        conn.gen = conn.gen.wrapping_add(1);
+        return;
+    }
+    let want = conn.machine.wants_write();
+    if want != conn.writable_armed
+        && poller
+            .modify(conn.stream.as_raw_fd(), idx as u64, want)
+            .is_ok()
+    {
+        conn.writable_armed = want;
+    }
 }
 
 #[cfg(test)]
@@ -825,5 +1094,37 @@ mod tests {
         server.stop();
         let stats = server.join();
         assert!(stats.contains("\"submitted\":0"), "{stats}");
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection_answer_in_order() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Three requests written back-to-back before any reply is read.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"{\"etc\":[[2,6],[3,4]],\"heuristic\":\"mct\"}\n{\"op\":\"stats\"}\n{\"etc\":[[9,1]],\"heuristic\":\"mct\"}\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line);
+        }
+        assert!(lines[0].contains("\"makespan\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"stats\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"makespan\""), "{}", lines[2]);
+
+        server.stop();
+        server.join();
     }
 }

@@ -113,6 +113,12 @@ pub struct ServiceStats {
     queue_depth: Gauge,
     /// Configured worker-thread count.
     workers: Gauge,
+    /// Client connections currently owned by the event loop.
+    pub open_connections: Gauge,
+    /// Event-loop wakeups (poll returns), including timeout ticks.
+    pub event_wakeups: Counter,
+    /// Largest per-connection read-buffer fill observed, in bytes.
+    pub read_buffer_hwm: Gauge,
     /// End-to-end latency of answered map requests (queue wait + compute
     /// for misses; lookup only for hits).
     pub latency: Arc<LatencyHistogram>,
@@ -186,6 +192,18 @@ impl ServiceStats {
         );
         let queue_depth = registry.gauge("hcs_queue_depth", "Jobs waiting in the queue.");
         let workers = registry.gauge("hcs_workers", "Configured worker-thread count.");
+        let open_connections = registry.gauge(
+            "hcs_open_connections",
+            "Client connections currently owned by the event loop.",
+        );
+        let event_wakeups = registry.counter(
+            "hcs_event_wakeups_total",
+            "Event-loop wakeups (poll returns), including timeout ticks.",
+        );
+        let read_buffer_hwm = registry.gauge(
+            "hcs_read_buffer_hwm_bytes",
+            "Largest per-connection read-buffer fill observed, in bytes.",
+        );
         let latency = registry.histogram(
             "hcs_request_latency_us",
             "End-to-end latency of answered map requests in microseconds.",
@@ -215,6 +233,9 @@ impl ServiceStats {
             faults,
             queue_depth,
             workers,
+            open_connections,
+            event_wakeups,
+            read_buffer_hwm,
             latency,
             queue_wait,
             map_time,
@@ -240,7 +261,19 @@ impl ServiceStats {
             .field("batch_items", count(&self.batch_items))
             .field("faults", count(&self.faults))
             .field("queue_depth", Value::Number(queue_depth as f64))
-            .field("workers", Value::Number(workers as f64));
+            .field("workers", Value::Number(workers as f64))
+            .field(
+                "open_connections",
+                Value::Number(self.open_connections.get() as f64),
+            )
+            .field(
+                "event_wakeups",
+                Value::Number(self.event_wakeups.get() as f64),
+            )
+            .field(
+                "read_buffer_hwm_bytes",
+                Value::Number(self.read_buffer_hwm.get() as f64),
+            );
         if let Some(id) = self.shard {
             stats = stats
                 .field("shard_id", Value::Number(id.shard_id as f64))

@@ -1,0 +1,364 @@
+//! Readiness notification over raw OS syscalls: epoll on Linux, poll(2)
+//! everywhere (and on Linux when forced, so both backends are testable on
+//! one box).
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! root is `#![deny(unsafe_code)]`; everything here is a thin, audited FFI
+//! shim). No external crate is involved: the `extern "C"` declarations
+//! bind the libc symbols the platform already links.
+//!
+//! The surface is deliberately tiny — register/modify/deregister a file
+//! descriptor under a caller-chosen `u64` token, then [`Poller::wait`] for
+//! readiness [`Event`]s. All registrations are level-triggered and always
+//! include read interest; write interest is toggled per call, which is how
+//! the event loop arms `EPOLLOUT` only while a connection has unflushed
+//! reply bytes.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (or a peer hangup, which reads as EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup condition; the owner should read to EOF / close.
+    pub hangup: bool,
+}
+
+mod ffi {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    /// Mirror of `struct epoll_event`. The kernel ABI packs it on x86-64.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// Mirror of `struct pollfd`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Upper bound on events drained per [`Poller::wait`] call (epoll backend).
+const MAX_EVENTS: usize = 1024;
+
+enum Backend {
+    /// Linux epoll instance; the `i32` is the epoll fd, closed on drop.
+    #[cfg(target_os = "linux")]
+    Epoll(i32, Vec<ffi::EpollEvent>),
+    /// Portable poll(2): the registration table is kept in userspace and
+    /// rebuilt into `pollfd`s on every wait.
+    Poll(Vec<(RawFd, u64, bool)>),
+}
+
+/// A level-triggered readiness selector over raw fds.
+pub(crate) struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Opens the platform's best backend: epoll on Linux (unless
+    /// `force_poll`, used by tests to exercise the portable path), poll(2)
+    /// elsewhere.
+    pub fn new(force_poll: bool) -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        if !force_poll {
+            // SAFETY: plain syscall with no pointer arguments.
+            let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            return Ok(Poller {
+                backend: Backend::Epoll(
+                    epfd,
+                    vec![ffi::EpollEvent { events: 0, data: 0 }; MAX_EVENTS],
+                ),
+            });
+        }
+        let _ = force_poll;
+        Ok(Poller {
+            backend: Backend::Poll(Vec::new()),
+        })
+    }
+
+    /// True when running on the epoll backend (surfaced in logs/tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_epoll(&self) -> bool {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(..) => true,
+            Backend::Poll(_) => false,
+        }
+    }
+
+    /// Starts watching `fd` under `token`; read interest always, write
+    /// interest iff `writable`.
+    pub fn register(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epfd, _) => epoll_ctl(*epfd, ffi::EPOLL_CTL_ADD, fd, token, writable),
+            Backend::Poll(table) => {
+                table.push((fd, token, writable));
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates the write interest (and token) of an already registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epfd, _) => epoll_ctl(*epfd, ffi::EPOLL_CTL_MOD, fd, token, writable),
+            Backend::Poll(table) => {
+                for entry in table.iter_mut() {
+                    if entry.0 == fd {
+                        entry.1 = token;
+                        entry.2 = writable;
+                        return Ok(());
+                    }
+                }
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Errors are swallowed: deregistering a fd that
+    /// the kernel already dropped (peer reset) must not poison shutdown.
+    pub fn deregister(&mut self, fd: RawFd) {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epfd, _) => {
+                let _ = epoll_ctl(*epfd, ffi::EPOLL_CTL_DEL, fd, 0, false);
+            }
+            Backend::Poll(table) => table.retain(|&(f, _, _)| f != fd),
+        }
+    }
+
+    /// Blocks until at least one fd is ready or `timeout` elapses, then
+    /// appends the ready set to `out` (which is cleared first). Returns the
+    /// number of events. `EINTR` retries internally.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<usize> {
+        out.clear();
+        let timeout_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epfd, buf) => loop {
+                // SAFETY: `buf` outlives the call and `maxevents` matches
+                // its length.
+                let n = unsafe {
+                    ffi::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for ev in buf.iter().take(n as usize) {
+                    let flags = ev.events;
+                    out.push(Event {
+                        token: ev.data,
+                        readable: flags & (ffi::EPOLLIN | ffi::EPOLLHUP) != 0,
+                        writable: flags & ffi::EPOLLOUT != 0,
+                        hangup: flags & (ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+                    });
+                }
+                return Ok(out.len());
+            },
+            Backend::Poll(table) => loop {
+                let mut fds: Vec<ffi::PollFd> = table
+                    .iter()
+                    .map(|&(fd, _, writable)| ffi::PollFd {
+                        fd,
+                        events: ffi::POLLIN | if writable { ffi::POLLOUT } else { 0 },
+                        revents: 0,
+                    })
+                    .collect();
+                // SAFETY: `fds` outlives the call and `nfds` matches its
+                // length.
+                let n = unsafe {
+                    ffi::poll(
+                        fds.as_mut_ptr(),
+                        fds.len() as std::os::raw::c_ulong,
+                        timeout_ms,
+                    )
+                };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for (slot, &(_, token, _)) in fds.iter().zip(table.iter()) {
+                    let r = slot.revents;
+                    if r == 0 {
+                        continue;
+                    }
+                    out.push(Event {
+                        token,
+                        readable: r & (ffi::POLLIN | ffi::POLLHUP) != 0,
+                        writable: r & ffi::POLLOUT != 0,
+                        hangup: r & (ffi::POLLERR | ffi::POLLHUP | ffi::POLLNVAL) != 0,
+                    });
+                }
+                return Ok(out.len());
+            },
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backend::Epoll(epfd, _) = &self.backend {
+            // SAFETY: closing an fd this struct exclusively owns.
+            unsafe { ffi::close(*epfd) };
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_ctl(epfd: i32, op: i32, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+    let mut ev = ffi::EpollEvent {
+        events: ffi::EPOLLIN | if writable { ffi::EPOLLOUT } else { 0 },
+        data: token,
+    };
+    // SAFETY: `ev` is a valid epoll_event for the duration of the call
+    // (and ignored entirely for EPOLL_CTL_DEL).
+    let rc = unsafe { ffi::epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    /// Both backends see the same readable/writable transitions on a real
+    /// loopback socket pair.
+    fn exercise(force_poll: bool) {
+        let mut poller = Poller::new(force_poll).unwrap();
+        assert_eq!(poller.is_epoll(), cfg!(target_os = "linux") && !force_poll);
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        poller.register(server.as_raw_fd(), 7, false).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing to read yet: the wait times out empty.
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        // A write from the peer flips the fd readable.
+        client.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "{events:?}"
+        );
+
+        // Write interest reports writable on an idle socket.
+        poller.modify(server.as_raw_fd(), 7, true).unwrap();
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.writable),
+            "{events:?}"
+        );
+
+        // Peer hangup surfaces as readable (EOF) and/or hangup.
+        drop(client);
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.token == 7 && (e.readable || e.hangup)),
+            "{events:?}"
+        );
+
+        poller.deregister(server.as_raw_fd());
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn epoll_backend_tracks_socket_readiness() {
+        exercise(false);
+    }
+
+    #[test]
+    fn poll_backend_tracks_socket_readiness() {
+        exercise(true);
+    }
+}

@@ -1,0 +1,247 @@
+//! Connection-state-machine suite: drives [`ConnMachine`] plus the typed
+//! [`Request`]/[`Reply`] protocol API as a synchronous in-memory server —
+//! no sockets, no threads — so framing and reply-ordering invariants are
+//! checked in isolation from the event loop.
+//!
+//! The anchor property (proptest): **any** byte-chunking of a valid
+//! request stream, drained through **any** sequence of partial-write
+//! capacities, yields a reply byte stream identical to whole-line
+//! delivery with unbounded writes.
+
+use hcs_core::MapWorkspace;
+use hcs_service::protocol::{self, ProtocolError, Reply, Request};
+use hcs_service::{ConnMachine, Frame};
+use proptest::prelude::*;
+
+/// Renders a reply to its full line bytes (trailing newline included).
+fn line_bytes(reply: &Reply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    reply.write_to(&mut buf).unwrap();
+    buf
+}
+
+/// Handles every frame the machine currently has, executing map work
+/// synchronously — the sockets-free analogue of the event loop's dispatch
+/// plus an instant worker pool.
+fn handle_ready_frames(m: &mut ConnMachine, ws: &mut MapWorkspace) {
+    while let Some(frame) = m.next_frame() {
+        match frame {
+            Frame::Oversized => {
+                let slot = m.open_slot();
+                let reply = Reply::Error(ProtocolError::bad_request("request line too long"));
+                m.fill(slot, line_bytes(&reply));
+            }
+            Frame::Line(range) => {
+                let bytes = m.line(range).to_vec();
+                if bytes.iter().all(u8::is_ascii_whitespace) {
+                    continue;
+                }
+                match Request::parse(&bytes) {
+                    Err(e) => {
+                        let slot = m.open_slot();
+                        m.fill(slot, line_bytes(&Reply::Error(e)));
+                    }
+                    Ok(Request::Map(req)) => {
+                        let rid = req.rid;
+                        let slot = m.open_slot();
+                        let reply = match protocol::execute(&req, ws) {
+                            Ok(result) => Reply::Map {
+                                result,
+                                cached: false,
+                                rid,
+                            },
+                            Err(e) => Reply::Error(e),
+                        };
+                        m.fill(slot, line_bytes(&reply));
+                    }
+                    Ok(Request::MapBatch(batch)) => {
+                        let slot = m.open_batch(batch.items.len());
+                        for (i, item) in batch.items.into_iter().enumerate() {
+                            let json = match item {
+                                Err(e) => e.to_value().to_string(),
+                                Ok(req) => {
+                                    let rid = req.rid;
+                                    match protocol::execute(&req, ws) {
+                                        Ok(result) => {
+                                            protocol::stamp_rid(result.to_value(false), rid)
+                                                .to_string()
+                                        }
+                                        Err(e) => e.to_value().to_string(),
+                                    }
+                                }
+                            };
+                            m.fill_batch_item(slot, i, json);
+                        }
+                    }
+                    Ok(Request::Shutdown) => {
+                        let slot = m.open_slot();
+                        m.fill(slot, line_bytes(&Reply::Draining));
+                    }
+                    // Control verbs whose payload depends on live daemon
+                    // state; the generator never produces them.
+                    Ok(other) => panic!("unexpected control verb in stream: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Feeds `input` through a fresh machine split at `cuts`, draining at most
+/// `capacities[k]` bytes per write turn (cycled; `usize::MAX` = greedy),
+/// and returns the complete reply byte stream.
+fn run_chunked(input: &[u8], cuts: &[usize], capacities: &[usize]) -> Vec<u8> {
+    let mut m = ConnMachine::new(1 << 20);
+    let mut ws = MapWorkspace::new();
+    let mut out = Vec::new();
+    let mut cap_turn = 0usize;
+    let mut drain = |m: &mut ConnMachine, out: &mut Vec<u8>| {
+        while m.wants_write() {
+            let cap = capacities[cap_turn % capacities.len()].max(1);
+            cap_turn += 1;
+            let take = m.writable().len().min(cap);
+            out.extend_from_slice(&m.writable()[..take]);
+            m.consume(take);
+        }
+    };
+
+    let mut start = 0usize;
+    let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (input.len() + 1)).collect();
+    boundaries.push(input.len());
+    boundaries.sort_unstable();
+    for end in boundaries {
+        let mut chunk = &input[start..end.max(start)];
+        start = start.max(end);
+        // One "read" may itself be larger than the offered buffer space,
+        // exactly as a real socket read loop would split it.
+        while !chunk.is_empty() {
+            let space = m.read_space();
+            let n = space.len().min(chunk.len());
+            space[..n].copy_from_slice(&chunk[..n]);
+            m.commit(n);
+            chunk = &chunk[n..];
+            handle_ready_frames(&mut m, &mut ws);
+            drain(&mut m, &mut out);
+        }
+    }
+    assert!(!m.has_pending(), "stream fully handled leaves no open slot");
+    out
+}
+
+/// A small deterministic request stream exercising every frame shape:
+/// single maps (with and without rid), a malformed line, a blank line,
+/// and a batch with a poisoned item.
+fn sample_stream() -> Vec<u8> {
+    let mut s = Vec::new();
+    s.extend_from_slice(b"{\"etc\":[[2,6],[3,4],[8,3]],\"heuristic\":\"min-min\"}\n");
+    s.extend_from_slice(b"not json at all\n");
+    s.extend_from_slice(b"\n");
+    s.extend_from_slice(b"{\"etc\":[[1,2]],\"heuristic\":\"mct\",\"rid\":\"2a\"}\n");
+    s.extend_from_slice(
+        b"{\"op\":\"map_batch\",\"items\":[{\"etc\":[[5,1]],\"heuristic\":\"mct\"},{\"oops\":1},{\"etc\":[[2,2]],\"heuristic\":\"olb\"}]}\n",
+    );
+    s.extend_from_slice(b"{\"etc\":[[4,4],[1,9]],\"heuristic\":\"max-min\"}\n");
+    s
+}
+
+#[test]
+fn one_byte_reads_match_whole_line_delivery() {
+    let input = sample_stream();
+    let whole = run_chunked(&input, &[], &[usize::MAX]);
+    let cuts: Vec<usize> = (1..input.len()).collect();
+    let byte_at_a_time = run_chunked(&input, &cuts, &[usize::MAX]);
+    assert_eq!(whole, byte_at_a_time);
+    // Sanity: replies landed in request order with the expected shapes.
+    let text = String::from_utf8(whole).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "{text}");
+    assert!(lines[0].contains("\"makespan\":5"), "{}", lines[0]);
+    assert!(lines[1].contains("\"code\":400"), "{}", lines[1]);
+    assert!(
+        lines[2].contains("\"rid\":\"000000000000002a\""),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].starts_with("{\"ok\":true,\"v\":1,\"items\":["),
+        "{}",
+        lines[3]
+    );
+    assert!(lines[3].contains("\"code\":400"), "{}", lines[3]);
+    assert!(lines[4].contains("\"makespan\""), "{}", lines[4]);
+}
+
+#[test]
+fn pipelined_requests_in_one_read_answer_in_order() {
+    let input = sample_stream();
+    // Whole stream in one read, vs one line per read.
+    let one_read = run_chunked(&input, &[], &[usize::MAX]);
+    let line_cuts: Vec<usize> = input
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+        .collect();
+    let per_line = run_chunked(&input, &line_cuts, &[usize::MAX]);
+    assert_eq!(one_read, per_line);
+}
+
+#[test]
+fn partial_writes_under_a_full_socket_buffer_lose_nothing() {
+    let input = sample_stream();
+    let greedy = run_chunked(&input, &[], &[usize::MAX]);
+    // Worst case: the "socket" accepts one byte per turn.
+    let trickle = run_chunked(&input, &[], &[1]);
+    assert_eq!(greedy, trickle);
+    // Mixed capacities, including stalls broken by tiny progress.
+    let mixed = run_chunked(&input, &[], &[7, 1, 64, 3]);
+    assert_eq!(greedy, mixed);
+}
+
+/// One generated map request (kept tiny: the property is about framing,
+/// not the kernel).
+fn gen_request_line() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Valid single map over a small random matrix.
+        (1usize..4, 1usize..3, 0usize..2).prop_map(|(t, m, rid)| {
+            let rid = rid == 1;
+            let rows: Vec<String> = (0..t)
+                .map(|i| {
+                    let cells: Vec<String> =
+                        (0..m).map(|j| format!("{}", 1 + ((i * 3 + j * 5) % 9))).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            let rid = if rid { ",\"rid\":\"a1\"" } else { "" };
+            format!(
+                "{{\"etc\":[{}],\"heuristic\":\"mct\"{rid}}}\n",
+                rows.join(",")
+            )
+            .into_bytes()
+        }),
+        // Malformed line: must produce a 400 and not desync the stream.
+        Just(b"definitely not json\n".to_vec()),
+        // Small batch with one poisoned item.
+        (1usize..3).prop_map(|t| {
+            format!(
+                "{{\"op\":\"map_batch\",\"items\":[{{\"etc\":[[{t},1]],\"heuristic\":\"mct\"}},{{\"bad\":true}}]}}\n"
+            )
+            .into_bytes()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chunking × any write capacities == whole-line delivery.
+    #[test]
+    fn any_chunking_yields_identical_replies(
+        lines in proptest::collection::vec(gen_request_line(), 1..6),
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+        caps in proptest::collection::vec(1usize..512, 1..6),
+    ) {
+        let input: Vec<u8> = lines.concat();
+        let reference = run_chunked(&input, &[], &[usize::MAX]);
+        let chunked = run_chunked(&input, &cuts, &caps);
+        prop_assert_eq!(reference, chunked);
+    }
+}

@@ -1,0 +1,202 @@
+//! Socket-level framing regressions against a live daemon: the max-line
+//! guard (typed 400, connection survives, resync at the next newline),
+//! the slow-loris idle timeout, and chunked batch-reply streaming being
+//! byte-identical to what a monolithic render would have produced.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hcs_service::json::parse;
+use hcs_service::{ServeConfig, Server};
+
+fn start(
+    configure: impl FnOnce(hcs_service::ServeConfigBuilder) -> hcs_service::ServeConfigBuilder,
+) -> Server {
+    let builder = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .queue_depth(64)
+        .trace_capacity(0);
+    let config = configure(builder).build().expect("valid config");
+    Server::start(config).expect("bind ephemeral port")
+}
+
+#[test]
+fn oversized_line_gets_typed_400_and_connection_resyncs() {
+    // 1 KiB cap (the minimum) so the oversized line is cheap to send.
+    let server = start(|b| b.max_line_bytes(1024));
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // 4 KiB of garbage with no newline until the end: crosses the cap
+    // mid-line, so the framer must discard to the next newline.
+    let mut big = vec![b'x'; 4096];
+    big.push(b'\n');
+    stream.write_all(&big).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let v = parse(&reply).unwrap();
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(false),
+        "oversized line must be rejected: {reply}"
+    );
+    assert_eq!(v.get("code").unwrap().as_u64(), Some(400), "{reply}");
+    assert_eq!(
+        v.get("error_code").unwrap().as_str(),
+        Some("parse"),
+        "{reply}"
+    );
+    assert!(
+        v.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("max_line_bytes"),
+        "{reply}"
+    );
+
+    // The same connection still serves the next (valid) request.
+    stream
+        .write_all(b"{\"etc\":[[2,6],[3,4]],\"heuristic\":\"mct\"}\n")
+        .unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn oversized_line_without_newline_is_rejected_while_still_arriving() {
+    // The guard must fire as soon as the cap is crossed, not wait for a
+    // newline that a hostile client never sends.
+    let server = start(|b| b.max_line_bytes(1024));
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&vec![b'y'; 2048]).unwrap(); // no newline
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"code\":400"), "{reply}");
+
+    // Finish the oversized line and follow with a valid one: the framer
+    // resynchronizes at the newline.
+    stream.write_all(b"tail\n{\"op\":\"shutdown\"}\n").unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("draining"), "{reply}");
+
+    server.join();
+}
+
+#[test]
+fn slow_loris_connection_is_closed_after_the_idle_timeout() {
+    let server = start(|b| b.idle_timeout(Duration::from_millis(200)));
+    let addr = server.local_addr();
+
+    // A client that sends half a request and then stalls.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"{\"etc\":[[2,").unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    // The daemon must close the socket (EOF), not answer.
+    match stream.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("expected EOF, got {} bytes", n),
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("expected EOF, got error {e}"),
+    }
+
+    // A fresh, active connection is unaffected.
+    let mut live = TcpStream::connect(addr).unwrap();
+    live.write_all(b"{\"etc\":[[1,2]],\"heuristic\":\"mct\"}\n")
+        .unwrap();
+    let mut reader = BufReader::new(live);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn idle_timeout_spares_requests_waiting_on_a_worker() {
+    // One worker busy on a sleeping request; a second request queues
+    // behind it longer than the idle timeout. The sweep must not kill the
+    // connection that is legitimately waiting for its reply.
+    let server = start(|b| b.workers(1).idle_timeout(Duration::from_millis(150)));
+    let addr = server.local_addr();
+
+    let mut waiting = TcpStream::connect(addr).unwrap();
+    waiting
+        .write_all(b"{\"etc\":[[1,1]],\"heuristic\":\"mct\",\"sleep_ms\":600}\n")
+        .unwrap();
+    let mut reader = BufReader::new(waiting);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.contains("\"ok\":true"),
+        "request outliving the idle timeout in-queue must still be answered: {reply}"
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn streamed_batch_reply_is_byte_identical_to_monolithic_rendering() {
+    // Deep queue: all ~2000 items may be in flight at once (cache
+    // convergence is racy), and none may be shed.
+    let server = start(|b| b.queue_depth(4096));
+    let addr = server.local_addr();
+
+    // A batch big enough to cross the streaming high-water mark several
+    // times over (each reply item is ~100 bytes; the daemon chunks at
+    // 64 KiB of buffered output).
+    let items: Vec<String> = (0..2000)
+        .map(|i| {
+            format!(
+                "{{\"etc\":[[{},{}]],\"heuristic\":\"mct\"}}",
+                1 + i % 7,
+                2 + i % 5
+            )
+        })
+        .collect();
+    let line = format!("{{\"op\":\"map_batch\",\"items\":[{}]}}\n", items.join(","));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+
+    // Structure: one well-formed JSON line, every item in order and ok.
+    let v = parse(reply.trim_end()).expect("streamed reply must parse as one JSON line");
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    let got = v.get("items").unwrap().as_array().unwrap();
+    assert_eq!(got.len(), 2000);
+    for (i, item) in got.iter().enumerate() {
+        assert_eq!(
+            item.get("ok").and_then(|b| b.as_bool()),
+            Some(true),
+            "item {i}: {item}"
+        );
+    }
+
+    // Byte-identity: the streamed frame is exactly the monolithic render
+    // `{"ok":true,"v":1,"items":[ <item>,<item>,... ]}`.
+    let rebuilt: Vec<String> = got.iter().map(|item| item.to_string()).collect();
+    let monolithic = format!("{{\"ok\":true,\"v\":1,\"items\":[{}]}}", rebuilt.join(","));
+    assert_eq!(reply.trim_end(), monolithic);
+
+    server.stop();
+    server.join();
+}

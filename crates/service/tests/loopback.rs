@@ -10,18 +10,16 @@ use hcs_service::protocol::{self, MapRequest};
 use hcs_service::{ServeConfig, Server};
 
 fn start(workers: usize, queue_depth: usize) -> Server {
-    Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers,
-        queue_depth,
-        cache_capacity: 256,
-        cache_shards: 4,
-        trace_capacity: 256,
-        fault_rate: 0.0,
-        fault_seed: 0,
-        shard: None,
-    })
-    .expect("bind ephemeral port")
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(workers)
+        .queue_depth(queue_depth)
+        .cache_capacity(256)
+        .cache_shards(4)
+        .trace_capacity(256)
+        .build()
+        .expect("valid config");
+    Server::start(config).expect("bind ephemeral port")
 }
 
 /// One request/reply over a fresh connection.
@@ -355,18 +353,16 @@ fn trace_verb_reports_worker_and_cache_events() {
 
 #[test]
 fn zero_trace_capacity_disables_tracing() {
-    let server = Server::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 1,
-        queue_depth: 8,
-        cache_capacity: 16,
-        cache_shards: 2,
-        trace_capacity: 0,
-        fault_rate: 0.0,
-        fault_seed: 0,
-        shard: None,
-    })
-    .expect("bind ephemeral port");
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .queue_depth(8)
+        .cache_capacity(16)
+        .cache_shards(2)
+        .trace_capacity(0)
+        .build()
+        .expect("valid config");
+    let server = Server::start(config).expect("bind ephemeral port");
     let addr = server.local_addr();
     roundtrip(addr, &request(13, 4, false).to_line());
     let reply = roundtrip(addr, r#"{"op":"trace"}"#);
@@ -578,18 +574,18 @@ fn unknown_objective_is_rejected_over_the_wire() {
 #[test]
 fn injected_faults_are_typed_counted_and_deterministic() {
     let fault_server = |rate: f64| {
-        Server::start(ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            workers: 2,
-            queue_depth: 32,
-            cache_capacity: 16,
-            cache_shards: 1,
-            trace_capacity: 0,
-            fault_rate: rate,
-            fault_seed: 42,
-            shard: None,
-        })
-        .expect("bind ephemeral port")
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .queue_depth(32)
+            .cache_capacity(16)
+            .cache_shards(1)
+            .trace_capacity(0)
+            .fault_rate(rate)
+            .fault_seed(42)
+            .build()
+            .expect("valid config");
+        Server::start(config).expect("bind ephemeral port")
     };
 
     // rate = 1.0: every request faults with the typed 503.

@@ -173,6 +173,7 @@ USAGE:
                        [--cache-capacity 1024] [--trace-capacity 1024]
                        [--fault-rate 0.0] [--fault-seed 0]
                        [--shard-id I --fleet-size N]
+                       [--max-line-bytes 8388608] [--idle-timeout-ms 60000]
   nonmakespan fleet    --size N [--workers 4]
   nonmakespan mapc     --etc FILE.csv --heuristic NAME [--addr 127.0.0.1:7077]
                        [--fleet HOST:PORT,HOST:PORT,...]
@@ -294,34 +295,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "serve" => {
-            let defaults = hcs_service::ServeConfig::default();
-            let uint = |name: &str, default: usize| {
+            // Flag *syntax* (is it an integer?) is checked here; the
+            // cross-field *semantics* (ranges, shard pairing) live in
+            // `ServeConfigBuilder::build`, whose typed errors render the
+            // same flag-speak messages.
+            let uint = |name: &str| {
                 flag(rest, name)
                     .map(|v| {
                         v.parse::<usize>()
                             .map_err(|_| CliError(format!("{name} takes an integer")))
                     })
                     .transpose()
-                    .map(|v| v.unwrap_or(default))
             };
-            let fault_rate = flag(rest, "--fault-rate")
-                .map(|v| {
-                    v.parse::<f64>()
-                        .map_err(|_| CliError("--fault-rate takes a number in [0, 1]".into()))
-                })
-                .transpose()?
-                .unwrap_or(defaults.fault_rate);
-            if !(0.0..=1.0).contains(&fault_rate) {
-                return Err(CliError("--fault-rate takes a number in [0, 1]".into()));
-            }
-            let fault_seed = flag(rest, "--fault-seed")
-                .map(|v| {
-                    v.parse::<u64>()
-                        .map_err(|_| CliError("--fault-seed takes an integer".into()))
-                })
-                .transpose()?
-                .unwrap_or(defaults.fault_seed);
-            let fleet_flag = |name: &str| {
+            let u64_flag = |name: &str| {
                 flag(rest, name)
                     .map(|v| {
                         v.parse::<u64>()
@@ -329,36 +315,48 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     })
                     .transpose()
             };
-            let shard = match (fleet_flag("--shard-id")?, fleet_flag("--fleet-size")?) {
-                (None, None) => None,
-                (Some(shard_id), Some(fleet_size)) => {
-                    if fleet_size == 0 || shard_id >= fleet_size {
-                        return Err(CliError("--shard-id must be less than --fleet-size".into()));
-                    }
-                    Some(hcs_service::ShardIdentity {
-                        shard_id,
-                        fleet_size,
-                    })
-                }
-                _ => {
-                    return Err(CliError(
-                        "--shard-id and --fleet-size must be given together".into(),
-                    ))
-                }
-            };
-            Ok(Command::Serve {
-                config: hcs_service::ServeConfig {
-                    addr: flag(rest, "--addr").unwrap_or(defaults.addr),
-                    workers: uint("--workers", defaults.workers)?,
-                    queue_depth: uint("--queue-depth", defaults.queue_depth)?,
-                    cache_capacity: uint("--cache-capacity", defaults.cache_capacity)?,
-                    cache_shards: uint("--cache-shards", defaults.cache_shards)?,
-                    trace_capacity: uint("--trace-capacity", defaults.trace_capacity)?,
-                    fault_rate,
-                    fault_seed,
-                    shard,
-                },
-            })
+            let mut builder = hcs_service::ServeConfig::builder();
+            if let Some(addr) = flag(rest, "--addr") {
+                builder = builder.addr(addr);
+            }
+            if let Some(v) = uint("--workers")? {
+                builder = builder.workers(v);
+            }
+            if let Some(v) = uint("--queue-depth")? {
+                builder = builder.queue_depth(v);
+            }
+            if let Some(v) = uint("--cache-capacity")? {
+                builder = builder.cache_capacity(v);
+            }
+            if let Some(v) = uint("--cache-shards")? {
+                builder = builder.cache_shards(v);
+            }
+            if let Some(v) = uint("--trace-capacity")? {
+                builder = builder.trace_capacity(v);
+            }
+            if let Some(v) = flag(rest, "--fault-rate") {
+                let rate = v
+                    .parse::<f64>()
+                    .map_err(|_| CliError("--fault-rate takes a number in [0, 1]".into()))?;
+                builder = builder.fault_rate(rate);
+            }
+            if let Some(v) = u64_flag("--fault-seed")? {
+                builder = builder.fault_seed(v);
+            }
+            if let Some(v) = u64_flag("--shard-id")? {
+                builder = builder.shard_id(v);
+            }
+            if let Some(v) = u64_flag("--fleet-size")? {
+                builder = builder.fleet_size(v);
+            }
+            if let Some(v) = uint("--max-line-bytes")? {
+                builder = builder.max_line_bytes(v);
+            }
+            if let Some(v) = u64_flag("--idle-timeout-ms")? {
+                builder = builder.idle_timeout(std::time::Duration::from_millis(v));
+            }
+            let config = builder.build().map_err(|e| CliError(e.to_string()))?;
+            Ok(Command::Serve { config })
         }
         "fleet" => {
             let size = flag(rest, "--size")
@@ -741,16 +739,17 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Fleet { size, workers } => {
             let mut servers = Vec::with_capacity(size);
             for i in 0..size {
-                let server = hcs_service::Server::start(hcs_service::ServeConfig {
-                    addr: "127.0.0.1:0".into(),
-                    workers,
-                    shard: Some(hcs_service::ShardIdentity {
+                let config = hcs_service::ServeConfig::builder()
+                    .addr("127.0.0.1:0")
+                    .workers(workers)
+                    .shard(hcs_service::ShardIdentity {
                         shard_id: i as u64,
                         fleet_size: size as u64,
-                    }),
-                    ..hcs_service::ServeConfig::default()
-                })
-                .map_err(|e| CliError(format!("cannot start shard {i}: {e}")))?;
+                    })
+                    .build()
+                    .map_err(|e| CliError(format!("invalid shard {i} config: {e}")))?;
+                let server = hcs_service::Server::start(config)
+                    .map_err(|e| CliError(format!("cannot start shard {i}: {e}")))?;
                 servers.push(server);
             }
             let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
@@ -1308,16 +1307,16 @@ mod tests {
     #[test]
     fn mapc_fleet_end_to_end_against_a_two_shard_fleet() {
         let start = |shard_id: u64| {
-            hcs_service::Server::start(hcs_service::ServeConfig {
-                addr: "127.0.0.1:0".into(),
-                workers: 1,
-                shard: Some(hcs_service::ShardIdentity {
+            let config = hcs_service::ServeConfig::builder()
+                .addr("127.0.0.1:0")
+                .workers(1)
+                .shard(hcs_service::ShardIdentity {
                     shard_id,
                     fleet_size: 2,
-                }),
-                ..hcs_service::ServeConfig::default()
-            })
-            .unwrap()
+                })
+                .build()
+                .unwrap();
+            hcs_service::Server::start(config).unwrap()
         };
         let (a, b) = (start(0), start(1));
         let addrs = format!("{},{}", a.local_addr(), b.local_addr());
@@ -1420,18 +1419,18 @@ mod tests {
     fn mapc_end_to_end_against_a_faulty_daemon() {
         // A daemon with a 20% injected-fault rate: the client-mode retry
         // budget must absorb the faults for both shapes of request.
-        let server = hcs_service::Server::start(hcs_service::ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            workers: 2,
-            queue_depth: 16,
-            cache_capacity: 64,
-            cache_shards: 2,
-            trace_capacity: 0,
-            fault_rate: 0.2,
-            fault_seed: 11,
-            shard: None,
-        })
-        .unwrap();
+        let config = hcs_service::ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .queue_depth(16)
+            .cache_capacity(64)
+            .cache_shards(2)
+            .trace_capacity(0)
+            .fault_rate(0.2)
+            .fault_seed(11)
+            .build()
+            .unwrap();
+        let server = hcs_service::Server::start(config).unwrap();
         let addr = server.local_addr().to_string();
         let mapc = |batch: Option<usize>| Command::Mapc {
             addr: addr.clone(),
@@ -1526,18 +1525,16 @@ mod tests {
 
     #[test]
     fn mapc_rid_echoes_and_trace_addr_queries_the_daemon() {
-        let server = hcs_service::Server::start(hcs_service::ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            workers: 1,
-            queue_depth: 16,
-            cache_capacity: 16,
-            cache_shards: 1,
-            trace_capacity: 64,
-            fault_rate: 0.0,
-            fault_seed: 0,
-            shard: None,
-        })
-        .unwrap();
+        let config = hcs_service::ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .queue_depth(16)
+            .cache_capacity(16)
+            .cache_shards(1)
+            .trace_capacity(64)
+            .build()
+            .unwrap();
+        let server = hcs_service::Server::start(config).unwrap();
         let addr = server.local_addr().to_string();
 
         let out = execute(Command::Mapc {
