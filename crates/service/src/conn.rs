@@ -88,6 +88,9 @@ pub struct ConnMachine {
 
     slots: VecDeque<Slot>,
     next_id: SlotId,
+    /// Bytes held in completed-but-not-yet-pumped slots (`Ready` lines and
+    /// filled batch items awaiting their wire-order turn).
+    buffered: usize,
 
     out: Vec<u8>,
     opos: usize,
@@ -105,6 +108,7 @@ impl ConnMachine {
             read_hwm: 0,
             slots: VecDeque::new(),
             next_id: 0,
+            buffered: 0,
             out: Vec::new(),
             opos: 0,
         }
@@ -226,6 +230,7 @@ impl ConnMachine {
         debug_assert!(line.ends_with(b"\n"));
         if let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) {
             debug_assert!(matches!(slot.state, SlotState::Pending));
+            self.buffered += line.len();
             slot.state = SlotState::Ready(line);
         }
         self.pump();
@@ -233,14 +238,19 @@ impl ConnMachine {
 
     /// Fills item `idx` of a batch slot with its rendered JSON object (no
     /// separators, no newline). Returns `true` when this was the batch's
-    /// last unfilled item.
+    /// last unfilled item. Unknown slot ids and out-of-range indices are
+    /// ignored, matching [`ConnMachine::fill`] — a stale completion must
+    /// never panic the event loop.
     pub fn fill_batch_item(&mut self, id: SlotId, idx: usize, json: String) -> bool {
         let mut completed = false;
         if let Some(slot) = self.slots.iter_mut().find(|s| s.id == id) {
             if let SlotState::Batch { items, filled, .. } = &mut slot.state {
-                if items[idx].is_none() {
-                    items[idx] = Some(json);
-                    *filled += 1;
+                if let Some(item) = items.get_mut(idx) {
+                    if item.is_none() {
+                        self.buffered += json.len();
+                        *item = Some(json);
+                        *filled += 1;
+                    }
                 }
                 completed = *filled == items.len();
             }
@@ -262,6 +272,16 @@ impl ConnMachine {
     /// buffered bytes).
     pub fn has_pending(&self) -> bool {
         !self.slots.is_empty() || self.opos < self.out.len()
+    }
+
+    /// Total reply bytes owed to the peer but not yet accepted by the
+    /// socket: the unflushed write buffer plus every completed reply still
+    /// queued behind the high-water pump. The event loop uses this for
+    /// read-side backpressure — a peer that pipelines requests without
+    /// draining replies stops being read once this passes the cap, so TCP
+    /// flow control pushes back instead of daemon memory growing.
+    pub fn out_backlog(&self) -> usize {
+        (self.out.len() - self.opos) + self.buffered
     }
 
     // ------------------------------------------------------------------
@@ -304,6 +324,7 @@ impl ConnMachine {
             match &mut slot.state {
                 SlotState::Pending => return,
                 SlotState::Ready(line) => {
+                    self.buffered -= line.len();
                     self.out.append(line);
                     self.slots.pop_front();
                 }
@@ -328,6 +349,7 @@ impl ConnMachine {
                         let Some(json) = items[*emitted].take() else {
                             break;
                         };
+                        self.buffered -= json.len();
                         if *emitted > 0 {
                             self.out.push(b',');
                         }
@@ -450,6 +472,38 @@ mod tests {
             b"{\"ok\":true,\"v\":1,\"items\":[{\"i\":0},{\"i\":1},{\"i\":2}]}\n".as_slice()
         );
         assert!(!m.awaiting_worker());
+    }
+
+    #[test]
+    fn batch_item_out_of_range_fill_is_ignored() {
+        let mut m = ConnMachine::new(64);
+        let id = m.open_batch(2);
+        // A stale completion routed with a bogus index must not panic or
+        // complete the batch.
+        assert!(!m.fill_batch_item(id, 5, "{\"i\":5}".into()));
+        assert!(!m.fill_batch_item(id, 0, "{\"i\":0}".into()));
+        assert!(m.fill_batch_item(id, 1, "{\"i\":1}".into()));
+        assert!(m.writable().ends_with(b"[{\"i\":0},{\"i\":1}]}\n"));
+    }
+
+    #[test]
+    fn out_backlog_tracks_queued_and_unflushed_reply_bytes() {
+        let mut m = ConnMachine::new(64);
+        assert_eq!(m.out_backlog(), 0);
+        let a = m.open_slot();
+        let b = m.open_slot();
+        // Pending slots owe nothing until a reply is rendered.
+        assert_eq!(m.out_backlog(), 0);
+        // Slot b is complete but queued behind the pending head: counted.
+        m.fill(b, b"second\n".to_vec());
+        assert_eq!(m.out_backlog(), 7);
+        // Both pump into the write buffer: still counted until consumed.
+        m.fill(a, b"first\n".to_vec());
+        assert_eq!(m.out_backlog(), 13);
+        m.consume(6);
+        assert_eq!(m.out_backlog(), 7);
+        m.consume(7);
+        assert_eq!(m.out_backlog(), 0);
     }
 
     #[test]

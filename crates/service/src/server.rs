@@ -68,6 +68,20 @@ const TOKEN_WAKER: u64 = u64::MAX - 1;
 /// exactly like the old per-connection `IDLE_POLL` read timeout did.
 const MAX_TICK: Duration = Duration::from_millis(200);
 
+/// Read-side backpressure cap: once a connection's unflushed reply
+/// backlog ([`ConnMachine::out_backlog`]) reaches this, the loop stops
+/// reading it (and disarms read interest) until the peer drains replies.
+/// Requests then pile up in the kernel socket buffers and TCP flow
+/// control pushes back on the client — the moral equivalent of the old
+/// thread-per-connection server blocking in `write_all`.
+const READ_BACKPRESSURE: usize = 256 * 1024;
+
+/// Hard drain deadline for shutdown: connections that still owe replies
+/// this long after shutdown began are closed anyway, so [`Server::join`]
+/// terminates even when a peer never reads (or `idle_timeout` is zero and
+/// the sweep is disabled).
+const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(2);
+
 /// Deterministic per-request fault decisions: request `n` faults iff
 /// `splitmix64(seed + n)` falls below `fault_rate * 2^64`. The atomic
 /// counter makes the *sequence* deterministic even though which worker
@@ -369,6 +383,9 @@ struct Conn {
     last_activity: Instant,
     /// Close once every pending reply is flushed (set by `SHUTDOWN`).
     close_after_flush: bool,
+    /// Read interest currently armed in the poller (disarmed while the
+    /// reply backlog exceeds [`READ_BACKPRESSURE`]).
+    read_armed: bool,
     /// Write interest currently armed in the poller.
     writable_armed: bool,
     /// Marked for teardown at the end of the current pass.
@@ -406,6 +423,9 @@ fn event_loop(
         (cfg.idle_timeout / 4).clamp(Duration::from_millis(10), MAX_TICK)
     };
     let mut next_sweep = Instant::now() + tick;
+    // Set when shutdown is first observed; past it, connections still
+    // owing replies are closed anyway so the loop always terminates.
+    let mut drain_deadline: Option<Instant> = None;
 
     loop {
         poller.wait(&mut events, tick)?;
@@ -483,9 +503,15 @@ fn event_loop(
                 poller.deregister(l.as_raw_fd());
                 // Dropping the listener refuses new connections at once.
             }
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN_GRACE);
+            // Past the grace period, a peer that never drained its replies
+            // (or whose worker completion will never come) is closed
+            // anyway — join() liveness beats delivering the last bytes.
+            let force = Instant::now() >= deadline;
             for (idx, slot) in conns.iter_mut().enumerate() {
                 let Some(conn) = slot.as_mut() else { continue };
-                if !conn.machine.has_pending() {
+                if force || !conn.machine.has_pending() {
                     conn.dead = true;
                     finish_pass(conn, idx, &mut poller, &mut freed);
                 }
@@ -500,6 +526,11 @@ fn event_loop(
         for idx in freed {
             conns[idx] = None;
             free.push(idx);
+            // Retire the slot's generation so a completion still in flight
+            // for the old connection can never match a future occupant:
+            // the slab generation — not the dropped Conn's copy — is what
+            // the next `accept_ready` stamps into the reused slot.
+            gens[idx] = gens[idx].wrapping_add(1);
         }
         shared.stats.open_connections.set(open_count as u64);
     }
@@ -544,6 +575,7 @@ fn accept_ready(
                     gen: gens[idx],
                     last_activity: Instant::now(),
                     close_after_flush: false,
+                    read_armed: true,
                     writable_armed: false,
                     dead: false,
                 });
@@ -557,7 +589,8 @@ fn accept_ready(
     admitted
 }
 
-/// Reads until `WouldBlock`, dispatching every complete frame.
+/// Reads until `WouldBlock` (or the reply backlog passes the
+/// backpressure cap), dispatching every complete frame.
 fn conn_readable(
     conn: &mut Conn,
     idx: usize,
@@ -566,6 +599,13 @@ fn conn_readable(
     read_hwm: &mut usize,
 ) {
     loop {
+        // Backpressure: a pipelining peer that is not draining replies
+        // stops being read — further requests stay in the kernel socket
+        // buffers (finish_pass disarms read interest until the backlog
+        // clears, so the level-triggered poller does not spin).
+        if conn.machine.out_backlog() >= READ_BACKPRESSURE {
+            break;
+        }
         let space = conn.machine.read_space();
         match conn.stream.read(space) {
             Ok(0) => {
@@ -926,7 +966,7 @@ fn flush_conn(conn: &mut Conn) {
     }
 }
 
-/// End-of-pass bookkeeping for one connection: arm or disarm write
+/// End-of-pass bookkeeping for one connection: arm or disarm read/write
 /// interest, honour `close_after_flush`, and tear down dead connections.
 fn finish_pass(conn: &mut Conn, idx: usize, poller: &mut Poller, freed: &mut Vec<usize>) {
     if !conn.dead
@@ -941,16 +981,24 @@ fn finish_pass(conn: &mut Conn, idx: usize, poller: &mut Poller, freed: &mut Vec
         if !freed.contains(&idx) {
             freed.push(idx);
         }
+        // Same-pass stale-completion filter only: the durable guard is the
+        // slab `gens[idx]` bump when the freed slot is recycled at the end
+        // of the pass (event_loop's `freed` loop).
         conn.gen = conn.gen.wrapping_add(1);
         return;
     }
-    let want = conn.machine.wants_write();
-    if want != conn.writable_armed
+    let want_write = conn.machine.wants_write();
+    // Reads stay paused until the peer drains below the cap; progress is
+    // guaranteed because a non-empty backlog always has either unflushed
+    // bytes (write interest armed below) or a worker completion due.
+    let want_read = conn.machine.out_backlog() < READ_BACKPRESSURE;
+    if (want_read, want_write) != (conn.read_armed, conn.writable_armed)
         && poller
-            .modify(conn.stream.as_raw_fd(), idx as u64, want)
+            .modify(conn.stream.as_raw_fd(), idx as u64, want_read, want_write)
             .is_ok()
     {
-        conn.writable_armed = want;
+        conn.read_armed = want_read;
+        conn.writable_armed = want_write;
     }
 }
 
@@ -1094,6 +1142,123 @@ mod tests {
         server.stop();
         let stats = server.join();
         assert!(stats.contains("\"submitted\":0"), "{stats}");
+    }
+
+    /// Regression (review): a worker completion still in flight for a
+    /// disconnected client must never be delivered into the connection
+    /// that reuses its slab slot. Client A enqueues a slow uncached job
+    /// and vanishes; client B reuses slot 0 (fresh slot ids from 0) while
+    /// A's job is still executing; only the slab generation bump keeps
+    /// A's stale completion out of B's reply slot.
+    #[test]
+    fn freed_slot_reuse_does_not_deliver_stale_completion() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        for round in 0..3u32 {
+            // A big all-ones ETC keeps the single worker busy for a while;
+            // one round-varied entry defeats the digest cache.
+            let row = ["1"; 64].join(",");
+            let mut etc: Vec<String> = (0..800).map(|_| format!("[{row}]")).collect();
+            etc[0] = format!("[{},{}]", round + 2, ["1"; 63].join(","));
+            let slow = format!(
+                "{{\"etc\":[{}],\"heuristic\":\"min-min\"}}\n",
+                etc.join(",")
+            );
+            let mut a = TcpStream::connect(addr).unwrap();
+            a.write_all(slow.as_bytes()).unwrap();
+            drop(a); // EOF right behind the request: the slot frees mid-flight
+            std::thread::sleep(Duration::from_millis(20));
+
+            // B reuses the freed slot; its own uncached job queues behind
+            // A's, leaving B's slot 0 pending exactly when A's stale
+            // completion (conn 0 / gen 0 / slot 0) comes back.
+            let reply = send_line(
+                addr,
+                &format!("{{\"etc\":[[{},1]],\"heuristic\":\"mct\"}}", round + 5),
+            );
+            let v = crate::json::parse(&reply).unwrap();
+            assert_eq!(
+                v.get("makespan").and_then(crate::json::Value::as_f64),
+                Some(1.0),
+                "round {round}: got a stale reply: {reply}"
+            );
+        }
+
+        server.stop();
+        server.join();
+    }
+
+    /// Regression (review): a peer that pipelines requests faster than it
+    /// reads replies gets paused (read-side backpressure), then everything
+    /// still drains to completion once it starts reading.
+    #[test]
+    fn backpressured_pipeline_still_drains_completely() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        const N: usize = 1500;
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Megabytes of reply owed before the first read: far past
+        // READ_BACKPRESSURE, so the loop must pause and resume this
+        // connection (the requests themselves are tiny and fit in the
+        // kernel buffers even while the daemon is not reading).
+        let burst = "{\"op\":\"metrics\"}\n".repeat(N);
+        stream.write_all(burst.as_bytes()).unwrap();
+
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        for i in 0..N {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"metrics\""), "reply {i}: {line}");
+        }
+
+        server.stop();
+        server.join();
+    }
+
+    /// Regression (review): with the idle sweep disabled, shutdown used to
+    /// wait forever on a peer that never reads its owed replies. The hard
+    /// drain deadline must unblock join().
+    #[test]
+    fn stalled_reader_does_not_hang_shutdown() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            idle_timeout: Duration::ZERO,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Owe the peer more reply bytes than loopback socket buffering
+        // absorbs, and never read them: has_pending() stays true.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all("{\"op\":\"metrics\"}\n".repeat(800).as_bytes())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+
+        server.stop();
+        let start = Instant::now();
+        server.join();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "join took {:?}",
+            start.elapsed()
+        );
+        drop(stream); // kept open until after join: the peer really stalled
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //!
 //! The surface is deliberately tiny — register/modify/deregister a file
 //! descriptor under a caller-chosen `u64` token, then [`Poller::wait`] for
-//! readiness [`Event`]s. All registrations are level-triggered and always
-//! include read interest; write interest is toggled per call, which is how
-//! the event loop arms `EPOLLOUT` only while a connection has unflushed
-//! reply bytes.
+//! readiness [`Event`]s. All registrations are level-triggered and start
+//! with read interest; [`Poller::modify`] toggles both directions, which
+//! is how the event loop arms `EPOLLOUT` only while a connection has
+//! unflushed reply bytes and drops `EPOLLIN` while a backpressured peer
+//! owes it a drain. Error/hangup conditions are always reported regardless
+//! of the armed interest set.
 
 #![allow(unsafe_code)]
 
@@ -101,9 +103,10 @@ enum Backend {
     /// Linux epoll instance; the `i32` is the epoll fd, closed on drop.
     #[cfg(target_os = "linux")]
     Epoll(i32, Vec<ffi::EpollEvent>),
-    /// Portable poll(2): the registration table is kept in userspace and
-    /// rebuilt into `pollfd`s on every wait.
-    Poll(Vec<(RawFd, u64, bool)>),
+    /// Portable poll(2): the registration table — `(fd, token, readable,
+    /// writable)` — is kept in userspace and rebuilt into `pollfd`s on
+    /// every wait.
+    Poll(Vec<(RawFd, u64, bool, bool)>),
 }
 
 /// A level-triggered readiness selector over raw fds.
@@ -146,29 +149,42 @@ impl Poller {
         }
     }
 
-    /// Starts watching `fd` under `token`; read interest always, write
+    /// Starts watching `fd` under `token`; read interest on, write
     /// interest iff `writable`.
     pub fn register(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
-            Backend::Epoll(epfd, _) => epoll_ctl(*epfd, ffi::EPOLL_CTL_ADD, fd, token, writable),
+            Backend::Epoll(epfd, _) => {
+                epoll_ctl(*epfd, ffi::EPOLL_CTL_ADD, fd, token, true, writable)
+            }
             Backend::Poll(table) => {
-                table.push((fd, token, writable));
+                table.push((fd, token, true, writable));
                 Ok(())
             }
         }
     }
 
-    /// Updates the write interest (and token) of an already registered fd.
-    pub fn modify(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+    /// Updates the read/write interest (and token) of an already
+    /// registered fd. Error/hangup reporting stays on even with both
+    /// directions disarmed.
+    pub fn modify(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
-            Backend::Epoll(epfd, _) => epoll_ctl(*epfd, ffi::EPOLL_CTL_MOD, fd, token, writable),
+            Backend::Epoll(epfd, _) => {
+                epoll_ctl(*epfd, ffi::EPOLL_CTL_MOD, fd, token, readable, writable)
+            }
             Backend::Poll(table) => {
                 for entry in table.iter_mut() {
                     if entry.0 == fd {
                         entry.1 = token;
-                        entry.2 = writable;
+                        entry.2 = readable;
+                        entry.3 = writable;
                         return Ok(());
                     }
                 }
@@ -183,9 +199,9 @@ impl Poller {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll(epfd, _) => {
-                let _ = epoll_ctl(*epfd, ffi::EPOLL_CTL_DEL, fd, 0, false);
+                let _ = epoll_ctl(*epfd, ffi::EPOLL_CTL_DEL, fd, 0, false, false);
             }
-            Backend::Poll(table) => table.retain(|&(f, _, _)| f != fd),
+            Backend::Poll(table) => table.retain(|&(f, ..)| f != fd),
         }
     }
 
@@ -224,9 +240,10 @@ impl Poller {
             Backend::Poll(table) => loop {
                 let mut fds: Vec<ffi::PollFd> = table
                     .iter()
-                    .map(|&(fd, _, writable)| ffi::PollFd {
+                    .map(|&(fd, _, readable, writable)| ffi::PollFd {
                         fd,
-                        events: ffi::POLLIN | if writable { ffi::POLLOUT } else { 0 },
+                        events: (if readable { ffi::POLLIN } else { 0 })
+                            | (if writable { ffi::POLLOUT } else { 0 }),
                         revents: 0,
                     })
                     .collect();
@@ -246,7 +263,7 @@ impl Poller {
                     }
                     return Err(e);
                 }
-                for (slot, &(_, token, _)) in fds.iter().zip(table.iter()) {
+                for (slot, &(_, token, ..)) in fds.iter().zip(table.iter()) {
                     let r = slot.revents;
                     if r == 0 {
                         continue;
@@ -275,9 +292,17 @@ impl Drop for Poller {
 }
 
 #[cfg(target_os = "linux")]
-fn epoll_ctl(epfd: i32, op: i32, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+fn epoll_ctl(
+    epfd: i32,
+    op: i32,
+    fd: RawFd,
+    token: u64,
+    readable: bool,
+    writable: bool,
+) -> io::Result<()> {
     let mut ev = ffi::EpollEvent {
-        events: ffi::EPOLLIN | if writable { ffi::EPOLLOUT } else { 0 },
+        events: (if readable { ffi::EPOLLIN } else { 0 })
+            | (if writable { ffi::EPOLLOUT } else { 0 }),
         data: token,
     };
     // SAFETY: `ev` is a valid epoll_event for the duration of the call
@@ -326,12 +351,33 @@ mod tests {
         );
 
         // Write interest reports writable on an idle socket.
-        poller.modify(server.as_raw_fd(), 7, true).unwrap();
+        poller.modify(server.as_raw_fd(), 7, true, true).unwrap();
         poller
             .wait(&mut events, Duration::from_millis(1000))
             .unwrap();
         assert!(
             events.iter().any(|e| e.token == 7 && e.writable),
+            "{events:?}"
+        );
+
+        // Disarming read interest silences readable reports even with
+        // unread bytes pending (the backpressure pause)...
+        poller.modify(server.as_raw_fd(), 7, false, false).unwrap();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(
+            events
+                .iter()
+                .all(|e| e.token != 7 || !(e.readable || e.writable)),
+            "{events:?}"
+        );
+        // ...and re-arming surfaces the still-buffered byte again
+        // (level-triggered).
+        poller.modify(server.as_raw_fd(), 7, true, false).unwrap();
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
             "{events:?}"
         );
 
