@@ -7,18 +7,26 @@
 //! versus `LoadTracker` probes and gate-then-recompute offspring costing.
 //!
 //! Besides the Criterion groups, the bench writes a machine-readable
-//! summary to `BENCH_search.json` at the repository root. `--smoke` skips
-//! Criterion and the summary rewrite entirely: it runs a fast small-size
-//! comparison asserting the delta kernel is never slower than naive, and
-//! validates that the checked-in `BENCH_search.json` still parses — the
-//! CI guardrail.
+//! summary to `BENCH_search.json` at the repository root. The file is
+//! written *merge-preserving* (see `hcs_bench::benchdoc`): the kernel
+//! comparison owns the `sizes` section and the parallel-engine comparison
+//! owns the `parallel` section, and a re-run of either leaves the other's
+//! results intact. `--parallel` re-measures only the parallel section;
+//! `--smoke` skips Criterion and every summary rewrite: it runs a fast
+//! small-size comparison asserting the delta kernel is never slower than
+//! naive, pins the parallel engines' determinism and thread_count=1
+//! equivalence, asserts island-Genitor speedup when the host has the
+//! cores for it, and validates that the checked-in `BENCH_search.json`
+//! still parses — the CI guardrail.
 
 use criterion::{BenchmarkId, Criterion};
+use hcs_bench::benchdoc::merge_preserving;
 use hcs_bench::study_scenario;
 use hcs_core::{Heuristic, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
-use hcs_genitor::{Genitor, GenitorConfig};
-use hcs_heuristics::{reference, Sa, SaConfig, Tabu, TabuConfig};
+use hcs_genitor::{Genitor, GenitorConfig, IslandConfig, IslandGenitor};
+use hcs_heuristics::{reference, MultiConfig, MultiSa, MultiTabu, Sa, SaConfig, Tabu, TabuConfig};
+use hcs_service::json::Value as JValue;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -362,18 +370,71 @@ const GENITOR_STEPS: usize = 32_000;
 const SA_STEPS: usize = 30_000;
 const TABU_HOPS: usize = 100;
 
-/// Builds a flat JSON object from key/value pairs (the stub-safe subset of
-/// `serde_json`: `Map` + `Value::from` + `Value::Object`).
-fn obj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
-    let mut map = serde_json::Map::new();
-    for (k, v) in pairs {
-        map.insert(k.to_string(), v);
+/// Builds a flat JSON object from key/value pairs (insertion-ordered, like
+/// every document in `hcs_service::json`).
+fn obj(pairs: Vec<(&str, JValue)>) -> JValue {
+    JValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(v: f64) -> JValue {
+    JValue::Number(v)
+}
+
+fn s(v: &str) -> JValue {
+    JValue::String(v.to_string())
+}
+
+/// Pretty-prints a JSON value with two-space indentation (the layout the
+/// checked-in `BENCH_search.json` has always used; `hcs_service::json`'s
+/// `Display` is compact, which is right for the wire but not for a file
+/// humans diff).
+fn pretty(v: &JValue, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match v {
+        JValue::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&format!("{}: ", JValue::String(k.clone())));
+                pretty(val, indent + 1, out);
+                out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&close);
+            out.push('}');
+        }
+        JValue::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                pretty(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&close);
+            out.push(']');
+        }
+        scalar => out.push_str(&scalar.to_string()),
     }
-    serde_json::Value::Object(map)
+}
+
+/// Writes the bench summary, preserving any top-level sections of the
+/// existing file that `fresh` does not redefine — so the kernel comparison
+/// and the parallel comparison can each be re-run without clobbering the
+/// other's section.
+fn write_merged_summary(fresh: JValue) {
+    let existing = std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|text| hcs_service::json::parse(text.trim_end()).ok());
+    let doc = merge_preserving(existing.as_ref(), fresh);
+    let mut out = String::new();
+    pretty(&doc, 0, &mut out);
+    out.push('\n');
+    std::fs::write(BENCH_PATH, out).expect("write BENCH_search.json");
+    println!("wrote {BENCH_PATH}");
 }
 
 fn write_search_summary() {
-    let mut sizes = serde_json::Map::new();
+    let mut sizes = Vec::new();
     let mut genitor_512_speedup = None;
     let mut sa_worst_speedup = f64::INFINITY;
     for (label, n_tasks, n_machines, runs) in [
@@ -382,7 +443,7 @@ fn write_search_summary() {
         ("1024x32", 1024, 32, 3),
     ] {
         let scenario = braun_inconsistent(n_tasks, n_machines);
-        let mut entry = serde_json::Map::new();
+        let mut entry = Vec::new();
         for (name, naive, delta) in
             measure_size(&scenario, runs, GENITOR_STEPS, SA_STEPS, TABU_HOPS)
         {
@@ -393,29 +454,27 @@ fn write_search_summary() {
             if name == "sa" {
                 sa_worst_speedup = sa_worst_speedup.min(speedup);
             }
-            entry.insert(
+            entry.push((
                 name.to_string(),
                 obj(vec![
-                    ("naive_secs", serde_json::Value::from(naive)),
-                    ("delta_secs", serde_json::Value::from(delta)),
-                    ("speedup", serde_json::Value::from(speedup)),
+                    ("naive_secs", num(naive)),
+                    ("delta_secs", num(delta)),
+                    ("speedup", num(speedup)),
                 ]),
-            );
+            ));
             println!("{label}/{name}: naive {naive:.4}s, delta {delta:.4}s, {speedup:.1}x");
         }
-        sizes.insert(label.to_string(), serde_json::Value::Object(entry));
+        sizes.push((label.to_string(), JValue::Object(entry)));
     }
 
-    let doc = obj(vec![
+    let fresh = obj(vec![
         (
             "benchmark",
-            serde_json::Value::from(
-                "naive vs delta-evaluation search kernel, Braun i-hihi, seed 42",
-            ),
+            s("naive vs delta-evaluation search kernel, Braun i-hihi, seed 42"),
         ),
         (
             "statistic",
-            serde_json::Value::from("median wall seconds per map call, identical searches"),
+            s("median wall seconds per map call, identical searches"),
         ),
         (
             "budgets",
@@ -425,43 +484,22 @@ fn write_search_summary() {
                     obj(vec![
                         (
                             "pop_size",
-                            serde_json::Value::from(
-                                bench_genitor_config(GENITOR_STEPS).pop_size as u64,
-                            ),
+                            num(bench_genitor_config(GENITOR_STEPS).pop_size as f64),
                         ),
-                        ("max_steps", serde_json::Value::from(GENITOR_STEPS as u64)),
+                        ("max_steps", num(GENITOR_STEPS as f64)),
                         (
                             "selection_bias",
-                            serde_json::Value::from(
-                                bench_genitor_config(GENITOR_STEPS).selection_bias,
-                            ),
+                            num(bench_genitor_config(GENITOR_STEPS).selection_bias),
                         ),
                     ]),
                 ),
-                (
-                    "sa",
-                    obj(vec![(
-                        "max_steps",
-                        serde_json::Value::from(SA_STEPS as u64),
-                    )]),
-                ),
-                (
-                    "tabu",
-                    obj(vec![(
-                        "max_hops",
-                        serde_json::Value::from(TABU_HOPS as u64),
-                    )]),
-                ),
+                ("sa", obj(vec![("max_steps", num(SA_STEPS as f64))])),
+                ("tabu", obj(vec![("max_hops", num(TABU_HOPS as f64))])),
             ]),
         ),
-        ("sizes", serde_json::Value::Object(sizes)),
+        ("sizes", JValue::Object(sizes)),
     ]);
-    std::fs::write(
-        BENCH_PATH,
-        serde_json::to_string_pretty(&doc).expect("serialize summary"),
-    )
-    .expect("write BENCH_search.json");
-    println!("wrote {BENCH_PATH}");
+    write_merged_summary(fresh);
 
     let speedup = genitor_512_speedup.expect("512x16 genitor entry measured");
     assert!(
@@ -474,6 +512,202 @@ fn write_search_summary() {
         sa_worst_speedup >= 1.0,
         "SA delta kernel must be >= 1.0x naive at every size, worst {sa_worst_speedup:.2}x"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engines: island-model Genitor and multi-restart SA/Tabu against
+// their single-threaded twins at equal total step budget.
+// ---------------------------------------------------------------------------
+
+/// Thread/island counts the parallel comparison sweeps.
+const PAR_UNITS: [usize; 4] = [1, 2, 4, 8];
+/// Total Genitor step budget, divided across islands.
+const PAR_GENITOR_STEPS: usize = GENITOR_STEPS;
+/// Total SA step budget, divided across restarts. Much larger than the
+/// kernel comparison's budget: a single 30k-step anneal finishes in
+/// ~0.2 ms, which thread-spawn overhead would swamp.
+const PAR_SA_STEPS: usize = 1_000_000;
+/// Total Tabu hop budget, divided across restarts.
+const PAR_TABU_HOPS: usize = 2_000;
+/// Island best-chromosome exchange period (steps between migrations).
+const PAR_MIGRATION_INTERVAL: usize = 250;
+
+/// SA config for the parallel comparison: no temperature floor, so the
+/// anneal is budget-bound and "equal total steps" means what it says
+/// (the default floor freezes the default schedule after ~5.6k steps,
+/// which thread-spawn overhead would swamp).
+fn par_sa_config(max_steps: usize) -> SaConfig {
+    SaConfig {
+        max_steps,
+        t_min_fraction: 0.0,
+        ..SaConfig::default()
+    }
+}
+
+/// One parallel family: a single-threaded baseline engine and a
+/// `units`-parameterised parallel variant at the same total budget.
+struct ParFamily {
+    name: &'static str,
+    single: Box<dyn Fn() -> Box<dyn Heuristic>>,
+    variant: Box<dyn Fn(usize) -> Box<dyn Heuristic>>,
+}
+
+fn par_families(genitor_steps: usize, sa_steps: usize, tabu_hops: usize) -> Vec<ParFamily> {
+    vec![
+        ParFamily {
+            name: "genitor-island",
+            single: Box::new(move || {
+                Box::new(Genitor::with_config(
+                    SEED,
+                    bench_genitor_config(genitor_steps),
+                ))
+            }),
+            variant: Box::new(move |units| {
+                Box::new(IslandGenitor::with_config(
+                    SEED,
+                    IslandConfig {
+                        islands: units,
+                        migration_interval: PAR_MIGRATION_INTERVAL,
+                        genitor: bench_genitor_config((genitor_steps / units).max(1)),
+                    },
+                ))
+            }),
+        },
+        ParFamily {
+            name: "sa-multi",
+            single: Box::new(move || Box::new(Sa::with_config(SEED, par_sa_config(sa_steps)))),
+            variant: Box::new(move |units| {
+                let restarts = MultiConfig::restarts_for(units);
+                Box::new(MultiSa::with_config(
+                    SEED,
+                    MultiConfig {
+                        threads: units,
+                        restarts,
+                        adopt: true,
+                    },
+                    par_sa_config((sa_steps / restarts).max(1)),
+                ))
+            }),
+        },
+        ParFamily {
+            name: "tabu-multi",
+            single: Box::new(move || {
+                Box::new(Tabu::with_config(SEED, bench_tabu_config(tabu_hops)))
+            }),
+            variant: Box::new(move |units| {
+                let restarts = MultiConfig::restarts_for(units);
+                Box::new(MultiTabu::with_config(
+                    SEED,
+                    MultiConfig {
+                        threads: units,
+                        restarts,
+                        adopt: true,
+                    },
+                    bench_tabu_config((tabu_hops / restarts).max(1)),
+                ))
+            }),
+        },
+    ]
+}
+
+/// Maps a fresh instance and returns the final mapping's objective value
+/// alongside it.
+fn map_valued(h: &mut dyn Heuristic, scenario: &Scenario) -> (hcs_core::Mapping, f64) {
+    let owned = scenario.full_instance();
+    let inst = owned.as_instance(scenario);
+    let mut tb = TieBreaker::Deterministic;
+    let mapping = h.map(&inst, &mut tb);
+    let value = mapping
+        .objective_value(inst.etc, inst.ready, inst.machines, inst.objective)
+        .get();
+    (mapping, value)
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Measures every parallel family against its single-threaded twin and
+/// writes the `parallel` section of `BENCH_search.json` (merge-preserving:
+/// the kernel comparison's sections survive). Every configuration is run
+/// twice first and asserted bit-identical — the determinism contract holds
+/// on whatever host runs the bench, regardless of core count.
+fn write_parallel_summary() {
+    let scenario = braun_inconsistent(512, 16);
+    let runs = 5;
+    let mut engines = Vec::new();
+    for family in par_families(PAR_GENITOR_STEPS, PAR_SA_STEPS, PAR_TABU_HOPS) {
+        let (_, single_value) = map_valued(&mut *(family.single)(), &scenario);
+        let single_secs = median_secs(runs, || {
+            black_box(map_valued(&mut *(family.single)(), &scenario));
+        });
+        let mut per_units = Vec::new();
+        for units in PAR_UNITS {
+            let (a, value) = map_valued(&mut *(family.variant)(units), &scenario);
+            let (b, _) = map_valued(&mut *(family.variant)(units), &scenario);
+            assert_eq!(
+                a.order(),
+                b.order(),
+                "{} at {units} units: two identically-seeded runs diverged",
+                family.name
+            );
+            let secs = median_secs(runs, || {
+                black_box(map_valued(&mut *(family.variant)(units), &scenario));
+            });
+            let speedup = single_secs / secs;
+            let quality_delta_pct = (value - single_value) / single_value * 100.0;
+            println!(
+                "parallel/{}/{units}: {secs:.4}s ({speedup:.2}x), quality {quality_delta_pct:+.3}%",
+                family.name
+            );
+            per_units.push((
+                units.to_string(),
+                obj(vec![
+                    ("secs", num(secs)),
+                    ("speedup", num(speedup)),
+                    ("value", num(value)),
+                    ("quality_delta_pct", num(quality_delta_pct)),
+                ]),
+            ));
+        }
+        engines.push((
+            family.name.to_string(),
+            obj(vec![
+                ("single_secs", num(single_secs)),
+                ("single_value", num(single_value)),
+                ("threads", JValue::Object(per_units)),
+            ]),
+        ));
+    }
+
+    let fresh =
+        obj(vec![(
+            "parallel",
+            obj(vec![
+            (
+                "benchmark",
+                s("parallel search engines vs single-threaded twins, equal total step budget, \
+                   Braun i-hihi 512x16, seed 42"),
+            ),
+            (
+                "statistic",
+                s("median wall seconds per map call; quality_delta_pct = \
+                   (parallel - single) / single objective value"),
+            ),
+            ("host_cores", num(host_cores() as f64)),
+            (
+                "budgets",
+                obj(vec![
+                    ("genitor_steps", num(PAR_GENITOR_STEPS as f64)),
+                    ("sa_steps", num(PAR_SA_STEPS as f64)),
+                    ("tabu_hops", num(PAR_TABU_HOPS as f64)),
+                    ("migration_interval", num(PAR_MIGRATION_INTERVAL as f64)),
+                ]),
+            ),
+            ("engines", JValue::Object(engines)),
+        ]),
+        )]);
+    write_merged_summary(fresh);
 }
 
 /// `--smoke`: the CI guardrail. Small sizes, tiny budgets, hard asserts.
@@ -525,7 +759,142 @@ fn smoke() {
         speedup >= 5.0,
         "checked-in BENCH_search.json records only {speedup:.2}x for Genitor at 512x16"
     );
-    println!("smoke ok: delta <= naive in flat (64x8) and tree (256x256) mode; BENCH_search.json well-formed");
+
+    smoke_parallel(&doc);
+    println!(
+        "smoke ok: delta <= naive in flat (64x8) and tree (256x256) mode; parallel engines \
+         deterministic and pinned to their single-threaded twins; BENCH_search.json well-formed"
+    );
+}
+
+/// Parallel-engine smoke: determinism and thread_count=1 equivalence are
+/// asserted unconditionally; the wall-clock speedup gate only runs when
+/// the host actually has the cores to show one (CI runners do; a 1-core
+/// container cannot and measures honest ~1x).
+fn smoke_parallel(doc: &tinyjson::J) {
+    let scenario = braun_inconsistent(64, 8);
+    for family in par_families(2_000, 40_000, 200) {
+        // thread_count=1 at the full budget is bit-identical to the
+        // single-threaded engine (islands=1 delegates; one restart on one
+        // lane replays the same RNG stream).
+        let (single, _) = map_valued(&mut *(family.single)(), &scenario);
+        let (one, _) = map_valued(&mut *(family.variant)(1), &scenario);
+        if family.name == "genitor-island" {
+            assert_eq!(
+                single.order(),
+                one.order(),
+                "islands=1 must replay the single-threaded Genitor bit-for-bit"
+            );
+        }
+        for units in PAR_UNITS {
+            let (a, va) = map_valued(&mut *(family.variant)(units), &scenario);
+            let (b, vb) = map_valued(&mut *(family.variant)(units), &scenario);
+            assert_eq!(
+                a.order(),
+                b.order(),
+                "{} at {units} units: repeated runs must be bit-identical",
+                family.name
+            );
+            assert_eq!(va, vb, "{} at {units} units: values diverged", family.name);
+        }
+        println!(
+            "smoke/parallel/{}: deterministic at 1/2/4/8 units",
+            family.name
+        );
+    }
+    // Exact thread_count=1 pins for the multi engines need restarts=1 (the
+    // roster's restarts_for(1) = 2 runs a second restart on the same lane).
+    let (sa_single, _) = map_valued(
+        &mut Sa::with_config(SEED, bench_sa_config(40_000)),
+        &scenario,
+    );
+    let one = MultiConfig {
+        threads: 1,
+        restarts: 1,
+        adopt: true,
+    };
+    let (sa_one, _) = map_valued(
+        &mut MultiSa::with_config(SEED, one, bench_sa_config(40_000)),
+        &scenario,
+    );
+    assert_eq!(
+        sa_single.order(),
+        sa_one.order(),
+        "one restart on one lane must replay single-threaded SA bit-for-bit"
+    );
+    let (tabu_single, _) = map_valued(
+        &mut Tabu::with_config(SEED, bench_tabu_config(200)),
+        &scenario,
+    );
+    let (tabu_one, _) = map_valued(
+        &mut MultiTabu::with_config(SEED, one, bench_tabu_config(200)),
+        &scenario,
+    );
+    assert_eq!(
+        tabu_single.order(),
+        tabu_one.order(),
+        "one restart on one lane must replay single-threaded Tabu bit-for-bit"
+    );
+
+    // Wall-clock gate: at >= 4 cores, island Genitor at 4 islands must run
+    // the same total budget at >= 2x the single-threaded engine.
+    if host_cores() >= 4 {
+        let big = braun_inconsistent(512, 16);
+        let fams = par_families(PAR_GENITOR_STEPS, PAR_SA_STEPS, PAR_TABU_HOPS);
+        let island = &fams[0];
+        let single_secs = median_secs(3, || {
+            black_box(map_valued(&mut *(island.single)(), &big));
+        });
+        let four_secs = median_secs(3, || {
+            black_box(map_valued(&mut *(island.variant)(4), &big));
+        });
+        let speedup = single_secs / four_secs;
+        println!(
+            "smoke/parallel/genitor-island@4: {speedup:.2}x on {} cores",
+            host_cores()
+        );
+        assert!(
+            speedup >= 2.0,
+            "island Genitor at 4 islands must be >= 2x single-threaded at equal budget \
+             on a {}-core host, measured {speedup:.2}x",
+            host_cores()
+        );
+    } else {
+        println!(
+            "smoke/parallel: speedup gate skipped on a {}-core host (needs >= 4)",
+            host_cores()
+        );
+    }
+
+    // The checked-in parallel section stays well-formed.
+    let parallel = doc.get("parallel");
+    assert!(
+        parallel
+            .get("host_cores")
+            .as_f64()
+            .is_some_and(|v| v >= 1.0),
+        "BENCH_search.json missing parallel.host_cores"
+    );
+    for name in ["genitor-island", "sa-multi", "tabu-multi"] {
+        let engine = parallel.get("engines").get(name);
+        assert!(
+            engine.get("single_secs").as_f64().is_some_and(|v| v > 0.0),
+            "BENCH_search.json missing positive parallel.engines.{name}.single_secs"
+        );
+        for units in PAR_UNITS {
+            let entry = engine.get("threads").get(&units.to_string());
+            for key in ["secs", "speedup"] {
+                assert!(
+                    entry.get(key).as_f64().is_some_and(|v| v > 0.0),
+                    "BENCH_search.json missing positive parallel.engines.{name}.threads.{units}.{key}"
+                );
+            }
+            assert!(
+                entry.get("quality_delta_pct").as_f64().is_some(),
+                "BENCH_search.json missing parallel.engines.{name}.threads.{units}.quality_delta_pct"
+            );
+        }
+    }
 }
 
 fn bench_search(c: &mut Criterion) {
@@ -546,13 +915,19 @@ fn bench_search(c: &mut Criterion) {
 }
 
 fn main() {
-    // `--smoke` is ours, not Criterion's: intercept before its arg parser.
+    // `--smoke` and `--parallel` are ours, not Criterion's: intercept
+    // before its arg parser.
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if std::env::args().any(|a| a == "--parallel") {
+        write_parallel_summary();
         return;
     }
     let mut criterion = Criterion::default().configure_from_args();
     bench_search(&mut criterion);
     criterion.final_summary();
     write_search_summary();
+    write_parallel_summary();
 }

@@ -4,6 +4,7 @@
 //! cargo run --release -p hcs-bench --bin experiments \
 //!     [-- --exp x1|x2|x3|x4|x6|all] [--tasks N] [--machines M] [--trials T] [--seed S]
 //!     [--per-class HEURISTIC] [--objective NAME] [--large] [--json FILE]
+//!     [--threads N] [--islands N] [--migration-interval N]
 //!
 //! With `--json FILE`, every study's raw rows are additionally written as
 //! one JSON document (for archiving or downstream plotting). `--large`
@@ -21,8 +22,8 @@ use hcs_core::Objective;
 
 use hcs_bench::{
     dynamic_study, genitor_study, makespan_tie_study, production_study, seedguard_study,
-    study_genitor_config, study_genitor_config_large, tiebreak_study, try_make_heuristic,
-    StudyDims,
+    study_genitor_config, study_genitor_config_large, tiebreak_study, try_make_search_heuristic,
+    SearchConfigError, SearchKnobs, StudyDims,
 };
 
 fn main() {
@@ -54,18 +55,45 @@ fn main() {
         .unwrap_or(2007);
     let json_path = parse_flag(&args, "--json");
     let per_class = parse_flag(&args, "--per-class");
-    if let Some(h) = &per_class {
-        // Reject a misspelled name before any study burns CPU on X1.
-        if let Err(e) = try_make_heuristic(h, seed) {
-            eprintln!("--per-class: {e}");
-            std::process::exit(2);
-        }
-    }
     let ga_config = if args.iter().any(|a| a == "--large") {
         study_genitor_config_large()
     } else {
         study_genitor_config()
     };
+    let mut knobs = SearchKnobs::default();
+    if let Some(v) = parse_flag(&args, "--threads") {
+        knobs.threads = v.parse().expect("--threads takes an integer");
+    }
+    if let Some(v) = parse_flag(&args, "--islands") {
+        knobs.islands = v.parse().expect("--islands takes an integer");
+    }
+    if let Some(v) = parse_flag(&args, "--migration-interval") {
+        knobs.migration_interval = v
+            .parse()
+            .expect("--migration-interval takes an integer (0 disables migration)");
+    }
+    // Reject unusable parallel knobs before any study burns CPU — the same
+    // typed-error exit path as an unknown heuristic or objective.
+    if knobs.threads == 0 {
+        eprintln!("--threads: {}", SearchConfigError::InvalidThreads);
+        std::process::exit(2);
+    }
+    if knobs.islands == 0 || knobs.islands > ga_config.pop_size {
+        let e = SearchConfigError::InvalidIslands {
+            islands: knobs.islands,
+            pop_size: ga_config.pop_size,
+        };
+        eprintln!("--islands: {e}");
+        std::process::exit(2);
+    }
+    if let Some(h) = &per_class {
+        // Reject a misspelled name before any study burns CPU on X1. The
+        // search roster also accepts the parallel engine names here.
+        if let Err(e) = try_make_search_heuristic(h, seed, &knobs) {
+            eprintln!("--per-class: {e}");
+            std::process::exit(2);
+        }
+    }
     let mut json = serde_json::Map::new();
     json.insert("tasks".into(), dims.n_tasks.into());
     json.insert("machines".into(), dims.n_machines.into());
@@ -92,7 +120,7 @@ fn main() {
             serde_json::to_value(&rows).expect("serialize x1"),
         );
         if let Some(h) = &per_class {
-            let rows = tiebreak_study::run_per_class(h, dims, seed);
+            let rows = tiebreak_study::run_per_class_with(h, dims, seed, &knobs);
             println!("{}", tiebreak_study::per_class_table(h, &rows, dims));
             json.insert(
                 "x1b".into(),

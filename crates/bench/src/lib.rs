@@ -24,6 +24,7 @@ pub mod workloads;
 
 pub use roster::{
     greedy_roster, make_heuristic, study_genitor_config, study_genitor_config_large,
-    try_make_heuristic, UnknownHeuristic,
+    try_make_heuristic, try_make_search_heuristic, SearchConfigError, SearchKnobs,
+    UnknownHeuristic,
 };
 pub use workloads::{study_classes, study_scenario, StudyDims};

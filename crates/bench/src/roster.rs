@@ -1,7 +1,8 @@
 //! The heuristic roster used by the studies.
 
 use hcs_core::Heuristic;
-use hcs_genitor::{Genitor, GenitorConfig};
+use hcs_genitor::{Genitor, GenitorConfig, IslandConfig, IslandGenitor};
+use hcs_heuristics::{MultiConfig, MultiSa, MultiTabu};
 
 /// Names of the greedy heuristics in study order (the paper's seven study
 /// subjects first — Genitor is handled separately because it needs a seed
@@ -33,7 +34,7 @@ impl std::fmt::Display for UnknownHeuristic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown heuristic {:?}; known names: {}, Genitor, Tabu",
+            "unknown heuristic {:?}; known names: {}, Genitor, Tabu, genitor-island, sa-multi, tabu-multi",
             self.name,
             greedy_roster().join(", ")
         )
@@ -60,6 +61,148 @@ pub fn try_make_heuristic(name: &str, seed: u64) -> Result<Box<dyn Heuristic>, U
     hcs_heuristics::by_name(name).ok_or_else(|| UnknownHeuristic {
         name: name.to_string(),
     })
+}
+
+/// Parallel-search knobs (`--threads`, `--islands`,
+/// `--migration-interval`) for the engines behind the `genitor-island`,
+/// `sa-multi` and `tabu-multi` roster names.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SearchKnobs {
+    /// Worker threads for the multi-restart engines (restart count is
+    /// [`MultiConfig::restarts_for`]`(threads)` — two waves per lane).
+    pub threads: usize,
+    /// Island count for the island-model Genitor.
+    pub islands: usize,
+    /// Steps between island best-chromosome exchanges; `0` disables
+    /// migration.
+    pub migration_interval: usize,
+}
+
+impl Default for SearchKnobs {
+    fn default() -> Self {
+        SearchKnobs {
+            threads: 4,
+            islands: 4,
+            migration_interval: 500,
+        }
+    }
+}
+
+/// A parallel-search configuration the roster refuses to build — the typed
+/// twin of [`UnknownHeuristic`] for the `--threads`/`--islands` flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchConfigError {
+    /// The heuristic name matched nothing (see [`UnknownHeuristic`]).
+    Unknown(UnknownHeuristic),
+    /// `--threads 0`: the worker pool needs at least one lane.
+    InvalidThreads,
+    /// `--islands` of zero, or more islands than the population holds
+    /// chromosomes (each island runs a full population).
+    InvalidIslands {
+        /// The rejected island count.
+        islands: usize,
+        /// The per-island population size the count was checked against.
+        pop_size: usize,
+    },
+}
+
+impl std::fmt::Display for SearchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchConfigError::Unknown(e) => e.fmt(f),
+            SearchConfigError::InvalidThreads => {
+                write!(f, "--threads must be at least 1")
+            }
+            SearchConfigError::InvalidIslands { islands, pop_size } => write!(
+                f,
+                "--islands must be in 1..={pop_size} (the population size), got {islands}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchConfigError {}
+
+impl From<UnknownHeuristic> for SearchConfigError {
+    fn from(e: UnknownHeuristic) -> Self {
+        SearchConfigError::Unknown(e)
+    }
+}
+
+/// [`try_make_heuristic`] extended with the parallel-search roster:
+/// `genitor-island`, `sa-multi` and `tabu-multi` (case-insensitive), built
+/// from `knobs` at **equal total budget** — the study engine's step/hop
+/// budget is divided across islands/restarts, so a parallel run costs the
+/// same total search steps as its single-threaded twin and speedup comes
+/// only from concurrency. Every other name falls through to
+/// [`try_make_heuristic`].
+pub fn try_make_search_heuristic(
+    name: &str,
+    seed: u64,
+    knobs: &SearchKnobs,
+) -> Result<Box<dyn Heuristic>, SearchConfigError> {
+    if name.eq_ignore_ascii_case("genitor-island") {
+        let base = study_genitor_config();
+        if knobs.islands == 0 || knobs.islands > base.pop_size {
+            return Err(SearchConfigError::InvalidIslands {
+                islands: knobs.islands,
+                pop_size: base.pop_size,
+            });
+        }
+        let genitor = GenitorConfig {
+            max_steps: (base.max_steps / knobs.islands).max(1),
+            stall_steps: (base.stall_steps / knobs.islands).max(1),
+            ..base
+        };
+        return Ok(Box::new(IslandGenitor::with_config(
+            seed,
+            IslandConfig {
+                islands: knobs.islands,
+                migration_interval: knobs.migration_interval,
+                genitor,
+            },
+        )));
+    }
+    if knobs.threads == 0
+        && (name.eq_ignore_ascii_case("sa-multi") || name.eq_ignore_ascii_case("tabu-multi"))
+    {
+        return Err(SearchConfigError::InvalidThreads);
+    }
+    if name.eq_ignore_ascii_case("sa-multi") {
+        let restarts = MultiConfig::restarts_for(knobs.threads);
+        let base = hcs_heuristics::SaConfig::default();
+        let sa = hcs_heuristics::SaConfig {
+            max_steps: (base.max_steps / restarts).max(1),
+            ..base
+        };
+        return Ok(Box::new(MultiSa::with_config(
+            seed,
+            MultiConfig {
+                threads: knobs.threads,
+                restarts,
+                adopt: true,
+            },
+            sa,
+        )));
+    }
+    if name.eq_ignore_ascii_case("tabu-multi") {
+        let restarts = MultiConfig::restarts_for(knobs.threads);
+        let base = hcs_heuristics::TabuConfig::default();
+        let tabu = hcs_heuristics::TabuConfig {
+            max_hops: (base.max_hops / restarts).max(1),
+            ..base
+        };
+        return Ok(Box::new(MultiTabu::with_config(
+            seed,
+            MultiConfig {
+                threads: knobs.threads,
+                restarts,
+                adopt: true,
+            },
+            tabu,
+        )));
+    }
+    Ok(try_make_heuristic(name, seed)?)
 }
 
 /// Instantiates a heuristic by name, like [`try_make_heuristic`].
@@ -122,6 +265,53 @@ mod tests {
         for (name, expect) in [("tabu", "Tabu"), ("GENITOR", "Genitor"), ("sa", "SA")] {
             let h = try_make_heuristic(name, 7).expect(name);
             assert_eq!(h.name(), expect);
+        }
+    }
+
+    #[test]
+    fn search_roster_instantiates_the_parallel_names() {
+        let knobs = SearchKnobs::default();
+        for (name, expect) in [
+            ("genitor-island", "Genitor-Island"),
+            ("SA-MULTI", "SA-Multi"),
+            ("Tabu-Multi", "Tabu-Multi"),
+            ("min-min", "Min-Min"),
+        ] {
+            let h = try_make_search_heuristic(name, 7, &knobs).expect(name);
+            assert_eq!(h.name(), expect);
+        }
+    }
+
+    #[test]
+    fn search_roster_rejects_invalid_knobs_with_typed_errors() {
+        let zero_threads = SearchKnobs {
+            threads: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            try_make_search_heuristic("sa-multi", 0, &zero_threads).err(),
+            Some(SearchConfigError::InvalidThreads)
+        );
+        let zero_islands = SearchKnobs {
+            islands: 0,
+            ..Default::default()
+        };
+        match try_make_search_heuristic("genitor-island", 0, &zero_islands).err() {
+            Some(SearchConfigError::InvalidIslands { islands: 0, .. }) => {}
+            other => panic!("expected InvalidIslands, got {other:?}"),
+        }
+        let too_many = SearchKnobs {
+            islands: study_genitor_config().pop_size + 1,
+            ..Default::default()
+        };
+        let err = try_make_search_heuristic("genitor-island", 0, &too_many)
+            .err()
+            .expect("oversized island count must be rejected");
+        assert!(err.to_string().contains("--islands"), "{err}");
+        // Unknown names still surface as such.
+        match try_make_search_heuristic("nope", 0, &SearchKnobs::default()).err() {
+            Some(SearchConfigError::Unknown(e)) => assert_eq!(e.name, "nope"),
+            other => panic!("expected Unknown, got {other:?}"),
         }
     }
 

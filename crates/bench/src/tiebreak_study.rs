@@ -23,7 +23,7 @@ use serde::Serialize;
 use hcs_analysis::{run_trials_with, OnlineStats, OutcomeMetrics, TextTable};
 use hcs_core::{iterative, MapWorkspace, TieBreaker};
 
-use crate::roster::{greedy_roster, make_heuristic};
+use crate::roster::{greedy_roster, make_heuristic, SearchKnobs};
 use crate::workloads::{study_classes, study_scenario, StudyDims};
 
 /// Aggregated row for one heuristic.
@@ -136,12 +136,27 @@ pub struct ClassRow {
 
 /// Per-class behaviour of a single heuristic under deterministic ties.
 pub fn run_per_class(heuristic: &str, dims: StudyDims, base_seed: u64) -> Vec<ClassRow> {
+    run_per_class_with(heuristic, dims, base_seed, &SearchKnobs::default())
+}
+
+/// [`run_per_class`] with explicit parallel-search knobs, so the
+/// `genitor-island` / `sa-multi` / `tabu-multi` roster names run under the
+/// caller's `--threads`/`--islands` settings. The knobs must already have
+/// been validated (`experiments` does this up front); an invalid
+/// combination panics here.
+pub fn run_per_class_with(
+    heuristic: &str,
+    dims: StudyDims,
+    base_seed: u64,
+    knobs: &SearchKnobs,
+) -> Vec<ClassRow> {
     study_classes(dims)
         .iter()
         .map(|spec| {
             let results = run_trials_with(base_seed, dims.trials, MapWorkspace::new, |ws, seed| {
                 let scenario = study_scenario(spec, seed).with_objective(dims.objective);
-                let mut h = make_heuristic(heuristic, seed);
+                let mut h = crate::roster::try_make_search_heuristic(heuristic, seed, knobs)
+                    .unwrap_or_else(|e| panic!("per-class roster: {e}"));
                 let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
                     .workspace(ws)
                     .execute()

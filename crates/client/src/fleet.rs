@@ -17,7 +17,10 @@
 //! * [`FleetClient`] — owns one lazily-connected [`Client`] per shard,
 //!   routes [`Client::map`]/[`Client::map_batch`] by digest, tracks
 //!   per-node health, and **fails over to the next ring node only for
-//!   retryable [`ErrorKind`]s**. Terminal errors (protocol breakage, a
+//!   retryable [`ErrorKind`]s**. Health also drives candidate selection:
+//!   a node with three or more consecutive failures is demoted behind
+//!   every healthier node in the failover sequence (tried only as a last
+//!   resort) until its next success restores it. Terminal errors (protocol breakage, a
 //!   deterministic server failure) surface immediately: retrying the same
 //!   bytes against a different shard cannot help and would double the
 //!   damage. [`FleetClient::drain`] chains per-node SHUTDOWN in reverse
@@ -58,6 +61,12 @@ use crate::{Client, ClientConfig, ClientError, ErrorKind, MapReply};
 /// Distinct rids whose hop timelines are retained; older rids are evicted
 /// first-in-first-out once the table is full.
 const HOP_CAPACITY: usize = 1024;
+
+/// Consecutive failures after which a node is demoted during candidate
+/// selection: it drops behind every healthier node in a key's failover
+/// sequence (still tried as a last resort) until one success resets the
+/// streak and restores its ring position.
+const SKIP_AFTER: u64 = 3;
 
 /// Tuning for a [`FleetClient`].
 #[derive(Clone, Debug)]
@@ -413,6 +422,21 @@ impl FleetClient {
         })
     }
 
+    /// `sequence` reordered by health: nodes whose consecutive-failure
+    /// streak is under [`SKIP_AFTER`] keep their ring order up front;
+    /// nodes at or past it are appended behind them (ring order among
+    /// themselves) as a last resort, so a fleet whose every node is
+    /// flapping still tries them all rather than failing without a
+    /// request. Health is read at call time — one success anywhere resets
+    /// that node's streak and restores its normal position on the next
+    /// request.
+    fn route_order(&self, sequence: &[usize]) -> Vec<usize> {
+        let healthy = |&i: &usize| self.nodes[i].health.consecutive_failures < SKIP_AFTER;
+        let mut order: Vec<usize> = sequence.iter().copied().filter(healthy).collect();
+        order.extend(sequence.iter().copied().filter(|i| !healthy(i)));
+        order
+    }
+
     fn record_ok(&mut self, idx: usize) {
         let h = &mut self.nodes[idx].health;
         h.requests += 1;
@@ -465,13 +489,17 @@ impl FleetClient {
 
     /// Maps one instance through the fleet: send to the digest's owner,
     /// hop to the next ring node only while failures stay retryable.
-    /// Every attempt is recorded in the request's hop timeline under its
-    /// rid (assigned here when the request carries none).
+    /// Candidates are health-ordered first (see [`SKIP_AFTER`]): a node
+    /// that has failed three or more exchanges in a row is skipped ahead
+    /// of — demoted behind — every healthier node until a success resets
+    /// its streak. Every attempt is recorded in the request's hop
+    /// timeline under its rid (assigned here when the request carries
+    /// none).
     pub fn map(&mut self, request: &MapRequest) -> Result<MapReply, FleetError> {
         let rid = self.rid_for(request);
         let mut request = request.clone();
         request.rid = Some(rid);
-        let sequence = self.ring.sequence(request.digest());
+        let sequence = self.route_order(&self.ring.sequence(request.digest()));
         let tries = self.tries_for(sequence.len());
         let mut tried = Vec::new();
         let mut last: Option<(ErrorKind, String)> = None;
@@ -533,7 +561,7 @@ impl FleetClient {
         let mut results: Vec<Option<Result<MapReply, FleetError>>> = (0..n).map(|_| None).collect();
         let sequences: Vec<Vec<usize>> = requests
             .iter()
-            .map(|r| self.ring.sequence(r.digest()))
+            .map(|r| self.route_order(&self.ring.sequence(r.digest())))
             .collect();
         let mut position = vec![0usize; n];
         let mut tried: Vec<Vec<String>> = vec![Vec::new(); n];
@@ -1107,6 +1135,36 @@ mod tests {
             bad.get("last_error").and_then(Value::as_str),
             Some("Connect")
         );
+    }
+
+    #[test]
+    fn route_order_bypasses_a_flapping_node_and_restores_it_on_success() {
+        let mut fleet = FleetClient::new(&addrs(3));
+        let seq = vec![0, 1, 2];
+        assert_eq!(fleet.route_order(&seq), vec![0, 1, 2]);
+        // Under the threshold the streak changes nothing: the owner is
+        // still tried first.
+        fleet.record_err(0, ErrorKind::Connect);
+        fleet.record_err(0, ErrorKind::Deadline);
+        assert_eq!(fleet.route_order(&seq), vec![0, 1, 2]);
+        // The third consecutive failure demotes the flapping owner to
+        // last resort — candidates now start at the next ring node.
+        fleet.record_err(0, ErrorKind::Connect);
+        assert_eq!(fleet.route_order(&seq), vec![1, 2, 0]);
+        // The demotion is per-key-sequence, not a global mask: another
+        // key whose owner is healthy keeps its own order.
+        assert_eq!(fleet.route_order(&[2, 0, 1]), vec![2, 1, 0]);
+        // One success resets the streak and restores ring position.
+        fleet.record_ok(0);
+        assert_eq!(fleet.route_order(&seq), vec![0, 1, 2]);
+        // A fully flapping fleet degrades to plain ring order rather
+        // than refusing to route.
+        for idx in 0..3 {
+            for _ in 0..SKIP_AFTER {
+                fleet.record_err(idx, ErrorKind::Connect);
+            }
+        }
+        assert_eq!(fleet.route_order(&seq), vec![0, 1, 2]);
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod iterative;
 pub mod loads;
 pub mod mapping;
 pub mod objective;
+pub mod parallel;
 pub mod ready;
 pub mod select;
 pub mod tiebreak;
@@ -103,6 +104,7 @@ pub use iterative::{IterativeConfig, IterativeOutcome, IterativeRun, MakespanTie
 pub use loads::{LoadTracker, MoveUndo};
 pub use mapping::{CompletionTimes, Mapping};
 pub use objective::Objective;
+pub use parallel::{split_stream, splitmix64, Incumbent};
 pub use ready::ReadyTimes;
 pub use tiebreak::TieBreaker;
 pub use time::Time;

@@ -1,0 +1,229 @@
+//! Coordination primitives for the parallel search engines: deterministic
+//! per-worker RNG seed streams and the lock-free shared incumbent.
+//!
+//! Every parallel engine in this workspace (the island-model Genitor in
+//! `hcs-genitor`, the multi-restart SA/Tabu in `hcs-heuristics`) is
+//! required to be a **pure function of `(seed, thread_count)`** — the OS
+//! scheduler must never be able to change a mapping. These primitives are
+//! the shared vocabulary that makes the contract checkable:
+//!
+//! * [`split_stream`] derives the per-island / per-restart seeds. Stream 0
+//!   is the base seed itself, so a one-unit parallel run drives *exactly*
+//!   the RNG stream of the existing single-threaded engine — that is what
+//!   lets the equivalence suites pin `thread_count = 1` bit-identical.
+//! * [`Incumbent`] is the lock-free best-so-far slot the restarts publish
+//!   into: a single `AtomicU64` CAS-updated with an objective-value-tagged
+//!   word, ties broken by seed index. It is **advisory** — engines use it
+//!   for cross-thread visibility and the monotonicity property tests, and
+//!   compute their final answer from the per-run results (exact values,
+//!   deterministic tie-break), never from the slot. That division of labor
+//!   is what lets the slot quantize its payload to fit one atomic word
+//!   without `unsafe` or a 128-bit CAS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::Time;
+
+/// The splitmix64 finalizer: a cheap, high-quality bijective mixer
+/// (Steele, Lea & Flood 2014 — the stream-splitting generator recommended
+/// for seeding other PRNGs). Used to decorrelate per-worker seed streams.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The `k`-th seed stream split off `base`.
+///
+/// Stream 0 **is** the base seed — a parallel engine run with one
+/// island/restart therefore seeds its single worker exactly as the plain
+/// single-threaded engine would, which is what the `thread_count = 1 ≡
+/// single-threaded` equivalence pins rely on. Streams `k ≥ 1` walk the
+/// splitmix64 generator sequence seeded at `base` (increment `k` times,
+/// finalize), so distinct workers get decorrelated, reproducible seeds.
+pub fn split_stream(base: u64, k: usize) -> u64 {
+    if k == 0 {
+        base
+    } else {
+        splitmix64(base.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// Number of low mantissa bits of the objective value the incumbent slot
+/// trades for the seed-index tag (see [`Incumbent`]).
+const TAG_BITS: u32 = 16;
+
+/// The lock-free shared incumbent: one atomic word holding the best
+/// objective value published so far, tagged with the seed index that
+/// published it.
+///
+/// # Packing
+///
+/// A non-negative IEEE-754 `f64` orders by its raw bit pattern, so the
+/// slot packs `(value, seed)` as
+///
+/// ```text
+/// word = (value.to_bits() & !0xFFFF) | seed
+/// ```
+///
+/// — the value's top 48 bits (sign, exponent, 36 mantissa bits) followed
+/// by the 16-bit seed index. Integer comparison on the word is then
+/// lexicographic comparison on *(quantized value, seed index)*: strictly
+/// smaller values always win, and among publishes whose values agree in
+/// their top 48 bits the **lower seed index** wins — the deterministic
+/// tie-break the parallel engines require. [`Incumbent::publish`] installs
+/// a word only when it is strictly smaller than the current one
+/// (compare-and-swap loop), so the slot's value is monotone non-increasing
+/// over any interleaving, and its final content is the minimum over all
+/// published pairs — independent of scheduling.
+///
+/// # Quantization
+///
+/// Dropping 16 mantissa bits costs at most a relative error of 2⁻³⁶ in the
+/// stored value. The slot is advisory (telemetry, monotonicity tests,
+/// "has anyone beaten X yet" reads); the engines keep exact per-run values
+/// and pick their final winner by `(exact value, seed index)` outside the
+/// slot, so the quantization can never change a returned mapping.
+#[derive(Debug, Default)]
+pub struct Incumbent {
+    /// `u64::MAX` when empty (compares greater than every packed word —
+    /// `f64::INFINITY` packs to `0x7FF0…`, well below it).
+    word: AtomicU64,
+}
+
+impl Incumbent {
+    /// An empty incumbent.
+    pub fn new() -> Incumbent {
+        Incumbent {
+            word: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn pack(value: Time, seed: u16) -> u64 {
+        let v = value.get();
+        debug_assert!(v >= 0.0, "objective values are non-negative times");
+        (v.to_bits() >> TAG_BITS << TAG_BITS) | u64::from(seed)
+    }
+
+    /// Publishes `(value, seed)`; returns whether the slot moved (the pair
+    /// was a strict improvement in the packed order). Lock-free: a failed
+    /// CAS re-reads and retries only while the candidate still improves.
+    pub fn publish(&self, value: Time, seed: u16) -> bool {
+        let packed = Incumbent::pack(value, seed);
+        let mut current = self.word.load(Ordering::Relaxed);
+        while packed < current {
+            match self.word.compare_exchange_weak(
+                current,
+                packed,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+        false
+    }
+
+    /// The current `(quantized value, seed index)`, or `None` while no one
+    /// has published.
+    pub fn load(&self) -> Option<(Time, u16)> {
+        let word = self.word.load(Ordering::Acquire);
+        if word == u64::MAX {
+            return None;
+        }
+        let value = f64::from_bits(word >> TAG_BITS << TAG_BITS);
+        Some((Time::new(value), (word & 0xFFFF) as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_zero_is_the_base_seed() {
+        for base in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(split_stream(base, 0), base);
+        }
+    }
+
+    #[test]
+    fn streams_are_distinct_and_reproducible() {
+        let seeds: Vec<u64> = (0..64).map(|k| split_stream(7, k)).collect();
+        let again: Vec<u64> = (0..64).map(|k| split_stream(7, k)).collect();
+        assert_eq!(seeds, again);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "seed streams must not collide");
+    }
+
+    #[test]
+    fn empty_incumbent_loads_none() {
+        assert_eq!(Incumbent::new().load(), None);
+    }
+
+    #[test]
+    fn publish_keeps_the_minimum_and_breaks_ties_by_seed() {
+        let slot = Incumbent::new();
+        assert!(slot.publish(Time::new(10.0), 3));
+        assert_eq!(slot.load(), Some((Time::new(10.0), 3)));
+        // A worse value never displaces the incumbent.
+        assert!(!slot.publish(Time::new(11.0), 0));
+        assert_eq!(slot.load(), Some((Time::new(10.0), 3)));
+        // The same value from a lower seed index wins the tie...
+        assert!(slot.publish(Time::new(10.0), 1));
+        assert_eq!(slot.load(), Some((Time::new(10.0), 1)));
+        // ...and from a higher one does not.
+        assert!(!slot.publish(Time::new(10.0), 2));
+        // A strictly better value always lands, whatever the seed.
+        assert!(slot.publish(Time::new(9.5), 9));
+        assert_eq!(slot.load(), Some((Time::new(9.5), 9)));
+    }
+
+    #[test]
+    fn publishes_are_monotone_under_concurrency() {
+        // 8 publisher threads × 200 publishes each; every observed load is
+        // <= the one before it (per observer), and the final content is the
+        // global minimum with its lowest publishing seed.
+        let slot = Incumbent::new();
+        std::thread::scope(|s| {
+            for t in 0..8u16 {
+                let slot = &slot;
+                s.spawn(move || {
+                    let mut last: Option<(Time, u16)> = None;
+                    for i in 0..200u64 {
+                        let v =
+                            Time::new(((splitmix64(u64::from(t) * 1000 + i) % 10_000) + 1) as f64);
+                        slot.publish(v, t);
+                        let now = slot.load().expect("published at least once");
+                        if let Some(prev) = last {
+                            assert!(
+                                now.0 <= prev.0,
+                                "incumbent regressed: {} -> {}",
+                                prev.0,
+                                now.0
+                            );
+                        }
+                        last = Some(now);
+                    }
+                });
+            }
+        });
+        // Recompute the expected winner sequentially.
+        let expected = (0..8u16)
+            .flat_map(|t| {
+                (0..200u64).map(move |i| {
+                    (
+                        Time::new(((splitmix64(u64::from(t) * 1000 + i) % 10_000) + 1) as f64),
+                        t,
+                    )
+                })
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+            .expect("non-empty");
+        assert_eq!(slot.load(), Some(expected));
+    }
+}

@@ -1,0 +1,437 @@
+//! Island-model Genitor: N independent populations on scoped threads with
+//! periodic best-chromosome migration over a ring (DESIGN.md §16).
+//!
+//! Each island runs the unmodified delta-evaluation Genitor loop
+//! ([`Genitor::map_observed_migrating`]) on its own RNG stream
+//! ([`hcs_core::split_stream`]); every `migration_interval` steps island
+//! `i` publishes its best chromosome into its exchange slot and receives
+//! the best of island `i − 1` (ring topology). Migration happens at fixed
+//! step counts and the exchange protocol is *blocking* — island `i`'s
+//! round-`r` migrant is exactly island `i − 1`'s round-`r` best (or the
+//! final best of an island that stopped before round `r`), never
+//! "whatever happened to be there" — so the whole search is a pure
+//! function of `(seed, islands)`: the OS scheduler cannot change any
+//! mapping.
+//!
+//! # The exchange slot protocol
+//!
+//! Slot `i` is written by island `i` and read by island `(i + 1) % N`:
+//!
+//! ```text
+//! struct Slot { published: AtomicU64, consumed: AtomicU64, payload: Mutex<…> }
+//! ```
+//!
+//! Round `r` (counting from 1), island `i`:
+//!
+//! 1. wait until `slot[i].consumed ≥ r − 1` (the reader has drained the
+//!    previous round — the payload may be overwritten),
+//! 2. write the best chromosome into `slot[i].payload`, store
+//!    `published = r`,
+//! 3. wait until `slot[i − 1].published ≥ r`, read the migrant,
+//! 4. store `slot[i − 1].consumed = r`.
+//!
+//! An island that stops early (stall break) exits the ring by **first**
+//! storing `consumed = MAX` into the slot it reads (its predecessor can
+//! never block on it again), *then* waiting for its own reader to drain
+//! every published round, and only then freezing its final best into its
+//! slot with `published = MAX`. `MAX` trivially satisfies every later
+//! wait, so two adjacent islands exiting simultaneously release each
+//! other and a surviving island keeps reading the frozen final best —
+//! no deadlock, no lost round, and the hand-off stays deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hcs_core::{split_stream, Heuristic, Instance, Mapping, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::{Genitor, GenitorConfig};
+
+/// Tuning parameters for [`IslandGenitor`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IslandConfig {
+    /// Number of islands (each one scoped thread running an independent
+    /// Genitor population). `1` disables migration entirely and runs the
+    /// single-threaded engine bit-identically.
+    pub islands: usize,
+    /// Steps between best-chromosome exchanges; `0` disables migration
+    /// (islands evolve fully independently and only the final winner is
+    /// compared).
+    pub migration_interval: usize,
+    /// The per-island Genitor configuration. `max_steps` is the budget of
+    /// **each island**: callers comparing against a single-threaded run at
+    /// equal total budget should divide the total by `islands`.
+    pub genitor: GenitorConfig,
+}
+
+impl Default for IslandConfig {
+    fn default() -> Self {
+        IslandConfig {
+            islands: 4,
+            migration_interval: 500,
+            genitor: GenitorConfig::default(),
+        }
+    }
+}
+
+/// The island-model parallel Genitor. Owns one persistent [`Genitor`] per
+/// island (RNG streams and iterative-technique seeding survive across
+/// `map` calls, exactly like the single-threaded engine); after every map
+/// the globally best mapping is written back into **every** island's
+/// remembered seed, so the iterative driver's monotone-seeding guarantee
+/// holds for the ensemble as a whole.
+#[derive(Debug)]
+pub struct IslandGenitor {
+    config: IslandConfig,
+    islands: Vec<Genitor>,
+}
+
+impl IslandGenitor {
+    /// An island Genitor with explicit configuration. Island `k` draws its
+    /// RNG seed from [`split_stream`]`(seed, k)` — stream 0 *is* the base
+    /// seed, so `islands == 1` reproduces `Genitor::with_config(seed, …)`
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `islands == 0` or `islands > genitor.pop_size` (each
+    /// island must hold a full population; more islands than chromosomes
+    /// per population is a configuration error), or when the inner
+    /// [`GenitorConfig`] is itself invalid.
+    pub fn with_config(seed: u64, config: IslandConfig) -> Self {
+        assert!(config.islands >= 1, "need at least one island");
+        assert!(
+            config.islands <= config.genitor.pop_size,
+            "more islands than chromosomes per population"
+        );
+        let islands = (0..config.islands)
+            .map(|k| Genitor::with_config(split_stream(seed, k), config.genitor))
+            .collect();
+        IslandGenitor { config, islands }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IslandConfig {
+        &self.config
+    }
+
+    /// Clears every island's remembered mapping (fresh start).
+    pub fn reset(&mut self) {
+        for island in &mut self.islands {
+            island.reset();
+        }
+    }
+
+    /// Whether a previous mapping is remembered for seeding.
+    pub fn has_seed(&self) -> bool {
+        self.islands[0].has_seed()
+    }
+}
+
+/// One ring exchange slot (see the module docs for the protocol).
+struct Slot {
+    /// Rounds published into `payload`; `u64::MAX` once the writer exited
+    /// (the payload then holds the writer's frozen final best).
+    published: AtomicU64,
+    /// Rounds drained by the reader; `u64::MAX` once the reader exited.
+    consumed: AtomicU64,
+    /// The published best: chromosome and its fitness.
+    payload: Mutex<(Vec<u16>, Time)>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            published: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+            payload: Mutex::new((Vec::new(), Time::ZERO)),
+        }
+    }
+}
+
+/// Spin-then-yield wait: the migration rendezvous is short relative to an
+/// interval's worth of search steps, and yielding keeps oversubscribed
+/// hosts (more islands than cores) live.
+fn wait_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins = spins.saturating_add(1);
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One island's run: the migrating Genitor loop plus the ring entry/exit
+/// protocol. Returns the island's final mapping and objective value.
+fn run_island(
+    g: &mut Genitor,
+    inst: &Instance<'_>,
+    slots: &[Slot],
+    me: usize,
+    interval: usize,
+) -> (Mapping, Time) {
+    let n = slots.len();
+    let prev = (me + n - 1) % n;
+    let mut rounds_done = 0u64;
+    let mapping = {
+        let rounds_done = &mut rounds_done;
+        g.map_observed_migrating(
+            inst,
+            &mut TieBreaker::Deterministic,
+            |_, _| {},
+            interval,
+            move |round, best, fit| {
+                *rounds_done = round;
+                wait_until(|| slots[me].consumed.load(Ordering::Acquire) >= round - 1);
+                {
+                    let mut p = slots[me].payload.lock().expect("slot poisoned");
+                    p.0.clear();
+                    p.0.extend_from_slice(best);
+                    p.1 = fit;
+                }
+                slots[me].published.store(round, Ordering::Release);
+                wait_until(|| slots[prev].published.load(Ordering::Acquire) >= round);
+                let migrant = slots[prev].payload.lock().expect("slot poisoned").0.clone();
+                slots[prev].consumed.store(round, Ordering::Release);
+                Some(migrant)
+            },
+        )
+    };
+    let value = mapping.objective_value(inst.etc, inst.ready, inst.machines, inst.objective);
+
+    // Ring exit: release the predecessor FIRST (it must never block on a
+    // finished reader), drain our own reader, then freeze the final best.
+    slots[prev].consumed.store(u64::MAX, Ordering::Release);
+    wait_until(|| slots[me].consumed.load(Ordering::Acquire) >= rounds_done);
+    {
+        let mut p = slots[me].payload.lock().expect("slot poisoned");
+        p.0.clear();
+        p.0.extend(inst.tasks.iter().map(|&task| {
+            let m = mapping.machine_of(task).expect("mapping covers instance");
+            inst.machines
+                .iter()
+                .position(|&mm| mm == m)
+                .expect("machine belongs to instance") as u16
+        }));
+        p.1 = value;
+    }
+    slots[me].published.store(u64::MAX, Ordering::Release);
+
+    (mapping, value)
+}
+
+impl Heuristic for IslandGenitor {
+    fn name(&self) -> &'static str {
+        "Genitor-Island"
+    }
+
+    /// Runs every island to completion on scoped threads, picks the winner
+    /// by `(objective value, island index)` — strictly smaller value wins,
+    /// the lowest island breaks ties — and re-seeds every island with it.
+    fn map(&mut self, inst: &Instance<'_>, tb: &mut TieBreaker) -> Mapping {
+        let winner = if self.islands.len() == 1 {
+            // The single-island fast path: no ring, no threads — the exact
+            // code path (and RNG stream) of the single-threaded engine.
+            self.islands[0].map(inst, tb)
+        } else {
+            let interval = self.config.migration_interval;
+            let slots: Vec<Slot> = (0..self.islands.len()).map(|_| Slot::new()).collect();
+            let slots = &slots;
+            let mut results: Vec<Option<(Mapping, Time)>> =
+                (0..self.islands.len()).map(|_| None).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .islands
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, island)| {
+                        s.spawn(move || run_island(island, inst, slots, k, interval))
+                    })
+                    .collect();
+                for (slot, handle) in results.iter_mut().zip(handles) {
+                    *slot = Some(handle.join().expect("island thread panicked"));
+                }
+            });
+            let (mut winner, mut best) = results[0].take().expect("island 0 ran");
+            for result in &mut results[1..] {
+                let (mapping, value) = result.take().expect("island ran");
+                if value < best {
+                    winner = mapping;
+                    best = value;
+                }
+            }
+            winner
+        };
+        // Every island restarts the next (iterative-technique) round from
+        // the ensemble's best — the monotone-seeding guarantee then holds
+        // island-wise, hence for the minimum too.
+        for island in &mut self.islands {
+            island.last_mapping = Some(winner.clone());
+        }
+        winner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn scenario(tasks: usize, machines: usize) -> Scenario {
+        let rows: Vec<Vec<f64>> = (0..tasks)
+            .map(|t| {
+                (0..machines)
+                    .map(|m| (((t * 31 + m * 17) % 23) + 1) as f64)
+                    .collect()
+            })
+            .collect();
+        Scenario::with_zero_ready(EtcMatrix::from_rows(&rows).unwrap())
+    }
+
+    fn quick() -> GenitorConfig {
+        GenitorConfig {
+            pop_size: 24,
+            max_steps: 600,
+            stall_steps: 600,
+            eval_threads: 1,
+            ..GenitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_island_is_bit_identical_to_the_single_threaded_engine() {
+        let s = scenario(24, 5);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut plain = Genitor::with_config(42, quick());
+        let mut island = IslandGenitor::with_config(
+            42,
+            IslandConfig {
+                islands: 1,
+                migration_interval: 100,
+                genitor: quick(),
+            },
+        );
+        // Two successive maps: the second exercises seeding continuity.
+        for _ in 0..2 {
+            let a = plain.map(&inst, &mut TieBreaker::Deterministic);
+            let b = island.map(&inst, &mut TieBreaker::Deterministic);
+            assert_eq!(a.order(), b.order());
+        }
+    }
+
+    #[test]
+    fn multi_island_is_deterministic_and_valid() {
+        let s = scenario(24, 5);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let run = || {
+            let mut island = IslandGenitor::with_config(
+                7,
+                IslandConfig {
+                    islands: 3,
+                    migration_interval: 50,
+                    genitor: quick(),
+                },
+            );
+            island.map(&inst, &mut TieBreaker::Deterministic)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.order(), b.order(), "same (seed, islands) must agree");
+        a.validate(&owned.tasks, &owned.machines).unwrap();
+    }
+
+    #[test]
+    fn migration_disabled_still_terminates_and_picks_the_best() {
+        let s = scenario(16, 4);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut island = IslandGenitor::with_config(
+            9,
+            IslandConfig {
+                islands: 4,
+                migration_interval: 0,
+                genitor: quick(),
+            },
+        );
+        let ensemble = island.map(&inst, &mut TieBreaker::Deterministic);
+        let ensemble_value = ensemble.makespan(&s.etc, &s.initial_ready, &owned.machines);
+        // The ensemble winner is no worse than stream-0 alone.
+        let mut solo = Genitor::with_config(9, quick());
+        let solo_map = solo.map(&inst, &mut TieBreaker::Deterministic);
+        let solo_value = solo_map.makespan(&s.etc, &s.initial_ready, &owned.machines);
+        assert!(ensemble_value <= solo_value);
+    }
+
+    #[test]
+    fn islands_with_uneven_stop_steps_do_not_deadlock() {
+        // A tiny stall budget makes islands exit the ring at different
+        // rounds; the exit protocol must keep the survivors live.
+        let s = scenario(20, 4);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut island = IslandGenitor::with_config(
+            11,
+            IslandConfig {
+                islands: 4,
+                migration_interval: 10,
+                genitor: GenitorConfig {
+                    pop_size: 16,
+                    max_steps: 2_000,
+                    stall_steps: 25,
+                    eval_threads: 1,
+                    ..GenitorConfig::default()
+                },
+            },
+        );
+        let a = island.map(&inst, &mut TieBreaker::Deterministic);
+        a.validate(&owned.tasks, &owned.machines).unwrap();
+        // And it is still reproducible.
+        let mut again = IslandGenitor::with_config(
+            11,
+            IslandConfig {
+                islands: 4,
+                migration_interval: 10,
+                genitor: GenitorConfig {
+                    pop_size: 16,
+                    max_steps: 2_000,
+                    stall_steps: 25,
+                    eval_threads: 1,
+                    ..GenitorConfig::default()
+                },
+            },
+        );
+        let b = again.map(&inst, &mut TieBreaker::Deterministic);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn zero_islands_rejected() {
+        let _ = IslandGenitor::with_config(
+            0,
+            IslandConfig {
+                islands: 0,
+                migration_interval: 0,
+                genitor: quick(),
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more islands than chromosomes")]
+    fn more_islands_than_population_rejected() {
+        let _ = IslandGenitor::with_config(
+            0,
+            IslandConfig {
+                islands: 25,
+                migration_interval: 0,
+                genitor: quick(),
+            },
+        );
+    }
+}

@@ -66,7 +66,10 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+pub mod island;
 pub mod reference;
+
+pub use island::{IslandConfig, IslandGenitor};
 
 use hcs_core::{Heuristic, Instance, Mapping, TieBreaker, Time};
 use rand::rngs::StdRng;
@@ -341,8 +344,33 @@ impl Genitor {
     pub fn map_observed(
         &mut self,
         inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        observe: impl FnMut(Time, Time),
+    ) -> Mapping {
+        self.map_observed_migrating(inst, tb, observe, 0, |_, _, _| None)
+    }
+
+    /// [`map_observed`](Genitor::map_observed) with a migration seam for the
+    /// island model ([`island::IslandGenitor`]).
+    ///
+    /// When `interval > 0`, after every `interval`-th step the search calls
+    /// `exchange(round, best_chromosome, best_fitness)` — `round` counts
+    /// from 1 — and, if the callback returns a migrant chromosome (same
+    /// instance, machine indices in range), evaluates it from scratch and
+    /// inserts it into the sorted population under the usual elitist rule.
+    /// Both the callback and the insertion are **outside the RNG stream**:
+    /// an `interval` of `0` never invokes `exchange` and runs the exact
+    /// instruction sequence of [`map_observed`] (which delegates here), so
+    /// a one-island run is bit-identical to the single-threaded engine.
+    /// Migration happens at fixed step counts *before* the stall check, so
+    /// which rounds fire is a deterministic function of the trajectory.
+    pub fn map_observed_migrating(
+        &mut self,
+        inst: &Instance<'_>,
         _tb: &mut TieBreaker,
         mut observe: impl FnMut(Time, Time),
+        interval: usize,
+        mut exchange: impl FnMut(u64, &[u16], Time) -> Option<Vec<u16>>,
     ) -> Mapping {
         let n_tasks = inst.tasks.len();
         let n_machines = inst.machines.len();
@@ -453,7 +481,7 @@ impl Genitor {
         let mut scratch: Vec<f64> = Vec::new();
         let mut counts_scratch: Vec<u32> = Vec::new();
 
-        for _ in 0..self.config.max_steps {
+        for step in 0..self.config.max_steps {
             // (a) Crossover: child_a = pb-prefix + pa-suffix, child_b the
             // converse. Scanning the shorter side for differing genes finds
             // every position where a child departs from its nearer parent.
@@ -610,6 +638,29 @@ impl Genitor {
                 let fit = e.fit;
                 if insert_entry(&mut pop, e, cap, &mut pool) {
                     observe(fit, pop[0].fit);
+                }
+            }
+
+            // Migration (island model only): exchange bests at fixed step
+            // counts. A migrant enters through the same elitist insert as
+            // any offspring; no RNG is drawn on this path.
+            if interval > 0 && (step + 1) % interval == 0 {
+                let round = ((step + 1) / interval) as u64;
+                if let Some(migrant) = exchange(round, &pop[0].chrom, pop[0].fit) {
+                    debug_assert_eq!(migrant.len(), n_tasks, "migrant covers the instance");
+                    let mut e = pool.pop().unwrap_or_else(|| Entry {
+                        fit: Time::ZERO,
+                        chrom: Vec::new(),
+                        loads: Vec::new(),
+                        counts: Vec::new(),
+                    });
+                    e.chrom.clear();
+                    e.chrom.extend_from_slice(&migrant);
+                    e.fit = eval_into(inst, &e.chrom, &mut e.loads, &mut e.counts);
+                    let fit = e.fit;
+                    if insert_entry(&mut pop, e, cap, &mut pool) {
+                        observe(fit, pop[0].fit);
+                    }
                 }
             }
 

@@ -1,0 +1,103 @@
+//! Determinism contract of the island-model parallel Genitor: for a fixed
+//! `(seed, islands)` pair the engine must be a pure function of its inputs
+//! — repeated runs reproduce the same mapping bit for bit regardless of
+//! thread scheduling — and `islands == 1` must replay the single-threaded
+//! [`Genitor`] exactly (RNG stream 0 *is* the base seed).
+
+use hcs_core::{EtcMatrix, Heuristic, Scenario, TieBreaker};
+use hcs_genitor::{Genitor, GenitorConfig, IslandConfig, IslandGenitor};
+use proptest::prelude::*;
+
+/// Random small-integer matrices (tie-rich, exact f64 arithmetic — the
+/// regime where any cross-thread nondeterminism in migration timing would
+/// surface as a divergent trajectory).
+fn integer_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=5, 2usize..=10).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=6, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            EtcMatrix::new(t, m, &flat).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// A tiny-but-live per-island budget: enough steps for several migration
+/// rounds to fire, small population so evictions happen constantly.
+fn quick_config() -> GenitorConfig {
+    GenitorConfig {
+        pop_size: 8,
+        max_steps: 90,
+        stall_steps: usize::MAX,
+        selection_bias: 1.6,
+        seed_minmin: false,
+        eval_threads: 1,
+    }
+}
+
+fn tb(seed: Option<u64>) -> TieBreaker {
+    match seed {
+        None => TieBreaker::Deterministic,
+        Some(x) => TieBreaker::random(x),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two fresh island engines with identical `(seed, islands,
+    /// migration_interval)` produce bit-identical mappings, run after run,
+    /// under both tie policies.
+    #[test]
+    fn island_runs_are_deterministic_for_fixed_seed_and_island_count(
+        etc in integer_etc(),
+        seed in 0u64..1_000_000,
+        islands in 1usize..=4,
+        interval in prop_oneof![Just(0usize), 5usize..=40],
+    ) {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let config = IslandConfig {
+            islands,
+            migration_interval: interval,
+            genitor: quick_config(),
+        };
+        for tb_seed in [None, Some(seed)] {
+            let first = IslandGenitor::with_config(seed, config)
+                .map(&inst, &mut tb(tb_seed));
+            for _ in 0..2 {
+                let again = IslandGenitor::with_config(seed, config)
+                    .map(&inst, &mut tb(tb_seed));
+                prop_assert_eq!(
+                    again.order(),
+                    first.order(),
+                    "repeated island run diverged (islands={}, interval={})",
+                    islands,
+                    interval
+                );
+            }
+        }
+    }
+
+    /// `islands == 1` is the single-threaded engine: the ensemble with one
+    /// island must replay `Genitor::with_config(seed, …)` bit for bit.
+    #[test]
+    fn one_island_is_bit_identical_to_the_single_threaded_engine(
+        etc in integer_etc(),
+        seed in 0u64..1_000_000,
+        interval in prop_oneof![Just(0usize), 5usize..=40],
+    ) {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let genitor = quick_config();
+        for tb_seed in [None, Some(seed)] {
+            let ensemble = IslandGenitor::with_config(
+                seed,
+                IslandConfig { islands: 1, migration_interval: interval, genitor },
+            )
+            .map(&inst, &mut tb(tb_seed));
+            let single = Genitor::with_config(seed, genitor).map(&inst, &mut tb(tb_seed));
+            prop_assert_eq!(ensemble.order(), single.order(), "islands=1 diverged");
+        }
+    }
+}

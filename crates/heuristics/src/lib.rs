@@ -56,6 +56,7 @@ pub mod maxmin;
 pub mod mct;
 pub mod met;
 pub mod minmin;
+pub mod multi;
 pub mod olb;
 pub mod reference;
 pub mod sa;
@@ -72,6 +73,7 @@ pub use maxmin::MaxMin;
 pub use mct::Mct;
 pub use met::Met;
 pub use minmin::MinMin;
+pub use multi::{MultiConfig, MultiSa, MultiTabu};
 pub use olb::Olb;
 pub use sa::{Sa, SaConfig};
 pub use smm::{SegmentKey, SegmentedMinMin};

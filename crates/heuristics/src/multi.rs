@@ -1,0 +1,473 @@
+//! Multi-restart SA and Tabu: K independent seeds fanned across a worker
+//! pool, publishing improvements into a lock-free shared incumbent
+//! (DESIGN.md §16).
+//!
+//! Restart `k` runs the unmodified single-threaded engine on RNG stream
+//! [`split_stream`]`(seed, k)` with its own `LoadTracker` — restarts share
+//! no search state, only the [`Incumbent`] slot they publish improvements
+//! into. The final answer is the minimum over all restarts by *(exact
+//! objective value, seed index)*, computed from the per-restart results —
+//! never read back from the (quantized, advisory) slot.
+//!
+//! # Lane-static scheduling and adoption
+//!
+//! The pool schedule is **lane-static**: worker `t` of `T` runs restarts
+//! `k ≡ t (mod T)` in increasing order. A late restart may *adopt* a
+//! start state ([`MultiConfig::adopt`]): it begins from the best final
+//! assignment among its own lane's completed predecessors instead of a
+//! random start. Because each lane is sequential, what a restart can see
+//! is a function of `(seed, threads)` alone — adopting from the *global*
+//! incumbent would make the start state a race. This is the standard
+//! determinism/greediness trade: with `adopt` off, results are identical
+//! for every thread count (the restarts are fully independent); with it
+//! on, they are pinned per `(seed, threads)`.
+
+use hcs_core::{split_stream, Heuristic, Incumbent, Instance, Mapping, TieBreaker, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::sa::{Sa, SaConfig};
+use crate::tabu::{Tabu, TabuConfig};
+
+/// Worker-pool parameters shared by [`MultiSa`] and [`MultiTabu`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiConfig {
+    /// Worker threads `T` (lanes). `1` runs every restart sequentially on
+    /// the calling thread's schedule.
+    pub threads: usize,
+    /// Restart count `K` (independent seeds). Restart 0 runs RNG stream 0
+    /// — the base seed — so `threads == 1 && restarts == 1` is
+    /// bit-identical to the single-threaded engine.
+    pub restarts: usize,
+    /// Whether late restarts adopt their lane's best completed result as
+    /// the start state (see the module docs for why lane-local).
+    pub adopt: bool,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        MultiConfig {
+            threads: 4,
+            restarts: 8,
+            adopt: true,
+        }
+    }
+}
+
+impl MultiConfig {
+    /// The conventional restart count for a pool of `threads` workers: two
+    /// waves, so every lane past the first wave exercises adoption.
+    pub fn restarts_for(threads: usize) -> usize {
+        threads.saturating_mul(2).max(1)
+    }
+
+    fn validate(&self) {
+        assert!(self.threads >= 1, "need at least one worker thread");
+        assert!(self.restarts >= 1, "need at least one restart");
+        assert!(
+            self.restarts <= usize::from(u16::MAX),
+            "restart count exceeds the incumbent tag width"
+        );
+    }
+}
+
+/// The final mapping translated back to a machine-index-per-task-position
+/// assignment (the engines' native start-state encoding).
+fn assignment_indices(mapping: &Mapping, inst: &Instance<'_>) -> Vec<usize> {
+    inst.tasks
+        .iter()
+        .map(|&task| {
+            let m = mapping.machine_of(task).expect("mapping covers instance");
+            inst.machines
+                .iter()
+                .position(|&mm| mm == m)
+                .expect("machine belongs to instance")
+        })
+        .collect()
+}
+
+/// The shared fan-out: lanes over scoped threads, lane-local adoption,
+/// incumbent publishes, and the deterministic `(value, seed index)` final
+/// reduction. `run` invokes one engine's `map_observed_from`, forwarding
+/// each observed objective value to the publish hook.
+fn run_restarts<E: Send>(
+    engines: &mut [E],
+    threads: usize,
+    adopt: bool,
+    inst: &Instance<'_>,
+    incumbent: &Incumbent,
+    run: impl Fn(&mut E, Option<&[usize]>, &mut dyn FnMut(Time)) -> Mapping + Sync,
+) -> Mapping {
+    let threads = threads.min(engines.len()).max(1);
+    let mut lanes: Vec<Vec<(usize, &mut E)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (k, engine) in engines.iter_mut().enumerate() {
+        lanes[k % threads].push((k, engine));
+    }
+    let run = &run;
+    let mut all: Vec<(Time, usize, Mapping)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                s.spawn(move || {
+                    let mut lane_best: Option<(Time, usize, Vec<usize>)> = None;
+                    let mut out: Vec<(Time, usize, Mapping)> = Vec::new();
+                    for (k, engine) in lane {
+                        let tag = k as u16;
+                        let start = if adopt {
+                            lane_best.as_ref().map(|(_, _, a)| a.clone())
+                        } else {
+                            None
+                        };
+                        let mapping = run(engine, start.as_deref(), &mut |value| {
+                            incumbent.publish(value, tag);
+                        });
+                        let value = mapping.objective_value(
+                            inst.etc,
+                            inst.ready,
+                            inst.machines,
+                            inst.objective,
+                        );
+                        incumbent.publish(value, tag);
+                        if lane_best.as_ref().is_none_or(|&(bv, _, _)| value < bv) {
+                            lane_best = Some((value, k, assignment_indices(&mapping, inst)));
+                        }
+                        out.push((value, k, mapping));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            all.extend(handle.join().expect("restart worker panicked"));
+        }
+    });
+    all.into_iter()
+        .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+        .expect("at least one restart ran")
+        .2
+}
+
+/// Multi-restart Simulated Annealing (see the module docs).
+#[derive(Clone, Debug)]
+pub struct MultiSa {
+    config: MultiConfig,
+    engines: Vec<Sa>,
+    last_incumbent: Option<(Time, u16)>,
+}
+
+impl MultiSa {
+    /// A multi-restart SA with default pool and engine configuration.
+    pub fn new(seed: u64) -> Self {
+        MultiSa::with_config(seed, MultiConfig::default(), SaConfig::default())
+    }
+
+    /// A multi-restart SA with explicit pool and per-restart configuration.
+    /// Restart `k` is `Sa::with_config(split_stream(seed, k), sa)`; the
+    /// engines persist across `map` calls, so RNG streams continue exactly
+    /// like a reused single-threaded engine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`, `restarts == 0`, `restarts > 65535`
+    /// (the incumbent tag width), or the inner [`SaConfig`] is invalid.
+    pub fn with_config(seed: u64, config: MultiConfig, sa: SaConfig) -> Self {
+        config.validate();
+        let engines = (0..config.restarts)
+            .map(|k| Sa::with_config(split_stream(seed, k), sa))
+            .collect();
+        MultiSa {
+            config,
+            engines,
+            last_incumbent: None,
+        }
+    }
+
+    /// The active pool configuration.
+    pub fn config(&self) -> &MultiConfig {
+        &self.config
+    }
+
+    /// The shared incumbent's final `(quantized value, seed index)` from
+    /// the most recent `map` call (telemetry; the returned mapping is
+    /// selected from exact values, see the module docs).
+    pub fn last_incumbent(&self) -> Option<(Time, u16)> {
+        self.last_incumbent
+    }
+}
+
+impl Heuristic for MultiSa {
+    fn name(&self) -> &'static str {
+        "SA-Multi"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+        let incumbent = Incumbent::new();
+        let mapping = run_restarts(
+            &mut self.engines,
+            self.config.threads,
+            self.config.adopt,
+            inst,
+            &incumbent,
+            |engine, start, publish| {
+                engine.map_observed_from(
+                    inst,
+                    &mut TieBreaker::Deterministic,
+                    start,
+                    |_, _, value| publish(value),
+                )
+            },
+        );
+        self.last_incumbent = incumbent.load();
+        mapping
+    }
+}
+
+/// Multi-restart Tabu Search (see the module docs).
+#[derive(Clone, Debug)]
+pub struct MultiTabu {
+    config: MultiConfig,
+    engines: Vec<Tabu>,
+    last_incumbent: Option<(Time, u16)>,
+}
+
+impl MultiTabu {
+    /// A multi-restart Tabu with default pool and engine configuration.
+    pub fn new(seed: u64) -> Self {
+        MultiTabu::with_config(seed, MultiConfig::default(), TabuConfig::default())
+    }
+
+    /// A multi-restart Tabu with explicit pool and per-restart
+    /// configuration; restart `k` is
+    /// `Tabu::with_config(split_stream(seed, k), tabu)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`, `restarts == 0`, `restarts > 65535`, or
+    /// the inner [`TabuConfig`] is invalid.
+    pub fn with_config(seed: u64, config: MultiConfig, tabu: TabuConfig) -> Self {
+        config.validate();
+        let engines = (0..config.restarts)
+            .map(|k| Tabu::with_config(split_stream(seed, k), tabu))
+            .collect();
+        MultiTabu {
+            config,
+            engines,
+            last_incumbent: None,
+        }
+    }
+
+    /// The active pool configuration.
+    pub fn config(&self) -> &MultiConfig {
+        &self.config
+    }
+
+    /// The shared incumbent's final `(quantized value, seed index)` from
+    /// the most recent `map` call.
+    pub fn last_incumbent(&self) -> Option<(Time, u16)> {
+        self.last_incumbent
+    }
+}
+
+impl Heuristic for MultiTabu {
+    fn name(&self) -> &'static str {
+        "Tabu-Multi"
+    }
+
+    fn map(&mut self, inst: &Instance<'_>, _tb: &mut TieBreaker) -> Mapping {
+        let incumbent = Incumbent::new();
+        let mapping = run_restarts(
+            &mut self.engines,
+            self.config.threads,
+            self.config.adopt,
+            inst,
+            &incumbent,
+            |engine, start, publish| {
+                engine.map_observed_from(
+                    inst,
+                    &mut TieBreaker::Deterministic,
+                    start,
+                    |_, _, value| publish(value),
+                )
+            },
+        );
+        self.last_incumbent = incumbent.load();
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcs_core::{EtcMatrix, Scenario};
+
+    fn scenario() -> Scenario {
+        let rows: Vec<Vec<f64>> = (0..18)
+            .map(|t| {
+                (0..4)
+                    .map(|m| (((t * 13 + m * 7) % 19) + 1) as f64)
+                    .collect()
+            })
+            .collect();
+        Scenario::with_zero_ready(EtcMatrix::from_rows(&rows).unwrap())
+    }
+
+    #[test]
+    fn single_thread_single_restart_is_bit_identical_to_sa() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut plain = Sa::new(42);
+        let mut multi = MultiSa::with_config(
+            42,
+            MultiConfig {
+                threads: 1,
+                restarts: 1,
+                adopt: true,
+            },
+            SaConfig::default(),
+        );
+        let a = plain.map(&inst, &mut TieBreaker::Deterministic);
+        let b = multi.map(&inst, &mut TieBreaker::Deterministic);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn single_thread_single_restart_is_bit_identical_to_tabu() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut plain = Tabu::new(42);
+        let mut multi = MultiTabu::with_config(
+            42,
+            MultiConfig {
+                threads: 1,
+                restarts: 1,
+                adopt: true,
+            },
+            TabuConfig::default(),
+        );
+        let a = plain.map(&inst, &mut TieBreaker::Deterministic);
+        let b = multi.map(&inst, &mut TieBreaker::Deterministic);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_thread_count() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let run = |threads| {
+            let mut multi = MultiSa::with_config(
+                7,
+                MultiConfig {
+                    threads,
+                    restarts: 6,
+                    adopt: true,
+                },
+                SaConfig::default(),
+            );
+            multi.map(&inst, &mut TieBreaker::Deterministic)
+        };
+        assert_eq!(run(3).order(), run(3).order());
+    }
+
+    #[test]
+    fn without_adoption_results_are_thread_count_invariant() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let run = |threads| {
+            let mut multi = MultiTabu::with_config(
+                9,
+                MultiConfig {
+                    threads,
+                    restarts: 5,
+                    adopt: false,
+                },
+                TabuConfig::default(),
+            );
+            multi.map(&inst, &mut TieBreaker::Deterministic)
+        };
+        let one = run(1);
+        assert_eq!(one.order(), run(2).order());
+        assert_eq!(one.order(), run(5).order());
+    }
+
+    #[test]
+    fn multi_restart_is_no_worse_than_restart_zero() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let machines = &owned.machines;
+        let solo = Sa::new(3)
+            .map(&inst, &mut TieBreaker::Deterministic)
+            .makespan(&s.etc, &s.initial_ready, machines);
+        let mut multi = MultiSa::with_config(
+            3,
+            MultiConfig {
+                threads: 2,
+                restarts: 4,
+                adopt: false,
+            },
+            SaConfig::default(),
+        );
+        let ensemble = multi.map(&inst, &mut TieBreaker::Deterministic).makespan(
+            &s.etc,
+            &s.initial_ready,
+            machines,
+        );
+        assert!(ensemble <= solo, "ensemble {ensemble} vs solo {solo}");
+    }
+
+    #[test]
+    fn incumbent_snapshot_is_populated_and_sane() {
+        let s = scenario();
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let mut multi = MultiTabu::with_config(
+            5,
+            MultiConfig {
+                threads: 2,
+                restarts: 4,
+                adopt: true,
+            },
+            TabuConfig::default(),
+        );
+        let mapping = multi.map(&inst, &mut TieBreaker::Deterministic);
+        let exact = mapping.makespan(&s.etc, &s.initial_ready, &owned.machines);
+        let (quantized, seed) = multi.last_incumbent().expect("restarts published");
+        assert!(usize::from(seed) < 4);
+        // The quantized incumbent can undershoot the exact winner by at
+        // most the 2^-36 relative tag truncation; it must never exceed it.
+        assert!(quantized <= exact);
+        assert!(quantized.get() >= exact.get() * (1.0 - 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_rejected() {
+        let _ = MultiSa::with_config(
+            0,
+            MultiConfig {
+                threads: 0,
+                restarts: 1,
+                adopt: true,
+            },
+            SaConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_rejected() {
+        let _ = MultiTabu::with_config(
+            0,
+            MultiConfig {
+                threads: 1,
+                restarts: 0,
+                adopt: true,
+            },
+            TabuConfig::default(),
+        );
+    }
+}

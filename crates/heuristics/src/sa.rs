@@ -87,7 +87,28 @@ impl Sa {
     pub fn map_observed(
         &mut self,
         inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        observe: impl FnMut(&[usize], &[Time], Time),
+    ) -> Mapping {
+        self.map_observed_from(inst, tb, None, observe)
+    }
+
+    /// [`map_observed`](Sa::map_observed) with an explicit start state: when
+    /// `initial` is `Some`, the anneal starts from that assignment (machine
+    /// index per task position, one entry per instance task) instead of
+    /// drawing a random one — the adoption seam for the multi-restart
+    /// driver, which may hand a late-starting seed the shared incumbent.
+    /// `None` runs the exact instruction (and RNG) sequence of
+    /// [`map_observed`], which delegates here. Note the start state changes
+    /// which RNG draws happen (a random start consumes `n_tasks` draws an
+    /// adopted one skips), so adopting is deterministic only when the
+    /// *decision* to adopt is — the multi-restart driver's lane schedule
+    /// guarantees that.
+    pub fn map_observed_from(
+        &mut self,
+        inst: &Instance<'_>,
         _tb: &mut TieBreaker,
+        initial: Option<&[usize]>,
         mut observe: impl FnMut(&[usize], &[Time], Time),
     ) -> Mapping {
         let n_tasks = inst.tasks.len();
@@ -101,12 +122,15 @@ impl Sa {
         // delta-evaluation kernel over per-machine finishing times. A
         // candidate move is *probed* read-only — the old code rescanned
         // all m machines and had to restore loads on rejection.
-        let mut assign: Vec<usize> = if self.config.seed_minmin {
-            minmin_assignment(inst)
-        } else {
-            (0..n_tasks)
+        let mut assign: Vec<usize> = match initial {
+            Some(start) => {
+                debug_assert_eq!(start.len(), n_tasks, "start state covers the instance");
+                start.to_vec()
+            }
+            None if self.config.seed_minmin => minmin_assignment(inst),
+            None => (0..n_tasks)
                 .map(|_| self.rng.gen_range(0..n_machines))
-                .collect()
+                .collect(),
         };
         let mut tracker = LoadTracker::new();
         tracker.rebuild(inst, &assign);

@@ -78,7 +78,23 @@ impl Tabu {
     pub fn map_observed(
         &mut self,
         inst: &Instance<'_>,
+        tb: &mut TieBreaker,
+        observe: impl FnMut(&[usize], &[Time], Time),
+    ) -> Mapping {
+        self.map_observed_from(inst, tb, None, observe)
+    }
+
+    /// [`map_observed`](Tabu::map_observed) with an explicit start state:
+    /// when `initial` is `Some`, the search starts its first short-hop
+    /// sweep from that assignment (machine index per task position) instead
+    /// of a random one — the adoption seam for the multi-restart driver.
+    /// `None` runs the exact instruction (and RNG) sequence of
+    /// [`map_observed`], which delegates here.
+    pub fn map_observed_from(
+        &mut self,
+        inst: &Instance<'_>,
         _tb: &mut TieBreaker,
+        initial: Option<&[usize]>,
         mut observe: impl FnMut(&[usize], &[Time], Time),
     ) -> Mapping {
         let n_tasks = inst.tasks.len();
@@ -88,9 +104,15 @@ impl Tabu {
             return mapping;
         }
 
-        let mut assign: Vec<usize> = (0..n_tasks)
-            .map(|_| self.rng.gen_range(0..n_machines))
-            .collect();
+        let mut assign: Vec<usize> = match initial {
+            Some(start) => {
+                debug_assert_eq!(start.len(), n_tasks, "start state covers the instance");
+                start.to_vec()
+            }
+            None => (0..n_tasks)
+                .map(|_| self.rng.gen_range(0..n_machines))
+                .collect(),
+        };
         // The delta-evaluation kernel: each candidate of the sweep below is
         // probed read-only — O(1) for most makespan moves via the hinted
         // probe, O(log m) tree / O(m) flat otherwise — instead of the old

@@ -1,0 +1,151 @@
+//! Determinism contract of the multi-restart SA/Tabu pools and the shared
+//! incumbent: for a fixed `(seed, threads)` pair the pools must be pure
+//! functions of their inputs (repeated runs bit-identical, regardless of
+//! which worker publishes first), `threads == 1 && restarts == 1` must
+//! replay the single-threaded engines exactly, and the lock-free
+//! [`Incumbent`] slot must be monotone non-increasing at every publish.
+
+use hcs_core::{EtcMatrix, Heuristic, Incumbent, Scenario, TieBreaker, Time};
+use hcs_heuristics::{MultiConfig, MultiSa, MultiTabu, Sa, SaConfig, Tabu, TabuConfig};
+use proptest::prelude::*;
+
+/// Random small-integer matrices (tie-rich, exact f64 arithmetic).
+fn integer_etc() -> impl Strategy<Value = EtcMatrix> {
+    (2usize..=5, 2usize..=10).prop_flat_map(|(m, t)| {
+        proptest::collection::vec(1u32..=6, t * m).prop_map(move |values| {
+            let flat: Vec<f64> = values.into_iter().map(f64::from).collect();
+            EtcMatrix::new(t, m, &flat).expect("strategy produces valid values")
+        })
+    })
+}
+
+/// Shrunk per-restart budgets so a proptest case stays fast while both
+/// accept paths (greedy/thermal, short/long hop) still fire.
+fn quick_sa() -> SaConfig {
+    SaConfig {
+        max_steps: 600,
+        sweep: 16,
+        ..SaConfig::default()
+    }
+}
+
+fn quick_tabu() -> TabuConfig {
+    TabuConfig {
+        max_hops: 60,
+        ..TabuConfig::default()
+    }
+}
+
+fn tb(seed: Option<u64>) -> TieBreaker {
+    match seed {
+        None => TieBreaker::Deterministic,
+        Some(x) => TieBreaker::random(x),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fresh pools with identical `(seed, threads, restarts)` reproduce
+    /// the same mapping run after run — worker scheduling must never leak
+    /// into the result.
+    #[test]
+    fn multi_restart_pools_are_deterministic_for_fixed_seed_and_threads(
+        etc in integer_etc(),
+        seed in 0u64..1_000_000,
+        threads in 1usize..=4,
+        adopt in prop_oneof![Just(false), Just(true)],
+    ) {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let config = MultiConfig {
+            threads,
+            restarts: MultiConfig::restarts_for(threads),
+            adopt,
+        };
+        for tb_seed in [None, Some(seed)] {
+            let sa_first = MultiSa::with_config(seed, config, quick_sa())
+                .map(&inst, &mut tb(tb_seed));
+            let tabu_first = MultiTabu::with_config(seed, config, quick_tabu())
+                .map(&inst, &mut tb(tb_seed));
+            for _ in 0..2 {
+                let sa_again = MultiSa::with_config(seed, config, quick_sa())
+                    .map(&inst, &mut tb(tb_seed));
+                prop_assert_eq!(
+                    sa_again.order(),
+                    sa_first.order(),
+                    "repeated SA-Multi run diverged (threads={})",
+                    threads
+                );
+                let tabu_again = MultiTabu::with_config(seed, config, quick_tabu())
+                    .map(&inst, &mut tb(tb_seed));
+                prop_assert_eq!(
+                    tabu_again.order(),
+                    tabu_first.order(),
+                    "repeated Tabu-Multi run diverged (threads={})",
+                    threads
+                );
+            }
+        }
+    }
+
+    /// `threads == 1 && restarts == 1` is the single-threaded engine:
+    /// restart 0 runs RNG stream 0 — the base seed — so the pool must
+    /// replay `Sa`/`Tabu` bit for bit.
+    #[test]
+    fn single_lane_single_restart_is_bit_identical_to_the_plain_engines(
+        etc in integer_etc(),
+        seed in 0u64..1_000_000,
+        adopt in prop_oneof![Just(false), Just(true)],
+    ) {
+        let s = Scenario::with_zero_ready(etc);
+        let owned = s.full_instance();
+        let inst = owned.as_instance(&s);
+        let config = MultiConfig { threads: 1, restarts: 1, adopt };
+        for tb_seed in [None, Some(seed)] {
+            let pooled = MultiSa::with_config(seed, config, quick_sa())
+                .map(&inst, &mut tb(tb_seed));
+            let plain = Sa::with_config(seed, quick_sa()).map(&inst, &mut tb(tb_seed));
+            prop_assert_eq!(pooled.order(), plain.order(), "SA-Multi x1 diverged");
+
+            let pooled = MultiTabu::with_config(seed, config, quick_tabu())
+                .map(&inst, &mut tb(tb_seed));
+            let plain = Tabu::with_config(seed, quick_tabu()).map(&inst, &mut tb(tb_seed));
+            prop_assert_eq!(pooled.order(), plain.order(), "Tabu-Multi x1 diverged");
+        }
+    }
+
+    /// The shared incumbent is monotone non-increasing at every publish:
+    /// for any publish sequence, each observed `(value, seed)` is ordered
+    /// no higher than its predecessor in the packed `(value, seed)` order,
+    /// and `publish` reports a move exactly when the observation changed.
+    #[test]
+    fn incumbent_is_monotone_non_increasing_at_every_publish(
+        publishes in proptest::collection::vec((0.0f64..1.0e9, 0u32..=65_535), 1..64),
+    ) {
+        let slot = Incumbent::new();
+        let mut last: Option<(Time, u16)> = None;
+        for (value, seed) in publishes {
+            let seed = seed as u16;
+            let moved = slot.publish(Time::new(value), seed);
+            let now = slot.load();
+            let observed = now.expect("slot is non-empty after a publish");
+            if let Some(prev) = last {
+                prop_assert!(
+                    (observed.0.get(), observed.1) <= (prev.0.get(), prev.1),
+                    "incumbent went up: {:?} -> {:?}",
+                    prev,
+                    observed
+                );
+                prop_assert_eq!(moved, now != Some(prev), "publish() misreported a move");
+            } else {
+                prop_assert!(moved, "first publish into an empty slot must land");
+            }
+            // The slot may quantize (it drops 16 mantissa bits) but never
+            // stores a value above what was published.
+            prop_assert!(observed.0.get() <= value || last.is_some());
+            last = now;
+        }
+    }
+}

@@ -310,6 +310,66 @@ impl ConnMachine {
         self.pump();
     }
 
+    /// Everything currently sendable, as contiguous segments for a
+    /// vectored write: the unflushed write buffer first, then every
+    /// completed [`SlotState::Ready`] reply queued contiguously at the
+    /// head of the slot queue — replies the high-water pump has *not*
+    /// copied into the write buffer yet. One `writev` over these segments
+    /// flushes the whole reply backlog in a single syscall per readiness
+    /// pass, without the copy or the memory spike of appending held-back
+    /// replies to the buffer first.
+    ///
+    /// The byte stream is identical to what repeated
+    /// [`ConnMachine::writable`]/[`ConnMachine::consume`] rounds would
+    /// produce (asserted by the unit suite): segments only ever *front-run*
+    /// the pump, never reorder around it.
+    pub fn writable_vectored(&self) -> Vec<&[u8]> {
+        let mut segs = Vec::new();
+        if self.opos < self.out.len() {
+            segs.push(&self.out[self.opos..]);
+        }
+        for slot in &self.slots {
+            match &slot.state {
+                SlotState::Ready(line) => segs.push(line.as_slice()),
+                _ => break,
+            }
+        }
+        segs
+    }
+
+    /// Records `n` bytes accepted by the socket against the segments of
+    /// [`ConnMachine::writable_vectored`], in order: the write buffer
+    /// first, then whole or partial head replies (a short `writev` may end
+    /// mid-line; the remainder stays queued and keeps its turn).
+    pub fn consume_vectored(&mut self, mut n: usize) {
+        let from_out = n.min(self.out.len() - self.opos);
+        self.opos += from_out;
+        n -= from_out;
+        if self.opos == self.out.len() {
+            self.out.clear();
+            self.opos = 0;
+        }
+        while n > 0 {
+            let Some(slot) = self.slots.front_mut() else {
+                break;
+            };
+            let SlotState::Ready(line) = &mut slot.state else {
+                break;
+            };
+            if n >= line.len() {
+                n -= line.len();
+                self.buffered -= line.len();
+                self.slots.pop_front();
+            } else {
+                line.drain(..n);
+                self.buffered -= n;
+                n = 0;
+            }
+        }
+        debug_assert_eq!(n, 0, "consumed more bytes than were writable");
+        self.pump();
+    }
+
     /// Moves completed head-slot bytes into the write buffer, in order,
     /// until the head slot is unfinished or the backlog passes the
     /// high-water mark.
@@ -528,6 +588,76 @@ mod tests {
         assert_eq!(m.writable().len(), OUT_HIGH_WATER + 1);
         m.consume(OUT_HIGH_WATER + 1);
         assert_eq!(m.writable(), b"tail\n");
+    }
+
+    /// The vectored and single-buffer flush paths must emit the identical
+    /// byte stream for the same slot history — including a reply big
+    /// enough to trip the high-water pump (so `writable_vectored` fronts
+    /// held-back `Ready` replies) and a batch slot bounding the segment
+    /// run. Both sides are driven with adversarial short writes.
+    #[test]
+    fn vectored_flush_is_byte_identical_to_the_single_write_path() {
+        let build = || {
+            let mut m = ConnMachine::new(64);
+            let a = m.open_slot();
+            let b = m.open_slot();
+            let c = m.open_slot();
+            let d = m.open_batch(2);
+            let e = m.open_slot();
+            let big = "x".repeat(OUT_HIGH_WATER);
+            m.fill(a, format!("{big}\n").into_bytes());
+            m.fill(b, b"beta\n".to_vec());
+            m.fill(c, b"gamma\n".to_vec());
+            m.fill_batch_item(d, 1, "{\"i\":1}".into());
+            m.fill_batch_item(d, 0, "{\"i\":0}".into());
+            m.fill(e, b"omega\n".to_vec());
+            m
+        };
+        let mut single = Vec::new();
+        let mut m = build();
+        while m.wants_write() {
+            let chunk = m.writable().len().min(1000);
+            single.extend_from_slice(&m.writable()[..chunk]);
+            m.consume(chunk);
+        }
+        assert!(!m.has_pending());
+        let mut vectored = Vec::new();
+        let mut m = build();
+        loop {
+            let segs = m.writable_vectored();
+            if segs.is_empty() {
+                break;
+            }
+            let flat: Vec<u8> = segs.concat();
+            let n = flat.len().min(777);
+            vectored.extend_from_slice(&flat[..n]);
+            m.consume_vectored(n);
+        }
+        assert!(!m.has_pending());
+        assert_eq!(single.len(), vectored.len());
+        assert!(single == vectored, "vectored flush reordered or lost bytes");
+    }
+
+    #[test]
+    fn vectored_consume_can_end_mid_reply_without_reordering() {
+        let mut m = ConnMachine::new(64);
+        let big = "x".repeat(OUT_HIGH_WATER);
+        let a = m.open_slot();
+        let b = m.open_slot();
+        m.fill(a, format!("{big}\n").into_bytes());
+        m.fill(b, b"tail42\n".to_vec());
+        // The held-back tail reply rides the same writev as the buffer.
+        let segs = m.writable_vectored();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1], b"tail42\n");
+        // A short writev ends four bytes into the tail reply...
+        m.consume_vectored(OUT_HIGH_WATER + 1 + 4);
+        // ...and the remainder keeps its turn, byte-exact.
+        let rest: Vec<u8> = m.writable_vectored().concat();
+        assert_eq!(rest, b"42\n");
+        m.consume_vectored(3);
+        assert!(!m.has_pending());
+        assert_eq!(m.out_backlog(), 0);
     }
 
     #[test]

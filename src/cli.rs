@@ -29,8 +29,32 @@ use hcs_analysis::TextTable;
 use hcs_core::obs::{TraceSink, VecSink};
 use hcs_core::{iterative, Heuristic, IterativeConfig, Objective, Scenario, TieBreaker};
 use hcs_etcgen::{Consistency, EtcSpec, Heterogeneity};
-use hcs_genitor::Genitor;
+use hcs_genitor::{Genitor, GenitorConfig, IslandConfig, IslandGenitor};
+use hcs_heuristics::{MultiConfig, MultiSa, MultiTabu};
 use hcs_sim::Gantt;
+
+/// Parallel-search knobs (`--threads`, `--islands`,
+/// `--migration-interval`) for the `genitor-island`, `sa-multi` and
+/// `tabu-multi` heuristics; ignored by every other name.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SearchOpts {
+    /// Worker threads for the multi-restart engines.
+    pub threads: usize,
+    /// Island count for the island-model Genitor.
+    pub islands: usize,
+    /// Steps between island migrations (`0` disables migration).
+    pub migration_interval: usize,
+}
+
+impl Default for SearchOpts {
+    fn default() -> Self {
+        SearchOpts {
+            threads: 4,
+            islands: 4,
+            migration_interval: 500,
+        }
+    }
+}
 
 /// A parsed command, ready to execute.
 #[derive(Debug)]
@@ -56,6 +80,8 @@ pub enum Command {
         random_ties: Option<u64>,
         /// Objective the mapping is scored against.
         objective: Objective,
+        /// Parallel-search knobs.
+        search: SearchOpts,
     },
     /// Run the iterative technique on an ETC CSV.
     Iterate {
@@ -69,6 +95,8 @@ pub enum Command {
         guard: bool,
         /// Objective the driver freezes against.
         objective: Objective,
+        /// Parallel-search knobs.
+        search: SearchOpts,
     },
     /// Summarize the paper's worked examples (all, or one by id).
     Examples {
@@ -162,9 +190,11 @@ nonmakespan — iterative non-makespan completion-time minimization
 USAGE:
   nonmakespan generate --tasks N --machines M [--class i-hihi] [--seed S]
   nonmakespan map      --etc FILE.csv --heuristic NAME [--random-ties SEED]
-                       [--objective NAME]
+                       [--objective NAME] [--threads N] [--islands N]
+                       [--migration-interval N]
   nonmakespan iterate  --etc FILE.csv --heuristic NAME [--random-ties SEED] [--guard]
-                       [--objective NAME]
+                       [--objective NAME] [--threads N] [--islands N]
+                       [--migration-interval N]
   nonmakespan examples [ID]
   nonmakespan trace    --example ID | --etc FILE.csv --heuristic NAME
                        [--random-ties SEED] [--guard] [--objective NAME]
@@ -182,7 +212,8 @@ USAGE:
                        [--objective NAME] [--rid ID]
 
 HEURISTICS: min-min, mct, met, swa, kpb, sufferage, olb, max-min, duplex,
-            segmented-min-min, genitor, sa, tabu, beam
+            segmented-min-min, genitor, sa, tabu, beam,
+            genitor-island, sa-multi, tabu-multi
 OBJECTIVES: makespan (default), flowtime, weighted-flowtime
 CLASSES:    {c,s,i}-{hi,lo}{hi,lo}, e.g. c-hihi, i-lolo
 EXAMPLES:   minmin, mct, met, swa, kpb, sufferage
@@ -239,12 +270,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
             let heuristic = flag(rest, "--heuristic")
                 .ok_or_else(|| CliError(format!("{sub} requires --heuristic NAME")))?;
+            let search = parse_search_opts(rest)?;
             if sub == "map" {
                 Ok(Command::Map {
                     csv,
                     heuristic,
                     random_ties,
                     objective,
+                    search,
                 })
             } else {
                 Ok(Command::Iterate {
@@ -253,6 +286,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     random_ties,
                     guard: present(rest, "--guard"),
                     objective,
+                    search,
                 })
             }
         }
@@ -474,6 +508,102 @@ pub fn parse_class(label: &str) -> Result<(Consistency, Heterogeneity, Heterogen
     Ok((consistency, hetero(&h[..2])?, hetero(&h[2..])?))
 }
 
+/// Parses and validates the parallel-search flags. Rejecting `--threads 0`
+/// and out-of-range `--islands` here puts bad knobs on the same typed
+/// exit-2 path as an unknown heuristic or objective — never a panic from
+/// deep inside an engine constructor.
+fn parse_search_opts(rest: &[String]) -> Result<SearchOpts, CliError> {
+    let mut opts = SearchOpts::default();
+    if let Some(v) = flag(rest, "--threads") {
+        opts.threads = v
+            .parse()
+            .map_err(|_| CliError("--threads takes an integer".into()))?;
+        if opts.threads == 0 {
+            return Err(CliError("--threads must be at least 1".into()));
+        }
+    }
+    if let Some(v) = flag(rest, "--islands") {
+        opts.islands = v
+            .parse()
+            .map_err(|_| CliError("--islands takes an integer".into()))?;
+        let pop = GenitorConfig::default().pop_size;
+        if opts.islands == 0 || opts.islands > pop {
+            return Err(CliError(format!(
+                "--islands must be in 1..={pop} (the population size), got {}",
+                opts.islands
+            )));
+        }
+    }
+    if let Some(v) = flag(rest, "--migration-interval") {
+        opts.migration_interval = v
+            .parse()
+            .map_err(|_| CliError("--migration-interval takes an integer".into()))?;
+    }
+    Ok(opts)
+}
+
+/// [`make_heuristic`] extended with the parallel-search names, built from
+/// the `--threads`/`--islands`/`--migration-interval` knobs at equal
+/// total budget (the default engine's step/hop budget is divided across
+/// islands/restarts).
+pub fn make_search_heuristic(
+    name: &str,
+    seed: u64,
+    opts: &SearchOpts,
+) -> Result<Box<dyn Heuristic>, CliError> {
+    if name.eq_ignore_ascii_case("genitor-island") {
+        let base = GenitorConfig::default();
+        let genitor = GenitorConfig {
+            max_steps: (base.max_steps / opts.islands).max(1),
+            stall_steps: (base.stall_steps / opts.islands).max(1),
+            ..base
+        };
+        return Ok(Box::new(IslandGenitor::with_config(
+            seed,
+            IslandConfig {
+                islands: opts.islands,
+                migration_interval: opts.migration_interval,
+                genitor,
+            },
+        )));
+    }
+    if name.eq_ignore_ascii_case("sa-multi") {
+        let restarts = MultiConfig::restarts_for(opts.threads);
+        let base = hcs_heuristics::SaConfig::default();
+        let sa = hcs_heuristics::SaConfig {
+            max_steps: (base.max_steps / restarts).max(1),
+            ..base
+        };
+        return Ok(Box::new(MultiSa::with_config(
+            seed,
+            MultiConfig {
+                threads: opts.threads,
+                restarts,
+                adopt: true,
+            },
+            sa,
+        )));
+    }
+    if name.eq_ignore_ascii_case("tabu-multi") {
+        let restarts = MultiConfig::restarts_for(opts.threads);
+        let base = hcs_heuristics::TabuConfig::default();
+        let tabu = hcs_heuristics::TabuConfig {
+            max_hops: (base.max_hops / restarts).max(1),
+            ..base
+        };
+        return Ok(Box::new(MultiTabu::with_config(
+            seed,
+            MultiConfig {
+                threads: opts.threads,
+                restarts,
+                adopt: true,
+            },
+            tabu,
+        )));
+    }
+    make_heuristic(name, seed)
+}
+
 /// Instantiates a heuristic by CLI name (greedy by name, plus `genitor`
 /// and `sa`, which get seeded from the tie seed or 0).
 pub fn make_heuristic(name: &str, seed: u64) -> Result<Box<dyn Heuristic>, CliError> {
@@ -511,11 +641,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             heuristic,
             random_ties,
             objective,
+            search,
         } => {
             let etc = hcs_etcgen::io::parse_csv(&csv)
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
             let scenario = Scenario::with_zero_ready(etc).with_objective(objective);
-            let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
+            let mut h = make_search_heuristic(&heuristic, random_ties.unwrap_or(0), &search)?;
             let mut tb = tie_breaker(random_ties);
             let owned = scenario.full_instance();
             let mapping = h.map(&owned.as_instance(&scenario), &mut tb);
@@ -556,11 +687,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             random_ties,
             guard,
             objective,
+            search,
         } => {
             let etc = hcs_etcgen::io::parse_csv(&csv)
                 .map_err(|e| CliError(format!("bad ETC CSV: {e}")))?;
             let scenario = Scenario::with_zero_ready(etc).with_objective(objective);
-            let mut h = make_heuristic(&heuristic, random_ties.unwrap_or(0))?;
+            let mut h = make_search_heuristic(&heuristic, random_ties.unwrap_or(0), &search)?;
             let outcome = iterative::IterativeRun::new(&mut *h, &scenario)
                 .tie_breaker(tie_breaker(random_ties))
                 .config(IterativeConfig {
@@ -942,6 +1074,7 @@ mod tests {
             heuristic: "min-min".into(),
             random_ties: None,
             objective: Objective::Makespan,
+            search: SearchOpts::default(),
         })
         .unwrap();
         assert!(out.contains("makespan: 5 on m0"), "{out}");
@@ -998,6 +1131,90 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_flags_parse_validate_and_run() {
+        let dir = std::env::temp_dir().join("nonmakespan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("parallel.csv");
+        std::fs::write(&path, "2,6\n3,4\n8,3\n5,2\n").unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        let cmd = parse(&strs(&[
+            "map",
+            "--etc",
+            &path,
+            "--heuristic",
+            "genitor-island",
+            "--islands",
+            "2",
+            "--migration-interval",
+            "50",
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Map { search, .. } => {
+                assert_eq!(search.islands, 2);
+                assert_eq!(search.migration_interval, 50);
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("makespan:"), "{out}");
+
+        // sa-multi and tabu-multi run through the iterative driver too.
+        let out = execute(
+            parse(&strs(&[
+                "iterate",
+                "--etc",
+                &path,
+                "--heuristic",
+                "sa-multi",
+                "--threads",
+                "2",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("round 0"), "{out}");
+
+        // Invalid knobs are usage errors (exit 2 through main).
+        for bad in [
+            vec![
+                "map",
+                "--etc",
+                &path,
+                "--heuristic",
+                "sa-multi",
+                "--threads",
+                "0",
+            ],
+            vec![
+                "map",
+                "--etc",
+                &path,
+                "--heuristic",
+                "genitor-island",
+                "--islands",
+                "0",
+            ],
+            vec![
+                "map",
+                "--etc",
+                &path,
+                "--heuristic",
+                "genitor-island",
+                "--islands",
+                "101",
+            ],
+        ] {
+            let err = parse(&strs(&bad)).unwrap_err();
+            assert!(
+                err.0.contains("--threads") || err.0.contains("--islands"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
     fn iterate_runs_under_flowtime() {
         let out = execute(Command::Iterate {
             csv: "2,6\n3,4\n8,3\n".into(),
@@ -1005,6 +1222,7 @@ mod tests {
             random_ties: None,
             guard: false,
             objective: Objective::Flowtime,
+            search: SearchOpts::default(),
         })
         .unwrap();
         assert!(out.contains("objective: flowtime"), "{out}");
@@ -1020,6 +1238,7 @@ mod tests {
             random_ties: None,
             guard: false,
             objective: Objective::Makespan,
+            search: SearchOpts::default(),
         })
         .unwrap();
         assert!(out.contains("round 0"), "{out}");
@@ -1588,6 +1807,7 @@ mod tests {
                 heuristic: "mct".into(),
                 random_ties: Some(seed),
                 objective: Objective::Makespan,
+                search: SearchOpts::default(),
             })
             .unwrap();
             let first_line = out
